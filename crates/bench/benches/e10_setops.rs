@@ -1,0 +1,88 @@
+//! E10 — Set-operation microbenchmarks (criterion).
+//!
+//! Underpins the representation-threshold discussion (the σ-style
+//! trade-off between list and bitmap local-neighborhood encodings):
+//! merge vs. gallop intersection across size ratios, subset testing, and
+//! bitmap kernels at `|L|`-scale universes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn sorted_set(rng: &mut StdRng, n: usize, universe: u32) -> Vec<u32> {
+    let mut s = std::collections::BTreeSet::new();
+    while s.len() < n {
+        s.insert(rng.gen_range(0..universe));
+    }
+    s.into_iter().collect()
+}
+
+fn bench_intersections(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("intersect_ratio");
+    for ratio in [1usize, 8, 64, 512] {
+        let large = sorted_set(&mut rng, 4096, 1 << 20);
+        let small = sorted_set(&mut rng, 4096 / ratio, 1 << 20);
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::new("merge", ratio), &ratio, |b, _| {
+            b.iter(|| setops::merge::intersect_merge_into(&small, &large, &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("gallop", ratio), &ratio, |b, _| {
+            b.iter(|| setops::gallop::intersect_gallop_into(&small, &large, &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", ratio), &ratio, |b, _| {
+            b.iter(|| setops::intersect_into(&small, &large, &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_subset(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("subset");
+    let big = sorted_set(&mut rng, 8192, 1 << 20);
+    for n in [8usize, 128, 2048] {
+        let probe: Vec<u32> = big.iter().step_by(big.len() / n).copied().collect();
+        group.bench_with_input(BenchmarkId::new("slices", n), &n, |b, _| {
+            b.iter(|| setops::is_subset(&probe, &big))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("bitmap_vs_list_at_L_scale");
+    // |L| is bounded by D(V): benchmark at the scales enumeration sees.
+    for l in [32usize, 256, 2048] {
+        let a = sorted_set(&mut rng, l / 2, l as u32);
+        let b2 = sorted_set(&mut rng, l / 2, l as u32);
+        let ba = setops::Bitmap::from_ranks(l, &a);
+        let bb = setops::Bitmap::from_ranks(l, &b2);
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::new("list_intersect", l), &l, |bch, _| {
+            bch.iter(|| setops::intersect_into(&a, &b2, &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("bitmap_intersect", l), &l, |bch, _| {
+            bch.iter(|| ba.intersect_count(&bb))
+        });
+        group.bench_with_input(BenchmarkId::new("list_subset", l), &l, |bch, _| {
+            bch.iter(|| setops::is_subset(&a, &b2))
+        });
+        group.bench_with_input(BenchmarkId::new("bitmap_subset", l), &l, |bch, _| {
+            bch.iter(|| ba.is_subset_of(&bb))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600));
+    targets = bench_intersections, bench_subset, bench_bitmap
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E11 — Workload-model robustness (extension beyond the paper's
+//! tables; DESIGN.md §6 note).
+//!
+//! The headline experiments run on Chung–Lu + planted-block analogues.
+//! This experiment checks that the MBET-vs-baseline ordering is not an
+//! artifact of that generator: the same comparison on three structurally
+//! different random models at matched size — uniform (G(n,m)),
+//! independent power-law (Chung–Lu), and rich-get-richer (preferential
+//! attachment) — should preserve the winner even as the absolute
+//! difficulty (B) varies wildly across models.
+
+use mbe::{count_bicliques, Algorithm, MbeOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    bench::header("E11", "workload-model robustness", "(extension; no paper analog)");
+    let (nu, nv, edges) = (3000u32, 1200u32, 12_000usize);
+    println!("matched size: |U|={nu} |V|={nv} |E|≈{edges}\n");
+    println!(
+        "{:<16}{:>10}{:>12}{:>12}{:>12}{:>9}",
+        "model", "B", "MBEA(ms)", "iMBEA(ms)", "MBET(ms)", "ratio"
+    );
+    let mut rng = StdRng::seed_from_u64(bench::seed());
+
+    let models: Vec<(&str, bigraph::BipartiteGraph)> = vec![
+        ("gnm-uniform", gen::er::gnm(&mut rng, nu, nv, edges)),
+        ("chung-lu", {
+            let cfg = gen::chung_lu::ChungLuConfig::new(nu, nv, edges);
+            gen::chung_lu::generate(&mut rng, &cfg)
+        }),
+        ("preferential", {
+            let cfg = gen::preferential::PreferentialConfig {
+                nu,
+                nv,
+                edges,
+                p_pref: 0.75,
+            };
+            gen::preferential::generate(&mut rng, &cfg)
+        }),
+    ];
+
+    for (name, g) in &models {
+        let mut times = Vec::new();
+        let mut count = None;
+        for alg in [Algorithm::Mbea, Algorithm::Imbea, Algorithm::Mbet] {
+            let opts = MbeOptions::new(alg);
+            let (b, d) = bench::time_median(|| count_bicliques(g, &opts).0);
+            if let Some(c) = count {
+                assert_eq!(c, b, "{} on {name}", alg.label());
+            }
+            count = Some(b);
+            times.push(d);
+        }
+        let best_baseline = times[..2].iter().min().copied().expect("two baselines");
+        println!(
+            "{:<16}{:>10}{:>12.2}{:>12.2}{:>12.2}{:>8.2}x",
+            name,
+            count.expect("measured"),
+            times[0].as_secs_f64() * 1e3,
+            times[1].as_secs_f64() * 1e3,
+            times[2].as_secs_f64() * 1e3,
+            best_baseline.as_secs_f64() / times[2].as_secs_f64()
+        );
+    }
+    println!("\n(ratio = best of MBEA/iMBEA over MBET; >1 means MBET wins)");
+}

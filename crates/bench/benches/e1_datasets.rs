@@ -1,0 +1,34 @@
+//! E1 — Dataset statistics table (analog of the papers' "Table: dataset
+//! statistics", e.g. Table I of the GPU follow-up work and the dataset
+//! table every MBE paper opens its evaluation with).
+//!
+//! For each benchmark-dataset analogue: generated |U|, |V|, |E|, max
+//! degrees, max 2-hop degree on V, measured maximal biclique count, and
+//! the published count of the real dataset for reference.
+
+use mbe::{count_bicliques, Algorithm, MbeOptions};
+
+fn main() {
+    bench::header("E1", "dataset statistics", "dataset table");
+    println!(
+        "{:<14}{:>9}{:>9}{:>10}{:>8}{:>8}{:>9}{:>12}  {:>14}",
+        "dataset", "|U|", "|V|", "|E|", "D(U)", "D(V)", "D2(V)", "B(analogue)", "B(published)"
+    );
+    for p in bench::selected_presets() {
+        let g = bench::build(&p);
+        let s = bigraph::stats::stats(&g);
+        let (b, _) = count_bicliques(&g, &MbeOptions::new(Algorithm::Mbet));
+        println!(
+            "{:<14}{:>9}{:>9}{:>10}{:>8}{:>8}{:>9}{:>12}  {:>14}",
+            p.abbrev,
+            s.num_u,
+            s.num_v,
+            s.num_edges,
+            s.max_deg_u,
+            s.max_deg_v,
+            s.max_two_hop_v,
+            b,
+            p.real.max_bicliques
+        );
+    }
+}

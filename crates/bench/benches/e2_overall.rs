@@ -1,0 +1,61 @@
+//! E2 — Overall runtime comparison (analog of the papers' "overall
+//! evaluation on general datasets" figure: serial baselines vs. the
+//! prefix-tree algorithm across every general dataset).
+//!
+//! Columns: MineLMBC (Algorithm-1 with explicit C(L') checks), MBEA,
+//! iMBEA, MBET serial, and MBET on the parallel driver with all cores.
+//! The last two columns report MBET's speedup over the best baseline and
+//! the biclique count (identical across engines — asserted).
+
+use mbe::{count_bicliques, parallel, Algorithm, MbeOptions};
+
+fn main() {
+    bench::header("E2", "overall runtime, general datasets", "overall-evaluation figure");
+    let algos = [Algorithm::MineLmbc, Algorithm::Mbea, Algorithm::Imbea, Algorithm::Mbet];
+    println!(
+        "{:<14}{:>11}{:>11}{:>11}{:>11}{:>11}{:>9}{:>12}",
+        "dataset", "MineLMBC", "MBEA", "iMBEA", "MBET", "MBET-par", "speedup", "B"
+    );
+    let mut geo_sum = 0.0f64;
+    let mut geo_n = 0u32;
+    for p in bench::general_presets() {
+        let g = bench::build(&p);
+        let mut times = Vec::new();
+        let mut count = None;
+        for alg in algos {
+            let opts = MbeOptions::new(alg);
+            let (b, d) = bench::time_median(|| count_bicliques(&g, &opts).0);
+            if let Some(c) = count {
+                assert_eq!(c, b, "{} on {}", alg.label(), p.abbrev);
+            }
+            count = Some(b);
+            times.push(d);
+        }
+        let par_opts = MbeOptions::new(Algorithm::Mbet).threads(0);
+        let (bp, dpar) = bench::time_median(|| parallel::par_count_bicliques(&g, &par_opts).0);
+        assert_eq!(count.expect("measured"), bp, "parallel count on {}", p.abbrev);
+
+        let best_baseline =
+            times[..3].iter().min().copied().expect("three baselines");
+        let speedup = best_baseline.as_secs_f64() / times[3].as_secs_f64();
+        geo_sum += speedup.ln();
+        geo_n += 1;
+        println!(
+            "{:<14}{}{}{}{}{}{:>8.2}x{:>12}",
+            p.abbrev,
+            bench::ms(times[0]),
+            bench::ms(times[1]),
+            bench::ms(times[2]),
+            bench::ms(times[3]),
+            bench::ms(dpar),
+            speedup,
+            count.expect("measured")
+        );
+    }
+    if geo_n > 0 {
+        println!(
+            "\ngeometric-mean MBET speedup over the best serial baseline: {:.2}x",
+            (geo_sum / geo_n as f64).exp()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! E5 — Scalability with graph size (analog of the papers' scalability
+//! figure: runtime as the input grows at fixed density).
+//!
+//! Three representative analogues are regenerated at 0.5×, 1×, 2×, and
+//! 4× their default scale (vertices and edges grow together, preserving
+//! mean degree) and enumerated with iMBEA and MBET. The series shows how
+//! both engines scale with the output size B, and where the prefix-tree
+//! advantage widens.
+
+use mbe::{count_bicliques, Algorithm, MbeOptions};
+
+fn main() {
+    bench::header("E5", "scalability with graph size", "scalability figure");
+    let picks = ["Mti", "YG", "EE"];
+    println!(
+        "{:<10}{:>6}{:>9}{:>10}{:>12}{:>12}{:>12}{:>9}",
+        "dataset", "mult", "|V|", "|E|", "B", "iMBEA(ms)", "MBET(ms)", "ratio"
+    );
+    for abbrev in picks {
+        let Some(p) = gen::presets::by_abbrev(abbrev) else { continue };
+        for mult in [0.5, 1.0, 2.0, 4.0] {
+            let g = p.build_scaled(bench::seed(), p_scale(mult));
+            let (b, d_imbea) =
+                bench::time_median(|| count_bicliques(&g, &MbeOptions::new(Algorithm::Imbea)).0);
+            let (b2, d_mbet) =
+                bench::time_median(|| count_bicliques(&g, &MbeOptions::new(Algorithm::Mbet)).0);
+            assert_eq!(b, b2);
+            println!(
+                "{:<10}{:>6}{:>9}{:>10}{:>12}{:>12.2}{:>12.2}{:>8.2}x",
+                abbrev,
+                mult,
+                g.num_v(),
+                g.num_edges(),
+                b,
+                d_imbea.as_secs_f64() * 1e3,
+                d_mbet.as_secs_f64() * 1e3,
+                d_imbea.as_secs_f64() / d_mbet.as_secs_f64()
+            );
+        }
+    }
+}
+
+/// The sweep multiplier is itself scaled by the harness knob so a quick
+/// pass (`MBE_BENCH_SCALE=0.5`) shrinks the whole series.
+fn p_scale(mult: f64) -> f64 {
+    mult * bench::scale()
+}

@@ -1,0 +1,64 @@
+//! E6 — Output-store memory (analog of the papers' space-consumption
+//! table: the prefix-tree store behind MBET's `O(R(|V(B)|))` space bound
+//! vs. flat storage, and the bounded MBETM mode).
+//!
+//! Columns: number of bicliques; flat bytes (Σ(|L|+|R|) · 4B, what a
+//! `Vec<Biclique>` costs in payload alone); R-trie nodes and bytes (the
+//! compressed store); compression ratio; and the MBETM bounded mode at a
+//! small node budget (bytes stay bounded, evictions are counted, the
+//! enumeration itself is unaffected).
+
+use mbe::{enumerate, Algorithm, BicliqueSink, MbeOptions, TrieSink};
+
+/// Counts flat payload bytes without storing anything.
+#[derive(Default)]
+struct FlatBytes {
+    bicliques: u64,
+    bytes: u64,
+}
+
+impl BicliqueSink for FlatBytes {
+    fn emit(&mut self, left: &[u32], right: &[u32]) -> bool {
+        self.bicliques += 1;
+        self.bytes += 4 * (left.len() + right.len()) as u64;
+        true
+    }
+}
+
+fn main() {
+    bench::header("E6", "R-set store memory: trie vs flat, MBETM budget", "space table");
+    const BUDGET: usize = 1 << 14;
+    println!(
+        "{:<14}{:>10}{:>14}{:>12}{:>14}{:>8}{:>16}",
+        "dataset", "B", "flat(KiB)", "trie nodes", "trie(KiB)", "ratio", "MBETM evictions"
+    );
+    for p in bench::general_presets() {
+        let g = bench::build(&p);
+        let opts = MbeOptions::new(Algorithm::Mbet);
+
+        let mut flat = FlatBytes::default();
+        enumerate(&g, &opts, &mut flat);
+
+        let mut trie = TrieSink::unbounded();
+        enumerate(&g, &opts, &mut trie);
+        assert_eq!(trie.trie().len() as u64, flat.bicliques, "{}", p.abbrev);
+        assert_eq!(trie.duplicates(), 0, "{}", p.abbrev);
+        let trie_bytes = trie.trie().approx_bytes() as u64;
+
+        let mut bounded = TrieSink::with_node_budget(BUDGET);
+        enumerate(&g, &opts, &mut bounded);
+        assert_eq!(bounded.trie().total_new(), flat.bicliques, "{}", p.abbrev);
+
+        println!(
+            "{:<14}{:>10}{:>14.1}{:>12}{:>14.1}{:>8.2}{:>16}",
+            p.abbrev,
+            flat.bicliques,
+            flat.bytes as f64 / 1024.0,
+            trie.trie().node_count(),
+            trie_bytes as f64 / 1024.0,
+            flat.bytes as f64 / trie_bytes as f64,
+            bounded.trie().evictions()
+        );
+    }
+    println!("\nMBETM budget: {BUDGET} trie nodes (≈{} KiB)", BUDGET * 16 / 1024);
+}

@@ -1,0 +1,57 @@
+//! E8 — Parallel scalability and load-aware splitting (analog of the
+//! papers' parallel-speedup and load-balance figures).
+//!
+//! For three skewed analogues: MBET on the work-stealing driver at 1, 2,
+//! 4, … threads, with load-aware task splitting on (default bounds) and
+//! off (bounds = ∞, i.e. whole root subtrees are the scheduling unit).
+//! Splitting matters exactly when root-task sizes are power-law skewed —
+//! the load-imbalance phenomenon the papers dedicate a figure to.
+
+use mbe::{parallel, Algorithm, MbeOptions};
+
+fn main() {
+    bench::header("E8", "parallel speedup and load-aware splitting", "load-balance figures");
+    let picks = ["YG", "EE", "BX"];
+    let max_threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+    let mut threads = vec![1usize];
+    while *threads.last().expect("non-empty") * 2 <= max_threads {
+        let next = threads.last().expect("non-empty") * 2;
+        threads.push(next);
+    }
+
+    println!(
+        "{:<10}{:>9}{:>14}{:>12}{:>14}{:>12}",
+        "dataset", "threads", "split ON(ms)", "speedup", "split OFF(ms)", "speedup"
+    );
+    for abbrev in picks {
+        let Some(p) = gen::presets::by_abbrev(abbrev) else { continue };
+        let g = p.build_scaled(bench::seed(), bench::scale());
+        let mut base_on = None;
+        let mut base_off = None;
+        for &t in &threads {
+            let opts_on = MbeOptions::new(Algorithm::Mbet).threads(t);
+            let mut opts_off = MbeOptions::new(Algorithm::Mbet).threads(t);
+            opts_off.split_height = usize::MAX;
+            opts_off.split_size = usize::MAX;
+
+            let (b_on, d_on) =
+                bench::time_median(|| parallel::par_count_bicliques(&g, &opts_on).0);
+            let (b_off, d_off) =
+                bench::time_median(|| parallel::par_count_bicliques(&g, &opts_off).0);
+            assert_eq!(b_on, b_off, "{abbrev} t={t}");
+
+            let s_on = base_on.get_or_insert(d_on).as_secs_f64() / d_on.as_secs_f64();
+            let s_off = base_off.get_or_insert(d_off).as_secs_f64() / d_off.as_secs_f64();
+            println!(
+                "{:<10}{:>9}{:>14.2}{:>11.2}x{:>14.2}{:>11.2}x",
+                abbrev,
+                t,
+                d_on.as_secs_f64() * 1e3,
+                s_on,
+                d_off.as_secs_f64() * 1e3,
+                s_off
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! E9 — Progress over time on the large dataset (analog of the papers'
+//! "evaluation on the large dataset" figure: cumulative bicliques
+//! emitted vs. wall-clock time on the 19-billion-biclique TVTropes;
+//! here, its bounded analogue).
+//!
+//! Series: MBET, MBET in the bounded-memory MBETM mode (node-budgeted
+//! R-trie output store), and iMBEA. Each row is the time to reach a
+//! decile of the total output — the streaming view that matters when
+//! the full output does not fit anywhere. Built on
+//! [`mbe::progress::ProgressSink`].
+
+use mbe::progress::ProgressSink;
+use mbe::{enumerate, Algorithm, CountSink, MbeOptions, TrieSink};
+use std::time::Duration;
+
+fn main() {
+    bench::header("E9", "progress over time on the large dataset", "large-dataset figure");
+    let p = gen::presets::by_abbrev("DBT").expect("TVTropes preset");
+    let g = p.build_scaled(bench::seed(), bench::scale());
+    println!(
+        "TVTropes analogue: |U|={} |V|={} |E|={} (real dataset: 19.6e9 bicliques)",
+        g.num_u(),
+        g.num_v(),
+        g.num_edges()
+    );
+
+    // Total output size, once.
+    let (total, _) = mbe::count_bicliques(&g, &MbeOptions::new(Algorithm::Mbet));
+    println!("total maximal bicliques in the analogue: {total}\n");
+    let sample_every = (total / 200).max(1);
+
+    struct Row {
+        label: &'static str,
+        deciles: Vec<Option<Duration>>,
+        total_time: Duration,
+        evictions: Option<u64>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    for (label, alg, budget) in [
+        ("MBET", Algorithm::Mbet, None),
+        ("MBETM(16k)", Algorithm::Mbet, Some(1usize << 14)),
+        ("iMBEA", Algorithm::Imbea, None),
+    ] {
+        let (deciles, total_time, evictions) = match budget {
+            None => {
+                let mut sink = ProgressSink::new(CountSink::default(), sample_every);
+                let stats = enumerate(&g, &MbeOptions::new(alg), &mut sink);
+                assert_eq!(stats.emitted, total, "{label}");
+                (decile_times(&sink, total), stats.elapsed, None)
+            }
+            Some(b) => {
+                let mut sink = ProgressSink::new(TrieSink::with_node_budget(b), sample_every);
+                let stats = enumerate(&g, &MbeOptions::new(alg), &mut sink);
+                assert_eq!(stats.emitted, total, "{label}");
+                let deciles = decile_times(&sink, total);
+                let ev = sink.into_inner().trie().evictions();
+                (deciles, stats.elapsed, Some(ev))
+            }
+        };
+        rows.push(Row { label, deciles, total_time, evictions });
+    }
+
+    print!("{:<12}", "% emitted");
+    for row in &rows {
+        print!("{:>14}", row.label);
+    }
+    println!();
+    for decile in 0..10 {
+        print!("{:<12}", format!("{}%", (decile + 1) * 10));
+        for row in &rows {
+            // Deciles the sampler missed (only possible for the last one
+            // when `total % sample_every != 0`) fall back to the run's
+            // total time.
+            let d = row.deciles[decile].unwrap_or(row.total_time);
+            print!("{:>12.2}ms", d.as_secs_f64() * 1e3);
+        }
+        println!();
+    }
+    for row in &rows {
+        match row.evictions {
+            Some(e) => println!(
+                "{}: total {:?}, {} store evictions (memory stayed bounded)",
+                row.label, row.total_time, e
+            ),
+            None => println!("{}: total {:?}", row.label, row.total_time),
+        }
+    }
+}
+
+/// Times at which each 10% decile of `total` was first reached (`None`
+/// where the sampling grid skipped the decile).
+fn decile_times<S: mbe::BicliqueSink>(
+    sink: &ProgressSink<S>,
+    total: u64,
+) -> Vec<Option<Duration>> {
+    (1..=10).map(|i| sink.time_to_fraction(total, i, 10)).collect()
+}

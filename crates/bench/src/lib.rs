@@ -1,0 +1,115 @@
+//! Shared harness utilities for the experiment suite (E1..E10).
+//!
+//! Every experiment is a `harness = false` bench target under
+//! `benches/`; each prints the rows/series of the corresponding
+//! paper-style table or figure and delegates the measurement plumbing to
+//! this module. Environment knobs:
+//!
+//! * `MBE_BENCH_SCALE`   — multiplier on every preset's default scale
+//!   (default 1.0; use 0.5 for a quick pass);
+//! * `MBE_BENCH_TRIALS`  — timed repetitions per cell, median reported
+//!   (default 2);
+//! * `MBE_BENCH_PRESETS` — comma-separated abbreviations to restrict the
+//!   dataset set (default: all).
+//! * `MBE_BENCH_SEED`    — generator seed (default 42).
+
+use gen::presets::Preset;
+use std::time::{Duration, Instant};
+
+/// Scale multiplier from `MBE_BENCH_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("MBE_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Timed repetitions per cell from `MBE_BENCH_TRIALS`.
+pub fn trials() -> usize {
+    std::env::var("MBE_BENCH_TRIALS").ok().and_then(|s| s.parse().ok()).unwrap_or(2).max(1)
+}
+
+/// Generator seed from `MBE_BENCH_SEED`.
+pub fn seed() -> u64 {
+    std::env::var("MBE_BENCH_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// The presets selected by `MBE_BENCH_PRESETS` (default: all 13).
+pub fn selected_presets() -> Vec<Preset> {
+    let all = gen::all_presets();
+    match std::env::var("MBE_BENCH_PRESETS") {
+        Ok(list) if !list.trim().is_empty() => {
+            let want: Vec<&str> = list.split(',').map(str::trim).collect();
+            all.into_iter().filter(|p| want.contains(&p.abbrev)).collect()
+        }
+        _ => all,
+    }
+}
+
+/// The "general" datasets: everything but the huge TVTropes analogue,
+/// mirroring the papers' split between the general comparison and the
+/// dedicated large-dataset experiment.
+pub fn general_presets() -> Vec<Preset> {
+    selected_presets().into_iter().filter(|p| p.abbrev != "DBT").collect()
+}
+
+/// Builds a preset at the harness scale.
+pub fn build(preset: &Preset) -> bigraph::BipartiteGraph {
+    preset.build_scaled(seed(), scale())
+}
+
+/// Runs `f` `trials()` times and returns the median wall-clock duration
+/// together with the last run's result.
+pub fn time_median<R>(mut f: impl FnMut() -> R) -> (R, Duration) {
+    let n = trials();
+    let mut times = Vec::with_capacity(n);
+    let mut result = None;
+    for _ in 0..n {
+        let t = Instant::now();
+        result = Some(f());
+        times.push(t.elapsed());
+    }
+    times.sort();
+    (result.expect("at least one trial"), times[times.len() / 2])
+}
+
+/// Milliseconds with two decimals, right-aligned to 10 columns.
+pub fn ms(d: Duration) -> String {
+    format!("{:>10.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, title: &str, figure: &str) {
+    println!();
+    println!("=== {id}: {title}");
+    println!("    (reproduces the paper's {figure}; synthetic analogues, shapes not absolutes)");
+    println!(
+        "    scale×{} trials={} seed={}",
+        scale(),
+        trials(),
+        seed()
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_defaults() {
+        // Defaults apply when the env vars are unset (the test runner
+        // does not set them).
+        assert!(trials() >= 1);
+        assert!(scale() > 0.0);
+    }
+
+    #[test]
+    fn median_of_trials() {
+        let (r, d) = time_median(|| 7);
+        assert_eq!(r, 7);
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+
+    #[test]
+    fn general_excludes_dbt() {
+        assert!(general_presets().iter().all(|p| p.abbrev != "DBT"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Incremental construction of [`BipartiteGraph`]s.
+
+use crate::{BipartiteGraph, GraphError, Side};
+
+/// Accumulates edges and produces a deduplicated, sorted CSR graph.
+///
+/// Building is `O(|E| log |E|)` (a sort plus two counting passes); no
+/// intermediate per-vertex `Vec`s are allocated.
+pub struct GraphBuilder {
+    nu: u32,
+    nv: u32,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `nu` left and `nv` right vertices.
+    pub fn new(nu: u32, nv: u32) -> Self {
+        GraphBuilder { nu, nv, edges: Vec::new() }
+    }
+
+    /// Pre-reserves capacity for `n` edges.
+    pub fn with_capacity(nu: u32, nv: u32, n: usize) -> Self {
+        GraphBuilder { nu, nv, edges: Vec::with_capacity(n) }
+    }
+
+    /// Number of edges added so far (duplicates included).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` iff no edge has been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds edge `(u, v)`; duplicates are tolerated and merged at build.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> Result<(), GraphError> {
+        if u >= self.nu {
+            return Err(GraphError::VertexOutOfRange { side: Side::U, vertex: u, len: self.nu });
+        }
+        if v >= self.nv {
+            return Err(GraphError::VertexOutOfRange { side: Side::V, vertex: v, len: self.nv });
+        }
+        self.edges.push((u, v));
+        Ok(())
+    }
+
+    /// Finalizes into an immutable CSR graph.
+    pub fn build(mut self) -> BipartiteGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let ne = self.edges.len();
+        let nu = self.nu as usize;
+        let nv = self.nv as usize;
+
+        // U side: edges are already grouped by u and sorted by v.
+        let mut u_offsets = vec![0usize; nu + 1];
+        for &(u, _) in &self.edges {
+            u_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..nu {
+            u_offsets[i + 1] += u_offsets[i];
+        }
+        let u_adj: Vec<u32> = self.edges.iter().map(|&(_, v)| v).collect();
+
+        // V side: counting sort by v; u's arrive in increasing order per v
+        // because the edge list is sorted by (u, v).
+        let mut v_offsets = vec![0usize; nv + 1];
+        for &(_, v) in &self.edges {
+            v_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..nv {
+            v_offsets[i + 1] += v_offsets[i];
+        }
+        let mut cursor = v_offsets.clone();
+        let mut v_adj = vec![0u32; ne];
+        for &(u, v) in &self.edges {
+            let c = &mut cursor[v as usize];
+            v_adj[*c] = u;
+            *c += 1;
+        }
+
+        BipartiteGraph::from_csr(u_offsets, u_adj, v_offsets, v_adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn build_matches_from_edges() {
+        let mut b = GraphBuilder::with_capacity(4, 3, 5);
+        for (u, v) in [(3, 2), (0, 0), (3, 2), (1, 1), (0, 2)] {
+            b.add_edge(u, v).unwrap();
+        }
+        assert_eq!(b.len(), 5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.nbr_u(0), &[0, 2]);
+        assert_eq!(g.nbr_v(2), &[0, 3]);
+    }
+
+    #[test]
+    fn empty_builder() {
+        let b = GraphBuilder::new(3, 3);
+        assert!(b.is_empty());
+        let g = b.build();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_u(), 3);
+    }
+
+    proptest! {
+        /// Both CSR sides describe the same edge set, regardless of input
+        /// order or duplication.
+        #[test]
+        fn csr_sides_agree(
+            edges in proptest::collection::vec((0u32..20, 0u32..15), 0..200)
+        ) {
+            let g = crate::BipartiteGraph::from_edges(20, 15, &edges).unwrap();
+            let mut from_u: Vec<(u32, u32)> = g.edges().collect();
+            let mut from_v: Vec<(u32, u32)> = (0..g.num_v())
+                .flat_map(|v| g.nbr_v(v).iter().map(move |&u| (u, v)).collect::<Vec<_>>())
+                .collect();
+            from_u.sort_unstable();
+            from_v.sort_unstable();
+            prop_assert_eq!(&from_u, &from_v);
+
+            let mut want: Vec<(u32, u32)> = edges.clone();
+            want.sort_unstable();
+            want.dedup();
+            prop_assert_eq!(from_u, want);
+        }
+    }
+}

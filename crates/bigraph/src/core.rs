@@ -1,0 +1,198 @@
+//! (α, β)-core reduction.
+//!
+//! The (α, β)-core of a bipartite graph is the maximal subgraph where
+//! every `U` vertex has degree ≥ α and every `V` vertex degree ≥ β. Any
+//! biclique with `|R| ≥ α` and `|L| ≥ β` lies entirely inside the
+//! (α, β)-core (each `u ∈ L` has ≥ |R| ≥ α neighbors in the subgraph and
+//! symmetrically), so size-constrained enumeration can peel the graph
+//! first — the standard preprocessing step of the threshold-aware MBE
+//! algorithms.
+
+use crate::{BipartiteGraph, GraphBuilder};
+use std::collections::VecDeque;
+
+/// Result of a core reduction: the peeled subgraph plus the id maps back
+/// to the original graph.
+#[derive(Debug, Clone)]
+pub struct CoreReduction {
+    /// The reduced graph with dense re-labeled ids.
+    pub graph: BipartiteGraph,
+    /// `u_map[new_u] = old_u`.
+    pub u_map: Vec<u32>,
+    /// `v_map[new_v] = old_v`.
+    pub v_map: Vec<u32>,
+}
+
+impl CoreReduction {
+    /// Maps a left vertex of the reduced graph back to the original id.
+    pub fn original_u(&self, u: u32) -> u32 {
+        self.u_map[u as usize]
+    }
+
+    /// Maps a right vertex of the reduced graph back to the original id.
+    pub fn original_v(&self, v: u32) -> u32 {
+        self.v_map[v as usize]
+    }
+}
+
+/// Peels `g` to its (α, β)-core: every surviving `U` vertex keeps degree
+/// ≥ α and every surviving `V` vertex degree ≥ β.
+///
+/// Runs in `O(|E|)` via cascading queue-based peeling.
+pub fn alpha_beta_core(g: &BipartiteGraph, alpha: usize, beta: usize) -> CoreReduction {
+    let nu = g.num_u() as usize;
+    let nv = g.num_v() as usize;
+    let mut deg_u: Vec<usize> = (0..g.num_u()).map(|u| g.deg_u(u)).collect();
+    let mut deg_v: Vec<usize> = (0..g.num_v()).map(|v| g.deg_v(v)).collect();
+    let mut dead_u = vec![false; nu];
+    let mut dead_v = vec![false; nv];
+
+    // Seed the peel queue with everything already below threshold.
+    let mut queue: VecDeque<(bool, u32)> = VecDeque::new();
+    for u in 0..nu {
+        if deg_u[u] < alpha {
+            dead_u[u] = true;
+            queue.push_back((true, u as u32));
+        }
+    }
+    for v in 0..nv {
+        if deg_v[v] < beta {
+            dead_v[v] = true;
+            queue.push_back((false, v as u32));
+        }
+    }
+    while let Some((is_u, x)) = queue.pop_front() {
+        if is_u {
+            for &v in g.nbr_u(x) {
+                let v = v as usize;
+                if !dead_v[v] {
+                    deg_v[v] -= 1;
+                    if deg_v[v] < beta {
+                        dead_v[v] = true;
+                        queue.push_back((false, v as u32));
+                    }
+                }
+            }
+        } else {
+            for &u in g.nbr_v(x) {
+                let u = u as usize;
+                if !dead_u[u] {
+                    deg_u[u] -= 1;
+                    if deg_u[u] < alpha {
+                        dead_u[u] = true;
+                        queue.push_back((true, u as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    // Re-label survivors densely.
+    let u_map: Vec<u32> = (0..nu as u32).filter(|&u| !dead_u[u as usize]).collect();
+    let v_map: Vec<u32> = (0..nv as u32).filter(|&v| !dead_v[v as usize]).collect();
+    let mut u_inv = vec![u32::MAX; nu];
+    for (new, &old) in u_map.iter().enumerate() {
+        u_inv[old as usize] = new as u32;
+    }
+    let mut v_inv = vec![u32::MAX; nv];
+    for (new, &old) in v_map.iter().enumerate() {
+        v_inv[old as usize] = new as u32;
+    }
+    let mut b = GraphBuilder::new(u_map.len() as u32, v_map.len() as u32);
+    for &old_u in &u_map {
+        for &old_v in g.nbr_u(old_u) {
+            if !dead_v[old_v as usize] {
+                b.add_edge(u_inv[old_u as usize], v_inv[old_v as usize])
+                    .expect("survivor ids are dense");
+            }
+        }
+    }
+    CoreReduction { graph: b.build(), u_map, v_map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trivial_core_keeps_everything_with_edges() {
+        let g = crate::tests::g0();
+        let red = alpha_beta_core(&g, 1, 1);
+        assert_eq!(red.graph.num_u(), 5);
+        assert_eq!(red.graph.num_v(), 4);
+        assert_eq!(red.graph.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn pendant_vertices_peel_and_cascade() {
+        // u0-v0, u1-v0, u1-v1: (2,1)-core requires deg_u ≥ 2 → only u1
+        // survives the first pass, then v0 has deg 1 ≥ 1, v1 deg 1 ≥ 1.
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]).unwrap();
+        let red = alpha_beta_core(&g, 2, 1);
+        assert_eq!(red.graph.num_u(), 1);
+        assert_eq!(red.original_u(0), 1);
+        assert_eq!(red.graph.num_edges(), 2);
+
+        // (2, 2)-core: u1 has deg 2 but v0,v1 then have deg 1 < 2 →
+        // everything cascades away.
+        let red = alpha_beta_core(&g, 2, 2);
+        assert_eq!(red.graph.num_edges(), 0);
+        assert_eq!(red.graph.num_u(), 0);
+        assert_eq!(red.graph.num_v(), 0);
+    }
+
+    #[test]
+    fn complete_block_survives_its_own_size() {
+        let mut edges = Vec::new();
+        for u in 0..3 {
+            for v in 0..4 {
+                edges.push((u, v));
+            }
+        }
+        // Add pendant noise that must peel away.
+        edges.push((3, 4));
+        let g = BipartiteGraph::from_edges(4, 5, &edges).unwrap();
+        let red = alpha_beta_core(&g, 4, 3);
+        assert_eq!(red.graph.num_u(), 3);
+        assert_eq!(red.graph.num_v(), 4);
+        assert_eq!(red.graph.num_edges(), 12);
+    }
+
+    #[test]
+    fn id_maps_are_consistent() {
+        let g = crate::tests::g0();
+        let red = alpha_beta_core(&g, 2, 2);
+        for new_u in 0..red.graph.num_u() {
+            for &new_v in red.graph.nbr_u(new_u) {
+                assert!(
+                    g.has_edge(red.original_u(new_u), red.original_v(new_v)),
+                    "reduced edge must exist in the original"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// Core invariant: every surviving vertex meets its threshold.
+        #[test]
+        fn survivors_meet_thresholds(
+            edges in proptest::collection::vec((0u32..15, 0u32..12), 0..120),
+            alpha in 1usize..4,
+            beta in 1usize..4,
+        ) {
+            let g = crate::BipartiteGraph::from_edges(15, 12, &edges).unwrap();
+            let red = alpha_beta_core(&g, alpha, beta);
+            for u in 0..red.graph.num_u() {
+                prop_assert!(red.graph.deg_u(u) >= alpha);
+            }
+            for v in 0..red.graph.num_v() {
+                prop_assert!(red.graph.deg_v(v) >= beta);
+            }
+            // Maximality of the core: no peeled vertex could re-enter.
+            // (Checked indirectly: peeling the core again is a no-op.)
+            let red2 = alpha_beta_core(&red.graph, alpha, beta);
+            prop_assert_eq!(red2.graph.num_edges(), red.graph.num_edges());
+        }
+    }
+}

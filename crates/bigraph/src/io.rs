@@ -1,0 +1,160 @@
+//! Plain-text edge-list readers and writers.
+//!
+//! The accepted format matches what the public MBE benchmark datasets
+//! (KONECT, SNAP) reduce to after the usual preprocessing:
+//!
+//! ```text
+//! % comment lines start with '%' or '#'
+//! <u> <v>
+//! <u> <v>
+//! ...
+//! ```
+//!
+//! Ids may be 0- or 1-based and need not be dense: the loader compacts
+//! each side to dense ids (preserving numeric order) and merges duplicate
+//! edges, mirroring the "only retain one unique edge" rule the papers
+//! apply to multi-edge datasets.
+
+use crate::{BipartiteGraph, GraphBuilder, GraphError};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Reads an edge list from any buffered reader. See the module docs for
+/// the format. Returns the compacted graph.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<BipartiteGraph, GraphError> {
+    let mut raw: Vec<(u64, u64)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<u64, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: idx + 1,
+                msg: format!("missing {what} endpoint"),
+            })?
+            .parse::<u64>()
+            .map_err(|e| GraphError::Parse { line: idx + 1, msg: format!("{what}: {e}") })
+        };
+        let u = parse(it.next(), "left")?;
+        let v = parse(it.next(), "right")?;
+        // Extra columns (weights, timestamps) are tolerated and ignored,
+        // as in the KONECT "out." files.
+        raw.push((u, v));
+    }
+    Ok(compact(&raw))
+}
+
+/// Compacts sparse/1-based ids to dense 0-based ids per side.
+fn compact(raw: &[(u64, u64)]) -> BipartiteGraph {
+    let mut us: Vec<u64> = raw.iter().map(|&(u, _)| u).collect();
+    let mut vs: Vec<u64> = raw.iter().map(|&(_, v)| v).collect();
+    us.sort_unstable();
+    us.dedup();
+    vs.sort_unstable();
+    vs.dedup();
+    let uid = |x: u64| us.binary_search(&x).expect("present by construction") as u32;
+    let vid = |x: u64| vs.binary_search(&x).expect("present by construction") as u32;
+    let mut b = GraphBuilder::with_capacity(us.len() as u32, vs.len() as u32, raw.len());
+    for &(u, v) in raw {
+        b.add_edge(uid(u), vid(v)).expect("dense ids are in range");
+    }
+    b.build()
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<BipartiteGraph, GraphError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(f))
+}
+
+/// Writes a graph as a plain 0-based edge list.
+pub fn write_edge_list<W: Write>(g: &BipartiteGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "% bipartite edge list: |U|={} |V|={} |E|={}", g.num_u(), g.num_v(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a graph to a file path.
+pub fn write_edge_list_path<P: AsRef<Path>>(g: &BipartiteGraph, path: P) -> Result<(), GraphError> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_extra_columns() {
+        let text = "% a KONECT-ish header\n# another comment\n\n1 10 5.0 1234567\n2 10\n1 11\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_u(), 2);
+        assert_eq!(g.num_v(), 2);
+        assert_eq!(g.num_edges(), 3);
+        // id 1 -> 0, id 2 -> 1; id 10 -> 0, id 11 -> 1.
+        assert_eq!(g.nbr_u(0), &[0, 1]);
+        assert_eq!(g.nbr_u(1), &[0]);
+    }
+
+    #[test]
+    fn sparse_ids_compacted_in_numeric_order() {
+        let text = "100 7\n5 7\n100 900\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_u(), 2); // {5, 100} -> {0, 1}
+        assert_eq!(g.num_v(), 2); // {7, 900} -> {0, 1}
+        assert_eq!(g.nbr_u(1), &[0, 1]); // old 100
+        assert_eq!(g.nbr_u(0), &[0]); // old 5
+    }
+
+    #[test]
+    fn duplicate_edges_merged() {
+        let g = read_edge_list("1 1\n1 1\n1 1\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = read_edge_list("1 2\nxyz 3\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = read_edge_list("7\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, msg } => {
+                assert_eq!(line, 1);
+                assert!(msg.contains("right"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = BipartiteGraph::from_edges(4, 3, &[(0, 0), (1, 2), (3, 1), (3, 2)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        // The loader compacts away the isolated vertex u2, so compare edges
+        // through degree multisets.
+        let mut d1: Vec<usize> = g.edges().map(|(u, _)| g.deg_u(u)).collect();
+        let mut d2: Vec<usize> = g2.edges().map(|(u, _)| g2.deg_u(u)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list("% nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.num_u(), 0);
+        assert_eq!(g.num_v(), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Vertex orderings on the `V` side.
+//!
+//! MBE algorithms traverse candidates of `V` in a fixed global order; the
+//! order determines both the shape of the enumeration tree and how early
+//! non-maximal branches are cut. The literature converges on *ascending
+//! degree* as the robust default (small-degree roots produce small `L`
+//! universes early); ooMBEA additionally proposed a "unilateral" order
+//! driven by 2-hop connectivity. Both are provided here, along with the
+//! descending and seeded-random controls used by the ordering-sensitivity
+//! experiment (E7).
+
+use crate::two_hop::TwoHop;
+use crate::BipartiteGraph;
+
+/// Ordering strategies for the `V` side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VertexOrder {
+    /// Keep input ids (control).
+    Natural,
+    /// Ascending degree, ties by id — the literature's default.
+    AscendingDegree,
+    /// Descending degree, ties by id (adversarial control).
+    DescendingDegree,
+    /// Ascending 2-hop degree, ties by degree then id — our reconstruction
+    /// of the "unilateral" order (RECONSTRUCTED; see DESIGN.md §3.5).
+    Unilateral,
+    /// Seeded pseudo-random shuffle (control).
+    Random(u64),
+}
+
+impl VertexOrder {
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VertexOrder::Natural => "natural",
+            VertexOrder::AscendingDegree => "asc-deg",
+            VertexOrder::DescendingDegree => "desc-deg",
+            VertexOrder::Unilateral => "unilateral",
+            VertexOrder::Random(_) => "random",
+        }
+    }
+}
+
+/// Computes the permutation `perm[new_id] = old_id` realizing `order`.
+pub fn permutation(g: &BipartiteGraph, order: VertexOrder) -> Vec<u32> {
+    let nv = g.num_v() as usize;
+    let mut perm: Vec<u32> = (0..nv as u32).collect();
+    match order {
+        VertexOrder::Natural => {}
+        VertexOrder::AscendingDegree => {
+            perm.sort_by_key(|&v| (g.deg_v(v), v));
+        }
+        VertexOrder::DescendingDegree => {
+            perm.sort_by_key(|&v| (std::cmp::Reverse(g.deg_v(v)), v));
+        }
+        VertexOrder::Unilateral => {
+            let mut th = TwoHop::new(nv);
+            let mut buf = Vec::new();
+            let keys: Vec<(usize, usize)> = (0..nv as u32)
+                .map(|v| {
+                    th.of_v(g, v, &mut buf);
+                    (buf.len(), g.deg_v(v))
+                })
+                .collect();
+            perm.sort_by_key(|&v| (keys[v as usize], v));
+        }
+        VertexOrder::Random(seed) => {
+            // Fisher–Yates with a splitmix64 stream; deterministic for a
+            // given seed without pulling `rand` into the library.
+            let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+            let mut next = move || {
+                s = s.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            for i in (1..nv).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                perm.swap(i, j);
+            }
+        }
+    }
+    perm
+}
+
+/// Relabels `V` according to `order` and returns the reordered graph plus
+/// the permutation applied (`perm[new_id] = old_id`), so reported bicliques
+/// can be mapped back.
+pub fn apply(g: &BipartiteGraph, order: VertexOrder) -> (BipartiteGraph, Vec<u32>) {
+    let perm = permutation(g, order);
+    (g.permute_v(&perm), perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(p: &[u32]) -> bool {
+        let mut seen = vec![false; p.len()];
+        p.iter().all(|&x| {
+            let i = x as usize;
+            i < seen.len() && !std::mem::replace(&mut seen[i], true)
+        })
+    }
+
+    #[test]
+    fn all_orders_are_permutations() {
+        let g = crate::tests::g0();
+        for order in [
+            VertexOrder::Natural,
+            VertexOrder::AscendingDegree,
+            VertexOrder::DescendingDegree,
+            VertexOrder::Unilateral,
+            VertexOrder::Random(42),
+        ] {
+            let p = permutation(&g, order);
+            assert!(is_permutation(&p), "{order:?}");
+            assert_eq!(p.len(), 4);
+        }
+    }
+
+    #[test]
+    fn ascending_degree_is_sorted() {
+        let g = crate::tests::g0();
+        let p = permutation(&g, VertexOrder::AscendingDegree);
+        let degs: Vec<usize> = p.iter().map(|&v| g.deg_v(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] <= w[1]));
+        // G0 degrees: v1:2 v2:4 v3:3 v4:3 -> order v1, v3, v4, v2.
+        assert_eq!(p, [0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn descending_is_reverse_of_ascending_on_distinct_degrees() {
+        let g = BipartiteGraph::from_edges(
+            4,
+            3,
+            &[(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (0, 2)],
+        )
+        .unwrap();
+        let asc = permutation(&g, VertexOrder::AscendingDegree);
+        let desc = permutation(&g, VertexOrder::DescendingDegree);
+        let rev: Vec<u32> = asc.iter().rev().copied().collect();
+        assert_eq!(desc, rev);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let g = crate::tests::g0();
+        let a = permutation(&g, VertexOrder::Random(7));
+        let b = permutation(&g, VertexOrder::Random(7));
+        let c = permutation(&g, VertexOrder::Random(8));
+        assert_eq!(a, b);
+        assert!(is_permutation(&c));
+    }
+
+    #[test]
+    fn apply_reorders_consistently() {
+        let g = crate::tests::g0();
+        let (h, perm) = apply(&g, VertexOrder::AscendingDegree);
+        for new_v in 0..h.num_v() {
+            assert_eq!(h.nbr_v(new_v), g.nbr_v(perm[new_v as usize]));
+        }
+        // Edge count preserved.
+        assert_eq!(h.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn empty_graph_orders() {
+        let g = BipartiteGraph::from_edges(0, 0, &[]).unwrap();
+        for order in [VertexOrder::Unilateral, VertexOrder::Random(1)] {
+            assert!(permutation(&g, order).is_empty());
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every strategy yields a valid permutation, and `apply`
+            /// preserves the edge multiset on arbitrary graphs.
+            #[test]
+            fn orders_are_permutations_and_apply_is_lossless(
+                edges in proptest::collection::vec((0u32..14, 0u32..11), 0..90),
+                seed in 0u64..100,
+            ) {
+                let g = BipartiteGraph::from_edges(14, 11, &edges).unwrap();
+                for order in [
+                    VertexOrder::Natural,
+                    VertexOrder::AscendingDegree,
+                    VertexOrder::DescendingDegree,
+                    VertexOrder::Unilateral,
+                    VertexOrder::Random(seed),
+                ] {
+                    let (h, perm) = apply(&g, order);
+                    prop_assert!(is_permutation(&perm), "{:?}", order);
+                    prop_assert_eq!(h.num_edges(), g.num_edges());
+                    // Mapping edges back through the permutation recovers
+                    // the original edge set exactly.
+                    let mut back: Vec<(u32, u32)> = h
+                        .edges()
+                        .map(|(u, v)| (u, perm[v as usize]))
+                        .collect();
+                    back.sort_unstable();
+                    let mut want: Vec<(u32, u32)> = g.edges().collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(back, want);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Graph statistics: the `|U| |V| |E| D(U) D₂(U) D(V) D₂(V)` columns of the
+//! standard MBE dataset tables, plus degree distributions used by the
+//! workload generators for calibration.
+
+use crate::two_hop::TwoHop;
+use crate::BipartiteGraph;
+
+/// Summary statistics of a bipartite graph, in the shape the MBE papers
+/// tabulate (their Table "dataset statistics").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of left vertices.
+    pub num_u: u32,
+    /// Number of right vertices.
+    pub num_v: u32,
+    /// Number of distinct edges.
+    pub num_edges: usize,
+    /// Maximum degree on the `U` side.
+    pub max_deg_u: usize,
+    /// Maximum degree on the `V` side.
+    pub max_deg_v: usize,
+    /// Maximum 2-hop degree on the `U` side (`D₂(U)`).
+    pub max_two_hop_u: usize,
+    /// Maximum 2-hop degree on the `V` side (`D₂(V)`).
+    pub max_two_hop_v: usize,
+}
+
+/// Computes full statistics. 2-hop degrees make this `O(Σ_v Σ_{u∈N(v)}
+/// |N(u)|)` — fine for the benchmark scales used here; prefer
+/// [`basic_stats`] when 2-hop columns are not needed.
+pub fn stats(g: &BipartiteGraph) -> GraphStats {
+    let mut s = basic_stats(g);
+    let mut th_v = TwoHop::new(g.num_v() as usize);
+    let mut buf = Vec::new();
+    for v in 0..g.num_v() {
+        th_v.of_v(g, v, &mut buf);
+        s.max_two_hop_v = s.max_two_hop_v.max(buf.len());
+    }
+    let swapped = g.swap_sides();
+    let mut th_u = TwoHop::new(swapped.num_v() as usize);
+    for u in 0..swapped.num_v() {
+        th_u.of_v(&swapped, u, &mut buf);
+        s.max_two_hop_u = s.max_two_hop_u.max(buf.len());
+    }
+    s
+}
+
+/// Degree-only statistics (2-hop columns left at zero).
+pub fn basic_stats(g: &BipartiteGraph) -> GraphStats {
+    GraphStats {
+        num_u: g.num_u(),
+        num_v: g.num_v(),
+        num_edges: g.num_edges(),
+        max_deg_u: (0..g.num_u()).map(|u| g.deg_u(u)).max().unwrap_or(0),
+        max_deg_v: (0..g.num_v()).map(|v| g.deg_v(v)).max().unwrap_or(0),
+        max_two_hop_u: 0,
+        max_two_hop_v: 0,
+    }
+}
+
+/// Degree histogram of one side: `hist[d]` = number of vertices with
+/// degree `d`.
+pub fn degree_histogram(g: &BipartiteGraph, side: crate::Side) -> Vec<usize> {
+    let (n, deg): (u32, Box<dyn Fn(u32) -> usize>) = match side {
+        crate::Side::U => (g.num_u(), Box::new(|u| g.deg_u(u))),
+        crate::Side::V => (g.num_v(), Box::new(|v| g.deg_v(v))),
+    };
+    let mut hist = Vec::new();
+    for x in 0..n {
+        let d = deg(x);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Mean degree of one side.
+pub fn mean_degree(g: &BipartiteGraph, side: crate::Side) -> f64 {
+    let n = match side {
+        crate::Side::U => g.num_u(),
+        crate::Side::V => g.num_v(),
+    };
+    if n == 0 {
+        return 0.0;
+    }
+    g.num_edges() as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Side;
+
+    #[test]
+    fn g0_stats() {
+        let g = crate::tests::g0();
+        let s = stats(&g);
+        assert_eq!(s.num_u, 5);
+        assert_eq!(s.num_v, 4);
+        assert_eq!(s.num_edges, 12);
+        assert_eq!(s.max_deg_u, 4); // u2
+        assert_eq!(s.max_deg_v, 4); // v2
+        // N²(v2) = {v1,v3,v4}; N²(v1)={v2,v3,v4}; max over V is 3.
+        assert_eq!(s.max_two_hop_v, 3);
+        // N²(u2) covers {u1,u3,u4,u5}: 4.
+        assert_eq!(s.max_two_hop_u, 4);
+    }
+
+    #[test]
+    fn histogram_sums_to_side_size() {
+        let g = crate::tests::g0();
+        let h = degree_histogram(&g, Side::V);
+        assert_eq!(h.iter().sum::<usize>(), 4);
+        let total_deg: usize = h.iter().enumerate().map(|(d, c)| d * c).sum();
+        assert_eq!(total_deg, g.num_edges());
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = BipartiteGraph::from_edges(0, 0, &[]).unwrap();
+        let s = stats(&g);
+        assert_eq!(s.max_deg_u, 0);
+        assert_eq!(s.max_two_hop_v, 0);
+        assert_eq!(mean_degree(&g, Side::U), 0.0);
+    }
+
+    #[test]
+    fn mean_degree_matches() {
+        let g = crate::tests::g0();
+        assert!((mean_degree(&g, Side::U) - 12.0 / 5.0).abs() < 1e-12);
+        assert!((mean_degree(&g, Side::V) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! 2-hop neighborhood computation.
+//!
+//! For a right vertex `v`, the 2-hop neighborhood
+//! `N²(v) = ∪_{u ∈ N(v)} N(u) − {v}` is the candidate universe of the
+//! enumeration subtree rooted at `v`: only vertices in `N²(v)` can share a
+//! maximal biclique with `v`. Computing it is a multi-way union of sorted
+//! lists; we provide a mark-based accumulator (reusable across calls) and a
+//! k-way merge alternative, both exercised against each other in tests.
+
+use crate::BipartiteGraph;
+
+/// Workhorse buffer for repeated 2-hop computations over one graph.
+///
+/// Keeps a `seen` epoch array sized to the relevant side so that repeated
+/// calls allocate nothing. Epoch-based clearing means `reset` is `O(1)`.
+pub struct TwoHop {
+    seen: Vec<u32>,
+    epoch: u32,
+}
+
+impl TwoHop {
+    /// An accumulator for a side of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        TwoHop { seen: vec![0; n], epoch: 0 }
+    }
+
+    /// `N²(v)` for a right vertex, sorted ascending, excluding `v` itself.
+    /// Output replaces the contents of `out`.
+    pub fn of_v(&mut self, g: &BipartiteGraph, v: u32, out: &mut Vec<u32>) {
+        debug_assert_eq!(self.seen.len(), g.num_v() as usize);
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wraparound: invalidate all marks.
+            self.seen.iter_mut().for_each(|s| *s = u32::MAX);
+            self.epoch = 1;
+        }
+        out.clear();
+        self.seen[v as usize] = self.epoch;
+        for &u in g.nbr_v(v) {
+            for &w in g.nbr_u(u) {
+                let slot = &mut self.seen[w as usize];
+                if *slot != self.epoch {
+                    *slot = self.epoch;
+                    out.push(w);
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Size of `N²(v)` without materializing it.
+    pub fn degree_v(&mut self, g: &BipartiteGraph, v: u32) -> usize {
+        let mut buf = Vec::new();
+        self.of_v(g, v, &mut buf);
+        buf.len()
+    }
+}
+
+/// `N²(v)` via a k-way union of the neighbor lists (reference
+/// implementation used to validate [`TwoHop`]).
+pub fn two_hop_v_kway(g: &BipartiteGraph, v: u32) -> Vec<u32> {
+    let mut acc: Vec<u32> = Vec::new();
+    let mut tmp = Vec::new();
+    for &u in g.nbr_v(v) {
+        setops::union_into(&acc, g.nbr_u(u), &mut tmp);
+        std::mem::swap(&mut acc, &mut tmp);
+    }
+    acc.retain(|&w| w != v);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn g0_two_hops() {
+        // In G0: N(v1) = {u1,u2}; N(u1) ∪ N(u2) = {v1,v2,v3,v4};
+        // so N²(v1) = {v2,v3,v4} = ids {1,2,3}.
+        let g = crate::tests::g0();
+        let mut th = TwoHop::new(g.num_v() as usize);
+        let mut out = Vec::new();
+        th.of_v(&g, 0, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+        // v4 (id 3): N = {u2,u4,u5}; their neighborhoods cover all of V.
+        th.of_v(&g, 3, &mut out);
+        assert_eq!(out, [0, 1, 2]);
+    }
+
+    #[test]
+    fn isolated_vertex_has_empty_two_hop() {
+        let g = crate::BipartiteGraph::from_edges(2, 2, &[(0, 0)]).unwrap();
+        let mut th = TwoHop::new(2);
+        let mut out = vec![99];
+        th.of_v(&g, 1, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reuse_across_many_calls() {
+        let g = crate::tests::g0();
+        let mut th = TwoHop::new(g.num_v() as usize);
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            for v in 0..g.num_v() {
+                th.of_v(&g, v, &mut out);
+                assert_eq!(out, two_hop_v_kway(&g, v), "v={v}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn mark_based_matches_kway(
+            edges in proptest::collection::vec((0u32..12, 0u32..10), 0..120)
+        ) {
+            let g = crate::BipartiteGraph::from_edges(12, 10, &edges).unwrap();
+            let mut th = TwoHop::new(10);
+            let mut out = Vec::new();
+            for v in 0..g.num_v() {
+                th.of_v(&g, v, &mut out);
+                prop_assert_eq!(&out, &two_hop_v_kway(&g, v));
+                prop_assert!(setops::is_strictly_increasing(&out));
+                prop_assert!(!out.contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Hand-rolled argument parsing (no external dependencies).
+//!
+//! Grammar:
+//!
+//! ```text
+//! mbe-cli stats <file>
+//! mbe-cli enumerate <file> [--algorithm A] [--order O] [--threads N]
+//!                          [--min-left A] [--min-right B] [--top-k K]
+//!                          [--count-only] [--max-print M]
+//! mbe-cli generate <preset ABBREV | chung-lu NU NV E | gnm NU NV M>
+//!                  [--seed S] [--scale X] --output FILE
+//! mbe-cli presets
+//! ```
+
+use bigraph::order::VertexOrder;
+use mbe::Algorithm;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `stats <file>`
+    Stats { file: String },
+    /// `butterflies <file>`
+    Butterflies { file: String },
+    /// `core <file> <alpha> <beta> [--output FILE]`
+    Core { file: String, alpha: usize, beta: usize, output: Option<String> },
+    /// `enumerate <file> ...`
+    Enumerate {
+        file: String,
+        algorithm: Algorithm,
+        order: VertexOrder,
+        threads: usize,
+        min_left: usize,
+        min_right: usize,
+        top_k: Option<usize>,
+        count_only: bool,
+        max_print: usize,
+    },
+    /// `generate ...`
+    Generate { model: GenModel, seed: u64, scale: f64, output: String },
+    /// `presets`
+    Presets,
+    /// `help` (also on bad input, with the error noted)
+    Help { error: Option<String> },
+}
+
+/// What `generate` should produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenModel {
+    Preset(String),
+    ChungLu { nu: u32, nv: u32, edges: usize },
+    Gnm { nu: u32, nv: u32, edges: usize },
+}
+
+/// Parses a full argument list (without the program name).
+pub fn parse(args: &[String]) -> Command {
+    let Some(cmd) = args.first() else {
+        return Command::Help { error: None };
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Command::Help { error: None },
+        "presets" => Command::Presets,
+        "stats" => match args.get(1) {
+            Some(f) => Command::Stats { file: f.clone() },
+            None => err("stats requires a file argument"),
+        },
+        "butterflies" => match args.get(1) {
+            Some(f) => Command::Butterflies { file: f.clone() },
+            None => err("butterflies requires a file argument"),
+        },
+        "core" => parse_core(&args[1..]),
+        "enumerate" => parse_enumerate(&args[1..]),
+        "generate" => parse_generate(&args[1..]),
+        other => err(&format!("unknown command `{other}`")),
+    }
+}
+
+fn err(msg: &str) -> Command {
+    Command::Help { error: Some(msg.to_string()) }
+}
+
+fn parse_enumerate(args: &[String]) -> Command {
+    let Some(file) = args.first() else {
+        return err("enumerate requires a file argument");
+    };
+    let mut out = Command::Enumerate {
+        file: file.clone(),
+        algorithm: Algorithm::Mbet,
+        order: VertexOrder::AscendingDegree,
+        threads: 1,
+        min_left: 1,
+        min_right: 1,
+        top_k: None,
+        count_only: false,
+        max_print: 20,
+    };
+    let Command::Enumerate {
+        algorithm,
+        order,
+        threads,
+        min_left,
+        min_right,
+        top_k,
+        count_only,
+        max_print,
+        ..
+    } = &mut out
+    else {
+        unreachable!()
+    };
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--count-only" => *count_only = true,
+            "--algorithm" => match it.next().map(String::as_str) {
+                Some("mbet") => *algorithm = Algorithm::Mbet,
+                Some("mbea") => *algorithm = Algorithm::Mbea,
+                Some("imbea") => *algorithm = Algorithm::Imbea,
+                Some("minelmbc") => *algorithm = Algorithm::MineLmbc,
+                other => return err(&format!("bad --algorithm {other:?}")),
+            },
+            "--order" => match it.next().map(String::as_str) {
+                Some("asc") => *order = VertexOrder::AscendingDegree,
+                Some("desc") => *order = VertexOrder::DescendingDegree,
+                Some("unilateral") => *order = VertexOrder::Unilateral,
+                Some("natural") => *order = VertexOrder::Natural,
+                Some(s) if s.starts_with("random:") => {
+                    match s["random:".len()..].parse() {
+                        Ok(seed) => *order = VertexOrder::Random(seed),
+                        Err(_) => return err("bad random seed in --order"),
+                    }
+                }
+                other => return err(&format!("bad --order {other:?}")),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => *threads = n,
+                None => return err("--threads needs a number"),
+            },
+            "--min-left" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => *min_left = n,
+                None => return err("--min-left needs a number"),
+            },
+            "--min-right" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => *min_right = n,
+                None => return err("--min-right needs a number"),
+            },
+            "--top-k" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => *top_k = Some(n),
+                None => return err("--top-k needs a number"),
+            },
+            "--max-print" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => *max_print = n,
+                None => return err("--max-print needs a number"),
+            },
+            other => return err(&format!("unknown enumerate flag `{other}`")),
+        }
+    }
+    out
+}
+
+fn parse_core(args: &[String]) -> Command {
+    let (Some(file), Some(a), Some(b)) = (args.first(), args.get(1), args.get(2)) else {
+        return err("core requires FILE ALPHA BETA");
+    };
+    let (Ok(alpha), Ok(beta)) = (a.parse(), b.parse()) else {
+        return err("core thresholds must be numbers");
+    };
+    let mut output = None;
+    let mut it = args[3..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--output" | "-o" => match it.next() {
+                Some(f) => output = Some(f.clone()),
+                None => return err("--output needs a path"),
+            },
+            other => return err(&format!("unknown core flag `{other}`")),
+        }
+    }
+    Command::Core { file: file.clone(), alpha, beta, output }
+}
+
+fn parse_generate(args: &[String]) -> Command {
+    let mut it = args.iter();
+    let model = match it.next().map(String::as_str) {
+        Some("preset") => match it.next() {
+            Some(abbrev) => GenModel::Preset(abbrev.clone()),
+            None => return err("generate preset requires an abbreviation"),
+        },
+        Some("chung-lu") => match parse_triple(&mut it) {
+            Some((nu, nv, e)) => GenModel::ChungLu { nu, nv, edges: e },
+            None => return err("generate chung-lu requires NU NV EDGES"),
+        },
+        Some("gnm") => match parse_triple(&mut it) {
+            Some((nu, nv, e)) => GenModel::Gnm { nu, nv, edges: e },
+            None => return err("generate gnm requires NU NV EDGES"),
+        },
+        other => return err(&format!("bad generate model {other:?}")),
+    };
+    let mut seed = 42u64;
+    let mut scale = 1.0f64;
+    let mut output = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return err("--seed needs a number"),
+            },
+            "--scale" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => scale = s,
+                None => return err("--scale needs a number"),
+            },
+            "--output" | "-o" => match it.next() {
+                Some(f) => output = Some(f.clone()),
+                None => return err("--output needs a path"),
+            },
+            other => return err(&format!("unknown generate flag `{other}`")),
+        }
+    }
+    match output {
+        Some(output) => Command::Generate { model, seed, scale, output },
+        None => err("generate requires --output FILE"),
+    }
+}
+
+fn parse_triple<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+) -> Option<(u32, u32, usize)> {
+    let nu = it.next()?.parse().ok()?;
+    let nv = it.next()?.parse().ok()?;
+    let e = it.next()?.parse().ok()?;
+    Some((nu, nv, e))
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+mbe-cli — maximal biclique enumeration toolkit
+
+USAGE:
+  mbe-cli stats <file>
+      Load a bipartite edge list and print its statistics.
+
+  mbe-cli butterflies <file>
+      Count 2x2 bicliques (butterflies) and report the density score.
+
+  mbe-cli core <file> <alpha> <beta> [--output FILE]
+      Peel to the (alpha, beta)-core; print the reduction, optionally
+      write the reduced graph.
+
+  mbe-cli enumerate <file> [options]
+      Enumerate maximal bicliques.
+        --algorithm mbet|mbea|imbea|minelmbc   (default mbet)
+        --order asc|desc|unilateral|natural|random:SEED
+        --threads N        parallel driver with N workers (0 = all cores)
+        --min-left A       only bicliques with |L| >= A (pruned search)
+        --min-right B      only bicliques with |R| >= B (pruned search)
+        --top-k K          the K largest bicliques by edge count
+        --count-only       print only the count and stats
+        --max-print M      cap printed bicliques (default 20)
+
+  mbe-cli generate <model> --output FILE [--seed S] [--scale X]
+      Write a synthetic bipartite graph as an edge list. Models:
+        preset ABBREV      calibrated dataset analogue (see `presets`)
+        chung-lu NU NV E   power-law bipartite graph
+        gnm NU NV E        uniform random bipartite graph
+
+  mbe-cli presets
+      List the calibrated benchmark-dataset analogues.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(line: &str) -> Command {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        parse(&args)
+    }
+
+    #[test]
+    fn parses_stats_and_presets() {
+        assert_eq!(p("stats g.txt"), Command::Stats { file: "g.txt".into() });
+        assert_eq!(p("presets"), Command::Presets);
+        assert!(matches!(p("help"), Command::Help { error: None }));
+        assert!(matches!(p(""), Command::Help { error: None }));
+    }
+
+    #[test]
+    fn parses_butterflies_and_core() {
+        assert_eq!(p("butterflies g.txt"), Command::Butterflies { file: "g.txt".into() });
+        assert_eq!(
+            p("core g.txt 3 4"),
+            Command::Core { file: "g.txt".into(), alpha: 3, beta: 4, output: None }
+        );
+        assert_eq!(
+            p("core g.txt 3 4 -o red.txt"),
+            Command::Core {
+                file: "g.txt".into(),
+                alpha: 3,
+                beta: 4,
+                output: Some("red.txt".into())
+            }
+        );
+        assert!(matches!(p("core g.txt"), Command::Help { error: Some(_) }));
+        assert!(matches!(p("core g.txt x 4"), Command::Help { error: Some(_) }));
+        assert!(matches!(p("butterflies"), Command::Help { error: Some(_) }));
+    }
+
+    #[test]
+    fn parses_enumerate_defaults_and_flags() {
+        match p("enumerate g.txt") {
+            Command::Enumerate { file, algorithm, threads, count_only, .. } => {
+                assert_eq!(file, "g.txt");
+                assert_eq!(algorithm, Algorithm::Mbet);
+                assert_eq!(threads, 1);
+                assert!(!count_only);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("enumerate g.txt --algorithm imbea --order random:9 --threads 4 \
+                 --min-left 3 --min-right 2 --top-k 5 --count-only") {
+            Command::Enumerate {
+                algorithm,
+                order,
+                threads,
+                min_left,
+                min_right,
+                top_k,
+                count_only,
+                ..
+            } => {
+                assert_eq!(algorithm, Algorithm::Imbea);
+                assert_eq!(order, VertexOrder::Random(9));
+                assert_eq!(threads, 4);
+                assert_eq!(min_left, 3);
+                assert_eq!(min_right, 2);
+                assert_eq!(top_k, Some(5));
+                assert!(count_only);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_generate() {
+        match p("generate preset BX --seed 7 --scale 0.5 -o out.txt") {
+            Command::Generate { model, seed, scale, output } => {
+                assert_eq!(model, GenModel::Preset("BX".into()));
+                assert_eq!(seed, 7);
+                assert!((scale - 0.5).abs() < 1e-9);
+                assert_eq!(output, "out.txt");
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("generate chung-lu 100 50 400 --output x") {
+            Command::Generate { model, .. } => {
+                assert_eq!(model, GenModel::ChungLu { nu: 100, nv: 50, edges: 400 });
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        for bad in [
+            "stats",
+            "enumerate",
+            "enumerate f --algorithm nope",
+            "enumerate f --threads abc",
+            "enumerate f --bogus",
+            "generate preset BX", // missing --output
+            "generate nope -o f",
+            "generate chung-lu 1 2 -o f",
+            "wat",
+        ] {
+            assert!(
+                matches!(p(bad), Command::Help { error: Some(_) }),
+                "`{bad}` should be an error"
+            );
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! `mbe-cli`: command-line access to the enumeration library.
+//!
+//! See [`args::USAGE`] or run `mbe-cli help`.
+
+mod args;
+
+use args::{Command, GenModel};
+use bigraph::BipartiteGraph;
+use mbe::{Algorithm, MbeOptions, SizeThresholds};
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Rust maps SIGPIPE to an Err on stdout writes, which println! turns
+    // into a panic when the consumer (`head`, a closed pager) goes away.
+    // Dying quietly is the correct CLI behavior; without a libc
+    // dependency the portable way is a panic hook that recognizes the
+    // broken-pipe payload and exits success.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if msg.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        eprintln!("{info}");
+        std::process::exit(101);
+    }));
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Command::Help { error: None } => {
+            print!("{}", args::USAGE);
+            ExitCode::SUCCESS
+        }
+        Command::Help { error: Some(e) } => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+        Command::Presets => {
+            println!(
+                "{:<6}{:<16}{:>12}{:>12}{:>14}{:>16}",
+                "abbr", "name", "|U|(real)", "|V|(real)", "|E|(real)", "B(published)"
+            );
+            for p in gen::all_presets() {
+                println!(
+                    "{:<6}{:<16}{:>12}{:>12}{:>14}{:>16}",
+                    p.abbrev, p.name, p.real.num_u, p.real.num_v, p.real.num_edges,
+                    p.real.max_bicliques
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Command::Stats { file } => match bigraph::io::read_edge_list_path(&file) {
+            Ok(g) => {
+                let s = bigraph::stats::stats(&g);
+                println!("file     : {file}");
+                println!("|U|      : {}", s.num_u);
+                println!("|V|      : {}", s.num_v);
+                println!("|E|      : {}", s.num_edges);
+                println!("D(U)     : {}", s.max_deg_u);
+                println!("D(V)     : {}", s.max_deg_v);
+                println!("D2(U)    : {}", s.max_two_hop_u);
+                println!("D2(V)    : {}", s.max_two_hop_v);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Command::Butterflies { file } => match bigraph::io::read_edge_list_path(&file) {
+            Ok(g) => {
+                let t = std::time::Instant::now();
+                let n = bigraph::butterfly::count_butterflies(&g);
+                println!(
+                    "butterflies: {n} (density {:.4} per edge) in {:?}",
+                    bigraph::butterfly::butterfly_density(&g),
+                    t.elapsed()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Command::Core { file, alpha, beta, output } => {
+            match bigraph::io::read_edge_list_path(&file) {
+                Ok(g) => {
+                    let red = bigraph::core::alpha_beta_core(&g, alpha, beta);
+                    println!(
+                        "({alpha},{beta})-core: |U| {} -> {}, |V| {} -> {}, |E| {} -> {}",
+                        g.num_u(),
+                        red.graph.num_u(),
+                        g.num_v(),
+                        red.graph.num_v(),
+                        g.num_edges(),
+                        red.graph.num_edges()
+                    );
+                    if let Some(out) = output {
+                        if let Err(e) = bigraph::io::write_edge_list_path(&red.graph, &out) {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("wrote reduced graph to {out} (ids re-labeled densely)");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Command::Enumerate {
+            file,
+            algorithm,
+            order,
+            threads,
+            min_left,
+            min_right,
+            top_k,
+            count_only,
+            max_print,
+        } => match bigraph::io::read_edge_list_path(&file) {
+            Ok(g) => {
+                run_enumerate(
+                    &g, algorithm, order, threads, min_left, min_right, top_k, count_only,
+                    max_print,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Command::Generate { model, seed, scale, output } => {
+            let g = build_model(&model, seed, scale);
+            match bigraph::io::write_edge_list_path(&g, &output) {
+                Ok(()) => {
+                    println!(
+                        "wrote {} (|U|={} |V|={} |E|={})",
+                        output,
+                        g.num_u(),
+                        g.num_v(),
+                        g.num_edges()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_enumerate(
+    g: &BipartiteGraph,
+    algorithm: Algorithm,
+    order: bigraph::order::VertexOrder,
+    threads: usize,
+    min_left: usize,
+    min_right: usize,
+    top_k: Option<usize>,
+    count_only: bool,
+    max_print: usize,
+) {
+    println!(
+        "graph: |U|={} |V|={} |E|={}  algorithm={}",
+        g.num_u(),
+        g.num_v(),
+        g.num_edges(),
+        algorithm.label()
+    );
+
+    if let Some(k) = top_k {
+        let (top, stats) = mbe::top_k_by_edges(g, k);
+        println!(
+            "top {} bicliques by edges ({:?}, {} bound-pruned branches):",
+            top.len(),
+            stats.elapsed,
+            stats.bound_pruned
+        );
+        for b in top.iter().take(max_print) {
+            println!("  |L|={} |R|={} edges={}  L={:?} R={:?}", b.left.len(), b.right.len(), b.edges(), b.left, b.right);
+        }
+        return;
+    }
+
+    if min_left > 1 || min_right > 1 {
+        let thr = SizeThresholds::new(min_left, min_right);
+        let (found, stats) = mbe::collect_filtered(g, thr);
+        println!(
+            "{} maximal bicliques with |L|>={} |R|>={} in {:?}",
+            found.len(),
+            thr.min_l,
+            thr.min_r,
+            stats.elapsed
+        );
+        if !count_only {
+            for b in found.iter().take(max_print) {
+                println!("  L={:?} R={:?}", b.left, b.right);
+            }
+        }
+        return;
+    }
+
+    let opts = MbeOptions::new(algorithm).order(order).threads(threads);
+    if threads != 1 {
+        let (n, stats) = mbe::parallel::par_count_bicliques(g, &opts);
+        println!("{n} maximal bicliques in {:?} ({} tasks)", stats.elapsed, stats.tasks);
+        return;
+    }
+    if count_only {
+        let (n, stats) = mbe::count_bicliques(g, &opts);
+        println!(
+            "{n} maximal bicliques in {:?} (nodes={} nonmaximal={} batched={})",
+            stats.elapsed, stats.nodes, stats.nonmaximal, stats.batched
+        );
+    } else {
+        let (all, stats) = mbe::collect_bicliques(g, &opts).expect("enumeration completes");
+        println!("{} maximal bicliques in {:?}", all.len(), stats.elapsed);
+        for b in all.iter().take(max_print) {
+            println!("  L={:?} R={:?}", b.left, b.right);
+        }
+        if all.len() > max_print {
+            println!("  … {} more (raise --max-print)", all.len() - max_print);
+        }
+    }
+}
+
+fn build_model(model: &GenModel, seed: u64, scale: f64) -> BipartiteGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    match model {
+        GenModel::Preset(abbrev) => match gen::presets::by_abbrev(abbrev) {
+            Some(p) => p.build_scaled(seed, scale),
+            None => {
+                eprintln!("unknown preset `{abbrev}` — see `mbe-cli presets`");
+                std::process::exit(1);
+            }
+        },
+        GenModel::ChungLu { nu, nv, edges } => {
+            let cfg = gen::chung_lu::ChungLuConfig::new(*nu, *nv, *edges);
+            gen::chung_lu::generate(&mut rng, &cfg)
+        }
+        GenModel::Gnm { nu, nv, edges } => gen::er::gnm(&mut rng, *nu, *nv, *edges),
+    }
+}

@@ -1,0 +1,115 @@
+//! Bipartite Erdős–Rényi controls.
+//!
+//! `G(nu, nv, p)` includes each of the `nu · nv` possible edges
+//! independently with probability `p`; `G(nu, nv, m)` picks exactly `m`
+//! distinct edges uniformly. Unskewed controls for the experiments that
+//! isolate the effect of degree skew.
+
+use bigraph::{BipartiteGraph, GraphBuilder};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// `G(nu, nv, p)`: each edge present independently with probability `p`.
+pub fn gnp<R: Rng>(rng: &mut R, nu: u32, nv: u32, p: f64) -> BipartiteGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(nu, nv);
+    // Geometric skipping: jump straight to the next present edge. This is
+    // O(edges) rather than O(nu · nv) for small p.
+    if p > 0.0 {
+        let total = nu as u64 * nv as u64;
+        let mut idx: u64 = 0;
+        let log1mp = (1.0 - p).ln();
+        loop {
+            if p >= 1.0 {
+                if idx >= total {
+                    break;
+                }
+            } else {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let skip = (u.ln() / log1mp).floor() as u64;
+                idx = idx.saturating_add(skip);
+                if idx >= total {
+                    break;
+                }
+            }
+            let eu = (idx / nv as u64) as u32;
+            let ev = (idx % nv as u64) as u32;
+            b.add_edge(eu, ev).expect("in range");
+            idx += 1;
+            if idx >= total {
+                break;
+            }
+        }
+    }
+    b.build()
+}
+
+/// `G(nu, nv, m)`: exactly `min(m, nu·nv)` distinct edges, uniform.
+pub fn gnm<R: Rng>(rng: &mut R, nu: u32, nv: u32, m: usize) -> BipartiteGraph {
+    let total = nu as usize * nv as usize;
+    let m = m.min(total);
+    let mut b = GraphBuilder::with_capacity(nu, nv, m);
+    if total == 0 || m == 0 {
+        return b.build();
+    }
+    if m * 3 >= total {
+        // Dense: shuffle the full universe (small by assumption).
+        let mut all: Vec<usize> = (0..total).collect();
+        all.shuffle(rng);
+        for &idx in &all[..m] {
+            b.add_edge((idx / nv as usize) as u32, (idx % nv as usize) as u32)
+                .expect("in range");
+        }
+    } else {
+        // Sparse: rejection sampling.
+        let mut seen = std::collections::HashSet::with_capacity(m * 2);
+        while seen.len() < m {
+            let idx = rng.gen_range(0..total);
+            if seen.insert(idx) {
+                b.add_edge((idx / nv as usize) as u32, (idx % nv as usize) as u32)
+                    .expect("in range");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_exact_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnm(&mut rng, 30, 20, 100);
+        assert_eq!(g.num_edges(), 100);
+        let g = gnm(&mut rng, 4, 4, 100);
+        assert_eq!(g.num_edges(), 16, "capped at the universe");
+        let g = gnm(&mut rng, 4, 4, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnp(&mut rng, 100, 100, 0.1);
+        let got = g.num_edges() as f64;
+        assert!((700.0..1300.0).contains(&got), "got {got}");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(gnp(&mut rng, 10, 10, 0.0).num_edges(), 0);
+        assert_eq!(gnp(&mut rng, 10, 10, 1.0).num_edges(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gnm(&mut StdRng::seed_from_u64(9), 20, 20, 50);
+        let b = gnm(&mut StdRng::seed_from_u64(9), 20, 20, 50);
+        assert_eq!(a, b);
+    }
+}

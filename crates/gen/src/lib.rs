@@ -1,0 +1,139 @@
+//! Synthetic bipartite workloads for the experiment suite.
+//!
+//! The MBE literature evaluates on 13 KONECT/SNAP datasets. Those cannot
+//! be downloaded in this offline environment, so — per the substitution
+//! rule in DESIGN.md §5 — this crate generates *calibrated analogues*:
+//!
+//! * [`chung_lu`] — a bipartite Chung–Lu model driven by power-law degree
+//!   sequences, reproducing the degree skew that drives MBE difficulty;
+//! * [`planted`] — complete `a × b` blocks overlaid on a background
+//!   graph, controlling biclique density and nesting;
+//! * [`er`] — bipartite Erdős–Rényi controls;
+//! * [`presets`] — one entry per benchmark dataset, carrying the
+//!   published `(|U|, |V|, |E|)` statistics and a default *scale* at
+//!   which the generated analogue enumerates in seconds on a laptop.
+//!
+//! All generators are deterministic for a given seed.
+
+pub mod chung_lu;
+pub mod er;
+pub mod planted;
+pub mod preferential;
+pub mod presets;
+
+pub use presets::{all_presets, Preset};
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Samples `n` degrees from a discrete power law `P(d) ∝ d^(-gamma)`
+/// truncated to `[1, max_d]`, then rescales them so their sum is close to
+/// `target_sum` (the desired edge count).
+pub fn power_law_degrees<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    gamma: f64,
+    max_d: usize,
+    target_sum: usize,
+) -> Vec<f64> {
+    assert!(n > 0, "need at least one vertex");
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let max_d = max_d.max(1) as f64;
+    // Inverse-CDF sampling of the continuous Pareto-like density on
+    // [1, max_d]: F^-1(u) = (1 - u (1 - max_d^(1-γ)))^(1/(1-γ)).
+    let a = 1.0 - gamma;
+    let tail = max_d.powf(a);
+    let mut degs: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            (1.0 - u * (1.0 - tail)).powf(1.0 / a)
+        })
+        .collect();
+    let sum: f64 = degs.iter().sum();
+    let scale = target_sum as f64 / sum;
+    for d in &mut degs {
+        *d = (*d * scale).max(f64::MIN_POSITIVE);
+    }
+    degs
+}
+
+/// A cumulative-weight sampler over `0..weights.len()`.
+///
+/// `O(log n)` per sample via binary search on the prefix sums; good
+/// enough for the edge counts used here.
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler. Weights must be positive.
+    pub fn new(weights: &[f64]) -> Self {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            debug_assert!(w > 0.0, "weights must be positive");
+            acc += w;
+            cumulative.push(acc);
+        }
+        WeightedIndex { cumulative }
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> f64 {
+        self.cumulative.last().copied().unwrap_or(0.0)
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen::<f64>() * self.total();
+        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_sums_to_target() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let degs = power_law_degrees(&mut rng, 1000, 2.1, 200, 5000);
+        let sum: f64 = degs.iter().sum();
+        assert!((sum - 5000.0).abs() < 1.0);
+        assert!(degs.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut degs = power_law_degrees(&mut rng, 10_000, 2.1, 1000, 100_000);
+        degs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // Top 1% of vertices should carry far more than 1% of the weight.
+        let top: f64 = degs[..100].iter().sum();
+        let total: f64 = degs.iter().sum();
+        assert!(top / total > 0.05, "top share {}", top / total);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let wi = WeightedIndex::new(&[1.0, 0.0001, 99.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[wi.sample(&mut rng)] += 1;
+        }
+        assert!(counts[2] > 9000);
+        assert!(counts[0] > 20);
+        assert!(counts[1] < 100);
+    }
+
+    #[test]
+    fn weighted_index_single_element() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let wi = WeightedIndex::new(&[42.0]);
+        assert_eq!(wi.sample(&mut rng), 0);
+    }
+}

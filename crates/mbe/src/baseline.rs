@@ -1,0 +1,332 @@
+//! Baseline enumeration engines: MineLMBC, MBEA, iMBEA.
+//!
+//! All three share the set-enumeration-tree recursion described in
+//! DESIGN.md §3.1 and differ in two places:
+//!
+//! * **maximality check** — `MineLmbc` recomputes the common neighborhood
+//!   `C(L')` from the graph and compares it to `R'` (the literal
+//!   "Algorithm 1" of the background literature); `Mbea`/`Imbea` keep an
+//!   excluded set `Q` and test `L' ⊆ N(q)` per excluded vertex, which is
+//!   what makes them competitive;
+//! * **candidate order** — `Imbea` re-sorts the candidates of every node
+//!   by ascending local degree `|N(w) ∩ L|`, which tends to move failing
+//!   branches earlier and shrink the subtrees of the rest.
+//!
+//! These engines deliberately mirror the published pseudocode, including
+//! its per-node allocations — they are the comparators the MBET speedups
+//! in the experiment suite are measured against.
+
+use crate::metrics::Stats;
+use crate::sink::BicliqueSink;
+use crate::task::RootTask;
+use crate::Algorithm;
+use bigraph::BipartiteGraph;
+
+/// A baseline engine instance (holds scratch buffers; cheap to create).
+pub struct BaselineEngine<'g> {
+    g: &'g BipartiteGraph,
+    alg: Algorithm,
+    /// Scratch for `C(L')` recomputation (MineLMBC only).
+    cbuf: Vec<u32>,
+    cbuf2: Vec<u32>,
+}
+
+impl<'g> BaselineEngine<'g> {
+    /// An engine over `g`. `alg` must not be [`Algorithm::Mbet`].
+    pub fn new(g: &'g BipartiteGraph, alg: Algorithm) -> Self {
+        assert!(alg != Algorithm::Mbet, "use MbetEngine for Algorithm::Mbet");
+        BaselineEngine { g, alg, cbuf: Vec::new(), cbuf2: Vec::new() }
+    }
+
+    /// Runs one root task. Returns `false` iff the sink requested a stop.
+    pub fn run_task(
+        &mut self,
+        task: &RootTask,
+        sink: &mut dyn BicliqueSink,
+        stats: &mut Stats,
+    ) -> bool {
+        self.expand(&task.l0, &[], task.v, &task.p0, &task.q0, sink, stats)
+    }
+
+    /// Runs an arbitrary unchecked node (used by the parallel driver's
+    /// split tasks). Semantics identical to [`Self::run_task`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_node(
+        &mut self,
+        l: &[u32],
+        r_parent: &[u32],
+        v: u32,
+        p: &[u32],
+        q: &[u32],
+        sink: &mut dyn BicliqueSink,
+        stats: &mut Stats,
+    ) -> bool {
+        self.expand(l, r_parent, v, p, q, sink, stats)
+    }
+
+    /// Expands the node reached by traversing `v` from a parent with
+    /// biclique `(·, r_parent)`: `l_new` is already `L ∩ N(v)`.
+    ///
+    /// `untraversed` are the parent's remaining candidates (excluding `v`),
+    /// `traversed` the excluded set at this point. Emits the biclique when
+    /// maximal and recurses. Returns `false` iff enumeration should stop.
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &mut self,
+        l_new: &[u32],
+        r_parent: &[u32],
+        v: u32,
+        untraversed: &[u32],
+        traversed: &[u32],
+        sink: &mut dyn BicliqueSink,
+        stats: &mut Stats,
+    ) -> bool {
+        debug_assert!(!l_new.is_empty());
+        stats.nodes += 1;
+
+        // Cheap rejection first for the Q-based variants: some excluded
+        // vertex adjacent to all of L' proves (L', ·) can never be maximal
+        // here, and the same holds for every descendant (L'' ⊆ L').
+        if self.alg != Algorithm::MineLmbc {
+            for &q in traversed {
+                if setops::is_subset(l_new, self.g.nbr_v(q)) {
+                    stats.nonmaximal += 1;
+                    return true;
+                }
+            }
+        }
+
+        // Absorption: untraversed candidates adjacent to all of L' belong
+        // in R'. Collect them and the surviving candidate set in one pass.
+        let mut absorbed: Vec<u32> = Vec::new();
+        let mut p_new: Vec<u32> = Vec::new();
+        for &w in untraversed {
+            let nw = self.g.nbr_v(w);
+            let common = setops::intersect_count(l_new, nw);
+            if common == l_new.len() {
+                absorbed.push(w);
+            } else if common > 0 {
+                p_new.push(w);
+            }
+        }
+        stats.absorbed += absorbed.len() as u64;
+
+        // R' = r_parent ∪ {v} ∪ absorbed.
+        let mut r_new: Vec<u32> = Vec::with_capacity(r_parent.len() + 1 + absorbed.len());
+        r_new.extend_from_slice(r_parent);
+        r_new.push(v);
+        r_new.extend_from_slice(&absorbed);
+        r_new.sort_unstable();
+
+        if self.alg == Algorithm::MineLmbc {
+            // Algorithm-1 check: R' must equal C(L') recomputed from the
+            // graph. (The Q-based engines already rejected above.)
+            if !self.r_equals_common_neighbors(l_new, &r_new) {
+                stats.nonmaximal += 1;
+                return true;
+            }
+        }
+
+        if !sink.emit(l_new, &r_new) {
+            return false;
+        }
+        stats.emitted += 1;
+
+        if p_new.is_empty() {
+            return true;
+        }
+
+        // Q' = excluded vertices still relevant below (sharing a neighbor
+        // with L'). MineLMBC has no Q at all.
+        let mut q_now: Vec<u32> = if self.alg == Algorithm::MineLmbc {
+            Vec::new()
+        } else {
+            traversed
+                .iter()
+                .copied()
+                .filter(|&q| setops::intersect_first(self.g.nbr_v(q), l_new).is_some())
+                .collect()
+        };
+
+        if self.alg == Algorithm::Imbea {
+            // iMBEA: branch on sparse candidates first.
+            let g = self.g;
+            p_new.sort_by_key(|&w| setops::intersect_count(l_new, g.nbr_v(w)));
+        }
+
+        let mut l_child = Vec::new();
+        for i in 0..p_new.len() {
+            let w = p_new[i];
+            setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
+            debug_assert!(!l_child.is_empty(), "candidates share a neighbor with L'");
+            let l_child_owned = std::mem::take(&mut l_child);
+            if !self.expand(&l_child_owned, &r_new, w, &p_new[i + 1..], &q_now, sink, stats) {
+                return false;
+            }
+            l_child = l_child_owned;
+            q_now.push(w);
+        }
+        true
+    }
+
+    /// `true` iff `C(l) == r` where `C(l) = ∩_{u ∈ l} N(u)` in `V`.
+    fn r_equals_common_neighbors(&mut self, l: &[u32], r: &[u32]) -> bool {
+        debug_assert!(!l.is_empty());
+        let mut acc = std::mem::take(&mut self.cbuf);
+        let mut tmp = std::mem::take(&mut self.cbuf2);
+        acc.clear();
+        acc.extend_from_slice(self.g.nbr_u(l[0]));
+        for &u in &l[1..] {
+            if acc.len() < r.len() {
+                break; // can only shrink further; already too small
+            }
+            setops::intersect_into(&acc, self.g.nbr_u(u), &mut tmp);
+            std::mem::swap(&mut acc, &mut tmp);
+        }
+        let eq = acc == r;
+        self.cbuf = acc;
+        self.cbuf2 = tmp;
+        eq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use crate::task::TaskBuilder;
+
+    fn g0() -> BipartiteGraph {
+        BipartiteGraph::from_edges(
+            5,
+            4,
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (1, 3),
+                (2, 1),
+                (3, 1),
+                (3, 2),
+                (3, 3),
+                (4, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn run_all(alg: Algorithm, g: &BipartiteGraph) -> (Vec<crate::Biclique>, Stats) {
+        let mut sink = CollectSink::new();
+        let mut stats = Stats::default();
+        let mut builder = TaskBuilder::new(g);
+        let mut engine = BaselineEngine::new(g, alg);
+        for v in 0..g.num_v() {
+            if let Some(t) = builder.build(v) {
+                assert!(engine.run_task(&t, &mut sink, &mut stats));
+            }
+        }
+        let mut out = sink.into_vec();
+        out.sort();
+        (out, stats)
+    }
+
+    /// G0 has exactly 6 maximal bicliques (Fig. 1 of the background
+    /// literature).
+    #[test]
+    fn g0_has_six_maximal_bicliques() {
+        let g = g0();
+        for alg in [Algorithm::MineLmbc, Algorithm::Mbea, Algorithm::Imbea] {
+            let (bicliques, stats) = run_all(alg, &g);
+            assert_eq!(bicliques.len(), 6, "{alg:?}");
+            assert_eq!(stats.emitted, 6, "{alg:?}");
+            // Spot-check two known ones: ({u1,u2},{v1,v2,v3}) and
+            // ({u2,u4},{v2,v3,v4}).
+            assert!(bicliques
+                .iter()
+                .any(|b| b.left == [0, 1] && b.right == [0, 1, 2]));
+            assert!(bicliques
+                .iter()
+                .any(|b| b.left == [1, 3] && b.right == [1, 2, 3]));
+        }
+    }
+
+    #[test]
+    fn all_baselines_agree_on_g0() {
+        let g = g0();
+        let (a, _) = run_all(Algorithm::MineLmbc, &g);
+        let (b, _) = run_all(Algorithm::Mbea, &g);
+        let (c, _) = run_all(Algorithm::Imbea, &g);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn complete_bipartite_single_biclique() {
+        // K(3,3): exactly one maximal biclique — the whole graph.
+        let mut edges = Vec::new();
+        for u in 0..3 {
+            for v in 0..3 {
+                edges.push((u, v));
+            }
+        }
+        let g = BipartiteGraph::from_edges(3, 3, &edges).unwrap();
+        for alg in [Algorithm::MineLmbc, Algorithm::Mbea, Algorithm::Imbea] {
+            let (bicliques, _) = run_all(alg, &g);
+            assert_eq!(bicliques.len(), 1, "{alg:?}");
+            assert_eq!(bicliques[0].left, [0, 1, 2]);
+            assert_eq!(bicliques[0].right, [0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn perfect_matching_enumerates_every_edge() {
+        // A perfect matching of size n: every edge is its own maximal
+        // biclique.
+        let n = 6;
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, i)).collect();
+        let g = BipartiteGraph::from_edges(n, n, &edges).unwrap();
+        let (bicliques, _) = run_all(Algorithm::Mbea, &g);
+        assert_eq!(bicliques.len(), n as usize);
+        for (i, b) in bicliques.iter().enumerate() {
+            assert_eq!(b.left, [i as u32]);
+            assert_eq!(b.right, [i as u32]);
+        }
+    }
+
+    #[test]
+    fn star_graph() {
+        // One U vertex adjacent to all of V: single maximal biclique.
+        let g = BipartiteGraph::from_edges(1, 5, &[(0, 0), (0, 1), (0, 2), (0, 3), (0, 4)])
+            .unwrap();
+        let (bicliques, _) = run_all(Algorithm::Imbea, &g);
+        assert_eq!(bicliques.len(), 1);
+        assert_eq!(bicliques[0].right, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stop_is_honored() {
+        let g = g0();
+        let mut stats = Stats::default();
+        let mut count = 0;
+        let mut sink = crate::FnSink(|_: &[u32], _: &[u32]| {
+            count += 1;
+            count < 2
+        });
+        let mut builder = TaskBuilder::new(&g);
+        let mut engine = BaselineEngine::new(&g, Algorithm::Mbea);
+        let mut stopped = false;
+        for v in 0..g.num_v() {
+            if let Some(t) = builder.build(v) {
+                if !engine.run_task(&t, &mut sink, &mut stats) {
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+        assert!(stopped);
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,262 @@
+//! Extremal biclique search: the maximum-edge biclique and the top-k.
+//!
+//! The maximum-edge biclique is always maximal (adding a vertex adds
+//! edges), so the search space is the same enumeration tree — but a
+//! branch-and-bound cut applies: a node `(L', R', C')` can never produce
+//! more than `|L'| · (|R'| + |C'|)` edges, because descendants only
+//! shrink `L` and only grow `R` from `C`. Branches whose bound cannot
+//! beat the incumbent(s) are cut, which prunes the vast majority of the
+//! tree on skewed graphs.
+//!
+//! Top-k keeps a min-heap of the k best scores and bounds against the
+//! heap minimum once full.
+
+use crate::metrics::Stats;
+use crate::sink::Biclique;
+use crate::task::TaskBuilder;
+use bigraph::BipartiteGraph;
+use std::collections::BinaryHeap;
+
+/// The maximum-edge maximal biclique, or `None` for edgeless graphs.
+pub fn maximum_edge_biclique(g: &BipartiteGraph) -> (Option<Biclique>, Stats) {
+    let (mut found, stats) = top_k_by_edges(g, 1);
+    (found.pop(), stats)
+}
+
+/// The `k` maximal bicliques with the most edges (`|L|·|R|`), best
+/// first. Ties are broken arbitrarily but deterministically.
+pub fn top_k_by_edges(g: &BipartiteGraph, k: usize) -> (Vec<Biclique>, Stats) {
+    let start = std::time::Instant::now();
+    let mut stats = Stats::default();
+    let mut search = Search { g, k, heap: BinaryHeap::new() };
+    if k > 0 {
+        let mut builder = TaskBuilder::new(g);
+        for v in 0..g.num_v() {
+            if let Some(task) = builder.build(v) {
+                stats.tasks += 1;
+                search.expand(&task.l0, &[], task.v, &task.p0, &task.q0, &mut stats);
+            }
+        }
+    }
+    let mut out: Vec<Biclique> = search.heap.into_iter().map(|e| e.biclique).collect();
+    out.sort_by_key(|b| std::cmp::Reverse(b.edges()));
+    stats.elapsed = start.elapsed();
+    (out, stats)
+}
+
+/// Heap entry ordered so `BinaryHeap` behaves as a *min*-heap on score:
+/// `peek` is the weakest incumbent, i.e. the pruning threshold.
+struct Entry {
+    score: usize,
+    biclique: Biclique,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.score.cmp(&self.score)
+    }
+}
+
+struct Search<'g> {
+    g: &'g BipartiteGraph,
+    k: usize,
+    heap: BinaryHeap<Entry>,
+}
+
+impl Search<'_> {
+    /// Current pruning threshold: the k-th best score so far.
+    fn threshold(&self) -> usize {
+        if self.heap.len() < self.k {
+            0
+        } else {
+            self.heap.peek().map_or(0, |e| e.score)
+        }
+    }
+
+    fn offer(&mut self, left: &[u32], right: &[u32]) {
+        let score = left.len() * right.len();
+        if self.heap.len() == self.k {
+            if score <= self.threshold() {
+                return;
+            }
+            self.heap.pop();
+        }
+        self.heap.push(Entry {
+            score,
+            biclique: Biclique { left: left.to_vec(), right: right.to_vec() },
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &mut self,
+        l_new: &[u32],
+        r_parent: &[u32],
+        v: u32,
+        untraversed: &[u32],
+        traversed: &[u32],
+        stats: &mut Stats,
+    ) {
+        // Bound: descendants keep L ⊆ L' and R ⊆ R' ∪ {v} ∪ C'.
+        let ub = l_new.len() * (r_parent.len() + 1 + untraversed.len());
+        if ub <= self.threshold() {
+            stats.bound_pruned += 1;
+            return;
+        }
+        stats.nodes += 1;
+        for &q in traversed {
+            if setops::is_subset(l_new, self.g.nbr_v(q)) {
+                stats.nonmaximal += 1;
+                return;
+            }
+        }
+        let mut absorbed: Vec<u32> = Vec::new();
+        let mut p_new: Vec<u32> = Vec::new();
+        for &w in untraversed {
+            let common = setops::intersect_count(l_new, self.g.nbr_v(w));
+            if common == l_new.len() {
+                absorbed.push(w);
+            } else if common > 0 {
+                p_new.push(w);
+            }
+        }
+        let mut r_new: Vec<u32> = Vec::with_capacity(r_parent.len() + 1 + absorbed.len());
+        r_new.extend_from_slice(r_parent);
+        r_new.push(v);
+        r_new.extend_from_slice(&absorbed);
+        r_new.sort_unstable();
+
+        self.offer(l_new, &r_new);
+        stats.emitted += 1;
+
+        let q_now_base: Vec<u32> = traversed
+            .iter()
+            .copied()
+            .filter(|&q| setops::intersect_first(self.g.nbr_v(q), l_new).is_some())
+            .collect();
+        let mut q_now = q_now_base;
+        let mut l_child = Vec::new();
+        for i in 0..p_new.len() {
+            let w = p_new[i];
+            setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
+            let l_child_owned = std::mem::take(&mut l_child);
+            self.expand(&l_child_owned, &r_new, w, &p_new[i + 1..], &q_now, stats);
+            l_child = l_child_owned;
+            q_now.push(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{collect_bicliques, MbeOptions};
+    use proptest::prelude::*;
+
+    fn g0() -> BipartiteGraph {
+        BipartiteGraph::from_edges(
+            5,
+            4,
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (1, 3),
+                (2, 1),
+                (3, 1),
+                (3, 2),
+                (3, 3),
+                (4, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn maximum_on_g0() {
+        // Three maximal bicliques of G0 have 6 edges (the maximum).
+        let (best, stats) = maximum_edge_biclique(&g0());
+        let best = best.expect("non-empty graph");
+        assert_eq!(best.edges(), 6);
+        assert!(stats.nodes > 0);
+    }
+
+    #[test]
+    fn top_k_ordering_and_truncation() {
+        let (top, _) = top_k_by_edges(&g0(), 3);
+        assert_eq!(top.len(), 3);
+        assert!(top.windows(2).all(|w| w[0].edges() >= w[1].edges()));
+        assert_eq!(top[0].edges(), 6);
+        // Requesting more than exist returns all six.
+        let (all, _) = top_k_by_edges(&g0(), 100);
+        assert_eq!(all.len(), 6);
+        // k = 0 is empty, no search performed.
+        let (none, stats) = top_k_by_edges(&g0(), 0);
+        assert!(none.is_empty());
+        assert_eq!(stats.nodes, 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::from_edges(3, 3, &[]).unwrap();
+        let (best, _) = maximum_edge_biclique(&g);
+        assert!(best.is_none());
+    }
+
+    #[test]
+    fn bound_pruning_fires_on_skewed_input() {
+        // A big planted block dwarfs everything; most branches should be
+        // cut against it.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for u in 0..8 {
+            for v in 0..8 {
+                edges.push((u, v));
+            }
+        }
+        for i in 0..20u32 {
+            edges.push((8 + i % 4, 8 + i));
+        }
+        let g = BipartiteGraph::from_edges(12, 28, &edges).unwrap();
+        let (best, stats) = maximum_edge_biclique(&g);
+        assert_eq!(best.expect("block exists").edges(), 64);
+        assert!(stats.bound_pruned > 0, "bound pruning never fired");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Top-k agrees with sorting the full enumeration.
+        #[test]
+        fn matches_full_enumeration(
+            edges in proptest::collection::vec((0u32..9, 0u32..8), 0..50),
+            k in 1usize..6,
+        ) {
+            let g = BipartiteGraph::from_edges(9, 8, &edges).unwrap();
+            let (top, _) = top_k_by_edges(&g, k);
+            let (all, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
+            let mut scores: Vec<usize> = all.iter().map(|b| b.edges()).collect();
+            scores.sort_unstable_by(|a, b| b.cmp(a));
+            let want: Vec<usize> = scores.into_iter().take(k).collect();
+            let got: Vec<usize> = top.iter().map(|b| b.edges()).collect();
+            prop_assert_eq!(got, want);
+            // Every returned biclique is genuinely maximal.
+            for b in &top {
+                prop_assert!(crate::verify::is_maximal_biclique(&g, &b.left, &b.right));
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Maximal biclique enumeration (MBE) with a prefix-tree core.
+//!
+//! This crate implements the algorithm family around **MBET**, the
+//! prefix-tree based MBE algorithm ("Maximal Biclique Enumeration: A Prefix
+//! Tree Based Approach", ICDE 2024 — see the workspace DESIGN.md for the
+//! reconstruction notes), together with the published baselines it is
+//! evaluated against and a work-stealing parallel driver.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bigraph::BipartiteGraph;
+//! use mbe::{collect_bicliques, Algorithm, MbeOptions};
+//!
+//! // A 2x2 complete block plus a pendant edge.
+//! let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]).unwrap();
+//! let opts = MbeOptions::new(Algorithm::Mbet);
+//! let (bicliques, stats) = collect_bicliques(&g, &opts).unwrap();
+//! assert_eq!(bicliques.len(), 2);
+//! assert_eq!(stats.emitted, 2);
+//! ```
+//!
+//! # Algorithms
+//!
+//! | [`Algorithm`] | Maximality check | Extras |
+//! |---|---|---|
+//! | `MineLmbc` | recompute `C(L')` and compare | literal "Algorithm 1" of the background literature |
+//! | `Mbea` | excluded-set (`Q`) subset scans | |
+//! | `Imbea` | excluded-set scans | candidates sorted by local degree per node |
+//! | `Mbet` | prefix-tree superset walk | equivalence batching + trie absorption ([`MbetConfig`]) |
+//!
+//! All algorithms emit exactly the same set of maximal bicliques — every
+//! maximal biclique `(L, R)` with both sides non-empty, each exactly once —
+//! which the test suite enforces against a brute-force reference
+//! ([`verify`]).
+//!
+//! # Conventions
+//!
+//! Enumeration explores subsets of the `V` side, so graphs should be
+//! [canonicalized](bigraph::BipartiteGraph::canonicalize) (`|U| ≥ |V|`)
+//! first for best performance — the library works either way. A
+//! [`VertexOrder`] is applied internally and
+//! emitted bicliques are reported in *original* vertex ids.
+
+pub mod baseline;
+pub mod extremal;
+pub mod filtered;
+pub mod mbet;
+pub mod metrics;
+pub mod parallel;
+pub mod progress;
+pub mod sink;
+pub mod task;
+pub mod verify;
+
+mod util;
+
+pub use extremal::{maximum_edge_biclique, top_k_by_edges};
+pub use filtered::{collect_filtered, enumerate_filtered, SizeThresholds};
+pub use metrics::Stats;
+pub use sink::{Biclique, BicliqueSink, CollectSink, CountSink, FnSink, TrieSink};
+
+use bigraph::order::VertexOrder;
+use bigraph::BipartiteGraph;
+
+/// Which enumeration engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// "Algorithm 1": no excluded set; maximality by recomputing `C(L')`.
+    MineLmbc,
+    /// Excluded-set based maximality (Zhang et al. 2014, MBEA).
+    Mbea,
+    /// MBEA plus per-node ascending local-degree candidate ordering.
+    Imbea,
+    /// The prefix-tree algorithm (the paper's contribution).
+    Mbet,
+}
+
+impl Algorithm {
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::MineLmbc => "MineLMBC",
+            Algorithm::Mbea => "MBEA",
+            Algorithm::Imbea => "iMBEA",
+            Algorithm::Mbet => "MBET",
+        }
+    }
+
+    /// All algorithms, in the order the experiment tables report them.
+    pub fn all() -> [Algorithm; 4] {
+        [Algorithm::MineLmbc, Algorithm::Mbea, Algorithm::Imbea, Algorithm::Mbet]
+    }
+}
+
+/// Feature toggles of the MBET engine, exposed for the E4 ablation.
+///
+/// With all three disabled the engine degenerates to MBEA (and the tests
+/// assert exactly that, node counts included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MbetConfig {
+    /// Expand one representative per group of candidates with identical
+    /// local neighborhoods (§3.2 of DESIGN.md).
+    pub batching: bool,
+    /// Answer the maximality question with one superset walk over the
+    /// excluded-vertex trie instead of per-`q` subset scans.
+    pub trie_maximality: bool,
+    /// Find the candidates absorbed into `R'` with one superset walk over
+    /// the candidate trie instead of per-candidate subset scans.
+    pub trie_absorption: bool,
+}
+
+impl Default for MbetConfig {
+    fn default() -> Self {
+        MbetConfig { batching: true, trie_maximality: true, trie_absorption: true }
+    }
+}
+
+/// Options shared by the serial and parallel entry points.
+#[derive(Debug, Clone)]
+pub struct MbeOptions {
+    /// Engine selection.
+    pub algorithm: Algorithm,
+    /// Ordering imposed on `V` before enumeration.
+    pub order: VertexOrder,
+    /// MBET feature toggles (ignored by other engines).
+    pub mbet: MbetConfig,
+    /// Worker threads for [`parallel`] entry points (0 = all cores).
+    pub threads: usize,
+    /// Load-aware splitting: root tasks with estimated enumeration-tree
+    /// height above this are split (parallel driver only).
+    pub split_height: usize,
+    /// Load-aware splitting: root tasks with estimated size above this are
+    /// split (parallel driver only).
+    pub split_size: usize,
+}
+
+impl MbeOptions {
+    /// Defaults matching the paper-style configuration: ascending-degree
+    /// order, all MBET features on, splitting thresholds (20, 1500).
+    pub fn new(algorithm: Algorithm) -> Self {
+        MbeOptions {
+            algorithm,
+            order: VertexOrder::AscendingDegree,
+            mbet: MbetConfig::default(),
+            threads: 0,
+            split_height: 20,
+            split_size: 1500,
+        }
+    }
+
+    /// Sets the vertex order.
+    pub fn order(mut self, order: VertexOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the MBET feature toggles.
+    pub fn mbet(mut self, cfg: MbetConfig) -> Self {
+        self.mbet = cfg;
+        self
+    }
+
+    /// Sets the worker-thread count for the parallel entry points.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+impl Default for MbeOptions {
+    fn default() -> Self {
+        MbeOptions::new(Algorithm::Mbet)
+    }
+}
+
+/// Enumerates all maximal bicliques of `g` into `sink`, serially.
+///
+/// The sink sees each maximal biclique exactly once, in a deterministic
+/// order for a fixed option set, with vertex ids in the *input* id space
+/// (orderings are applied and un-applied internally). Returns enumeration
+/// [`Stats`].
+pub fn enumerate<S: BicliqueSink>(g: &BipartiteGraph, opts: &MbeOptions, sink: &mut S) -> Stats {
+    let (h, perm) = bigraph::order::apply(g, opts.order);
+    let mut stats = Stats::default();
+    let start = std::time::Instant::now();
+    {
+        let mut mapped = sink::MapRight::new(sink, &perm);
+        let mut driver = task::SerialDriver::new(&h, opts);
+        driver.run_all(&mut mapped, &mut stats);
+    }
+    stats.elapsed = start.elapsed();
+    stats
+}
+
+/// Convenience wrapper: collects all maximal bicliques into a vector.
+///
+/// Returns `None` only if the callback-based machinery was stopped early,
+/// which cannot happen for this sink, so the result is always `Some`; the
+/// `Option` is kept for signature symmetry with size-limited collectors.
+pub fn collect_bicliques(
+    g: &BipartiteGraph,
+    opts: &MbeOptions,
+) -> Option<(Vec<Biclique>, Stats)> {
+    let mut sink = CollectSink::new();
+    let stats = enumerate(g, opts, &mut sink);
+    Some((sink.into_vec(), stats))
+}
+
+/// Convenience wrapper: counts maximal bicliques without storing them.
+pub fn count_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (u64, Stats) {
+    let mut sink = CountSink::default();
+    let stats = enumerate(g, opts, &mut sink);
+    (sink.count(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_builder() {
+        let o = MbeOptions::new(Algorithm::Imbea)
+            .order(VertexOrder::Natural)
+            .threads(4)
+            .mbet(MbetConfig { batching: false, ..Default::default() });
+        assert_eq!(o.algorithm, Algorithm::Imbea);
+        assert_eq!(o.order, VertexOrder::Natural);
+        assert_eq!(o.threads, 4);
+        assert!(!o.mbet.batching);
+        assert!(o.mbet.trie_maximality);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Algorithm::all().iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,627 @@
+//! The MBET engine: prefix-tree driven enumeration.
+//!
+//! Per enumeration node, the engine re-encodes every candidate's and
+//! excluded vertex's local neighborhood as ranks within the node's `L` and
+//! inserts them into two [`CandidateTrie`]s. The tries then answer the
+//! node's three hot questions structurally (DESIGN.md §3.2):
+//!
+//! 1. **Equivalence batching** — candidates landing on the same trie node
+//!    have identical local neighborhoods; only the smallest (the group
+//!    *representative*) is branched on, the rest are provably redundant.
+//!    The same argument deduplicates the excluded set, and, at the top
+//!    level, whole root tasks ([`crate::task::root_representatives`]).
+//! 2. **Maximality** — "is some excluded vertex adjacent to all of `L'`?"
+//!    is one superset walk over the excluded trie.
+//! 3. **Absorption** — "which candidates are adjacent to all of `L'`?" is
+//!    a key-length test, shared per group rather than per candidate.
+//!
+//! Each of the three is independently switchable via [`MbetConfig`]; with
+//! all three off the engine is branch-for-branch identical to MBEA, which
+//! the test suite asserts down to the node counters.
+//!
+//! The hot path is allocation-free in steady state: keys and member lists
+//! live in per-depth arenas (`Scratch`) that are reused across sibling
+//! nodes, and the only per-node allocation is the `R'` vector that must
+//! outlive the recursion.
+
+use crate::metrics::Stats;
+use crate::sink::BicliqueSink;
+use crate::task::RootTask;
+use crate::util;
+use crate::MbetConfig;
+use bigraph::BipartiteGraph;
+use ptree::CandidateTrie;
+
+/// A `(start, end)` range into one of the scratch arenas.
+type Span = (u32, u32);
+
+#[inline]
+fn slice(arena: &[u32], s: Span) -> &[u32] {
+    &arena[s.0 as usize..s.1 as usize]
+}
+
+/// One equivalence class of candidates at a node.
+#[derive(Clone, Copy)]
+struct Group {
+    /// Local neighborhood as ranks within the node's `L` (into `keyar`).
+    key: Span,
+    /// Members (into `memar`), unordered.
+    members: Span,
+    /// Smallest member — the branch representative.
+    rep: u32,
+}
+
+/// An excluded vertex with a non-empty local neighborhood.
+#[derive(Clone, Copy)]
+struct Excluded {
+    v: u32,
+    key: Span,
+}
+
+/// Per-depth scratch space, pooled so sibling nodes at the same depth
+/// reuse allocations.
+#[derive(Default)]
+struct Scratch {
+    ctrie_p: CandidateTrie,
+    ctrie_q: CandidateTrie,
+    /// Arena holding every group key and excluded key of this node.
+    keyar: Vec<u32>,
+    /// Arena holding every group's member list.
+    memar: Vec<u32>,
+    groups: Vec<Group>,
+    q_list: Vec<Excluded>,
+    ranks: Vec<u32>,
+    absorbed: Vec<u32>,
+    l_child: Vec<u32>,
+    child_p: Vec<u32>,
+    child_q: Vec<u32>,
+}
+
+/// The prefix-tree enumeration engine.
+pub struct MbetEngine<'g> {
+    g: &'g BipartiteGraph,
+    cfg: MbetConfig,
+    pool: Vec<Scratch>,
+    /// Peak candidate-trie node count across the run (memory metric).
+    peak_trie_nodes: usize,
+}
+
+impl<'g> MbetEngine<'g> {
+    /// An engine over `g` with feature toggles `cfg`.
+    pub fn new(g: &'g BipartiteGraph, cfg: MbetConfig) -> Self {
+        MbetEngine { g, cfg, pool: Vec::new(), peak_trie_nodes: 0 }
+    }
+
+    /// Largest candidate-trie (nodes) observed, a proxy for the working-set
+    /// memory of the prefix-tree machinery.
+    pub fn peak_trie_nodes(&self) -> usize {
+        self.peak_trie_nodes
+    }
+
+    /// Runs one root task. Returns `false` iff the sink requested a stop.
+    pub fn run_task(
+        &mut self,
+        task: &RootTask,
+        sink: &mut dyn BicliqueSink,
+        stats: &mut Stats,
+    ) -> bool {
+        self.expand(0, &task.l0, &[], task.v, &task.p0, &task.q0, sink, stats)
+    }
+
+    /// Runs an arbitrary unchecked node (used by the parallel driver's
+    /// split tasks). Semantics identical to [`Self::run_task`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_node(
+        &mut self,
+        l: &[u32],
+        r_parent: &[u32],
+        v: u32,
+        p: &[u32],
+        q: &[u32],
+        sink: &mut dyn BicliqueSink,
+        stats: &mut Stats,
+    ) -> bool {
+        self.expand(0, l, r_parent, v, p, q, sink, stats)
+    }
+
+    /// Expands the node reached by traversing `v`: `l_new` is already the
+    /// child's `L`. Mirrors `BaselineEngine::expand` but runs the node
+    /// body through the tries.
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &mut self,
+        depth: usize,
+        l_new: &[u32],
+        r_parent: &[u32],
+        v: u32,
+        untraversed: &[u32],
+        traversed: &[u32],
+        sink: &mut dyn BicliqueSink,
+        stats: &mut Stats,
+    ) -> bool {
+        debug_assert!(!l_new.is_empty());
+
+        // Hybrid fast path: below a handful of candidates the trie's
+        // bookkeeping cannot pay for itself — plain scans win. The same
+        // trade-off the literature makes for its representation threshold.
+        if untraversed.len() <= SMALL_NODE_CANDIDATES {
+            return self.expand_small(
+                depth, l_new, r_parent, v, untraversed, traversed, sink, stats,
+            );
+        }
+        stats.nodes += 1;
+
+        if self.pool.len() <= depth {
+            self.pool.resize_with(depth + 1, Scratch::default);
+        }
+        let mut s = std::mem::take(&mut self.pool[depth]);
+        s.ctrie_p.clear();
+        s.ctrie_q.clear();
+        s.keyar.clear();
+        s.memar.clear();
+        s.groups.clear();
+        s.q_list.clear();
+
+        // ---- Excluded vertices: key them, dedupe equivalents, and check
+        // this node's maximality along the way.
+        let mut covered = false;
+        for &q in traversed {
+            util::intersect_ranks(self.g.nbr_v(q), l_new, &mut s.ranks);
+            if s.ranks.is_empty() {
+                continue; // can never cover any L'' ⊆ L'
+            }
+            if s.ranks.len() == l_new.len() {
+                covered = true; // q adjacent to all of L'
+                break;
+            }
+            let existed = if self.cfg.trie_maximality || self.cfg.batching {
+                s.ctrie_q.insert(&s.ranks, q)
+            } else {
+                false
+            };
+            if !(existed && self.cfg.batching) {
+                let start = s.keyar.len() as u32;
+                s.keyar.extend_from_slice(&s.ranks);
+                s.q_list.push(Excluded { v: q, key: (start, s.keyar.len() as u32) });
+            }
+        }
+        if covered {
+            stats.nonmaximal += 1;
+            self.pool[depth] = s;
+            return true;
+        }
+
+        // ---- Candidates: trie-group them by local neighborhood.
+        for &w in untraversed {
+            util::intersect_ranks(self.g.nbr_v(w), l_new, &mut s.ranks);
+            if s.ranks.is_empty() {
+                continue;
+            }
+            s.ctrie_p.insert(&s.ranks, w);
+        }
+        self.peak_trie_nodes = self.peak_trie_nodes.max(s.ctrie_p.node_count());
+        {
+            let groups = &mut s.groups;
+            let keyar = &mut s.keyar;
+            let memar = &mut s.memar;
+            let batching = self.cfg.batching;
+            s.ctrie_p.for_each_group(|key, members| {
+                let kstart = keyar.len() as u32;
+                keyar.extend_from_slice(key);
+                let kspan = (kstart, keyar.len() as u32);
+                if batching {
+                    let mstart = memar.len() as u32;
+                    memar.extend_from_slice(members);
+                    let rep = members.iter().copied().min().expect("non-empty group");
+                    groups.push(Group { key: kspan, members: (mstart, memar.len() as u32), rep });
+                } else {
+                    // Ablation mode: one singleton group per candidate so
+                    // the branch structure matches MBEA exactly.
+                    for &w in members {
+                        let mstart = memar.len() as u32;
+                        memar.push(w);
+                        groups.push(Group {
+                            key: kspan,
+                            members: (mstart, memar.len() as u32),
+                            rep: w,
+                        });
+                    }
+                }
+            });
+        }
+        // Process groups in representative-id order (determinism and
+        // equivalence with the baselines' candidate order).
+        s.groups.sort_unstable_by_key(|grp| grp.rep);
+
+        // ---- Absorption for *this* node: candidates adjacent to all of
+        // L' go straight into R'. Their key is the full rank range
+        // 0..|L'|, so full coverage is a length test, paid once per group.
+        s.absorbed.clear();
+        {
+            let memar = &s.memar;
+            let absorbed = &mut s.absorbed;
+            let full_len = l_new.len() as u32;
+            s.groups.retain(|grp| {
+                if grp.key.1 - grp.key.0 == full_len {
+                    absorbed.extend_from_slice(slice(memar, grp.members));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        stats.absorbed += s.absorbed.len() as u64;
+
+        // R' must outlive the recursion below: one true allocation per
+        // emitted biclique.
+        let mut r_new: Vec<u32> = Vec::with_capacity(r_parent.len() + 1 + s.absorbed.len());
+        r_new.extend_from_slice(r_parent);
+        r_new.push(v);
+        r_new.extend_from_slice(&s.absorbed);
+        r_new.sort_unstable();
+
+        if !sink.emit(l_new, &r_new) {
+            self.pool[depth] = s;
+            return false;
+        }
+        stats.emitted += 1;
+
+        // ---- Branch on each group representative.
+        let mut stop = false;
+        for gi in 0..s.groups.len() {
+            let grp = s.groups[gi];
+            let key = slice(&s.keyar, grp.key);
+            let n_members = (grp.members.1 - grp.members.0) as u64;
+            stats.batched += n_members - 1;
+
+            // Maximality of the child: some excluded vertex adjacent to
+            // all of L'' = unrank(key)?
+            let non_maximal = if self.cfg.trie_maximality {
+                s.ctrie_q.any_superset(key)
+            } else {
+                s.q_list
+                    .iter()
+                    .any(|q| setops::is_subset(key, slice(&s.keyar, q.key)))
+            };
+            if non_maximal {
+                // A branch attempt that dies at the check — counted as a
+                // node so `nodes = emitted + nonmaximal` holds for every
+                // engine (the child `expand` is never entered).
+                stats.nodes += 1;
+                stats.nonmaximal += 1;
+            } else {
+                util::unrank(l_new, key, &mut s.l_child);
+
+                // Child's candidate universe: the rest of this group
+                // (equivalent to the representative, hence adjacent to all
+                // of L'' — the child's full-coverage scan absorbs them into
+                // its R'), plus members of later groups whose key shares a
+                // rank with this key (the rest die at the child anyway).
+                s.child_p.clear();
+                s.child_p.extend(
+                    slice(&s.memar, grp.members).iter().copied().filter(|&w| w != grp.rep),
+                );
+                if self.cfg.trie_absorption {
+                    // Per-group (not per-member) rank test.
+                    for later in &s.groups[gi + 1..] {
+                        if rank_keys_intersect(slice(&s.keyar, later.key), key) {
+                            s.child_p.extend_from_slice(slice(&s.memar, later.members));
+                        }
+                    }
+                } else {
+                    for later in &s.groups[gi + 1..] {
+                        for &w in slice(&s.memar, later.members) {
+                            if setops::intersect_first(self.g.nbr_v(w), &s.l_child).is_some() {
+                                s.child_p.push(w);
+                            }
+                        }
+                    }
+                }
+                s.child_p.sort_unstable();
+
+                s.child_q.clear();
+                s.child_q.extend(
+                    s.q_list
+                        .iter()
+                        .filter(|q| rank_keys_intersect(slice(&s.keyar, q.key), key))
+                        .map(|q| q.v),
+                );
+
+                // Move the buffers out for the recursive call (the child
+                // works in pool[depth + 1]); restore afterwards.
+                let l_child = std::mem::take(&mut s.l_child);
+                let child_p = std::mem::take(&mut s.child_p);
+                let child_q = std::mem::take(&mut s.child_q);
+                let cont = self.expand(
+                    depth + 1,
+                    &l_child,
+                    &r_new,
+                    grp.rep,
+                    &child_p,
+                    &child_q,
+                    sink,
+                    stats,
+                );
+                s.l_child = l_child;
+                s.child_p = child_p;
+                s.child_q = child_q;
+                if !cont {
+                    stop = true;
+                    break;
+                }
+            }
+
+            // The representative becomes excluded for later groups.
+            let existed = if self.cfg.trie_maximality || self.cfg.batching {
+                s.ctrie_q.insert(key, grp.rep)
+            } else {
+                false
+            };
+            if !(existed && self.cfg.batching) {
+                s.q_list.push(Excluded { v: grp.rep, key: grp.key });
+            }
+        }
+
+        self.pool[depth] = s;
+        !stop
+    }
+}
+
+/// `true` iff two sorted rank keys share an element.
+fn rank_keys_intersect(a: &[u32], b: &[u32]) -> bool {
+    setops::intersect_first(a, b).is_some()
+}
+
+/// Candidate count at or below which [`MbetEngine::expand`] switches to
+/// plain scans. Chosen empirically on the benchmark analogues (see the
+/// E4 ablation); the enumeration *result* is unaffected by the value.
+const SMALL_NODE_CANDIDATES: usize = 4;
+
+impl MbetEngine<'_> {
+    /// Scan-based node processing for small candidate sets. Identical
+    /// semantics (and counter accounting) to `BaselineEngine`'s MBEA
+    /// path, but recursing back into [`Self::expand`] so larger
+    /// descendants regain the trie machinery.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_small(
+        &mut self,
+        depth: usize,
+        l_new: &[u32],
+        r_parent: &[u32],
+        v: u32,
+        untraversed: &[u32],
+        traversed: &[u32],
+        sink: &mut dyn BicliqueSink,
+        stats: &mut Stats,
+    ) -> bool {
+        stats.nodes += 1;
+        for &q in traversed {
+            if setops::is_subset(l_new, self.g.nbr_v(q)) {
+                stats.nonmaximal += 1;
+                return true;
+            }
+        }
+        let mut absorbed: Vec<u32> = Vec::new();
+        let mut p_new: Vec<u32> = Vec::new();
+        for &w in untraversed {
+            let common = setops::intersect_count(l_new, self.g.nbr_v(w));
+            if common == l_new.len() {
+                absorbed.push(w);
+            } else if common > 0 {
+                p_new.push(w);
+            }
+        }
+        stats.absorbed += absorbed.len() as u64;
+        let mut r_new: Vec<u32> = Vec::with_capacity(r_parent.len() + 1 + absorbed.len());
+        r_new.extend_from_slice(r_parent);
+        r_new.push(v);
+        r_new.extend_from_slice(&absorbed);
+        r_new.sort_unstable();
+        if !sink.emit(l_new, &r_new) {
+            return false;
+        }
+        stats.emitted += 1;
+        if p_new.is_empty() {
+            return true;
+        }
+        let mut q_now: Vec<u32> = traversed
+            .iter()
+            .copied()
+            .filter(|&q| setops::intersect_first(self.g.nbr_v(q), l_new).is_some())
+            .collect();
+        let mut l_child = Vec::new();
+        for i in 0..p_new.len() {
+            let w = p_new[i];
+            setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
+            let l_child_owned = std::mem::take(&mut l_child);
+            if !self.expand(
+                depth + 1,
+                &l_child_owned,
+                &r_new,
+                w,
+                &p_new[i + 1..],
+                &q_now,
+                sink,
+                stats,
+            ) {
+                return false;
+            }
+            l_child = l_child_owned;
+            q_now.push(w);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use crate::task::TaskBuilder;
+    use crate::{Algorithm, Biclique};
+
+    fn g0() -> BipartiteGraph {
+        BipartiteGraph::from_edges(
+            5,
+            4,
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (1, 3),
+                (2, 1),
+                (3, 1),
+                (3, 2),
+                (3, 3),
+                (4, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn run_mbet(g: &BipartiteGraph, cfg: MbetConfig) -> (Vec<Biclique>, Stats) {
+        let mut sink = CollectSink::new();
+        let mut stats = Stats::default();
+        let mut builder = TaskBuilder::new(g);
+        let mut engine = MbetEngine::new(g, cfg);
+        for v in 0..g.num_v() {
+            if let Some(t) = builder.build(v) {
+                assert!(engine.run_task(&t, &mut sink, &mut stats));
+            }
+        }
+        let mut out = sink.into_vec();
+        out.sort();
+        (out, stats)
+    }
+
+    #[test]
+    fn g0_six_bicliques_all_configs() {
+        let g = g0();
+        for batching in [false, true] {
+            for trie_maximality in [false, true] {
+                for trie_absorption in [false, true] {
+                    let cfg = MbetConfig { batching, trie_maximality, trie_absorption };
+                    let (bicliques, stats) = run_mbet(&g, cfg);
+                    assert_eq!(bicliques.len(), 6, "{cfg:?}");
+                    assert_eq!(stats.emitted, 6, "{cfg:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mbet_matches_mbea_counters_when_disabled() {
+        let g = g0();
+        let cfg =
+            MbetConfig { batching: false, trie_maximality: false, trie_absorption: false };
+        let (got, mbet_stats) = run_mbet(&g, cfg);
+
+        let mut sink = CollectSink::new();
+        let mut mbea_stats = Stats::default();
+        let mut builder = TaskBuilder::new(&g);
+        let mut engine = crate::baseline::BaselineEngine::new(&g, Algorithm::Mbea);
+        for v in 0..g.num_v() {
+            if let Some(t) = builder.build(v) {
+                engine.run_task(&t, &mut sink, &mut mbea_stats);
+            }
+        }
+        let mut want = sink.into_vec();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(mbet_stats.nodes, mbea_stats.nodes);
+        assert_eq!(mbet_stats.nonmaximal, mbea_stats.nonmaximal);
+        assert_eq!(mbet_stats.emitted, mbea_stats.emitted);
+    }
+
+    #[test]
+    fn batching_reduces_work_on_duplicated_neighborhoods() {
+        // v0 sees {u0,u1,u2}; v1..v5 all see exactly {u0,u1} — one
+        // equivalence class of five candidates inside v0's subtree.
+        let mut edges = vec![(0u32, 0u32), (1, 0), (2, 0)];
+        for v in 1..=5 {
+            edges.push((0, v));
+            edges.push((1, v));
+        }
+        let g = BipartiteGraph::from_edges(3, 6, &edges).unwrap();
+        let (b_on, s_on) = run_mbet(&g, MbetConfig::default());
+        let (b_off, s_off) =
+            run_mbet(&g, MbetConfig { batching: false, ..Default::default() });
+        assert_eq!(b_on, b_off);
+        // Two maximal bicliques: ({u0,u1,u2},{v0}) and ({u0,u1},{v0..v5}).
+        assert_eq!(b_on.len(), 2);
+        assert!(b_on.iter().any(|b| b.left == [0, 1] && b.right == [0, 1, 2, 3, 4, 5]));
+        assert_eq!(s_on.batched, 4, "five equivalent candidates, one branch");
+        assert!(s_on.nodes + s_on.nonmaximal < s_off.nodes + s_off.nonmaximal);
+    }
+
+    #[test]
+    fn equivalent_partial_candidates_all_join_r() {
+        // Regression: non-representative members of the expanded group
+        // must end up in the child's R even though only the rep branches.
+        let edges =
+            vec![(0u32, 0u32), (1, 0), (2, 0), (0, 1), (1, 1), (0, 2), (1, 2)];
+        let g = BipartiteGraph::from_edges(3, 3, &edges).unwrap();
+        let (bicliques, _) = run_mbet(&g, MbetConfig::default());
+        crate::verify::assert_matches_brute_force(&g, &bicliques);
+        assert!(bicliques.iter().any(|b| b.left == [0, 1] && b.right == [0, 1, 2]));
+    }
+
+    #[test]
+    fn stop_requested_mid_run() {
+        let g = g0();
+        let mut stats = Stats::default();
+        let mut n = 0;
+        let mut sink = crate::FnSink(|_: &[u32], _: &[u32]| {
+            n += 1;
+            false
+        });
+        let mut builder = TaskBuilder::new(&g);
+        let mut engine = MbetEngine::new(&g, MbetConfig::default());
+        let t = builder.build(0).unwrap();
+        assert!(!engine.run_task(&t, &mut sink, &mut stats));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn peak_trie_nodes_is_tracked() {
+        // Needs a node with more candidates than the small-node fast-path
+        // threshold, or no trie is ever built: one root vertex whose
+        // 2-hop universe has 8 partially-overlapping candidates.
+        let mut edges = vec![(0u32, 0u32), (1, 0), (2, 0), (3, 0)];
+        for v in 1..=8u32 {
+            edges.push((v % 4, v));
+            edges.push(((v + 1) % 4, v));
+        }
+        let g = BipartiteGraph::from_edges(4, 9, &edges).unwrap();
+        let mut engine = MbetEngine::new(&g, MbetConfig::default());
+        let mut sink = CollectSink::new();
+        let mut stats = Stats::default();
+        let mut builder = TaskBuilder::new(&g);
+        for v in 0..g.num_v() {
+            if let Some(t) = builder.build(v) {
+                engine.run_task(&t, &mut sink, &mut stats);
+            }
+        }
+        assert!(engine.peak_trie_nodes() > 1);
+        crate::verify::assert_matches_brute_force(&g, &sink.into_vec());
+    }
+
+    #[test]
+    fn fast_path_threshold_boundary() {
+        // Graphs straddling the SMALL_NODE_CANDIDATES boundary must agree
+        // with brute force regardless of which path handles the root.
+        for extra in 0..=(2 * SMALL_NODE_CANDIDATES as u32) {
+            let mut edges = vec![(0u32, 0u32), (1, 0)];
+            for v in 1..=(1 + extra) {
+                edges.push((v % 3, v));
+                edges.push(((v + 1) % 3, v));
+            }
+            let g = BipartiteGraph::from_edges(3, 2 + extra, &edges).unwrap();
+            let (bicliques, _) = run_mbet(&g, MbetConfig::default());
+            crate::verify::assert_matches_brute_force(&g, &bicliques);
+        }
+    }
+}

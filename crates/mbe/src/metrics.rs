@@ -1,0 +1,103 @@
+//! Enumeration counters.
+//!
+//! These counters regenerate the analysis columns of the paper-style
+//! experiments: the ratio of non-maximal to maximal nodes (E3), the
+//! batching savings of the prefix tree (E4), and per-task load figures
+//! (E8). They are plain integers threaded through the engines by `&mut`,
+//! so measuring costs nothing beyond the increments themselves.
+
+use std::time::Duration;
+
+/// Counters accumulated over one enumeration run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Enumeration nodes expanded (branches actually recursed into).
+    pub nodes: u64,
+    /// Maximal bicliques emitted (α in the papers' tables).
+    pub emitted: u64,
+    /// Branches discarded by the maximality check (δ in the papers'
+    /// tables; the reported ratio is `nonmaximal / emitted`).
+    pub nonmaximal: u64,
+    /// Candidates skipped because an equivalent representative was already
+    /// expanded (MBET batching only).
+    pub batched: u64,
+    /// Candidates absorbed into `R'` without branching.
+    pub absorbed: u64,
+    /// Root tasks processed.
+    pub tasks: u64,
+    /// Branches cut by size/bound pruning (filtered and extremal search
+    /// only; always 0 for plain enumeration).
+    pub bound_pruned: u64,
+    /// Wall-clock time of the run (set by the entry points).
+    pub elapsed: Duration,
+}
+
+impl Stats {
+    /// `δ/α`: generated non-maximal branches per maximal biclique. The
+    /// pruning-effectiveness metric of experiment E3.
+    pub fn nonmaximal_ratio(&self) -> f64 {
+        if self.emitted == 0 {
+            0.0
+        } else {
+            self.nonmaximal as f64 / self.emitted as f64
+        }
+    }
+
+    /// Merges another run's counters into this one (used by the parallel
+    /// driver; `elapsed` takes the max since threads run concurrently).
+    pub fn merge(&mut self, other: &Stats) {
+        self.nodes += other.nodes;
+        self.emitted += other.emitted;
+        self.nonmaximal += other.nonmaximal;
+        self.batched += other.batched;
+        self.absorbed += other.absorbed;
+        self.tasks += other.tasks;
+        self.bound_pruned += other.bound_pruned;
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_emissions() {
+        assert_eq!(Stats::default().nonmaximal_ratio(), 0.0);
+        let s = Stats { emitted: 4, nonmaximal: 6, ..Default::default() };
+        assert!((s.nonmaximal_ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = Stats {
+            nodes: 1,
+            emitted: 2,
+            nonmaximal: 3,
+            batched: 4,
+            absorbed: 5,
+            tasks: 6,
+            bound_pruned: 7,
+            elapsed: Duration::from_millis(10),
+        };
+        let b = Stats {
+            nodes: 10,
+            emitted: 20,
+            nonmaximal: 30,
+            batched: 40,
+            absorbed: 50,
+            tasks: 60,
+            bound_pruned: 70,
+            elapsed: Duration::from_millis(5),
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes, 11);
+        assert_eq!(a.emitted, 22);
+        assert_eq!(a.nonmaximal, 33);
+        assert_eq!(a.batched, 44);
+        assert_eq!(a.absorbed, 55);
+        assert_eq!(a.tasks, 66);
+        assert_eq!(a.bound_pruned, 77);
+        assert_eq!(a.elapsed, Duration::from_millis(10));
+    }
+}

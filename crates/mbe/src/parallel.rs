@@ -1,0 +1,382 @@
+//! Work-stealing parallel driver with load-aware task splitting.
+//!
+//! Root tasks (one per right vertex, see [`crate::task`]) are distributed
+//! over a crossbeam work-stealing pool. Real bipartite graphs are
+//! power-law skewed, so a handful of root tasks can dominate the runtime;
+//! following the load-aware scheme of the parallel MBE literature, a task
+//! whose estimated enumeration-tree size `min(|L|,|C|)·|C|` exceeds
+//! `opts.split_size` (and whose height bound exceeds `opts.split_height`)
+//! is *split*: the worker processes just that node — emitting its biclique
+//! — and enqueues each child branch as an independent task. Splitting
+//! recurses until estimates fall under the bounds, so no worker is left
+//! holding a monolithic subtree while others idle.
+//!
+//! Every worker owns a private engine (scratch reuse) and a private sink;
+//! per-worker sinks and [`Stats`] are returned to the caller for merging.
+
+use crate::metrics::Stats;
+use crate::sink::{Biclique, BicliqueSink, CollectSink, CountSink};
+use crate::task::{root_representatives, AnyEngine, RootTask, TaskBuilder};
+use crate::{Algorithm, MbeOptions};
+use bigraph::BipartiteGraph;
+use crossbeam::deque::{Injector, Steal, Worker};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A unit of parallel work.
+///
+/// Roots are shipped as bare vertex ids — the 1-hop/2-hop universe is
+/// computed by the worker that picks the task up, so that this heavy part
+/// of the preprocessing parallelizes too. Splitting produces explicit
+/// [`NodeTask`]s.
+enum Task {
+    Root(u32),
+    Node(NodeTask),
+}
+
+/// An unchecked enumeration node shipped between workers.
+#[derive(Debug, Clone)]
+struct NodeTask {
+    /// `L` of the node (already intersected with `N(v)`).
+    l: Vec<u32>,
+    /// `R` of the parent (the node's own `R` adds `v` and absorptions).
+    r_parent: Vec<u32>,
+    /// The vertex whose traversal created this node.
+    v: u32,
+    /// Remaining candidates of the parent.
+    p: Vec<u32>,
+    /// Excluded vertices relevant to this node.
+    q: Vec<u32>,
+}
+
+impl NodeTask {
+    fn from_root(t: RootTask) -> Self {
+        NodeTask { l: t.l0, r_parent: Vec::new(), v: t.v, p: t.p0, q: t.q0 }
+    }
+
+    fn est_height(&self) -> usize {
+        self.l.len().min(self.p.len())
+    }
+
+    fn est_size(&self) -> usize {
+        self.est_height().saturating_mul(self.p.len())
+    }
+
+    fn should_split(&self, opts: &MbeOptions) -> bool {
+        self.est_height() > opts.split_height && self.est_size() > opts.split_size
+    }
+}
+
+/// Runs the configured algorithm over `g` with `opts.threads` workers
+/// (0 = all available cores). `make_sink(worker_index)` builds one sink
+/// per worker; the sinks and the merged stats are returned.
+///
+/// Emission *order* is nondeterministic, the emitted *set* is not.
+pub fn par_enumerate_with<S, F>(g: &BipartiteGraph, opts: &MbeOptions, make_sink: F) -> (Vec<S>, Stats)
+where
+    S: BicliqueSink + Send,
+    F: Fn(usize) -> S + Sync,
+{
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        opts.threads
+    };
+
+    let (h, perm) = bigraph::order::apply(g, opts.order);
+    let start = std::time::Instant::now();
+
+    let injector: Injector<Task> = Injector::new();
+    let pending = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+
+    // Seed with bare root ids (respecting MBET root batching); workers
+    // compute the 2-hop universes themselves so preprocessing scales too.
+    let batch_roots = opts.algorithm == Algorithm::Mbet && opts.mbet.batching;
+    let reps = if batch_roots { Some(root_representatives(&h)) } else { None };
+    let mut seed_stats = Stats::default();
+    for v in 0..h.num_v() {
+        if let Some(reps) = &reps {
+            if !reps[v as usize] {
+                seed_stats.batched += 1;
+                continue;
+            }
+        }
+        if !h.nbr_v(v).is_empty() {
+            pending.fetch_add(1, Ordering::SeqCst);
+            injector.push(Task::Root(v));
+        }
+    }
+
+    let workers: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<_> = workers.iter().map(|w| w.stealer()).collect();
+
+    let mut results: Vec<Option<(S, Stats)>> = (0..threads).map(|_| None).collect();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (wid, (local, slot)) in workers.into_iter().zip(results.iter_mut()).enumerate() {
+            let injector = &injector;
+            let stealers = &stealers;
+            let pending = &pending;
+            let stop = &stop;
+            let h = &h;
+            let perm = &perm[..];
+            let make_sink = &make_sink;
+            let handle = scope
+                .builder()
+                .name(format!("mbe-worker-{wid}"))
+                .stack_size(64 << 20) // deep R-chains recurse; be generous
+                .spawn(move |_| {
+                    let mut sink = make_sink(wid);
+                    let mut stats = Stats::default();
+                    let mut engine = AnyEngine::new(h, opts);
+                    worker_loop(
+                        wid, h, perm, opts, &local, injector, stealers, pending, stop,
+                        &mut engine, &mut sink, &mut stats,
+                    );
+                    *slot = Some((sink, stats));
+                })
+                .expect("spawn worker");
+            handles.push(handle);
+        }
+        for hdl in handles {
+            hdl.join().expect("worker panicked");
+        }
+    })
+    .expect("scope");
+
+    let mut stats = seed_stats;
+    let mut sinks = Vec::with_capacity(threads);
+    for r in results {
+        let (s, st) = r.expect("every worker reports");
+        stats.merge(&st);
+        sinks.push(s);
+    }
+    stats.elapsed = start.elapsed();
+    (sinks, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<S: BicliqueSink>(
+    _wid: usize,
+    h: &BipartiteGraph,
+    perm: &[u32],
+    opts: &MbeOptions,
+    local: &Worker<Task>,
+    injector: &Injector<Task>,
+    stealers: &[crossbeam::deque::Stealer<Task>],
+    pending: &AtomicU64,
+    stop: &AtomicBool,
+    engine: &mut AnyEngine<'_>,
+    sink: &mut S,
+    stats: &mut Stats,
+) {
+    let mut split_buf: Vec<NodeTask> = Vec::new();
+    let mut builder = TaskBuilder::new(h);
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let task = local.pop().or_else(|| {
+            std::iter::repeat_with(|| {
+                injector
+                    .steal_batch_and_pop(local)
+                    .or_else(|| stealers.iter().map(|s| s.steal()).collect())
+            })
+            .find(|s| !matches!(s, Steal::Retry))
+            .and_then(|s| s.success())
+        });
+        let Some(task) = task else {
+            if pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            std::thread::yield_now();
+            continue;
+        };
+
+        let task = match task {
+            Task::Node(t) => Some(t),
+            Task::Root(v) => builder.build(v).map(NodeTask::from_root),
+        };
+        let keep_going = match task {
+            None => true, // isolated root — nothing to do
+            Some(task) => {
+                stats.tasks += 1;
+                let mut mapped = crate::sink::map_right(sink, perm);
+                if task.should_split(opts) {
+                    split_buf.clear();
+                    let cont = split_node(h, &task, &mut mapped, stats, &mut split_buf);
+                    pending.fetch_add(split_buf.len() as u64, Ordering::SeqCst);
+                    for child in split_buf.drain(..) {
+                        injector.push(Task::Node(child));
+                    }
+                    cont
+                } else {
+                    engine.run_node(
+                        &task.l,
+                        &task.r_parent,
+                        task.v,
+                        &task.p,
+                        &task.q,
+                        &mut mapped,
+                        stats,
+                    )
+                }
+            }
+        };
+        pending.fetch_sub(1, Ordering::SeqCst);
+        if !keep_going {
+            stop.store(true, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// Processes one node — check, absorb, emit — and pushes its children as
+/// tasks instead of recursing. Engine-agnostic (MBEA-style scans): split
+/// nodes are rare, fan-out dominates their cost.
+fn split_node(
+    g: &BipartiteGraph,
+    t: &NodeTask,
+    sink: &mut dyn BicliqueSink,
+    stats: &mut Stats,
+    out: &mut Vec<NodeTask>,
+) -> bool {
+    stats.nodes += 1;
+    for &q in &t.q {
+        if setops::is_subset(&t.l, g.nbr_v(q)) {
+            stats.nonmaximal += 1;
+            return true;
+        }
+    }
+    let mut absorbed = Vec::new();
+    let mut p_new = Vec::new();
+    for &w in &t.p {
+        let common = setops::intersect_count(&t.l, g.nbr_v(w));
+        if common == t.l.len() {
+            absorbed.push(w);
+        } else if common > 0 {
+            p_new.push(w);
+        }
+    }
+    stats.absorbed += absorbed.len() as u64;
+    let mut r_new = Vec::with_capacity(t.r_parent.len() + 1 + absorbed.len());
+    r_new.extend_from_slice(&t.r_parent);
+    r_new.push(t.v);
+    r_new.extend_from_slice(&absorbed);
+    r_new.sort_unstable();
+    if !sink.emit(&t.l, &r_new) {
+        return false;
+    }
+    stats.emitted += 1;
+
+    let q_base: Vec<u32> = t
+        .q
+        .iter()
+        .copied()
+        .filter(|&q| setops::intersect_first(g.nbr_v(q), &t.l).is_some())
+        .collect();
+    let mut q_now = q_base;
+    let mut l_child = Vec::new();
+    for i in 0..p_new.len() {
+        let w = p_new[i];
+        setops::intersect_into(&t.l, g.nbr_v(w), &mut l_child);
+        out.push(NodeTask {
+            l: l_child.clone(),
+            r_parent: r_new.clone(),
+            v: w,
+            p: p_new[i + 1..].to_vec(),
+            q: q_now.clone(),
+        });
+        q_now.push(w);
+    }
+    true
+}
+
+/// Parallel collection of all maximal bicliques (unsorted).
+pub fn par_collect_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (Vec<Biclique>, Stats) {
+    let (sinks, stats) = par_enumerate_with(g, opts, |_| CollectSink::new());
+    let mut all = Vec::new();
+    for s in sinks {
+        all.extend(s.into_vec());
+    }
+    (all, stats)
+}
+
+/// Parallel count of maximal bicliques.
+pub fn par_count_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (u64, Stats) {
+    let (sinks, stats) = par_enumerate_with(g, opts, |_| CountSink::default());
+    (sinks.iter().map(|s| s.count()).sum(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g0() -> BipartiteGraph {
+        BipartiteGraph::from_edges(
+            5,
+            4,
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (1, 3),
+                (2, 1),
+                (3, 1),
+                (3, 2),
+                (3, 3),
+                (4, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_g0() {
+        let g = g0();
+        for alg in Algorithm::all() {
+            let opts = MbeOptions::new(alg).threads(3);
+            let (mut par, _) = par_collect_bicliques(&g, &opts);
+            par.sort();
+            let (ser, _) = crate::collect_bicliques(&g, &opts).unwrap();
+            let mut ser = ser;
+            ser.sort();
+            assert_eq!(par, ser, "{alg:?}");
+            assert_eq!(par.len(), 6);
+        }
+    }
+
+    #[test]
+    fn forced_splitting_is_correct() {
+        let g = g0();
+        // Absurdly low bounds force every splittable node to split.
+        let mut opts = MbeOptions::new(Algorithm::Mbet).threads(2);
+        opts.split_height = 0;
+        opts.split_size = 0;
+        let (mut par, stats) = par_collect_bicliques(&g, &opts);
+        par.sort();
+        crate::verify::assert_matches_brute_force(&g, &par);
+        assert_eq!(stats.emitted, 6);
+    }
+
+    #[test]
+    fn single_thread_parallel_matches() {
+        let g = g0();
+        let opts = MbeOptions::new(Algorithm::Imbea).threads(1);
+        let (count, _) = par_count_bicliques(&g, &opts);
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn empty_graph_parallel() {
+        let g = BipartiteGraph::from_edges(4, 4, &[]).unwrap();
+        let opts = MbeOptions::new(Algorithm::Mbet).threads(2);
+        let (count, stats) = par_count_bicliques(&g, &opts);
+        assert_eq!(count, 0);
+        assert_eq!(stats.emitted, 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Biclique consumers.
+//!
+//! Engines hand each maximal biclique to a [`BicliqueSink`] as a pair of
+//! sorted id slices — no allocation per emission. Sinks decide what to
+//! keep: everything ([`CollectSink`]), a count ([`CountSink`]), a
+//! compressed prefix-tree store ([`TrieSink`], the MBET/MBETM output
+//! representation), or a user callback ([`FnSink`]).
+
+use ptree::RTrie;
+
+/// One maximal biclique, with both sides sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Biclique {
+    /// The `U`-side vertices.
+    pub left: Vec<u32>,
+    /// The `V`-side vertices.
+    pub right: Vec<u32>,
+}
+
+impl Biclique {
+    /// Builds a biclique from unsorted id lists.
+    pub fn new(mut left: Vec<u32>, mut right: Vec<u32>) -> Self {
+        left.sort_unstable();
+        right.sort_unstable();
+        Biclique { left, right }
+    }
+
+    /// `|L| + |R|`.
+    pub fn size(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Number of edges covered, `|L| · |R|`.
+    pub fn edges(&self) -> usize {
+        self.left.len() * self.right.len()
+    }
+}
+
+/// Receives maximal bicliques as they are found.
+///
+/// `emit` returns `true` to continue enumeration and `false` to request a
+/// stop; engines honor the stop at the next branch boundary, so a handful
+/// of further emissions may still arrive on pathological shapes (never in
+/// the serial engines, which check before every emission).
+pub trait BicliqueSink {
+    /// Called once per maximal biclique. Both slices are sorted ascending.
+    fn emit(&mut self, left: &[u32], right: &[u32]) -> bool;
+}
+
+/// Collects every biclique into a vector.
+#[derive(Default)]
+pub struct CollectSink {
+    items: Vec<Biclique>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected bicliques, in emission order.
+    pub fn into_vec(self) -> Vec<Biclique> {
+        self.items
+    }
+
+    /// Number collected so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl BicliqueSink for CollectSink {
+    fn emit(&mut self, left: &[u32], right: &[u32]) -> bool {
+        self.items.push(Biclique { left: left.to_vec(), right: right.to_vec() });
+        true
+    }
+}
+
+/// Counts bicliques without storing them.
+#[derive(Default)]
+pub struct CountSink {
+    n: u64,
+}
+
+impl CountSink {
+    /// Number of bicliques seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+impl BicliqueSink for CountSink {
+    fn emit(&mut self, _left: &[u32], _right: &[u32]) -> bool {
+        self.n += 1;
+        true
+    }
+}
+
+/// Stores the `R`-sets of emitted bicliques in a prefix tree — the
+/// compressed output representation behind MBET's space bound, and, with a
+/// node budget, the space-bounded MBETM mode (the trie then only counts
+/// accurately; membership becomes best-effort after evictions).
+pub struct TrieSink {
+    trie: RTrie,
+    duplicates: u64,
+}
+
+impl TrieSink {
+    /// Unbounded store (MBET mode).
+    pub fn unbounded() -> Self {
+        TrieSink { trie: RTrie::new(), duplicates: 0 }
+    }
+
+    /// Node-budgeted store (MBETM mode).
+    pub fn with_node_budget(max_nodes: usize) -> Self {
+        TrieSink { trie: RTrie::with_node_budget(max_nodes), duplicates: 0 }
+    }
+
+    /// The underlying trie.
+    pub fn trie(&self) -> &RTrie {
+        &self.trie
+    }
+
+    /// Consumes the sink, returning the trie.
+    pub fn into_trie(self) -> RTrie {
+        self.trie
+    }
+
+    /// Emissions whose `R`-set was already present. Always 0 for a correct
+    /// engine with an unbounded trie — asserted in tests.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+impl BicliqueSink for TrieSink {
+    fn emit(&mut self, _left: &[u32], right: &[u32]) -> bool {
+        if self.trie.insert(right) == ptree::rtrie::Insert::Duplicate {
+            self.duplicates += 1;
+        }
+        true
+    }
+}
+
+/// Adapts a closure into a sink.
+pub struct FnSink<F: FnMut(&[u32], &[u32]) -> bool>(pub F);
+
+impl<F: FnMut(&[u32], &[u32]) -> bool> BicliqueSink for FnSink<F> {
+    fn emit(&mut self, left: &[u32], right: &[u32]) -> bool {
+        (self.0)(left, right)
+    }
+}
+
+/// Internal adapter: translates reordered right-side ids back to the
+/// caller's id space before forwarding (`perm[internal_id] = original_id`).
+pub(crate) struct MapRight<'a, S: BicliqueSink> {
+    inner: &'a mut S,
+    perm: &'a [u32],
+    buf: Vec<u32>,
+}
+
+impl<'a, S: BicliqueSink> MapRight<'a, S> {
+    pub(crate) fn new(inner: &'a mut S, perm: &'a [u32]) -> Self {
+        MapRight { inner, perm, buf: Vec::new() }
+    }
+}
+
+/// Free-function constructor for [`MapRight`], used by the parallel
+/// driver.
+pub(crate) fn map_right<'a, S: BicliqueSink>(inner: &'a mut S, perm: &'a [u32]) -> MapRight<'a, S> {
+    MapRight::new(inner, perm)
+}
+
+impl<S: BicliqueSink> BicliqueSink for MapRight<'_, S> {
+    fn emit(&mut self, left: &[u32], right: &[u32]) -> bool {
+        self.buf.clear();
+        self.buf.extend(right.iter().map(|&v| self.perm[v as usize]));
+        self.buf.sort_unstable();
+        self.inner.emit(left, &self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biclique_new_sorts() {
+        let b = Biclique::new(vec![3, 1], vec![9, 2, 5]);
+        assert_eq!(b.left, [1, 3]);
+        assert_eq!(b.right, [2, 5, 9]);
+        assert_eq!(b.size(), 5);
+        assert_eq!(b.edges(), 6);
+    }
+
+    #[test]
+    fn collect_and_count() {
+        let mut c = CollectSink::new();
+        assert!(c.emit(&[0], &[1, 2]));
+        assert!(c.emit(&[1], &[2]));
+        assert_eq!(c.len(), 2);
+        let v = c.into_vec();
+        assert_eq!(v[0].right, [1, 2]);
+
+        let mut n = CountSink::default();
+        n.emit(&[0], &[0]);
+        n.emit(&[0], &[1]);
+        assert_eq!(n.count(), 2);
+    }
+
+    #[test]
+    fn trie_sink_detects_duplicates() {
+        let mut t = TrieSink::unbounded();
+        t.emit(&[0], &[1, 2]);
+        t.emit(&[0], &[1, 3]);
+        assert_eq!(t.duplicates(), 0);
+        t.emit(&[9], &[1, 2]);
+        assert_eq!(t.duplicates(), 1);
+        assert_eq!(t.trie().len(), 2);
+    }
+
+    #[test]
+    fn map_right_translates_and_resorts() {
+        let mut inner = CollectSink::new();
+        // perm[new] = old: internal 0 -> original 5, internal 1 -> 3.
+        let perm = [5u32, 3];
+        let mut m = MapRight::new(&mut inner, &perm);
+        m.emit(&[7], &[0, 1]);
+        let v = inner.into_vec();
+        assert_eq!(v[0].right, [3, 5]);
+        assert_eq!(v[0].left, [7]);
+    }
+
+    #[test]
+    fn fn_sink_stop_propagates() {
+        let mut count = 0;
+        let mut s = FnSink(|_l: &[u32], _r: &[u32]| {
+            count += 1;
+            count < 2
+        });
+        assert!(s.emit(&[], &[]));
+        assert!(!s.emit(&[], &[]));
+    }
+}

@@ -1,0 +1,256 @@
+//! Root-task decomposition.
+//!
+//! Every algorithm in this crate decomposes the global enumeration — a DFS
+//! from the implicit root node `(U, ∅, V, ∅)` — into one **root task** per
+//! right vertex `v`: the subtree obtained by traversing `v` first. The
+//! task's universe is the 1-hop/2-hop neighborhood of `v`:
+//!
+//! * `l0 = N(v)` — the left side of every biclique in the subtree;
+//! * `p0 = {w ∈ N²(v) : w > v}` — untraversed candidates;
+//! * `q0 = {w ∈ N²(v) : w < v}` — already-traversed (excluded) vertices.
+//!
+//! Tasks are independent, which is what the parallel driver exploits; the
+//! serial driver just runs them in order.
+
+use crate::baseline::BaselineEngine;
+use crate::mbet::MbetEngine;
+use crate::metrics::Stats;
+use crate::sink::BicliqueSink;
+use crate::{Algorithm, MbeOptions};
+use bigraph::two_hop::TwoHop;
+use bigraph::BipartiteGraph;
+
+/// One per-root-vertex unit of enumeration work.
+#[derive(Debug, Clone)]
+pub struct RootTask {
+    /// The root right vertex.
+    pub v: u32,
+    /// `N(v)` — the initial `L`.
+    pub l0: Vec<u32>,
+    /// Untraversed 2-hop candidates (`> v`).
+    pub p0: Vec<u32>,
+    /// Traversed 2-hop vertices (`< v`).
+    pub q0: Vec<u32>,
+}
+
+impl RootTask {
+    /// Estimated enumeration-tree height, `min(|L|, |C|)` — the bound the
+    /// load-aware splitter compares against `split_height`.
+    pub fn est_height(&self) -> usize {
+        self.l0.len().min(self.p0.len())
+    }
+
+    /// Estimated enumeration-tree size, `min(|L|, |C|) · |C|` — compared
+    /// against `split_size`.
+    pub fn est_size(&self) -> usize {
+        self.est_height().saturating_mul(self.p0.len())
+    }
+}
+
+/// Builds root tasks over one graph with reusable scratch space.
+pub struct TaskBuilder<'g> {
+    g: &'g BipartiteGraph,
+    two_hop: TwoHop,
+    buf: Vec<u32>,
+}
+
+impl<'g> TaskBuilder<'g> {
+    /// A builder for `g`.
+    pub fn new(g: &'g BipartiteGraph) -> Self {
+        TaskBuilder { g, two_hop: TwoHop::new(g.num_v() as usize), buf: Vec::new() }
+    }
+
+    /// The task rooted at `v`, or `None` if `v` is isolated (an isolated
+    /// vertex belongs to no biclique with a non-empty left side).
+    pub fn build(&mut self, v: u32) -> Option<RootTask> {
+        let l0 = self.g.nbr_v(v);
+        if l0.is_empty() {
+            return None;
+        }
+        self.two_hop.of_v(self.g, v, &mut self.buf);
+        let split = self.buf.partition_point(|&w| w < v);
+        Some(RootTask {
+            v,
+            l0: l0.to_vec(),
+            q0: self.buf[..split].to_vec(),
+            p0: self.buf[split..].to_vec(),
+        })
+    }
+}
+
+/// Root-level equivalence classes: `reps[v]` is `true` iff `v` is the
+/// smallest vertex among those with exactly its neighborhood.
+///
+/// Enumeration only needs to run root tasks for representatives: if
+/// `N(w) = N(v)` with `v < w`, every maximal biclique containing `w`
+/// contains `v` too, so none is rooted at `w`. This is the root-level
+/// instance of MBET's equivalence batching.
+pub fn root_representatives(g: &BipartiteGraph) -> Vec<bool> {
+    let nv = g.num_v() as usize;
+    let mut order: Vec<u32> = (0..nv as u32).collect();
+    order.sort_by(|&a, &b| g.nbr_v(a).cmp(g.nbr_v(b)).then(a.cmp(&b)));
+    let mut reps = vec![true; nv];
+    for pair in order.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if g.nbr_v(a) == g.nbr_v(b) {
+            // Same class; sorted tie-break puts the smaller id first.
+            reps[b as usize] = false;
+        }
+    }
+    reps
+}
+
+/// Runs every root task in id order on the configured engine.
+pub struct SerialDriver<'g> {
+    g: &'g BipartiteGraph,
+    opts: MbeOptions,
+}
+
+impl<'g> SerialDriver<'g> {
+    /// A driver for `g` with `opts` (graph must already be ordered).
+    pub fn new(g: &'g BipartiteGraph, opts: &MbeOptions) -> Self {
+        SerialDriver { g, opts: opts.clone() }
+    }
+
+    /// Runs all root tasks into `sink`, accumulating `stats`.
+    pub fn run_all<S: BicliqueSink>(&mut self, sink: &mut S, stats: &mut Stats) {
+        let g = self.g;
+        let mut builder = TaskBuilder::new(g);
+        // Root-level batching: only MBET with batching enabled skips
+        // equivalent roots (the baselines process every vertex, as in
+        // their papers).
+        let batch_roots = self.opts.algorithm == Algorithm::Mbet && self.opts.mbet.batching;
+        let reps = if batch_roots { Some(root_representatives(g)) } else { None };
+
+        let mut engine = AnyEngine::new(g, &self.opts);
+        for v in 0..g.num_v() {
+            if let Some(reps) = &reps {
+                if !reps[v as usize] {
+                    stats.batched += 1;
+                    continue;
+                }
+            }
+            if let Some(task) = builder.build(v) {
+                stats.tasks += 1;
+                if !engine.run_task(&task, sink, stats) {
+                    return; // sink requested stop
+                }
+            }
+        }
+    }
+}
+
+/// Engine dispatch shared by the serial and parallel drivers. Constructed
+/// once per worker so scratch pools are reused across tasks.
+pub(crate) enum AnyEngine<'g> {
+    Baseline(BaselineEngine<'g>),
+    Mbet(MbetEngine<'g>),
+}
+
+impl<'g> AnyEngine<'g> {
+    pub(crate) fn new(g: &'g BipartiteGraph, opts: &MbeOptions) -> Self {
+        match opts.algorithm {
+            Algorithm::Mbet => AnyEngine::Mbet(MbetEngine::new(g, opts.mbet)),
+            alg => AnyEngine::Baseline(BaselineEngine::new(g, alg)),
+        }
+    }
+
+    pub(crate) fn run_task(
+        &mut self,
+        task: &RootTask,
+        sink: &mut dyn BicliqueSink,
+        stats: &mut Stats,
+    ) -> bool {
+        match self {
+            AnyEngine::Baseline(e) => e.run_task(task, sink, stats),
+            AnyEngine::Mbet(e) => e.run_task(task, sink, stats),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_node(
+        &mut self,
+        l: &[u32],
+        r_parent: &[u32],
+        v: u32,
+        p: &[u32],
+        q: &[u32],
+        sink: &mut dyn BicliqueSink,
+        stats: &mut Stats,
+    ) -> bool {
+        match self {
+            AnyEngine::Baseline(e) => e.run_node(l, r_parent, v, p, q, sink, stats),
+            AnyEngine::Mbet(e) => e.run_node(l, r_parent, v, p, q, sink, stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g0() -> BipartiteGraph {
+        BipartiteGraph::from_edges(
+            5,
+            4,
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (1, 3),
+                (2, 1),
+                (3, 1),
+                (3, 2),
+                (3, 3),
+                (4, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn task_shape_on_g0() {
+        let g = g0();
+        let mut b = TaskBuilder::new(&g);
+        let t = b.build(0).unwrap(); // v1
+        assert_eq!(t.l0, [0, 1]); // N(v1) = {u1, u2}
+        assert!(t.q0.is_empty());
+        assert_eq!(t.p0, [1, 2, 3]); // N²(v1) = {v2, v3, v4}
+        let t = b.build(3).unwrap(); // v4: N² = {v1, v2, v3}, all < 3
+        assert_eq!(t.q0, [0, 1, 2]);
+        assert!(t.p0.is_empty());
+        assert_eq!(t.est_height(), 0);
+    }
+
+    #[test]
+    fn isolated_roots_skipped() {
+        let g = BipartiteGraph::from_edges(2, 3, &[(0, 0), (1, 2)]).unwrap();
+        let mut b = TaskBuilder::new(&g);
+        assert!(b.build(1).is_none());
+        assert!(b.build(0).is_some());
+    }
+
+    #[test]
+    fn estimates() {
+        let t = RootTask { v: 0, l0: vec![1, 2, 3], p0: vec![4, 5], q0: vec![] };
+        assert_eq!(t.est_height(), 2);
+        assert_eq!(t.est_size(), 4);
+    }
+
+    #[test]
+    fn representatives_group_identical_neighborhoods() {
+        // v0 and v2 have N = {0}; v1 has N = {0,1}; v3 has N = {0}.
+        let g = BipartiteGraph::from_edges(2, 4, &[(0, 0), (0, 1), (1, 1), (0, 2), (0, 3)]).unwrap();
+        let reps = root_representatives(&g);
+        assert_eq!(reps, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn representatives_all_distinct() {
+        let g = g0();
+        assert!(root_representatives(&g).iter().all(|&r| r));
+    }
+}

@@ -1,0 +1,82 @@
+//! Rank-space helpers shared by the engines.
+//!
+//! MBET works with *local neighborhoods expressed as ranks within the
+//! current `L`*: `NL(w)` becomes the sorted list of positions `j` with
+//! `L[j] ∈ N(w)`. Rank space makes keys comparable across candidates of
+//! one node (the prerequisite for trie sharing) and keeps symbols small.
+
+/// Writes into `out` the ranks `j` (positions in `l`) such that
+/// `l[j] ∈ a`. Both inputs strictly increasing; `out` is cleared first.
+pub fn intersect_ranks(a: &[u32], l: &[u32], out: &mut Vec<u32>) {
+    debug_assert!(setops::is_strictly_increasing(a));
+    debug_assert!(setops::is_strictly_increasing(l));
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < l.len() {
+        match a[i].cmp(&l[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(j as u32);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Maps rank keys back to vertex ids: `out[k] = l[ranks[k]]`.
+/// `out` is cleared first; output is strictly increasing because `ranks`
+/// is.
+pub fn unrank(l: &[u32], ranks: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.extend(ranks.iter().map(|&r| l[r as usize]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ranks_basic() {
+        let l = [10u32, 20, 30, 40];
+        let mut out = Vec::new();
+        intersect_ranks(&[20, 25, 40, 99], &l, &mut out);
+        assert_eq!(out, [1, 3]);
+        let mut back = Vec::new();
+        unrank(&l, &out, &mut back);
+        assert_eq!(back, [20, 40]);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let mut out = vec![7];
+        intersect_ranks(&[], &[1, 2], &mut out);
+        assert!(out.is_empty());
+        intersect_ranks(&[1, 2], &[], &mut out);
+        assert!(out.is_empty());
+        let mut back = vec![9];
+        unrank(&[1, 2], &[], &mut back);
+        assert!(back.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn rank_roundtrip(
+            a in proptest::collection::btree_set(0u32..200, 0..40),
+            l in proptest::collection::btree_set(0u32..200, 0..40),
+        ) {
+            let a: Vec<u32> = a.into_iter().collect();
+            let l: Vec<u32> = l.into_iter().collect();
+            let mut ranks = Vec::new();
+            intersect_ranks(&a, &l, &mut ranks);
+            let mut back = Vec::new();
+            unrank(&l, &ranks, &mut back);
+            let mut want = Vec::new();
+            setops::intersect_into(&a, &l, &mut want);
+            prop_assert_eq!(back, want);
+            prop_assert!(setops::is_strictly_increasing(&ranks));
+        }
+    }
+}

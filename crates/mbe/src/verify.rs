@@ -1,0 +1,226 @@
+//! Correctness spine: brute-force reference enumeration and validators.
+//!
+//! The reference enumerates closed vertex-set pairs directly from the
+//! definition, in time exponential in `min(|U|, |V|)` — only usable for
+//! small graphs, which is exactly what the randomized cross-check tests
+//! and property tests need.
+
+use crate::sink::Biclique;
+use bigraph::BipartiteGraph;
+use std::collections::BTreeSet;
+
+/// Maximum smaller-side size the brute-force reference accepts.
+pub const BRUTE_FORCE_LIMIT: u32 = 22;
+
+/// Enumerates all maximal bicliques (both sides non-empty) by scanning
+/// the powerset of the smaller side. Panics if the smaller side exceeds
+/// [`BRUTE_FORCE_LIMIT`].
+///
+/// A pair `(L, R)` is returned iff `L = C(R)`, `R = C(L)`, and both are
+/// non-empty — the "closed pair" characterization of maximality.
+pub fn brute_force(g: &BipartiteGraph) -> Vec<Biclique> {
+    let (h, swapped) = g.canonicalize(); // |U| ≥ |V|, enumerate subsets of V
+    let nv = h.num_v();
+    assert!(
+        nv <= BRUTE_FORCE_LIMIT,
+        "brute force is exponential; smaller side {nv} exceeds {BRUTE_FORCE_LIMIT}"
+    );
+    let mut seen: BTreeSet<Vec<u32>> = BTreeSet::new();
+    let mut out = Vec::new();
+    let mut l = Vec::new();
+    let mut r = Vec::new();
+    let mut tmp = Vec::new();
+    for mask in 1u64..(1u64 << nv) {
+        // S = the subset of V encoded by `mask`.
+        // L = C(S): common neighbors of S in U.
+        l.clear();
+        let mut first = true;
+        for v in 0..nv {
+            if mask >> v & 1 == 0 {
+                continue;
+            }
+            if first {
+                l.extend_from_slice(h.nbr_v(v));
+                first = false;
+            } else {
+                setops::intersect_into(&l, h.nbr_v(v), &mut tmp);
+                std::mem::swap(&mut l, &mut tmp);
+            }
+            if l.is_empty() {
+                break;
+            }
+        }
+        if l.is_empty() {
+            continue;
+        }
+        // R = C(L): common neighbors of L in V.
+        r.clear();
+        r.extend_from_slice(h.nbr_u(l[0]));
+        for &u in &l[1..] {
+            setops::intersect_into(&r, h.nbr_u(u), &mut tmp);
+            std::mem::swap(&mut r, &mut tmp);
+        }
+        // (L, R) = (C(S), C(C(S))) is always a closed pair: S ⊆ R gives
+        // C(R) ⊆ C(S) = L, and L ⊆ C(R) because R = C(L). Every maximal
+        // biclique arises this way from S = R, so deduplicating by R
+        // yields exactly the maximal biclique set.
+        if seen.insert(r.clone()) {
+            let b = if swapped {
+                Biclique { left: r.clone(), right: l.clone() }
+            } else {
+                Biclique { left: l.clone(), right: r.clone() }
+            };
+            out.push(b);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// `true` iff `(left, right)` is a biclique of `g` (no maximality check).
+/// Empty sides are rejected.
+pub fn is_biclique(g: &BipartiteGraph, left: &[u32], right: &[u32]) -> bool {
+    if left.is_empty() || right.is_empty() {
+        return false;
+    }
+    left.iter().all(|&u| right.iter().all(|&v| g.has_edge(u, v)))
+}
+
+/// `true` iff `(left, right)` is a *maximal* biclique of `g`.
+pub fn is_maximal_biclique(g: &BipartiteGraph, left: &[u32], right: &[u32]) -> bool {
+    if !is_biclique(g, left, right) {
+        return false;
+    }
+    // No u outside L adjacent to all of R…
+    let extend_u = (0..g.num_u())
+        .filter(|u| !left.contains(u))
+        .any(|u| right.iter().all(|&v| g.has_edge(u, v)));
+    // …and no v outside R adjacent to all of L.
+    let extend_v = (0..g.num_v())
+        .filter(|v| !right.contains(v))
+        .any(|v| left.iter().all(|&u| g.has_edge(u, v)));
+    !extend_u && !extend_v
+}
+
+/// Asserts that `got` is exactly the maximal biclique set of `g`
+/// (sorted), panicking with a readable diff otherwise. Test helper.
+pub fn assert_matches_brute_force(g: &BipartiteGraph, got: &[Biclique]) {
+    let want = brute_force(g);
+    let mut got_sorted = got.to_vec();
+    got_sorted.sort();
+    if got_sorted != want {
+        let got_set: BTreeSet<_> = got_sorted.iter().collect();
+        let want_set: BTreeSet<_> = want.iter().collect();
+        let missing: Vec<_> = want_set.difference(&got_set).collect();
+        let extra: Vec<_> = got_set.difference(&want_set).collect();
+        panic!(
+            "biclique sets differ on {g:?}\n missing ({}): {missing:?}\n extra ({}): {extra:?}",
+            missing.len(),
+            extra.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g0() -> BipartiteGraph {
+        BipartiteGraph::from_edges(
+            5,
+            4,
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (1, 3),
+                (2, 1),
+                (3, 1),
+                (3, 2),
+                (3, 3),
+                (4, 3),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn brute_force_g0() {
+        let all = brute_force(&g0());
+        assert_eq!(all.len(), 6);
+        for b in &all {
+            assert!(is_maximal_biclique(&g0(), &b.left, &b.right));
+        }
+    }
+
+    #[test]
+    fn brute_force_complete() {
+        let mut edges = Vec::new();
+        for u in 0..3 {
+            for v in 0..4 {
+                edges.push((u, v));
+            }
+        }
+        let g = BipartiteGraph::from_edges(3, 4, &edges).unwrap();
+        let all = brute_force(&g);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].left, [0, 1, 2]);
+        assert_eq!(all[0].right, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn brute_force_crown() {
+        // Crown graph S(3): u_i adjacent to all v_j except j == i.
+        let mut edges = Vec::new();
+        for u in 0..3u32 {
+            for v in 0..3u32 {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = BipartiteGraph::from_edges(3, 3, &edges).unwrap();
+        let all = brute_force(&g);
+        // Maximal bicliques of the 3-crown: {u_i} x (V - v_i) (3 of them)
+        // and (U - u_j) x {v_j} (3 more).
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn brute_force_handles_swapped_orientation() {
+        // |U| < |V| forces internal canonicalization; sides must come
+        // back in the caller's orientation.
+        let g = BipartiteGraph::from_edges(2, 4, &[(0, 0), (0, 1), (1, 1), (1, 2), (1, 3)])
+            .unwrap();
+        let all = brute_force(&g);
+        for b in &all {
+            assert!(is_maximal_biclique(&g, &b.left, &b.right), "{b:?}");
+            assert!(b.left.iter().all(|&u| u < 2));
+            assert!(b.right.iter().all(|&v| v < 4));
+        }
+    }
+
+    #[test]
+    fn validators() {
+        let g = g0();
+        assert!(is_biclique(&g, &[0, 1], &[0, 1, 2]));
+        assert!(is_maximal_biclique(&g, &[0, 1], &[0, 1, 2]));
+        // Sub-biclique is a biclique but not maximal.
+        assert!(is_biclique(&g, &[0], &[0, 1, 2]));
+        assert!(!is_maximal_biclique(&g, &[0], &[0, 1, 2]));
+        // Not a biclique at all.
+        assert!(!is_biclique(&g, &[0, 4], &[0]));
+        // Empty sides rejected.
+        assert!(!is_biclique(&g, &[], &[0]));
+        assert!(!is_maximal_biclique(&g, &[0], &[]));
+    }
+
+    #[test]
+    fn empty_graph_has_no_bicliques() {
+        let g = BipartiteGraph::from_edges(3, 3, &[]).unwrap();
+        assert!(brute_force(&g).is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Public-API surface tests: the contracts a downstream user relies on,
+//! exercised through the exported entry points only.
+
+use bigraph::BipartiteGraph;
+use mbe::{
+    collect_bicliques, count_bicliques, enumerate, Algorithm, CountSink, FnSink, MbeOptions,
+};
+
+fn demo_graph() -> BipartiteGraph {
+    // Two overlapping blocks plus noise: enough structure for ~dozens of
+    // bicliques.
+    let mut edges = Vec::new();
+    for u in 0..6u32 {
+        for v in 0..4u32 {
+            edges.push((u, v));
+        }
+    }
+    for u in 4..10u32 {
+        for v in 3..8u32 {
+            edges.push((u, v));
+        }
+    }
+    edges.extend([(10, 8), (11, 8), (10, 9)]);
+    BipartiteGraph::from_edges(12, 10, &edges).unwrap()
+}
+
+#[test]
+fn count_equals_collect_equals_stats() {
+    let g = demo_graph();
+    for alg in Algorithm::all() {
+        let opts = MbeOptions::new(alg);
+        let (collected, s1) = collect_bicliques(&g, &opts).unwrap();
+        let (counted, s2) = count_bicliques(&g, &opts);
+        assert_eq!(collected.len() as u64, counted, "{alg:?}");
+        assert_eq!(s1.emitted, s2.emitted, "{alg:?}");
+        assert_eq!(s1.nodes, s2.nodes, "stats must not depend on the sink ({alg:?})");
+    }
+}
+
+#[test]
+fn serial_emission_order_is_deterministic() {
+    let g = demo_graph();
+    let opts = MbeOptions::default();
+    let (a, _) = collect_bicliques(&g, &opts).unwrap();
+    let (b, _) = collect_bicliques(&g, &opts).unwrap();
+    assert_eq!(a, b, "same options must give the same emission order");
+}
+
+#[test]
+fn early_stop_returns_partial_prefix() {
+    let g = demo_graph();
+    let opts = MbeOptions::default();
+    let (all, _) = collect_bicliques(&g, &opts).unwrap();
+    assert!(all.len() > 5);
+
+    // Stop after 3: the emissions seen must be the first 3 of the full
+    // deterministic order.
+    let mut seen = Vec::new();
+    let mut sink = FnSink(|l: &[u32], r: &[u32]| {
+        seen.push(mbe::Biclique::new(l.to_vec(), r.to_vec()));
+        seen.len() < 3
+    });
+    let stats = enumerate(&g, &opts, &mut sink);
+    assert_eq!(seen.len(), 3);
+    assert_eq!(seen.as_slice(), &all[..3]);
+    // The emitted counter excludes the emission that requested the stop.
+    assert_eq!(stats.emitted, 2);
+}
+
+#[test]
+fn stats_elapsed_is_populated() {
+    let g = demo_graph();
+    let mut sink = CountSink::default();
+    let stats = enumerate(&g, &MbeOptions::default(), &mut sink);
+    assert!(stats.elapsed.as_nanos() > 0);
+    assert_eq!(stats.nodes, stats.emitted + stats.nonmaximal);
+    assert!(stats.tasks > 0);
+}
+
+#[test]
+fn default_options_are_mbet_ascending() {
+    let o = MbeOptions::default();
+    assert_eq!(o.algorithm, Algorithm::Mbet);
+    assert_eq!(o.order, bigraph::order::VertexOrder::AscendingDegree);
+    assert!(o.mbet.batching && o.mbet.trie_maximality && o.mbet.trie_absorption);
+}
+
+#[test]
+fn emitted_ids_are_in_caller_space_under_reordering() {
+    // With a random order applied internally, ids must still come back
+    // in the caller's space: every emitted pair must be a biclique of
+    // the *input* graph.
+    let g = demo_graph();
+    let opts = MbeOptions::default().order(bigraph::order::VertexOrder::Random(99));
+    let (all, _) = collect_bicliques(&g, &opts).unwrap();
+    for b in &all {
+        assert!(mbe::verify::is_maximal_biclique(&g, &b.left, &b.right), "{b:?}");
+    }
+}
+
+#[test]
+fn sides_both_nonempty_and_sorted() {
+    let g = demo_graph();
+    let (all, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
+    for b in &all {
+        assert!(!b.left.is_empty() && !b.right.is_empty());
+        assert!(setops::is_strictly_increasing(&b.left));
+        assert!(setops::is_strictly_increasing(&b.right));
+    }
+}
+
+#[test]
+fn graphs_with_swapped_sides_give_mirrored_results() {
+    let g = demo_graph();
+    let swapped = g.swap_sides();
+    let (a, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
+    let (b, _) = collect_bicliques(&swapped, &MbeOptions::default()).unwrap();
+    let mut a_mirrored: Vec<mbe::Biclique> = a
+        .iter()
+        .map(|x| mbe::Biclique { left: x.right.clone(), right: x.left.clone() })
+        .collect();
+    a_mirrored.sort();
+    let mut b = b;
+    b.sort();
+    assert_eq!(a_mirrored, b);
+}

@@ -1,0 +1,145 @@
+//! Differential tests at scales beyond brute force.
+//!
+//! Brute force caps the smaller side at ~20 vertices; these tests instead
+//! pit the engines against *each other* on structured inputs two orders
+//! of magnitude larger, where bookkeeping bugs (arena reuse, trie
+//! clearing, scratch pooling, fast-path boundaries) actually surface.
+
+use bigraph::BipartiteGraph;
+use mbe::{collect_bicliques, count_bicliques, Algorithm, MbeOptions, MbetConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A structured random graph: power-law background plus planted blocks,
+/// the shape real MBE inputs have.
+fn structured(seed: u64, nu: u32, nv: u32, edges: usize) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all: Vec<(u32, u32)> = Vec::new();
+    // Skewed background: quadratic bias toward low ids.
+    for _ in 0..edges {
+        let u = (rng.gen::<f64>().powi(2) * nu as f64) as u32 % nu;
+        let v = (rng.gen::<f64>().powi(2) * nv as f64) as u32 % nv;
+        all.push((u, v));
+    }
+    // A few complete blocks with shared vertices.
+    for b in 0..5u32 {
+        let us: Vec<u32> = (0..4).map(|i| (b * 3 + i * 7) % nu).collect();
+        let vs: Vec<u32> = (0..5).map(|i| (b * 5 + i * 11) % nv).collect();
+        for &u in &us {
+            for &v in &vs {
+                all.push((u, v));
+            }
+        }
+    }
+    BipartiteGraph::from_edges(nu, nv, &all).unwrap()
+}
+
+#[test]
+fn engines_agree_on_structured_graphs() {
+    for seed in 0..6 {
+        let g = structured(seed, 300, 200, 1500);
+        let (reference, _) = collect_bicliques(&g, &MbeOptions::new(Algorithm::Mbea)).unwrap();
+        let mut reference = reference;
+        reference.sort();
+        assert!(!reference.is_empty());
+        for alg in [Algorithm::MineLmbc, Algorithm::Imbea, Algorithm::Mbet] {
+            let (mut got, _) = collect_bicliques(&g, &MbeOptions::new(alg)).unwrap();
+            got.sort();
+            assert_eq!(got, reference, "{alg:?} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn mbet_toggles_agree_at_scale() {
+    let g = structured(99, 400, 250, 2500);
+    let (want, _) = count_bicliques(&g, &MbeOptions::new(Algorithm::Mbea));
+    for mask in 0u8..8 {
+        let cfg = MbetConfig {
+            batching: mask & 1 != 0,
+            trie_maximality: mask & 2 != 0,
+            trie_absorption: mask & 4 != 0,
+        };
+        let (got, _) = count_bicliques(&g, &MbeOptions::new(Algorithm::Mbet).mbet(cfg));
+        assert_eq!(got, want, "{cfg:?}");
+    }
+}
+
+#[test]
+fn parallel_and_split_agree_at_scale() {
+    let g = structured(7, 350, 220, 2000);
+    let (want, _) = count_bicliques(&g, &MbeOptions::new(Algorithm::Mbet));
+    for threads in [1, 2, 4] {
+        let opts = MbeOptions::new(Algorithm::Mbet).threads(threads);
+        let (got, _) = mbe::parallel::par_count_bicliques(&g, &opts);
+        assert_eq!(got, want, "threads={threads}");
+    }
+    // Aggressive splitting.
+    let mut opts = MbeOptions::new(Algorithm::Mbet).threads(3);
+    opts.split_height = 1;
+    opts.split_size = 4;
+    let (got, stats) = mbe::parallel::par_count_bicliques(&g, &opts);
+    assert_eq!(got, want);
+    assert!(stats.tasks > g.num_v() as u64 / 2, "splitting must create extra tasks");
+}
+
+#[test]
+fn parallel_stop_terminates_promptly() {
+    let g = structured(13, 400, 300, 3000);
+    let opts = MbeOptions::new(Algorithm::Mbet).threads(4);
+    let found = std::sync::atomic::AtomicU64::new(0);
+    let (_, _) = mbe::parallel::par_enumerate_with(&g, &opts, |_| {
+        mbe::FnSink(|_: &[u32], _: &[u32]| {
+            found.fetch_add(1, std::sync::atomic::Ordering::Relaxed) < 10
+        })
+    });
+    let n = found.load(std::sync::atomic::Ordering::Relaxed);
+    // Each worker may overshoot by its in-flight node, no more.
+    assert!(n >= 10, "found {n}");
+    assert!(n < 10_000, "stop was ignored: {n}");
+}
+
+#[test]
+fn filtered_matches_post_filter_at_scale() {
+    let g = structured(21, 300, 200, 1800);
+    let (all, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
+    for (a, b) in [(2, 2), (3, 4), (5, 5)] {
+        let thr = mbe::SizeThresholds::new(a, b);
+        let (mut got, stats) = mbe::collect_filtered(&g, thr);
+        got.sort();
+        let mut want: Vec<_> = all
+            .iter()
+            .filter(|x| x.left.len() >= a && x.right.len() >= b)
+            .cloned()
+            .collect();
+        want.sort();
+        assert_eq!(got, want, "thr=({a},{b})");
+        // Thresholded search must do less work than the full run.
+        assert!(stats.nodes <= all.len() as u64 * 4);
+    }
+}
+
+#[test]
+fn top_k_matches_full_sort_at_scale() {
+    let g = structured(33, 300, 200, 1800);
+    let (all, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
+    let mut scores: Vec<usize> = all.iter().map(|b| b.edges()).collect();
+    scores.sort_unstable_by(|a, b| b.cmp(a));
+    for k in [1, 7, 50] {
+        let (top, stats) = mbe::top_k_by_edges(&g, k);
+        let got: Vec<usize> = top.iter().map(|b| b.edges()).collect();
+        let want: Vec<usize> = scores.iter().copied().take(k).collect();
+        assert_eq!(got, want, "k={k}");
+        assert!(stats.bound_pruned > 0 || k >= all.len());
+    }
+}
+
+#[test]
+fn counters_close_at_scale() {
+    let g = structured(44, 350, 250, 2200);
+    for alg in Algorithm::all() {
+        let (n, stats) = count_bicliques(&g, &MbeOptions::new(alg));
+        assert_eq!(stats.emitted, n);
+        assert_eq!(stats.nodes, stats.emitted + stats.nonmaximal, "{alg:?}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Prefix trees over sorted vertex-id sequences.
+//!
+//! This crate implements the data structure that gives the prefix-tree MBE
+//! algorithm (MBET, ICDE 2024) its name. Two specializations are provided:
+//!
+//! * [`CandidateTrie`] — a *per-enumeration-node* trie over the local
+//!   neighborhoods (`N(w) ∩ L`, encoded as ranks within `L`) of the
+//!   candidate and excluded vertices. One pass of insertions groups
+//!   *equivalent* candidates (identical local neighborhoods), and a single
+//!   superset walk answers the maximality question "is any excluded vertex
+//!   adjacent to all of `L'`?" — the two checks that dominate enumeration
+//!   node processing in baseline algorithms.
+//!
+//! * [`RTrie`] — a *per-task or global* trie storing a family of sorted
+//!   `u32` sets (the `R`-sets of emitted maximal bicliques) with prefix
+//!   sharing. It is the compressed output store behind MBET's published
+//!   `O(R(|V(B)|) + |G|)` space bound, and its node-budgeted mode backs
+//!   the space-bounded MBETM variant.
+//!
+//! Both tries use first-child/next-sibling arena nodes with `u32` links
+//! (see the type-size guidance in the workspace's performance notes), and
+//! both are designed for workhorse reuse: `clear` retains allocations.
+//!
+//! All sequences must be strictly increasing; this is asserted in debug
+//! builds and fuzzed by property tests.
+
+pub mod ctrie;
+pub mod rtrie;
+
+pub use ctrie::CandidateTrie;
+pub use rtrie::RTrie;
+
+pub(crate) const NIL: u32 = u32::MAX;

@@ -1,0 +1,369 @@
+//! The R-set trie: a compressed store for families of sorted vertex sets.
+//!
+//! MBET's published space bound, `O(R(|V(B)|) + |G|)`, reflects storing the
+//! `R`-sets of the enumerated bicliques in a prefix tree rather than as
+//! flat vectors: sets that share prefixes (which maximal bicliques from
+//! nearby subtrees do heavily) share trie paths. [`RTrie`] is that store.
+//!
+//! Uses in this workspace:
+//!
+//! * the `collect`-style sinks keep their results in an [`RTrie`] and the
+//!   E6 memory experiment compares its footprint against flat storage;
+//! * tests assert the "each maximal biclique emitted exactly once"
+//!   invariant by checking that every [`RTrie::insert`] reports `New`;
+//! * the space-bounded **MBETM** variant gives the trie a node *budget*:
+//!   on overflow the trie evicts (resets) and only counts thereafter, so
+//!   memory stays bounded while enumeration streams on. After an eviction
+//!   the trie is a *cache*: `contains` may under-report, never over-report.
+
+use crate::NIL;
+
+#[derive(Clone, Copy)]
+struct Node {
+    label: u32,
+    first_child: u32,
+    next_sibling: u32,
+    /// A stored set terminates at this node.
+    terminal: bool,
+}
+
+/// Outcome of an [`RTrie::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insert {
+    /// The set was not present (or not present since the last eviction).
+    New,
+    /// The set was already stored.
+    Duplicate,
+}
+
+/// A prefix tree storing a family of strictly increasing `u32` sequences.
+pub struct RTrie {
+    nodes: Vec<Node>,
+    /// Number of terminal nodes currently stored.
+    stored: usize,
+    /// Total sets ever inserted as `New` (monotonic, survives evictions).
+    total_new: u64,
+    /// Node budget; exceeding it triggers an eviction (full reset).
+    budget: Option<usize>,
+    evictions: u64,
+}
+
+impl Default for RTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RTrie {
+    /// An unbounded trie.
+    pub fn new() -> Self {
+        let mut t = RTrie { nodes: Vec::new(), stored: 0, total_new: 0, budget: None, evictions: 0 };
+        t.nodes.push(Node { label: 0, first_child: NIL, next_sibling: NIL, terminal: false });
+        t
+    }
+
+    /// A trie that evicts (resets) whenever its node count would exceed
+    /// `max_nodes`. Used by MBETM. `max_nodes` must be at least 1.
+    pub fn with_node_budget(max_nodes: usize) -> Self {
+        assert!(max_nodes >= 1, "budget must allow at least the root");
+        let mut t = Self::new();
+        t.budget = Some(max_nodes);
+        t
+    }
+
+    /// Number of sets currently stored (drops on eviction).
+    pub fn len(&self) -> usize {
+        self.stored
+    }
+
+    /// `true` iff no set is currently stored.
+    pub fn is_empty(&self) -> bool {
+        self.stored == 0
+    }
+
+    /// Total sets ever inserted as `New`, across evictions.
+    pub fn total_new(&self) -> u64 {
+        self.total_new
+    }
+
+    /// Number of evictions performed (0 when unbounded).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Current number of trie nodes, root included (memory metric).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Exact payload bytes of the trie's nodes (`node_count ×
+    /// size_of::<Node>`). Capacity slack from `Vec` growth is excluded —
+    /// a persisted store would `shrink_to_fit` — so comparisons against
+    /// flat storage are not flattered by allocator rounding.
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+    }
+
+    /// Removes all sets, keeping allocations. Does not count as eviction.
+    pub fn clear(&mut self) {
+        self.nodes.truncate(1);
+        self.nodes[0] = Node { label: 0, first_child: NIL, next_sibling: NIL, terminal: false };
+        self.stored = 0;
+    }
+
+    /// Inserts `set` (strictly increasing). Returns whether it was new.
+    ///
+    /// With a node budget: if the insertion grows the trie past the
+    /// budget, the trie evicts *after* recording the insertion, so the
+    /// return value is still meaningful for the current set.
+    pub fn insert(&mut self, set: &[u32]) -> Insert {
+        debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "set must be strictly increasing");
+        let mut at = 0usize;
+        let mut created = false;
+        for &sym in set {
+            let (idx, new) = self.child_or_insert(at, sym);
+            created |= new;
+            at = idx;
+        }
+        let outcome = if self.nodes[at].terminal && !created {
+            Insert::Duplicate
+        } else {
+            self.nodes[at].terminal = true;
+            self.stored += 1;
+            self.total_new += 1;
+            Insert::New
+        };
+        if let Some(b) = self.budget {
+            if self.nodes.len() > b {
+                self.clear();
+                self.evictions += 1;
+            }
+        }
+        outcome
+    }
+
+    /// `true` iff `set` is currently stored (post-eviction misses possible
+    /// in budgeted mode).
+    pub fn contains(&self, set: &[u32]) -> bool {
+        let mut at = 0usize;
+        for &sym in set {
+            match self.find_child(at, sym) {
+                Some(idx) => at = idx,
+                None => return false,
+            }
+        }
+        self.nodes[at].terminal
+    }
+
+    /// Visits every stored set once, in lexicographic order.
+    pub fn for_each_set(&self, mut f: impl FnMut(&[u32])) {
+        let mut path = Vec::new();
+        self.dfs(0, &mut path, &mut f);
+    }
+
+    /// Collects every stored set, in lexicographic order. Prefer
+    /// [`RTrie::for_each_set`] when the materialized family is large.
+    pub fn to_sets(&self) -> Vec<Vec<u32>> {
+        let mut out = Vec::with_capacity(self.stored);
+        self.for_each_set(|s| out.push(s.to_vec()));
+        out
+    }
+
+    /// Length of the longest stored prefix of `set` that is itself a
+    /// stored set, if any. Useful for containment analytics over the
+    /// output family.
+    pub fn longest_stored_prefix(&self, set: &[u32]) -> Option<usize> {
+        let mut at = 0usize;
+        let mut best = if self.nodes[0].terminal { Some(0) } else { None };
+        for (i, &sym) in set.iter().enumerate() {
+            match self.find_child(at, sym) {
+                Some(idx) => {
+                    at = idx;
+                    if self.nodes[at].terminal {
+                        best = Some(i + 1);
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    fn dfs(&self, at: usize, path: &mut Vec<u32>, f: &mut impl FnMut(&[u32])) {
+        let n = self.nodes[at];
+        if n.terminal {
+            f(path);
+        }
+        let mut child = n.first_child;
+        while child != NIL {
+            let c = self.nodes[child as usize];
+            path.push(c.label);
+            self.dfs(child as usize, path, f);
+            path.pop();
+            child = c.next_sibling;
+        }
+    }
+
+    fn find_child(&self, at: usize, sym: u32) -> Option<usize> {
+        let mut cur = self.nodes[at].first_child;
+        while cur != NIL {
+            let n = self.nodes[cur as usize];
+            if n.label == sym {
+                return Some(cur as usize);
+            }
+            if n.label > sym {
+                return None;
+            }
+            cur = n.next_sibling;
+        }
+        None
+    }
+
+    fn child_or_insert(&mut self, at: usize, sym: u32) -> (usize, bool) {
+        let mut prev = NIL;
+        let mut cur = self.nodes[at].first_child;
+        while cur != NIL {
+            let n = self.nodes[cur as usize];
+            if n.label == sym {
+                return (cur as usize, false);
+            }
+            if n.label > sym {
+                break;
+            }
+            prev = cur;
+            cur = n.next_sibling;
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node { label: sym, first_child: NIL, next_sibling: cur, terminal: false });
+        if prev == NIL {
+            self.nodes[at].first_child = idx;
+        } else {
+            self.nodes[prev as usize].next_sibling = idx;
+        }
+        (idx as usize, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_duplicates() {
+        let mut t = RTrie::new();
+        assert_eq!(t.insert(&[1, 3, 5]), Insert::New);
+        assert_eq!(t.insert(&[1, 3]), Insert::New);
+        assert_eq!(t.insert(&[1, 3, 5]), Insert::Duplicate);
+        assert_eq!(t.insert(&[]), Insert::New);
+        assert_eq!(t.insert(&[]), Insert::Duplicate);
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(&[1, 3]));
+        assert!(!t.contains(&[1]));
+        assert!(!t.contains(&[1, 3, 5, 7]));
+    }
+
+    #[test]
+    fn prefix_sharing_bounds_nodes() {
+        let mut t = RTrie::new();
+        // 100 sets sharing a long prefix: node count grows by 1 per set.
+        let base: Vec<u32> = (0..50).collect();
+        for tail in 50..150 {
+            let mut s = base.clone();
+            s.push(tail);
+            t.insert(&s);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.node_count(), 1 + 50 + 100);
+    }
+
+    #[test]
+    fn for_each_set_is_lexicographic_and_complete() {
+        let mut t = RTrie::new();
+        let sets = [vec![2u32, 4], vec![0], vec![0, 7], vec![2], vec![]];
+        for s in &sets {
+            t.insert(s);
+        }
+        let mut got = Vec::new();
+        t.for_each_set(|s| got.push(s.to_vec()));
+        let mut want: Vec<Vec<u32>> = sets.to_vec();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn budget_evicts_and_counts() {
+        let mut t = RTrie::with_node_budget(8);
+        for i in 0..20u32 {
+            // Disjoint 3-element sets: each insert adds 3 nodes.
+            let s = [3 * i, 3 * i + 1, 3 * i + 2];
+            assert_eq!(t.insert(&s), Insert::New);
+        }
+        assert!(t.evictions() > 0);
+        assert!(t.node_count() <= 8 + 3, "stays near budget");
+        assert_eq!(t.total_new(), 20);
+        // Post-eviction the trie under-reports, never over-reports.
+        assert!(!t.contains(&[0, 1, 2]) || t.contains(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn eviction_resets_membership_only() {
+        let mut t = RTrie::with_node_budget(2);
+        t.insert(&[1, 2]); // 2 nodes -> still within? nodes=3 > 2 -> evict
+        assert_eq!(t.evictions(), 1);
+        assert_eq!(t.len(), 0);
+        // Same set inserts as New again (it's a cache now).
+        assert_eq!(t.insert(&[1, 2]), Insert::New);
+        assert_eq!(t.total_new(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must allow")]
+    fn zero_budget_rejected() {
+        RTrie::with_node_budget(0);
+    }
+
+    #[test]
+    fn to_sets_and_longest_prefix() {
+        let mut t = RTrie::new();
+        t.insert(&[1, 2]);
+        t.insert(&[1, 2, 3, 4]);
+        t.insert(&[5]);
+        assert_eq!(t.to_sets(), vec![vec![1, 2], vec![1, 2, 3, 4], vec![5]]);
+        assert_eq!(t.longest_stored_prefix(&[1, 2, 3, 4, 9]), Some(4));
+        assert_eq!(t.longest_stored_prefix(&[1, 2, 3]), Some(2));
+        assert_eq!(t.longest_stored_prefix(&[1]), None);
+        assert_eq!(t.longest_stored_prefix(&[]), None);
+        t.insert(&[]);
+        assert_eq!(t.longest_stored_prefix(&[9]), Some(0));
+    }
+
+    fn set_strategy() -> impl Strategy<Value = Vec<u32>> {
+        proptest::collection::btree_set(0u32..40, 0..10)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_btreeset_of_sets(
+            ops in proptest::collection::vec(set_strategy(), 0..80)
+        ) {
+            let mut t = RTrie::new();
+            let mut model: BTreeSet<Vec<u32>> = BTreeSet::new();
+            for s in &ops {
+                let was_new = model.insert(s.clone());
+                let got = t.insert(s);
+                prop_assert_eq!(got == Insert::New, was_new);
+            }
+            prop_assert_eq!(t.len(), model.len());
+            for s in &model {
+                prop_assert!(t.contains(s));
+            }
+            let mut emitted = Vec::new();
+            t.for_each_set(|s| emitted.push(s.to_vec()));
+            let want: Vec<Vec<u32>> = model.iter().cloned().collect();
+            prop_assert_eq!(emitted, want);
+        }
+    }
+}

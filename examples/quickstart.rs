@@ -1,0 +1,55 @@
+//! Quickstart: enumerate all maximal bicliques of a small bipartite graph.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! The graph is G0 from the MBE literature's running example (5 left
+//! vertices, 4 right vertices, 6 maximal bicliques).
+
+use mbe_suite::prelude::*;
+
+fn main() {
+    // Build the graph from an edge list: (left, right) pairs.
+    let edges = [
+        (0, 0),
+        (0, 1),
+        (0, 2),
+        (1, 0),
+        (1, 1),
+        (1, 2),
+        (1, 3),
+        (2, 1),
+        (3, 1),
+        (3, 2),
+        (3, 3),
+        (4, 3),
+    ];
+    let g = BipartiteGraph::from_edges(5, 4, &edges).expect("valid edge list");
+    println!("graph: {g:?}");
+
+    // Enumerate with the prefix-tree algorithm (MBET), the default.
+    let opts = MbeOptions::default();
+    let (bicliques, stats) = collect_bicliques(&g, &opts).expect("enumeration completes");
+
+    println!("\nfound {} maximal bicliques in {:?}:", bicliques.len(), stats.elapsed);
+    for b in &bicliques {
+        println!("  L = {:?}  R = {:?}  ({} edges)", b.left, b.right, b.edges());
+    }
+
+    println!(
+        "\nstats: {} branch attempts, {} pruned as non-maximal, {} candidates batched",
+        stats.nodes, stats.nonmaximal, stats.batched
+    );
+
+    // Streaming consumption without collecting — e.g. find the largest.
+    let mut best: Option<(usize, Vec<u32>, Vec<u32>)> = None;
+    let mut sink = mbe::FnSink(|l: &[u32], r: &[u32]| {
+        let size = l.len() * r.len();
+        if best.as_ref().is_none_or(|(s, _, _)| size > *s) {
+            best = Some((size, l.to_vec(), r.to_vec()));
+        }
+        true // keep enumerating
+    });
+    enumerate(&g, &opts, &mut sink);
+    let (size, l, r) = best.expect("graph has bicliques");
+    println!("\nlargest by edge count: L = {l:?}, R = {r:?} ({size} edges)");
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: generators → graph → enumeration →
+//! verification, exercised through the `mbe-suite` facade exactly as a
+//! downstream application would.
+
+use mbe_suite::prelude::*;
+use mbe_suite::{gen, mbe, ptree};
+
+/// End-to-end: generate a calibrated analogue, enumerate it with every
+/// engine, and check full agreement plus emitted-set sanity.
+#[test]
+fn preset_pipeline_all_engines_agree() {
+    let preset = gen::presets::by_abbrev("WA").expect("preset exists");
+    let g = preset.build_scaled(7, 0.3);
+    let mut reference: Option<Vec<Biclique>> = None;
+    for alg in Algorithm::all() {
+        let (mut got, stats) = collect_bicliques(&g, &MbeOptions::new(alg)).unwrap();
+        got.sort();
+        assert_eq!(stats.emitted as usize, got.len(), "{alg:?}");
+        assert_eq!(
+            stats.nodes,
+            stats.emitted + stats.nonmaximal,
+            "branch accounting must close for {alg:?}"
+        );
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "{alg:?} disagrees"),
+        }
+    }
+    let bicliques = reference.expect("at least one engine ran");
+    assert!(!bicliques.is_empty(), "analogue must contain bicliques");
+    // Every reported biclique is a real maximal biclique.
+    for b in bicliques.iter().take(200) {
+        assert!(mbe::verify::is_maximal_biclique(&g, &b.left, &b.right));
+    }
+}
+
+/// Parallel and serial pipelines agree on a generated workload.
+#[test]
+fn parallel_pipeline_matches_serial() {
+    let preset = gen::presets::by_abbrev("Mti").expect("preset exists");
+    let g = preset.build_scaled(3, 0.3);
+    let opts = MbeOptions::new(Algorithm::Mbet).threads(4);
+    let (mut par, par_stats) = par_collect_bicliques(&g, &opts);
+    par.sort();
+    let (mut ser, ser_stats) = collect_bicliques(&g, &opts).unwrap();
+    ser.sort();
+    assert_eq!(par, ser);
+    assert_eq!(par_stats.emitted, ser_stats.emitted);
+}
+
+/// Text round-trip: write a generated graph as an edge list, read it
+/// back, and get the same biclique count.
+#[test]
+fn io_roundtrip_preserves_bicliques() {
+    let preset = gen::presets::by_abbrev("YG").expect("preset exists");
+    let g = preset.build_scaled(11, 0.2);
+    let mut buf = Vec::new();
+    bigraph::io::write_edge_list(&g, &mut buf).unwrap();
+    let g2 = bigraph::io::read_edge_list(&buf[..]).unwrap();
+    assert_eq!(g.num_edges(), g2.num_edges());
+    let (b1, _) = count_bicliques(&g, &MbeOptions::default());
+    let (b2, _) = count_bicliques(&g2, &MbeOptions::default());
+    assert_eq!(b1, b2);
+}
+
+/// The R-trie output store holds exactly the emitted family and beats
+/// flat storage on prefix-heavy outputs.
+#[test]
+fn trie_store_integration() {
+    let preset = gen::presets::by_abbrev("EE").expect("preset exists");
+    let g = preset.build_scaled(5, 0.2);
+    let opts = MbeOptions::default();
+
+    let mut sink = mbe::TrieSink::unbounded();
+    let stats = enumerate(&g, &opts, &mut sink);
+    assert_eq!(sink.duplicates(), 0);
+    assert_eq!(sink.trie().len() as u64, stats.emitted);
+
+    // Round-trip through the trie's iteration: every stored R-set is the
+    // right side of some collected biclique.
+    let (collected, _) = collect_bicliques(&g, &opts).unwrap();
+    let rights: std::collections::BTreeSet<Vec<u32>> =
+        collected.iter().map(|b| b.right.clone()).collect();
+    let mut stored = 0usize;
+    sink.trie().for_each_set(|s| {
+        assert!(rights.contains(s), "stored {s:?} was never emitted");
+        stored += 1;
+    });
+    assert_eq!(stored, rights.len());
+
+    // Budgeted mode enumerates the same count with bounded node usage.
+    let budget = 1 << 10;
+    let mut bounded = mbe::TrieSink::with_node_budget(budget);
+    let stats2 = enumerate(&g, &opts, &mut bounded);
+    assert_eq!(stats2.emitted, stats.emitted);
+    assert!(bounded.trie().node_count() <= budget + 64);
+}
+
+/// Orderings, toggles, thread counts: a compact matrix of configuration
+/// combinations over one workload, all agreeing.
+#[test]
+fn configuration_matrix_agrees() {
+    let g = gen::presets::by_abbrev("GH").expect("preset exists").build_scaled(9, 0.15);
+    let (baseline, _) = count_bicliques(&g, &MbeOptions::new(Algorithm::Mbea));
+    use mbe_suite::bigraph::order::VertexOrder;
+    for order in [VertexOrder::AscendingDegree, VertexOrder::Random(3)] {
+        for threads in [1, 3] {
+            let opts = MbeOptions::new(Algorithm::Mbet).order(order).threads(threads);
+            let (n, _) = par_count_bicliques(&g, &opts);
+            assert_eq!(n, baseline, "{order:?} threads={threads}");
+        }
+    }
+}
+
+/// The prefix-tree substrate is usable directly (public-API smoke test).
+#[test]
+fn ptree_direct_use() {
+    let mut trie = ptree::CandidateTrie::new();
+    trie.insert(&[1, 4, 6], 100);
+    trie.insert(&[1, 4], 101);
+    trie.insert(&[1, 4, 6], 102);
+    let mut groups = 0;
+    trie.for_each_group(|_, _| groups += 1);
+    assert_eq!(groups, 2);
+    assert!(trie.any_superset(&[4, 6]));
+
+    let mut r = ptree::RTrie::new();
+    assert_eq!(r.insert(&[2, 3]), ptree::rtrie::Insert::New);
+    assert_eq!(r.insert(&[2, 3]), ptree::rtrie::Insert::Duplicate);
+}
+
+/// Generators exposed through the facade produce enumerable graphs.
+#[test]
+fn generator_facade_smoke() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let g = gen::er::gnm(&mut rng, 40, 30, 200);
+    let (n, _) = count_bicliques(&g, &MbeOptions::default());
+    assert!(n > 0);
+    let cfg = gen::chung_lu::ChungLuConfig::new(60, 40, 300);
+    let g = gen::chung_lu::generate(&mut rng, &cfg);
+    let (n2, stats) = count_bicliques(&g, &MbeOptions::default());
+    assert_eq!(n2, stats.emitted);
+}
