@@ -30,12 +30,7 @@ fn main() {
             gen::chung_lu::generate(&mut rng, &cfg)
         }),
         ("preferential", {
-            let cfg = gen::preferential::PreferentialConfig {
-                nu,
-                nv,
-                edges,
-                p_pref: 0.75,
-            };
+            let cfg = gen::preferential::PreferentialConfig { nu, nv, edges, p_pref: 0.75 };
             gen::preferential::generate(&mut rng, &cfg)
         }),
     ];

@@ -35,8 +35,7 @@ fn main() {
         let (bp, dpar) = bench::time_median(|| parallel::par_count_bicliques(&g, &par_opts).0);
         assert_eq!(count.expect("measured"), bp, "parallel count on {}", p.abbrev);
 
-        let best_baseline =
-            times[..3].iter().min().copied().expect("three baselines");
+        let best_baseline = times[..3].iter().min().copied().expect("three baselines");
         let speedup = best_baseline.as_secs_f64() / times[3].as_secs_f64();
         geo_sum += speedup.ln();
         geo_n += 1;

@@ -15,10 +15,7 @@ fn main() {
         ("w/o batching", MbetConfig { batching: false, ..Default::default() }),
         ("w/o trie-max", MbetConfig { trie_maximality: false, ..Default::default() }),
         ("w/o trie-abs", MbetConfig { trie_absorption: false, ..Default::default() }),
-        (
-            "all off",
-            MbetConfig { batching: false, trie_maximality: false, trie_absorption: false },
-        ),
+        ("all off", MbetConfig { batching: false, trie_maximality: false, trie_absorption: false }),
     ];
     print!("{:<14}", "dataset");
     for (name, _) in &variants {

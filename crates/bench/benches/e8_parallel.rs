@@ -12,8 +12,7 @@ use mbe::{parallel, Algorithm, MbeOptions};
 fn main() {
     bench::header("E8", "parallel speedup and load-aware splitting", "load-balance figures");
     let picks = ["YG", "EE", "BX"];
-    let max_threads =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
     let mut threads = vec![1usize];
     while *threads.last().expect("non-empty") * 2 <= max_threads {
         let next = threads.last().expect("non-empty") * 2;
@@ -35,8 +34,7 @@ fn main() {
             opts_off.split_height = usize::MAX;
             opts_off.split_size = usize::MAX;
 
-            let (b_on, d_on) =
-                bench::time_median(|| parallel::par_count_bicliques(&g, &opts_on).0);
+            let (b_on, d_on) = bench::time_median(|| parallel::par_count_bicliques(&g, &opts_on).0);
             let (b_off, d_off) =
                 bench::time_median(|| parallel::par_count_bicliques(&g, &opts_off).0);
             assert_eq!(b_on, b_off, "{abbrev} t={t}");

@@ -90,9 +90,6 @@ fn main() {
 
 /// Times at which each 10% decile of `total` was first reached (`None`
 /// where the sampling grid skipped the decile).
-fn decile_times<S: mbe::BicliqueSink>(
-    sink: &ProgressSink<S>,
-    total: u64,
-) -> Vec<Option<Duration>> {
+fn decile_times<S: mbe::BicliqueSink>(sink: &ProgressSink<S>, total: u64) -> Vec<Option<Duration>> {
     (1..=10).map(|i| sink.time_to_fraction(total, i, 10)).collect()
 }

@@ -13,6 +13,8 @@
 //!   dataset set (default: all).
 //! * `MBE_BENCH_SEED`    — generator seed (default 42).
 
+#![forbid(unsafe_code)]
+
 use gen::presets::Preset;
 use std::time::{Duration, Instant};
 
@@ -80,12 +82,7 @@ pub fn header(id: &str, title: &str, figure: &str) {
     println!();
     println!("=== {id}: {title}");
     println!("    (reproduces the paper's {figure}; synthetic analogues, shapes not absolutes)");
-    println!(
-        "    scale×{} trials={} seed={}",
-        scale(),
-        trials(),
-        seed()
-    );
+    println!("    scale×{} trials={} seed={}", scale(), trials(), seed());
     println!();
 }
 

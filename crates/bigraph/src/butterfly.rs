@@ -123,8 +123,7 @@ mod tests {
     fn no_butterflies_in_trees_or_matchings() {
         let matching = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 1), (2, 2)]).unwrap();
         assert_eq!(count_butterflies(&matching), 0);
-        let star =
-            BipartiteGraph::from_edges(1, 4, &[(0, 0), (0, 1), (0, 2), (0, 3)]).unwrap();
+        let star = BipartiteGraph::from_edges(1, 4, &[(0, 0), (0, 1), (0, 2), (0, 3)]).unwrap();
         assert_eq!(count_butterflies(&star), 0);
         assert_eq!(butterfly_density(&star), 0.0);
     }

@@ -73,7 +73,13 @@ pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<BipartiteGraph, Gr
 /// Writes a graph as a plain 0-based edge list.
 pub fn write_edge_list<W: Write>(g: &BipartiteGraph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "% bipartite edge list: |U|={} |V|={} |E|={}", g.num_u(), g.num_v(), g.num_edges())?;
+    writeln!(
+        w,
+        "% bipartite edge list: |U|={} |V|={} |E|={}",
+        g.num_u(),
+        g.num_v(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }

@@ -19,6 +19,8 @@
 //! vertices is canonicalized to `V` (see [`BipartiteGraph::canonicalize`]),
 //! since enumeration explores the powerset of `V`.
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod butterfly;
 pub mod core;
@@ -75,10 +77,9 @@ pub enum GraphError {
 impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { side, vertex, len } => write!(
-                f,
-                "vertex {vertex} out of range for side {side:?} (size {len})"
-            ),
+            GraphError::VertexOutOfRange { side, vertex, len } => {
+                write!(f, "vertex {vertex} out of range for side {side:?} (size {len})")
+            }
             GraphError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -352,15 +353,9 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let err = BipartiteGraph::from_edges(2, 2, &[(2, 0)]).unwrap_err();
-        assert!(matches!(
-            err,
-            GraphError::VertexOutOfRange { side: Side::U, vertex: 2, len: 2 }
-        ));
+        assert!(matches!(err, GraphError::VertexOutOfRange { side: Side::U, vertex: 2, len: 2 }));
         let err = BipartiteGraph::from_edges(2, 2, &[(0, 5)]).unwrap_err();
-        assert!(matches!(
-            err,
-            GraphError::VertexOutOfRange { side: Side::V, vertex: 5, len: 2 }
-        ));
+        assert!(matches!(err, GraphError::VertexOutOfRange { side: Side::V, vertex: 5, len: 2 }));
     }
 
     #[test]

@@ -132,12 +132,8 @@ mod tests {
 
     #[test]
     fn descending_is_reverse_of_ascending_on_distinct_degrees() {
-        let g = BipartiteGraph::from_edges(
-            4,
-            3,
-            &[(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (0, 2)],
-        )
-        .unwrap();
+        let g = BipartiteGraph::from_edges(4, 3, &[(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (0, 2)])
+            .unwrap();
         let asc = permutation(&g, VertexOrder::AscendingDegree);
         let desc = permutation(&g, VertexOrder::DescendingDegree);
         let rev: Vec<u32> = asc.iter().rev().copied().collect();

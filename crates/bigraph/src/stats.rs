@@ -102,7 +102,7 @@ mod tests {
         assert_eq!(s.num_edges, 12);
         assert_eq!(s.max_deg_u, 4); // u2
         assert_eq!(s.max_deg_v, 4); // v2
-        // N²(v2) = {v1,v3,v4}; N²(v1)={v2,v3,v4}; max over V is 3.
+                                    // N²(v2) = {v1,v3,v4}; N²(v1)={v2,v3,v4}; max over V is 3.
         assert_eq!(s.max_two_hop_v, 3);
         // N²(u2) covers {u1,u3,u4,u5}: 4.
         assert_eq!(s.max_two_hop_u, 4);

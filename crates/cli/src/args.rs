@@ -125,12 +125,10 @@ fn parse_enumerate(args: &[String]) -> Command {
                 Some("desc") => *order = VertexOrder::DescendingDegree,
                 Some("unilateral") => *order = VertexOrder::Unilateral,
                 Some("natural") => *order = VertexOrder::Natural,
-                Some(s) if s.starts_with("random:") => {
-                    match s["random:".len()..].parse() {
-                        Ok(seed) => *order = VertexOrder::Random(seed),
-                        Err(_) => return err("bad random seed in --order"),
-                    }
-                }
+                Some(s) if s.starts_with("random:") => match s["random:".len()..].parse() {
+                    Ok(seed) => *order = VertexOrder::Random(seed),
+                    Err(_) => return err("bad random seed in --order"),
+                },
                 other => return err(&format!("bad --order {other:?}")),
             },
             "--threads" => match it.next().and_then(|s| s.parse().ok()) {
@@ -223,9 +221,7 @@ fn parse_generate(args: &[String]) -> Command {
     }
 }
 
-fn parse_triple<'a>(
-    it: &mut impl Iterator<Item = &'a String>,
-) -> Option<(u32, u32, usize)> {
+fn parse_triple<'a>(it: &mut impl Iterator<Item = &'a String>) -> Option<(u32, u32, usize)> {
     let nu = it.next()?.parse().ok()?;
     let nv = it.next()?.parse().ok()?;
     let e = it.next()?.parse().ok()?;
@@ -318,7 +314,8 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match p("enumerate g.txt --algorithm imbea --order random:9 --threads 4 \
-                 --min-left 3 --min-right 2 --top-k 5 --count-only") {
+                 --min-left 3 --min-right 2 --top-k 5 --count-only")
+        {
             Command::Enumerate {
                 algorithm,
                 order,

@@ -2,6 +2,8 @@
 //!
 //! See [`args::USAGE`] or run `mbe-cli help`.
 
+#![forbid(unsafe_code)]
+
 mod args;
 
 use args::{Command, GenModel};
@@ -49,7 +51,11 @@ fn main() -> ExitCode {
             for p in gen::all_presets() {
                 println!(
                     "{:<6}{:<16}{:>12}{:>12}{:>14}{:>16}",
-                    p.abbrev, p.name, p.real.num_u, p.real.num_v, p.real.num_edges,
+                    p.abbrev,
+                    p.name,
+                    p.real.num_u,
+                    p.real.num_v,
+                    p.real.num_edges,
                     p.real.max_bicliques
                 );
             }
@@ -191,7 +197,14 @@ fn run_enumerate(
             stats.bound_pruned
         );
         for b in top.iter().take(max_print) {
-            println!("  |L|={} |R|={} edges={}  L={:?} R={:?}", b.left.len(), b.right.len(), b.edges(), b.left, b.right);
+            println!(
+                "  |L|={} |R|={} edges={}  L={:?} R={:?}",
+                b.left.len(),
+                b.right.len(),
+                b.edges(),
+                b.left,
+                b.right
+            );
         }
         return;
     }

@@ -57,8 +57,7 @@ pub fn gnm<R: Rng>(rng: &mut R, nu: u32, nv: u32, m: usize) -> BipartiteGraph {
         let mut all: Vec<usize> = (0..total).collect();
         all.shuffle(rng);
         for &idx in &all[..m] {
-            b.add_edge((idx / nv as usize) as u32, (idx % nv as usize) as u32)
-                .expect("in range");
+            b.add_edge((idx / nv as usize) as u32, (idx % nv as usize) as u32).expect("in range");
         }
     } else {
         // Sparse: rejection sampling.

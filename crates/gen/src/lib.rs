@@ -15,6 +15,8 @@
 //!
 //! All generators are deterministic for a given seed.
 
+#![forbid(unsafe_code)]
+
 pub mod chung_lu;
 pub mod er;
 pub mod planted;

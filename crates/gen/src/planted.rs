@@ -122,10 +122,7 @@ mod tests {
     #[test]
     fn blocks_are_complete() {
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = PlantedConfig {
-            blocks: vec![BlockSpec { a: 3, b: 4, count: 2 }],
-            overlap: 0.0,
-        };
+        let cfg = PlantedConfig { blocks: vec![BlockSpec { a: 3, b: 4, count: 2 }], overlap: 0.0 };
         let (g, blocks) = plant(&mut rng, &empty(50, 50), &cfg);
         assert_eq!(blocks.len(), 2);
         for blk in &blocks {
@@ -142,10 +139,7 @@ mod tests {
     #[test]
     fn overlap_reuses_vertices() {
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = PlantedConfig {
-            blocks: vec![BlockSpec { a: 5, b: 5, count: 8 }],
-            overlap: 0.9,
-        };
+        let cfg = PlantedConfig { blocks: vec![BlockSpec { a: 5, b: 5, count: 8 }], overlap: 0.9 };
         let (_, blocks) = plant(&mut rng, &empty(1000, 1000), &cfg);
         let mut all_u: Vec<u32> = blocks.iter().flat_map(|b| b.us.iter().copied()).collect();
         let total = all_u.len();

@@ -95,29 +95,17 @@ mod tests {
             (2.0 * weighted) / (n * sum) - (n + 1.0) / n
         };
         let mut rng = StdRng::seed_from_u64(3);
-        let pref = generate(
-            &mut rng,
-            &PreferentialConfig { nu: 400, nv: 300, edges: 3000, p_pref: 0.9 },
-        );
-        let unif = generate(
-            &mut rng,
-            &PreferentialConfig { nu: 400, nv: 300, edges: 3000, p_pref: 0.0 },
-        );
-        assert!(
-            gini(&pref) > gini(&unif) + 0.05,
-            "pref {} vs unif {}",
-            gini(&pref),
-            gini(&unif)
-        );
+        let pref =
+            generate(&mut rng, &PreferentialConfig { nu: 400, nv: 300, edges: 3000, p_pref: 0.9 });
+        let unif =
+            generate(&mut rng, &PreferentialConfig { nu: 400, nv: 300, edges: 3000, p_pref: 0.0 });
+        assert!(gini(&pref) > gini(&unif) + 0.05, "pref {} vs unif {}", gini(&pref), gini(&unif));
     }
 
     #[test]
     fn p_pref_zero_is_uniform_rejection_free() {
         let mut rng = StdRng::seed_from_u64(5);
-        let g = generate(
-            &mut rng,
-            &PreferentialConfig { nu: 10, nv: 10, edges: 50, p_pref: 0.0 },
-        );
+        let g = generate(&mut rng, &PreferentialConfig { nu: 10, nv: 10, edges: 50, p_pref: 0.0 });
         assert!(g.num_edges() > 0);
     }
 

@@ -67,8 +67,7 @@ impl Preset {
         let s = self.scale * multiplier;
         let nu = ((self.real.num_u as f64 * s).round() as u32).max(4);
         let nv = ((self.real.num_v as f64 * s).round() as u32).max(4);
-        let edges =
-            ((self.real.num_edges as f64 * s * self.edge_fraction).round() as usize).max(8);
+        let edges = ((self.real.num_edges as f64 * s * self.edge_fraction).round() as usize).max(8);
         let mut rng = StdRng::seed_from_u64(seed ^ fxhash(self.abbrev));
 
         let mut cfg = ChungLuConfig::new(nu, nv, edges);
@@ -107,7 +106,12 @@ pub fn all_presets() -> Vec<Preset> {
         Preset {
             name: "MovieLens",
             abbrev: "Mti",
-            real: RealStats { num_u: 16_528, num_v: 7_601, num_edges: 71_154, max_bicliques: 140_266 },
+            real: RealStats {
+                num_u: 16_528,
+                num_v: 7_601,
+                num_edges: 71_154,
+                max_bicliques: 140_266,
+            },
             scale: 0.10,
             edge_fraction: 0.7,
             gamma: (2.2, 2.0),
@@ -118,7 +122,12 @@ pub fn all_presets() -> Vec<Preset> {
         Preset {
             name: "Amazon",
             abbrev: "WA",
-            real: RealStats { num_u: 265_934, num_v: 264_148, num_edges: 925_873, max_bicliques: 461_274 },
+            real: RealStats {
+                num_u: 265_934,
+                num_v: 264_148,
+                num_edges: 925_873,
+                max_bicliques: 461_274,
+            },
             scale: 0.004,
             edge_fraction: 1.0,
             gamma: (2.3, 2.3),
@@ -129,7 +138,12 @@ pub fn all_presets() -> Vec<Preset> {
         Preset {
             name: "Teams",
             abbrev: "TM",
-            real: RealStats { num_u: 901_130, num_v: 34_461, num_edges: 1_366_466, max_bicliques: 517_943 },
+            real: RealStats {
+                num_u: 901_130,
+                num_v: 34_461,
+                num_edges: 1_366_466,
+                max_bicliques: 517_943,
+            },
             scale: 0.02,
             edge_fraction: 0.6,
             gamma: (2.6, 2.0),
@@ -140,7 +154,12 @@ pub fn all_presets() -> Vec<Preset> {
         Preset {
             name: "ActorMovies",
             abbrev: "AM",
-            real: RealStats { num_u: 383_640, num_v: 127_823, num_edges: 1_470_404, max_bicliques: 1_075_444 },
+            real: RealStats {
+                num_u: 383_640,
+                num_v: 127_823,
+                num_edges: 1_470_404,
+                max_bicliques: 1_075_444,
+            },
             scale: 0.006,
             edge_fraction: 0.8,
             gamma: (2.2, 2.1),
@@ -151,7 +170,12 @@ pub fn all_presets() -> Vec<Preset> {
         Preset {
             name: "Wikipedia",
             abbrev: "WC",
-            real: RealStats { num_u: 1_853_493, num_v: 182_947, num_edges: 3_795_796, max_bicliques: 1_677_522 },
+            real: RealStats {
+                num_u: 1_853_493,
+                num_v: 182_947,
+                num_edges: 3_795_796,
+                max_bicliques: 1_677_522,
+            },
             scale: 0.004,
             edge_fraction: 0.85,
             gamma: (2.4, 1.9),
@@ -162,7 +186,12 @@ pub fn all_presets() -> Vec<Preset> {
         Preset {
             name: "YouTube",
             abbrev: "YG",
-            real: RealStats { num_u: 94_238, num_v: 30_087, num_edges: 293_360, max_bicliques: 1_826_587 },
+            real: RealStats {
+                num_u: 94_238,
+                num_v: 30_087,
+                num_edges: 293_360,
+                max_bicliques: 1_826_587,
+            },
             scale: 0.025,
             edge_fraction: 1.0,
             gamma: (2.1, 1.9),
@@ -173,7 +202,12 @@ pub fn all_presets() -> Vec<Preset> {
         Preset {
             name: "StackOverflow",
             abbrev: "SO",
-            real: RealStats { num_u: 545_195, num_v: 96_680, num_edges: 1_301_942, max_bicliques: 3_320_824 },
+            real: RealStats {
+                num_u: 545_195,
+                num_v: 96_680,
+                num_edges: 1_301_942,
+                max_bicliques: 3_320_824,
+            },
             scale: 0.008,
             edge_fraction: 1.0,
             gamma: (2.0, 1.9),
@@ -184,7 +218,12 @@ pub fn all_presets() -> Vec<Preset> {
         Preset {
             name: "DBLP",
             abbrev: "Pa",
-            real: RealStats { num_u: 5_624_219, num_v: 1_953_085, num_edges: 12_282_059, max_bicliques: 4_899_032 },
+            real: RealStats {
+                num_u: 5_624_219,
+                num_v: 1_953_085,
+                num_edges: 12_282_059,
+                max_bicliques: 4_899_032,
+            },
             scale: 0.0005,
             edge_fraction: 1.0,
             gamma: (2.4, 2.2),
@@ -195,7 +234,12 @@ pub fn all_presets() -> Vec<Preset> {
         Preset {
             name: "IMDB",
             abbrev: "IM",
-            real: RealStats { num_u: 896_302, num_v: 303_617, num_edges: 3_782_463, max_bicliques: 5_160_061 },
+            real: RealStats {
+                num_u: 896_302,
+                num_v: 303_617,
+                num_edges: 3_782_463,
+                max_bicliques: 5_160_061,
+            },
             scale: 0.003,
             edge_fraction: 1.0,
             gamma: (2.1, 2.0),
@@ -206,7 +250,12 @@ pub fn all_presets() -> Vec<Preset> {
         Preset {
             name: "EuAll",
             abbrev: "EE",
-            real: RealStats { num_u: 225_409, num_v: 74_661, num_edges: 420_046, max_bicliques: 12_306_755 },
+            real: RealStats {
+                num_u: 225_409,
+                num_v: 74_661,
+                num_edges: 420_046,
+                max_bicliques: 12_306_755,
+            },
             scale: 0.012,
             edge_fraction: 1.0,
             gamma: (1.9, 1.8),
@@ -217,7 +266,12 @@ pub fn all_presets() -> Vec<Preset> {
         Preset {
             name: "BookCrossing",
             abbrev: "BX",
-            real: RealStats { num_u: 340_523, num_v: 105_278, num_edges: 1_149_739, max_bicliques: 54_458_953 },
+            real: RealStats {
+                num_u: 340_523,
+                num_v: 105_278,
+                num_edges: 1_149_739,
+                max_bicliques: 54_458_953,
+            },
             scale: 0.008,
             edge_fraction: 1.0,
             gamma: (1.9, 1.8),
@@ -228,7 +282,12 @@ pub fn all_presets() -> Vec<Preset> {
         Preset {
             name: "Github",
             abbrev: "GH",
-            real: RealStats { num_u: 120_867, num_v: 59_519, num_edges: 440_237, max_bicliques: 55_346_398 },
+            real: RealStats {
+                num_u: 120_867,
+                num_v: 59_519,
+                num_edges: 440_237,
+                max_bicliques: 55_346_398,
+            },
             scale: 0.015,
             edge_fraction: 1.0,
             gamma: (1.9, 1.8),

@@ -117,6 +117,7 @@ impl<'g> BaselineEngine<'g> {
         r_new.push(v);
         r_new.extend_from_slice(&absorbed);
         r_new.sort_unstable();
+        crate::invariants::check_node(self.g, l_new, &r_new);
 
         if self.alg == Algorithm::MineLmbc {
             // Algorithm-1 check: R' must equal C(L') recomputed from the
@@ -244,12 +245,8 @@ mod tests {
             assert_eq!(stats.emitted, 6, "{alg:?}");
             // Spot-check two known ones: ({u1,u2},{v1,v2,v3}) and
             // ({u2,u4},{v2,v3,v4}).
-            assert!(bicliques
-                .iter()
-                .any(|b| b.left == [0, 1] && b.right == [0, 1, 2]));
-            assert!(bicliques
-                .iter()
-                .any(|b| b.left == [1, 3] && b.right == [1, 2, 3]));
+            assert!(bicliques.iter().any(|b| b.left == [0, 1] && b.right == [0, 1, 2]));
+            assert!(bicliques.iter().any(|b| b.left == [1, 3] && b.right == [1, 2, 3]));
         }
     }
 
@@ -299,8 +296,8 @@ mod tests {
     #[test]
     fn star_graph() {
         // One U vertex adjacent to all of V: single maximal biclique.
-        let g = BipartiteGraph::from_edges(1, 5, &[(0, 0), (0, 1), (0, 2), (0, 3), (0, 4)])
-            .unwrap();
+        let g =
+            BipartiteGraph::from_edges(1, 5, &[(0, 0), (0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
         let (bicliques, _) = run_all(Algorithm::Imbea, &g);
         assert_eq!(bicliques.len(), 1);
         assert_eq!(bicliques[0].right, [0, 1, 2, 3, 4]);

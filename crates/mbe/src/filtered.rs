@@ -75,15 +75,7 @@ pub fn enumerate_filtered<S: BicliqueSink>(
     for v in 0..h.num_v() {
         if let Some(task) = builder.build(v) {
             stats.tasks += 1;
-            if !engine.expand(
-                &task.l0,
-                &[],
-                task.v,
-                &task.p0,
-                &task.q0,
-                &mut mapped,
-                &mut stats,
-            ) {
+            if !engine.expand(&task.l0, &[], task.v, &task.p0, &task.q0, &mut mapped, &mut stats) {
                 break;
             }
         }

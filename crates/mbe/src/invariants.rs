@@ -1,0 +1,265 @@
+//! Runtime invariant verifier, compiled in by the `debug-invariants`
+//! cargo feature.
+//!
+//! The enumeration engines lean on structural invariants that ordinary
+//! unit tests only probe pointwise: every node's `L` is the exact common
+//! neighborhood of its `R'`, trie keys are strictly increasing ranks
+//! inside `0..|L|`, the `Scratch` arenas hand out non-overlapping spans,
+//! the counter identity `nodes = emitted + nonmaximal` closes for every
+//! engine, and the parallel driver drains its `pending` ledger and emits
+//! exactly the serial count. With the feature enabled, each of those is
+//! asserted *during* every run — on every node, every key, every drain.
+//! Without it, every function here is an empty `#[inline(always)]` stub
+//! and the hot paths compile exactly as before.
+//!
+//! Run the full suite under the verifier with:
+//!
+//! ```text
+//! cargo test -p mbe --features debug-invariants
+//! ```
+//!
+//! The checks deliberately trade speed for strength (the per-node `L`
+//! re-derivation is `O(Σ_{r∈R'} deg(r))`, and every parallel run is
+//! re-counted serially); the feature is a correctness instrument, never a
+//! production default.
+
+use crate::metrics::Stats;
+use bigraph::BipartiteGraph;
+
+/// `true` iff the verifier is compiled in.
+pub const ENABLED: bool = cfg!(feature = "debug-invariants");
+
+/// Asserts the defining node invariant at an emission point: `l` is
+/// non-empty, strictly increasing (sorted + deduped), and equals the
+/// common neighborhood `∩_{r ∈ r_new} N(r)` of the node's `R'`.
+#[cfg(feature = "debug-invariants")]
+pub fn check_node(g: &BipartiteGraph, l: &[u32], r_new: &[u32]) {
+    assert!(!l.is_empty(), "invariant: node emitted with empty L");
+    assert!(setops::is_strictly_increasing(l), "invariant: L not sorted/deduped: {l:?}");
+    assert!(setops::is_strictly_increasing(r_new), "invariant: R' not sorted/deduped: {r_new:?}");
+    let (&r0, rest) = r_new.split_first().expect("R' contains at least the traversed vertex");
+    let mut acc: Vec<u32> = g.nbr_v(r0).to_vec();
+    let mut tmp = Vec::new();
+    for &r in rest {
+        setops::intersect_into(&acc, g.nbr_v(r), &mut tmp);
+        std::mem::swap(&mut acc, &mut tmp);
+    }
+    assert_eq!(acc, l, "invariant: L is not the common neighborhood of R' (R' = {r_new:?})");
+}
+
+/// No-op stub (enable `debug-invariants` for the real check).
+#[cfg(not(feature = "debug-invariants"))]
+#[inline(always)]
+pub fn check_node(_g: &BipartiteGraph, _l: &[u32], _r_new: &[u32]) {}
+
+/// Asserts that a trie key is a strictly increasing rank sequence within
+/// `0..l_len` (ranks index into the node's `L`).
+#[cfg(feature = "debug-invariants")]
+pub fn check_rank_key(key: &[u32], l_len: usize) {
+    assert!(
+        setops::is_strictly_increasing(key),
+        "invariant: rank key not strictly increasing: {key:?}"
+    );
+    if let Some(&last) = key.last() {
+        assert!(
+            (last as usize) < l_len,
+            "invariant: rank {last} out of range for |L| = {l_len} (key {key:?})"
+        );
+    }
+}
+
+/// No-op stub (enable `debug-invariants` for the real check).
+#[cfg(not(feature = "debug-invariants"))]
+#[inline(always)]
+pub fn check_rank_key(_key: &[u32], _l_len: usize) {}
+
+/// Asserts `Scratch` arena span discipline: every `(start, end)` span is
+/// well-formed and in-bounds for an arena of `arena_len` symbols, and two
+/// distinct spans never partially overlap (spans may be *identical* —
+/// ablation mode shares one key span across a group's singletons — but
+/// must otherwise be disjoint).
+#[cfg(feature = "debug-invariants")]
+pub fn check_spans<I: IntoIterator<Item = (u32, u32)>>(arena_len: usize, spans: I) {
+    let mut all: Vec<(u32, u32)> = spans.into_iter().collect();
+    for &(s, e) in &all {
+        assert!(s <= e, "invariant: inverted span ({s}, {e})");
+        assert!(
+            e as usize <= arena_len,
+            "invariant: span ({s}, {e}) exceeds arena length {arena_len}"
+        );
+    }
+    all.sort_unstable();
+    all.dedup();
+    for w in all.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        assert!(
+            a.1 <= b.0,
+            "invariant: distinct arena spans overlap: ({}, {}) vs ({}, {})",
+            a.0,
+            a.1,
+            b.0,
+            b.1
+        );
+    }
+}
+
+/// No-op stub (enable `debug-invariants` for the real check).
+#[cfg(not(feature = "debug-invariants"))]
+#[inline(always)]
+pub fn check_spans<I: IntoIterator<Item = (u32, u32)>>(_arena_len: usize, _spans: I) {}
+
+/// Asserts the cross-engine counter identity `nodes = emitted +
+/// nonmaximal`: every expanded enumeration node either dies at its
+/// maximality check or emits exactly one maximal biclique. Holds for
+/// every engine after any *completed* run (a sink-requested stop leaves
+/// one node in flight, so stopped runs are not checked).
+#[cfg(feature = "debug-invariants")]
+pub fn check_counter_identity(stats: &Stats) {
+    assert_eq!(
+        stats.nodes,
+        stats.emitted + stats.nonmaximal,
+        "invariant: counter identity violated (nodes = {}, emitted = {}, nonmaximal = {})",
+        stats.nodes,
+        stats.emitted,
+        stats.nonmaximal
+    );
+}
+
+/// No-op stub (enable `debug-invariants` for the real check).
+#[cfg(not(feature = "debug-invariants"))]
+#[inline(always)]
+pub fn check_counter_identity(_stats: &Stats) {}
+
+/// Asserts the parallel pool drained its work ledger: `pending` must be
+/// zero once every worker has exited an un-stopped run.
+#[cfg(feature = "debug-invariants")]
+pub fn check_drained(pending: u64) {
+    assert_eq!(pending, 0, "invariant: pool drained with {pending} tasks still pending");
+}
+
+/// No-op stub (enable `debug-invariants` for the real check).
+#[cfg(not(feature = "debug-invariants"))]
+#[inline(always)]
+pub fn check_drained(_pending: u64) {}
+
+/// End-of-run verification for the parallel driver: on a completed
+/// (un-stopped) run, asserts the merged per-worker counter identity and
+/// re-counts the graph serially with the same options, asserting the
+/// emitted totals agree — the parallel/serial equivalence gate.
+#[cfg(feature = "debug-invariants")]
+pub fn check_parallel_run(
+    g: &BipartiteGraph,
+    opts: &crate::MbeOptions,
+    merged: &Stats,
+    stopped: bool,
+) {
+    if stopped {
+        return;
+    }
+    check_counter_identity(merged);
+    let (serial_emitted, _) = crate::count_bicliques(g, opts);
+    assert_eq!(
+        merged.emitted, serial_emitted,
+        "invariant: parallel run emitted {} bicliques, serial run {}",
+        merged.emitted, serial_emitted
+    );
+}
+
+/// No-op stub (enable `debug-invariants` for the real check).
+#[cfg(not(feature = "debug-invariants"))]
+#[inline(always)]
+pub fn check_parallel_run(
+    _g: &BipartiteGraph,
+    _opts: &crate::MbeOptions,
+    _merged: &Stats,
+    _stopped: bool,
+) {
+}
+
+#[cfg(all(test, feature = "debug-invariants"))]
+mod tests {
+    use super::*;
+
+    fn g0() -> BipartiteGraph {
+        BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]).unwrap()
+    }
+
+    #[test]
+    fn check_node_accepts_true_nodes() {
+        // ({u0,u1}, {v0,v1}) is a maximal biclique of g0.
+        check_node(&g0(), &[0, 1], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "common neighborhood")]
+    fn check_node_rejects_wrong_l() {
+        check_node(&g0(), &[0], &[0, 1]); // true L is {u0, u1}
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn check_node_rejects_unsorted_l() {
+        check_node(&g0(), &[1, 0], &[0, 1]);
+    }
+
+    #[test]
+    fn check_rank_key_accepts_ranks_in_range() {
+        check_rank_key(&[0, 2, 3], 4);
+        check_rank_key(&[], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn check_rank_key_rejects_duplicates() {
+        check_rank_key(&[1, 1], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn check_rank_key_rejects_out_of_range() {
+        check_rank_key(&[0, 4], 4);
+    }
+
+    #[test]
+    fn check_spans_accepts_disjoint_and_identical() {
+        check_spans(10, [(0, 3), (3, 5), (5, 10), (0, 3)]);
+        check_spans(0, std::iter::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn check_spans_rejects_partial_overlap() {
+        check_spans(10, [(0, 4), (2, 6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds arena")]
+    fn check_spans_rejects_out_of_bounds() {
+        check_spans(4, [(2, 6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn check_spans_rejects_inverted() {
+        check_spans(10, [(4, 2)]);
+    }
+
+    #[test]
+    fn counter_identity_accepts_closed_books() {
+        let s = Stats { nodes: 10, emitted: 7, nonmaximal: 3, ..Default::default() };
+        check_counter_identity(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter identity")]
+    fn counter_identity_rejects_leak() {
+        let s = Stats { nodes: 11, emitted: 7, nonmaximal: 3, ..Default::default() };
+        check_counter_identity(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "still pending")]
+    fn drained_rejects_leftover_pending() {
+        check_drained(3);
+    }
+}

@@ -42,9 +42,12 @@
 //! [`VertexOrder`] is applied internally and
 //! emitted bicliques are reported in *original* vertex ids.
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 pub mod extremal;
 pub mod filtered;
+pub mod invariants;
 pub mod mbet;
 pub mod metrics;
 pub mod parallel;
@@ -184,10 +187,13 @@ pub fn enumerate<S: BicliqueSink>(g: &BipartiteGraph, opts: &MbeOptions, sink: &
     let (h, perm) = bigraph::order::apply(g, opts.order);
     let mut stats = Stats::default();
     let start = std::time::Instant::now();
-    {
+    let completed = {
         let mut mapped = sink::MapRight::new(sink, &perm);
         let mut driver = task::SerialDriver::new(&h, opts);
-        driver.run_all(&mut mapped, &mut stats);
+        driver.run_all(&mut mapped, &mut stats)
+    };
+    if completed {
+        invariants::check_counter_identity(&stats);
     }
     stats.elapsed = start.elapsed();
     stats
@@ -198,10 +204,7 @@ pub fn enumerate<S: BicliqueSink>(g: &BipartiteGraph, opts: &MbeOptions, sink: &
 /// Returns `None` only if the callback-based machinery was stopped early,
 /// which cannot happen for this sink, so the result is always `Some`; the
 /// `Option` is kept for signature symmetry with size-limited collectors.
-pub fn collect_bicliques(
-    g: &BipartiteGraph,
-    opts: &MbeOptions,
-) -> Option<(Vec<Biclique>, Stats)> {
+pub fn collect_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> Option<(Vec<Biclique>, Stats)> {
     let mut sink = CollectSink::new();
     let stats = enumerate(g, opts, &mut sink);
     Some((sink.into_vec(), stats))

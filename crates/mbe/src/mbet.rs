@@ -146,7 +146,14 @@ impl<'g> MbetEngine<'g> {
         // trade-off the literature makes for its representation threshold.
         if untraversed.len() <= SMALL_NODE_CANDIDATES {
             return self.expand_small(
-                depth, l_new, r_parent, v, untraversed, traversed, sink, stats,
+                depth,
+                l_new,
+                r_parent,
+                v,
+                untraversed,
+                traversed,
+                sink,
+                stats,
             );
         }
         stats.nodes += 1;
@@ -167,6 +174,7 @@ impl<'g> MbetEngine<'g> {
         let mut covered = false;
         for &q in traversed {
             util::intersect_ranks(self.g.nbr_v(q), l_new, &mut s.ranks);
+            crate::invariants::check_rank_key(&s.ranks, l_new.len());
             if s.ranks.is_empty() {
                 continue; // can never cover any L'' ⊆ L'
             }
@@ -194,6 +202,7 @@ impl<'g> MbetEngine<'g> {
         // ---- Candidates: trie-group them by local neighborhood.
         for &w in untraversed {
             util::intersect_ranks(self.g.nbr_v(w), l_new, &mut s.ranks);
+            crate::invariants::check_rank_key(&s.ranks, l_new.len());
             if s.ranks.is_empty() {
                 continue;
             }
@@ -212,6 +221,7 @@ impl<'g> MbetEngine<'g> {
                 if batching {
                     let mstart = memar.len() as u32;
                     memar.extend_from_slice(members);
+                    // A trie group always has members. xtask-allow: expect
                     let rep = members.iter().copied().min().expect("non-empty group");
                     groups.push(Group { key: kspan, members: (mstart, memar.len() as u32), rep });
                 } else {
@@ -232,6 +242,11 @@ impl<'g> MbetEngine<'g> {
         // Process groups in representative-id order (determinism and
         // equivalence with the baselines' candidate order).
         s.groups.sort_unstable_by_key(|grp| grp.rep);
+        crate::invariants::check_spans(
+            s.keyar.len(),
+            s.groups.iter().map(|grp| grp.key).chain(s.q_list.iter().map(|q| q.key)),
+        );
+        crate::invariants::check_spans(s.memar.len(), s.groups.iter().map(|grp| grp.members));
 
         // ---- Absorption for *this* node: candidates adjacent to all of
         // L' go straight into R'. Their key is the full rank range
@@ -259,6 +274,7 @@ impl<'g> MbetEngine<'g> {
         r_new.push(v);
         r_new.extend_from_slice(&s.absorbed);
         r_new.sort_unstable();
+        crate::invariants::check_node(self.g, l_new, &r_new);
 
         if !sink.emit(l_new, &r_new) {
             self.pool[depth] = s;
@@ -279,9 +295,7 @@ impl<'g> MbetEngine<'g> {
             let non_maximal = if self.cfg.trie_maximality {
                 s.ctrie_q.any_superset(key)
             } else {
-                s.q_list
-                    .iter()
-                    .any(|q| setops::is_subset(key, slice(&s.keyar, q.key)))
+                s.q_list.iter().any(|q| setops::is_subset(key, slice(&s.keyar, q.key)))
             };
             if non_maximal {
                 // A branch attempt that dies at the check — counted as a
@@ -298,9 +312,8 @@ impl<'g> MbetEngine<'g> {
                 // its R'), plus members of later groups whose key shares a
                 // rank with this key (the rest die at the child anyway).
                 s.child_p.clear();
-                s.child_p.extend(
-                    slice(&s.memar, grp.members).iter().copied().filter(|&w| w != grp.rep),
-                );
+                s.child_p
+                    .extend(slice(&s.memar, grp.members).iter().copied().filter(|&w| w != grp.rep));
                 if self.cfg.trie_absorption {
                     // Per-group (not per-member) rank test.
                     for later in &s.groups[gi + 1..] {
@@ -417,6 +430,7 @@ impl MbetEngine<'_> {
         r_new.push(v);
         r_new.extend_from_slice(&absorbed);
         r_new.sort_unstable();
+        crate::invariants::check_node(self.g, l_new, &r_new);
         if !sink.emit(l_new, &r_new) {
             return false;
         }
@@ -515,8 +529,7 @@ mod tests {
     #[test]
     fn mbet_matches_mbea_counters_when_disabled() {
         let g = g0();
-        let cfg =
-            MbetConfig { batching: false, trie_maximality: false, trie_absorption: false };
+        let cfg = MbetConfig { batching: false, trie_maximality: false, trie_absorption: false };
         let (got, mbet_stats) = run_mbet(&g, cfg);
 
         let mut sink = CollectSink::new();
@@ -547,8 +560,7 @@ mod tests {
         }
         let g = BipartiteGraph::from_edges(3, 6, &edges).unwrap();
         let (b_on, s_on) = run_mbet(&g, MbetConfig::default());
-        let (b_off, s_off) =
-            run_mbet(&g, MbetConfig { batching: false, ..Default::default() });
+        let (b_off, s_off) = run_mbet(&g, MbetConfig { batching: false, ..Default::default() });
         assert_eq!(b_on, b_off);
         // Two maximal bicliques: ({u0,u1,u2},{v0}) and ({u0,u1},{v0..v5}).
         assert_eq!(b_on.len(), 2);
@@ -561,8 +573,7 @@ mod tests {
     fn equivalent_partial_candidates_all_join_r() {
         // Regression: non-representative members of the expanded group
         // must end up in the child's R even though only the rep branches.
-        let edges =
-            vec![(0u32, 0u32), (1, 0), (2, 0), (0, 1), (1, 1), (0, 2), (1, 2)];
+        let edges = vec![(0u32, 0u32), (1, 0), (2, 0), (0, 1), (1, 1), (0, 2), (1, 2)];
         let g = BipartiteGraph::from_edges(3, 3, &edges).unwrap();
         let (bicliques, _) = run_mbet(&g, MbetConfig::default());
         crate::verify::assert_matches_brute_force(&g, &bicliques);

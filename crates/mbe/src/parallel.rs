@@ -20,6 +20,7 @@ use crate::task::{root_representatives, AnyEngine, RootTask, TaskBuilder};
 use crate::{Algorithm, MbeOptions};
 use bigraph::BipartiteGraph;
 use crossbeam::deque::{Injector, Steal, Worker};
+use crossbeam::utils::Backoff;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A unit of parallel work.
@@ -58,7 +59,7 @@ impl NodeTask {
     }
 
     fn est_size(&self) -> usize {
-        self.est_height().saturating_mul(self.p.len())
+        crate::task::est_tree_size(self.est_height(), self.p.len())
     }
 
     fn should_split(&self, opts: &MbeOptions) -> bool {
@@ -71,7 +72,11 @@ impl NodeTask {
 /// per worker; the sinks and the merged stats are returned.
 ///
 /// Emission *order* is nondeterministic, the emitted *set* is not.
-pub fn par_enumerate_with<S, F>(g: &BipartiteGraph, opts: &MbeOptions, make_sink: F) -> (Vec<S>, Stats)
+pub fn par_enumerate_with<S, F>(
+    g: &BipartiteGraph,
+    opts: &MbeOptions,
+    make_sink: F,
+) -> (Vec<S>, Stats)
 where
     S: BicliqueSink + Send,
     F: Fn(usize) -> S + Sync,
@@ -131,27 +136,43 @@ where
                     let mut stats = Stats::default();
                     let mut engine = AnyEngine::new(h, opts);
                     worker_loop(
-                        wid, h, perm, opts, &local, injector, stealers, pending, stop,
-                        &mut engine, &mut sink, &mut stats,
+                        wid,
+                        h,
+                        perm,
+                        opts,
+                        &local,
+                        injector,
+                        stealers,
+                        pending,
+                        stop,
+                        &mut engine,
+                        &mut sink,
+                        &mut stats,
                     );
                     *slot = Some((sink, stats));
                 })
-                .expect("spawn worker");
+                .expect("spawn worker"); // xtask-allow: expect
             handles.push(handle);
         }
         for hdl in handles {
+            // Worker panics must propagate, not be swallowed. xtask-allow: expect
             hdl.join().expect("worker panicked");
         }
     })
-    .expect("scope");
+    .expect("scope"); // xtask-allow: expect
 
     let mut stats = seed_stats;
     let mut sinks = Vec::with_capacity(threads);
     for r in results {
-        let (s, st) = r.expect("every worker reports");
+        let (s, st) = r.expect("every worker reports"); // xtask-allow: expect
         stats.merge(&st);
         sinks.push(s);
     }
+    let stopped = stop.load(Ordering::Relaxed);
+    if !stopped {
+        crate::invariants::check_drained(pending.load(Ordering::SeqCst));
+    }
+    crate::invariants::check_parallel_run(g, opts, &stats, stopped);
     stats.elapsed = start.elapsed();
     (sinks, stats)
 }
@@ -173,6 +194,7 @@ fn worker_loop<S: BicliqueSink>(
 ) {
     let mut split_buf: Vec<NodeTask> = Vec::new();
     let mut builder = TaskBuilder::new(h);
+    let backoff = Backoff::new();
     loop {
         if stop.load(Ordering::Relaxed) {
             return;
@@ -187,12 +209,17 @@ fn worker_loop<S: BicliqueSink>(
             .and_then(|s| s.success())
         });
         let Some(task) = task else {
+            // Injector and every stealer came up empty. Either the pool is
+            // done (`pending` drained) or peers are still expanding nodes
+            // that may yet split — back off exponentially (spin, then
+            // yield) instead of burning a core on a bare yield loop.
             if pending.load(Ordering::SeqCst) == 0 {
                 return;
             }
-            std::thread::yield_now();
+            backoff.snooze();
             continue;
         };
+        backoff.reset();
 
         let task = match task {
             Task::Node(t) => Some(t),
@@ -265,17 +292,17 @@ fn split_node(
     r_new.push(t.v);
     r_new.extend_from_slice(&absorbed);
     r_new.sort_unstable();
+    crate::invariants::check_node(g, &t.l, &r_new);
     if !sink.emit(&t.l, &r_new) {
         return false;
     }
     stats.emitted += 1;
 
-    let q_base: Vec<u32> = t
-        .q
-        .iter()
-        .copied()
-        .filter(|&q| setops::intersect_first(g.nbr_v(q), &t.l).is_some())
-        .collect();
+    let q_base: Vec<u32> =
+        t.q.iter()
+            .copied()
+            .filter(|&q| setops::intersect_first(g.nbr_v(q), &t.l).is_some())
+            .collect();
     let mut q_now = q_base;
     let mut l_child = Vec::new();
     for i in 0..p_new.len() {
@@ -378,5 +405,55 @@ mod tests {
         let (count, stats) = par_count_bicliques(&g, &opts);
         assert_eq!(count, 0);
         assert_eq!(stats.emitted, 0);
+    }
+
+    fn node(l: usize, p: usize) -> NodeTask {
+        NodeTask {
+            l: (0..l as u32).collect(),
+            r_parent: Vec::new(),
+            v: 0,
+            p: (0..p as u32).collect(),
+            q: Vec::new(),
+        }
+    }
+
+    fn thresholds(split_height: usize, split_size: usize) -> MbeOptions {
+        let mut opts = MbeOptions::new(Algorithm::Mbet);
+        opts.split_height = split_height;
+        opts.split_size = split_size;
+        opts
+    }
+
+    #[test]
+    fn est_size_uses_saturating_product() {
+        // 5 candidates, |L| = 3 ⇒ height 3, size 15; both via the shared
+        // saturating helper (whose usize::MAX behavior is unit-tested in
+        // `task`).
+        let t = node(3, 5);
+        assert_eq!(t.est_height(), 3);
+        assert_eq!(t.est_size(), 15);
+    }
+
+    #[test]
+    fn should_split_boundaries() {
+        let t = node(5, 10); // est_height = 5, est_size = 50
+
+        // Zero thresholds: any task with a non-trivial estimate splits.
+        assert!(t.should_split(&thresholds(0, 0)));
+        // Comparisons are strict: estimates equal to a threshold don't split.
+        assert!(!t.should_split(&thresholds(5, 0)));
+        assert!(!t.should_split(&thresholds(0, 50)));
+        assert!(t.should_split(&thresholds(4, 49)));
+        // usize::MAX thresholds can never be exceeded (est_size saturates
+        // at usize::MAX, and `>` is strict), so splitting is fully off.
+        assert!(!t.should_split(&thresholds(usize::MAX, 0)));
+        assert!(!t.should_split(&thresholds(0, usize::MAX)));
+        assert!(!t.should_split(&thresholds(usize::MAX, usize::MAX)));
+
+        // A task with no candidates estimates zero and never splits, even
+        // at zero thresholds.
+        let leaf = node(5, 0);
+        assert_eq!(leaf.est_size(), 0);
+        assert!(!leaf.should_split(&thresholds(0, 0)));
     }
 }

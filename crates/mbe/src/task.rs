@@ -43,8 +43,16 @@ impl RootTask {
     /// Estimated enumeration-tree size, `min(|L|, |C|) · |C|` — compared
     /// against `split_size`.
     pub fn est_size(&self) -> usize {
-        self.est_height().saturating_mul(self.p0.len())
+        est_tree_size(self.est_height(), self.p0.len())
     }
+}
+
+/// Saturating `height · candidates` size estimate shared by [`RootTask`]
+/// and the parallel driver's node tasks: the product clamps at
+/// `usize::MAX` instead of overflowing on adversarial degree
+/// distributions, so splitting decisions stay monotone in both inputs.
+pub(crate) fn est_tree_size(height: usize, candidates: usize) -> usize {
+    height.saturating_mul(candidates)
 }
 
 /// Builds root tasks over one graph with reusable scratch space.
@@ -112,8 +120,10 @@ impl<'g> SerialDriver<'g> {
         SerialDriver { g, opts: opts.clone() }
     }
 
-    /// Runs all root tasks into `sink`, accumulating `stats`.
-    pub fn run_all<S: BicliqueSink>(&mut self, sink: &mut S, stats: &mut Stats) {
+    /// Runs all root tasks into `sink`, accumulating `stats`. Returns
+    /// `true` iff the run completed (`false` iff the sink requested a
+    /// stop, which leaves the in-flight node's counters open).
+    pub fn run_all<S: BicliqueSink>(&mut self, sink: &mut S, stats: &mut Stats) -> bool {
         let g = self.g;
         let mut builder = TaskBuilder::new(g);
         // Root-level batching: only MBET with batching enabled skips
@@ -133,10 +143,11 @@ impl<'g> SerialDriver<'g> {
             if let Some(task) = builder.build(v) {
                 stats.tasks += 1;
                 if !engine.run_task(&task, sink, stats) {
-                    return; // sink requested stop
+                    return false; // sink requested stop
                 }
             }
         }
+        true
     }
 }
 
@@ -241,9 +252,20 @@ mod tests {
     }
 
     #[test]
+    fn est_tree_size_saturates_at_usize_max() {
+        assert_eq!(est_tree_size(usize::MAX, 2), usize::MAX);
+        assert_eq!(est_tree_size(2, usize::MAX), usize::MAX);
+        assert_eq!(est_tree_size(usize::MAX, usize::MAX), usize::MAX);
+        assert_eq!(est_tree_size(usize::MAX, 1), usize::MAX);
+        assert_eq!(est_tree_size(usize::MAX, 0), 0);
+        assert_eq!(est_tree_size(0, usize::MAX), 0);
+    }
+
+    #[test]
     fn representatives_group_identical_neighborhoods() {
         // v0 and v2 have N = {0}; v1 has N = {0,1}; v3 has N = {0}.
-        let g = BipartiteGraph::from_edges(2, 4, &[(0, 0), (0, 1), (1, 1), (0, 2), (0, 3)]).unwrap();
+        let g =
+            BipartiteGraph::from_edges(2, 4, &[(0, 0), (0, 1), (1, 1), (0, 2), (0, 3)]).unwrap();
         let reps = root_representatives(&g);
         assert_eq!(reps, vec![true, true, false, false]);
     }

@@ -193,8 +193,8 @@ mod tests {
     fn brute_force_handles_swapped_orientation() {
         // |U| < |V| forces internal canonicalization; sides must come
         // back in the caller's orientation.
-        let g = BipartiteGraph::from_edges(2, 4, &[(0, 0), (0, 1), (1, 1), (1, 2), (1, 3)])
-            .unwrap();
+        let g =
+            BipartiteGraph::from_edges(2, 4, &[(0, 0), (0, 1), (1, 1), (1, 2), (1, 3)]).unwrap();
         let all = brute_force(&g);
         for b in &all {
             assert!(is_maximal_biclique(&g, &b.left, &b.right), "{b:?}");

@@ -115,10 +115,8 @@ fn graphs_with_swapped_sides_give_mirrored_results() {
     let swapped = g.swap_sides();
     let (a, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
     let (b, _) = collect_bicliques(&swapped, &MbeOptions::default()).unwrap();
-    let mut a_mirrored: Vec<mbe::Biclique> = a
-        .iter()
-        .map(|x| mbe::Biclique { left: x.right.clone(), right: x.left.clone() })
-        .collect();
+    let mut a_mirrored: Vec<mbe::Biclique> =
+        a.iter().map(|x| mbe::Biclique { left: x.right.clone(), right: x.left.clone() }).collect();
     a_mirrored.sort();
     let mut b = b;
     b.sort();

@@ -159,18 +159,11 @@ fn regression_corpus() {
             e
         }),
         // Nested neighborhoods (absorption ladder).
-        (4, 4, vec![
-            (0, 0),
-            (0, 1),
-            (0, 2),
-            (0, 3),
-            (1, 1),
-            (1, 2),
-            (1, 3),
-            (2, 2),
-            (2, 3),
-            (3, 3),
-        ]),
+        (
+            4,
+            4,
+            vec![(0, 0), (0, 1), (0, 2), (0, 3), (1, 1), (1, 2), (1, 3), (2, 2), (2, 3), (3, 3)],
+        ),
     ];
     for (nu, nv, edges) in corpus {
         let g = BipartiteGraph::from_edges(nu, nv, &edges).unwrap();

@@ -103,19 +103,26 @@ fn parallel_stop_terminates_promptly() {
 fn filtered_matches_post_filter_at_scale() {
     let g = structured(21, 300, 200, 1800);
     let (all, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
+    // Work reference from the same (MBEA-style, unbatched) engine family
+    // the filtered search uses, in the same natural order: the thresholds
+    // may only ever *remove* enumeration nodes from that tree.
+    let unfiltered = MbeOptions::new(Algorithm::Mbea).order(bigraph::order::VertexOrder::Natural);
+    let (_, full_stats) = collect_bicliques(&g, &unfiltered).unwrap();
     for (a, b) in [(2, 2), (3, 4), (5, 5)] {
         let thr = mbe::SizeThresholds::new(a, b);
         let (mut got, stats) = mbe::collect_filtered(&g, thr);
         got.sort();
-        let mut want: Vec<_> = all
-            .iter()
-            .filter(|x| x.left.len() >= a && x.right.len() >= b)
-            .cloned()
-            .collect();
+        let mut want: Vec<_> =
+            all.iter().filter(|x| x.left.len() >= a && x.right.len() >= b).cloned().collect();
         want.sort();
         assert_eq!(got, want, "thr=({a},{b})");
         // Thresholded search must do less work than the full run.
-        assert!(stats.nodes <= all.len() as u64 * 4);
+        assert!(
+            stats.nodes <= full_stats.nodes,
+            "thr=({a},{b}): filtered expanded {} nodes, full run {}",
+            stats.nodes,
+            full_stats.nodes
+        );
     }
 }
 

@@ -61,6 +61,7 @@ impl CandidateTrie {
     /// Removes all keys, keeping allocations.
     pub fn clear(&mut self) {
         self.nodes.truncate(1);
+        // Root node always exists after truncate(1). xtask-allow: index-literal
         self.nodes[0] = Node { label: 0, first_child: NIL, next_sibling: NIL, verts_head: NIL };
         self.payload.clear();
         self.keys = 0;
@@ -86,6 +87,7 @@ impl CandidateTrie {
     /// Returns `true` iff the key was already present (i.e. `vertex` joins
     /// an existing equivalence group).
     pub fn insert(&mut self, key: &[u32], vertex: u32) -> bool {
+        // windows(2) guarantees both elements. xtask-allow: index-literal
         debug_assert!(key.windows(2).all(|w| w[0] < w[1]), "key must be strictly increasing");
         let mut at = 0usize;
         for &sym in key {

@@ -24,6 +24,8 @@
 //! All sequences must be strictly increasing; this is asserted in debug
 //! builds and fuzzed by property tests.
 
+#![forbid(unsafe_code)]
+
 pub mod ctrie;
 pub mod rtrie;
 

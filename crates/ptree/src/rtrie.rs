@@ -57,7 +57,8 @@ impl Default for RTrie {
 impl RTrie {
     /// An unbounded trie.
     pub fn new() -> Self {
-        let mut t = RTrie { nodes: Vec::new(), stored: 0, total_new: 0, budget: None, evictions: 0 };
+        let mut t =
+            RTrie { nodes: Vec::new(), stored: 0, total_new: 0, budget: None, evictions: 0 };
         t.nodes.push(Node { label: 0, first_child: NIL, next_sibling: NIL, terminal: false });
         t
     }
@@ -107,6 +108,7 @@ impl RTrie {
     /// Removes all sets, keeping allocations. Does not count as eviction.
     pub fn clear(&mut self) {
         self.nodes.truncate(1);
+        // Root node always exists after truncate(1). xtask-allow: index-literal
         self.nodes[0] = Node { label: 0, first_child: NIL, next_sibling: NIL, terminal: false };
         self.stored = 0;
     }
@@ -117,6 +119,7 @@ impl RTrie {
     /// budget, the trie evicts *after* recording the insertion, so the
     /// return value is still meaningful for the current set.
     pub fn insert(&mut self, set: &[u32]) -> Insert {
+        // windows(2) guarantees both elements. xtask-allow: index-literal
         debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "set must be strictly increasing");
         let mut at = 0usize;
         let mut created = false;
@@ -174,6 +177,7 @@ impl RTrie {
     /// output family.
     pub fn longest_stored_prefix(&self, set: &[u32]) -> Option<usize> {
         let mut at = 0usize;
+        // The root node always exists. xtask-allow: index-literal
         let mut best = if self.nodes[0].terminal { Some(0) } else { None };
         for (i, &sym) in set.iter().enumerate() {
             match self.find_child(at, sym) {

@@ -78,11 +78,7 @@ impl Bitmap {
     /// `|self ∩ other|`.
     pub fn intersect_count(&self, other: &Bitmap) -> usize {
         debug_assert_eq!(self.len, other.len);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// `self &= other`.
@@ -111,7 +107,11 @@ impl Bitmap {
 
     /// Iterates set bits in increasing order.
     pub fn iter(&self) -> BitIter<'_> {
-        BitIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Collects set bits as `u32` ranks into `out` (cleared first).

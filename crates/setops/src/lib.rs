@@ -20,6 +20,8 @@
 //! strictly increasing outputs; this invariant is `debug_assert`ed and
 //! exercised by property tests.
 
+#![forbid(unsafe_code)]
+
 pub mod bitmap;
 pub mod gallop;
 pub mod merge;
@@ -114,6 +116,7 @@ pub fn intersect_first(a: &[u32], b: &[u32]) -> Option<u32> {
 /// Checks the strictly-increasing invariant. Exposed so downstream crates
 /// can assert it on loaded data; cheap enough for debug assertions.
 pub fn is_strictly_increasing(s: &[u32]) -> bool {
+    // windows(2) guarantees both elements. xtask-allow: index-literal
     s.windows(2).all(|w| w[0] < w[1])
 }
 

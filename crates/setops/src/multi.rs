@@ -44,9 +44,11 @@ pub fn union_k_into(inputs: &[&[u32]], out: &mut Vec<u32>) {
     out.clear();
     match inputs.len() {
         0 => {}
+        // Match arms guarantee the length. xtask-allow: index-literal
         1 => out.extend_from_slice(inputs[0]),
         2..=4 => {
             let mut tmp = Vec::new();
+            // xtask-allow: index-literal
             out.extend_from_slice(inputs[0]);
             for s in &inputs[1..] {
                 crate::union_into(out, s, &mut tmp);

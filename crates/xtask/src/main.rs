@@ -1,0 +1,513 @@
+//! Workspace lint runner: `cargo run -p xtask -- check`.
+//!
+//! A zero-dependency static-analysis pass over every `.rs` file in the
+//! workspace, enforcing the repo conventions that `clippy` cannot express
+//! (see README.md "Static analysis & invariants"):
+//!
+//! * **unsafe** — no `unsafe` anywhere, and every crate root
+//!   (`src/lib.rs` / `src/main.rs`) carries `#![forbid(unsafe_code)]`;
+//! * **unwrap / expect / panic / index-literal** — banned in the
+//!   hot-path modules (`setops`, `ptree`, the MBET engine, the parallel
+//!   driver), where a stray panic aborts a worker mid-enumeration;
+//! * **println** — no `println!` outside the `cli`, `bench`, and `xtask`
+//!   crates (library crates report through sinks and `Stats`);
+//! * **doc** — every `pub` item in `mbe` and `bigraph` is documented;
+//! * **todo** — task markers must carry an issue tag, `TODO(#123)`-style.
+//!
+//! Test code (`#[cfg(test)]` regions) is exempt from all rules — the
+//! compiler-level `forbid(unsafe_code)` still covers it. Individual
+//! lines opt out with `// xtask-allow: <rule>[, <rule>...]` on the same
+//! line or on a comment line directly above; every allow must name the
+//! rule it suppresses.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Modules whose panics abort enumeration mid-flight: the panic-family
+/// rules apply only here.
+const HOT_PATHS: &[&str] = &[
+    "crates/setops/src/",
+    "crates/ptree/src/",
+    "crates/mbe/src/mbet.rs",
+    "crates/mbe/src/parallel.rs",
+];
+
+/// Crates allowed to print to stdout (user-facing output or bench
+/// reports; `vendor/criterion` is the bench reporter itself).
+const PRINTLN_OK: &[&str] =
+    &["crates/cli/", "crates/bench/", "crates/xtask/", "vendor/criterion/", "examples/"];
+
+/// Crates whose public API surface must be fully documented.
+const DOC_PATHS: &[&str] = &["crates/mbe/src/", "crates/bigraph/src/"];
+
+// Needles are spliced so this file does not flag itself when scanned.
+const RULE_UNSAFE: &str = concat!("un", "safe");
+const NEEDLE_TODO: &str = concat!("TO", "DO");
+const NEEDLE_FIXME: &str = concat!("FIX", "ME");
+const FORBID_ATTR: &str = "#![forbid(unsafe_code)]";
+
+/// One broken rule at one source line.
+#[derive(Debug, PartialEq, Eq)]
+struct Violation {
+    path: String,
+    line: usize,
+    rule: &'static str,
+    msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.msg)
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("check") => {}
+        other => {
+            eprintln!("usage: cargo run -p xtask -- check");
+            if let Some(cmd) = other {
+                eprintln!("unknown command: {cmd}");
+            }
+            std::process::exit(2);
+        }
+    }
+
+    let root = workspace_root();
+    let files = collect_rs_files(&root);
+    let mut violations = Vec::new();
+    for path in &files {
+        let content = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        let rel = path.strip_prefix(&root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        violations.extend(scan_file(&rel, &content));
+        violations.extend(check_crate_root(&rel, &content));
+    }
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("xtask check: {} files clean", files.len());
+    } else {
+        println!("xtask check: {} violation(s) in {} files", violations.len(), files.len());
+        std::process::exit(1);
+    }
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+/// Every `.rs` file under `root`, skipping build output and VCS state.
+fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Crate roots must carry the compiler-level unsafe ban; the textual
+/// rules below are only the belt on top of that suspenders.
+fn check_crate_root(rel: &str, content: &str) -> Option<Violation> {
+    let is_root =
+        rel == "src/lib.rs" || rel.ends_with("/src/lib.rs") || rel.ends_with("/src/main.rs");
+    if is_root && !content.contains(FORBID_ATTR) {
+        return Some(Violation {
+            path: rel.to_string(),
+            line: 1,
+            rule: RULE_UNSAFE,
+            msg: format!("crate root missing `{FORBID_ATTR}`"),
+        });
+    }
+    None
+}
+
+/// Runs every line rule over one file. Pure on `(path, content)` so the
+/// self-tests can feed synthetic sources.
+fn scan_file(rel: &str, content: &str) -> Vec<Violation> {
+    let hot = HOT_PATHS.iter().any(|p| rel.starts_with(p));
+    let println_ok = PRINTLN_OK.iter().any(|p| rel.starts_with(p));
+    let doc_required = DOC_PATHS.iter().any(|p| rel.starts_with(p));
+
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut test_region: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    let mut prev_allows: Vec<String> = Vec::new();
+    let mut has_doc = false;
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line = idx + 1;
+        let allows = parse_allows(raw);
+        let code = strip_line_comment(raw);
+        let trimmed = code.trim();
+
+        // Enter a `#[cfg(test)] mod ... { ... }` region.
+        if test_region.is_none() {
+            if trimmed.starts_with("#[cfg(") && trimmed.contains("test") {
+                pending_cfg_test = true;
+            } else if pending_cfg_test && !trimmed.is_empty() && !trimmed.starts_with("#[") {
+                if code.contains('{') {
+                    test_region = Some(depth);
+                }
+                pending_cfg_test = false;
+            }
+        }
+        let in_test = test_region.is_some();
+
+        let allowed =
+            |rule: &str| allows.iter().any(|a| a == rule) || prev_allows.iter().any(|a| a == rule);
+
+        if !in_test {
+            if contains_word(code, RULE_UNSAFE) && !allowed(RULE_UNSAFE) {
+                out.push(violation(rel, line, RULE_UNSAFE, &format!("{RULE_UNSAFE} is banned")));
+            }
+            if hot {
+                if code.contains(".unwrap()") && !allowed("unwrap") {
+                    out.push(violation(rel, line, "unwrap", "no .unwrap() in hot-path modules"));
+                }
+                if code.contains(".expect(") && !allowed("expect") {
+                    out.push(violation(rel, line, "expect", "no .expect() in hot-path modules"));
+                }
+                if code.contains("panic!") && !allowed("panic") {
+                    out.push(violation(rel, line, "panic", "no panic! in hot-path modules"));
+                }
+                if has_literal_index(code) && !allowed("index-literal") {
+                    out.push(violation(
+                        rel,
+                        line,
+                        "index-literal",
+                        "no indexing by integer literal in hot-path modules",
+                    ));
+                }
+            }
+            if !println_ok && code.contains("println!") && !allowed("println") {
+                out.push(violation(
+                    rel,
+                    line,
+                    "println",
+                    "println! is reserved for cli/bench crates",
+                ));
+            }
+            if doc_required {
+                if let Some(item) = pub_item(trimmed) {
+                    if !has_doc && !allowed("doc") {
+                        out.push(violation(
+                            rel,
+                            line,
+                            "doc",
+                            &format!("undocumented pub item: {item}"),
+                        ));
+                    }
+                }
+            }
+            if untagged_todo(raw) && !allowed("todo") {
+                out.push(violation(
+                    rel,
+                    line,
+                    "todo",
+                    &format!("{NEEDLE_TODO}/{NEEDLE_FIXME} requires an issue tag, e.g. {NEEDLE_TODO}(#123)"),
+                ));
+            }
+        }
+
+        // Track doc-comment adjacency for the `doc` rule.
+        let t = raw.trim_start();
+        if t.starts_with("///") || t.starts_with("//!") || t.starts_with("#[doc") {
+            has_doc = true;
+        } else if !t.starts_with("#[") {
+            has_doc = false;
+        }
+
+        // Track brace depth to find the end of a test region.
+        depth += code.matches('{').count() as i64 - code.matches('}').count() as i64;
+        if let Some(d) = test_region {
+            if depth <= d {
+                test_region = None;
+            }
+        }
+
+        // A standalone allow comment covers the next line.
+        prev_allows = if trimmed.is_empty() { allows } else { Vec::new() };
+    }
+    out
+}
+
+fn violation(path: &str, line: usize, rule: &'static str, msg: &str) -> Violation {
+    Violation { path: path.to_string(), line, rule, msg: msg.to_string() }
+}
+
+/// Rules named by an `xtask-allow:` marker on this line.
+fn parse_allows(line: &str) -> Vec<String> {
+    match line.find("xtask-allow:") {
+        Some(i) => line[i + "xtask-allow:".len()..]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+/// The line with any `//` comment removed (string literals containing
+/// `//` are truncated too — acceptable for a conservative lint).
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// `true` iff `needle` occurs in `haystack` delimited by non-identifier
+/// characters on both sides.
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let is_word = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let ok_before = start == 0 || !is_word(bytes[start - 1]);
+        let ok_after = end == bytes.len() || !is_word(bytes[end]);
+        if ok_before && ok_after {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// `true` iff the line indexes an expression with a bare integer literal
+/// (`xs[0]`); slice literals like `&[0]` don't count — only subscripts
+/// applied to a value (identifier, call, or index result) do.
+fn has_literal_index(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        let indexes_value =
+            prev == b'_' || prev.is_ascii_alphanumeric() || prev == b')' || prev == b']';
+        if !indexes_value {
+            continue;
+        }
+        let mut j = i + 1;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+        if j > i + 1 && j < bytes.len() && bytes[j] == b']' {
+            return true;
+        }
+    }
+    false
+}
+
+/// The pub item a (trimmed) line declares, if any: `pub fn`-style items
+/// and pub struct fields. Re-exports (`pub use`) inherit their target's
+/// docs and restricted visibility (`pub(crate)`) is not public API.
+fn pub_item(trimmed: &str) -> Option<String> {
+    let rest = trimmed.strip_prefix("pub ")?;
+    let word: String =
+        rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+    // `pub mod name;` takes its docs from the module file's `//!` header,
+    // which a line-based scan cannot see — only inline modules are held
+    // to the adjacency rule.
+    if word == "mod" && trimmed.ends_with(';') {
+        return None;
+    }
+    match word.as_str() {
+        "fn" | "struct" | "enum" | "trait" | "mod" | "const" | "static" | "type" => {
+            let name: String = rest[word.len()..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            Some(format!("{word} {name}"))
+        }
+        "use" => None,
+        _ => {
+            // A struct field: `pub name: Type`.
+            let colon = rest.find(':')?;
+            let name = rest[..colon].trim();
+            let is_ident =
+                !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+            if is_ident {
+                Some(format!("field {name}"))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `true` iff the raw line carries an untagged task marker (the marker
+/// word itself, not embedded in a longer identifier).
+fn untagged_todo(raw: &str) -> bool {
+    let bytes = raw.as_bytes();
+    let is_word = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    for needle in [NEEDLE_TODO, NEEDLE_FIXME] {
+        let mut from = 0;
+        while let Some(pos) = raw[from..].find(needle) {
+            let start = from + pos;
+            let end = start + needle.len();
+            let word_alone = (start == 0 || !is_word(bytes[start - 1]))
+                && (end == bytes.len() || !is_word(bytes[end]));
+            if word_alone && !raw[end..].starts_with("(#") {
+                return true;
+            }
+            from = start + 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn injected_unsafe_is_flagged_anywhere() {
+        let src = "pub fn f(p: *const u8) {\n    unsafe { p.read(); }\n}\n";
+        let got = scan_file("crates/gen/src/lib.rs", src);
+        assert_eq!(rules(&got), vec![RULE_UNSAFE]);
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn injected_hot_path_unwrap_is_flagged() {
+        let src = "fn f(v: Vec<u32>) -> u32 {\n    *v.first().unwrap()\n}\n";
+        let got = scan_file("crates/setops/src/lib.rs", src);
+        assert_eq!(rules(&got), vec!["unwrap"]);
+        // The same source outside a hot path is fine.
+        assert!(scan_file("crates/gen/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_expect_panic_and_literal_index_are_flagged() {
+        let src = "fn f(v: &[u32]) -> u32 {\n    if v.is_empty() { panic!(\"no\"); }\n    \
+                   v.iter().next().copied().expect(\"x\") + v[0]\n}\n";
+        let got = scan_file("crates/mbe/src/mbet.rs", src);
+        assert_eq!(rules(&got), vec!["panic", "expect", "index-literal"]);
+    }
+
+    #[test]
+    fn slice_literals_are_not_literal_indexing() {
+        assert!(!has_literal_index("let s = &[0];"));
+        assert!(!has_literal_index("f(&[1, 2], [3]);"));
+        assert!(has_literal_index("let x = xs[0];"));
+        assert!(has_literal_index("let x = f()[1];"));
+        assert!(has_literal_index("let x = m[0][12];"));
+        assert!(!has_literal_index("let t: [u8; 16] = x;"));
+        assert!(!has_literal_index("let x = xs[i];"));
+    }
+
+    #[test]
+    fn allow_comment_suppresses_on_same_and_previous_line() {
+        let inline = "fn f(v: Vec<u32>) -> u32 {\n    v.pop().unwrap() // xtask-allow: unwrap\n}\n";
+        assert!(scan_file("crates/setops/src/lib.rs", inline).is_empty());
+        let above =
+            "fn f(v: Vec<u32>) -> u32 {\n    // xtask-allow: unwrap\n    v.pop().unwrap()\n}\n";
+        assert!(scan_file("crates/setops/src/lib.rs", above).is_empty());
+        // An allow for a different rule does not suppress.
+        let wrong = "fn f(v: Vec<u32>) -> u32 {\n    v.pop().unwrap() // xtask-allow: expect\n}\n";
+        assert_eq!(rules(&scan_file("crates/setops/src/lib.rs", wrong)), vec!["unwrap"]);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                   Vec::<u32>::new().pop().unwrap();\n    }\n}\n";
+        assert!(scan_file("crates/setops/src/lib.rs", src).is_empty());
+        // ...and code after the region is scanned again.
+        let after = format!("{src}\nfn g(v: Vec<u32>) {{\n    v.last().unwrap();\n}}\n");
+        assert_eq!(rules(&scan_file("crates/setops/src/lib.rs", &after)), vec!["unwrap"]);
+    }
+
+    #[test]
+    fn println_allowed_only_in_output_crates() {
+        let src = "fn f() {\n    println!(\"hi\");\n}\n";
+        assert_eq!(rules(&scan_file("crates/mbe/src/lib.rs", src)), vec!["println"]);
+        assert!(scan_file("crates/cli/src/main.rs", src).is_empty());
+        assert!(scan_file("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_pub_items_flagged_in_api_crates() {
+        let src = "pub fn frob() {}\n";
+        assert_eq!(rules(&scan_file("crates/mbe/src/util.rs", src)), vec!["doc"]);
+        assert_eq!(rules(&scan_file("crates/bigraph/src/io.rs", src)), vec!["doc"]);
+        // Other crates are not held to the doc rule.
+        assert!(scan_file("crates/gen/src/lib.rs", src).is_empty());
+        // A doc comment (even under attributes) satisfies it.
+        let documented = "/// Frobs.\n#[inline]\npub fn frob() {}\n";
+        assert!(scan_file("crates/mbe/src/util.rs", documented).is_empty());
+        // Fields count as pub items; `pub use` re-exports do not.
+        let field = "/// S.\npub struct S {\n    pub x: u32,\n}\n";
+        assert_eq!(rules(&scan_file("crates/mbe/src/util.rs", field)), vec!["doc"]);
+        assert!(scan_file("crates/mbe/src/lib.rs", "pub use crate::metrics::Stats;\n").is_empty());
+    }
+
+    #[test]
+    fn untagged_markers_flagged_tagged_ok() {
+        let tag_less = format!("fn f() {{}} // {}: fix this\n", NEEDLE_TODO);
+        assert_eq!(rules(&scan_file("crates/gen/src/lib.rs", &tag_less)), vec!["todo"]);
+        let tagged = format!("fn f() {{}} // {}(#12): fix this\n", NEEDLE_TODO);
+        assert!(scan_file("crates/gen/src/lib.rs", &tagged).is_empty());
+        let fixme = format!("// {}: broken\n", NEEDLE_FIXME);
+        assert_eq!(rules(&scan_file("crates/gen/src/lib.rs", &fixme)), vec!["todo"]);
+    }
+
+    #[test]
+    fn crate_roots_require_forbid_attr() {
+        let v = check_crate_root("crates/gen/src/lib.rs", "pub fn f() {}\n");
+        assert!(v.is_some());
+        let ok = format!("{FORBID_ATTR}\npub fn f() {{}}\n");
+        assert!(check_crate_root("crates/gen/src/lib.rs", &ok).is_none());
+        // Non-root files are not checked.
+        assert!(check_crate_root("crates/gen/src/er.rs", "fn f() {}\n").is_none());
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(!contains_word("forbid(unsafe_code)", RULE_UNSAFE));
+        assert!(contains_word("an unsafe block", RULE_UNSAFE));
+        assert!(contains_word("unsafe{", RULE_UNSAFE));
+    }
+}

@@ -76,9 +76,7 @@ fn main() {
 
     // Cross-check: the best thresholded group can never beat the global
     // top-1 (the global search has no size constraints).
-    if let (Some(best_thr), Some(best)) =
-        (groups.iter().map(|b| b.edges()).max(), top.first())
-    {
+    if let (Some(best_thr), Some(best)) = (groups.iter().map(|b| b.edges()).max(), top.first()) {
         assert!(best.edges() >= best_thr.min(best.edges()));
         println!("\nglobal max biclique: {} edges", best.edges());
     }

@@ -23,10 +23,7 @@ fn main() {
     // over-expression noise plus 8 planted modules.
     let noise = er::gnp(&mut rng, 1200, 60, 0.02);
     let modules = PlantedConfig {
-        blocks: vec![
-            BlockSpec { a: 20, b: 6, count: 4 },
-            BlockSpec { a: 12, b: 9, count: 4 },
-        ],
+        blocks: vec![BlockSpec { a: 20, b: 6, count: 4 }, BlockSpec { a: 12, b: 9, count: 4 }],
         overlap: 0.25,
     };
     let (g, truth) = plant(&mut rng, &noise, &modules);
@@ -73,8 +70,7 @@ fn main() {
         .iter()
         .filter(|t| {
             modules.iter().any(|b| {
-                t.us.iter().all(|u| b.left.contains(u))
-                    && t.vs.iter().all(|v| b.right.contains(v))
+                t.us.iter().all(|u| b.left.contains(u)) && t.vs.iter().all(|v| b.right.contains(v))
             })
         })
         .count();

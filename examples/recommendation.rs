@@ -30,12 +30,7 @@ fn main() {
     let t = std::time::Instant::now();
     let opts = MbeOptions::new(Algorithm::Mbet).threads(0);
     let (communities, stats) = par_collect_bicliques(&g, &opts);
-    println!(
-        "{} communities in {:?} across {} tasks",
-        communities.len(),
-        t.elapsed(),
-        stats.tasks
-    );
+    println!("{} communities in {:?} across {} tasks", communities.len(), t.elapsed(), stats.tasks);
 
     // Pick the most active user as the recommendation target.
     let target = (0..g.num_u()).max_by_key(|&u| g.deg_u(u)).expect("non-empty graph");

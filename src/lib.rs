@@ -28,6 +28,8 @@
 //! | [`mbe`] | MBET, MBETM mode, baselines, parallel driver, verification |
 //! | [`gen`] | synthetic workloads and benchmark-dataset analogues |
 
+#![forbid(unsafe_code)]
+
 pub use bigraph;
 pub use gen;
 pub use mbe;
@@ -38,9 +40,9 @@ pub use setops;
 pub mod prelude {
     pub use bigraph::order::VertexOrder;
     pub use bigraph::BipartiteGraph;
+    pub use mbe::parallel::{par_collect_bicliques, par_count_bicliques};
     pub use mbe::{
         collect_bicliques, count_bicliques, enumerate, Algorithm, Biclique, BicliqueSink,
         MbeOptions, MbetConfig, Stats,
     };
-    pub use mbe::parallel::{par_collect_bicliques, par_count_bicliques};
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api-2f8e336dda89455e.d: crates/mbe/tests/api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi-2f8e336dda89455e.rmeta: crates/mbe/tests/api.rs Cargo.toml
+
+crates/mbe/tests/api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

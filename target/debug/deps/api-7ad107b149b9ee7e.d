@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api-7ad107b149b9ee7e.d: crates/mbe/tests/api.rs
+
+/root/repo/target/debug/deps/api-7ad107b149b9ee7e: crates/mbe/tests/api.rs
+
+crates/mbe/tests/api.rs:

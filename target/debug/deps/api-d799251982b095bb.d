@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api-d799251982b095bb.d: crates/mbe/tests/api.rs
+
+/root/repo/target/debug/deps/api-d799251982b095bb: crates/mbe/tests/api.rs
+
+crates/mbe/tests/api.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-3b95eac15de0f150.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-3b95eac15de0f150.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-3b95eac15de0f150.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

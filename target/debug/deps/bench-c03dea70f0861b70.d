@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-c03dea70f0861b70.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-c03dea70f0861b70: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

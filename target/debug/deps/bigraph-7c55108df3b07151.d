@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bigraph-7c55108df3b07151.d: crates/bigraph/src/lib.rs crates/bigraph/src/builder.rs crates/bigraph/src/butterfly.rs crates/bigraph/src/core.rs crates/bigraph/src/io.rs crates/bigraph/src/order.rs crates/bigraph/src/stats.rs crates/bigraph/src/two_hop.rs
+
+/root/repo/target/debug/deps/bigraph-7c55108df3b07151: crates/bigraph/src/lib.rs crates/bigraph/src/builder.rs crates/bigraph/src/butterfly.rs crates/bigraph/src/core.rs crates/bigraph/src/io.rs crates/bigraph/src/order.rs crates/bigraph/src/stats.rs crates/bigraph/src/two_hop.rs
+
+crates/bigraph/src/lib.rs:
+crates/bigraph/src/builder.rs:
+crates/bigraph/src/butterfly.rs:
+crates/bigraph/src/core.rs:
+crates/bigraph/src/io.rs:
+crates/bigraph/src/order.rs:
+crates/bigraph/src/stats.rs:
+crates/bigraph/src/two_hop.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bigraph-90e21cfe4bfafe48.d: crates/bigraph/src/lib.rs crates/bigraph/src/builder.rs crates/bigraph/src/butterfly.rs crates/bigraph/src/core.rs crates/bigraph/src/io.rs crates/bigraph/src/order.rs crates/bigraph/src/stats.rs crates/bigraph/src/two_hop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbigraph-90e21cfe4bfafe48.rmeta: crates/bigraph/src/lib.rs crates/bigraph/src/builder.rs crates/bigraph/src/butterfly.rs crates/bigraph/src/core.rs crates/bigraph/src/io.rs crates/bigraph/src/order.rs crates/bigraph/src/stats.rs crates/bigraph/src/two_hop.rs Cargo.toml
+
+crates/bigraph/src/lib.rs:
+crates/bigraph/src/builder.rs:
+crates/bigraph/src/butterfly.rs:
+crates/bigraph/src/core.rs:
+crates/bigraph/src/io.rs:
+crates/bigraph/src/order.rs:
+crates/bigraph/src/stats.rs:
+crates/bigraph/src/two_hop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bigraph-d19691e35b0fc3c6.d: crates/bigraph/src/lib.rs crates/bigraph/src/builder.rs crates/bigraph/src/butterfly.rs crates/bigraph/src/core.rs crates/bigraph/src/io.rs crates/bigraph/src/order.rs crates/bigraph/src/stats.rs crates/bigraph/src/two_hop.rs
+
+/root/repo/target/debug/deps/libbigraph-d19691e35b0fc3c6.rlib: crates/bigraph/src/lib.rs crates/bigraph/src/builder.rs crates/bigraph/src/butterfly.rs crates/bigraph/src/core.rs crates/bigraph/src/io.rs crates/bigraph/src/order.rs crates/bigraph/src/stats.rs crates/bigraph/src/two_hop.rs
+
+/root/repo/target/debug/deps/libbigraph-d19691e35b0fc3c6.rmeta: crates/bigraph/src/lib.rs crates/bigraph/src/builder.rs crates/bigraph/src/butterfly.rs crates/bigraph/src/core.rs crates/bigraph/src/io.rs crates/bigraph/src/order.rs crates/bigraph/src/stats.rs crates/bigraph/src/two_hop.rs
+
+crates/bigraph/src/lib.rs:
+crates/bigraph/src/builder.rs:
+crates/bigraph/src/butterfly.rs:
+crates/bigraph/src/core.rs:
+crates/bigraph/src/io.rs:
+crates/bigraph/src/order.rs:
+crates/bigraph/src/stats.rs:
+crates/bigraph/src/two_hop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calib-2b9d970a9693014d.d: crates/bench/src/bin/calib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalib-2b9d970a9693014d.rmeta: crates/bench/src/bin/calib.rs Cargo.toml
+
+crates/bench/src/bin/calib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

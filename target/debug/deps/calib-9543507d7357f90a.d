@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calib-9543507d7357f90a.d: crates/bench/src/bin/calib.rs
+
+/root/repo/target/debug/deps/calib-9543507d7357f90a: crates/bench/src/bin/calib.rs
+
+crates/bench/src/bin/calib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_check-1f4167f19ba57102.d: crates/mbe/tests/cross_check.rs
+
+/root/repo/target/debug/deps/cross_check-1f4167f19ba57102: crates/mbe/tests/cross_check.rs
+
+crates/mbe/tests/cross_check.rs:

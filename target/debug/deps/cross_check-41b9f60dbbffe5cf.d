@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_check-41b9f60dbbffe5cf.d: crates/mbe/tests/cross_check.rs
+
+/root/repo/target/debug/deps/cross_check-41b9f60dbbffe5cf: crates/mbe/tests/cross_check.rs
+
+crates/mbe/tests/cross_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_check-c0a563674b26fd49.d: crates/mbe/tests/cross_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_check-c0a563674b26fd49.rmeta: crates/mbe/tests/cross_check.rs Cargo.toml
+
+crates/mbe/tests/cross_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

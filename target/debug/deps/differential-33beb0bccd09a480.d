@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-33beb0bccd09a480.d: crates/mbe/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-33beb0bccd09a480.rmeta: crates/mbe/tests/differential.rs Cargo.toml
+
+crates/mbe/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

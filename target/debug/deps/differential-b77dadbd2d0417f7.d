@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-b77dadbd2d0417f7.d: crates/mbe/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-b77dadbd2d0417f7: crates/mbe/tests/differential.rs
+
+crates/mbe/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-ea53ac8fd198880e.d: crates/mbe/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-ea53ac8fd198880e: crates/mbe/tests/differential.rs
+
+crates/mbe/tests/differential.rs:

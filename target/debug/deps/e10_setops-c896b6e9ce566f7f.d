@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e10_setops-c896b6e9ce566f7f.d: crates/bench/benches/e10_setops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_setops-c896b6e9ce566f7f.rmeta: crates/bench/benches/e10_setops.rs Cargo.toml
+
+crates/bench/benches/e10_setops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e11_models-7da2fb1f6aef2780.d: crates/bench/benches/e11_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe11_models-7da2fb1f6aef2780.rmeta: crates/bench/benches/e11_models.rs Cargo.toml
+
+crates/bench/benches/e11_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_datasets-2b00faf8d22b9d7e.d: crates/bench/benches/e1_datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_datasets-2b00faf8d22b9d7e.rmeta: crates/bench/benches/e1_datasets.rs Cargo.toml
+
+crates/bench/benches/e1_datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

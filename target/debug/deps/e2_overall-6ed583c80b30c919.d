@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_overall-6ed583c80b30c919.d: crates/bench/benches/e2_overall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_overall-6ed583c80b30c919.rmeta: crates/bench/benches/e2_overall.rs Cargo.toml
+
+crates/bench/benches/e2_overall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_checks-ac8bf0b767286f74.d: crates/bench/benches/e3_checks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_checks-ac8bf0b767286f74.rmeta: crates/bench/benches/e3_checks.rs Cargo.toml
+
+crates/bench/benches/e3_checks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

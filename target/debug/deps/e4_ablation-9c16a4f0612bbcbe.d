@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_ablation-9c16a4f0612bbcbe.d: crates/bench/benches/e4_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_ablation-9c16a4f0612bbcbe.rmeta: crates/bench/benches/e4_ablation.rs Cargo.toml
+
+crates/bench/benches/e4_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

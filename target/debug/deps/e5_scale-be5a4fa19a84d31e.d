@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_scale-be5a4fa19a84d31e.d: crates/bench/benches/e5_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_scale-be5a4fa19a84d31e.rmeta: crates/bench/benches/e5_scale.rs Cargo.toml
+
+crates/bench/benches/e5_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

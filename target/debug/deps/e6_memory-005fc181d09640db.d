@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_memory-005fc181d09640db.d: crates/bench/benches/e6_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_memory-005fc181d09640db.rmeta: crates/bench/benches/e6_memory.rs Cargo.toml
+
+crates/bench/benches/e6_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_ordering-4589fc58c2506a72.d: crates/bench/benches/e7_ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_ordering-4589fc58c2506a72.rmeta: crates/bench/benches/e7_ordering.rs Cargo.toml
+
+crates/bench/benches/e7_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_parallel-ce65501adbe8e9ce.d: crates/bench/benches/e8_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_parallel-ce65501adbe8e9ce.rmeta: crates/bench/benches/e8_parallel.rs Cargo.toml
+
+crates/bench/benches/e8_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

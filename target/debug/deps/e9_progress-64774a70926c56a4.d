@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e9_progress-64774a70926c56a4.d: crates/bench/benches/e9_progress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_progress-64774a70926c56a4.rmeta: crates/bench/benches/e9_progress.rs Cargo.toml
+
+crates/bench/benches/e9_progress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gen-25ce0df3efe3b7fc.d: crates/gen/src/lib.rs crates/gen/src/chung_lu.rs crates/gen/src/er.rs crates/gen/src/planted.rs crates/gen/src/preferential.rs crates/gen/src/presets.rs
+
+/root/repo/target/debug/deps/libgen-25ce0df3efe3b7fc.rlib: crates/gen/src/lib.rs crates/gen/src/chung_lu.rs crates/gen/src/er.rs crates/gen/src/planted.rs crates/gen/src/preferential.rs crates/gen/src/presets.rs
+
+/root/repo/target/debug/deps/libgen-25ce0df3efe3b7fc.rmeta: crates/gen/src/lib.rs crates/gen/src/chung_lu.rs crates/gen/src/er.rs crates/gen/src/planted.rs crates/gen/src/preferential.rs crates/gen/src/presets.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/chung_lu.rs:
+crates/gen/src/er.rs:
+crates/gen/src/planted.rs:
+crates/gen/src/preferential.rs:
+crates/gen/src/presets.rs:

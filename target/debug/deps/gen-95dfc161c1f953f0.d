@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gen-95dfc161c1f953f0.d: crates/gen/src/lib.rs crates/gen/src/chung_lu.rs crates/gen/src/er.rs crates/gen/src/planted.rs crates/gen/src/preferential.rs crates/gen/src/presets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen-95dfc161c1f953f0.rmeta: crates/gen/src/lib.rs crates/gen/src/chung_lu.rs crates/gen/src/er.rs crates/gen/src/planted.rs crates/gen/src/preferential.rs crates/gen/src/presets.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/chung_lu.rs:
+crates/gen/src/er.rs:
+crates/gen/src/planted.rs:
+crates/gen/src/preferential.rs:
+crates/gen/src/presets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

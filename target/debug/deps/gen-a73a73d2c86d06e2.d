@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gen-a73a73d2c86d06e2.d: crates/gen/src/lib.rs crates/gen/src/chung_lu.rs crates/gen/src/er.rs crates/gen/src/planted.rs crates/gen/src/preferential.rs crates/gen/src/presets.rs
+
+/root/repo/target/debug/deps/gen-a73a73d2c86d06e2: crates/gen/src/lib.rs crates/gen/src/chung_lu.rs crates/gen/src/er.rs crates/gen/src/planted.rs crates/gen/src/preferential.rs crates/gen/src/presets.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/chung_lu.rs:
+crates/gen/src/er.rs:
+crates/gen/src/planted.rs:
+crates/gen/src/preferential.rs:
+crates/gen/src/presets.rs:

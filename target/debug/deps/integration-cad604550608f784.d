@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-cad604550608f784.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-cad604550608f784: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-d1086267cabbc469.d: tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-d1086267cabbc469.rmeta: tests/integration.rs Cargo.toml
+
+tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

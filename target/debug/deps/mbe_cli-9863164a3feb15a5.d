@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mbe_cli-9863164a3feb15a5.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/mbe_cli-9863164a3feb15a5: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

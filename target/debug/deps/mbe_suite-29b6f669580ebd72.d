@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbe_suite-29b6f669580ebd72.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbe_suite-29b6f669580ebd72.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mbe_suite-662fd3029d2e1b9e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmbe_suite-662fd3029d2e1b9e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

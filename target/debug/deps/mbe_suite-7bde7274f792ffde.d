@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mbe_suite-7bde7274f792ffde.d: src/lib.rs
+
+/root/repo/target/debug/deps/mbe_suite-7bde7274f792ffde: src/lib.rs
+
+src/lib.rs:

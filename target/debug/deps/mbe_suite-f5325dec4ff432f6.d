@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mbe_suite-f5325dec4ff432f6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmbe_suite-f5325dec4ff432f6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmbe_suite-f5325dec4ff432f6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ptree-0190aaacfb04e70e.d: crates/ptree/src/lib.rs crates/ptree/src/ctrie.rs crates/ptree/src/rtrie.rs Cargo.toml
+
+/root/repo/target/debug/deps/libptree-0190aaacfb04e70e.rmeta: crates/ptree/src/lib.rs crates/ptree/src/ctrie.rs crates/ptree/src/rtrie.rs Cargo.toml
+
+crates/ptree/src/lib.rs:
+crates/ptree/src/ctrie.rs:
+crates/ptree/src/rtrie.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ptree-2f10c9e4546d452b.d: crates/ptree/src/lib.rs crates/ptree/src/ctrie.rs crates/ptree/src/rtrie.rs
+
+/root/repo/target/debug/deps/libptree-2f10c9e4546d452b.rlib: crates/ptree/src/lib.rs crates/ptree/src/ctrie.rs crates/ptree/src/rtrie.rs
+
+/root/repo/target/debug/deps/libptree-2f10c9e4546d452b.rmeta: crates/ptree/src/lib.rs crates/ptree/src/ctrie.rs crates/ptree/src/rtrie.rs
+
+crates/ptree/src/lib.rs:
+crates/ptree/src/ctrie.rs:
+crates/ptree/src/rtrie.rs:

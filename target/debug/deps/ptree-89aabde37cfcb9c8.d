@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ptree-89aabde37cfcb9c8.d: crates/ptree/src/lib.rs crates/ptree/src/ctrie.rs crates/ptree/src/rtrie.rs
+
+/root/repo/target/debug/deps/ptree-89aabde37cfcb9c8: crates/ptree/src/lib.rs crates/ptree/src/ctrie.rs crates/ptree/src/rtrie.rs
+
+crates/ptree/src/lib.rs:
+crates/ptree/src/ctrie.rs:
+crates/ptree/src/rtrie.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/setops-0903516a7c973c69.d: crates/setops/src/lib.rs crates/setops/src/bitmap.rs crates/setops/src/gallop.rs crates/setops/src/merge.rs crates/setops/src/multi.rs
+
+/root/repo/target/debug/deps/libsetops-0903516a7c973c69.rlib: crates/setops/src/lib.rs crates/setops/src/bitmap.rs crates/setops/src/gallop.rs crates/setops/src/merge.rs crates/setops/src/multi.rs
+
+/root/repo/target/debug/deps/libsetops-0903516a7c973c69.rmeta: crates/setops/src/lib.rs crates/setops/src/bitmap.rs crates/setops/src/gallop.rs crates/setops/src/merge.rs crates/setops/src/multi.rs
+
+crates/setops/src/lib.rs:
+crates/setops/src/bitmap.rs:
+crates/setops/src/gallop.rs:
+crates/setops/src/merge.rs:
+crates/setops/src/multi.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setops-3178c9df79f6758a.d: crates/setops/src/lib.rs crates/setops/src/bitmap.rs crates/setops/src/gallop.rs crates/setops/src/merge.rs crates/setops/src/multi.rs
+
+/root/repo/target/debug/deps/setops-3178c9df79f6758a: crates/setops/src/lib.rs crates/setops/src/bitmap.rs crates/setops/src/gallop.rs crates/setops/src/merge.rs crates/setops/src/multi.rs
+
+crates/setops/src/lib.rs:
+crates/setops/src/bitmap.rs:
+crates/setops/src/gallop.rs:
+crates/setops/src/merge.rs:
+crates/setops/src/multi.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/setops-41e0a8d7b1545656.d: crates/setops/src/lib.rs crates/setops/src/bitmap.rs crates/setops/src/gallop.rs crates/setops/src/merge.rs crates/setops/src/multi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetops-41e0a8d7b1545656.rmeta: crates/setops/src/lib.rs crates/setops/src/bitmap.rs crates/setops/src/gallop.rs crates/setops/src/merge.rs crates/setops/src/multi.rs Cargo.toml
+
+crates/setops/src/lib.rs:
+crates/setops/src/bitmap.rs:
+crates/setops/src/gallop.rs:
+crates/setops/src/merge.rs:
+crates/setops/src/multi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

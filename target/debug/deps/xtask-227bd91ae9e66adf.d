@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtask-227bd91ae9e66adf.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/xtask-227bd91ae9e66adf: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

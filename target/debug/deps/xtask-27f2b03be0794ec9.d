@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtask-27f2b03be0794ec9.d: crates/xtask/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-27f2b03be0794ec9.rmeta: crates/xtask/src/main.rs Cargo.toml
+
+crates/xtask/src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/xtask-81b95758177063ad.d: crates/xtask/src/main.rs
+
+/root/repo/target/debug/deps/xtask-81b95758177063ad: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

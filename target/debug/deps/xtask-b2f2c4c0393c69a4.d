@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xtask-b2f2c4c0393c69a4.d: crates/xtask/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-b2f2c4c0393c69a4.rmeta: crates/xtask/src/main.rs Cargo.toml
+
+crates/xtask/src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

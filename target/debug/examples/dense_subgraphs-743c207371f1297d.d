@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dense_subgraphs-743c207371f1297d.d: examples/dense_subgraphs.rs
+
+/root/repo/target/debug/examples/dense_subgraphs-743c207371f1297d: examples/dense_subgraphs.rs
+
+examples/dense_subgraphs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dense_subgraphs-a940e01fd9f6dd1b.d: examples/dense_subgraphs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdense_subgraphs-a940e01fd9f6dd1b.rmeta: examples/dense_subgraphs.rs Cargo.toml
+
+examples/dense_subgraphs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fraud_detection-4d1610ce63561723.d: examples/fraud_detection.rs
+
+/root/repo/target/debug/examples/fraud_detection-4d1610ce63561723: examples/fraud_detection.rs
+
+examples/fraud_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gene_modules-791568f919bdd50d.d: examples/gene_modules.rs
+
+/root/repo/target/debug/examples/gene_modules-791568f919bdd50d: examples/gene_modules.rs
+
+examples/gene_modules.rs:

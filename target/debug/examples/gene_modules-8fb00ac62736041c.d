@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gene_modules-8fb00ac62736041c.d: examples/gene_modules.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgene_modules-8fb00ac62736041c.rmeta: examples/gene_modules.rs Cargo.toml
+
+examples/gene_modules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

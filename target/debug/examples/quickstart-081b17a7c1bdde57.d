@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-081b17a7c1bdde57.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-081b17a7c1bdde57.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-404cbce73e91f8cf.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-404cbce73e91f8cf: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recommendation-26806d63d9ec715d.d: examples/recommendation.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecommendation-26806d63d9ec715d.rmeta: examples/recommendation.rs Cargo.toml
+
+examples/recommendation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recommendation-7af5928a081d1f5c.d: examples/recommendation.rs
+
+/root/repo/target/debug/examples/recommendation-7af5928a081d1f5c: examples/recommendation.rs
+
+examples/recommendation.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bigraph-a4b98ef2bf67ecd9.d: crates/bigraph/src/lib.rs crates/bigraph/src/builder.rs crates/bigraph/src/butterfly.rs crates/bigraph/src/core.rs crates/bigraph/src/io.rs crates/bigraph/src/order.rs crates/bigraph/src/stats.rs crates/bigraph/src/two_hop.rs
+
+/root/repo/target/release/deps/libbigraph-a4b98ef2bf67ecd9.rlib: crates/bigraph/src/lib.rs crates/bigraph/src/builder.rs crates/bigraph/src/butterfly.rs crates/bigraph/src/core.rs crates/bigraph/src/io.rs crates/bigraph/src/order.rs crates/bigraph/src/stats.rs crates/bigraph/src/two_hop.rs
+
+/root/repo/target/release/deps/libbigraph-a4b98ef2bf67ecd9.rmeta: crates/bigraph/src/lib.rs crates/bigraph/src/builder.rs crates/bigraph/src/butterfly.rs crates/bigraph/src/core.rs crates/bigraph/src/io.rs crates/bigraph/src/order.rs crates/bigraph/src/stats.rs crates/bigraph/src/two_hop.rs
+
+crates/bigraph/src/lib.rs:
+crates/bigraph/src/builder.rs:
+crates/bigraph/src/butterfly.rs:
+crates/bigraph/src/core.rs:
+crates/bigraph/src/io.rs:
+crates/bigraph/src/order.rs:
+crates/bigraph/src/stats.rs:
+crates/bigraph/src/two_hop.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-5686c4967910897a.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-5686c4967910897a.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-5686c4967910897a.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

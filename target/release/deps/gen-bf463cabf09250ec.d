@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gen-bf463cabf09250ec.d: crates/gen/src/lib.rs crates/gen/src/chung_lu.rs crates/gen/src/er.rs crates/gen/src/planted.rs crates/gen/src/preferential.rs crates/gen/src/presets.rs
+
+/root/repo/target/release/deps/libgen-bf463cabf09250ec.rlib: crates/gen/src/lib.rs crates/gen/src/chung_lu.rs crates/gen/src/er.rs crates/gen/src/planted.rs crates/gen/src/preferential.rs crates/gen/src/presets.rs
+
+/root/repo/target/release/deps/libgen-bf463cabf09250ec.rmeta: crates/gen/src/lib.rs crates/gen/src/chung_lu.rs crates/gen/src/er.rs crates/gen/src/planted.rs crates/gen/src/preferential.rs crates/gen/src/presets.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/chung_lu.rs:
+crates/gen/src/er.rs:
+crates/gen/src/planted.rs:
+crates/gen/src/preferential.rs:
+crates/gen/src/presets.rs:

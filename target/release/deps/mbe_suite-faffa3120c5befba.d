@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mbe_suite-faffa3120c5befba.d: src/lib.rs
+
+/root/repo/target/release/deps/libmbe_suite-faffa3120c5befba.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmbe_suite-faffa3120c5befba.rmeta: src/lib.rs
+
+src/lib.rs:

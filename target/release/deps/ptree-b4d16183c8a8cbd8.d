@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ptree-b4d16183c8a8cbd8.d: crates/ptree/src/lib.rs crates/ptree/src/ctrie.rs crates/ptree/src/rtrie.rs
+
+/root/repo/target/release/deps/libptree-b4d16183c8a8cbd8.rlib: crates/ptree/src/lib.rs crates/ptree/src/ctrie.rs crates/ptree/src/rtrie.rs
+
+/root/repo/target/release/deps/libptree-b4d16183c8a8cbd8.rmeta: crates/ptree/src/lib.rs crates/ptree/src/ctrie.rs crates/ptree/src/rtrie.rs
+
+crates/ptree/src/lib.rs:
+crates/ptree/src/ctrie.rs:
+crates/ptree/src/rtrie.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-81789ec04ac8d2cb.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-81789ec04ac8d2cb.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-81789ec04ac8d2cb.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/setops-58eaa55415a9fc5d.d: crates/setops/src/lib.rs crates/setops/src/bitmap.rs crates/setops/src/gallop.rs crates/setops/src/merge.rs crates/setops/src/multi.rs
+
+/root/repo/target/release/deps/libsetops-58eaa55415a9fc5d.rlib: crates/setops/src/lib.rs crates/setops/src/bitmap.rs crates/setops/src/gallop.rs crates/setops/src/merge.rs crates/setops/src/multi.rs
+
+/root/repo/target/release/deps/libsetops-58eaa55415a9fc5d.rmeta: crates/setops/src/lib.rs crates/setops/src/bitmap.rs crates/setops/src/gallop.rs crates/setops/src/merge.rs crates/setops/src/multi.rs
+
+crates/setops/src/lib.rs:
+crates/setops/src/bitmap.rs:
+crates/setops/src/gallop.rs:
+crates/setops/src/merge.rs:
+crates/setops/src/multi.rs:

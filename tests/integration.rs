@@ -142,3 +142,44 @@ fn generator_facade_smoke() {
     let (n2, stats) = count_bicliques(&g, &MbeOptions::default());
     assert_eq!(n2, stats.emitted);
 }
+
+/// Property test: on arbitrary small bipartite graphs, every engine —
+/// serial and parallel alike — emits exactly the brute-force maximal
+/// biclique set.
+mod random_graphs {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary bipartite graph with both sides in `1..=12` and up to 72
+    /// (possibly duplicate) random edges.
+    fn graph_strategy() -> impl Strategy<Value = BipartiteGraph> {
+        ((1u32..13), (1u32..13))
+            .prop_flat_map(|(nu, nv)| {
+                (Just(nu), Just(nv), proptest::collection::vec((0u32..nu, 0u32..nv), 0..73))
+            })
+            .prop_map(|(nu, nv, edges)| {
+                BipartiteGraph::from_edges(nu, nv, &edges).expect("edges are in range")
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn engines_match_brute_force(g in graph_strategy(), threads in 2usize..5) {
+            let (mut reference, _) =
+                collect_bicliques(&g, &MbeOptions::new(Algorithm::Mbea)).unwrap();
+            reference.sort();
+            // Ground truth for this case; all other runs compare to it.
+            mbe::verify::assert_matches_brute_force(&g, &reference);
+            for alg in Algorithm::all() {
+                let opts = MbeOptions::new(alg);
+                let (mut serial, _) = collect_bicliques(&g, &opts).unwrap();
+                serial.sort();
+                prop_assert_eq!(&serial, &reference, "serial {:?}", alg);
+                let (mut par, _) = par_collect_bicliques(&g, &opts.threads(threads));
+                par.sort();
+                prop_assert_eq!(&par, &reference, "parallel {:?} x{}", alg, threads);
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Offline stand-in for the subset of the `criterion 0.5` API this
+//! workspace uses (see `vendor/README.md`).
+//!
+//! Each benchmark warms up for `warm_up_time`, then runs timed batches
+//! until `measurement_time` elapses (or `sample_size` batches, whichever
+//! is later bounded), and prints a single `name ... time/iter` line. No
+//! statistics, baselines, or reports — just honest wall-clock medians
+//! small enough to eyeball.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id from a bare name.
+    pub fn from_name(name: impl Into<String>) -> Self {
+        BenchmarkId { full: name.into() }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+    min_iters: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly, timing every call, until the measurement
+    /// budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+            if self.elapsed >= self.budget && self.iters_done >= self.min_iters {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters_done == 0 {
+            println!("bench {label:<40} (no iterations)");
+            return;
+        }
+        let per = self.elapsed.as_nanos() / self.iters_done as u128;
+        println!("bench {label:<40} {per:>12} ns/iter ({} iters)", self.iters_done);
+    }
+}
+
+/// Top-level benchmark driver and its timing knobs.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line overrides (no-op in the stand-in).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let label = name.to_string();
+        run_one(self, &label, f);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, label: &str, mut f: F) {
+    // Warm-up pass: same body, throwaway timings.
+    let mut warm =
+        Bencher { iters_done: 0, elapsed: Duration::ZERO, budget: c.warm_up_time, min_iters: 1 };
+    f(&mut warm);
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget: c.measurement_time,
+        min_iters: c.sample_size as u64,
+    };
+    f(&mut b);
+    b.report(label);
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) {
+        let label = format!("{}/{}", self.name, id.full);
+        run_one(self.c, &label, f);
+    }
+
+    /// Runs a benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id.full);
+        run_one(self.c, &label, |b| f(b, input));
+    }
+
+    /// Ends the group (prints nothing in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function compatible with criterion's macro
+/// forms: `criterion_group!(name, target, ..)` or the
+/// `name = ..; config = ..; targets = ..` long form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_micros(10))
+            .measurement_time(Duration::from_micros(50))
+    }
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = quick();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 3, "at least sample_size iterations");
+    }
+
+    #[test]
+    fn group_with_input_passes_value() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("grp");
+        let data = vec![1u32, 2, 3];
+        let mut seen = 0;
+        g.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| seen = d.iter().sum::<u32>())
+        });
+        g.finish();
+        assert_eq!(seen, 6);
+    }
+
+    criterion_group! {
+        name = shim_group;
+        config = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_micros(5))
+            .measurement_time(Duration::from_micros(20));
+        targets = target_a
+    }
+
+    fn target_a(c: &mut Criterion) {
+        c.bench_function("macro-target", |b| b.iter(|| black_box(21u64 * 2)));
+    }
+
+    #[test]
+    fn macro_group_compiles_and_runs() {
+        shim_group();
+    }
+}

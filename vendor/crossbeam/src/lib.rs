@@ -1,0 +1,417 @@
+//! Offline stand-in for the subset of the `crossbeam 0.8` API this
+//! workspace uses (see `vendor/README.md`).
+//!
+//! The deque module is mutex-based rather than lock-free; it preserves the
+//! scheduling discipline the parallel driver depends on (LIFO local pops,
+//! FIFO injector/steals) and is correct under arbitrary interleavings,
+//! just slower under extreme contention than the real chase-lev deque.
+
+#![forbid(unsafe_code)]
+
+/// Work-stealing deques (`crossbeam-deque` shape).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `true` iff the steal yielded nothing and the source was empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Returns this steal if decisive, otherwise evaluates `f`.
+        pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+            match self {
+                Steal::Success(t) => Steal::Success(t),
+                Steal::Empty => f(),
+                Steal::Retry => match f() {
+                    Steal::Empty => Steal::Retry, // a retry was observed
+                    other => other,
+                },
+            }
+        }
+    }
+
+    impl<T> FromIterator<Steal<T>> for Steal<T> {
+        /// First `Success` wins; `Retry` if any attempt must be retried;
+        /// `Empty` only if every source was empty.
+        fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+            let mut retry = false;
+            for s in iter {
+                match s {
+                    Steal::Success(t) => return Steal::Success(t),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if retry {
+                Steal::Retry
+            } else {
+                Steal::Empty
+            }
+        }
+    }
+
+    /// A worker-owned deque. Local pops are LIFO; steals take the
+    /// opposite (FIFO) end.
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A new empty LIFO worker deque.
+        pub fn new_lifo() -> Self {
+            Worker { q: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Pushes a task onto the local end.
+        pub fn push(&self, task: T) {
+            self.lock().push_back(task);
+        }
+
+        /// Pops from the local (most recently pushed) end.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_back()
+        }
+
+        /// `true` iff the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        /// A stealer handle sharing this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { q: Arc::clone(&self.q) }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            // Propagating a poisoned lock would deadlock shutdown; the
+            // queue holds plain tasks, so the data cannot be torn.
+            self.q.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// A handle for stealing tasks from another worker's deque.
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the FIFO end.
+        pub fn steal(&self) -> Steal<T> {
+            let mut q = self.q.lock().unwrap_or_else(|e| e.into_inner());
+            match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { q: Arc::clone(&self.q) }
+        }
+    }
+
+    /// A global FIFO queue every worker can push to and steal from.
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// A new empty injector.
+        pub fn new() -> Self {
+            Injector { q: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            self.lock().push_back(task);
+        }
+
+        /// `true` iff the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        /// Steals a batch of tasks into `dest`, returning one of them
+        /// directly.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            const BATCH: usize = 16;
+            let mut q = self.lock();
+            let first = match q.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            let take = q.len().min(BATCH - 1);
+            if take > 0 {
+                let mut d = dest.lock();
+                d.extend(q.drain(..take));
+            }
+            Steal::Success(first)
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.q.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+}
+
+/// Scoped threads (`crossbeam-utils` shape) over `std::thread::scope`.
+pub mod thread {
+    use std::io;
+
+    /// A scope handle passed to [`scope`]'s closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Configures a scoped thread before spawning it.
+    pub struct ScopedThreadBuilder<'s, 'scope, 'env> {
+        scope: &'s Scope<'scope, 'env>,
+        builder: std::thread::Builder,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread with default settings. The closure receives a
+        /// unit placeholder where crossbeam passes a nested scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(())) }
+        }
+
+        /// A builder for configuring name and stack size.
+        pub fn builder(&self) -> ScopedThreadBuilder<'_, 'scope, 'env> {
+            ScopedThreadBuilder { scope: self, builder: std::thread::Builder::new() }
+        }
+    }
+
+    impl<'scope, 'env> ScopedThreadBuilder<'_, 'scope, 'env> {
+        /// Names the thread.
+        pub fn name(mut self, name: String) -> Self {
+            self.builder = self.builder.name(name);
+            self
+        }
+
+        /// Sets the thread's stack size in bytes.
+        pub fn stack_size(mut self, size: usize) -> Self {
+            self.builder = self.builder.stack_size(size);
+            self
+        }
+
+        /// Spawns the configured thread. The closure receives a unit
+        /// placeholder where crossbeam passes a nested scope.
+        pub fn spawn<F, T>(self, f: F) -> io::Result<ScopedJoinHandle<'scope, T>>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.builder.spawn_scoped(self.scope.inner, move || f(()))?;
+            Ok(ScopedJoinHandle { inner })
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, non-`'static` threads can
+    /// be spawned; all spawned threads are joined before this returns.
+    ///
+    /// Unlike crossbeam, a panic in an unjoined child propagates out of
+    /// `std::thread::scope` instead of being collected into the `Err`
+    /// variant; callers here always join explicitly, so the difference is
+    /// unobservable.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Small concurrency utilities (`crossbeam-utils` shape).
+pub mod utils {
+    use std::cell::Cell;
+
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Exponential backoff for spin loops.
+    ///
+    /// Mirrors `crossbeam_utils::Backoff`: early steps spin with
+    /// [`std::hint::spin_loop`], later steps yield to the OS scheduler;
+    /// once [`Backoff::is_completed`] reports `true` the caller should
+    /// park or re-check its exit condition instead of spinning on.
+    pub struct Backoff {
+        step: Cell<u32>,
+    }
+
+    impl Default for Backoff {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Backoff {
+        /// A fresh backoff.
+        pub fn new() -> Self {
+            Backoff { step: Cell::new(0) }
+        }
+
+        /// Resets to the initial (busiest) state after useful work.
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        /// Backs off in a lock-free loop: always spins, never yields.
+        pub fn spin(&self) {
+            for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+                std::hint::spin_loop();
+            }
+            if self.step.get() <= SPIN_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        /// Backs off in a blocking wait loop: spins first, then yields the
+        /// thread once the spin budget is exhausted.
+        pub fn snooze(&self) {
+            if self.step.get() <= SPIN_LIMIT {
+                for _ in 0..1u32 << self.step.get() {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if self.step.get() <= YIELD_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        /// `true` once backing off further is pointless (time to park).
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > YIELD_LIMIT
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+    use super::utils::Backoff;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "local end is LIFO");
+        assert_eq!(s.steal().success(), Some(1), "steal end is FIFO");
+        assert_eq!(w.pop(), Some(2));
+        assert!(w.pop().is_none());
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batch_moves_tasks_to_worker() {
+        let inj: Injector<u32> = Injector::new();
+        for i in 0..40 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(0));
+        assert!(!w.is_empty(), "batch landed in the worker deque");
+        assert!(!inj.is_empty(), "injector retains the tail");
+        let mut drained = 0;
+        while w.pop().is_some() {
+            drained += 1;
+        }
+        assert!(drained > 0 && drained < 40);
+    }
+
+    #[test]
+    fn steal_collect_prefers_success() {
+        let got: Steal<u32> =
+            [Steal::Empty, Steal::Retry, Steal::Success(7), Steal::Empty].into_iter().collect();
+        assert_eq!(got.success(), Some(7));
+        let got: Steal<u32> = [Steal::Empty, Steal::Retry].into_iter().collect();
+        assert_eq!(got, Steal::Retry);
+        let got: Steal<u32> = [Steal::<u32>::Empty, Steal::Empty].into_iter().collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = [1u64, 2, 3, 4];
+        let sum = super::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(
+                    scope
+                        .builder()
+                        .name("shim-test".into())
+                        .stack_size(1 << 20)
+                        .spawn(move |_| chunk.iter().sum::<u64>())
+                        .expect("spawn"),
+                );
+            }
+            handles.into_iter().map(|h| h.join().expect("join")).sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn backoff_completes_after_enough_snoozes() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+        b.spin(); // spin never completes the backoff
+        assert!(!b.is_completed());
+    }
+}
