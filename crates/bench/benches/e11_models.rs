@@ -9,7 +9,7 @@
 //! attachment) — should preserve the winner even as the absolute
 //! difficulty (B) varies wildly across models.
 
-use mbe::{count_bicliques, Algorithm, MbeOptions};
+use mbe::{Algorithm, MbeOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,7 +40,7 @@ fn main() {
         let mut count = None;
         for alg in [Algorithm::Mbea, Algorithm::Imbea, Algorithm::Mbet] {
             let opts = MbeOptions::new(alg);
-            let (b, d) = bench::time_median(|| count_bicliques(g, &opts).0);
+            let (b, d) = bench::time_median(|| bench::count(g, &opts));
             if let Some(c) = count {
                 assert_eq!(c, b, "{} on {name}", alg.label());
             }

@@ -6,7 +6,7 @@
 //! degrees, max 2-hop degree on V, measured maximal biclique count, and
 //! the published count of the real dataset for reference.
 
-use mbe::{count_bicliques, Algorithm, MbeOptions};
+use mbe::{Algorithm, MbeOptions};
 
 fn main() {
     bench::header("E1", "dataset statistics", "dataset table");
@@ -17,7 +17,7 @@ fn main() {
     for p in bench::selected_presets() {
         let g = bench::build(&p);
         let s = bigraph::stats::stats(&g);
-        let (b, _) = count_bicliques(&g, &MbeOptions::new(Algorithm::Mbet));
+        let b = bench::count(&g, &MbeOptions::new(Algorithm::Mbet));
         println!(
             "{:<14}{:>9}{:>9}{:>10}{:>8}{:>8}{:>9}{:>12}  {:>14}",
             p.abbrev,

@@ -7,7 +7,7 @@
 //! The last two columns report MBET's speedup over the best baseline and
 //! the biclique count (identical across engines — asserted).
 
-use mbe::{count_bicliques, parallel, Algorithm, MbeOptions};
+use mbe::{Algorithm, MbeOptions};
 
 fn main() {
     bench::header("E2", "overall runtime, general datasets", "overall-evaluation figure");
@@ -24,7 +24,7 @@ fn main() {
         let mut count = None;
         for alg in algos {
             let opts = MbeOptions::new(alg);
-            let (b, d) = bench::time_median(|| count_bicliques(&g, &opts).0);
+            let (b, d) = bench::time_median(|| bench::count(&g, &opts));
             if let Some(c) = count {
                 assert_eq!(c, b, "{} on {}", alg.label(), p.abbrev);
             }
@@ -32,7 +32,7 @@ fn main() {
             times.push(d);
         }
         let par_opts = MbeOptions::new(Algorithm::Mbet).threads(0);
-        let (bp, dpar) = bench::time_median(|| parallel::par_count_bicliques(&g, &par_opts).0);
+        let (bp, dpar) = bench::time_median(|| bench::count(&g, &par_opts));
         assert_eq!(count.expect("measured"), bp, "parallel count on {}", p.abbrev);
 
         let best_baseline = times[..3].iter().min().copied().expect("three baselines");

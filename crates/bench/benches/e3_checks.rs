@@ -7,7 +7,7 @@
 //! attempts, so MBET's δ/α should sit well below MBEA's on datasets with
 //! duplicated neighborhoods.
 
-use mbe::{enumerate, Algorithm, CountSink, MbeOptions};
+use mbe::{Algorithm, CountSink, Enumeration};
 
 fn main() {
     bench::header("E3", "non-maximal check ratio δ/α", "pruning-efficiency table");
@@ -19,7 +19,9 @@ fn main() {
         let g = bench::build(&p);
         let run = |alg: Algorithm| {
             let mut sink = CountSink::default();
-            enumerate(&g, &MbeOptions::new(alg), &mut sink)
+            let report =
+                Enumeration::new(&g).algorithm(alg).run(&mut sink).expect("valid configuration");
+            report.stats
         };
         let mbea = run(Algorithm::Mbea);
         let mbet = run(Algorithm::Mbet);

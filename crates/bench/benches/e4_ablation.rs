@@ -6,7 +6,7 @@
 //! maximality checking (falls back to per-`q` subset scans); w/o
 //! trie-based absorption filtering; all off (≡ MBEA's branch structure).
 
-use mbe::{count_bicliques, Algorithm, MbeOptions, MbetConfig};
+use mbe::{Algorithm, MbeOptions, MbetConfig};
 
 fn main() {
     bench::header("E4", "MBET technique ablation", "effect-of-optimizations figure");
@@ -28,7 +28,7 @@ fn main() {
         let mut count = None;
         for (_, cfg) in &variants {
             let opts = MbeOptions::new(Algorithm::Mbet).mbet(*cfg);
-            let (b, d) = bench::time_median(|| count_bicliques(&g, &opts).0);
+            let (b, d) = bench::time_median(|| bench::count(&g, &opts));
             if let Some(c) = count {
                 assert_eq!(c, b, "{}", p.abbrev);
             }

@@ -7,7 +7,7 @@
 //! both engines scale with the output size B, and where the prefix-tree
 //! advantage widens.
 
-use mbe::{count_bicliques, Algorithm, MbeOptions};
+use mbe::{Algorithm, MbeOptions};
 
 fn main() {
     bench::header("E5", "scalability with graph size", "scalability figure");
@@ -21,9 +21,9 @@ fn main() {
         for mult in [0.5, 1.0, 2.0, 4.0] {
             let g = p.build_scaled(bench::seed(), p_scale(mult));
             let (b, d_imbea) =
-                bench::time_median(|| count_bicliques(&g, &MbeOptions::new(Algorithm::Imbea)).0);
+                bench::time_median(|| bench::count(&g, &MbeOptions::new(Algorithm::Imbea)));
             let (b2, d_mbet) =
-                bench::time_median(|| count_bicliques(&g, &MbeOptions::new(Algorithm::Mbet)).0);
+                bench::time_median(|| bench::count(&g, &MbeOptions::new(Algorithm::Mbet)));
             assert_eq!(b, b2);
             println!(
                 "{:<10}{:>6}{:>9}{:>10}{:>12}{:>12.2}{:>12.2}{:>8.2}x",

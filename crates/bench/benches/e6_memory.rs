@@ -8,7 +8,8 @@
 //! small node budget (bytes stay bounded, evictions are counted, the
 //! enumeration itself is unaffected).
 
-use mbe::{enumerate, Algorithm, BicliqueSink, MbeOptions, TrieSink};
+use mbe::{BicliqueSink, Enumeration, StopReason, TrieSink};
+use std::ops::ControlFlow;
 
 /// Counts flat payload bytes without storing anything.
 #[derive(Default)]
@@ -18,10 +19,10 @@ struct FlatBytes {
 }
 
 impl BicliqueSink for FlatBytes {
-    fn emit(&mut self, left: &[u32], right: &[u32]) -> bool {
+    fn emit(&mut self, left: &[u32], right: &[u32]) -> ControlFlow<StopReason> {
         self.bicliques += 1;
         self.bytes += 4 * (left.len() + right.len()) as u64;
-        true
+        mbe::sink::CONTINUE
     }
 }
 
@@ -34,19 +35,17 @@ fn main() {
     );
     for p in bench::general_presets() {
         let g = bench::build(&p);
-        let opts = MbeOptions::new(Algorithm::Mbet);
-
         let mut flat = FlatBytes::default();
-        enumerate(&g, &opts, &mut flat);
+        Enumeration::new(&g).run(&mut flat).expect("valid configuration");
 
         let mut trie = TrieSink::unbounded();
-        enumerate(&g, &opts, &mut trie);
+        Enumeration::new(&g).run(&mut trie).expect("valid configuration");
         assert_eq!(trie.trie().len() as u64, flat.bicliques, "{}", p.abbrev);
         assert_eq!(trie.duplicates(), 0, "{}", p.abbrev);
         let trie_bytes = trie.trie().approx_bytes() as u64;
 
         let mut bounded = TrieSink::with_node_budget(BUDGET);
-        enumerate(&g, &opts, &mut bounded);
+        Enumeration::new(&g).run(&mut bounded).expect("valid configuration");
         assert_eq!(bounded.trie().total_new(), flat.bicliques, "{}", p.abbrev);
 
         println!(

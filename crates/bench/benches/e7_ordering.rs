@@ -7,7 +7,7 @@
 //! shape — and therefore time and check counts — moves.
 
 use bigraph::order::VertexOrder;
-use mbe::{count_bicliques, Algorithm, MbeOptions};
+use mbe::{Algorithm, MbeOptions};
 
 fn main() {
     bench::header("E7", "vertex-ordering sensitivity (MBET)", "ordering figure");
@@ -29,7 +29,7 @@ fn main() {
         let mut count = None;
         for o in orders {
             let opts = MbeOptions::new(Algorithm::Mbet).order(o);
-            let (b, d) = bench::time_median(|| count_bicliques(&g, &opts).0);
+            let (b, d) = bench::time_median(|| bench::count(&g, &opts));
             if let Some(c) = count {
                 assert_eq!(c, b, "{} under {}", p.abbrev, o.label());
             }

@@ -7,7 +7,7 @@
 //! Splitting matters exactly when root-task sizes are power-law skewed —
 //! the load-imbalance phenomenon the papers dedicate a figure to.
 
-use mbe::{parallel, Algorithm, MbeOptions};
+use mbe::{Algorithm, MbeOptions};
 
 fn main() {
     bench::header("E8", "parallel speedup and load-aware splitting", "load-balance figures");
@@ -34,9 +34,8 @@ fn main() {
             opts_off.split_height = usize::MAX;
             opts_off.split_size = usize::MAX;
 
-            let (b_on, d_on) = bench::time_median(|| parallel::par_count_bicliques(&g, &opts_on).0);
-            let (b_off, d_off) =
-                bench::time_median(|| parallel::par_count_bicliques(&g, &opts_off).0);
+            let (b_on, d_on) = bench::time_median(|| bench::count(&g, &opts_on));
+            let (b_off, d_off) = bench::time_median(|| bench::count(&g, &opts_off));
             assert_eq!(b_on, b_off, "{abbrev} t={t}");
 
             let s_on = base_on.get_or_insert(d_on).as_secs_f64() / d_on.as_secs_f64();

@@ -10,7 +10,7 @@
 //! [`mbe::progress::ProgressSink`].
 
 use mbe::progress::ProgressSink;
-use mbe::{enumerate, Algorithm, CountSink, MbeOptions, TrieSink};
+use mbe::{Algorithm, CountSink, Enumeration, MbeOptions, TrieSink};
 use std::time::Duration;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
     );
 
     // Total output size, once.
-    let (total, _) = mbe::count_bicliques(&g, &MbeOptions::new(Algorithm::Mbet));
+    let total = bench::count(&g, &MbeOptions::new(Algorithm::Mbet));
     println!("total maximal bicliques in the analogue: {total}\n");
     let sample_every = (total / 200).max(1);
 
@@ -45,17 +45,23 @@ fn main() {
         let (deciles, total_time, evictions) = match budget {
             None => {
                 let mut sink = ProgressSink::new(CountSink::default(), sample_every);
-                let stats = enumerate(&g, &MbeOptions::new(alg), &mut sink);
-                assert_eq!(stats.emitted, total, "{label}");
-                (decile_times(&sink, total), stats.elapsed, None)
+                let report = Enumeration::new(&g)
+                    .algorithm(alg)
+                    .run(&mut sink)
+                    .expect("valid configuration");
+                assert_eq!(report.stats.emitted, total, "{label}");
+                (decile_times(&sink, total), report.stats.elapsed, None)
             }
             Some(b) => {
                 let mut sink = ProgressSink::new(TrieSink::with_node_budget(b), sample_every);
-                let stats = enumerate(&g, &MbeOptions::new(alg), &mut sink);
-                assert_eq!(stats.emitted, total, "{label}");
+                let report = Enumeration::new(&g)
+                    .algorithm(alg)
+                    .run(&mut sink)
+                    .expect("valid configuration");
+                assert_eq!(report.stats.emitted, total, "{label}");
                 let deciles = decile_times(&sink, total);
                 let ev = sink.into_inner().trie().evictions();
-                (deciles, stats.elapsed, Some(ev))
+                (deciles, report.stats.elapsed, Some(ev))
             }
         };
         rows.push(Row { label, deciles, total_time, evictions });

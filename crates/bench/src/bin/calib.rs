@@ -3,7 +3,7 @@ fn main() {
     for p in gen::all_presets() {
         let g = p.build(42);
         let t = std::time::Instant::now();
-        let (count, _) = mbe::count_bicliques(&g, &mbe::MbeOptions::new(mbe::Algorithm::Mbet));
-        println!("{:<5} B={:<9} ({:.0?})", p.abbrev, count, t.elapsed());
+        let report = mbe::Enumeration::new(&g).count().expect("valid configuration");
+        println!("{:<5} B={:<9} ({:.0?})", p.abbrev, report.count(), t.elapsed());
     }
 }

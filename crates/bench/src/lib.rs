@@ -57,6 +57,14 @@ pub fn build(preset: &Preset) -> bigraph::BipartiteGraph {
     preset.build_scaled(seed(), scale())
 }
 
+/// Counts maximal bicliques under `opts` through the unified
+/// [`mbe::Enumeration`] builder — the one measurement primitive every
+/// count-based experiment shares. `opts.threads` selects the serial or
+/// the work-stealing driver exactly as in library use.
+pub fn count(g: &bigraph::BipartiteGraph, opts: &mbe::MbeOptions) -> u64 {
+    mbe::Enumeration::new(g).options(opts.clone()).count().expect("bench options are valid").count()
+}
+
 /// Runs `f` `trials()` times and returns the median wall-clock duration
 /// together with the last run's result.
 pub fn time_median<R>(mut f: impl FnMut() -> R) -> (R, Duration) {

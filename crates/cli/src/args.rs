@@ -7,6 +7,7 @@
 //! mbe-cli enumerate <file> [--algorithm A] [--order O] [--threads N]
 //!                          [--min-left A] [--min-right B] [--top-k K]
 //!                          [--count-only] [--max-print M]
+//!                          [--timeout SECS] [--max-bicliques N]
 //! mbe-cli generate <preset ABBREV | chung-lu NU NV E | gnm NU NV M>
 //!                  [--seed S] [--scale X] --output FILE
 //! mbe-cli presets
@@ -35,6 +36,8 @@ pub enum Command {
         top_k: Option<usize>,
         count_only: bool,
         max_print: usize,
+        timeout: Option<f64>,
+        max_bicliques: Option<u64>,
     },
     /// `generate ...`
     Generate { model: GenModel, seed: u64, scale: f64, output: String },
@@ -93,6 +96,8 @@ fn parse_enumerate(args: &[String]) -> Command {
         top_k: None,
         count_only: false,
         max_print: 20,
+        timeout: None,
+        max_bicliques: None,
     };
     let Command::Enumerate {
         algorithm,
@@ -103,6 +108,8 @@ fn parse_enumerate(args: &[String]) -> Command {
         top_k,
         count_only,
         max_print,
+        timeout,
+        max_bicliques,
         ..
     } = &mut out
     else {
@@ -150,6 +157,14 @@ fn parse_enumerate(args: &[String]) -> Command {
             "--max-print" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(n) => *max_print = n,
                 None => return err("--max-print needs a number"),
+            },
+            "--timeout" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 && secs.is_finite() => *timeout = Some(secs),
+                _ => return err("--timeout needs a positive number of seconds"),
+            },
+            "--max-bicliques" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => *max_bicliques = Some(n),
+                _ => return err("--max-bicliques needs a positive number"),
             },
             other => return err(&format!("unknown enumerate flag `{other}`")),
         }
@@ -253,6 +268,10 @@ USAGE:
         --top-k K          the K largest bicliques by edge count
         --count-only       print only the count and stats
         --max-print M      cap printed bicliques (default 20)
+        --timeout SECS     stop after SECS seconds, report partial results
+        --max-bicliques N  stop after N bicliques have been emitted
+      Interactive runs can be cancelled by typing `q` + Enter (or
+      closing stdin); partial results are reported with the stop reason.
 
   mbe-cli generate <model> --output FILE [--seed S] [--scale X]
       Write a synthetic bipartite graph as an edge list. Models:
@@ -335,6 +354,36 @@ mod tests {
                 assert!(count_only);
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_run_control_flags() {
+        match p("enumerate g.txt --timeout 2.5 --max-bicliques 100") {
+            Command::Enumerate { timeout, max_bicliques, .. } => {
+                assert_eq!(timeout, Some(2.5));
+                assert_eq!(max_bicliques, Some(100));
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("enumerate g.txt") {
+            Command::Enumerate { timeout, max_bicliques, .. } => {
+                assert_eq!(timeout, None);
+                assert_eq!(max_bicliques, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "enumerate g.txt --timeout 0",
+            "enumerate g.txt --timeout -1",
+            "enumerate g.txt --timeout nope",
+            "enumerate g.txt --max-bicliques 0",
+            "enumerate g.txt --max-bicliques x",
+        ] {
+            assert!(
+                matches!(p(bad), Command::Help { error: Some(_) }),
+                "`{bad}` should be an error"
+            );
         }
     }
 

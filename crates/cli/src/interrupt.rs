@@ -1,0 +1,49 @@
+//! Cooperative cancellation for interactive runs.
+//!
+//! The workspace forbids `unsafe` and carries no signal-handling
+//! dependency, so a real `SIGINT` handler is out of reach: Ctrl-C still
+//! kills the process the way it kills any CLI. What we *can* offer
+//! safely is a stdin watcher: when stdin is a terminal, a daemon thread
+//! blocks on it and flips the shared [`RunControl`] cancel flag as soon
+//! as the user types `q` (then Enter) or closes the stream (Ctrl-D).
+//! The enumeration then drains cleanly and the partial results are
+//! reported with their stop reason — same path a `--timeout` takes.
+//!
+//! When stdin is not a terminal (piped input, CI) no watcher is spawned,
+//! so nothing consumes a downstream pipe's data.
+
+use mbe::RunControl;
+use std::io::{BufRead, IsTerminal};
+
+/// Spawns the stdin watcher if stdin is a terminal. The thread is a
+/// daemon: it never blocks process exit, and it holds only a clone of
+/// `control`, so dropping the run does not leak anything observable.
+pub fn spawn_stdin_watcher(control: &RunControl) {
+    if !std::io::stdin().is_terminal() {
+        return;
+    }
+    let control = control.clone();
+    std::thread::Builder::new()
+        .name("mbe-cli-cancel".into())
+        .spawn(move || {
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match stdin.lock().read_line(&mut line) {
+                    // EOF (Ctrl-D) or `q`: cancel and stop watching.
+                    Ok(0) => {
+                        control.cancel();
+                        return;
+                    }
+                    Ok(_) if line.trim().eq_ignore_ascii_case("q") => {
+                        control.cancel();
+                        return;
+                    }
+                    Ok(_) => {}
+                    Err(_) => return,
+                }
+            }
+        })
+        .ok();
+}

@@ -5,10 +5,11 @@
 #![forbid(unsafe_code)]
 
 mod args;
+mod interrupt;
 
 use args::{Command, GenModel};
 use bigraph::BipartiteGraph;
-use mbe::{Algorithm, MbeOptions, SizeThresholds};
+use mbe::{Algorithm, Enumeration, RunControl, SizeThresholds, StopReason};
 use rand::SeedableRng;
 use std::process::ExitCode;
 
@@ -133,13 +134,22 @@ fn main() -> ExitCode {
             top_k,
             count_only,
             max_print,
+            timeout,
+            max_bicliques,
         } => match bigraph::io::read_edge_list_path(&file) {
             Ok(g) => {
+                let mut control = RunControl::new();
+                if let Some(secs) = timeout {
+                    control = control.timeout(std::time::Duration::from_secs_f64(secs));
+                }
+                if let Some(n) = max_bicliques {
+                    control = control.max_emitted(n);
+                }
+                interrupt::spawn_stdin_watcher(&control);
                 run_enumerate(
                     &g, algorithm, order, threads, min_left, min_right, top_k, count_only,
-                    max_print,
-                );
-                ExitCode::SUCCESS
+                    max_print, control,
+                )
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -179,7 +189,8 @@ fn run_enumerate(
     top_k: Option<usize>,
     count_only: bool,
     max_print: usize,
-) {
+    control: RunControl,
+) -> ExitCode {
     println!(
         "graph: |U|={} |V|={} |E|={}  algorithm={}",
         g.num_u(),
@@ -189,14 +200,15 @@ fn run_enumerate(
     );
 
     if let Some(k) = top_k {
-        let (top, stats) = mbe::top_k_by_edges(g, k);
+        let report = mbe::top_k_with_control(g, k, &control);
+        print_stop_note(report.stop);
         println!(
             "top {} bicliques by edges ({:?}, {} bound-pruned branches):",
-            top.len(),
-            stats.elapsed,
-            stats.bound_pruned
+            report.bicliques.len(),
+            report.stats.elapsed,
+            report.stats.bound_pruned
         );
-        for b in top.iter().take(max_print) {
+        for b in report.bicliques.iter().take(max_print) {
             println!(
                 "  |L|={} |R|={} edges={}  L={:?} R={:?}",
                 b.left.len(),
@@ -206,48 +218,55 @@ fn run_enumerate(
                 b.right
             );
         }
-        return;
+        return ExitCode::SUCCESS;
     }
 
+    let mut run =
+        Enumeration::new(g).algorithm(algorithm).order(order).threads(threads).control(control);
     if min_left > 1 || min_right > 1 {
-        let thr = SizeThresholds::new(min_left, min_right);
-        let (found, stats) = mbe::collect_filtered(g, thr);
-        println!(
-            "{} maximal bicliques with |L|>={} |R|>={} in {:?}",
-            found.len(),
-            thr.min_l,
-            thr.min_r,
-            stats.elapsed
-        );
-        if !count_only {
-            for b in found.iter().take(max_print) {
-                println!("  L={:?} R={:?}", b.left, b.right);
-            }
-        }
-        return;
+        run = run.thresholds(SizeThresholds::new(min_left, min_right));
     }
 
-    let opts = MbeOptions::new(algorithm).order(order).threads(threads);
-    if threads != 1 {
-        let (n, stats) = mbe::parallel::par_count_bicliques(g, &opts);
-        println!("{n} maximal bicliques in {:?} ({} tasks)", stats.elapsed, stats.tasks);
-        return;
-    }
-    if count_only {
-        let (n, stats) = mbe::count_bicliques(g, &opts);
-        println!(
-            "{n} maximal bicliques in {:?} (nodes={} nonmaximal={} batched={})",
-            stats.elapsed, stats.nodes, stats.nonmaximal, stats.batched
-        );
+    let report = if count_only { run.count() } else { run.collect() };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_stop_note(report.stop);
+    let qualifier = if min_left > 1 || min_right > 1 {
+        format!(" with |L|>={min_left} |R|>={min_right}")
     } else {
-        let (all, stats) = mbe::collect_bicliques(g, &opts).expect("enumeration completes");
-        println!("{} maximal bicliques in {:?}", all.len(), stats.elapsed);
-        for b in all.iter().take(max_print) {
+        String::new()
+    };
+    println!(
+        "{} maximal bicliques{} in {:?} (tasks={} nodes={} nonmaximal={} batched={})",
+        report.count(),
+        qualifier,
+        report.stats.elapsed,
+        report.stats.tasks,
+        report.stats.nodes,
+        report.stats.nonmaximal,
+        report.stats.batched
+    );
+    if !count_only {
+        for b in report.bicliques.iter().take(max_print) {
             println!("  L={:?} R={:?}", b.left, b.right);
         }
-        if all.len() > max_print {
-            println!("  … {} more (raise --max-print)", all.len() - max_print);
+        if report.bicliques.len() > max_print {
+            println!("  … {} more (raise --max-print)", report.bicliques.len() - max_print);
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// One line of context when a run stopped early, on stderr so it never
+/// contaminates piped output.
+fn print_stop_note(stop: StopReason) {
+    if !stop.is_complete() {
+        eprintln!("note: run stopped early ({}) — results are partial", stop.label());
     }
 }
 

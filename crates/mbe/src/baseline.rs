@@ -16,7 +16,10 @@
 //! its per-node allocations — they are the comparators the MBET speedups
 //! in the experiment suite are measured against.
 
+use std::ops::ControlFlow;
+
 use crate::metrics::Stats;
+use crate::run::StopReason;
 use crate::sink::BicliqueSink;
 use crate::task::RootTask;
 use crate::Algorithm;
@@ -38,13 +41,14 @@ impl<'g> BaselineEngine<'g> {
         BaselineEngine { g, alg, cbuf: Vec::new(), cbuf2: Vec::new() }
     }
 
-    /// Runs one root task. Returns `false` iff the sink requested a stop.
+    /// Runs one root task. Breaks iff the sink (or the control plane
+    /// gating it) requested a stop.
     pub fn run_task(
         &mut self,
         task: &RootTask,
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
-    ) -> bool {
+    ) -> ControlFlow<StopReason> {
         self.expand(&task.l0, &[], task.v, &task.p0, &task.q0, sink, stats)
     }
 
@@ -60,7 +64,7 @@ impl<'g> BaselineEngine<'g> {
         q: &[u32],
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
-    ) -> bool {
+    ) -> ControlFlow<StopReason> {
         self.expand(l, r_parent, v, p, q, sink, stats)
     }
 
@@ -69,7 +73,7 @@ impl<'g> BaselineEngine<'g> {
     ///
     /// `untraversed` are the parent's remaining candidates (excluding `v`),
     /// `traversed` the excluded set at this point. Emits the biclique when
-    /// maximal and recurses. Returns `false` iff enumeration should stop.
+    /// maximal and recurses. Breaks iff enumeration should stop.
     #[allow(clippy::too_many_arguments)]
     fn expand(
         &mut self,
@@ -80,7 +84,7 @@ impl<'g> BaselineEngine<'g> {
         traversed: &[u32],
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
-    ) -> bool {
+    ) -> ControlFlow<StopReason> {
         debug_assert!(!l_new.is_empty());
         stats.nodes += 1;
 
@@ -91,7 +95,7 @@ impl<'g> BaselineEngine<'g> {
             for &q in traversed {
                 if setops::is_subset(l_new, self.g.nbr_v(q)) {
                     stats.nonmaximal += 1;
-                    return true;
+                    return ControlFlow::Continue(());
                 }
             }
         }
@@ -124,17 +128,15 @@ impl<'g> BaselineEngine<'g> {
             // graph. (The Q-based engines already rejected above.)
             if !self.r_equals_common_neighbors(l_new, &r_new) {
                 stats.nonmaximal += 1;
-                return true;
+                return ControlFlow::Continue(());
             }
         }
 
-        if !sink.emit(l_new, &r_new) {
-            return false;
-        }
+        sink.emit(l_new, &r_new)?;
         stats.emitted += 1;
 
         if p_new.is_empty() {
-            return true;
+            return ControlFlow::Continue(());
         }
 
         // Q' = excluded vertices still relevant below (sharing a neighbor
@@ -161,13 +163,11 @@ impl<'g> BaselineEngine<'g> {
             setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
             debug_assert!(!l_child.is_empty(), "candidates share a neighbor with L'");
             let l_child_owned = std::mem::take(&mut l_child);
-            if !self.expand(&l_child_owned, &r_new, w, &p_new[i + 1..], &q_now, sink, stats) {
-                return false;
-            }
+            self.expand(&l_child_owned, &r_new, w, &p_new[i + 1..], &q_now, sink, stats)?;
             l_child = l_child_owned;
             q_now.push(w);
         }
-        true
+        ControlFlow::Continue(())
     }
 
     /// `true` iff `C(l) == r` where `C(l) = ∩_{u ∈ l} N(u)` in `V`.
@@ -226,7 +226,7 @@ mod tests {
         let mut engine = BaselineEngine::new(g, alg);
         for v in 0..g.num_v() {
             if let Some(t) = builder.build(v) {
-                assert!(engine.run_task(&t, &mut sink, &mut stats));
+                assert!(engine.run_task(&t, &mut sink, &mut stats).is_continue());
             }
         }
         let mut out = sink.into_vec();
@@ -310,14 +310,18 @@ mod tests {
         let mut count = 0;
         let mut sink = crate::FnSink(|_: &[u32], _: &[u32]| {
             count += 1;
-            count < 2
+            if count < 2 {
+                crate::sink::CONTINUE
+            } else {
+                crate::sink::STOP
+            }
         });
         let mut builder = TaskBuilder::new(&g);
         let mut engine = BaselineEngine::new(&g, Algorithm::Mbea);
         let mut stopped = false;
         for v in 0..g.num_v() {
             if let Some(t) = builder.build(v) {
-                if !engine.run_task(&t, &mut sink, &mut stats) {
+                if engine.run_task(&t, &mut sink, &mut stats).is_break() {
                     stopped = true;
                     break;
                 }

@@ -10,14 +10,21 @@
 //!
 //! Top-k keeps a min-heap of the k best scores and bounds against the
 //! heap minimum once full.
+//!
+//! [`top_k_with_control`] runs the same search under a [`RunControl`]:
+//! cancellation and the deadline are observed at root-task boundaries,
+//! and a stopped search still returns its best-so-far incumbents (they
+//! are genuine maximal bicliques, just not necessarily the global top-k).
 
 use crate::metrics::Stats;
+use crate::run::{ControlState, Report, RunControl, StopReason};
 use crate::sink::Biclique;
 use crate::task::TaskBuilder;
 use bigraph::BipartiteGraph;
 use std::collections::BinaryHeap;
 
 /// The maximum-edge maximal biclique, or `None` for edgeless graphs.
+// xtask-allow: tuple-return
 pub fn maximum_edge_biclique(g: &BipartiteGraph) -> (Option<Biclique>, Stats) {
     let (mut found, stats) = top_k_by_edges(g, 1);
     (found.pop(), stats)
@@ -25,23 +32,47 @@ pub fn maximum_edge_biclique(g: &BipartiteGraph) -> (Option<Biclique>, Stats) {
 
 /// The `k` maximal bicliques with the most edges (`|L|·|R|`), best
 /// first. Ties are broken arbitrarily but deterministically.
+// xtask-allow: tuple-return
 pub fn top_k_by_edges(g: &BipartiteGraph, k: usize) -> (Vec<Biclique>, Stats) {
+    let report = top_k_with_control(g, k, &RunControl::new());
+    (report.bicliques, report.stats)
+}
+
+/// [`top_k_by_edges`] under a [`RunControl`]: the search checks for
+/// cancellation and the deadline between root tasks and reports how it
+/// ended via [`Report::stop`]. Emission and node budgets do not apply to
+/// extremal search (incumbents are replaced, not streamed) and are
+/// ignored. A stopped run's bicliques are maximal and duplicate-free but
+/// may rank below the true top-k.
+pub fn top_k_with_control(g: &BipartiteGraph, k: usize, control: &RunControl) -> Report {
     let start = std::time::Instant::now();
     let mut stats = Stats::default();
+    let state = ControlState::new(control);
+    let mut stop = StopReason::Completed;
     let mut search = Search { g, k, heap: BinaryHeap::new() };
     if k > 0 {
-        let mut builder = TaskBuilder::new(g);
-        for v in 0..g.num_v() {
-            if let Some(task) = builder.build(v) {
-                stats.tasks += 1;
-                search.expand(&task.l0, &[], task.v, &task.p0, &task.q0, &mut stats);
+        state.check_idle();
+        if let Some(r) = state.stopped() {
+            stop = r;
+        } else {
+            let mut builder = TaskBuilder::new(g);
+            for v in 0..g.num_v() {
+                if let Some(task) = builder.build(v) {
+                    stats.tasks += 1;
+                    search.expand(&task.l0, &[], task.v, &task.p0, &task.q0, &mut stats);
+                }
+                state.check_idle();
+                if let Some(r) = state.stopped() {
+                    stop = r;
+                    break;
+                }
             }
         }
     }
     let mut out: Vec<Biclique> = search.heap.into_iter().map(|e| e.biclique).collect();
     out.sort_by_key(|b| std::cmp::Reverse(b.edges()));
     stats.elapsed = start.elapsed();
-    (out, stats)
+    Report { bicliques: out, stats, stop }
 }
 
 /// Heap entry ordered so `BinaryHeap` behaves as a *min*-heap on score:
@@ -161,7 +192,7 @@ impl Search<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{collect_bicliques, MbeOptions};
+    use crate::Enumeration;
     use proptest::prelude::*;
 
     fn g0() -> BipartiteGraph {
@@ -218,6 +249,32 @@ mod tests {
     }
 
     #[test]
+    fn controlled_search_completes_and_matches() {
+        let report = top_k_with_control(&g0(), 3, &RunControl::new());
+        assert!(report.is_complete());
+        let (plain, _) = top_k_by_edges(&g0(), 3);
+        assert_eq!(report.bicliques, plain);
+    }
+
+    #[test]
+    fn pre_cancelled_search_stops_immediately() {
+        let control = RunControl::new();
+        control.cancel();
+        let report = top_k_with_control(&g0(), 3, &control);
+        assert_eq!(report.stop, StopReason::Cancelled);
+        assert!(report.bicliques.is_empty());
+        assert_eq!(report.stats.tasks, 0);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline() {
+        let control = RunControl::new().timeout(std::time::Duration::ZERO);
+        let report = top_k_with_control(&g0(), 3, &control);
+        assert_eq!(report.stop, StopReason::Deadline);
+        assert!(report.bicliques.is_empty());
+    }
+
+    #[test]
     fn bound_pruning_fires_on_skewed_input() {
         // A big planted block dwarfs everything; most branches should be
         // cut against it.
@@ -247,7 +304,7 @@ mod tests {
         ) {
             let g = BipartiteGraph::from_edges(9, 8, &edges).unwrap();
             let (top, _) = top_k_by_edges(&g, k);
-            let (all, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
+            let all = Enumeration::new(&g).collect().unwrap().bicliques;
             let mut scores: Vec<usize> = all.iter().map(|b| b.edges()).collect();
             scores.sort_unstable_by(|a, b| b.cmp(a));
             let want: Vec<usize> = scores.into_iter().take(k).collect();

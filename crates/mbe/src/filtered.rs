@@ -21,7 +21,10 @@
 //! applications (fraud rings, co-expression modules) always carry size
 //! thresholds.
 
+use std::ops::ControlFlow;
+
 use crate::metrics::Stats;
+use crate::run::{ControlState, ControlledSink, RunControl, StopReason};
 use crate::sink::{Biclique, BicliqueSink, CollectSink};
 use crate::task::TaskBuilder;
 use bigraph::core::alpha_beta_core;
@@ -43,19 +46,23 @@ impl SizeThresholds {
     }
 }
 
-/// Enumerates every maximal biclique of `g` meeting `thr` into `sink`,
-/// with core reduction and size pruning. Vertex ids reported in `g`'s id
-/// space. Returns the run's [`Stats`] (counters refer to the *reduced*
-/// graph's enumeration).
-pub fn enumerate_filtered<S: BicliqueSink>(
+/// Size-filtered enumeration core used by the [`crate::Enumeration`]
+/// builder (via [`crate::Enumeration::thresholds`]) and the deprecated
+/// shims: core-reduces `g`, runs every root task under `control`, and
+/// returns the stats plus the stop reason. Vertex ids are reported in
+/// `g`'s id space; counters refer to the *reduced* graph's enumeration.
+pub(crate) fn run_filtered<S: BicliqueSink>(
     g: &BipartiteGraph,
     thr: SizeThresholds,
+    control: &RunControl,
     sink: &mut S,
-) -> Stats {
+) -> (Stats, StopReason) {
     let start = std::time::Instant::now();
     let mut stats = Stats::default();
     let red = alpha_beta_core(g, thr.min_r, thr.min_l);
     let h = &red.graph;
+
+    let state = ControlState::new(control);
 
     // Remap emissions back to the caller's ids on the fly.
     let mut lbuf = Vec::new();
@@ -69,25 +76,62 @@ pub fn enumerate_filtered<S: BicliqueSink>(
         rbuf.sort_unstable();
         sink.emit(&lbuf, &rbuf)
     });
+    let mut controlled = ControlledSink::new(&state, &mut mapped);
 
-    let mut engine = FilteredEngine { g: h, thr };
-    let mut builder = TaskBuilder::new(h);
-    for v in 0..h.num_v() {
-        if let Some(task) = builder.build(v) {
-            stats.tasks += 1;
-            if !engine.expand(&task.l0, &[], task.v, &task.p0, &task.q0, &mut mapped, &mut stats) {
-                break;
+    let mut stop = StopReason::Completed;
+    if let ControlFlow::Break(r) = state.note_task(0) {
+        stop = r; // cancelled or expired before any work
+    } else {
+        let mut engine = FilteredEngine { g: h, thr };
+        let mut builder = TaskBuilder::new(h);
+        for v in 0..h.num_v() {
+            if let Some(task) = builder.build(v) {
+                stats.tasks += 1;
+                let nodes_before = stats.nodes;
+                let flow = engine.expand(
+                    &task.l0,
+                    &[],
+                    task.v,
+                    &task.p0,
+                    &task.q0,
+                    &mut controlled,
+                    &mut stats,
+                );
+                if let ControlFlow::Break(r) = flow {
+                    stop = state.note_stop(r);
+                    break;
+                }
+                if let ControlFlow::Break(r) = state.note_task(stats.nodes - nodes_before) {
+                    stop = r;
+                    break;
+                }
             }
         }
     }
     stats.elapsed = start.elapsed();
+    (stats, stop)
+}
+
+/// Enumerates every maximal biclique of `g` meeting `thr` into `sink`,
+/// with core reduction and size pruning. Vertex ids reported in `g`'s id
+/// space. Returns the run's [`Stats`] (counters refer to the *reduced*
+/// graph's enumeration).
+#[deprecated(note = "use Enumeration::new(g).thresholds(thr).run(sink)")]
+pub fn enumerate_filtered<S: BicliqueSink>(
+    g: &BipartiteGraph,
+    thr: SizeThresholds,
+    sink: &mut S,
+) -> Stats {
+    let (stats, _stop) = run_filtered(g, thr, &RunControl::new(), sink);
     stats
 }
 
 /// Convenience wrapper collecting qualifying bicliques.
+#[deprecated(note = "use Enumeration::new(g).thresholds(thr).collect()")]
+// xtask-allow: tuple-return
 pub fn collect_filtered(g: &BipartiteGraph, thr: SizeThresholds) -> (Vec<Biclique>, Stats) {
     let mut sink = CollectSink::new();
-    let stats = enumerate_filtered(g, thr, &mut sink);
+    let (stats, _stop) = run_filtered(g, thr, &RunControl::new(), &mut sink);
     (sink.into_vec(), stats)
 }
 
@@ -108,17 +152,17 @@ impl FilteredEngine<'_> {
         traversed: &[u32],
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
-    ) -> bool {
+    ) -> ControlFlow<StopReason> {
         // Size pruning 1: L only shrinks below here.
         if l_new.len() < self.thr.min_l {
             stats.bound_pruned += 1;
-            return true;
+            return ControlFlow::Continue(());
         }
         stats.nodes += 1;
         for &q in traversed {
             if setops::is_subset(l_new, self.g.nbr_v(q)) {
                 stats.nonmaximal += 1;
-                return true;
+                return ControlFlow::Continue(());
             }
         }
         let mut absorbed: Vec<u32> = Vec::new();
@@ -137,7 +181,7 @@ impl FilteredEngine<'_> {
         // Size pruning 2: R can gain at most the surviving candidates.
         if r_len + p_new.len() < self.thr.min_r {
             stats.bound_pruned += 1;
-            return true;
+            return ControlFlow::Continue(());
         }
 
         let mut r_new: Vec<u32> = Vec::with_capacity(r_len);
@@ -147,9 +191,7 @@ impl FilteredEngine<'_> {
         r_new.sort_unstable();
 
         if r_new.len() >= self.thr.min_r {
-            if !sink.emit(l_new, &r_new) {
-                return false;
-            }
+            sink.emit(l_new, &r_new)?;
             stats.emitted += 1;
         }
 
@@ -163,21 +205,24 @@ impl FilteredEngine<'_> {
             let w = p_new[i];
             setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
             let l_child_owned = std::mem::take(&mut l_child);
-            if !self.expand(&l_child_owned, &r_new, w, &p_new[i + 1..], &q_now, sink, stats) {
-                return false;
-            }
+            self.expand(&l_child_owned, &r_new, w, &p_new[i + 1..], &q_now, sink, stats)?;
             l_child = l_child_owned;
             q_now.push(w);
         }
-        true
+        ControlFlow::Continue(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{collect_bicliques, MbeOptions};
+    use crate::{Algorithm, Enumeration, MbeOptions};
     use proptest::prelude::*;
+
+    fn collect_thr(g: &BipartiteGraph, thr: SizeThresholds) -> (Vec<Biclique>, Stats) {
+        let report = Enumeration::new(g).thresholds(thr).collect().unwrap();
+        (report.bicliques, report.stats)
+    }
 
     fn g0() -> BipartiteGraph {
         BipartiteGraph::from_edges(
@@ -202,7 +247,7 @@ mod tests {
     }
 
     fn filtered_reference(g: &BipartiteGraph, thr: SizeThresholds) -> Vec<Biclique> {
-        let (all, _) = collect_bicliques(g, &MbeOptions::default()).unwrap();
+        let all = Enumeration::new(g).collect().unwrap().bicliques;
         all.into_iter()
             .filter(|b| b.left.len() >= thr.min_l && b.right.len() >= thr.min_r)
             .collect()
@@ -212,27 +257,50 @@ mod tests {
     fn g0_thresholds() {
         let g = g0();
         // All six.
-        let (got, _) = collect_filtered(&g, SizeThresholds::new(1, 1));
+        let (got, _) = collect_thr(&g, SizeThresholds::new(1, 1));
         assert_eq!(got.len(), 6);
         // |L| ≥ 2 and |R| ≥ 2: ({u1,u2},{v1,v2,v3}), ({u1,u2,u4},{v2,v3}),
         // ({u2,u4},{v2,v3,v4}).
-        let (mut got, _) = collect_filtered(&g, SizeThresholds::new(2, 2));
+        let (mut got, _) = collect_thr(&g, SizeThresholds::new(2, 2));
         got.sort();
         assert_eq!(got.len(), 3);
         // Impossible thresholds.
-        let (got, _) = collect_filtered(&g, SizeThresholds::new(5, 5));
+        let (got, _) = collect_thr(&g, SizeThresholds::new(5, 5));
         assert!(got.is_empty());
     }
 
     #[test]
     fn pruning_counters_move() {
         let g = g0();
-        let (_, stats) = collect_filtered(&g, SizeThresholds::new(2, 2));
+        let (_, stats) = collect_thr(&g, SizeThresholds::new(2, 2));
         // The core reduction plus pruning must do strictly less node work
         // than unfiltered enumeration.
-        let (_, full) = collect_bicliques(&g, &MbeOptions::new(crate::Algorithm::Mbea)).unwrap();
-        let _ = full;
+        let _ = Enumeration::new(&g).options(MbeOptions::new(Algorithm::Mbea)).collect().unwrap();
         assert!(stats.nodes <= 7);
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        let g = g0();
+        #[allow(deprecated)]
+        let (got, _) = collect_filtered(&g, SizeThresholds::new(2, 2));
+        assert_eq!(got.len(), 3);
+        let mut sink = CollectSink::new();
+        #[allow(deprecated)]
+        let _stats = enumerate_filtered(&g, SizeThresholds::new(1, 1), &mut sink);
+        assert_eq!(sink.len(), 6);
+    }
+
+    #[test]
+    fn filtered_run_honors_emit_budget() {
+        let g = g0();
+        let report = Enumeration::new(&g)
+            .thresholds(SizeThresholds::new(1, 1))
+            .max_bicliques(2)
+            .collect()
+            .unwrap();
+        assert_eq!(report.stop, crate::StopReason::EmitBudget);
+        assert_eq!(report.bicliques.len(), 2);
     }
 
     #[test]
@@ -254,7 +322,7 @@ mod tests {
         ) {
             let g = BipartiteGraph::from_edges(10, 8, &edges).unwrap();
             let thr = SizeThresholds::new(min_l, min_r);
-            let (mut got, _) = collect_filtered(&g, thr);
+            let (mut got, _) = collect_thr(&g, thr);
             got.sort();
             let mut want = filtered_reference(&g, thr);
             want.sort();

@@ -6,8 +6,10 @@
 //! neighborhood of its `R'`, trie keys are strictly increasing ranks
 //! inside `0..|L|`, the `Scratch` arenas hand out non-overlapping spans,
 //! the counter identity `nodes = emitted + nonmaximal` closes for every
-//! engine, and the parallel driver drains its `pending` ledger and emits
-//! exactly the serial count. With the feature enabled, each of those is
+//! engine, the parallel driver drains its `pending` ledger and emits
+//! exactly the serial count, and a stopped (cancelled / budgeted /
+//! expired) run's collected output is a duplicate-free subset of the
+//! complete run's. With the feature enabled, each of those is
 //! asserted *during* every run — on every node, every key, every drain.
 //! Without it, every function here is an empty `#[inline(always)]` stub
 //! and the hot paths compile exactly as before.
@@ -157,7 +159,10 @@ pub fn check_parallel_run(
         return;
     }
     check_counter_identity(merged);
-    let (serial_emitted, _) = crate::count_bicliques(g, opts);
+    let mut count = crate::sink::CountSink::default();
+    let (serial_stats, _stop) =
+        crate::run::run_serial(g, opts, &crate::run::RunControl::new(), &mut count);
+    let serial_emitted = serial_stats.emitted;
     assert_eq!(
         merged.emitted, serial_emitted,
         "invariant: parallel run emitted {} bicliques, serial run {}",
@@ -173,6 +178,58 @@ pub fn check_parallel_run(
     _opts: &crate::MbeOptions,
     _merged: &Stats,
     _stopped: bool,
+) {
+}
+
+/// Asserts the partial-result guarantee of the run-control plane: a
+/// *stopped* run's collected output is a duplicate-free subset of the
+/// complete run's output (re-derived serially with the same options and
+/// thresholds but no control limits). Completed runs are skipped here —
+/// their full equality is covered by the engine differential tests.
+#[cfg(feature = "debug-invariants")]
+pub fn check_stopped_collect(
+    g: &BipartiteGraph,
+    opts: &crate::MbeOptions,
+    thresholds: Option<crate::SizeThresholds>,
+    emitted: &[crate::Biclique],
+    stop: crate::StopReason,
+) {
+    use std::collections::HashSet;
+    if stop.is_complete() {
+        return;
+    }
+    let mut seen: HashSet<&crate::Biclique> = HashSet::with_capacity(emitted.len());
+    for b in emitted {
+        assert!(seen.insert(b), "invariant: stopped run emitted a duplicate biclique: {b:?}");
+    }
+    let control = crate::run::RunControl::new();
+    let mut full = crate::sink::CollectSink::new();
+    match thresholds {
+        Some(thr) => {
+            let _ = crate::filtered::run_filtered(g, thr, &control, &mut full);
+        }
+        None => {
+            let _ = crate::run::run_serial(g, opts, &control, &mut full);
+        }
+    }
+    let complete: HashSet<crate::Biclique> = full.into_vec().into_iter().collect();
+    for b in emitted {
+        assert!(
+            complete.contains(b),
+            "invariant: stopped run emitted a biclique absent from the complete run: {b:?}"
+        );
+    }
+}
+
+/// No-op stub (enable `debug-invariants` for the real check).
+#[cfg(not(feature = "debug-invariants"))]
+#[inline(always)]
+pub fn check_stopped_collect(
+    _g: &BipartiteGraph,
+    _opts: &crate::MbeOptions,
+    _thresholds: Option<crate::SizeThresholds>,
+    _emitted: &[crate::Biclique],
+    _stop: crate::StopReason,
 ) {
 }
 
@@ -261,5 +318,63 @@ mod tests {
     #[should_panic(expected = "still pending")]
     fn drained_rejects_leftover_pending() {
         check_drained(3);
+    }
+
+    #[test]
+    fn stopped_collect_accepts_true_subset() {
+        let g = g0();
+        // ({u0,u1}, {v0,v1}) is a genuine maximal biclique of g0.
+        let partial = vec![crate::Biclique { left: vec![0, 1], right: vec![0, 1] }];
+        check_stopped_collect(
+            &g,
+            &crate::MbeOptions::default(),
+            None,
+            &partial,
+            crate::StopReason::EmitBudget,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn stopped_collect_rejects_duplicates() {
+        let g = g0();
+        let b = crate::Biclique { left: vec![0, 1], right: vec![0, 1] };
+        check_stopped_collect(
+            &g,
+            &crate::MbeOptions::default(),
+            None,
+            &[b.clone(), b],
+            crate::StopReason::Cancelled,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "absent from the complete run")]
+    fn stopped_collect_rejects_foreign_biclique() {
+        let g = g0();
+        // {u0} × {v2} is not even an edge of g0.
+        let partial = vec![crate::Biclique { left: vec![0], right: vec![2] }];
+        check_stopped_collect(
+            &g,
+            &crate::MbeOptions::default(),
+            None,
+            &partial,
+            crate::StopReason::Deadline,
+        );
+    }
+
+    #[test]
+    fn stopped_collect_skips_completed_runs() {
+        // A "foreign" biclique passes when the run completed: the check
+        // only applies to stopped runs.
+        let g = g0();
+        let partial = vec![crate::Biclique { left: vec![0], right: vec![2] }];
+        check_stopped_collect(
+            &g,
+            &crate::MbeOptions::default(),
+            None,
+            &partial,
+            crate::StopReason::Completed,
+        );
     }
 }

@@ -8,17 +8,48 @@
 //!
 //! # Quick start
 //!
+//! Every run goes through the [`Enumeration`] builder, which owns the
+//! options, the output sink, and the run-control plane (cancellation,
+//! deadlines, budgets):
+//!
 //! ```
 //! use bigraph::BipartiteGraph;
-//! use mbe::{collect_bicliques, Algorithm, MbeOptions};
+//! use mbe::{Algorithm, Enumeration, MbeOptions};
 //!
 //! // A 2x2 complete block plus a pendant edge.
 //! let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]).unwrap();
-//! let opts = MbeOptions::new(Algorithm::Mbet);
-//! let (bicliques, stats) = collect_bicliques(&g, &opts).unwrap();
-//! assert_eq!(bicliques.len(), 2);
-//! assert_eq!(stats.emitted, 2);
+//! let report = Enumeration::new(&g)
+//!     .options(MbeOptions::new(Algorithm::Mbet))
+//!     .collect()
+//!     .unwrap();
+//! assert!(report.is_complete());
+//! assert_eq!(report.bicliques.len(), 2);
+//! assert_eq!(report.stats.emitted, 2);
 //! ```
+//!
+//! Runs can be bounded or interrupted; the [`Report`] says how far they
+//! got and why they stopped ([`StopReason`]):
+//!
+//! ```
+//! use bigraph::BipartiteGraph;
+//! use mbe::{Enumeration, StopReason};
+//! use std::time::Duration;
+//!
+//! let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]).unwrap();
+//! let report = Enumeration::new(&g)
+//!     .max_bicliques(1)                       // emission budget
+//!     .timeout(Duration::from_secs(60))       // wall-clock deadline
+//!     .collect()
+//!     .unwrap();
+//! assert_eq!(report.stop, StopReason::EmitBudget);
+//! assert_eq!(report.bicliques.len(), 1);
+//! ```
+//!
+//! A stopped run's output is always a duplicate-free subset of the
+//! complete run's output, from the serial and the parallel driver alike.
+//! For cooperative cancellation from another thread, share a
+//! [`RunControl`] (it clones cheaply and shares its cancel flag) and call
+//! [`RunControl::cancel`].
 //!
 //! # Algorithms
 //!
@@ -52,15 +83,19 @@ pub mod mbet;
 pub mod metrics;
 pub mod parallel;
 pub mod progress;
+pub mod run;
 pub mod sink;
 pub mod task;
 pub mod verify;
 
 mod util;
 
-pub use extremal::{maximum_edge_biclique, top_k_by_edges};
-pub use filtered::{collect_filtered, enumerate_filtered, SizeThresholds};
+pub use extremal::{maximum_edge_biclique, top_k_by_edges, top_k_with_control};
+pub use filtered::SizeThresholds;
+#[allow(deprecated)]
+pub use filtered::{collect_filtered, enumerate_filtered};
 pub use metrics::Stats;
+pub use run::{Enumeration, MbeError, Report, RunControl, StopReason};
 pub use sink::{Biclique, BicliqueSink, CollectSink, CountSink, FnSink, TrieSink};
 
 use bigraph::order::VertexOrder;
@@ -128,7 +163,8 @@ pub struct MbeOptions {
     pub order: VertexOrder,
     /// MBET feature toggles (ignored by other engines).
     pub mbet: MbetConfig,
-    /// Worker threads for [`parallel`] entry points (0 = all cores).
+    /// Worker threads: `1` (the default) runs the serial driver, `0`
+    /// spawns one worker per core, any other `n` spawns `n` workers.
     pub threads: usize,
     /// Load-aware splitting: root tasks with estimated enumeration-tree
     /// height above this are split (parallel driver only).
@@ -140,13 +176,14 @@ pub struct MbeOptions {
 
 impl MbeOptions {
     /// Defaults matching the paper-style configuration: ascending-degree
-    /// order, all MBET features on, splitting thresholds (20, 1500).
+    /// order, all MBET features on, serial driver (`threads = 1`),
+    /// splitting thresholds (20, 1500).
     pub fn new(algorithm: Algorithm) -> Self {
         MbeOptions {
             algorithm,
             order: VertexOrder::AscendingDegree,
             mbet: MbetConfig::default(),
-            threads: 0,
+            threads: 1,
             split_height: 20,
             split_size: 1500,
         }
@@ -164,7 +201,7 @@ impl MbeOptions {
         self
     }
 
-    /// Sets the worker-thread count for the parallel entry points.
+    /// Sets the worker-thread count (`1` = serial, `0` = all cores).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -183,37 +220,29 @@ impl Default for MbeOptions {
 /// order for a fixed option set, with vertex ids in the *input* id space
 /// (orderings are applied and un-applied internally). Returns enumeration
 /// [`Stats`].
+#[deprecated(note = "use Enumeration::new(g).options(opts).run(sink)")]
 pub fn enumerate<S: BicliqueSink>(g: &BipartiteGraph, opts: &MbeOptions, sink: &mut S) -> Stats {
-    let (h, perm) = bigraph::order::apply(g, opts.order);
-    let mut stats = Stats::default();
-    let start = std::time::Instant::now();
-    let completed = {
-        let mut mapped = sink::MapRight::new(sink, &perm);
-        let mut driver = task::SerialDriver::new(&h, opts);
-        driver.run_all(&mut mapped, &mut stats)
-    };
-    if completed {
-        invariants::check_counter_identity(&stats);
-    }
-    stats.elapsed = start.elapsed();
+    let (stats, _stop) = run::run_serial(g, opts, &RunControl::new(), sink);
     stats
 }
 
 /// Convenience wrapper: collects all maximal bicliques into a vector.
 ///
-/// Returns `None` only if the callback-based machinery was stopped early,
-/// which cannot happen for this sink, so the result is always `Some`; the
-/// `Option` is kept for signature symmetry with size-limited collectors.
+/// Always returns `Some`; the `Option` is a fossil of the pre-[`Report`]
+/// signature, preserved so existing callers keep compiling.
+#[deprecated(note = "use Enumeration::new(g).options(opts).collect()")]
+// xtask-allow: tuple-return
 pub fn collect_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> Option<(Vec<Biclique>, Stats)> {
     let mut sink = CollectSink::new();
-    let stats = enumerate(g, opts, &mut sink);
+    let (stats, _stop) = run::run_serial(g, opts, &RunControl::new(), &mut sink);
     Some((sink.into_vec(), stats))
 }
 
 /// Convenience wrapper: counts maximal bicliques without storing them.
+#[deprecated(note = "use Enumeration::new(g).options(opts).count()")]
 pub fn count_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (u64, Stats) {
     let mut sink = CountSink::default();
-    let stats = enumerate(g, opts, &mut sink);
+    let (stats, _stop) = run::run_serial(g, opts, &RunControl::new(), &mut sink);
     (sink.count(), stats)
 }
 

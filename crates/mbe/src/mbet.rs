@@ -24,7 +24,10 @@
 //! nodes, and the only per-node allocation is the `R'` vector that must
 //! outlive the recursion.
 
+use std::ops::ControlFlow;
+
 use crate::metrics::Stats;
+use crate::run::StopReason;
 use crate::sink::BicliqueSink;
 use crate::task::RootTask;
 use crate::util;
@@ -98,13 +101,14 @@ impl<'g> MbetEngine<'g> {
         self.peak_trie_nodes
     }
 
-    /// Runs one root task. Returns `false` iff the sink requested a stop.
+    /// Runs one root task. Breaks iff the sink (or the control plane
+    /// gating it) requested a stop.
     pub fn run_task(
         &mut self,
         task: &RootTask,
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
-    ) -> bool {
+    ) -> ControlFlow<StopReason> {
         self.expand(0, &task.l0, &[], task.v, &task.p0, &task.q0, sink, stats)
     }
 
@@ -120,7 +124,7 @@ impl<'g> MbetEngine<'g> {
         q: &[u32],
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
-    ) -> bool {
+    ) -> ControlFlow<StopReason> {
         self.expand(0, l, r_parent, v, p, q, sink, stats)
     }
 
@@ -138,7 +142,7 @@ impl<'g> MbetEngine<'g> {
         traversed: &[u32],
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
-    ) -> bool {
+    ) -> ControlFlow<StopReason> {
         debug_assert!(!l_new.is_empty());
 
         // Hybrid fast path: below a handful of candidates the trie's
@@ -196,7 +200,7 @@ impl<'g> MbetEngine<'g> {
         if covered {
             stats.nonmaximal += 1;
             self.pool[depth] = s;
-            return true;
+            return ControlFlow::Continue(());
         }
 
         // ---- Candidates: trie-group them by local neighborhood.
@@ -276,14 +280,14 @@ impl<'g> MbetEngine<'g> {
         r_new.sort_unstable();
         crate::invariants::check_node(self.g, l_new, &r_new);
 
-        if !sink.emit(l_new, &r_new) {
+        if let ControlFlow::Break(r) = sink.emit(l_new, &r_new) {
             self.pool[depth] = s;
-            return false;
+            return ControlFlow::Break(r);
         }
         stats.emitted += 1;
 
         // ---- Branch on each group representative.
-        let mut stop = false;
+        let mut stop = None;
         for gi in 0..s.groups.len() {
             let grp = s.groups[gi];
             let key = slice(&s.keyar, grp.key);
@@ -358,8 +362,8 @@ impl<'g> MbetEngine<'g> {
                 s.l_child = l_child;
                 s.child_p = child_p;
                 s.child_q = child_q;
-                if !cont {
-                    stop = true;
+                if let ControlFlow::Break(r) = cont {
+                    stop = Some(r);
                     break;
                 }
             }
@@ -376,7 +380,10 @@ impl<'g> MbetEngine<'g> {
         }
 
         self.pool[depth] = s;
-        !stop
+        match stop {
+            Some(r) => ControlFlow::Break(r),
+            None => ControlFlow::Continue(()),
+        }
     }
 }
 
@@ -406,12 +413,12 @@ impl MbetEngine<'_> {
         traversed: &[u32],
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
-    ) -> bool {
+    ) -> ControlFlow<StopReason> {
         stats.nodes += 1;
         for &q in traversed {
             if setops::is_subset(l_new, self.g.nbr_v(q)) {
                 stats.nonmaximal += 1;
-                return true;
+                return ControlFlow::Continue(());
             }
         }
         let mut absorbed: Vec<u32> = Vec::new();
@@ -431,12 +438,10 @@ impl MbetEngine<'_> {
         r_new.extend_from_slice(&absorbed);
         r_new.sort_unstable();
         crate::invariants::check_node(self.g, l_new, &r_new);
-        if !sink.emit(l_new, &r_new) {
-            return false;
-        }
+        sink.emit(l_new, &r_new)?;
         stats.emitted += 1;
         if p_new.is_empty() {
-            return true;
+            return ControlFlow::Continue(());
         }
         let mut q_now: Vec<u32> = traversed
             .iter()
@@ -448,7 +453,7 @@ impl MbetEngine<'_> {
             let w = p_new[i];
             setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
             let l_child_owned = std::mem::take(&mut l_child);
-            if !self.expand(
+            self.expand(
                 depth + 1,
                 &l_child_owned,
                 &r_new,
@@ -457,13 +462,11 @@ impl MbetEngine<'_> {
                 &q_now,
                 sink,
                 stats,
-            ) {
-                return false;
-            }
+            )?;
             l_child = l_child_owned;
             q_now.push(w);
         }
-        true
+        ControlFlow::Continue(())
     }
 }
 
@@ -503,7 +506,7 @@ mod tests {
         let mut engine = MbetEngine::new(g, cfg);
         for v in 0..g.num_v() {
             if let Some(t) = builder.build(v) {
-                assert!(engine.run_task(&t, &mut sink, &mut stats));
+                assert!(engine.run_task(&t, &mut sink, &mut stats).is_continue());
             }
         }
         let mut out = sink.into_vec();
@@ -538,7 +541,7 @@ mod tests {
         let mut engine = crate::baseline::BaselineEngine::new(&g, Algorithm::Mbea);
         for v in 0..g.num_v() {
             if let Some(t) = builder.build(v) {
-                engine.run_task(&t, &mut sink, &mut mbea_stats);
+                assert!(engine.run_task(&t, &mut sink, &mut mbea_stats).is_continue());
             }
         }
         let mut want = sink.into_vec();
@@ -587,12 +590,12 @@ mod tests {
         let mut n = 0;
         let mut sink = crate::FnSink(|_: &[u32], _: &[u32]| {
             n += 1;
-            false
+            crate::sink::STOP
         });
         let mut builder = TaskBuilder::new(&g);
         let mut engine = MbetEngine::new(&g, MbetConfig::default());
         let t = builder.build(0).unwrap();
-        assert!(!engine.run_task(&t, &mut sink, &mut stats));
+        assert!(engine.run_task(&t, &mut sink, &mut stats).is_break());
         assert_eq!(n, 1);
     }
 
@@ -613,7 +616,7 @@ mod tests {
         let mut builder = TaskBuilder::new(&g);
         for v in 0..g.num_v() {
             if let Some(t) = builder.build(v) {
-                engine.run_task(&t, &mut sink, &mut stats);
+                assert!(engine.run_task(&t, &mut sink, &mut stats).is_continue());
             }
         }
         assert!(engine.peak_trie_nodes() > 1);

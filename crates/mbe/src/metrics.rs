@@ -9,6 +9,12 @@
 use std::time::Duration;
 
 /// Counters accumulated over one enumeration run.
+///
+/// On a *stopped* run (cancelled, deadline, or over budget — see
+/// [`crate::StopReason`]) the counters describe the partial work actually
+/// performed, and cross-counter identities such as `nodes = emitted +
+/// nonmaximal` need not close: a stop can land between a node expansion
+/// and its emission.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Enumeration nodes expanded (branches actually recursed into).

@@ -13,15 +13,27 @@
 //!
 //! Every worker owns a private engine (scratch reuse) and a private sink;
 //! per-worker sinks and [`Stats`] are returned to the caller for merging.
+//!
+//! **Stopping.** Workers share one [`ControlState`]: emissions are gated
+//! through it (so `max_emitted` budgets are exact even here), and the
+//! cancellation flag / deadline are additionally observed in the idle
+//! [`Backoff`] loop. Once a stop is recorded, every worker switches to
+//! *drain* mode — it keeps popping and discarding queued tasks,
+//! decrementing the pending counter, until the pool is empty — so the
+//! pending counter always reaches zero and is asserted
+//! ([`crate::invariants::check_drained`]) on every run, stopped or not.
+
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::metrics::Stats;
+use crate::run::{ControlState, ControlledSink, MbeError, RunControl, StopReason};
 use crate::sink::{Biclique, BicliqueSink, CollectSink, CountSink};
 use crate::task::{root_representatives, AnyEngine, RootTask, TaskBuilder};
 use crate::{Algorithm, MbeOptions};
 use bigraph::BipartiteGraph;
-use crossbeam::deque::{Injector, Steal, Worker};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use crossbeam::utils::Backoff;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A unit of parallel work.
 ///
@@ -67,16 +79,21 @@ impl NodeTask {
     }
 }
 
-/// Runs the configured algorithm over `g` with `opts.threads` workers
-/// (0 = all available cores). `make_sink(worker_index)` builds one sink
-/// per worker; the sinks and the merged stats are returned.
+/// Parallel enumeration core used by the [`crate::Enumeration`] builder
+/// terminals and the deprecated shims: runs the configured algorithm over
+/// `g` with `opts.threads` workers (0 = all available cores) under
+/// `control`. `make_sink(worker_index)` builds one sink per worker; the
+/// sinks, the merged stats, and the stop reason are returned.
 ///
-/// Emission *order* is nondeterministic, the emitted *set* is not.
-pub fn par_enumerate_with<S, F>(
+/// Emission *order* is nondeterministic, the emitted *set* is not (and
+/// under an emission budget the emitted *count* is exact — the budget is
+/// a shared atomic token pool).
+pub(crate) fn par_run<S, F>(
     g: &BipartiteGraph,
     opts: &MbeOptions,
+    control: &RunControl,
     make_sink: F,
-) -> (Vec<S>, Stats)
+) -> Result<(Vec<S>, Stats, StopReason), MbeError>
 where
     S: BicliqueSink + Send,
     F: Fn(usize) -> S + Sync,
@@ -92,7 +109,7 @@ where
 
     let injector: Injector<Task> = Injector::new();
     let pending = AtomicU64::new(0);
-    let stop = AtomicBool::new(false);
+    let state = ControlState::new(control);
 
     // Seed with bare root ids (respecting MBET root batching); workers
     // compute the 2-hop universes themselves so preprocessing scales too.
@@ -117,17 +134,18 @@ where
 
     let mut results: Vec<Option<(S, Stats)>> = (0..threads).map(|_| None).collect();
 
-    crossbeam::thread::scope(|scope| {
+    let (spawn_err, panicked) = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
+        let mut spawn_err: Option<String> = None;
         for (wid, (local, slot)) in workers.into_iter().zip(results.iter_mut()).enumerate() {
             let injector = &injector;
             let stealers = &stealers;
             let pending = &pending;
-            let stop = &stop;
+            let state = &state;
             let h = &h;
             let perm = &perm[..];
             let make_sink = &make_sink;
-            let handle = scope
+            let spawned = scope
                 .builder()
                 .name(format!("mbe-worker-{wid}"))
                 .stack_size(64 << 20) // deep R-chains recurse; be generous
@@ -136,7 +154,6 @@ where
                     let mut stats = Stats::default();
                     let mut engine = AnyEngine::new(h, opts);
                     worker_loop(
-                        wid,
                         h,
                         perm,
                         opts,
@@ -144,50 +161,110 @@ where
                         injector,
                         stealers,
                         pending,
-                        stop,
+                        state,
                         &mut engine,
                         &mut sink,
                         &mut stats,
                     );
                     *slot = Some((sink, stats));
-                })
-                .expect("spawn worker"); // xtask-allow: expect
-            handles.push(handle);
+                });
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Stop the already-running workers (they drain the
+                    // queue) and surface the failure to the caller.
+                    spawn_err = Some(e.to_string());
+                    state.note_stop(StopReason::Cancelled);
+                    break;
+                }
+            }
         }
+        let mut panicked = false;
         for hdl in handles {
-            // Worker panics must propagate, not be swallowed. xtask-allow: expect
-            hdl.join().expect("worker panicked");
+            if hdl.join().is_err() {
+                panicked = true;
+            }
         }
+        (spawn_err, panicked)
     })
     .expect("scope"); // xtask-allow: expect
+
+    if let Some(msg) = spawn_err {
+        return Err(MbeError::Spawn(msg));
+    }
+    if panicked {
+        return Err(MbeError::WorkerPanicked);
+    }
 
     let mut stats = seed_stats;
     let mut sinks = Vec::with_capacity(threads);
     for r in results {
-        let (s, st) = r.expect("every worker reports"); // xtask-allow: expect
+        let Some((s, st)) = r else {
+            return Err(MbeError::WorkerPanicked);
+        };
         stats.merge(&st);
         sinks.push(s);
     }
-    let stopped = stop.load(Ordering::Relaxed);
-    if !stopped {
-        crate::invariants::check_drained(pending.load(Ordering::SeqCst));
-    }
-    crate::invariants::check_parallel_run(g, opts, &stats, stopped);
+    let stop = state.reason();
+    // Every exit path — completion or drain-after-stop — leaves the
+    // pending counter at zero; asserted unconditionally.
+    crate::invariants::check_drained(pending.load(Ordering::SeqCst));
+    crate::invariants::check_parallel_run(g, opts, &stats, !stop.is_complete());
     stats.elapsed = start.elapsed();
-    (sinks, stats)
+    Ok((sinks, stats, stop))
+}
+
+/// Pops the next task: local deque first, then the injector, then peers.
+fn next_task(
+    local: &Worker<Task>,
+    injector: &Injector<Task>,
+    stealers: &[Stealer<Task>],
+) -> Option<Task> {
+    local.pop().or_else(|| {
+        std::iter::repeat_with(|| {
+            injector
+                .steal_batch_and_pop(local)
+                .or_else(|| stealers.iter().map(|s| s.steal()).collect())
+        })
+        .find(|s| !matches!(s, Steal::Retry))
+        .and_then(|s| s.success())
+    })
+}
+
+/// Post-stop cleanup: pop and discard queued tasks (decrementing the
+/// pending counter) until the pool is empty. Peers still finishing a task
+/// may push split children meanwhile; they are drained too, and the loop
+/// terminates because in-flight tasks are finite and no new work is
+/// started once every worker observes the stop.
+fn drain_after_stop(
+    local: &Worker<Task>,
+    injector: &Injector<Task>,
+    stealers: &[Stealer<Task>],
+    pending: &AtomicU64,
+) {
+    let backoff = Backoff::new();
+    loop {
+        while next_task(local, injector, stealers).is_some() {
+            pending.fetch_sub(1, Ordering::SeqCst);
+            backoff.reset();
+        }
+        if pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        backoff.snooze();
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<S: BicliqueSink>(
-    _wid: usize,
     h: &BipartiteGraph,
     perm: &[u32],
     opts: &MbeOptions,
     local: &Worker<Task>,
     injector: &Injector<Task>,
-    stealers: &[crossbeam::deque::Stealer<Task>],
+    stealers: &[Stealer<Task>],
     pending: &AtomicU64,
-    stop: &AtomicBool,
+    state: &ControlState<'_>,
     engine: &mut AnyEngine<'_>,
     sink: &mut S,
     stats: &mut Stats,
@@ -195,27 +272,24 @@ fn worker_loop<S: BicliqueSink>(
     let mut split_buf: Vec<NodeTask> = Vec::new();
     let mut builder = TaskBuilder::new(h);
     let backoff = Backoff::new();
+    // Record a pre-cancelled / pre-expired control before doing any work.
+    state.check_idle();
     loop {
-        if stop.load(Ordering::Relaxed) {
+        if state.stopped().is_some() {
+            drain_after_stop(local, injector, stealers, pending);
             return;
         }
-        let task = local.pop().or_else(|| {
-            std::iter::repeat_with(|| {
-                injector
-                    .steal_batch_and_pop(local)
-                    .or_else(|| stealers.iter().map(|s| s.steal()).collect())
-            })
-            .find(|s| !matches!(s, Steal::Retry))
-            .and_then(|s| s.success())
-        });
-        let Some(task) = task else {
+        let Some(task) = next_task(local, injector, stealers) else {
             // Injector and every stealer came up empty. Either the pool is
             // done (`pending` drained) or peers are still expanding nodes
             // that may yet split — back off exponentially (spin, then
-            // yield) instead of burning a core on a bare yield loop.
+            // yield) instead of burning a core on a bare yield loop. The
+            // idle loop doubles as the passive cancellation/deadline
+            // observation point.
             if pending.load(Ordering::SeqCst) == 0 {
                 return;
             }
+            state.check_idle();
             backoff.snooze();
             continue;
         };
@@ -225,19 +299,21 @@ fn worker_loop<S: BicliqueSink>(
             Task::Node(t) => Some(t),
             Task::Root(v) => builder.build(v).map(NodeTask::from_root),
         };
-        let keep_going = match task {
-            None => true, // isolated root — nothing to do
+        let flow = match task {
+            None => ControlFlow::Continue(()), // isolated root — nothing to do
             Some(task) => {
                 stats.tasks += 1;
+                let nodes_before = stats.nodes;
                 let mut mapped = crate::sink::map_right(sink, perm);
-                if task.should_split(opts) {
+                let mut controlled = ControlledSink::new(state, &mut mapped);
+                let flow = if task.should_split(opts) {
                     split_buf.clear();
-                    let cont = split_node(h, &task, &mut mapped, stats, &mut split_buf);
+                    let f = split_node(h, &task, &mut controlled, stats, &mut split_buf);
                     pending.fetch_add(split_buf.len() as u64, Ordering::SeqCst);
                     for child in split_buf.drain(..) {
                         injector.push(Task::Node(child));
                     }
-                    cont
+                    f
                 } else {
                     engine.run_node(
                         &task.l,
@@ -245,35 +321,41 @@ fn worker_loop<S: BicliqueSink>(
                         task.v,
                         &task.p,
                         &task.q,
-                        &mut mapped,
+                        &mut controlled,
                         stats,
                     )
+                };
+                match flow {
+                    // Task-boundary accounting feeds the node budget.
+                    ControlFlow::Continue(()) => state.note_task(stats.nodes - nodes_before),
+                    brk => brk,
                 }
             }
         };
         pending.fetch_sub(1, Ordering::SeqCst);
-        if !keep_going {
-            stop.store(true, Ordering::Relaxed);
-            return;
+        if let ControlFlow::Break(r) = flow {
+            state.note_stop(r);
+            // The loop top switches to drain mode.
         }
     }
 }
 
 /// Processes one node — check, absorb, emit — and pushes its children as
 /// tasks instead of recursing. Engine-agnostic (MBEA-style scans): split
-/// nodes are rare, fan-out dominates their cost.
+/// nodes are rare, fan-out dominates their cost. Breaks (pushing no
+/// children) iff the sink requested a stop.
 fn split_node(
     g: &BipartiteGraph,
     t: &NodeTask,
     sink: &mut dyn BicliqueSink,
     stats: &mut Stats,
     out: &mut Vec<NodeTask>,
-) -> bool {
+) -> ControlFlow<StopReason> {
     stats.nodes += 1;
     for &q in &t.q {
         if setops::is_subset(&t.l, g.nbr_v(q)) {
             stats.nonmaximal += 1;
-            return true;
+            return ControlFlow::Continue(());
         }
     }
     let mut absorbed = Vec::new();
@@ -293,9 +375,7 @@ fn split_node(
     r_new.extend_from_slice(&absorbed);
     r_new.sort_unstable();
     crate::invariants::check_node(g, &t.l, &r_new);
-    if !sink.emit(&t.l, &r_new) {
-        return false;
-    }
+    sink.emit(&t.l, &r_new)?;
     stats.emitted += 1;
 
     let q_base: Vec<u32> =
@@ -317,28 +397,65 @@ fn split_node(
         });
         q_now.push(w);
     }
-    true
+    ControlFlow::Continue(())
+}
+
+/// Runs the configured algorithm over `g` with `opts.threads` workers
+/// (0 = all available cores). `make_sink(worker_index)` builds one sink
+/// per worker; the sinks and the merged stats are returned.
+///
+/// Emission *order* is nondeterministic, the emitted *set* is not.
+#[deprecated(note = "use Enumeration::new(g).options(opts).run_per_worker(make_sink)")]
+pub fn par_enumerate_with<S, F>(
+    g: &BipartiteGraph,
+    opts: &MbeOptions,
+    make_sink: F,
+) -> (Vec<S>, Stats)
+// xtask-allow: tuple-return
+where
+    S: BicliqueSink + Send,
+    F: Fn(usize) -> S + Sync,
+{
+    match par_run(g, opts, &RunControl::new(), make_sink) {
+        Ok((sinks, stats, _stop)) => (sinks, stats),
+        // Preserves the old API's panic-on-failure behavior; the new
+        // builder returns these as errors. xtask-allow: panic
+        Err(e) => panic!("parallel enumeration failed: {e}"),
+    }
 }
 
 /// Parallel collection of all maximal bicliques (unsorted).
+#[deprecated(note = "use Enumeration::new(g).options(opts).collect()")]
+// xtask-allow: tuple-return
 pub fn par_collect_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (Vec<Biclique>, Stats) {
-    let (sinks, stats) = par_enumerate_with(g, opts, |_| CollectSink::new());
-    let mut all = Vec::new();
-    for s in sinks {
-        all.extend(s.into_vec());
+    match par_run(g, opts, &RunControl::new(), |_| CollectSink::new()) {
+        Ok((sinks, stats, _stop)) => {
+            let mut all = Vec::new();
+            for s in sinks {
+                all.extend(s.into_vec());
+            }
+            (all, stats)
+        }
+        // Preserves the old API's panic-on-failure behavior. xtask-allow: panic
+        Err(e) => panic!("parallel enumeration failed: {e}"),
     }
-    (all, stats)
 }
 
 /// Parallel count of maximal bicliques.
+#[deprecated(note = "use Enumeration::new(g).options(opts).count()")]
+// xtask-allow: tuple-return
 pub fn par_count_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (u64, Stats) {
-    let (sinks, stats) = par_enumerate_with(g, opts, |_| CountSink::default());
-    (sinks.iter().map(|s| s.count()).sum(), stats)
+    match par_run(g, opts, &RunControl::new(), |_| CountSink::default()) {
+        Ok((sinks, stats, _stop)) => (sinks.iter().map(|s| s.count()).sum(), stats),
+        // Preserves the old API's panic-on-failure behavior. xtask-allow: panic
+        Err(e) => panic!("parallel enumeration failed: {e}"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Enumeration;
 
     fn g0() -> BipartiteGraph {
         BipartiteGraph::from_edges(
@@ -367,10 +484,10 @@ mod tests {
         let g = g0();
         for alg in Algorithm::all() {
             let opts = MbeOptions::new(alg).threads(3);
-            let (mut par, _) = par_collect_bicliques(&g, &opts);
+            let mut par = Enumeration::new(&g).options(opts.clone()).collect().unwrap().bicliques;
             par.sort();
-            let (ser, _) = crate::collect_bicliques(&g, &opts).unwrap();
-            let mut ser = ser;
+            let mut ser =
+                Enumeration::new(&g).options(opts.threads(1)).collect().unwrap().bicliques;
             ser.sort();
             assert_eq!(par, ser, "{alg:?}");
             assert_eq!(par.len(), 6);
@@ -384,27 +501,72 @@ mod tests {
         let mut opts = MbeOptions::new(Algorithm::Mbet).threads(2);
         opts.split_height = 0;
         opts.split_size = 0;
-        let (mut par, stats) = par_collect_bicliques(&g, &opts);
+        let report = Enumeration::new(&g).options(opts).collect().unwrap();
+        let mut par = report.bicliques;
         par.sort();
         crate::verify::assert_matches_brute_force(&g, &par);
-        assert_eq!(stats.emitted, 6);
+        assert_eq!(report.stats.emitted, 6);
     }
 
     #[test]
-    fn single_thread_parallel_matches() {
+    fn single_worker_parallel_matches() {
         let g = g0();
         let opts = MbeOptions::new(Algorithm::Imbea).threads(1);
-        let (count, _) = par_count_bicliques(&g, &opts);
+        let (sinks, report) =
+            Enumeration::new(&g).options(opts).run_per_worker(|_| CountSink::default()).unwrap();
+        let count: u64 = sinks.iter().map(|s| s.count()).sum();
         assert_eq!(count, 6);
+        assert!(report.is_complete());
     }
 
     #[test]
     fn empty_graph_parallel() {
         let g = BipartiteGraph::from_edges(4, 4, &[]).unwrap();
+        let report =
+            Enumeration::new(&g).options(MbeOptions::new(Algorithm::Mbet).threads(2)).count();
+        let report = report.unwrap();
+        assert_eq!(report.count(), 0);
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn deprecated_par_shims_still_work() {
+        let g = g0();
         let opts = MbeOptions::new(Algorithm::Mbet).threads(2);
-        let (count, stats) = par_count_bicliques(&g, &opts);
-        assert_eq!(count, 0);
-        assert_eq!(stats.emitted, 0);
+        #[allow(deprecated)]
+        let (bicliques, _) = par_collect_bicliques(&g, &opts);
+        assert_eq!(bicliques.len(), 6);
+        #[allow(deprecated)]
+        let (count, _) = par_count_bicliques(&g, &opts);
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn parallel_emit_budget_is_exact() {
+        let g = g0();
+        for threads in [2, 4] {
+            let report = Enumeration::new(&g)
+                .options(MbeOptions::new(Algorithm::Mbet).threads(threads))
+                .max_bicliques(3)
+                .collect()
+                .unwrap();
+            assert_eq!(report.stop, StopReason::EmitBudget, "threads={threads}");
+            assert_eq!(report.bicliques.len(), 3, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_pre_cancelled_emits_nothing() {
+        let g = g0();
+        let control = RunControl::new();
+        control.cancel();
+        let report = Enumeration::new(&g)
+            .options(MbeOptions::new(Algorithm::Mbet).threads(3))
+            .control(control)
+            .collect()
+            .unwrap();
+        assert_eq!(report.stop, StopReason::Cancelled);
+        assert!(report.bicliques.is_empty());
     }
 
     fn node(l: usize, p: usize) -> NodeTask {

@@ -7,7 +7,9 @@
 //! allocation-free per emission. The E9 experiment and the long-running
 //! examples are built on it.
 
+use crate::run::StopReason;
 use crate::sink::BicliqueSink;
+use std::ops::ControlFlow;
 use std::time::{Duration, Instant};
 
 /// One progress sample.
@@ -74,7 +76,7 @@ impl<S: BicliqueSink> ProgressSink<S> {
 }
 
 impl<S: BicliqueSink> BicliqueSink for ProgressSink<S> {
-    fn emit(&mut self, left: &[u32], right: &[u32]) -> bool {
+    fn emit(&mut self, left: &[u32], right: &[u32]) -> ControlFlow<StopReason> {
         self.emitted += 1;
         if self.emitted.is_multiple_of(self.sample_every) {
             self.samples.push(Sample { emitted: self.emitted, elapsed: self.start.elapsed() });
@@ -92,7 +94,7 @@ mod tests {
     fn samples_at_interval() {
         let mut p = ProgressSink::new(CountSink::default(), 3);
         for _ in 0..10 {
-            assert!(p.emit(&[0], &[0]));
+            assert!(p.emit(&[0], &[0]).is_continue());
         }
         assert_eq!(p.emitted(), 10);
         let marks: Vec<u64> = p.samples().iter().map(|s| s.emitted).collect();
@@ -103,7 +105,7 @@ mod tests {
     #[test]
     fn zero_interval_clamped() {
         let mut p = ProgressSink::new(CountSink::default(), 0);
-        p.emit(&[0], &[0]);
+        assert!(p.emit(&[0], &[0]).is_continue());
         assert_eq!(p.samples().len(), 1, "interval clamps to 1");
     }
 
@@ -111,7 +113,7 @@ mod tests {
     fn time_to_fraction_lookup() {
         let mut p = ProgressSink::new(CountSink::default(), 1);
         for _ in 0..8 {
-            p.emit(&[0], &[0]);
+            assert!(p.emit(&[0], &[0]).is_continue());
         }
         // Half of 8 = 4: reached at the 4th sample.
         let t_half = p.time_to_fraction(8, 1, 2).expect("sampled");
@@ -126,10 +128,10 @@ mod tests {
         {
             let inner = crate::FnSink(|_: &[u32], _: &[u32]| {
                 hits += 1;
-                false
+                crate::sink::STOP
             });
             let mut p = ProgressSink::new(inner, 1);
-            assert!(!p.emit(&[0], &[0]));
+            assert!(p.emit(&[0], &[0]).is_break());
         }
         assert_eq!(hits, 1);
     }
@@ -156,9 +158,10 @@ mod tests {
         )
         .unwrap();
         let mut p = ProgressSink::new(CountSink::default(), 2);
-        let stats = crate::enumerate(&g, &crate::MbeOptions::default(), &mut p);
-        assert_eq!(p.emitted(), stats.emitted);
-        assert_eq!(p.samples().len() as u64, stats.emitted / 2);
+        let report = crate::Enumeration::new(&g).run(&mut p).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(p.emitted(), report.stats.emitted);
+        assert_eq!(p.samples().len() as u64, report.stats.emitted / 2);
         assert!(p.rate_per_sec() > 0.0);
     }
 }

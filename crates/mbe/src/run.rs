@@ -1,0 +1,729 @@
+//! The run-control plane: one unified entry point for every enumeration.
+//!
+//! [`Enumeration`] is a builder that owns the graph, the [`MbeOptions`],
+//! optional size [`SizeThresholds`], and a [`RunControl`] — a shareable
+//! cancellation flag plus wall-clock deadline and emission/node budgets.
+//! Every terminal method returns `Result<`[`Report`]`, `[`MbeError`]`>`;
+//! a [`Report`] carries the results, the [`Stats`], and a typed
+//! [`StopReason`], so partial results from a stopped run are first-class
+//! values instead of a silent `false`.
+//!
+//! ```
+//! use bigraph::BipartiteGraph;
+//! use mbe::{Enumeration, StopReason};
+//!
+//! let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]).unwrap();
+//! let report = Enumeration::new(&g).collect().unwrap();
+//! assert_eq!(report.stop, StopReason::Completed);
+//! assert_eq!(report.bicliques.len(), 2);
+//! ```
+
+use std::fmt;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bigraph::order::VertexOrder;
+use bigraph::BipartiteGraph;
+
+use crate::filtered::SizeThresholds;
+use crate::metrics::Stats;
+use crate::sink::{Biclique, BicliqueSink, CollectSink, CountSink};
+use crate::{Algorithm, MbeOptions, MbetConfig};
+
+/// Why an enumeration run ended.
+///
+/// Everything except [`StopReason::Completed`] describes an early stop;
+/// the [`Report`] still carries every biclique emitted up to that point,
+/// and the partial set is guaranteed to be a duplicate-free subset of the
+/// complete run's output (asserted under the `debug-invariants` feature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StopReason {
+    /// The enumeration ran to the end; the result set is complete.
+    #[default]
+    Completed,
+    /// The shared [`RunControl`] cancellation flag was raised.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The `max_emitted` budget was exhausted.
+    EmitBudget,
+    /// The `max_nodes` budget was exhausted (search-tree nodes for
+    /// [`RunControl::max_nodes`], trie nodes for
+    /// [`crate::TrieSink::with_node_limit`]).
+    NodeBudget,
+    /// A user sink returned `ControlFlow::Break` from `emit`.
+    SinkStopped,
+}
+
+impl StopReason {
+    /// `true` iff the run finished without stopping early.
+    pub fn is_complete(self) -> bool {
+        self == StopReason::Completed
+    }
+
+    /// Short human-readable label (used by the CLI).
+    pub fn label(self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::Cancelled => "cancelled",
+            StopReason::Deadline => "deadline",
+            StopReason::EmitBudget => "emit-budget",
+            StopReason::NodeBudget => "node-budget",
+            StopReason::SinkStopped => "sink-stopped",
+        }
+    }
+
+    fn encode(self) -> u8 {
+        match self {
+            StopReason::Completed => 1,
+            StopReason::Cancelled => 2,
+            StopReason::Deadline => 3,
+            StopReason::EmitBudget => 4,
+            StopReason::NodeBudget => 5,
+            StopReason::SinkStopped => 6,
+        }
+    }
+
+    fn decode(word: u8) -> Option<StopReason> {
+        match word {
+            1 => Some(StopReason::Completed),
+            2 => Some(StopReason::Cancelled),
+            3 => Some(StopReason::Deadline),
+            4 => Some(StopReason::EmitBudget),
+            5 => Some(StopReason::NodeBudget),
+            6 => Some(StopReason::SinkStopped),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// External control over a running enumeration.
+///
+/// Cloning a `RunControl` shares the cancellation flag: hand a clone to
+/// another thread (or a signal handler) and call [`RunControl::cancel`]
+/// there to stop a run in flight. Deadlines and budgets are plain values
+/// copied into each run.
+///
+/// Budget semantics:
+/// - `max_emitted` is exact, including under the parallel driver: the run
+///   stops with [`StopReason::EmitBudget`] after exactly that many
+///   bicliques have been forwarded to the sink (fewer if the enumeration
+///   finishes first, with [`StopReason::Completed`]).
+/// - `max_nodes` is enforced at task boundaries, so a run may overshoot
+///   the node budget by the size of the tasks in flight before stopping
+///   with [`StopReason::NodeBudget`].
+/// - The deadline and the cancellation flag are observed before every
+///   emission and in the workers' idle loops, so dense regions that emit
+///   frequently stop promptly; an emission-free subtree finishes its task
+///   before the stop is observed.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    cancel: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+    max_emitted: Option<u64>,
+    max_nodes: Option<u64>,
+}
+
+impl RunControl {
+    /// A control with no limits: never cancels on its own.
+    pub fn new() -> Self {
+        RunControl::default()
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Sets the deadline to `dur` from now.
+    pub fn timeout(self, dur: Duration) -> Self {
+        self.deadline(Instant::now() + dur)
+    }
+
+    /// Stops the run after exactly `n` bicliques have been emitted.
+    pub fn max_emitted(mut self, n: u64) -> Self {
+        self.max_emitted = Some(n);
+        self
+    }
+
+    /// Stops the run once roughly `n` search-tree nodes have been
+    /// expanded (checked at task boundaries).
+    pub fn max_nodes(mut self, n: u64) -> Self {
+        self.max_nodes = Some(n);
+        self
+    }
+
+    /// Raises the shared cancellation flag. Safe to call from any thread;
+    /// every run sharing this control (or a clone of it) stops at its
+    /// next check point with [`StopReason::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` iff [`RunControl::cancel`] has been called on this control
+    /// or any clone of it.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+}
+
+/// Shared per-run state derived from a [`RunControl`]: the first stop
+/// reason (first writer wins), the emission-token counter backing the
+/// exact `max_emitted` budget, and the global expanded-node counter
+/// backing `max_nodes`. One instance per run, shared by reference across
+/// workers.
+pub(crate) struct ControlState<'c> {
+    control: &'c RunControl,
+    emit_tokens: AtomicU64,
+    nodes: AtomicU64,
+    stop: AtomicU8,
+}
+
+impl<'c> ControlState<'c> {
+    pub(crate) fn new(control: &'c RunControl) -> Self {
+        ControlState {
+            control,
+            emit_tokens: AtomicU64::new(0),
+            nodes: AtomicU64::new(0),
+            stop: AtomicU8::new(0),
+        }
+    }
+
+    /// The recorded stop reason, if any stop has been requested.
+    pub(crate) fn stopped(&self) -> Option<StopReason> {
+        StopReason::decode(self.stop.load(Ordering::SeqCst))
+    }
+
+    /// The final reason for a finished run: the recorded stop, or
+    /// `Completed` when nothing stopped it.
+    pub(crate) fn reason(&self) -> StopReason {
+        self.stopped().unwrap_or(StopReason::Completed)
+    }
+
+    /// Records `reason` as the run's stop reason unless one is already
+    /// recorded; returns the winning (first-recorded) reason either way.
+    pub(crate) fn note_stop(&self, reason: StopReason) -> StopReason {
+        match self.stop.compare_exchange(0, reason.encode(), Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => reason,
+            Err(prev) => StopReason::decode(prev).unwrap_or(reason),
+        }
+    }
+
+    /// Per-emission gate: checks the recorded stop, the cancellation
+    /// flag, the deadline, and (atomically, so it is exact across
+    /// parallel workers) the emission budget.
+    pub(crate) fn admit(&self) -> ControlFlow<StopReason> {
+        if let Some(r) = self.stopped() {
+            return ControlFlow::Break(r);
+        }
+        if self.control.is_cancelled() {
+            return ControlFlow::Break(self.note_stop(StopReason::Cancelled));
+        }
+        if let Some(at) = self.control.deadline {
+            if Instant::now() >= at {
+                return ControlFlow::Break(self.note_stop(StopReason::Deadline));
+            }
+        }
+        if let Some(max) = self.control.max_emitted {
+            if self.emit_tokens.fetch_add(1, Ordering::SeqCst) >= max {
+                return ControlFlow::Break(self.note_stop(StopReason::EmitBudget));
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Task-boundary gate: adds `nodes_delta` expanded nodes to the
+    /// global counter, then checks every passive stop condition (node
+    /// budget, cancellation, deadline).
+    pub(crate) fn note_task(&self, nodes_delta: u64) -> ControlFlow<StopReason> {
+        if let Some(max) = self.control.max_nodes {
+            let total = self.nodes.fetch_add(nodes_delta, Ordering::SeqCst) + nodes_delta;
+            if total >= max {
+                return ControlFlow::Break(self.note_stop(StopReason::NodeBudget));
+            }
+        } else {
+            self.nodes.fetch_add(nodes_delta, Ordering::SeqCst);
+        }
+        if let Some(r) = self.stopped() {
+            return ControlFlow::Break(r);
+        }
+        if self.control.is_cancelled() {
+            return ControlFlow::Break(self.note_stop(StopReason::Cancelled));
+        }
+        if let Some(at) = self.control.deadline {
+            if Instant::now() >= at {
+                return ControlFlow::Break(self.note_stop(StopReason::Deadline));
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Cheap passive check for idle loops (parallel workers between
+    /// steals): observes cancellation and the deadline without touching
+    /// any budget counter.
+    pub(crate) fn check_idle(&self) {
+        if self.stopped().is_some() {
+            return;
+        }
+        if self.control.is_cancelled() {
+            self.note_stop(StopReason::Cancelled);
+        } else if let Some(at) = self.control.deadline {
+            if Instant::now() >= at {
+                self.note_stop(StopReason::Deadline);
+            }
+        }
+    }
+}
+
+/// Internal sink adapter that gates every emission on the shared
+/// [`ControlState`] before forwarding to the user sink, and records the
+/// user sink's own stop as [`StopReason::SinkStopped`] (or whatever
+/// reason the sink returned) in the shared state so parallel workers see
+/// it.
+pub(crate) struct ControlledSink<'a, S: BicliqueSink> {
+    state: &'a ControlState<'a>,
+    inner: &'a mut S,
+}
+
+impl<'a, S: BicliqueSink> ControlledSink<'a, S> {
+    pub(crate) fn new(state: &'a ControlState<'a>, inner: &'a mut S) -> Self {
+        ControlledSink { state, inner }
+    }
+}
+
+impl<S: BicliqueSink> BicliqueSink for ControlledSink<'_, S> {
+    fn emit(&mut self, left: &[u32], right: &[u32]) -> ControlFlow<StopReason> {
+        self.state.admit()?;
+        match self.inner.emit(left, right) {
+            ControlFlow::Continue(()) => ControlFlow::Continue(()),
+            ControlFlow::Break(r) => ControlFlow::Break(self.state.note_stop(r)),
+        }
+    }
+}
+
+/// Errors from the [`Enumeration`] terminals.
+///
+/// Early stops are *not* errors — they come back as `Ok(Report)` with a
+/// non-`Completed` [`StopReason`]. Errors are configuration or runtime
+/// failures that prevented the run from producing a meaningful report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MbeError {
+    /// The builder was configured inconsistently (message says how).
+    InvalidConfig(&'static str),
+    /// The parallel driver failed to spawn a worker thread.
+    Spawn(String),
+    /// A worker thread panicked; results would be incomplete.
+    WorkerPanicked,
+}
+
+impl fmt::Display for MbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MbeError::InvalidConfig(msg) => write!(f, "invalid enumeration config: {msg}"),
+            MbeError::Spawn(e) => write!(f, "failed to spawn worker thread: {e}"),
+            MbeError::WorkerPanicked => f.write_str("a worker thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for MbeError {}
+
+/// The outcome of an enumeration run: results, stats, and why it ended.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Collected bicliques (empty for counting terminals).
+    pub bicliques: Vec<Biclique>,
+    /// Enumeration statistics. For a stopped run these describe the work
+    /// done up to the stop; the `nodes = emitted + nonmaximal` identity
+    /// only holds for completed runs.
+    pub stats: Stats,
+    /// Why the run ended.
+    pub stop: StopReason,
+}
+
+impl Report {
+    /// `true` iff the run finished without stopping early.
+    pub fn is_complete(&self) -> bool {
+        self.stop.is_complete()
+    }
+
+    /// Number of bicliques forwarded to the sink (equals
+    /// `bicliques.len()` for collecting terminals).
+    pub fn count(&self) -> u64 {
+        self.stats.emitted
+    }
+}
+
+/// Builder for one enumeration run — the single entry point that
+/// replaces the old `enumerate` / `collect_bicliques` / `count_bicliques`
+/// / `par_*` function family.
+///
+/// Configure the run with the chained setters, then finish with one of
+/// the terminals: [`collect`](Enumeration::collect) (bicliques in a
+/// `Report`), [`count`](Enumeration::count) (count only),
+/// [`run`](Enumeration::run) (stream into your own sink on the serial
+/// driver), or [`run_per_worker`](Enumeration::run_per_worker) (one sink
+/// per parallel worker).
+///
+/// Threading follows `MbeOptions::threads`: `1` (the default) runs the
+/// serial driver, `0` uses one worker per core, `n > 1` uses `n`
+/// workers. `collect` and `count` dispatch automatically.
+///
+/// ```
+/// use bigraph::BipartiteGraph;
+/// use mbe::{Enumeration, StopReason};
+///
+/// let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+/// // A budget of 0 bicliques stops immediately with EmitBudget.
+/// let report = Enumeration::new(&g).max_bicliques(0).collect().unwrap();
+/// assert_eq!(report.stop, StopReason::EmitBudget);
+/// assert!(report.bicliques.is_empty());
+/// ```
+pub struct Enumeration<'g> {
+    g: &'g BipartiteGraph,
+    opts: MbeOptions,
+    control: RunControl,
+    thresholds: Option<SizeThresholds>,
+}
+
+impl<'g> Enumeration<'g> {
+    /// A run over `g` with default options (MBET, serial) and no limits.
+    pub fn new(g: &'g BipartiteGraph) -> Self {
+        Enumeration { g, opts: MbeOptions::default(), control: RunControl::new(), thresholds: None }
+    }
+
+    /// Replaces the whole option set.
+    pub fn options(mut self, opts: MbeOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Selects the engine.
+    pub fn algorithm(mut self, alg: Algorithm) -> Self {
+        self.opts.algorithm = alg;
+        self
+    }
+
+    /// Sets the vertex order applied before enumeration.
+    pub fn order(mut self, order: VertexOrder) -> Self {
+        self.opts.order = order;
+        self
+    }
+
+    /// Sets the worker-thread count (`1` serial, `0` all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Sets the MBET feature toggles.
+    pub fn mbet(mut self, cfg: MbetConfig) -> Self {
+        self.opts.mbet = cfg;
+        self
+    }
+
+    /// Restricts output to bicliques with `|L| >= min_l` and
+    /// `|R| >= min_r`, enabling the size-filtered engine with its
+    /// core-reduction preprocessing. Serial only.
+    pub fn thresholds(mut self, thr: SizeThresholds) -> Self {
+        self.thresholds = Some(thr);
+        self
+    }
+
+    /// Replaces the whole run control.
+    pub fn control(mut self, control: RunControl) -> Self {
+        self.control = control;
+        self
+    }
+
+    /// Stops the run `dur` from now with [`StopReason::Deadline`].
+    pub fn timeout(mut self, dur: Duration) -> Self {
+        self.control = self.control.timeout(dur);
+        self
+    }
+
+    /// Stops the run after exactly `n` emissions with
+    /// [`StopReason::EmitBudget`].
+    pub fn max_bicliques(mut self, n: u64) -> Self {
+        self.control = self.control.max_emitted(n);
+        self
+    }
+
+    /// Stops the run once roughly `n` search-tree nodes have been
+    /// expanded, with [`StopReason::NodeBudget`].
+    pub fn max_nodes(mut self, n: u64) -> Self {
+        self.control = self.control.max_nodes(n);
+        self
+    }
+
+    /// A clone of this run's [`RunControl`]: hand it to another thread
+    /// and call [`RunControl::cancel`] to stop the run in flight.
+    pub fn control_handle(&self) -> RunControl {
+        self.control.clone()
+    }
+
+    fn validate(&self) -> Result<(), MbeError> {
+        if self.thresholds.is_some() && self.opts.threads != 1 {
+            return Err(MbeError::InvalidConfig(
+                "size-thresholded enumeration runs on the serial driver; use .threads(1)",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Runs and collects every emitted biclique into the report.
+    pub fn collect(self) -> Result<Report, MbeError> {
+        self.validate()?;
+        let report = if let Some(thr) = self.thresholds {
+            let mut sink = CollectSink::new();
+            let (stats, stop) =
+                crate::filtered::run_filtered(self.g, thr, &self.control, &mut sink);
+            Report { bicliques: sink.into_vec(), stats, stop }
+        } else if self.opts.threads == 1 {
+            let mut sink = CollectSink::new();
+            let (stats, stop) = run_serial(self.g, &self.opts, &self.control, &mut sink);
+            Report { bicliques: sink.into_vec(), stats, stop }
+        } else {
+            let (sinks, stats, stop) =
+                crate::parallel::par_run(self.g, &self.opts, &self.control, |_| {
+                    CollectSink::new()
+                })?;
+            let mut bicliques = Vec::new();
+            for s in sinks {
+                bicliques.extend(s.into_vec());
+            }
+            Report { bicliques, stats, stop }
+        };
+        crate::invariants::check_stopped_collect(
+            self.g,
+            &self.opts,
+            self.thresholds,
+            &report.bicliques,
+            report.stop,
+        );
+        Ok(report)
+    }
+
+    /// Runs and counts emissions without storing them
+    /// ([`Report::bicliques`] stays empty; use [`Report::count`]).
+    pub fn count(self) -> Result<Report, MbeError> {
+        self.validate()?;
+        if let Some(thr) = self.thresholds {
+            let mut sink = CountSink::default();
+            let (stats, stop) =
+                crate::filtered::run_filtered(self.g, thr, &self.control, &mut sink);
+            return Ok(Report { bicliques: Vec::new(), stats, stop });
+        }
+        if self.opts.threads == 1 {
+            let mut sink = CountSink::default();
+            let (stats, stop) = run_serial(self.g, &self.opts, &self.control, &mut sink);
+            return Ok(Report { bicliques: Vec::new(), stats, stop });
+        }
+        let (_sinks, stats, stop) =
+            crate::parallel::par_run(self.g, &self.opts, &self.control, |_| CountSink::default())?;
+        Ok(Report { bicliques: Vec::new(), stats, stop })
+    }
+
+    /// Streams every emission into `sink` on the serial driver
+    /// (regardless of `threads` — a single sink cannot be shared across
+    /// workers; use [`run_per_worker`](Enumeration::run_per_worker) for
+    /// that). The report's `bicliques` stay empty; the sink holds the
+    /// results.
+    pub fn run<S: BicliqueSink>(self, sink: &mut S) -> Result<Report, MbeError> {
+        if let Some(thr) = self.thresholds {
+            let (stats, stop) = crate::filtered::run_filtered(self.g, thr, &self.control, sink);
+            return Ok(Report { bicliques: Vec::new(), stats, stop });
+        }
+        let (stats, stop) = run_serial(self.g, &self.opts, &self.control, sink);
+        Ok(Report { bicliques: Vec::new(), stats, stop })
+    }
+
+    /// Runs on the parallel driver with one sink per worker (built by
+    /// `make_sink(worker_index)`), returning the sinks alongside the
+    /// report. Respects `threads` (`0` = all cores); `threads == 1` still
+    /// spawns a single worker so per-worker sinks behave uniformly.
+    pub fn run_per_worker<S, F>(self, make_sink: F) -> Result<(Vec<S>, Report), MbeError>
+    where
+        S: BicliqueSink + Send,
+        F: Fn(usize) -> S + Sync,
+    {
+        if self.thresholds.is_some() {
+            return Err(MbeError::InvalidConfig(
+                "size-thresholded enumeration runs on the serial driver; use .run()",
+            ));
+        }
+        let (sinks, stats, stop) =
+            crate::parallel::par_run(self.g, &self.opts, &self.control, make_sink)?;
+        Ok((sinks, Report { bicliques: Vec::new(), stats, stop }))
+    }
+}
+
+/// Serial enumeration core shared by the builder terminals and the
+/// deprecated shims: applies the vertex order, runs every root task under
+/// `control`, and returns the stats plus the stop reason.
+pub(crate) fn run_serial<S: BicliqueSink>(
+    g: &BipartiteGraph,
+    opts: &MbeOptions,
+    control: &RunControl,
+    sink: &mut S,
+) -> (Stats, StopReason) {
+    let (h, perm) = bigraph::order::apply(g, opts.order);
+    let mut stats = Stats::default();
+    let start = Instant::now();
+    let stop = {
+        let mut mapped = crate::sink::MapRight::new(sink, &perm);
+        let mut driver = crate::task::SerialDriver::new(&h, opts);
+        driver.run_all(&mut mapped, &mut stats, control)
+    };
+    if stop.is_complete() {
+        crate::invariants::check_counter_identity(&stats);
+    }
+    stats.elapsed = start.elapsed();
+    (stats, stop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_graph() -> BipartiteGraph {
+        // A 2x2 complete block plus a pendant edge: 2 maximal bicliques.
+        BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]).unwrap()
+    }
+
+    #[test]
+    fn stop_reason_roundtrip_and_labels() {
+        let all = [
+            StopReason::Completed,
+            StopReason::Cancelled,
+            StopReason::Deadline,
+            StopReason::EmitBudget,
+            StopReason::NodeBudget,
+            StopReason::SinkStopped,
+        ];
+        let labels: std::collections::HashSet<_> = all.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), all.len());
+        for r in all {
+            assert_eq!(StopReason::decode(r.encode()), Some(r));
+        }
+        assert_eq!(StopReason::decode(0), None);
+        assert!(StopReason::Completed.is_complete());
+        assert!(!StopReason::Cancelled.is_complete());
+    }
+
+    #[test]
+    fn control_state_first_stop_wins() {
+        let control = RunControl::new();
+        let state = ControlState::new(&control);
+        assert_eq!(state.reason(), StopReason::Completed);
+        assert_eq!(state.note_stop(StopReason::Deadline), StopReason::Deadline);
+        assert_eq!(state.note_stop(StopReason::Cancelled), StopReason::Deadline);
+        assert_eq!(state.reason(), StopReason::Deadline);
+    }
+
+    #[test]
+    fn admit_enforces_exact_emit_budget() {
+        let control = RunControl::new().max_emitted(3);
+        let state = ControlState::new(&control);
+        for _ in 0..3 {
+            assert!(state.admit().is_continue());
+        }
+        assert_eq!(state.admit(), ControlFlow::Break(StopReason::EmitBudget));
+        // Sticky after the first break.
+        assert_eq!(state.admit(), ControlFlow::Break(StopReason::EmitBudget));
+    }
+
+    #[test]
+    fn admit_observes_cancellation_and_deadline() {
+        let control = RunControl::new();
+        let shared = control.clone();
+        let state = ControlState::new(&control);
+        assert!(state.admit().is_continue());
+        shared.cancel();
+        assert_eq!(state.admit(), ControlFlow::Break(StopReason::Cancelled));
+
+        let expired = RunControl::new().deadline(Instant::now() - Duration::from_millis(1));
+        let state = ControlState::new(&expired);
+        assert_eq!(state.admit(), ControlFlow::Break(StopReason::Deadline));
+    }
+
+    #[test]
+    fn note_task_enforces_node_budget() {
+        let control = RunControl::new().max_nodes(10);
+        let state = ControlState::new(&control);
+        assert!(state.note_task(9).is_continue());
+        assert_eq!(state.note_task(1), ControlFlow::Break(StopReason::NodeBudget));
+    }
+
+    #[test]
+    fn builder_collect_completes() {
+        let g = block_graph();
+        let report = Enumeration::new(&g).collect().unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.bicliques.len(), 2);
+        assert_eq!(report.count(), 2);
+    }
+
+    #[test]
+    fn builder_count_matches_collect() {
+        let g = block_graph();
+        let collected = Enumeration::new(&g).collect().unwrap();
+        let counted = Enumeration::new(&g).count().unwrap();
+        assert_eq!(counted.count(), collected.bicliques.len() as u64);
+        assert!(counted.bicliques.is_empty());
+    }
+
+    #[test]
+    fn emit_budget_is_exact_serial() {
+        let g = block_graph();
+        let report = Enumeration::new(&g).max_bicliques(1).collect().unwrap();
+        assert_eq!(report.stop, StopReason::EmitBudget);
+        assert_eq!(report.bicliques.len(), 1);
+    }
+
+    #[test]
+    fn budget_larger_than_output_completes() {
+        let g = block_graph();
+        let report = Enumeration::new(&g).max_bicliques(100).collect().unwrap();
+        assert_eq!(report.stop, StopReason::Completed);
+        assert_eq!(report.bicliques.len(), 2);
+    }
+
+    #[test]
+    fn pre_cancelled_run_emits_nothing() {
+        let g = block_graph();
+        let control = RunControl::new();
+        control.cancel();
+        let report = Enumeration::new(&g).control(control).collect().unwrap();
+        assert_eq!(report.stop, StopReason::Cancelled);
+        assert!(report.bicliques.is_empty());
+    }
+
+    #[test]
+    fn thresholds_reject_parallel() {
+        let g = block_graph();
+        let err = Enumeration::new(&g)
+            .thresholds(SizeThresholds::new(1, 1))
+            .threads(2)
+            .collect()
+            .unwrap_err();
+        assert!(matches!(err, MbeError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = MbeError::InvalidConfig("nope");
+        assert!(e.to_string().contains("nope"));
+        assert!(MbeError::Spawn("io".into()).to_string().contains("io"));
+        let _ = MbeError::WorkerPanicked.to_string();
+    }
+}

@@ -12,9 +12,12 @@
 //! Tasks are independent, which is what the parallel driver exploits; the
 //! serial driver just runs them in order.
 
+use std::ops::ControlFlow;
+
 use crate::baseline::BaselineEngine;
 use crate::mbet::MbetEngine;
 use crate::metrics::Stats;
+use crate::run::{ControlState, ControlledSink, RunControl, StopReason};
 use crate::sink::BicliqueSink;
 use crate::{Algorithm, MbeOptions};
 use bigraph::two_hop::TwoHop;
@@ -120,11 +123,24 @@ impl<'g> SerialDriver<'g> {
         SerialDriver { g, opts: opts.clone() }
     }
 
-    /// Runs all root tasks into `sink`, accumulating `stats`. Returns
-    /// `true` iff the run completed (`false` iff the sink requested a
-    /// stop, which leaves the in-flight node's counters open).
-    pub fn run_all<S: BicliqueSink>(&mut self, sink: &mut S, stats: &mut Stats) -> bool {
+    /// Runs all root tasks into `sink` under `control`, accumulating
+    /// `stats`. Returns why the run ended: [`StopReason::Completed`] for
+    /// a full run, or the first stop recorded by the control plane / the
+    /// sink (a stopped run leaves the in-flight node's counters open, so
+    /// the `nodes = emitted + nonmaximal` identity only holds when
+    /// complete).
+    pub fn run_all<S: BicliqueSink>(
+        &mut self,
+        sink: &mut S,
+        stats: &mut Stats,
+        control: &RunControl,
+    ) -> StopReason {
         let g = self.g;
+        let state = ControlState::new(control);
+        let mut controlled = ControlledSink::new(&state, sink);
+        if let ControlFlow::Break(r) = state.note_task(0) {
+            return r; // cancelled or expired before any work
+        }
         let mut builder = TaskBuilder::new(g);
         // Root-level batching: only MBET with batching enabled skips
         // equivalent roots (the baselines process every vertex, as in
@@ -142,12 +158,16 @@ impl<'g> SerialDriver<'g> {
             }
             if let Some(task) = builder.build(v) {
                 stats.tasks += 1;
-                if !engine.run_task(&task, sink, stats) {
-                    return false; // sink requested stop
+                let nodes_before = stats.nodes;
+                if let ControlFlow::Break(r) = engine.run_task(&task, &mut controlled, stats) {
+                    return state.note_stop(r);
+                }
+                if let ControlFlow::Break(r) = state.note_task(stats.nodes - nodes_before) {
+                    return r;
                 }
             }
         }
-        true
+        StopReason::Completed
     }
 }
 
@@ -171,7 +191,7 @@ impl<'g> AnyEngine<'g> {
         task: &RootTask,
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
-    ) -> bool {
+    ) -> ControlFlow<StopReason> {
         match self {
             AnyEngine::Baseline(e) => e.run_task(task, sink, stats),
             AnyEngine::Mbet(e) => e.run_task(task, sink, stats),
@@ -188,7 +208,7 @@ impl<'g> AnyEngine<'g> {
         q: &[u32],
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
-    ) -> bool {
+    ) -> ControlFlow<StopReason> {
         match self {
             AnyEngine::Baseline(e) => e.run_node(l, r_parent, v, p, q, sink, stats),
             AnyEngine::Mbet(e) => e.run_node(l, r_parent, v, p, q, sink, stats),

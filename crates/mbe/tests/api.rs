@@ -2,9 +2,7 @@
 //! exercised through the exported entry points only.
 
 use bigraph::BipartiteGraph;
-use mbe::{
-    collect_bicliques, count_bicliques, enumerate, Algorithm, CountSink, FnSink, MbeOptions,
-};
+use mbe::{Algorithm, CountSink, Enumeration, FnSink, MbeOptions, StopReason};
 
 fn demo_graph() -> BipartiteGraph {
     // Two overlapping blocks plus noise: enough structure for ~dozens of
@@ -29,59 +27,79 @@ fn count_equals_collect_equals_stats() {
     let g = demo_graph();
     for alg in Algorithm::all() {
         let opts = MbeOptions::new(alg);
-        let (collected, s1) = collect_bicliques(&g, &opts).unwrap();
-        let (counted, s2) = count_bicliques(&g, &opts);
-        assert_eq!(collected.len() as u64, counted, "{alg:?}");
-        assert_eq!(s1.emitted, s2.emitted, "{alg:?}");
-        assert_eq!(s1.nodes, s2.nodes, "stats must not depend on the sink ({alg:?})");
+        let collected = Enumeration::new(&g).options(opts.clone()).collect().unwrap();
+        let counted = Enumeration::new(&g).options(opts).count().unwrap();
+        assert_eq!(collected.bicliques.len() as u64, counted.count(), "{alg:?}");
+        assert_eq!(collected.stats.emitted, counted.stats.emitted, "{alg:?}");
+        assert_eq!(
+            collected.stats.nodes, counted.stats.nodes,
+            "stats must not depend on the sink ({alg:?})"
+        );
+        assert!(collected.is_complete() && counted.is_complete(), "{alg:?}");
     }
 }
 
 #[test]
 fn serial_emission_order_is_deterministic() {
     let g = demo_graph();
-    let opts = MbeOptions::default();
-    let (a, _) = collect_bicliques(&g, &opts).unwrap();
-    let (b, _) = collect_bicliques(&g, &opts).unwrap();
-    assert_eq!(a, b, "same options must give the same emission order");
+    let a = Enumeration::new(&g).collect().unwrap();
+    let b = Enumeration::new(&g).collect().unwrap();
+    assert_eq!(a.bicliques, b.bicliques, "same options must give the same emission order");
 }
 
 #[test]
 fn early_stop_returns_partial_prefix() {
     let g = demo_graph();
-    let opts = MbeOptions::default();
-    let (all, _) = collect_bicliques(&g, &opts).unwrap();
+    let all = Enumeration::new(&g).collect().unwrap().bicliques;
     assert!(all.len() > 5);
 
     // Stop after 3: the emissions seen must be the first 3 of the full
     // deterministic order.
     let mut seen = Vec::new();
-    let mut sink = FnSink(|l: &[u32], r: &[u32]| {
-        seen.push(mbe::Biclique::new(l.to_vec(), r.to_vec()));
-        seen.len() < 3
-    });
-    let stats = enumerate(&g, &opts, &mut sink);
+    let report = {
+        let mut sink = FnSink(|l: &[u32], r: &[u32]| {
+            seen.push(mbe::Biclique::new(l.to_vec(), r.to_vec()));
+            if seen.len() < 3 {
+                mbe::sink::CONTINUE
+            } else {
+                mbe::sink::STOP
+            }
+        });
+        Enumeration::new(&g).run(&mut sink).unwrap()
+    };
+    assert_eq!(report.stop, StopReason::SinkStopped);
     assert_eq!(seen.len(), 3);
     assert_eq!(seen.as_slice(), &all[..3]);
     // The emitted counter excludes the emission that requested the stop.
-    assert_eq!(stats.emitted, 2);
+    assert_eq!(report.stats.emitted, 2);
+}
+
+#[test]
+fn emit_budget_returns_exact_prefix() {
+    let g = demo_graph();
+    let all = Enumeration::new(&g).collect().unwrap().bicliques;
+    let report = Enumeration::new(&g).max_bicliques(4).collect().unwrap();
+    assert_eq!(report.stop, StopReason::EmitBudget);
+    assert_eq!(report.bicliques.as_slice(), &all[..4]);
+    assert_eq!(report.count(), 4);
 }
 
 #[test]
 fn stats_elapsed_is_populated() {
     let g = demo_graph();
     let mut sink = CountSink::default();
-    let stats = enumerate(&g, &MbeOptions::default(), &mut sink);
-    assert!(stats.elapsed.as_nanos() > 0);
-    assert_eq!(stats.nodes, stats.emitted + stats.nonmaximal);
-    assert!(stats.tasks > 0);
+    let report = Enumeration::new(&g).run(&mut sink).unwrap();
+    assert!(report.stats.elapsed.as_nanos() > 0);
+    assert_eq!(report.stats.nodes, report.stats.emitted + report.stats.nonmaximal);
+    assert!(report.stats.tasks > 0);
 }
 
 #[test]
-fn default_options_are_mbet_ascending() {
+fn default_options_are_mbet_ascending_serial() {
     let o = MbeOptions::default();
     assert_eq!(o.algorithm, Algorithm::Mbet);
     assert_eq!(o.order, bigraph::order::VertexOrder::AscendingDegree);
+    assert_eq!(o.threads, 1, "serial by default");
     assert!(o.mbet.batching && o.mbet.trie_maximality && o.mbet.trie_absorption);
 }
 
@@ -91,9 +109,9 @@ fn emitted_ids_are_in_caller_space_under_reordering() {
     // in the caller's space: every emitted pair must be a biclique of
     // the *input* graph.
     let g = demo_graph();
-    let opts = MbeOptions::default().order(bigraph::order::VertexOrder::Random(99));
-    let (all, _) = collect_bicliques(&g, &opts).unwrap();
-    for b in &all {
+    let report =
+        Enumeration::new(&g).order(bigraph::order::VertexOrder::Random(99)).collect().unwrap();
+    for b in &report.bicliques {
         assert!(mbe::verify::is_maximal_biclique(&g, &b.left, &b.right), "{b:?}");
     }
 }
@@ -101,7 +119,7 @@ fn emitted_ids_are_in_caller_space_under_reordering() {
 #[test]
 fn sides_both_nonempty_and_sorted() {
     let g = demo_graph();
-    let (all, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
+    let all = Enumeration::new(&g).collect().unwrap().bicliques;
     for b in &all {
         assert!(!b.left.is_empty() && !b.right.is_empty());
         assert!(setops::is_strictly_increasing(&b.left));
@@ -113,12 +131,30 @@ fn sides_both_nonempty_and_sorted() {
 fn graphs_with_swapped_sides_give_mirrored_results() {
     let g = demo_graph();
     let swapped = g.swap_sides();
-    let (a, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
-    let (b, _) = collect_bicliques(&swapped, &MbeOptions::default()).unwrap();
+    let a = Enumeration::new(&g).collect().unwrap().bicliques;
+    let b = Enumeration::new(&swapped).collect().unwrap().bicliques;
     let mut a_mirrored: Vec<mbe::Biclique> =
         a.iter().map(|x| mbe::Biclique { left: x.right.clone(), right: x.left.clone() }).collect();
     a_mirrored.sort();
     let mut b = b;
     b.sort();
     assert_eq!(a_mirrored, b);
+}
+
+#[test]
+fn deprecated_entry_points_still_work() {
+    let g = demo_graph();
+    let want = Enumeration::new(&g).collect().unwrap();
+    #[allow(deprecated)]
+    let (old_collected, old_stats) = mbe::collect_bicliques(&g, &MbeOptions::default()).unwrap();
+    assert_eq!(old_collected, want.bicliques);
+    assert_eq!(old_stats.emitted, want.stats.emitted);
+    #[allow(deprecated)]
+    let (old_count, _) = mbe::count_bicliques(&g, &MbeOptions::default());
+    assert_eq!(old_count, want.count());
+    let mut sink = CountSink::default();
+    #[allow(deprecated)]
+    let stats = mbe::enumerate(&g, &MbeOptions::default(), &mut sink);
+    assert_eq!(stats.emitted, want.stats.emitted);
+    assert_eq!(sink.count(), want.count());
 }

@@ -1,0 +1,142 @@
+//! Run-control acceptance tests on a planted dense graph.
+//!
+//! The crown graph S(n) — K(n,n) minus a perfect matching — has 2^n − 2
+//! maximal bicliques (every proper non-empty U-subset pairs with the
+//! complement's non-neighbors), so n = 18 yields ~262k emissions: far
+//! more than any driver finishes inside a millisecond. That makes
+//! deadlines and cancellation *deterministically* fire mid-run, while
+//! every partial result can still be checked for maximality against the
+//! graph directly.
+
+use bigraph::BipartiteGraph;
+use mbe::{Biclique, Enumeration, RunControl, StopReason};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Crown graph S(n): u_i adjacent to every v_j except j == i.
+fn crown(n: u32) -> BipartiteGraph {
+    let mut edges = Vec::with_capacity((n * (n - 1)) as usize);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    BipartiteGraph::from_edges(n, n, &edges).unwrap()
+}
+
+fn assert_valid_partial(g: &BipartiteGraph, got: &[Biclique]) {
+    let unique: HashSet<&Biclique> = got.iter().collect();
+    assert_eq!(unique.len(), got.len(), "stopped run double-emitted");
+    for b in got {
+        assert!(
+            mbe::verify::is_maximal_biclique(g, &b.left, &b.right),
+            "stopped run emitted a non-maximal pair: {b:?}"
+        );
+    }
+}
+
+#[test]
+fn serial_deadline_returns_partial_results() {
+    let g = crown(18);
+    let report = Enumeration::new(&g).timeout(Duration::from_millis(1)).collect().unwrap();
+    assert_eq!(report.stop, StopReason::Deadline);
+    assert!((report.bicliques.len() as u64) < (1 << 18) - 2, "run should not have finished");
+    assert_valid_partial(&g, &report.bicliques);
+}
+
+#[test]
+fn parallel_deadline_returns_partial_results() {
+    let g = crown(18);
+    let report =
+        Enumeration::new(&g).threads(4).timeout(Duration::from_millis(1)).collect().unwrap();
+    assert_eq!(report.stop, StopReason::Deadline);
+    assert_valid_partial(&g, &report.bicliques);
+}
+
+#[test]
+fn shared_cancel_flag_stops_serial_run() {
+    let g = crown(18);
+    let e = Enumeration::new(&g);
+    let control = e.control_handle();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(1));
+        control.cancel();
+    });
+    let report = e.collect().unwrap();
+    canceller.join().unwrap();
+    assert_eq!(report.stop, StopReason::Cancelled);
+    assert_valid_partial(&g, &report.bicliques);
+}
+
+#[test]
+fn shared_cancel_flag_stops_parallel_run() {
+    let g = crown(18);
+    let e = Enumeration::new(&g).threads(4);
+    let control = e.control_handle();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(1));
+        control.cancel();
+    });
+    let report = e.collect().unwrap();
+    canceller.join().unwrap();
+    assert_eq!(report.stop, StopReason::Cancelled);
+    assert_valid_partial(&g, &report.bicliques);
+}
+
+#[test]
+fn emit_budget_on_dense_graph_is_exact_in_parallel() {
+    let g = crown(14);
+    for threads in [1, 2, 4] {
+        let report = Enumeration::new(&g).threads(threads).max_bicliques(1000).collect().unwrap();
+        assert_eq!(report.stop, StopReason::EmitBudget, "threads={threads}");
+        assert_eq!(report.bicliques.len(), 1000, "threads={threads}");
+        assert_valid_partial(&g, &report.bicliques);
+    }
+}
+
+#[test]
+fn node_budget_stops_the_run() {
+    let g = crown(14);
+    let report = Enumeration::new(&g).max_nodes(100).collect().unwrap();
+    assert_eq!(report.stop, StopReason::NodeBudget);
+    assert_valid_partial(&g, &report.bicliques);
+    // Node budgets bind at task granularity: the run stops at the first
+    // task boundary at or past the budget, never runs to completion.
+    assert!((report.bicliques.len() as u64) < (1 << 14) - 2);
+}
+
+#[test]
+fn external_control_is_reusable_across_runs() {
+    // One RunControl drives several runs; cancellation hits all of them.
+    let g = crown(12);
+    let control = RunControl::new();
+    let a = Enumeration::new(&g).control(control.clone()).count().unwrap();
+    assert!(a.is_complete());
+    control.cancel();
+    let b = Enumeration::new(&g).control(control.clone()).count().unwrap();
+    assert_eq!(b.stop, StopReason::Cancelled);
+    assert_eq!(b.count(), 0);
+    let c = Enumeration::new(&g).threads(2).control(control).count().unwrap();
+    assert_eq!(c.stop, StopReason::Cancelled);
+    assert_eq!(c.count(), 0);
+}
+
+#[test]
+fn stopped_sets_are_subsets_of_the_complete_run() {
+    // The PR's new invariant, asserted directly (and continuously under
+    // the `debug-invariants` feature): a stopped run's emitted set is a
+    // duplicate-free subset of the complete run's.
+    let g = crown(12);
+    let full: HashSet<Biclique> =
+        Enumeration::new(&g).collect().unwrap().bicliques.into_iter().collect();
+    assert_eq!(full.len(), (1 << 12) - 2);
+    for threads in [1, 3] {
+        let partial = Enumeration::new(&g).threads(threads).max_bicliques(500).collect().unwrap();
+        assert_eq!(partial.stop, StopReason::EmitBudget);
+        for b in &partial.bicliques {
+            assert!(full.contains(b), "threads={threads}: {b:?} not in complete run");
+        }
+    }
+}

@@ -5,7 +5,7 @@
 use bigraph::order::VertexOrder;
 use bigraph::BipartiteGraph;
 use mbe::verify::{assert_matches_brute_force, brute_force};
-use mbe::{collect_bicliques, Algorithm, MbeOptions, MbetConfig};
+use mbe::{Algorithm, Enumeration, MbeOptions, MbetConfig};
 use proptest::prelude::*;
 
 fn random_graph() -> impl Strategy<Value = BipartiteGraph> {
@@ -21,10 +21,10 @@ proptest! {
     #[test]
     fn every_algorithm_matches_brute_force(g in random_graph()) {
         for alg in Algorithm::all() {
-            let opts = MbeOptions::new(alg);
-            let (got, stats) = collect_bicliques(&g, &opts).unwrap();
-            assert_matches_brute_force(&g, &got);
-            prop_assert_eq!(stats.emitted as usize, got.len());
+            let report = Enumeration::new(&g).algorithm(alg).collect().unwrap();
+            assert_matches_brute_force(&g, &report.bicliques);
+            prop_assert!(report.is_complete());
+            prop_assert_eq!(report.count() as usize, report.bicliques.len());
         }
     }
 
@@ -37,8 +37,8 @@ proptest! {
                 trie_maximality: mask & 2 != 0,
                 trie_absorption: mask & 4 != 0,
             };
-            let opts = MbeOptions::new(Algorithm::Mbet).mbet(cfg);
-            let (mut got, _) = collect_bicliques(&g, &opts).unwrap();
+            let mut got =
+                Enumeration::new(&g).algorithm(Algorithm::Mbet).mbet(cfg).collect().unwrap().bicliques;
             got.sort();
             prop_assert_eq!(&got, &want, "cfg {:?}", cfg);
         }
@@ -55,8 +55,8 @@ proptest! {
             VertexOrder::Random(seed),
         ] {
             for alg in [Algorithm::Mbea, Algorithm::Mbet] {
-                let opts = MbeOptions::new(alg).order(order);
-                let (mut got, _) = collect_bicliques(&g, &opts).unwrap();
+                let mut got =
+                    Enumeration::new(&g).algorithm(alg).order(order).collect().unwrap().bicliques;
                 got.sort();
                 prop_assert_eq!(&got, &want, "{:?} {:?}", alg, order);
             }
@@ -67,8 +67,10 @@ proptest! {
     fn parallel_matches_serial(g in random_graph(), threads in 1usize..5) {
         let want = brute_force(&g);
         for alg in [Algorithm::Imbea, Algorithm::Mbet] {
-            let opts = MbeOptions::new(alg).threads(threads);
-            let (mut got, _) = mbe::parallel::par_collect_bicliques(&g, &opts);
+            let report =
+                Enumeration::new(&g).algorithm(alg).threads(threads).collect().unwrap();
+            prop_assert!(report.is_complete());
+            let mut got = report.bicliques;
             got.sort();
             prop_assert_eq!(&got, &want, "{:?}", alg);
         }
@@ -80,7 +82,7 @@ proptest! {
         let mut opts = MbeOptions::new(Algorithm::Mbet).threads(2);
         opts.split_height = 0;
         opts.split_size = 0;
-        let (mut got, _) = mbe::parallel::par_collect_bicliques(&g, &opts);
+        let mut got = Enumeration::new(&g).options(opts).collect().unwrap().bicliques;
         got.sort();
         prop_assert_eq!(&got, &want);
     }
@@ -91,15 +93,15 @@ proptest! {
         // produces one because R determines L (= C(R)).
         for alg in Algorithm::all() {
             let mut sink = mbe::TrieSink::unbounded();
-            let opts = MbeOptions::new(alg);
-            mbe::enumerate(&g, &opts, &mut sink);
+            let report = Enumeration::new(&g).algorithm(alg).run(&mut sink).unwrap();
+            prop_assert!(report.is_complete());
             prop_assert_eq!(sink.duplicates(), 0, "{:?}", alg);
         }
     }
 
     #[test]
     fn emitted_bicliques_are_maximal(g in random_graph()) {
-        let (got, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
+        let got = Enumeration::new(&g).collect().unwrap().bicliques;
         for b in &got {
             prop_assert!(mbe::verify::is_maximal_biclique(&g, &b.left, &b.right));
         }
@@ -168,7 +170,7 @@ fn regression_corpus() {
     for (nu, nv, edges) in corpus {
         let g = BipartiteGraph::from_edges(nu, nv, &edges).unwrap();
         for alg in Algorithm::all() {
-            let (got, _) = collect_bicliques(&g, &MbeOptions::new(alg)).unwrap();
+            let got = Enumeration::new(&g).algorithm(alg).collect().unwrap().bicliques;
             assert_matches_brute_force(&g, &got);
         }
     }

@@ -4,9 +4,14 @@
 //! pit the engines against *each other* on structured inputs two orders
 //! of magnitude larger, where bookkeeping bugs (arena reuse, trie
 //! clearing, scratch pooling, fast-path boundaries) actually surface.
+//! The run-control proptests at the bottom are the budget/cancellation
+//! contract: stopped runs stop for the stated reason, emit exactly what
+//! the budget allows, and never deadlock or double-emit — serial or
+//! parallel.
 
 use bigraph::BipartiteGraph;
-use mbe::{collect_bicliques, count_bicliques, Algorithm, MbeOptions, MbetConfig};
+use mbe::{Algorithm, Biclique, Enumeration, MbeOptions, MbetConfig, Stats, StopReason};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,16 +39,24 @@ fn structured(seed: u64, nu: u32, nv: u32, edges: usize) -> BipartiteGraph {
     BipartiteGraph::from_edges(nu, nv, &all).unwrap()
 }
 
+fn collect(g: &BipartiteGraph, opts: MbeOptions) -> Vec<Biclique> {
+    Enumeration::new(g).options(opts).collect().unwrap().bicliques
+}
+
+fn count(g: &BipartiteGraph, opts: MbeOptions) -> (u64, Stats) {
+    let report = Enumeration::new(g).options(opts).count().unwrap();
+    (report.count(), report.stats)
+}
+
 #[test]
 fn engines_agree_on_structured_graphs() {
     for seed in 0..6 {
         let g = structured(seed, 300, 200, 1500);
-        let (reference, _) = collect_bicliques(&g, &MbeOptions::new(Algorithm::Mbea)).unwrap();
-        let mut reference = reference;
+        let mut reference = collect(&g, MbeOptions::new(Algorithm::Mbea));
         reference.sort();
         assert!(!reference.is_empty());
         for alg in [Algorithm::MineLmbc, Algorithm::Imbea, Algorithm::Mbet] {
-            let (mut got, _) = collect_bicliques(&g, &MbeOptions::new(alg)).unwrap();
+            let mut got = collect(&g, MbeOptions::new(alg));
             got.sort();
             assert_eq!(got, reference, "{alg:?} seed={seed}");
         }
@@ -53,14 +66,14 @@ fn engines_agree_on_structured_graphs() {
 #[test]
 fn mbet_toggles_agree_at_scale() {
     let g = structured(99, 400, 250, 2500);
-    let (want, _) = count_bicliques(&g, &MbeOptions::new(Algorithm::Mbea));
+    let (want, _) = count(&g, MbeOptions::new(Algorithm::Mbea));
     for mask in 0u8..8 {
         let cfg = MbetConfig {
             batching: mask & 1 != 0,
             trie_maximality: mask & 2 != 0,
             trie_absorption: mask & 4 != 0,
         };
-        let (got, _) = count_bicliques(&g, &MbeOptions::new(Algorithm::Mbet).mbet(cfg));
+        let (got, _) = count(&g, MbeOptions::new(Algorithm::Mbet).mbet(cfg));
         assert_eq!(got, want, "{cfg:?}");
     }
 }
@@ -68,17 +81,16 @@ fn mbet_toggles_agree_at_scale() {
 #[test]
 fn parallel_and_split_agree_at_scale() {
     let g = structured(7, 350, 220, 2000);
-    let (want, _) = count_bicliques(&g, &MbeOptions::new(Algorithm::Mbet));
+    let (want, _) = count(&g, MbeOptions::new(Algorithm::Mbet));
     for threads in [1, 2, 4] {
-        let opts = MbeOptions::new(Algorithm::Mbet).threads(threads);
-        let (got, _) = mbe::parallel::par_count_bicliques(&g, &opts);
+        let (got, _) = count(&g, MbeOptions::new(Algorithm::Mbet).threads(threads));
         assert_eq!(got, want, "threads={threads}");
     }
     // Aggressive splitting.
     let mut opts = MbeOptions::new(Algorithm::Mbet).threads(3);
     opts.split_height = 1;
     opts.split_size = 4;
-    let (got, stats) = mbe::parallel::par_count_bicliques(&g, &opts);
+    let (got, stats) = count(&g, opts);
     assert_eq!(got, want);
     assert!(stats.tasks > g.num_v() as u64 / 2, "splitting must create extra tasks");
 }
@@ -86,13 +98,21 @@ fn parallel_and_split_agree_at_scale() {
 #[test]
 fn parallel_stop_terminates_promptly() {
     let g = structured(13, 400, 300, 3000);
-    let opts = MbeOptions::new(Algorithm::Mbet).threads(4);
     let found = std::sync::atomic::AtomicU64::new(0);
-    let (_, _) = mbe::parallel::par_enumerate_with(&g, &opts, |_| {
-        mbe::FnSink(|_: &[u32], _: &[u32]| {
-            found.fetch_add(1, std::sync::atomic::Ordering::Relaxed) < 10
+    let (_, report) = Enumeration::new(&g)
+        .algorithm(Algorithm::Mbet)
+        .threads(4)
+        .run_per_worker(|_| {
+            mbe::FnSink(|_: &[u32], _: &[u32]| {
+                if found.fetch_add(1, std::sync::atomic::Ordering::Relaxed) < 10 {
+                    mbe::sink::CONTINUE
+                } else {
+                    mbe::sink::STOP
+                }
+            })
         })
-    });
+        .unwrap();
+    assert_eq!(report.stop, StopReason::SinkStopped);
     let n = found.load(std::sync::atomic::Ordering::Relaxed);
     // Each worker may overshoot by its in-flight node, no more.
     assert!(n >= 10, "found {n}");
@@ -102,15 +122,16 @@ fn parallel_stop_terminates_promptly() {
 #[test]
 fn filtered_matches_post_filter_at_scale() {
     let g = structured(21, 300, 200, 1800);
-    let (all, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
+    let all = collect(&g, MbeOptions::default());
     // Work reference from the same (MBEA-style, unbatched) engine family
     // the filtered search uses, in the same natural order: the thresholds
     // may only ever *remove* enumeration nodes from that tree.
     let unfiltered = MbeOptions::new(Algorithm::Mbea).order(bigraph::order::VertexOrder::Natural);
-    let (_, full_stats) = collect_bicliques(&g, &unfiltered).unwrap();
+    let full_stats = Enumeration::new(&g).options(unfiltered).collect().unwrap().stats;
     for (a, b) in [(2, 2), (3, 4), (5, 5)] {
         let thr = mbe::SizeThresholds::new(a, b);
-        let (mut got, stats) = mbe::collect_filtered(&g, thr);
+        let report = Enumeration::new(&g).thresholds(thr).collect().unwrap();
+        let mut got = report.bicliques;
         got.sort();
         let mut want: Vec<_> =
             all.iter().filter(|x| x.left.len() >= a && x.right.len() >= b).cloned().collect();
@@ -118,9 +139,9 @@ fn filtered_matches_post_filter_at_scale() {
         assert_eq!(got, want, "thr=({a},{b})");
         // Thresholded search must do less work than the full run.
         assert!(
-            stats.nodes <= full_stats.nodes,
+            report.stats.nodes <= full_stats.nodes,
             "thr=({a},{b}): filtered expanded {} nodes, full run {}",
-            stats.nodes,
+            report.stats.nodes,
             full_stats.nodes
         );
     }
@@ -129,7 +150,7 @@ fn filtered_matches_post_filter_at_scale() {
 #[test]
 fn top_k_matches_full_sort_at_scale() {
     let g = structured(33, 300, 200, 1800);
-    let (all, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
+    let all = collect(&g, MbeOptions::default());
     let mut scores: Vec<usize> = all.iter().map(|b| b.edges()).collect();
     scores.sort_unstable_by(|a, b| b.cmp(a));
     for k in [1, 7, 50] {
@@ -145,8 +166,109 @@ fn top_k_matches_full_sort_at_scale() {
 fn counters_close_at_scale() {
     let g = structured(44, 350, 250, 2200);
     for alg in Algorithm::all() {
-        let (n, stats) = count_bicliques(&g, &MbeOptions::new(alg));
-        assert_eq!(stats.emitted, n);
-        assert_eq!(stats.nodes, stats.emitted + stats.nonmaximal, "{alg:?}");
+        let report = Enumeration::new(&g).algorithm(alg).count().unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.stats.nodes, report.stats.emitted + report.stats.nonmaximal, "{alg:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run-control contract, property-tested.
+
+fn random_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (1u32..12, 1u32..10).prop_flat_map(|(nu, nv)| {
+        proptest::collection::vec((0..nu, 0..nv), 0..80)
+            .prop_map(move |edges| BipartiteGraph::from_edges(nu, nv, &edges).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any graph, any budget `k`: if the graph has more than `k` maximal
+    /// bicliques the run stops with `EmitBudget` after exactly `k`
+    /// duplicate-free emissions, each maximal; otherwise it completes
+    /// with the full set.
+    #[test]
+    fn emit_budget_is_exact_and_duplicate_free(g in random_graph(), k in 1u64..12) {
+        let total = Enumeration::new(&g).count().unwrap().count();
+        let report = Enumeration::new(&g).max_bicliques(k).collect().unwrap();
+        if total > k {
+            prop_assert_eq!(report.stop, StopReason::EmitBudget);
+            prop_assert_eq!(report.bicliques.len() as u64, k);
+        } else {
+            prop_assert_eq!(report.stop, StopReason::Completed);
+            prop_assert_eq!(report.bicliques.len() as u64, total);
+        }
+        let unique: std::collections::HashSet<&Biclique> = report.bicliques.iter().collect();
+        prop_assert_eq!(unique.len(), report.bicliques.len(), "duplicate emission");
+        for b in &report.bicliques {
+            prop_assert!(mbe::verify::is_maximal_biclique(&g, &b.left, &b.right));
+        }
+    }
+
+    /// The same budget contract holds across worker counts: parallel
+    /// budgeted runs stop for the same reason, emit exactly the budget,
+    /// never double-emit, and always terminate (the test completing *is*
+    /// the no-deadlock assertion).
+    #[test]
+    fn budgets_and_cancellation_are_safe_in_parallel(
+        g in random_graph(),
+        k in 1u64..12,
+        threads in 2usize..5,
+    ) {
+        let total = Enumeration::new(&g).count().unwrap().count();
+        let report =
+            Enumeration::new(&g).threads(threads).max_bicliques(k).collect().unwrap();
+        if total > k {
+            prop_assert_eq!(report.stop, StopReason::EmitBudget, "threads={}", threads);
+        } else {
+            prop_assert_eq!(report.stop, StopReason::Completed, "threads={}", threads);
+        }
+        prop_assert_eq!(report.bicliques.len() as u64, total.min(k));
+        let unique: std::collections::HashSet<&Biclique> = report.bicliques.iter().collect();
+        prop_assert_eq!(unique.len(), report.bicliques.len(), "duplicate emission");
+
+        // A run cancelled before it starts drains cleanly and emits
+        // nothing, at every worker count.
+        let control = mbe::RunControl::new();
+        control.cancel();
+        let cancelled = Enumeration::new(&g)
+            .threads(threads)
+            .control(control)
+            .collect()
+            .unwrap();
+        prop_assert_eq!(cancelled.stop, StopReason::Cancelled);
+        prop_assert!(cancelled.bicliques.is_empty());
+    }
+
+    /// Cancellation raised from another thread mid-run: the run always
+    /// returns (no deadlock), and whatever it emitted is a duplicate-free
+    /// set of genuine maximal bicliques.
+    #[test]
+    fn midrun_cancellation_never_deadlocks_or_double_emits(
+        g in random_graph(),
+        threads in 1usize..5,
+        delay_us in 0u64..200,
+    ) {
+        let e = Enumeration::new(&g).threads(threads);
+        let control = e.control_handle();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_micros(delay_us));
+            control.cancel();
+        });
+        let report = e.collect().unwrap();
+        canceller.join().unwrap();
+        // Either it finished before the flag landed or it was cancelled.
+        prop_assert!(
+            report.stop == StopReason::Completed || report.stop == StopReason::Cancelled,
+            "unexpected stop: {:?}",
+            report.stop
+        );
+        let unique: std::collections::HashSet<&Biclique> = report.bicliques.iter().collect();
+        prop_assert_eq!(unique.len(), report.bicliques.len(), "duplicate emission");
+        for b in &report.bicliques {
+            prop_assert!(mbe::verify::is_maximal_biclique(&g, &b.left, &b.right));
+        }
     }
 }

@@ -12,6 +12,10 @@
 //! * **println** — no `println!` outside the `cli`, `bench`, and `xtask`
 //!   crates (library crates report through sinks and `Stats`);
 //! * **doc** — every `pub` item in `mbe` and `bigraph` is documented;
+//! * **tuple-return** — no `pub fn` in `mbe` returning `Option<(`…`)` or
+//!   a bare `(Vec<`…`)` tuple: results go through the `Report` /
+//!   `MbeError` vocabulary of the `Enumeration` API, and only the
+//!   deprecated compatibility shims carry explicit escapes;
 //! * **todo** — task markers must carry an issue tag, `TODO(#123)`-style.
 //!
 //! Test code (`#[cfg(test)]` regions) is exempt from all rules — the
@@ -41,6 +45,14 @@ const PRINTLN_OK: &[&str] =
 
 /// Crates whose public API surface must be fully documented.
 const DOC_PATHS: &[&str] = &["crates/mbe/src/", "crates/bigraph/src/"];
+
+/// Crates whose `pub fn`s must not return bare tuples (`Option<(`… or
+/// `(Vec<`…): the run-control API replaced those signatures with
+/// [`Report`]-style results, and new code must not regress to them.
+const TUPLE_RETURN_PATHS: &[&str] = &["crates/mbe/src/"];
+
+/// Return-type shapes the `tuple-return` rule bans on `pub fn` lines.
+const TUPLE_NEEDLES: &[&str] = &["-> Option<(", "-> (Vec<"];
 
 // Needles are spliced so this file does not flag itself when scanned.
 const RULE_UNSAFE: &str = concat!("un", "safe");
@@ -160,6 +172,7 @@ fn scan_file(rel: &str, content: &str) -> Vec<Violation> {
     let hot = HOT_PATHS.iter().any(|p| rel.starts_with(p));
     let println_ok = PRINTLN_OK.iter().any(|p| rel.starts_with(p));
     let doc_required = DOC_PATHS.iter().any(|p| rel.starts_with(p));
+    let tuple_banned = TUPLE_RETURN_PATHS.iter().any(|p| rel.starts_with(p));
 
     let mut out = Vec::new();
     let mut depth: i64 = 0;
@@ -233,6 +246,18 @@ fn scan_file(rel: &str, content: &str) -> Vec<Violation> {
                     }
                 }
             }
+            if tuple_banned
+                && code.contains("pub fn")
+                && TUPLE_NEEDLES.iter().any(|n| code.contains(n))
+                && !allowed("tuple-return")
+            {
+                out.push(violation(
+                    rel,
+                    line,
+                    "tuple-return",
+                    "pub fns in mbe return Report/Result, not bare tuples",
+                ));
+            }
             if untagged_todo(raw) && !allowed("todo") {
                 out.push(violation(
                     rel,
@@ -243,11 +268,14 @@ fn scan_file(rel: &str, content: &str) -> Vec<Violation> {
             }
         }
 
-        // Track doc-comment adjacency for the `doc` rule.
+        // Track doc-comment adjacency for the `doc` rule. Plain `//`
+        // comments (e.g. standalone `xtask-allow` markers) between a doc
+        // comment and its item do not detach the docs — rustdoc skips
+        // them too.
         let t = raw.trim_start();
         if t.starts_with("///") || t.starts_with("//!") || t.starts_with("#[doc") {
             has_doc = true;
-        } else if !t.starts_with("#[") {
+        } else if !t.starts_with("#[") && !t.starts_with("//") {
             has_doc = false;
         }
 
@@ -482,6 +510,36 @@ mod tests {
         let field = "/// S.\npub struct S {\n    pub x: u32,\n}\n";
         assert_eq!(rules(&scan_file("crates/mbe/src/util.rs", field)), vec!["doc"]);
         assert!(scan_file("crates/mbe/src/lib.rs", "pub use crate::metrics::Stats;\n").is_empty());
+    }
+
+    #[test]
+    fn tuple_returns_flagged_in_mbe_only() {
+        let opt = "/// Docs.\npub fn f() -> Option<(Vec<u32>, u64)> {\n    None\n}\n";
+        assert_eq!(rules(&scan_file("crates/mbe/src/lib.rs", opt)), vec!["tuple-return"]);
+        let tup = "/// Docs.\npub fn f() -> (Vec<u32>, u64) {\n    (Vec::new(), 0)\n}\n";
+        assert_eq!(rules(&scan_file("crates/mbe/src/extremal.rs", tup)), vec!["tuple-return"]);
+        // Other crates may return tuples.
+        assert!(scan_file("crates/bigraph/src/order.rs", tup).is_empty());
+        // Result-wrapped tuples and non-pub helpers are fine.
+        let ok = "/// Docs.\npub fn f() -> Result<(Vec<u32>, u64), ()> {\n    todo_ok()\n}\n\
+                  fn g() -> (Vec<u32>, u64) {\n    (Vec::new(), 0)\n}\n";
+        assert!(scan_file("crates/mbe/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn tuple_return_allow_escape_and_test_exemption() {
+        let shim = "/// Docs.\n#[deprecated]\n// xtask-allow: tuple-return\n\
+                    pub fn f() -> (Vec<u32>, u64) {\n    (Vec::new(), 0)\n}\n";
+        assert!(scan_file("crates/mbe/src/lib.rs", shim).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    \
+                       pub fn helper() -> (Vec<u32>, u64) {\n        (Vec::new(), 0)\n    }\n}\n";
+        assert!(scan_file("crates/mbe/src/lib.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn plain_comment_between_docs_and_item_keeps_docs() {
+        let src = "/// Docs.\n// xtask-allow: tuple-return\npub fn f() {}\n";
+        assert!(scan_file("crates/mbe/src/util.rs", src).is_empty());
     }
 
     #[test]

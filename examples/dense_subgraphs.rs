@@ -48,7 +48,8 @@ fn main() {
     //    inside; ids come back in the original space).
     let t = std::time::Instant::now();
     let thr = mbe::SizeThresholds::new(min_readers, min_books);
-    let (groups, stats) = mbe::collect_filtered(&g, thr);
+    let report = mbe::Enumeration::new(&g).thresholds(thr).collect().expect("valid configuration");
+    let groups = report.bicliques;
     println!(
         "{} reading circles with ≥{} readers and ≥{} common books in {:?} \
          ({} branches size-pruned)",
@@ -56,7 +57,7 @@ fn main() {
         min_readers,
         min_books,
         t.elapsed(),
-        stats.bound_pruned
+        report.stats.bound_pruned
     );
     for b in groups.iter().take(3) {
         assert!(mbe::verify::is_maximal_biclique(&g, &b.left, &b.right));

@@ -51,16 +51,18 @@ fn main() {
     // Enumerate maximal bicliques, keeping only suspicious-sized ones.
     let t = std::time::Instant::now();
     let mut suspicious: Vec<Biclique> = Vec::new();
-    let mut sink = mbe::FnSink(|l: &[u32], r: &[u32]| {
-        if l.len() >= MIN_ACCOUNTS && r.len() >= MIN_PRODUCTS {
-            suspicious.push(Biclique::new(l.to_vec(), r.to_vec()));
-        }
-        true
-    });
-    let stats = enumerate(&g, &MbeOptions::new(Algorithm::Mbet), &mut sink);
+    let report = {
+        let mut sink = mbe::FnSink(|l: &[u32], r: &[u32]| {
+            if l.len() >= MIN_ACCOUNTS && r.len() >= MIN_PRODUCTS {
+                suspicious.push(Biclique::new(l.to_vec(), r.to_vec()));
+            }
+            mbe::sink::CONTINUE
+        });
+        Enumeration::new(&g).run(&mut sink).expect("valid configuration")
+    };
     println!(
         "enumerated {} maximal bicliques in {:?}; {} meet the ring thresholds",
-        stats.emitted,
+        report.stats.emitted,
         t.elapsed(),
         suspicious.len()
     );

@@ -35,21 +35,22 @@ fn main() {
     );
 
     // Enumerate modules with ≥ 4 genes and ≥ 3 conditions.
-    let opts = MbeOptions::new(Algorithm::Mbet);
-    let (all, stats) = collect_bicliques(&g, &opts).expect("enumeration completes");
+    let report = Enumeration::new(&g).collect().expect("valid configuration");
+    let all = report.bicliques;
     let modules: Vec<&Biclique> =
         all.iter().filter(|b| b.left.len() >= 4 && b.right.len() >= 3).collect();
     println!(
         "{} maximal bicliques total ({:?}); {} qualify as modules",
         all.len(),
-        stats.elapsed,
+        report.stats.elapsed,
         modules.len()
     );
 
     // Cross-check the engines agree (a one-line sanity check any
     // pipeline should keep around).
-    let (count_imbea, _) = count_bicliques(&g, &MbeOptions::new(Algorithm::Imbea));
-    assert_eq!(count_imbea, all.len() as u64, "engines must agree");
+    let imbea =
+        Enumeration::new(&g).algorithm(Algorithm::Imbea).count().expect("valid configuration");
+    assert_eq!(imbea.count(), all.len() as u64, "engines must agree");
 
     // Module statistics.
     let genes_covered: std::collections::BTreeSet<u32> =

@@ -27,17 +27,17 @@ fn main() {
     println!("graph: {g:?}");
 
     // Enumerate with the prefix-tree algorithm (MBET), the default.
-    let opts = MbeOptions::default();
-    let (bicliques, stats) = collect_bicliques(&g, &opts).expect("enumeration completes");
+    let report = Enumeration::new(&g).collect().expect("valid configuration");
+    assert!(report.is_complete());
 
-    println!("\nfound {} maximal bicliques in {:?}:", bicliques.len(), stats.elapsed);
-    for b in &bicliques {
+    println!("\nfound {} maximal bicliques in {:?}:", report.count(), report.stats.elapsed);
+    for b in &report.bicliques {
         println!("  L = {:?}  R = {:?}  ({} edges)", b.left, b.right, b.edges());
     }
 
     println!(
         "\nstats: {} branch attempts, {} pruned as non-maximal, {} candidates batched",
-        stats.nodes, stats.nonmaximal, stats.batched
+        report.stats.nodes, report.stats.nonmaximal, report.stats.batched
     );
 
     // Streaming consumption without collecting — e.g. find the largest.
@@ -47,9 +47,9 @@ fn main() {
         if best.as_ref().is_none_or(|(s, _, _)| size > *s) {
             best = Some((size, l.to_vec(), r.to_vec()));
         }
-        true // keep enumerating
+        mbe::sink::CONTINUE // keep enumerating
     });
-    enumerate(&g, &opts, &mut sink);
+    Enumeration::new(&g).run(&mut sink).expect("valid configuration");
     let (size, l, r) = best.expect("graph has bicliques");
     println!("\nlargest by edge count: L = {l:?}, R = {r:?} ({size} edges)");
 }

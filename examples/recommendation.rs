@@ -28,9 +28,14 @@ fn main() {
 
     // Enumerate taste communities in parallel (all cores).
     let t = std::time::Instant::now();
-    let opts = MbeOptions::new(Algorithm::Mbet).threads(0);
-    let (communities, stats) = par_collect_bicliques(&g, &opts);
-    println!("{} communities in {:?} across {} tasks", communities.len(), t.elapsed(), stats.tasks);
+    let report = Enumeration::new(&g).threads(0).collect().expect("valid configuration");
+    let communities = report.bicliques;
+    println!(
+        "{} communities in {:?} across {} tasks",
+        communities.len(),
+        t.elapsed(),
+        report.stats.tasks
+    );
 
     // Pick the most active user as the recommendation target.
     let target = (0..g.num_u()).max_by_key(|&u| g.deg_u(u)).expect("non-empty graph");
@@ -74,12 +79,21 @@ fn main() {
     // The same query as a bounded stream: stop after finding 50
     // communities containing the target (cheap exploratory mode).
     let mut found = 0;
-    let mut sink = mbe::FnSink(|l: &[u32], _r: &[u32]| {
-        if l.contains(&target) {
-            found += 1;
-        }
-        found < 50
-    });
-    enumerate(&g, &MbeOptions::new(Algorithm::Mbet), &mut sink);
-    println!("\nstreaming mode stopped after {found} communities containing the target");
+    let stream = {
+        let mut sink = mbe::FnSink(|l: &[u32], _r: &[u32]| {
+            if l.contains(&target) {
+                found += 1;
+            }
+            if found < 50 {
+                mbe::sink::CONTINUE
+            } else {
+                mbe::sink::STOP
+            }
+        });
+        Enumeration::new(&g).run(&mut sink).expect("valid configuration")
+    };
+    println!(
+        "\nstreaming mode stopped after {found} communities containing the target ({})",
+        stream.stop.label()
+    );
 }

@@ -14,8 +14,9 @@
 //! use mbe_suite::prelude::*;
 //!
 //! let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
-//! let (bicliques, _) = collect_bicliques(&g, &MbeOptions::default()).unwrap();
-//! assert_eq!(bicliques.len(), 1); // the complete block itself
+//! let report = Enumeration::new(&g).collect().unwrap();
+//! assert_eq!(report.bicliques.len(), 1); // the complete block itself
+//! assert!(report.is_complete());
 //! ```
 //!
 //! ## Crate map
@@ -40,9 +41,12 @@ pub use setops;
 pub mod prelude {
     pub use bigraph::order::VertexOrder;
     pub use bigraph::BipartiteGraph;
+    #[allow(deprecated)]
     pub use mbe::parallel::{par_collect_bicliques, par_count_bicliques};
+    #[allow(deprecated)]
+    pub use mbe::{collect_bicliques, count_bicliques, enumerate};
     pub use mbe::{
-        collect_bicliques, count_bicliques, enumerate, Algorithm, Biclique, BicliqueSink,
-        MbeOptions, MbetConfig, Stats,
+        Algorithm, Biclique, BicliqueSink, Enumeration, MbeError, MbeOptions, MbetConfig, Report,
+        RunControl, Stats, StopReason,
     };
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calib-ce40f94c9161589e.d: crates/bench/src/bin/calib.rs
+
+/root/repo/target/debug/deps/calib-ce40f94c9161589e: crates/bench/src/bin/calib.rs
+
+crates/bench/src/bin/calib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/control-3e348e88a00c841b.d: crates/mbe/tests/control.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontrol-3e348e88a00c841b.rmeta: crates/mbe/tests/control.rs Cargo.toml
+
+crates/mbe/tests/control.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

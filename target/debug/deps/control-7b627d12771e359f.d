@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/control-7b627d12771e359f.d: crates/mbe/tests/control.rs
+
+/root/repo/target/debug/deps/control-7b627d12771e359f: crates/mbe/tests/control.rs
+
+crates/mbe/tests/control.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/control-bc4c5d102368bcc6.d: crates/mbe/tests/control.rs
+
+/root/repo/target/debug/deps/control-bc4c5d102368bcc6: crates/mbe/tests/control.rs
+
+crates/mbe/tests/control.rs:

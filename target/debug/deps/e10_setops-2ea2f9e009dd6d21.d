@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e10_setops-2ea2f9e009dd6d21.d: crates/bench/benches/e10_setops.rs
+
+/root/repo/target/debug/deps/e10_setops-2ea2f9e009dd6d21: crates/bench/benches/e10_setops.rs
+
+crates/bench/benches/e10_setops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e11_models-f83ce662579ad29b.d: crates/bench/benches/e11_models.rs
+
+/root/repo/target/debug/deps/e11_models-f83ce662579ad29b: crates/bench/benches/e11_models.rs
+
+crates/bench/benches/e11_models.rs:

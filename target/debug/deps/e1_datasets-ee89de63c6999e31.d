@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_datasets-ee89de63c6999e31.d: crates/bench/benches/e1_datasets.rs
+
+/root/repo/target/debug/deps/e1_datasets-ee89de63c6999e31: crates/bench/benches/e1_datasets.rs
+
+crates/bench/benches/e1_datasets.rs:

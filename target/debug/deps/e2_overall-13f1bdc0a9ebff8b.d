@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_overall-13f1bdc0a9ebff8b.d: crates/bench/benches/e2_overall.rs
+
+/root/repo/target/debug/deps/e2_overall-13f1bdc0a9ebff8b: crates/bench/benches/e2_overall.rs
+
+crates/bench/benches/e2_overall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_checks-6b8f8558f324493e.d: crates/bench/benches/e3_checks.rs
+
+/root/repo/target/debug/deps/e3_checks-6b8f8558f324493e: crates/bench/benches/e3_checks.rs
+
+crates/bench/benches/e3_checks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_ablation-06a4340c2cb65c51.d: crates/bench/benches/e4_ablation.rs
+
+/root/repo/target/debug/deps/e4_ablation-06a4340c2cb65c51: crates/bench/benches/e4_ablation.rs
+
+crates/bench/benches/e4_ablation.rs:

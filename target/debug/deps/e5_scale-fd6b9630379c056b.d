@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_scale-fd6b9630379c056b.d: crates/bench/benches/e5_scale.rs
+
+/root/repo/target/debug/deps/e5_scale-fd6b9630379c056b: crates/bench/benches/e5_scale.rs
+
+crates/bench/benches/e5_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_memory-32ae9eac1e5d9ae9.d: crates/bench/benches/e6_memory.rs
+
+/root/repo/target/debug/deps/e6_memory-32ae9eac1e5d9ae9: crates/bench/benches/e6_memory.rs
+
+crates/bench/benches/e6_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_ordering-185038a17913d8ed.d: crates/bench/benches/e7_ordering.rs
+
+/root/repo/target/debug/deps/e7_ordering-185038a17913d8ed: crates/bench/benches/e7_ordering.rs
+
+crates/bench/benches/e7_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_parallel-b70cb229cb0c3fe0.d: crates/bench/benches/e8_parallel.rs
+
+/root/repo/target/debug/deps/e8_parallel-b70cb229cb0c3fe0: crates/bench/benches/e8_parallel.rs
+
+crates/bench/benches/e8_parallel.rs:

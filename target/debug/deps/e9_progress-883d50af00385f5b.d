@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_progress-883d50af00385f5b.d: crates/bench/benches/e9_progress.rs
+
+/root/repo/target/debug/deps/e9_progress-883d50af00385f5b: crates/bench/benches/e9_progress.rs
+
+crates/bench/benches/e9_progress.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/mbe_cli-18e812b25c8e6beb.d: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+/root/repo/target/debug/deps/mbe_cli-18e812b25c8e6beb.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/interrupt.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmbe_cli-18e812b25c8e6beb.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+/root/repo/target/debug/deps/libmbe_cli-18e812b25c8e6beb.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/interrupt.rs Cargo.toml
 
 crates/cli/src/main.rs:
 crates/cli/src/args.rs:
+crates/cli/src/interrupt.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=

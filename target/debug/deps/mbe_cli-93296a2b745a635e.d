@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/mbe_cli-93296a2b745a635e.d: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+/root/repo/target/debug/deps/mbe_cli-93296a2b745a635e.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/interrupt.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmbe_cli-93296a2b745a635e.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+/root/repo/target/debug/deps/libmbe_cli-93296a2b745a635e.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/interrupt.rs Cargo.toml
 
 crates/cli/src/main.rs:
 crates/cli/src/args.rs:
+crates/cli/src/interrupt.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=

@@ -1,6 +1,7 @@
-/root/repo/target/debug/deps/mbe_cli-93e270c5616becf5.d: crates/cli/src/main.rs crates/cli/src/args.rs
+/root/repo/target/debug/deps/mbe_cli-93e270c5616becf5.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/interrupt.rs
 
-/root/repo/target/debug/deps/mbe_cli-93e270c5616becf5: crates/cli/src/main.rs crates/cli/src/args.rs
+/root/repo/target/debug/deps/mbe_cli-93e270c5616becf5: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/interrupt.rs
 
 crates/cli/src/main.rs:
 crates/cli/src/args.rs:
+crates/cli/src/interrupt.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-3edebc2e68fca1d8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-3edebc2e68fca1d8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-3edebc2e68fca1d8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

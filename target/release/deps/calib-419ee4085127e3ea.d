@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calib-419ee4085127e3ea.d: crates/bench/src/bin/calib.rs
+
+/root/repo/target/release/deps/calib-419ee4085127e3ea: crates/bench/src/bin/calib.rs
+
+crates/bench/src/bin/calib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-5b66a401d1f5c624.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-5b66a401d1f5c624.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-5b66a401d1f5c624.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

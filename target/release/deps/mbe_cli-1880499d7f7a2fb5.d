@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mbe_cli-1880499d7f7a2fb5.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/interrupt.rs
+
+/root/repo/target/release/deps/mbe_cli-1880499d7f7a2fb5: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/interrupt.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/interrupt.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-a577c14b32140e08.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-a577c14b32140e08.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-a577c14b32140e08.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

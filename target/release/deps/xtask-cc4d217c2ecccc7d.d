@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/xtask-cc4d217c2ecccc7d.d: crates/xtask/src/main.rs
+
+/root/repo/target/release/deps/xtask-cc4d217c2ecccc7d: crates/xtask/src/main.rs
+
+crates/xtask/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/xtask

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dense_subgraphs-d1add989da6b1ad3.d: examples/dense_subgraphs.rs
+
+/root/repo/target/release/examples/dense_subgraphs-d1add989da6b1ad3: examples/dense_subgraphs.rs
+
+examples/dense_subgraphs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fraud_detection-3e9adaabd774d445.d: examples/fraud_detection.rs
+
+/root/repo/target/release/examples/fraud_detection-3e9adaabd774d445: examples/fraud_detection.rs
+
+examples/fraud_detection.rs:

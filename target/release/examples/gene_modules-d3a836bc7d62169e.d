@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gene_modules-d3a836bc7d62169e.d: examples/gene_modules.rs
+
+/root/repo/target/release/examples/gene_modules-d3a836bc7d62169e: examples/gene_modules.rs
+
+examples/gene_modules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-03b591560bbd6416.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-03b591560bbd6416: examples/quickstart.rs
+
+examples/quickstart.rs:

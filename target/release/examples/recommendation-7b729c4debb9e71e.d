@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/recommendation-7b729c4debb9e71e.d: examples/recommendation.rs
+
+/root/repo/target/release/examples/recommendation-7b729c4debb9e71e: examples/recommendation.rs
+
+examples/recommendation.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libptree.rlib: /root/repo/crates/ptree/src/ctrie.rs /root/repo/crates/ptree/src/lib.rs /root/repo/crates/ptree/src/rtrie.rs

@@ -13,7 +13,9 @@ fn preset_pipeline_all_engines_agree() {
     let g = preset.build_scaled(7, 0.3);
     let mut reference: Option<Vec<Biclique>> = None;
     for alg in Algorithm::all() {
-        let (mut got, stats) = collect_bicliques(&g, &MbeOptions::new(alg)).unwrap();
+        let report = Enumeration::new(&g).algorithm(alg).collect().unwrap();
+        let stats = report.stats;
+        let mut got = report.bicliques;
         got.sort();
         assert_eq!(stats.emitted as usize, got.len(), "{alg:?}");
         assert_eq!(
@@ -39,13 +41,14 @@ fn preset_pipeline_all_engines_agree() {
 fn parallel_pipeline_matches_serial() {
     let preset = gen::presets::by_abbrev("Mti").expect("preset exists");
     let g = preset.build_scaled(3, 0.3);
-    let opts = MbeOptions::new(Algorithm::Mbet).threads(4);
-    let (mut par, par_stats) = par_collect_bicliques(&g, &opts);
+    let par_report = Enumeration::new(&g).algorithm(Algorithm::Mbet).threads(4).collect().unwrap();
+    let mut par = par_report.bicliques;
     par.sort();
-    let (mut ser, ser_stats) = collect_bicliques(&g, &opts).unwrap();
+    let ser_report = Enumeration::new(&g).algorithm(Algorithm::Mbet).threads(1).collect().unwrap();
+    let mut ser = ser_report.bicliques;
     ser.sort();
     assert_eq!(par, ser);
-    assert_eq!(par_stats.emitted, ser_stats.emitted);
+    assert_eq!(par_report.stats.emitted, ser_report.stats.emitted);
 }
 
 /// Text round-trip: write a generated graph as an edge list, read it
@@ -58,8 +61,8 @@ fn io_roundtrip_preserves_bicliques() {
     bigraph::io::write_edge_list(&g, &mut buf).unwrap();
     let g2 = bigraph::io::read_edge_list(&buf[..]).unwrap();
     assert_eq!(g.num_edges(), g2.num_edges());
-    let (b1, _) = count_bicliques(&g, &MbeOptions::default());
-    let (b2, _) = count_bicliques(&g2, &MbeOptions::default());
+    let b1 = Enumeration::new(&g).count().unwrap().count();
+    let b2 = Enumeration::new(&g2).count().unwrap().count();
     assert_eq!(b1, b2);
 }
 
@@ -72,13 +75,13 @@ fn trie_store_integration() {
     let opts = MbeOptions::default();
 
     let mut sink = mbe::TrieSink::unbounded();
-    let stats = enumerate(&g, &opts, &mut sink);
+    let stats = Enumeration::new(&g).options(opts.clone()).run(&mut sink).unwrap().stats;
     assert_eq!(sink.duplicates(), 0);
     assert_eq!(sink.trie().len() as u64, stats.emitted);
 
     // Round-trip through the trie's iteration: every stored R-set is the
     // right side of some collected biclique.
-    let (collected, _) = collect_bicliques(&g, &opts).unwrap();
+    let collected = Enumeration::new(&g).options(opts.clone()).collect().unwrap().bicliques;
     let rights: std::collections::BTreeSet<Vec<u32>> =
         collected.iter().map(|b| b.right.clone()).collect();
     let mut stored = 0usize;
@@ -91,7 +94,7 @@ fn trie_store_integration() {
     // Budgeted mode enumerates the same count with bounded node usage.
     let budget = 1 << 10;
     let mut bounded = mbe::TrieSink::with_node_budget(budget);
-    let stats2 = enumerate(&g, &opts, &mut bounded);
+    let stats2 = Enumeration::new(&g).options(opts).run(&mut bounded).unwrap().stats;
     assert_eq!(stats2.emitted, stats.emitted);
     assert!(bounded.trie().node_count() <= budget + 64);
 }
@@ -101,13 +104,17 @@ fn trie_store_integration() {
 #[test]
 fn configuration_matrix_agrees() {
     let g = gen::presets::by_abbrev("GH").expect("preset exists").build_scaled(9, 0.15);
-    let (baseline, _) = count_bicliques(&g, &MbeOptions::new(Algorithm::Mbea));
+    let baseline = Enumeration::new(&g).algorithm(Algorithm::Mbea).count().unwrap().count();
     use mbe_suite::bigraph::order::VertexOrder;
     for order in [VertexOrder::AscendingDegree, VertexOrder::Random(3)] {
         for threads in [1, 3] {
-            let opts = MbeOptions::new(Algorithm::Mbet).order(order).threads(threads);
-            let (n, _) = par_count_bicliques(&g, &opts);
-            assert_eq!(n, baseline, "{order:?} threads={threads}");
+            let report = Enumeration::new(&g)
+                .algorithm(Algorithm::Mbet)
+                .order(order)
+                .threads(threads)
+                .count()
+                .unwrap();
+            assert_eq!(report.count(), baseline, "{order:?} threads={threads}");
         }
     }
 }
@@ -135,12 +142,12 @@ fn generator_facade_smoke() {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let g = gen::er::gnm(&mut rng, 40, 30, 200);
-    let (n, _) = count_bicliques(&g, &MbeOptions::default());
+    let n = Enumeration::new(&g).count().unwrap().count();
     assert!(n > 0);
     let cfg = gen::chung_lu::ChungLuConfig::new(60, 40, 300);
     let g = gen::chung_lu::generate(&mut rng, &cfg);
-    let (n2, stats) = count_bicliques(&g, &MbeOptions::default());
-    assert_eq!(n2, stats.emitted);
+    let report = Enumeration::new(&g).count().unwrap();
+    assert_eq!(report.count(), report.stats.emitted);
 }
 
 /// Property test: on arbitrary small bipartite graphs, every engine —
@@ -166,17 +173,22 @@ mod random_graphs {
         #![proptest_config(ProptestConfig::with_cases(48))]
         #[test]
         fn engines_match_brute_force(g in graph_strategy(), threads in 2usize..5) {
-            let (mut reference, _) =
-                collect_bicliques(&g, &MbeOptions::new(Algorithm::Mbea)).unwrap();
+            let mut reference =
+                Enumeration::new(&g).algorithm(Algorithm::Mbea).collect().unwrap().bicliques;
             reference.sort();
             // Ground truth for this case; all other runs compare to it.
             mbe::verify::assert_matches_brute_force(&g, &reference);
             for alg in Algorithm::all() {
-                let opts = MbeOptions::new(alg);
-                let (mut serial, _) = collect_bicliques(&g, &opts).unwrap();
+                let mut serial =
+                    Enumeration::new(&g).algorithm(alg).collect().unwrap().bicliques;
                 serial.sort();
                 prop_assert_eq!(&serial, &reference, "serial {:?}", alg);
-                let (mut par, _) = par_collect_bicliques(&g, &opts.threads(threads));
+                let mut par = Enumeration::new(&g)
+                    .algorithm(alg)
+                    .threads(threads)
+                    .collect()
+                    .unwrap()
+                    .bicliques;
                 par.sort();
                 prop_assert_eq!(&par, &reference, "parallel {:?} x{}", alg, threads);
             }
