@@ -16,15 +16,65 @@
 //! apply to multi-edge datasets.
 
 use crate::{BipartiteGraph, GraphBuilder, GraphError};
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{BufRead, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Reads an edge list from any buffered reader. See the module docs for
-/// the format. Returns the compacted graph.
+/// Size limits applied while reading an edge list from untrusted input.
+///
+/// Real benchmark files fit comfortably inside the defaults; the limits
+/// exist so that a hostile or corrupted file is rejected with a typed
+/// [`GraphError::TooLarge`] instead of exhausting memory (a single
+/// newline-free multi-gigabyte "line", or more edge rows than the
+/// compacted representation can address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadLimits {
+    /// Maximum number of edge rows accepted (counted before duplicate
+    /// merging). Defaults to 2^31.
+    pub max_edges: u64,
+    /// Maximum bytes in a single input line, delimiter included.
+    /// Defaults to 64 KiB.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ReadLimits {
+    fn default() -> Self {
+        ReadLimits { max_edges: 1 << 31, max_line_bytes: 1 << 16 }
+    }
+}
+
+/// Reads an edge list from any buffered reader under the default
+/// [`ReadLimits`]. See the module docs for the format. Returns the
+/// compacted graph.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<BipartiteGraph, GraphError> {
+    read_edge_list_with_limits(reader, ReadLimits::default())
+}
+
+/// Reads an edge list with caller-chosen size limits. Exceeding a limit
+/// is always a typed error — never a silent truncation of the input.
+pub fn read_edge_list_with_limits<R: BufRead>(
+    mut reader: R,
+    limits: ReadLimits,
+) -> Result<BipartiteGraph, GraphError> {
     let mut raw: Vec<(u64, u64)> = Vec::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut idx = 0usize;
+    loop {
+        idx += 1;
+        buf.clear();
+        // Read at most one byte past the line cap: enough to tell "fits
+        // exactly" from "too long" without buffering an unbounded line.
+        let n = (&mut reader).take(limits.max_line_bytes as u64 + 1).read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        if buf.len() > limits.max_line_bytes {
+            return Err(GraphError::TooLarge {
+                what: "line bytes",
+                limit: limits.max_line_bytes as u64,
+            });
+        }
+        let line = std::str::from_utf8(&buf)
+            .map_err(|e| GraphError::Parse { line: idx, msg: format!("invalid UTF-8: {e}") })?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') || t.starts_with('#') {
             continue;
@@ -32,36 +82,47 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<BipartiteGraph, GraphErro
         let mut it = t.split_whitespace();
         let parse = |tok: Option<&str>, what: &str| -> Result<u64, GraphError> {
             tok.ok_or_else(|| GraphError::Parse {
-                line: idx + 1,
+                line: idx,
                 msg: format!("missing {what} endpoint"),
             })?
             .parse::<u64>()
-            .map_err(|e| GraphError::Parse { line: idx + 1, msg: format!("{what}: {e}") })
+            .map_err(|e| GraphError::Parse { line: idx, msg: format!("{what}: {e}") })
         };
         let u = parse(it.next(), "left")?;
         let v = parse(it.next(), "right")?;
         // Extra columns (weights, timestamps) are tolerated and ignored,
         // as in the KONECT "out." files.
+        if raw.len() as u64 >= limits.max_edges {
+            return Err(GraphError::TooLarge { what: "edges", limit: limits.max_edges });
+        }
         raw.push((u, v));
     }
-    Ok(compact(&raw))
+    compact(&raw)
 }
 
 /// Compacts sparse/1-based ids to dense 0-based ids per side.
-fn compact(raw: &[(u64, u64)]) -> BipartiteGraph {
+fn compact(raw: &[(u64, u64)]) -> Result<BipartiteGraph, GraphError> {
     let mut us: Vec<u64> = raw.iter().map(|&(u, _)| u).collect();
     let mut vs: Vec<u64> = raw.iter().map(|&(_, v)| v).collect();
     us.sort_unstable();
     us.dedup();
     vs.sort_unstable();
     vs.dedup();
+    // Dense ids are u32; a side with more distinct raw ids than u32 can
+    // address cannot be represented, only mis-truncated — reject it.
+    if us.len() > u32::MAX as usize {
+        return Err(GraphError::TooLarge { what: "distinct left ids", limit: u32::MAX as u64 });
+    }
+    if vs.len() > u32::MAX as usize {
+        return Err(GraphError::TooLarge { what: "distinct right ids", limit: u32::MAX as u64 });
+    }
     let uid = |x: u64| us.binary_search(&x).expect("present by construction") as u32;
     let vid = |x: u64| vs.binary_search(&x).expect("present by construction") as u32;
     let mut b = GraphBuilder::with_capacity(us.len() as u32, vs.len() as u32, raw.len());
     for &(u, v) in raw {
         b.add_edge(uid(u), vid(v)).expect("dense ids are in range");
     }
-    b.build()
+    Ok(b.build())
 }
 
 /// Reads an edge list from a file path.
@@ -155,6 +216,51 @@ mod tests {
         d1.sort_unstable();
         d2.sort_unstable();
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_not_buffered() {
+        let limits = ReadLimits { max_line_bytes: 16, ..ReadLimits::default() };
+        // Even a comment line past the cap is rejected: it would otherwise
+        // still be buffered in full.
+        let text = format!("% {}\n1 2\n", "x".repeat(64));
+        match read_edge_list_with_limits(text.as_bytes(), limits).unwrap_err() {
+            GraphError::TooLarge { what, limit } => {
+                assert_eq!(what, "line bytes");
+                assert_eq!(limit, 16);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Lines inside the cap still parse, with or without a final newline.
+        let g = read_edge_list_with_limits("1 2\n3 4".as_bytes(), limits).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_cap_is_a_typed_error_not_truncation() {
+        let limits = ReadLimits { max_edges: 2, ..ReadLimits::default() };
+        match read_edge_list_with_limits("1 1\n2 2\n3 3\n".as_bytes(), limits).unwrap_err() {
+            GraphError::TooLarge { what, limit } => {
+                assert_eq!(what, "edges");
+                assert_eq!(limit, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Exactly at the cap is fine; duplicates count as rows read.
+        let g = read_edge_list_with_limits("1 1\n2 2\n".as_bytes(), limits).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_parse_error_with_line_number() {
+        let bytes: &[u8] = &[b'1', b' ', b'2', b'\n', 0xff, 0xfe, b' ', b'3', b'\n'];
+        match read_edge_list(bytes).unwrap_err() {
+            GraphError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("UTF-8"), "{msg}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

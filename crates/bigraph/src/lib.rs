@@ -70,6 +70,15 @@ pub enum GraphError {
         /// Description of the problem.
         msg: String,
     },
+    /// The input exceeds a configured size limit (see
+    /// [`io::ReadLimits`]). Reported instead of silently truncating or
+    /// attempting an allocation sized by hostile input.
+    TooLarge {
+        /// What grew past its limit (e.g. `"edges"`, `"line bytes"`).
+        what: &'static str,
+        /// The limit that was exceeded.
+        limit: u64,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -81,6 +90,9 @@ impl std::fmt::Display for GraphError {
                 write!(f, "vertex {vertex} out of range for side {side:?} (size {len})")
             }
             GraphError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
+            GraphError::TooLarge { what, limit } => {
+                write!(f, "input too large: {what} exceeds the limit of {limit}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -38,6 +38,8 @@ pub enum Command {
         max_print: usize,
         timeout: Option<f64>,
         max_bicliques: Option<u64>,
+        checkpoint: Option<String>,
+        resume: Option<String>,
     },
     /// `generate ...`
     Generate { model: GenModel, seed: u64, scale: f64, output: String },
@@ -98,6 +100,8 @@ fn parse_enumerate(args: &[String]) -> Command {
         max_print: 20,
         timeout: None,
         max_bicliques: None,
+        checkpoint: None,
+        resume: None,
     };
     let Command::Enumerate {
         algorithm,
@@ -110,6 +114,8 @@ fn parse_enumerate(args: &[String]) -> Command {
         max_print,
         timeout,
         max_bicliques,
+        checkpoint,
+        resume,
         ..
     } = &mut out
     else {
@@ -165,6 +171,14 @@ fn parse_enumerate(args: &[String]) -> Command {
             "--max-bicliques" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(n) if n > 0 => *max_bicliques = Some(n),
                 _ => return err("--max-bicliques needs a positive number"),
+            },
+            "--checkpoint" => match it.next() {
+                Some(p) => *checkpoint = Some(p.clone()),
+                None => return err("--checkpoint needs a path"),
+            },
+            "--resume" => match it.next() {
+                Some(p) => *resume = Some(p.clone()),
+                None => return err("--resume needs a path"),
             },
             other => return err(&format!("unknown enumerate flag `{other}`")),
         }
@@ -270,6 +284,12 @@ USAGE:
         --max-print M      cap printed bicliques (default 20)
         --timeout SECS     stop after SECS seconds, report partial results
         --max-bicliques N  stop after N bicliques have been emitted
+        --checkpoint PATH  if the run stops early, write the unexplored
+                           frontier to PATH so it can be resumed later
+        --resume PATH      continue a stopped run from a checkpoint
+                           written by --checkpoint; the checkpoint pins
+                           the original algorithm/order (only --threads
+                           may change)
       Interactive runs can be cancelled by typing `q` + Enter (or
       closing stdin); partial results are reported with the stop reason.
 
@@ -380,6 +400,30 @@ mod tests {
             "enumerate g.txt --max-bicliques 0",
             "enumerate g.txt --max-bicliques x",
         ] {
+            assert!(
+                matches!(p(bad), Command::Help { error: Some(_) }),
+                "`{bad}` should be an error"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        match p("enumerate g.txt --checkpoint c.mbck --resume old.mbck") {
+            Command::Enumerate { checkpoint, resume, .. } => {
+                assert_eq!(checkpoint, Some("c.mbck".into()));
+                assert_eq!(resume, Some("old.mbck".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("enumerate g.txt") {
+            Command::Enumerate { checkpoint, resume, .. } => {
+                assert_eq!(checkpoint, None);
+                assert_eq!(resume, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in ["enumerate g.txt --checkpoint", "enumerate g.txt --resume"] {
             assert!(
                 matches!(p(bad), Command::Help { error: Some(_) }),
                 "`{bad}` should be an error"

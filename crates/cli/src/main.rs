@@ -18,7 +18,11 @@ fn main() -> ExitCode {
     // into a panic when the consumer (`head`, a closed pager) goes away.
     // Dying quietly is the correct CLI behavior; without a libc
     // dependency the portable way is a panic hook that recognizes the
-    // broken-pipe payload and exits success.
+    // broken-pipe payload and exits success. Every other panic only
+    // *prints* here and then keeps unwinding: the parallel driver catches
+    // worker panics and converts them to a typed error with partial
+    // results, which an exit() in the hook would silently defeat (hooks
+    // run before unwinding reaches any catch_unwind).
     std::panic::set_hook(Box::new(|info| {
         let msg = info
             .payload()
@@ -30,7 +34,6 @@ fn main() -> ExitCode {
             std::process::exit(0);
         }
         eprintln!("{info}");
-        std::process::exit(101);
     }));
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -136,6 +139,8 @@ fn main() -> ExitCode {
             max_print,
             timeout,
             max_bicliques,
+            checkpoint,
+            resume,
         } => match bigraph::io::read_edge_list_path(&file) {
             Ok(g) => {
                 let mut control = RunControl::new();
@@ -148,7 +153,7 @@ fn main() -> ExitCode {
                 interrupt::spawn_stdin_watcher(&control);
                 run_enumerate(
                     &g, algorithm, order, threads, min_left, min_right, top_k, count_only,
-                    max_print, control,
+                    max_print, control, checkpoint, resume,
                 )
             }
             Err(e) => {
@@ -190,6 +195,8 @@ fn run_enumerate(
     count_only: bool,
     max_print: usize,
     control: RunControl,
+    checkpoint: Option<String>,
+    resume: Option<String>,
 ) -> ExitCode {
     println!(
         "graph: |U|={} |V|={} |E|={}  algorithm={}",
@@ -199,6 +206,10 @@ fn run_enumerate(
         algorithm.label()
     );
 
+    if top_k.is_some() && (checkpoint.is_some() || resume.is_some()) {
+        eprintln!("error: --checkpoint/--resume do not apply to --top-k runs");
+        return ExitCode::FAILURE;
+    }
     if let Some(k) = top_k {
         let report = mbe::top_k_with_control(g, k, &control);
         print_stop_note(report.stop);
@@ -226,16 +237,62 @@ fn run_enumerate(
     if min_left > 1 || min_right > 1 {
         run = run.thresholds(SizeThresholds::new(min_left, min_right));
     }
+    if let Some(path) = &resume {
+        match mbe::Checkpoint::load(path) {
+            Ok(ckpt) => {
+                eprintln!(
+                    "note: resuming from {path} ({} bicliques emitted before the stop)",
+                    ckpt.emitted
+                );
+                // The checkpoint pins algorithm/order/mbet; resume()
+                // overrides whatever the flags requested.
+                if ckpt.algorithm != algorithm || ckpt.order != order {
+                    eprintln!(
+                        "note: the checkpoint pins algorithm={} — \
+                         --algorithm/--order are ignored on resume",
+                        ckpt.algorithm.label()
+                    );
+                }
+                run = run.resume(ckpt);
+            }
+            Err(e) => {
+                eprintln!("error: cannot resume from {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
+    let mut exit = ExitCode::SUCCESS;
     let report = if count_only { run.count() } else { run.collect() };
     let report = match report {
         Ok(r) => r,
+        Err(mbe::MbeError::WorkerPanic { task, payload, report }) => {
+            // The driver contained the panic: the partial report (and any
+            // checkpoint) is still valid, so print it before failing.
+            eprintln!("error: a worker panicked in {task}: {payload}");
+            exit = ExitCode::FAILURE;
+            *report
+        }
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
     print_stop_note(report.stop);
+    if let Some(path) = &checkpoint {
+        match &report.checkpoint {
+            Some(ckpt) => match ckpt.save(path) {
+                Ok(()) => eprintln!(
+                    "note: checkpoint written to {path} — continue with `--resume {path}`"
+                ),
+                Err(e) => {
+                    eprintln!("error: failed to write checkpoint to {path}: {e}");
+                    exit = ExitCode::FAILURE;
+                }
+            },
+            None => eprintln!("note: run completed — no checkpoint written to {path}"),
+        }
+    }
     let qualifier = if min_left > 1 || min_right > 1 {
         format!(" with |L|>={min_left} |R|>={min_right}")
     } else {
@@ -259,7 +316,7 @@ fn run_enumerate(
             println!("  … {} more (raise --max-print)", report.bicliques.len() - max_print);
         }
     }
-    ExitCode::SUCCESS
+    exit
 }
 
 /// One line of context when a run stopped early, on stderr so it never

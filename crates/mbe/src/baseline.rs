@@ -18,6 +18,7 @@
 
 use std::ops::ControlFlow;
 
+use crate::checkpoint::ResumeTask;
 use crate::metrics::Stats;
 use crate::run::StopReason;
 use crate::sink::BicliqueSink;
@@ -32,13 +33,16 @@ pub struct BaselineEngine<'g> {
     /// Scratch for `C(L')` recomputation (MineLMBC only).
     cbuf: Vec<u32>,
     cbuf2: Vec<u32>,
+    /// Unexplored subtrees captured while unwinding out of a stopped
+    /// `run_task`/`run_node` call; drained via `take_frontier`.
+    frontier: Vec<ResumeTask>,
 }
 
 impl<'g> BaselineEngine<'g> {
     /// An engine over `g`. `alg` must not be [`Algorithm::Mbet`].
     pub fn new(g: &'g BipartiteGraph, alg: Algorithm) -> Self {
         assert!(alg != Algorithm::Mbet, "use MbetEngine for Algorithm::Mbet");
-        BaselineEngine { g, alg, cbuf: Vec::new(), cbuf2: Vec::new() }
+        BaselineEngine { g, alg, cbuf: Vec::new(), cbuf2: Vec::new(), frontier: Vec::new() }
     }
 
     /// Runs one root task. Breaks iff the sink (or the control plane
@@ -49,7 +53,14 @@ impl<'g> BaselineEngine<'g> {
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
     ) -> ControlFlow<StopReason> {
+        self.frontier.clear();
         self.expand(&task.l0, &[], task.v, &task.p0, &task.q0, sink, stats)
+    }
+
+    /// Takes the frontier captured by the last stopped call (empty if it
+    /// ran to completion).
+    pub(crate) fn take_frontier(&mut self) -> Vec<ResumeTask> {
+        std::mem::take(&mut self.frontier)
     }
 
     /// Runs an arbitrary unchecked node (used by the parallel driver's
@@ -65,6 +76,7 @@ impl<'g> BaselineEngine<'g> {
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
     ) -> ControlFlow<StopReason> {
+        self.frontier.clear();
         self.expand(l, r_parent, v, p, q, sink, stats)
     }
 
@@ -132,7 +144,19 @@ impl<'g> BaselineEngine<'g> {
             }
         }
 
-        sink.emit(l_new, &r_new)?;
+        // A Break verdict means this emission was NOT delivered (the
+        // control gate rejects before forwarding), so re-running this
+        // whole node on resume delivers it exactly once.
+        if let ControlFlow::Break(r) = sink.emit(l_new, &r_new) {
+            self.frontier.push(ResumeTask::Node {
+                l: l_new.to_vec(),
+                r_parent: r_parent.to_vec(),
+                v,
+                p: untraversed.to_vec(),
+                q: traversed.to_vec(),
+            });
+            return ControlFlow::Break(r);
+        }
         stats.emitted += 1;
 
         if p_new.is_empty() {
@@ -163,11 +187,48 @@ impl<'g> BaselineEngine<'g> {
             setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
             debug_assert!(!l_child.is_empty(), "candidates share a neighbor with L'");
             let l_child_owned = std::mem::take(&mut l_child);
-            self.expand(&l_child_owned, &r_new, w, &p_new[i + 1..], &q_now, sink, stats)?;
+            if let ControlFlow::Break(r) =
+                self.expand(&l_child_owned, &r_new, w, &p_new[i + 1..], &q_now, sink, stats)
+            {
+                // The broken child captured its own subtree; this level
+                // owes the checkpoint its untried siblings `p_new[i+1..]`.
+                self.capture_siblings(l_new, &r_new, &p_new, i, &q_now);
+                return ControlFlow::Break(r);
+            }
             l_child = l_child_owned;
             q_now.push(w);
         }
         ControlFlow::Continue(())
+    }
+
+    /// Pushes the untried sibling branches `p_new[broke_at + 1..]` as
+    /// resume tasks. Sibling `k` sees `q = q_now ∪ p_new[broke_at..k]`
+    /// (every earlier branch counts as traversed). The `p`/`q` sets are
+    /// conservative supersets — members with an empty local neighborhood
+    /// are filtered by the child's own candidate scan on resume.
+    fn capture_siblings(
+        &mut self,
+        l_parent: &[u32],
+        r_new: &[u32],
+        p_new: &[u32],
+        broke_at: usize,
+        q_now: &[u32],
+    ) {
+        let mut q_accum = q_now.to_vec();
+        q_accum.push(p_new[broke_at]);
+        for k in broke_at + 1..p_new.len() {
+            let w = p_new[k];
+            let mut l_child = Vec::new();
+            setops::intersect_into(l_parent, self.g.nbr_v(w), &mut l_child);
+            self.frontier.push(ResumeTask::Node {
+                l: l_child,
+                r_parent: r_new.to_vec(),
+                v: w,
+                p: p_new[k + 1..].to_vec(),
+                q: q_accum.clone(),
+            });
+            q_accum.push(w);
+        }
     }
 
     /// `true` iff `C(l) == r` where `C(l) = ∩_{u ∈ l} N(u)` in `V`.

@@ -1,0 +1,610 @@
+//! Checkpoint/resume for stopped enumeration runs.
+//!
+//! When a run ends with a non-[`StopReason::Completed`] reason, the
+//! [`crate::Report`] carries a [`Checkpoint`]: the unexplored task
+//! frontier (the serial driver's remaining DFS work, or the parallel
+//! driver's drained work-stealing deques), the total emitted count so
+//! far, and a fingerprint of the input graph. Feeding the checkpoint back
+//! through [`crate::Enumeration::resume`] continues the run so that
+//!
+//! > *resumed output ∪ previously-emitted output = the complete run's
+//! > output, duplicate-free*
+//!
+//! — the invariant asserted continuously under the `debug-invariants`
+//! feature and property-tested in `tests/differential.rs`.
+//!
+//! # On-disk format
+//!
+//! Checkpoints serialize to a versioned, checksummed byte format with no
+//! external dependencies. All integers are little-endian:
+//!
+//! ```text
+//! magic      4 bytes   b"MBCK"
+//! version    u32       currently 1
+//! fingerprint u64      graph fingerprint (FNV-1a over the CSR edges)
+//! algorithm  u8        Algorithm encoding (1..=4)
+//! order      u8 + u64  VertexOrder tag + seed (seed 0 unless Random)
+//! mbet       u8        MbetConfig bitfield (batching|maximality|absorption)
+//! emitted    u64       bicliques delivered before the stop (cumulative)
+//! stop       u8        StopReason encoding
+//! n_tasks    u64       frontier length, then per task:
+//!   tag u8             0 = Root, 1 = Node
+//!   Root: v u32
+//!   Node: v u32, then l / r_parent / p / q as (u32 len, u32 items…)
+//! checksum   u64       FNV-1a over every preceding byte
+//! ```
+//!
+//! Frontier tasks are expressed in the *internal ordered* id space; this
+//! is sound because [`bigraph::order::apply`] is deterministic for a
+//! fixed `(graph, order)` pair — which is why a checkpoint pins the
+//! algorithm, order, and MBET toggles, and why resuming validates the
+//! graph fingerprint. Thread count and splitting thresholds are *not*
+//! pinned: they redistribute work without changing the emitted set.
+//!
+//! Corrupted input — truncation, bit flips, a foreign magic, an unknown
+//! version, or a fingerprint mismatch — is rejected with a typed
+//! [`CheckpointError`], never a panic.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bigraph::order::VertexOrder;
+use bigraph::BipartiteGraph;
+
+use crate::run::StopReason;
+use crate::{Algorithm, MbetConfig};
+
+/// Format magic (`b"MBCK"`).
+const MAGIC: [u8; 4] = *b"MBCK";
+/// Current serialization version.
+const VERSION: u32 = 1;
+
+/// One unit of unexplored work captured at a stop, in the internal
+/// ordered id space of the run that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeTask {
+    /// A whole root task (per right vertex); the resuming driver rebuilds
+    /// its 1-hop/2-hop universe itself.
+    Root(u32),
+    /// An interior enumeration node, in the same shape the parallel
+    /// driver ships between workers.
+    Node {
+        /// `L` of the node (already intersected with `N(v)`).
+        l: Vec<u32>,
+        /// `R` of the parent (the node's own `R` adds `v` + absorptions).
+        r_parent: Vec<u32>,
+        /// The vertex whose traversal created this node.
+        v: u32,
+        /// Remaining candidates.
+        p: Vec<u32>,
+        /// Excluded vertices relevant to this node.
+        q: Vec<u32>,
+    },
+}
+
+/// The resumable state of a stopped enumeration run.
+///
+/// Produced by the [`crate::Enumeration`] terminals on every
+/// non-`Completed` stop (except size-thresholded runs, which are not
+/// checkpointable); consumed by [`crate::Enumeration::resume`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Fingerprint of the graph the run was stopped on; resuming against
+    /// a different graph is rejected with
+    /// [`CheckpointError::GraphMismatch`].
+    pub fingerprint: u64,
+    /// The stopped run's engine — pinned, because the frontier encoding
+    /// is only meaningful under the same enumeration strategy.
+    pub algorithm: Algorithm,
+    /// The stopped run's vertex order — pinned, because frontier ids live
+    /// in the ordered id space it induces.
+    pub order: VertexOrder,
+    /// The stopped run's MBET toggles — pinned with the algorithm.
+    pub mbet: MbetConfig,
+    /// Bicliques delivered across the original run and every prior
+    /// resume (checkpoints chain: resuming a resumed run accumulates).
+    pub emitted: u64,
+    /// Why the checkpointed run stopped.
+    pub stop: StopReason,
+    /// The unexplored task frontier, in internal ordered ids.
+    pub frontier: Vec<ResumeTask>,
+}
+
+/// Why checkpoint bytes (or a resume attempt) were rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The input does not start with the checkpoint magic.
+    BadMagic,
+    /// The input declares a version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The input ended before the declared content did.
+    Truncated,
+    /// The trailing FNV-1a checksum does not match the content.
+    ChecksumMismatch,
+    /// Structurally invalid content (message says which field).
+    Malformed(&'static str),
+    /// The checkpoint was taken on a different graph.
+    GraphMismatch {
+        /// Fingerprint stored in the checkpoint.
+        expected: u64,
+        /// Fingerprint of the graph the resume was attempted on.
+        found: u64,
+    },
+    /// Reading or writing the checkpoint file failed.
+    Io(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => f.write_str("not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (this build reads {VERSION})")
+            }
+            CheckpointError::Truncated => f.write_str("checkpoint truncated"),
+            CheckpointError::ChecksumMismatch => f.write_str("checkpoint checksum mismatch"),
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            CheckpointError::GraphMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken on a different graph \
+                 (fingerprint {expected:#018x}, this graph is {found:#018x})"
+            ),
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Order-independent fingerprint of a graph's structure: FNV-1a over the
+/// side sizes and the full `V`-side adjacency in id order. Two graphs
+/// with equal edge sets (same input ids) fingerprint equal; resuming a
+/// checkpoint validates this before trusting the frontier ids.
+pub fn graph_fingerprint(g: &BipartiteGraph) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(g.num_u() as u64);
+    h.write_u64(g.num_v() as u64);
+    for v in 0..g.num_v() {
+        let nbrs = g.nbr_v(v);
+        h.write_u64(nbrs.len() as u64);
+        for &u in nbrs {
+            h.write_u32(u);
+        }
+    }
+    h.finish()
+}
+
+impl Checkpoint {
+    /// Serializes to the versioned, checksummed byte format documented at
+    /// the module level.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.frontier.len() * 32);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.push(encode_algorithm(self.algorithm));
+        let (order_tag, order_seed) = encode_order(self.order);
+        out.push(order_tag);
+        out.extend_from_slice(&order_seed.to_le_bytes());
+        out.push(encode_mbet(self.mbet));
+        out.extend_from_slice(&self.emitted.to_le_bytes());
+        out.push(self.stop.encode());
+        out.extend_from_slice(&(self.frontier.len() as u64).to_le_bytes());
+        for task in &self.frontier {
+            match task {
+                ResumeTask::Root(v) => {
+                    out.push(0);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                ResumeTask::Node { l, r_parent, v, p, q } => {
+                    out.push(1);
+                    out.extend_from_slice(&v.to_le_bytes());
+                    for list in [l, r_parent, p, q] {
+                        out.extend_from_slice(&(list.len() as u32).to_le_bytes());
+                        for &x in list.iter() {
+                            out.extend_from_slice(&x.to_le_bytes());
+                        }
+                    }
+                }
+            }
+        }
+        let checksum = fnv_bytes(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Deserializes and validates bytes produced by
+    /// [`Checkpoint::to_bytes`]. Every malformation — truncation, bit
+    /// flips, unknown versions — comes back as a typed
+    /// [`CheckpointError`]; this function never panics on hostile input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        // Checksum first: it covers everything, so any corruption —
+        // including of the magic/version fields — surfaces as exactly one
+        // of BadMagic (wrong file type), Truncated, or ChecksumMismatch.
+        if bytes.len() < MAGIC.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let payload_len = bytes.len().checked_sub(8).ok_or(CheckpointError::Truncated)?;
+        let (payload, tail) = bytes.split_at(payload_len);
+        let stored = u64::from_le_bytes(tail.try_into().map_err(|_| CheckpointError::Truncated)?);
+        if fnv_bytes(payload) != stored {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+
+        let mut r = Reader { buf: payload, pos: MAGIC.len() };
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let fingerprint = r.u64()?;
+        let algorithm = decode_algorithm(r.u8()?)?;
+        let order = decode_order(r.u8()?, r.u64()?)?;
+        let mbet = decode_mbet(r.u8()?)?;
+        let emitted = r.u64()?;
+        let stop = StopReason::decode(r.u8()?).ok_or(CheckpointError::Malformed("stop reason"))?;
+        if stop.is_complete() {
+            return Err(CheckpointError::Malformed("checkpoint for a completed run"));
+        }
+        let n_tasks = r.u64()?;
+        // Each task costs at least 5 bytes; a length prefix promising more
+        // than the remaining input is hostile, not just truncated.
+        if n_tasks > (payload.len() as u64) / 5 {
+            return Err(CheckpointError::Malformed("frontier length"));
+        }
+        let mut frontier = Vec::with_capacity(n_tasks as usize);
+        for _ in 0..n_tasks {
+            match r.u8()? {
+                0 => frontier.push(ResumeTask::Root(r.u32()?)),
+                1 => {
+                    let v = r.u32()?;
+                    let l = r.u32_vec()?;
+                    let r_parent = r.u32_vec()?;
+                    let p = r.u32_vec()?;
+                    let q = r.u32_vec()?;
+                    frontier.push(ResumeTask::Node { l, r_parent, v, p, q });
+                }
+                _ => return Err(CheckpointError::Malformed("task tag")),
+            }
+        }
+        if r.pos != payload.len() {
+            return Err(CheckpointError::Malformed("trailing bytes"));
+        }
+        Ok(Checkpoint { fingerprint, algorithm, order, mbet, emitted, stop, frontier })
+    }
+
+    /// Writes the serialized checkpoint to `path` (atomically enough for
+    /// a single writer: whole-buffer write, no partial formats).
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), CheckpointError> {
+        let bytes = self.to_bytes();
+        let mut f = std::fs::File::create(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        f.write_all(&bytes).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Reads and validates a checkpoint from `path`.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Checkpoint, CheckpointError> {
+        let mut f = std::fs::File::open(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Checkpoint::from_bytes(&bytes)
+    }
+
+    /// Validates that this checkpoint was taken on `g`.
+    pub fn matches(&self, g: &BipartiteGraph) -> Result<(), CheckpointError> {
+        let found = graph_fingerprint(g);
+        if found != self.fingerprint {
+            return Err(CheckpointError::GraphMismatch { expected: self.fingerprint, found });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field codecs.
+
+fn encode_algorithm(alg: Algorithm) -> u8 {
+    match alg {
+        Algorithm::MineLmbc => 1,
+        Algorithm::Mbea => 2,
+        Algorithm::Imbea => 3,
+        Algorithm::Mbet => 4,
+    }
+}
+
+fn decode_algorithm(word: u8) -> Result<Algorithm, CheckpointError> {
+    match word {
+        1 => Ok(Algorithm::MineLmbc),
+        2 => Ok(Algorithm::Mbea),
+        3 => Ok(Algorithm::Imbea),
+        4 => Ok(Algorithm::Mbet),
+        _ => Err(CheckpointError::Malformed("algorithm")),
+    }
+}
+
+fn encode_order(order: VertexOrder) -> (u8, u64) {
+    match order {
+        VertexOrder::Natural => (1, 0),
+        VertexOrder::AscendingDegree => (2, 0),
+        VertexOrder::DescendingDegree => (3, 0),
+        VertexOrder::Unilateral => (4, 0),
+        VertexOrder::Random(seed) => (5, seed),
+    }
+}
+
+fn decode_order(tag: u8, seed: u64) -> Result<VertexOrder, CheckpointError> {
+    match (tag, seed) {
+        (1, 0) => Ok(VertexOrder::Natural),
+        (2, 0) => Ok(VertexOrder::AscendingDegree),
+        (3, 0) => Ok(VertexOrder::DescendingDegree),
+        (4, 0) => Ok(VertexOrder::Unilateral),
+        (5, seed) => Ok(VertexOrder::Random(seed)),
+        _ => Err(CheckpointError::Malformed("vertex order")),
+    }
+}
+
+fn encode_mbet(cfg: MbetConfig) -> u8 {
+    (cfg.batching as u8) | (cfg.trie_maximality as u8) << 1 | (cfg.trie_absorption as u8) << 2
+}
+
+fn decode_mbet(word: u8) -> Result<MbetConfig, CheckpointError> {
+    if word > 0b111 {
+        return Err(CheckpointError::Malformed("mbet config"));
+    }
+    Ok(MbetConfig {
+        batching: word & 1 != 0,
+        trie_maximality: word & 2 != 0,
+        trie_absorption: word & 4 != 0,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a (64-bit) — used both for the graph fingerprint and the trailing
+// checksum; hand-rolled so the format needs no dependencies.
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn write_u32(&mut self, x: u32) {
+        for b in x.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn fnv_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    for &b in bytes {
+        h.write_u8(b);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-checked little-endian reader.
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().map_err(|_| CheckpointError::Truncated)?))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().map_err(|_| CheckpointError::Truncated)?))
+    }
+
+    fn u32_vec(&mut self) -> Result<Vec<u32>, CheckpointError> {
+        let n = self.u32()? as usize;
+        // Reject length prefixes promising more items than bytes remain —
+        // the allocation must be bounded by the input size.
+        if n > (self.buf.len() - self.pos) / 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            fingerprint: 0xdead_beef_cafe_f00d,
+            algorithm: Algorithm::Mbet,
+            order: VertexOrder::Random(42),
+            mbet: MbetConfig { batching: true, trie_maximality: false, trie_absorption: true },
+            emitted: 123,
+            stop: StopReason::Deadline,
+            frontier: vec![
+                ResumeTask::Root(7),
+                ResumeTask::Node {
+                    l: vec![0, 2, 5],
+                    r_parent: vec![1],
+                    v: 3,
+                    p: vec![4, 6],
+                    q: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ckpt = sample();
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn roundtrip_all_orders_and_algorithms() {
+        for order in [
+            VertexOrder::Natural,
+            VertexOrder::AscendingDegree,
+            VertexOrder::DescendingDegree,
+            VertexOrder::Unilateral,
+            VertexOrder::Random(u64::MAX),
+        ] {
+            for alg in Algorithm::all() {
+                let ckpt = Checkpoint { order, algorithm: alg, ..sample() };
+                assert_eq!(Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap(), ckpt);
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let bytes = sample().to_bytes();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupted = bytes.clone();
+                corrupted[i] ^= 1 << bit;
+                assert!(
+                    Checkpoint::from_bytes(&corrupted).is_err(),
+                    "flip byte {i} bit {bit} was accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_magic_is_bad_magic() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Checkpoint::from_bytes(&bytes), Err(CheckpointError::BadMagic));
+        assert_eq!(Checkpoint::from_bytes(b"PK\x03\x04zipfile"), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_is_rejected_with_checksum_repaired() {
+        // A well-formed file from a future version: valid checksum, higher
+        // version field.
+        let mut bytes = sample().to_bytes();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let len = bytes.len();
+        let sum = fnv_bytes(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(Checkpoint::from_bytes(&bytes), Err(CheckpointError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_bounded() {
+        // A frontier length promising 2^60 tasks must be rejected without
+        // attempting the allocation.
+        let mut ckpt = sample();
+        ckpt.frontier.clear();
+        let mut bytes = ckpt.to_bytes();
+        let n_tasks_at = bytes.len() - 8 - 8; // before checksum, the u64 count
+        bytes[n_tasks_at..n_tasks_at + 8].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        let len = bytes.len();
+        let sum = fnv_bytes(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::Malformed("frontier length"))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_graphs() {
+        let g1 = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let g2 = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 0)]).unwrap();
+        let g1_again = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        assert_ne!(graph_fingerprint(&g1), graph_fingerprint(&g2));
+        assert_eq!(graph_fingerprint(&g1), graph_fingerprint(&g1_again));
+    }
+
+    #[test]
+    fn matches_rejects_wrong_graph() {
+        let g1 = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let g2 = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 0)]).unwrap();
+        let ckpt = Checkpoint { fingerprint: graph_fingerprint(&g1), ..sample() };
+        assert!(ckpt.matches(&g1).is_ok());
+        assert!(matches!(ckpt.matches(&g2), Err(CheckpointError::GraphMismatch { .. })));
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join("mbe-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let ckpt = sample();
+        ckpt.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = Checkpoint::load("/nonexistent/definitely/missing.ckpt").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn errors_display_informatively() {
+        let msgs = [
+            CheckpointError::BadMagic.to_string(),
+            CheckpointError::UnsupportedVersion(7).to_string(),
+            CheckpointError::Truncated.to_string(),
+            CheckpointError::ChecksumMismatch.to_string(),
+            CheckpointError::Malformed("stop reason").to_string(),
+            CheckpointError::GraphMismatch { expected: 1, found: 2 }.to_string(),
+            CheckpointError::Io("denied".into()).to_string(),
+        ];
+        let unique: std::collections::HashSet<_> = msgs.iter().collect();
+        assert_eq!(unique.len(), msgs.len());
+        assert!(msgs[1].contains('7'));
+    }
+}

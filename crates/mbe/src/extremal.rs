@@ -72,7 +72,7 @@ pub fn top_k_with_control(g: &BipartiteGraph, k: usize, control: &RunControl) ->
     let mut out: Vec<Biclique> = search.heap.into_iter().map(|e| e.biclique).collect();
     out.sort_by_key(|b| std::cmp::Reverse(b.edges()));
     stats.elapsed = start.elapsed();
-    Report { bicliques: out, stats, stop }
+    Report { bicliques: out, stats, stop, checkpoint: None }
 }
 
 /// Heap entry ordered so `BinaryHeap` behaves as a *min*-heap on score:

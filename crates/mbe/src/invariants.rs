@@ -186,6 +186,14 @@ pub fn check_parallel_run(
 /// complete run's output (re-derived serially with the same options and
 /// thresholds but no control limits). Completed runs are skipped here —
 /// their full equality is covered by the engine differential tests.
+///
+/// When `checkpoint` is `Some` (a first, non-resumed segment's
+/// checkpoint), additionally asserts the resume-union invariant: running
+/// the checkpoint's frontier to completion yields a set *disjoint* from
+/// `emitted` whose union *equals* the complete run — i.e. the checkpoint
+/// loses nothing and duplicates nothing. Post-panic checkpoints
+/// (`StopReason::WorkerPanicked`) are exempt: the panicked task is
+/// deliberately excluded from the frontier, so the union is a subset.
 #[cfg(feature = "debug-invariants")]
 pub fn check_stopped_collect(
     g: &BipartiteGraph,
@@ -193,6 +201,7 @@ pub fn check_stopped_collect(
     thresholds: Option<crate::SizeThresholds>,
     emitted: &[crate::Biclique],
     stop: crate::StopReason,
+    checkpoint: Option<&crate::Checkpoint>,
 ) {
     use std::collections::HashSet;
     if stop.is_complete() {
@@ -219,6 +228,44 @@ pub fn check_stopped_collect(
             "invariant: stopped run emitted a biclique absent from the complete run: {b:?}"
         );
     }
+    let Some(ckpt) = checkpoint else {
+        return;
+    };
+    if ckpt.stop == crate::StopReason::WorkerPanicked {
+        return;
+    }
+    // Resume-union: frontier ∪ emitted = complete, disjointly.
+    let mut rest = crate::sink::CollectSink::new();
+    let out = crate::run::run_serial_resumable(
+        g,
+        opts,
+        &crate::run::RunControl::new(),
+        &mut rest,
+        Some(&ckpt.frontier),
+    );
+    assert!(
+        out.stop.is_complete(),
+        "invariant: uncontrolled frontier replay stopped ({:?})",
+        out.stop
+    );
+    let mut union: HashSet<crate::Biclique> = HashSet::with_capacity(complete.len());
+    for b in emitted.iter().cloned().chain(rest.into_vec()) {
+        assert!(
+            union.insert(b.clone()),
+            "invariant: resume-union duplicate — biclique in both the stopped segment and \
+             the frontier replay: {b:?}"
+        );
+    }
+    assert!(
+        union.iter().all(|b| complete.contains(b)),
+        "invariant: resume-union contains a biclique absent from the complete run"
+    );
+    assert_eq!(
+        union.len(),
+        complete.len(),
+        "invariant: resume-union misses {} of the complete run's bicliques",
+        complete.len() - union.len()
+    );
 }
 
 /// No-op stub (enable `debug-invariants` for the real check).
@@ -230,6 +277,7 @@ pub fn check_stopped_collect(
     _thresholds: Option<crate::SizeThresholds>,
     _emitted: &[crate::Biclique],
     _stop: crate::StopReason,
+    _checkpoint: Option<&crate::Checkpoint>,
 ) {
 }
 
@@ -331,6 +379,7 @@ mod tests {
             None,
             &partial,
             crate::StopReason::EmitBudget,
+            None,
         );
     }
 
@@ -345,6 +394,7 @@ mod tests {
             None,
             &[b.clone(), b],
             crate::StopReason::Cancelled,
+            None,
         );
     }
 
@@ -360,6 +410,7 @@ mod tests {
             None,
             &partial,
             crate::StopReason::Deadline,
+            None,
         );
     }
 
@@ -375,6 +426,7 @@ mod tests {
             None,
             &partial,
             crate::StopReason::Completed,
+            None,
         );
     }
 }

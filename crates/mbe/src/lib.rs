@@ -76,7 +76,10 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod extremal;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod filtered;
 pub mod invariants;
 pub mod mbet;
@@ -90,6 +93,7 @@ pub mod verify;
 
 mod util;
 
+pub use checkpoint::{Checkpoint, CheckpointError, ResumeTask};
 pub use extremal::{maximum_edge_biclique, top_k_by_edges, top_k_with_control};
 pub use filtered::SizeThresholds;
 #[allow(deprecated)]

@@ -26,6 +26,7 @@
 
 use std::ops::ControlFlow;
 
+use crate::checkpoint::ResumeTask;
 use crate::metrics::Stats;
 use crate::run::StopReason;
 use crate::sink::BicliqueSink;
@@ -87,12 +88,21 @@ pub struct MbetEngine<'g> {
     pool: Vec<Scratch>,
     /// Peak candidate-trie node count across the run (memory metric).
     peak_trie_nodes: usize,
+    /// Unexplored subtrees captured while unwinding out of a stopped
+    /// `run_task`/`run_node` call; drained via `take_frontier`.
+    frontier: Vec<ResumeTask>,
 }
 
 impl<'g> MbetEngine<'g> {
     /// An engine over `g` with feature toggles `cfg`.
     pub fn new(g: &'g BipartiteGraph, cfg: MbetConfig) -> Self {
-        MbetEngine { g, cfg, pool: Vec::new(), peak_trie_nodes: 0 }
+        MbetEngine { g, cfg, pool: Vec::new(), peak_trie_nodes: 0, frontier: Vec::new() }
+    }
+
+    /// Takes the frontier captured by the last stopped call (empty if it
+    /// ran to completion).
+    pub(crate) fn take_frontier(&mut self) -> Vec<ResumeTask> {
+        std::mem::take(&mut self.frontier)
     }
 
     /// Largest candidate-trie (nodes) observed, a proxy for the working-set
@@ -109,6 +119,7 @@ impl<'g> MbetEngine<'g> {
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
     ) -> ControlFlow<StopReason> {
+        self.frontier.clear();
         self.expand(0, &task.l0, &[], task.v, &task.p0, &task.q0, sink, stats)
     }
 
@@ -125,6 +136,7 @@ impl<'g> MbetEngine<'g> {
         sink: &mut dyn BicliqueSink,
         stats: &mut Stats,
     ) -> ControlFlow<StopReason> {
+        self.frontier.clear();
         self.expand(0, l, r_parent, v, p, q, sink, stats)
     }
 
@@ -282,6 +294,16 @@ impl<'g> MbetEngine<'g> {
 
         if let ControlFlow::Break(r) = sink.emit(l_new, &r_new) {
             self.pool[depth] = s;
+            // A Break verdict means this emission was NOT delivered (the
+            // control gate rejects before forwarding), so re-running the
+            // whole node on resume delivers it exactly once.
+            self.frontier.push(ResumeTask::Node {
+                l: l_new.to_vec(),
+                r_parent: r_parent.to_vec(),
+                v,
+                p: untraversed.to_vec(),
+                q: traversed.to_vec(),
+            });
             return ControlFlow::Break(r);
         }
         stats.emitted += 1;
@@ -363,6 +385,9 @@ impl<'g> MbetEngine<'g> {
                 s.child_p = child_p;
                 s.child_q = child_q;
                 if let ControlFlow::Break(r) = cont {
+                    // The broken child captured its own subtree; this
+                    // level owes the checkpoint its untried groups.
+                    self.capture_group_siblings(&s, l_new, &r_new, gi);
                     stop = Some(r);
                     break;
                 }
@@ -383,6 +408,42 @@ impl<'g> MbetEngine<'g> {
         match stop {
             Some(r) => ControlFlow::Break(r),
             None => ControlFlow::Continue(()),
+        }
+    }
+
+    /// Pushes the untried groups `s.groups[broke_at + 1..]` as resume
+    /// tasks. Each group's node branches on its representative with `p` =
+    /// its co-members plus all later groups' members (a conservative
+    /// superset — the child's candidate scan drops the irrelevant ones)
+    /// and `q` = the current exclusions plus every earlier representative.
+    fn capture_group_siblings(
+        &mut self,
+        s: &Scratch,
+        l_new: &[u32],
+        r_new: &[u32],
+        broke_at: usize,
+    ) {
+        let mut q_accum: Vec<u32> = s.q_list.iter().map(|q| q.v).collect();
+        q_accum.push(s.groups[broke_at].rep);
+        for j in broke_at + 1..s.groups.len() {
+            let grp = s.groups[j];
+            let key = slice(&s.keyar, grp.key);
+            let mut l_child = Vec::new();
+            util::unrank(l_new, key, &mut l_child);
+            let mut p: Vec<u32> =
+                slice(&s.memar, grp.members).iter().copied().filter(|&w| w != grp.rep).collect();
+            for later in &s.groups[j + 1..] {
+                p.extend_from_slice(slice(&s.memar, later.members));
+            }
+            p.sort_unstable();
+            self.frontier.push(ResumeTask::Node {
+                l: l_child,
+                r_parent: r_new.to_vec(),
+                v: grp.rep,
+                p,
+                q: q_accum.clone(),
+            });
+            q_accum.push(grp.rep);
         }
     }
 }
@@ -438,7 +499,17 @@ impl MbetEngine<'_> {
         r_new.extend_from_slice(&absorbed);
         r_new.sort_unstable();
         crate::invariants::check_node(self.g, l_new, &r_new);
-        sink.emit(l_new, &r_new)?;
+        if let ControlFlow::Break(r) = sink.emit(l_new, &r_new) {
+            // Undelivered emission: re-run the whole node on resume.
+            self.frontier.push(ResumeTask::Node {
+                l: l_new.to_vec(),
+                r_parent: r_parent.to_vec(),
+                v,
+                p: untraversed.to_vec(),
+                q: traversed.to_vec(),
+            });
+            return ControlFlow::Break(r);
+        }
         stats.emitted += 1;
         if p_new.is_empty() {
             return ControlFlow::Continue(());
@@ -453,7 +524,7 @@ impl MbetEngine<'_> {
             let w = p_new[i];
             setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
             let l_child_owned = std::mem::take(&mut l_child);
-            self.expand(
+            if let ControlFlow::Break(r) = self.expand(
                 depth + 1,
                 &l_child_owned,
                 &r_new,
@@ -462,11 +533,41 @@ impl MbetEngine<'_> {
                 &q_now,
                 sink,
                 stats,
-            )?;
+            ) {
+                self.capture_small_siblings(l_new, &r_new, &p_new, i, &q_now);
+                return ControlFlow::Break(r);
+            }
             l_child = l_child_owned;
             q_now.push(w);
         }
         ControlFlow::Continue(())
+    }
+
+    /// Scan-path sibling capture, mirroring the baseline engine's: pushes
+    /// `p_new[broke_at + 1..]` with `q` grown by each earlier branch.
+    fn capture_small_siblings(
+        &mut self,
+        l_parent: &[u32],
+        r_new: &[u32],
+        p_new: &[u32],
+        broke_at: usize,
+        q_now: &[u32],
+    ) {
+        let mut q_accum = q_now.to_vec();
+        q_accum.push(p_new[broke_at]);
+        for k in broke_at + 1..p_new.len() {
+            let w = p_new[k];
+            let mut l_child = Vec::new();
+            setops::intersect_into(l_parent, self.g.nbr_v(w), &mut l_child);
+            self.frontier.push(ResumeTask::Node {
+                l: l_child,
+                r_parent: r_new.to_vec(),
+                v: w,
+                p: p_new[k + 1..].to_vec(),
+                q: q_accum.clone(),
+            });
+            q_accum.push(w);
+        }
     }
 }
 

@@ -25,7 +25,9 @@
 
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
+use crate::checkpoint::ResumeTask;
 use crate::metrics::Stats;
 use crate::run::{ControlState, ControlledSink, MbeError, RunControl, StopReason};
 use crate::sink::{Biclique, BicliqueSink, CollectSink, CountSink};
@@ -34,6 +36,24 @@ use crate::{Algorithm, MbeOptions};
 use bigraph::BipartiteGraph;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use crossbeam::utils::Backoff;
+
+/// What a contained worker panic looked like: which task poisoned the
+/// worker and the (stringified) panic payload.
+pub(crate) struct PanicInfo {
+    pub(crate) task: String,
+    pub(crate) payload: String,
+}
+
+/// Everything a parallel run produces: the per-worker sinks, merged
+/// stats, stop reason, the captured unexplored frontier (internal ids;
+/// empty on completion), and the first contained panic, if any.
+pub(crate) struct ParOutcome<S> {
+    pub(crate) sinks: Vec<S>,
+    pub(crate) stats: Stats,
+    pub(crate) stop: StopReason,
+    pub(crate) frontier: Vec<ResumeTask>,
+    pub(crate) panic: Option<PanicInfo>,
+}
 
 /// A unit of parallel work.
 ///
@@ -82,18 +102,30 @@ impl NodeTask {
 /// Parallel enumeration core used by the [`crate::Enumeration`] builder
 /// terminals and the deprecated shims: runs the configured algorithm over
 /// `g` with `opts.threads` workers (0 = all available cores) under
-/// `control`. `make_sink(worker_index)` builds one sink per worker; the
-/// sinks, the merged stats, and the stop reason are returned.
+/// `control`. When `resume` is `Some`, the pool is seeded from the
+/// checkpointed frontier (internal ids) instead of the root sweep.
+/// `make_sink(worker_index)` builds one sink per worker; the sinks, the
+/// merged stats, the stop reason, any captured frontier, and the first
+/// contained worker panic come back in the [`ParOutcome`].
 ///
 /// Emission *order* is nondeterministic, the emitted *set* is not (and
 /// under an emission budget the emitted *count* is exact — the budget is
 /// a shared atomic token pool).
+///
+/// A panicking task is contained by `catch_unwind`: the worker records
+/// the first panic, rebuilds its engine, and the pool stops and drains as
+/// for any other stop. The panicked task itself is *excluded* from the
+/// captured frontier — it may have already emitted part of its subtree,
+/// and re-running it could emit duplicates — so a post-panic checkpoint
+/// is best-effort, not exhaustive (documented on
+/// [`MbeError::WorkerPanic`]).
 pub(crate) fn par_run<S, F>(
     g: &BipartiteGraph,
     opts: &MbeOptions,
     control: &RunControl,
+    resume: Option<&[ResumeTask]>,
     make_sink: F,
-) -> Result<(Vec<S>, Stats, StopReason), MbeError>
+) -> Result<ParOutcome<S>, MbeError>
 where
     S: BicliqueSink + Send,
     F: Fn(usize) -> S + Sync,
@@ -110,22 +142,46 @@ where
     let injector: Injector<Task> = Injector::new();
     let pending = AtomicU64::new(0);
     let state = ControlState::new(control);
+    let frontier: Mutex<Vec<ResumeTask>> = Mutex::new(Vec::new());
+    let panic_slot: Mutex<Option<PanicInfo>> = Mutex::new(None);
 
-    // Seed with bare root ids (respecting MBET root batching); workers
-    // compute the 2-hop universes themselves so preprocessing scales too.
-    let batch_roots = opts.algorithm == Algorithm::Mbet && opts.mbet.batching;
-    let reps = if batch_roots { Some(root_representatives(&h)) } else { None };
     let mut seed_stats = Stats::default();
-    for v in 0..h.num_v() {
-        if let Some(reps) = &reps {
-            if !reps[v as usize] {
-                seed_stats.batched += 1;
-                continue;
+    match resume {
+        Some(tasks) => {
+            // Resume seeding: replay the checkpointed frontier verbatim
+            // (it was captured after root batching, so no re-filtering).
+            for t in tasks {
+                pending.fetch_add(1, Ordering::SeqCst);
+                injector.push(match t {
+                    ResumeTask::Root(v) => Task::Root(*v),
+                    ResumeTask::Node { l, r_parent, v, p, q } => Task::Node(NodeTask {
+                        l: l.clone(),
+                        r_parent: r_parent.clone(),
+                        v: *v,
+                        p: p.clone(),
+                        q: q.clone(),
+                    }),
+                });
             }
         }
-        if !h.nbr_v(v).is_empty() {
-            pending.fetch_add(1, Ordering::SeqCst);
-            injector.push(Task::Root(v));
+        None => {
+            // Seed with bare root ids (respecting MBET root batching);
+            // workers compute the 2-hop universes themselves so this
+            // heavy part of the preprocessing scales too.
+            let batch_roots = opts.algorithm == Algorithm::Mbet && opts.mbet.batching;
+            let reps = if batch_roots { Some(root_representatives(&h)) } else { None };
+            for v in 0..h.num_v() {
+                if let Some(reps) = &reps {
+                    if !reps[v as usize] {
+                        seed_stats.batched += 1;
+                        continue;
+                    }
+                }
+                if !h.nbr_v(v).is_empty() {
+                    pending.fetch_add(1, Ordering::SeqCst);
+                    injector.push(Task::Root(v));
+                }
+            }
         }
     }
 
@@ -145,6 +201,8 @@ where
             let h = &h;
             let perm = &perm[..];
             let make_sink = &make_sink;
+            let frontier = &frontier;
+            let panic_slot = &panic_slot;
             let spawned = scope
                 .builder()
                 .name(format!("mbe-worker-{wid}"))
@@ -165,6 +223,8 @@ where
                         &mut engine,
                         &mut sink,
                         &mut stats,
+                        frontier,
+                        panic_slot,
                     );
                     *slot = Some((sink, stats));
                 });
@@ -193,6 +253,9 @@ where
         return Err(MbeError::Spawn(msg));
     }
     if panicked {
+        // Per-task panics are contained by catch_unwind; a join failure
+        // means something outside the task loop (sink construction,
+        // engine setup) blew up — no partial report is salvageable.
         return Err(MbeError::WorkerPanicked);
     }
 
@@ -209,9 +272,15 @@ where
     // Every exit path — completion or drain-after-stop — leaves the
     // pending counter at zero; asserted unconditionally.
     crate::invariants::check_drained(pending.load(Ordering::SeqCst));
-    crate::invariants::check_parallel_run(g, opts, &stats, !stop.is_complete());
+    if resume.is_none() {
+        // The parallel-vs-serial recount compares against a full serial
+        // run; it is meaningless for a resumed segment.
+        crate::invariants::check_parallel_run(g, opts, &stats, !stop.is_complete());
+    }
     stats.elapsed = start.elapsed();
-    Ok((sinks, stats, stop))
+    let frontier = frontier.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let panic = panic_slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+    Ok(ParOutcome { sinks, stats, stop, frontier, panic })
 }
 
 /// Pops the next task: local deque first, then the injector, then peers.
@@ -231,20 +300,27 @@ fn next_task(
     })
 }
 
-/// Post-stop cleanup: pop and discard queued tasks (decrementing the
-/// pending counter) until the pool is empty. Peers still finishing a task
-/// may push split children meanwhile; they are drained too, and the loop
-/// terminates because in-flight tasks are finite and no new work is
-/// started once every worker observes the stop.
+/// Post-stop cleanup: pop queued tasks into the shared `frontier`
+/// (decrementing the pending counter) until the pool is empty — what used
+/// to be discarded is now exactly the checkpointable remainder. Peers
+/// still finishing a task may push split children meanwhile; they are
+/// drained too, and the loop terminates because in-flight tasks are
+/// finite and no new work is started once every worker observes the stop.
 fn drain_after_stop(
     local: &Worker<Task>,
     injector: &Injector<Task>,
     stealers: &[Stealer<Task>],
     pending: &AtomicU64,
+    frontier: &Mutex<Vec<ResumeTask>>,
 ) {
     let backoff = Backoff::new();
     loop {
-        while next_task(local, injector, stealers).is_some() {
+        while let Some(task) = next_task(local, injector, stealers) {
+            let captured = match task {
+                Task::Root(v) => ResumeTask::Root(v),
+                Task::Node(t) => resume_task_of(&t),
+            };
+            frontier.lock().unwrap_or_else(PoisonError::into_inner).push(captured);
             pending.fetch_sub(1, Ordering::SeqCst);
             backoff.reset();
         }
@@ -255,9 +331,37 @@ fn drain_after_stop(
     }
 }
 
+/// The resume representation of a queued node task.
+fn resume_task_of(t: &NodeTask) -> ResumeTask {
+    ResumeTask::Node {
+        l: t.l.clone(),
+        r_parent: t.r_parent.clone(),
+        v: t.v,
+        p: t.p.clone(),
+        q: t.q.clone(),
+    }
+}
+
+/// Renders the panic payload `catch_unwind` handed back. Panic messages
+/// are almost always `&str` or `String`; anything else is opaque.
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A short human-readable description of a task, built only on panic.
+fn describe_task(t: &NodeTask) -> String {
+    format!("node task v={} |L|={} |P|={} |Q|={}", t.v, t.l.len(), t.p.len(), t.q.len())
+}
+
 #[allow(clippy::too_many_arguments)]
-fn worker_loop<S: BicliqueSink>(
-    h: &BipartiteGraph,
+fn worker_loop<'g, S: BicliqueSink>(
+    h: &'g BipartiteGraph,
     perm: &[u32],
     opts: &MbeOptions,
     local: &Worker<Task>,
@@ -265,9 +369,11 @@ fn worker_loop<S: BicliqueSink>(
     stealers: &[Stealer<Task>],
     pending: &AtomicU64,
     state: &ControlState<'_>,
-    engine: &mut AnyEngine<'_>,
+    engine: &mut AnyEngine<'g>,
     sink: &mut S,
     stats: &mut Stats,
+    frontier: &Mutex<Vec<ResumeTask>>,
+    panic_slot: &Mutex<Option<PanicInfo>>,
 ) {
     let mut split_buf: Vec<NodeTask> = Vec::new();
     let mut builder = TaskBuilder::new(h);
@@ -276,7 +382,7 @@ fn worker_loop<S: BicliqueSink>(
     state.check_idle();
     loop {
         if state.stopped().is_some() {
-            drain_after_stop(local, injector, stealers, pending);
+            drain_after_stop(local, injector, stealers, pending, frontier);
             return;
         }
         let Some(task) = next_task(local, injector, stealers) else {
@@ -304,31 +410,73 @@ fn worker_loop<S: BicliqueSink>(
             Some(task) => {
                 stats.tasks += 1;
                 let nodes_before = stats.nodes;
-                let mut mapped = crate::sink::map_right(sink, perm);
-                let mut controlled = ControlledSink::new(state, &mut mapped);
-                let flow = if task.should_split(opts) {
-                    split_buf.clear();
-                    let f = split_node(h, &task, &mut controlled, stats, &mut split_buf);
-                    pending.fetch_add(split_buf.len() as u64, Ordering::SeqCst);
-                    for child in split_buf.drain(..) {
-                        injector.push(Task::Node(child));
+                let was_split = task.should_split(opts);
+                // Contain per-task panics: a poisoned task must not take
+                // the whole pool down. The captured borrows (&mut sink,
+                // stats, engine, split_buf) end when the closure returns;
+                // the panic arm below rebuilds the engine (its recursion
+                // scratch may hold mid-unwind garbage) and clears the
+                // split buffer, so nothing poisoned survives the task.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut mapped = crate::sink::map_right(sink, perm);
+                    let mut controlled = ControlledSink::new(state, &mut mapped);
+                    if was_split {
+                        split_buf.clear();
+                        split_node(h, &task, &mut controlled, stats, &mut split_buf)
+                    } else {
+                        engine.run_node(
+                            &task.l,
+                            &task.r_parent,
+                            task.v,
+                            &task.p,
+                            &task.q,
+                            &mut controlled,
+                            stats,
+                        )
                     }
-                    f
-                } else {
-                    engine.run_node(
-                        &task.l,
-                        &task.r_parent,
-                        task.v,
-                        &task.p,
-                        &task.q,
-                        &mut controlled,
-                        stats,
-                    )
-                };
-                match flow {
-                    // Task-boundary accounting feeds the node budget.
-                    ControlFlow::Continue(()) => state.note_task(stats.nodes - nodes_before),
-                    brk => brk,
+                }));
+                match result {
+                    Ok(ControlFlow::Continue(())) => {
+                        if was_split {
+                            pending.fetch_add(split_buf.len() as u64, Ordering::SeqCst);
+                            for child in split_buf.drain(..) {
+                                injector.push(Task::Node(child));
+                            }
+                        }
+                        // Task-boundary accounting feeds the node budget.
+                        state.note_task(stats.nodes - nodes_before)
+                    }
+                    Ok(ControlFlow::Break(r)) => {
+                        let mut fr = frontier.lock().unwrap_or_else(PoisonError::into_inner);
+                        if was_split {
+                            // split_node's only break is its single emit,
+                            // which happens before any child is built: the
+                            // emission was undelivered, so the whole task
+                            // re-runs on resume.
+                            split_buf.clear();
+                            fr.push(resume_task_of(&task));
+                        } else {
+                            fr.extend(engine.take_frontier());
+                        }
+                        drop(fr);
+                        ControlFlow::Break(r)
+                    }
+                    Err(payload) => {
+                        let mut slot = panic_slot.lock().unwrap_or_else(PoisonError::into_inner);
+                        if slot.is_none() {
+                            *slot = Some(PanicInfo {
+                                task: describe_task(&task),
+                                payload: panic_payload(payload.as_ref()),
+                            });
+                        }
+                        drop(slot);
+                        // The panicked task is NOT captured: it may have
+                        // partially emitted, and re-running it would risk
+                        // duplicates. Rebuild the engine before reuse.
+                        *engine = AnyEngine::new(h, opts);
+                        split_buf.clear();
+                        ControlFlow::Break(StopReason::WorkerPanicked)
+                    }
                 }
             }
         };
@@ -405,7 +553,10 @@ fn split_node(
 /// per worker; the sinks and the merged stats are returned.
 ///
 /// Emission *order* is nondeterministic, the emitted *set* is not.
-#[deprecated(note = "use Enumeration::new(g).options(opts).run_per_worker(make_sink)")]
+#[deprecated(
+    note = "use Enumeration::new(g).options(opts).run_per_worker(make_sink), which returns \
+            typed MbeError values instead of panicking; see the migration table in DESIGN.md §4"
+)]
 pub fn par_enumerate_with<S, F>(
     g: &BipartiteGraph,
     opts: &MbeOptions,
@@ -416,39 +567,85 @@ where
     S: BicliqueSink + Send,
     F: Fn(usize) -> S + Sync,
 {
-    match par_run(g, opts, &RunControl::new(), make_sink) {
-        Ok((sinks, stats, _stop)) => (sinks, stats),
-        // Preserves the old API's panic-on-failure behavior; the new
-        // builder returns these as errors. xtask-allow: panic
-        Err(e) => panic!("parallel enumeration failed: {e}"),
+    match par_run(g, opts, &RunControl::new(), None, make_sink) {
+        Ok(out) => {
+            if let Some(p) = out.panic {
+                // The builder returns this as MbeError::WorkerPanic with a
+                // partial report; this legacy entry point can only
+                // re-panic. xtask-allow: panic
+                panic!(
+                    "parallel enumeration failed: worker panicked in {}: {} \
+                     (the Enumeration builder returns this as MbeError::WorkerPanic \
+                     with a partial report — see the migration table in DESIGN.md §4)",
+                    p.task, p.payload
+                );
+            }
+            (out.sinks, out.stats)
+        }
+        // The builder returns these as typed MbeError values; this legacy
+        // entry point can only panic. xtask-allow: panic
+        Err(e) => panic!(
+            "parallel enumeration failed: {e} (a typed mbe::MbeError; migrate to \
+             mbe::Enumeration::run_per_worker — see the migration table in DESIGN.md §4)"
+        ),
     }
 }
 
 /// Parallel collection of all maximal bicliques (unsorted).
-#[deprecated(note = "use Enumeration::new(g).options(opts).collect()")]
+#[deprecated(
+    note = "use Enumeration::new(g).options(opts).collect(), which returns typed MbeError \
+            values instead of panicking; see the migration table in DESIGN.md §4"
+)]
 // xtask-allow: tuple-return
 pub fn par_collect_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (Vec<Biclique>, Stats) {
-    match par_run(g, opts, &RunControl::new(), |_| CollectSink::new()) {
-        Ok((sinks, stats, _stop)) => {
+    match par_run(g, opts, &RunControl::new(), None, |_| CollectSink::new()) {
+        Ok(out) => {
+            if let Some(p) = out.panic {
+                // xtask-allow: panic
+                panic!(
+                    "parallel enumeration failed: worker panicked in {}: {} \
+                     (the Enumeration builder returns this as MbeError::WorkerPanic \
+                     with a partial report — see the migration table in DESIGN.md §4)",
+                    p.task, p.payload
+                );
+            }
             let mut all = Vec::new();
-            for s in sinks {
+            for s in out.sinks {
                 all.extend(s.into_vec());
             }
-            (all, stats)
+            (all, out.stats)
         }
-        // Preserves the old API's panic-on-failure behavior. xtask-allow: panic
-        Err(e) => panic!("parallel enumeration failed: {e}"),
+        // The builder returns these as typed MbeError values. xtask-allow: panic
+        Err(e) => panic!(
+            "parallel enumeration failed: {e} (a typed mbe::MbeError; migrate to \
+             mbe::Enumeration::collect — see the migration table in DESIGN.md §4)"
+        ),
     }
 }
 
 /// Parallel count of maximal bicliques.
-#[deprecated(note = "use Enumeration::new(g).options(opts).count()")]
+#[deprecated(note = "use Enumeration::new(g).options(opts).count(), which returns typed MbeError \
+            values instead of panicking; see the migration table in DESIGN.md §4")]
 // xtask-allow: tuple-return
 pub fn par_count_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (u64, Stats) {
-    match par_run(g, opts, &RunControl::new(), |_| CountSink::default()) {
-        Ok((sinks, stats, _stop)) => (sinks.iter().map(|s| s.count()).sum(), stats),
-        // Preserves the old API's panic-on-failure behavior. xtask-allow: panic
-        Err(e) => panic!("parallel enumeration failed: {e}"),
+    match par_run(g, opts, &RunControl::new(), None, |_| CountSink::default()) {
+        Ok(out) => {
+            if let Some(p) = out.panic {
+                // xtask-allow: panic
+                panic!(
+                    "parallel enumeration failed: worker panicked in {}: {} \
+                     (the Enumeration builder returns this as MbeError::WorkerPanic \
+                     with a partial report — see the migration table in DESIGN.md §4)",
+                    p.task, p.payload
+                );
+            }
+            (out.sinks.iter().map(|s| s.count()).sum(), out.stats)
+        }
+        // The builder returns these as typed MbeError values. xtask-allow: panic
+        Err(e) => panic!(
+            "parallel enumeration failed: {e} (a typed mbe::MbeError; migrate to \
+             mbe::Enumeration::count — see the migration table in DESIGN.md §4)"
+        ),
     }
 }
 

@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 use bigraph::order::VertexOrder;
 use bigraph::BipartiteGraph;
 
+use crate::checkpoint::{graph_fingerprint, Checkpoint, CheckpointError, ResumeTask};
 use crate::filtered::SizeThresholds;
 use crate::metrics::Stats;
 use crate::sink::{Biclique, BicliqueSink, CollectSink, CountSink};
@@ -55,6 +56,11 @@ pub enum StopReason {
     NodeBudget,
     /// A user sink returned `ControlFlow::Break` from `emit`.
     SinkStopped,
+    /// A parallel worker panicked mid-task; the panicking task's subtree
+    /// is *not* in the checkpoint (it may have partially emitted), so a
+    /// resume cannot guarantee completeness — the panic surfaces as
+    /// [`MbeError::WorkerPanic`] carrying the partial [`Report`].
+    WorkerPanicked,
 }
 
 impl StopReason {
@@ -72,10 +78,11 @@ impl StopReason {
             StopReason::EmitBudget => "emit-budget",
             StopReason::NodeBudget => "node-budget",
             StopReason::SinkStopped => "sink-stopped",
+            StopReason::WorkerPanicked => "worker-panic",
         }
     }
 
-    fn encode(self) -> u8 {
+    pub(crate) fn encode(self) -> u8 {
         match self {
             StopReason::Completed => 1,
             StopReason::Cancelled => 2,
@@ -83,10 +90,11 @@ impl StopReason {
             StopReason::EmitBudget => 4,
             StopReason::NodeBudget => 5,
             StopReason::SinkStopped => 6,
+            StopReason::WorkerPanicked => 7,
         }
     }
 
-    fn decode(word: u8) -> Option<StopReason> {
+    pub(crate) fn decode(word: u8) -> Option<StopReason> {
         match word {
             1 => Some(StopReason::Completed),
             2 => Some(StopReason::Cancelled),
@@ -94,6 +102,7 @@ impl StopReason {
             4 => Some(StopReason::EmitBudget),
             5 => Some(StopReason::NodeBudget),
             6 => Some(StopReason::SinkStopped),
+            7 => Some(StopReason::WorkerPanicked),
             _ => None,
         }
     }
@@ -321,8 +330,26 @@ pub enum MbeError {
     InvalidConfig(&'static str),
     /// The parallel driver failed to spawn a worker thread.
     Spawn(String),
-    /// A worker thread panicked; results would be incomplete.
+    /// A worker thread panicked and its state could not be recovered
+    /// (join failure outside the per-task containment); results would be
+    /// incomplete.
     WorkerPanicked,
+    /// A worker panicked *inside a task*; the panic was contained and
+    /// the run drained cleanly. `report` is a valid partial report (its
+    /// `stop` is [`StopReason::WorkerPanicked`]) whose checkpoint covers
+    /// every task *except* the one that panicked — `task` names it.
+    WorkerPanic {
+        /// Short description of the task that panicked (internal ids).
+        task: String,
+        /// The panic payload, when it was a string.
+        payload: String,
+        /// The partial report: everything emitted before the panic plus
+        /// the checkpoint of the surviving frontier.
+        report: Box<Report>,
+    },
+    /// A checkpoint could not be read, validated, or matched to the
+    /// graph being resumed.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for MbeError {
@@ -331,14 +358,27 @@ impl fmt::Display for MbeError {
             MbeError::InvalidConfig(msg) => write!(f, "invalid enumeration config: {msg}"),
             MbeError::Spawn(e) => write!(f, "failed to spawn worker thread: {e}"),
             MbeError::WorkerPanicked => f.write_str("a worker thread panicked"),
+            MbeError::WorkerPanic { task, payload, report } => write!(
+                f,
+                "worker panicked in {task}: {payload} \
+                 (partial report: {} bicliques emitted before the panic)",
+                report.stats.emitted
+            ),
+            MbeError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }
 
 impl std::error::Error for MbeError {}
 
+impl From<CheckpointError> for MbeError {
+    fn from(e: CheckpointError) -> Self {
+        MbeError::Checkpoint(e)
+    }
+}
+
 /// The outcome of an enumeration run: results, stats, and why it ended.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
     /// Collected bicliques (empty for counting terminals).
     pub bicliques: Vec<Biclique>,
@@ -348,6 +388,14 @@ pub struct Report {
     pub stats: Stats,
     /// Why the run ended.
     pub stop: StopReason,
+    /// The resumable frontier of a stopped run: `Some` whenever `stop`
+    /// is not [`StopReason::Completed`] (except for size-thresholded
+    /// runs, which are not checkpointable). Feed it back through
+    /// [`Enumeration::resume`] — or serialize it with
+    /// [`Checkpoint::to_bytes`] / [`Checkpoint::save`] — to continue the
+    /// run later: the resumed output and this run's output are disjoint
+    /// and together equal the complete run's output.
+    pub checkpoint: Option<Checkpoint>,
 }
 
 impl Report {
@@ -393,12 +441,23 @@ pub struct Enumeration<'g> {
     opts: MbeOptions,
     control: RunControl,
     thresholds: Option<SizeThresholds>,
+    resume: Option<Checkpoint>,
+    #[cfg(feature = "fault-injection")]
+    faults: Option<crate::faults::FaultPlan>,
 }
 
 impl<'g> Enumeration<'g> {
     /// A run over `g` with default options (MBET, serial) and no limits.
     pub fn new(g: &'g BipartiteGraph) -> Self {
-        Enumeration { g, opts: MbeOptions::default(), control: RunControl::new(), thresholds: None }
+        Enumeration {
+            g,
+            opts: MbeOptions::default(),
+            control: RunControl::new(),
+            thresholds: None,
+            resume: None,
+            #[cfg(feature = "fault-injection")]
+            faults: None,
+        }
     }
 
     /// Replaces the whole option set.
@@ -471,6 +530,37 @@ impl<'g> Enumeration<'g> {
         self.control.clone()
     }
 
+    /// Continues a previously stopped run from its checkpoint instead of
+    /// starting from the root.
+    ///
+    /// The checkpoint pins the result-affecting options — algorithm,
+    /// vertex order, and MBET toggles are copied from it, and mutating
+    /// them afterwards is rejected at the terminal. Thread count and
+    /// splitting thresholds remain free: they redistribute work without
+    /// changing the emitted set. The terminal validates that the graph's
+    /// fingerprint matches the checkpoint
+    /// ([`MbeError::Checkpoint`] otherwise).
+    ///
+    /// Guarantee: the resumed run's emissions are disjoint from the
+    /// stopped run's, and (when the resumed run itself completes) their
+    /// union is exactly the complete run's output.
+    pub fn resume(mut self, ckpt: Checkpoint) -> Self {
+        self.opts.algorithm = ckpt.algorithm;
+        self.opts.order = ckpt.order;
+        self.opts.mbet = ckpt.mbet;
+        self.resume = Some(ckpt);
+        self
+    }
+
+    /// Injects deterministic faults (scripted sink errors / panics) into
+    /// this run — test-only machinery behind the `fault-injection`
+    /// feature; see [`crate::faults`].
+    #[cfg(feature = "fault-injection")]
+    pub fn faults(mut self, plan: crate::faults::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     fn validate(&self) -> Result<(), MbeError> {
         if self.thresholds.is_some() && self.opts.threads != 1 {
             return Err(MbeError::InvalidConfig(
@@ -480,35 +570,131 @@ impl<'g> Enumeration<'g> {
         Ok(())
     }
 
+    /// Resume-specific validation, run by every terminal that honors
+    /// checkpoints: thresholded runs cannot resume, the pinned options
+    /// must not have been mutated after [`Enumeration::resume`], and the
+    /// graph must fingerprint-match the checkpoint.
+    fn validate_resume(&self) -> Result<(), MbeError> {
+        let Some(ckpt) = &self.resume else {
+            return Ok(());
+        };
+        if self.thresholds.is_some() {
+            return Err(MbeError::InvalidConfig(
+                "size-thresholded runs are not checkpointable and cannot be resumed",
+            ));
+        }
+        if self.opts.algorithm != ckpt.algorithm
+            || self.opts.order != ckpt.order
+            || self.opts.mbet != ckpt.mbet
+        {
+            return Err(MbeError::InvalidConfig(
+                "resume pins the checkpoint's algorithm, order, and mbet toggles; \
+                 only threads and splitting may change",
+            ));
+        }
+        ckpt.matches(self.g)?;
+        Ok(())
+    }
+
+    /// Builds the `Report::checkpoint` for a finished segment: `None`
+    /// when the run completed, otherwise the captured frontier plus a
+    /// cumulative emitted count (checkpoints chain across resumes).
+    fn make_checkpoint(
+        &self,
+        stop: StopReason,
+        emitted_now: u64,
+        frontier: Vec<ResumeTask>,
+    ) -> Option<Checkpoint> {
+        if stop.is_complete() {
+            return None;
+        }
+        Some(Checkpoint {
+            fingerprint: self
+                .resume
+                .as_ref()
+                .map_or_else(|| graph_fingerprint(self.g), |c| c.fingerprint),
+            algorithm: self.opts.algorithm,
+            order: self.opts.order,
+            mbet: self.opts.mbet,
+            emitted: self.resume.as_ref().map_or(0, |c| c.emitted) + emitted_now,
+            stop,
+            frontier,
+        })
+    }
+
     /// Runs and collects every emitted biclique into the report.
     pub fn collect(self) -> Result<Report, MbeError> {
         self.validate()?;
-        let report = if let Some(thr) = self.thresholds {
+        self.validate_resume()?;
+        if let Some(thr) = self.thresholds {
             let mut sink = CollectSink::new();
             let (stats, stop) =
                 crate::filtered::run_filtered(self.g, thr, &self.control, &mut sink);
-            Report { bicliques: sink.into_vec(), stats, stop }
-        } else if self.opts.threads == 1 {
-            let mut sink = CollectSink::new();
-            let (stats, stop) = run_serial(self.g, &self.opts, &self.control, &mut sink);
-            Report { bicliques: sink.into_vec(), stats, stop }
+            let report = Report { bicliques: sink.into_vec(), stats, stop, checkpoint: None };
+            crate::invariants::check_stopped_collect(
+                self.g,
+                &self.opts,
+                Some(thr),
+                &report.bicliques,
+                report.stop,
+                None,
+            );
+            return Ok(report);
+        }
+        let resume_tasks = self.resume.as_ref().map(|c| c.frontier.as_slice());
+        let (bicliques, out, panic) = if self.opts.threads == 1 {
+            let sink = CollectSink::new();
+            #[cfg(feature = "fault-injection")]
+            let sink = crate::faults::FaultySink::new(self.faults.clone(), sink);
+            let mut sink = sink;
+            let out =
+                run_serial_resumable(self.g, &self.opts, &self.control, &mut sink, resume_tasks);
+            #[cfg(feature = "fault-injection")]
+            let sink = sink.into_inner();
+            (sink.into_vec(), out, None)
         } else {
-            let (sinks, stats, stop) =
-                crate::parallel::par_run(self.g, &self.opts, &self.control, |_| {
-                    CollectSink::new()
+            let par =
+                crate::parallel::par_run(self.g, &self.opts, &self.control, resume_tasks, |_| {
+                    #[cfg(feature = "fault-injection")]
+                    {
+                        crate::faults::FaultySink::new(self.faults.clone(), CollectSink::new())
+                    }
+                    #[cfg(not(feature = "fault-injection"))]
+                    {
+                        CollectSink::new()
+                    }
                 })?;
             let mut bicliques = Vec::new();
-            for s in sinks {
+            for s in par.sinks {
+                #[cfg(feature = "fault-injection")]
+                let s = s.into_inner();
                 bicliques.extend(s.into_vec());
             }
-            Report { bicliques, stats, stop }
+            (
+                bicliques,
+                RunOutcome { stats: par.stats, stop: par.stop, frontier: par.frontier },
+                par.panic,
+            )
         };
+        let checkpoint = self.make_checkpoint(out.stop, out.stats.emitted, out.frontier);
+        let report = Report { bicliques, stats: out.stats, stop: out.stop, checkpoint };
+        if let Some(p) = panic {
+            return Err(MbeError::WorkerPanic {
+                task: p.task,
+                payload: p.payload,
+                report: Box::new(report),
+            });
+        }
         crate::invariants::check_stopped_collect(
             self.g,
             &self.opts,
-            self.thresholds,
+            None,
             &report.bicliques,
             report.stop,
+            // The emitted ∪ resumed = complete equality only makes sense
+            // for a first segment; a resumed segment is missing whatever
+            // earlier segments emitted.
+            if self.resume.is_none() { report.checkpoint.as_ref() } else { None },
         );
         Ok(report)
     }
@@ -517,20 +703,36 @@ impl<'g> Enumeration<'g> {
     /// ([`Report::bicliques`] stays empty; use [`Report::count`]).
     pub fn count(self) -> Result<Report, MbeError> {
         self.validate()?;
+        self.validate_resume()?;
         if let Some(thr) = self.thresholds {
             let mut sink = CountSink::default();
             let (stats, stop) =
                 crate::filtered::run_filtered(self.g, thr, &self.control, &mut sink);
-            return Ok(Report { bicliques: Vec::new(), stats, stop });
+            return Ok(Report { bicliques: Vec::new(), stats, stop, checkpoint: None });
         }
-        if self.opts.threads == 1 {
+        let resume_tasks = self.resume.as_ref().map(|c| c.frontier.as_slice());
+        let (out, panic) = if self.opts.threads == 1 {
             let mut sink = CountSink::default();
-            let (stats, stop) = run_serial(self.g, &self.opts, &self.control, &mut sink);
-            return Ok(Report { bicliques: Vec::new(), stats, stop });
+            let out =
+                run_serial_resumable(self.g, &self.opts, &self.control, &mut sink, resume_tasks);
+            (out, None)
+        } else {
+            let par =
+                crate::parallel::par_run(self.g, &self.opts, &self.control, resume_tasks, |_| {
+                    CountSink::default()
+                })?;
+            (RunOutcome { stats: par.stats, stop: par.stop, frontier: par.frontier }, par.panic)
+        };
+        let checkpoint = self.make_checkpoint(out.stop, out.stats.emitted, out.frontier);
+        let report = Report { bicliques: Vec::new(), stats: out.stats, stop: out.stop, checkpoint };
+        if let Some(p) = panic {
+            return Err(MbeError::WorkerPanic {
+                task: p.task,
+                payload: p.payload,
+                report: Box::new(report),
+            });
         }
-        let (_sinks, stats, stop) =
-            crate::parallel::par_run(self.g, &self.opts, &self.control, |_| CountSink::default())?;
-        Ok(Report { bicliques: Vec::new(), stats, stop })
+        Ok(report)
     }
 
     /// Streams every emission into `sink` on the serial driver
@@ -539,18 +741,25 @@ impl<'g> Enumeration<'g> {
     /// that). The report's `bicliques` stay empty; the sink holds the
     /// results.
     pub fn run<S: BicliqueSink>(self, sink: &mut S) -> Result<Report, MbeError> {
+        self.validate_resume()?;
         if let Some(thr) = self.thresholds {
             let (stats, stop) = crate::filtered::run_filtered(self.g, thr, &self.control, sink);
-            return Ok(Report { bicliques: Vec::new(), stats, stop });
+            return Ok(Report { bicliques: Vec::new(), stats, stop, checkpoint: None });
         }
-        let (stats, stop) = run_serial(self.g, &self.opts, &self.control, sink);
-        Ok(Report { bicliques: Vec::new(), stats, stop })
+        let resume_tasks = self.resume.as_ref().map(|c| c.frontier.as_slice());
+        let out = run_serial_resumable(self.g, &self.opts, &self.control, sink, resume_tasks);
+        let checkpoint = self.make_checkpoint(out.stop, out.stats.emitted, out.frontier);
+        Ok(Report { bicliques: Vec::new(), stats: out.stats, stop: out.stop, checkpoint })
     }
 
     /// Runs on the parallel driver with one sink per worker (built by
     /// `make_sink(worker_index)`), returning the sinks alongside the
     /// report. Respects `threads` (`0` = all cores); `threads == 1` still
     /// spawns a single worker so per-worker sinks behave uniformly.
+    ///
+    /// A contained worker panic returns [`MbeError::WorkerPanic`]; the
+    /// per-worker sinks are dropped in that case (the error's report
+    /// still carries the stats and the checkpoint).
     pub fn run_per_worker<S, F>(self, make_sink: F) -> Result<(Vec<S>, Report), MbeError>
     where
         S: BicliqueSink + Send,
@@ -561,34 +770,76 @@ impl<'g> Enumeration<'g> {
                 "size-thresholded enumeration runs on the serial driver; use .run()",
             ));
         }
-        let (sinks, stats, stop) =
-            crate::parallel::par_run(self.g, &self.opts, &self.control, make_sink)?;
-        Ok((sinks, Report { bicliques: Vec::new(), stats, stop }))
+        self.validate_resume()?;
+        let resume_tasks = self.resume.as_ref().map(|c| c.frontier.as_slice());
+        let par =
+            crate::parallel::par_run(self.g, &self.opts, &self.control, resume_tasks, make_sink)?;
+        let checkpoint = self.make_checkpoint(par.stop, par.stats.emitted, par.frontier);
+        let report = Report { bicliques: Vec::new(), stats: par.stats, stop: par.stop, checkpoint };
+        if let Some(p) = par.panic {
+            return Err(MbeError::WorkerPanic {
+                task: p.task,
+                payload: p.payload,
+                report: Box::new(report),
+            });
+        }
+        Ok((par.sinks, report))
     }
 }
 
+/// What a serial segment produced: the stats, the stop reason, and — for
+/// stopped segments — the captured unexplored frontier (internal ids).
+pub(crate) struct RunOutcome {
+    pub(crate) stats: Stats,
+    pub(crate) stop: StopReason,
+    pub(crate) frontier: Vec<ResumeTask>,
+}
+
 /// Serial enumeration core shared by the builder terminals and the
-/// deprecated shims: applies the vertex order, runs every root task under
-/// `control`, and returns the stats plus the stop reason.
+/// deprecated shims: applies the vertex order, then either runs every
+/// root task (`resume == None`) or replays a checkpointed frontier
+/// (`resume == Some`), under `control`. A stopped run's unexplored
+/// frontier comes back in the outcome.
+pub(crate) fn run_serial_resumable<S: BicliqueSink>(
+    g: &BipartiteGraph,
+    opts: &MbeOptions,
+    control: &RunControl,
+    sink: &mut S,
+    resume: Option<&[ResumeTask]>,
+) -> RunOutcome {
+    let (h, perm) = bigraph::order::apply(g, opts.order);
+    let mut stats = Stats::default();
+    let mut frontier = Vec::new();
+    let start = Instant::now();
+    let stop = {
+        let mut mapped = crate::sink::MapRight::new(sink, &perm);
+        let mut driver = crate::task::SerialDriver::new(&h, opts);
+        match resume {
+            Some(tasks) => {
+                driver.run_frontier(tasks, &mut mapped, &mut stats, control, &mut frontier)
+            }
+            None => driver.run_all_capturing(&mut mapped, &mut stats, control, &mut frontier),
+        }
+    };
+    if stop.is_complete() {
+        // Holds for resumed segments too: every frontier task's subtree
+        // ran to completion, and the identity composes over subtrees.
+        crate::invariants::check_counter_identity(&stats);
+    }
+    stats.elapsed = start.elapsed();
+    RunOutcome { stats, stop, frontier }
+}
+
+/// Serial enumeration core of the deprecated shims: like
+/// [`run_serial_resumable`] with no resume, discarding the frontier.
 pub(crate) fn run_serial<S: BicliqueSink>(
     g: &BipartiteGraph,
     opts: &MbeOptions,
     control: &RunControl,
     sink: &mut S,
 ) -> (Stats, StopReason) {
-    let (h, perm) = bigraph::order::apply(g, opts.order);
-    let mut stats = Stats::default();
-    let start = Instant::now();
-    let stop = {
-        let mut mapped = crate::sink::MapRight::new(sink, &perm);
-        let mut driver = crate::task::SerialDriver::new(&h, opts);
-        driver.run_all(&mut mapped, &mut stats, control)
-    };
-    if stop.is_complete() {
-        crate::invariants::check_counter_identity(&stats);
-    }
-    stats.elapsed = start.elapsed();
-    (stats, stop)
+    let out = run_serial_resumable(g, opts, control, sink, None);
+    (out.stats, out.stop)
 }
 
 #[cfg(test)]
@@ -609,6 +860,7 @@ mod tests {
             StopReason::EmitBudget,
             StopReason::NodeBudget,
             StopReason::SinkStopped,
+            StopReason::WorkerPanicked,
         ];
         let labels: std::collections::HashSet<_> = all.iter().map(|r| r.label()).collect();
         assert_eq!(labels.len(), all.len());
@@ -725,5 +977,69 @@ mod tests {
         assert!(e.to_string().contains("nope"));
         assert!(MbeError::Spawn("io".into()).to_string().contains("io"));
         let _ = MbeError::WorkerPanicked.to_string();
+        let wp = MbeError::WorkerPanic {
+            task: "node task v=3".into(),
+            payload: "boom".into(),
+            report: Box::new(Report::default()),
+        };
+        assert!(wp.to_string().contains("node task v=3"));
+        assert!(wp.to_string().contains("boom"));
+        let ce = MbeError::from(CheckpointError::BadMagic);
+        assert!(ce.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn resume_rejects_mutated_options_and_foreign_graph() {
+        let g = block_graph();
+        let report = Enumeration::new(&g).max_bicliques(1).collect().unwrap();
+        let ckpt = report.checkpoint.expect("stopped run must carry a checkpoint");
+
+        // Mutating a pinned option after resume() is rejected.
+        let err = Enumeration::new(&g)
+            .resume(ckpt.clone())
+            .algorithm(Algorithm::Mbea)
+            .collect()
+            .unwrap_err();
+        assert!(matches!(err, MbeError::InvalidConfig(_)));
+
+        // Resuming against a different graph is rejected.
+        let other = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 1), (2, 2)]).unwrap();
+        let err = Enumeration::new(&other).resume(ckpt.clone()).collect().unwrap_err();
+        assert!(matches!(err, MbeError::Checkpoint(CheckpointError::GraphMismatch { .. })));
+
+        // Thresholds and resume don't mix.
+        let err = Enumeration::new(&g)
+            .resume(ckpt)
+            .thresholds(SizeThresholds::new(1, 1))
+            .collect()
+            .unwrap_err();
+        assert!(matches!(err, MbeError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn stopped_then_resumed_equals_complete_serial() {
+        let g = block_graph();
+        let complete = Enumeration::new(&g).collect().unwrap();
+        let stopped = Enumeration::new(&g).max_bicliques(1).collect().unwrap();
+        let ckpt = stopped.checkpoint.clone().expect("checkpoint");
+        assert_eq!(ckpt.emitted, stopped.bicliques.len() as u64);
+        let resumed = Enumeration::new(&g).resume(ckpt).collect().unwrap();
+        assert!(resumed.is_complete());
+        assert!(resumed.checkpoint.is_none());
+        let mut union: Vec<_> =
+            stopped.bicliques.iter().chain(resumed.bicliques.iter()).cloned().collect();
+        union.sort();
+        union.dedup();
+        assert_eq!(union.len(), stopped.bicliques.len() + resumed.bicliques.len());
+        let mut want = complete.bicliques;
+        want.sort();
+        assert_eq!(union, want);
+    }
+
+    #[test]
+    fn completed_run_has_no_checkpoint() {
+        let g = block_graph();
+        let report = Enumeration::new(&g).collect().unwrap();
+        assert!(report.checkpoint.is_none());
     }
 }

@@ -69,9 +69,17 @@ impl Biclique {
 ///   them. User sinks should break with [`StopReason::SinkStopped`] (the
 ///   [`STOP`] constant); [`TrieSink::with_node_limit`] breaks with
 ///   [`StopReason::NodeBudget`].
+/// - **Break verdicts are undelivered.** An emission whose `emit` call
+///   returned `Break` is treated as *not delivered*: it is excluded from
+///   `Stats::emitted`, and the enumeration node that produced it is
+///   captured in the run's [`Checkpoint`], so a resumed run re-delivers
+///   exactly that biclique (and everything after it) exactly once. A
+///   sink that does real work on a `Break`-returning call must make that
+///   work idempotent.
 /// - **Borrowed slices.** The slices are only valid for the duration of
 ///   the call; copy what you keep.
 ///
+/// [`Checkpoint`]: crate::Checkpoint
 /// [`VertexOrder`]: bigraph::order::VertexOrder
 pub trait BicliqueSink {
     /// Called once per maximal biclique. Both slices are sorted

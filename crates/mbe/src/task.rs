@@ -15,6 +15,7 @@
 use std::ops::ControlFlow;
 
 use crate::baseline::BaselineEngine;
+use crate::checkpoint::ResumeTask;
 use crate::mbet::MbetEngine;
 use crate::metrics::Stats;
 use crate::run::{ControlState, ControlledSink, RunControl, StopReason};
@@ -135,19 +136,37 @@ impl<'g> SerialDriver<'g> {
         stats: &mut Stats,
         control: &RunControl,
     ) -> StopReason {
+        let mut frontier = Vec::new();
+        self.run_all_capturing(sink, stats, control, &mut frontier)
+    }
+
+    /// [`run_all`](SerialDriver::run_all), additionally capturing the
+    /// unexplored frontier into `frontier` when the run stops early: the
+    /// in-flight engine's untraversed subtrees plus every not-yet-started
+    /// root task, in internal (ordered) ids. Empty on a completed run.
+    pub(crate) fn run_all_capturing<S: BicliqueSink>(
+        &mut self,
+        sink: &mut S,
+        stats: &mut Stats,
+        control: &RunControl,
+        frontier: &mut Vec<ResumeTask>,
+    ) -> StopReason {
         let g = self.g;
         let state = ControlState::new(control);
         let mut controlled = ControlledSink::new(&state, sink);
-        if let ControlFlow::Break(r) = state.note_task(0) {
-            return r; // cancelled or expired before any work
-        }
-        let mut builder = TaskBuilder::new(g);
         // Root-level batching: only MBET with batching enabled skips
         // equivalent roots (the baselines process every vertex, as in
         // their papers).
         let batch_roots = self.opts.algorithm == Algorithm::Mbet && self.opts.mbet.batching;
         let reps = if batch_roots { Some(root_representatives(g)) } else { None };
+        if let ControlFlow::Break(r) = state.note_task(0) {
+            // Cancelled or expired before any work: the whole run is the
+            // frontier.
+            capture_remaining_roots(g, reps.as_deref(), 0, frontier);
+            return r;
+        }
 
+        let mut builder = TaskBuilder::new(g);
         let mut engine = AnyEngine::new(g, &self.opts);
         for v in 0..g.num_v() {
             if let Some(reps) = &reps {
@@ -160,14 +179,81 @@ impl<'g> SerialDriver<'g> {
                 stats.tasks += 1;
                 let nodes_before = stats.nodes;
                 if let ControlFlow::Break(r) = engine.run_task(&task, &mut controlled, stats) {
+                    frontier.append(&mut engine.take_frontier());
+                    capture_remaining_roots(g, reps.as_deref(), v + 1, frontier);
                     return state.note_stop(r);
                 }
                 if let ControlFlow::Break(r) = state.note_task(stats.nodes - nodes_before) {
+                    capture_remaining_roots(g, reps.as_deref(), v + 1, frontier);
                     return r;
                 }
             }
         }
         StopReason::Completed
+    }
+
+    /// Replays a checkpointed `tasks` frontier instead of the full root
+    /// sweep; each task's subtree is enumerated exactly as the original
+    /// run would have. Stops capture the still-unexplored remainder into
+    /// `frontier`, so resumed runs can themselves be checkpointed.
+    pub(crate) fn run_frontier<S: BicliqueSink>(
+        &mut self,
+        tasks: &[ResumeTask],
+        sink: &mut S,
+        stats: &mut Stats,
+        control: &RunControl,
+        frontier: &mut Vec<ResumeTask>,
+    ) -> StopReason {
+        let g = self.g;
+        let state = ControlState::new(control);
+        let mut controlled = ControlledSink::new(&state, sink);
+        if let ControlFlow::Break(r) = state.note_task(0) {
+            frontier.extend(tasks.iter().cloned());
+            return r;
+        }
+        let mut builder = TaskBuilder::new(g);
+        let mut engine = AnyEngine::new(g, &self.opts);
+        for (i, task) in tasks.iter().enumerate() {
+            let nodes_before = stats.nodes;
+            let flow = match task {
+                ResumeTask::Root(v) => match builder.build(*v) {
+                    Some(root) => {
+                        stats.tasks += 1;
+                        engine.run_task(&root, &mut controlled, stats)
+                    }
+                    None => ControlFlow::Continue(()),
+                },
+                ResumeTask::Node { l, r_parent, v, p, q } => {
+                    stats.tasks += 1;
+                    engine.run_node(l, r_parent, *v, p, q, &mut controlled, stats)
+                }
+            };
+            if let ControlFlow::Break(r) = flow {
+                frontier.append(&mut engine.take_frontier());
+                frontier.extend(tasks[i + 1..].iter().cloned());
+                return state.note_stop(r);
+            }
+            if let ControlFlow::Break(r) = state.note_task(stats.nodes - nodes_before) {
+                frontier.extend(tasks[i + 1..].iter().cloned());
+                return r;
+            }
+        }
+        StopReason::Completed
+    }
+}
+
+/// Pushes every root task at `from..` that would still run (representative
+/// under root batching, non-isolated) as a [`ResumeTask::Root`].
+fn capture_remaining_roots(
+    g: &BipartiteGraph,
+    reps: Option<&[bool]>,
+    from: u32,
+    frontier: &mut Vec<ResumeTask>,
+) {
+    for v in from..g.num_v() {
+        if reps.is_none_or(|r| r[v as usize]) && !g.nbr_v(v).is_empty() {
+            frontier.push(ResumeTask::Root(v));
+        }
     }
 }
 
@@ -212,6 +298,15 @@ impl<'g> AnyEngine<'g> {
         match self {
             AnyEngine::Baseline(e) => e.run_node(l, r_parent, v, p, q, sink, stats),
             AnyEngine::Mbet(e) => e.run_node(l, r_parent, v, p, q, sink, stats),
+        }
+    }
+
+    /// Takes the frontier the engine captured while breaking out of its
+    /// last `run_task`/`run_node` call (empty unless that call broke).
+    pub(crate) fn take_frontier(&mut self) -> Vec<ResumeTask> {
+        match self {
+            AnyEngine::Baseline(e) => e.take_frontier(),
+            AnyEngine::Mbet(e) => e.take_frontier(),
         }
     }
 }

@@ -124,6 +124,69 @@ fn external_control_is_reusable_across_runs() {
 }
 
 #[test]
+fn timeout_stop_then_resume_completes_serial_and_parallel() {
+    // The PR-3 acceptance criterion: a run stopped by a timeout on a
+    // crown graph, resumed from its checkpoint (round-tripped through the
+    // on-disk byte format), produces exactly the complete run's biclique
+    // set — serially and at 2/4 threads.
+    let g = crown(14);
+    let full: HashSet<Biclique> =
+        Enumeration::new(&g).collect().unwrap().bicliques.into_iter().collect();
+    assert_eq!(full.len(), (1 << 14) - 2);
+    for threads in [1, 2, 4] {
+        let stopped = Enumeration::new(&g)
+            .threads(threads)
+            .timeout(Duration::from_millis(1))
+            .collect()
+            .unwrap();
+        assert_eq!(stopped.stop, StopReason::Deadline, "threads={threads}");
+        let ckpt = stopped.checkpoint.clone().expect("stopped run must carry a checkpoint");
+        assert_eq!(ckpt.emitted, stopped.bicliques.len() as u64, "threads={threads}");
+
+        // Serialize → deserialize, as the CLI's --checkpoint/--resume do.
+        let restored = mbe::Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(restored, ckpt);
+
+        let resumed = Enumeration::new(&g).threads(threads).resume(restored).collect().unwrap();
+        assert!(resumed.is_complete(), "threads={threads}");
+        assert!(resumed.checkpoint.is_none(), "threads={threads}");
+
+        let mut union: HashSet<Biclique> = HashSet::with_capacity(full.len());
+        for b in stopped.bicliques.iter().chain(resumed.bicliques.iter()) {
+            assert!(union.insert(b.clone()), "threads={threads}: duplicate across segments {b:?}");
+        }
+        assert_eq!(union, full, "threads={threads}");
+    }
+}
+
+#[test]
+fn chained_checkpoints_accumulate_across_segments() {
+    // Stop, resume, stop again, resume again: three disjoint segments
+    // whose union is the complete run, with a cumulative emitted count.
+    let g = crown(12);
+    let full: HashSet<Biclique> =
+        Enumeration::new(&g).collect().unwrap().bicliques.into_iter().collect();
+    let s1 = Enumeration::new(&g).max_bicliques(1000).collect().unwrap();
+    assert_eq!(s1.stop, StopReason::EmitBudget);
+    let c1 = s1.checkpoint.clone().expect("first checkpoint");
+    assert_eq!(c1.emitted, 1000);
+
+    let s2 = Enumeration::new(&g).resume(c1).max_bicliques(1500).collect().unwrap();
+    assert_eq!(s2.stop, StopReason::EmitBudget);
+    assert_eq!(s2.bicliques.len(), 1500);
+    let c2 = s2.checkpoint.clone().expect("second checkpoint");
+    assert_eq!(c2.emitted, 2500, "emitted count must accumulate across resumes");
+
+    let s3 = Enumeration::new(&g).resume(c2).collect().unwrap();
+    assert!(s3.is_complete());
+    let mut union: HashSet<Biclique> = HashSet::with_capacity(full.len());
+    for b in s1.bicliques.iter().chain(s2.bicliques.iter()).chain(s3.bicliques.iter()) {
+        assert!(union.insert(b.clone()), "duplicate across segments: {b:?}");
+    }
+    assert_eq!(union, full);
+}
+
+#[test]
 fn stopped_sets_are_subsets_of_the_complete_run() {
     // The PR's new invariant, asserted directly (and continuously under
     // the `debug-invariants` feature): a stopped run's emitted set is a

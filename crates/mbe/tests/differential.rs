@@ -242,6 +242,86 @@ proptest! {
         prop_assert!(cancelled.bicliques.is_empty());
     }
 
+    /// The checkpoint/resume contract on random graphs: stop a run with a
+    /// budget, round-trip the checkpoint through the on-disk byte format,
+    /// resume it at an arbitrary worker count, and the two segments form a
+    /// duplicate-free partition of the uninterrupted run's biclique set.
+    #[test]
+    fn checkpoint_roundtrip_resume_equals_complete_run(
+        g in random_graph(),
+        k in 1u64..8,
+        threads in 1usize..5,
+    ) {
+        let full: std::collections::HashSet<Biclique> =
+            Enumeration::new(&g).collect().unwrap().bicliques.into_iter().collect();
+        let stopped = Enumeration::new(&g).threads(threads).max_bicliques(k).collect().unwrap();
+        match stopped.checkpoint.clone() {
+            None => prop_assert!(stopped.is_complete(), "only complete runs lack a checkpoint"),
+            Some(ckpt) => {
+                prop_assert_eq!(ckpt.emitted, stopped.bicliques.len() as u64);
+                let restored = mbe::Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+                prop_assert_eq!(&restored, &ckpt);
+                let resumed =
+                    Enumeration::new(&g).threads(threads).resume(restored).collect().unwrap();
+                prop_assert!(resumed.is_complete(), "threads={}", threads);
+                let mut union: std::collections::HashSet<Biclique> =
+                    std::collections::HashSet::with_capacity(full.len());
+                for b in stopped.bicliques.iter().chain(resumed.bicliques.iter()) {
+                    prop_assert!(union.insert(b.clone()), "duplicate across segments: {:?}", b);
+                }
+                prop_assert_eq!(union, full, "threads={}", threads);
+            }
+        }
+    }
+
+    /// Corrupted checkpoint bytes — truncations, single bit flips, and a
+    /// fingerprint for the wrong graph — are rejected with typed errors,
+    /// never a panic or a silently wrong resume.
+    #[test]
+    fn corrupted_checkpoint_bytes_are_rejected(
+        g in random_graph(),
+        cut_seed in 0usize..4096,
+        flip_seed in 0usize..4096,
+    ) {
+        let stopped = Enumeration::new(&g).max_bicliques(1).collect().unwrap();
+        if let Some(ckpt) = stopped.checkpoint.clone() {
+            let bytes = ckpt.to_bytes();
+
+            // Any strict prefix fails to decode.
+            let cut_at = cut_seed % bytes.len();
+            prop_assert!(mbe::Checkpoint::from_bytes(&bytes[..cut_at]).is_err());
+
+            // Any single flipped bit is caught (the trailing checksum
+            // covers every preceding byte).
+            let bit = flip_seed % (bytes.len() * 8);
+            let mut corrupt = bytes.clone();
+            corrupt[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(
+                mbe::Checkpoint::from_bytes(&corrupt).is_err(),
+                "flipped bit {} decoded successfully",
+                bit
+            );
+
+            // A structurally valid checkpoint for a *different* graph is
+            // rejected at resume time by the fingerprint.
+            let mut other_edges: Vec<(u32, u32)> = Vec::new();
+            for u in 0..g.num_u() {
+                for v in g.nbr_u(u) {
+                    other_edges.push((u, *v));
+                }
+            }
+            other_edges.push((g.num_u(), g.num_v()));
+            let other =
+                BipartiteGraph::from_edges(g.num_u() + 1, g.num_v() + 1, &other_edges).unwrap();
+            let err = Enumeration::new(&other).resume(ckpt).collect().unwrap_err();
+            prop_assert!(
+                matches!(err, mbe::MbeError::Checkpoint(mbe::CheckpointError::GraphMismatch { .. })),
+                "expected GraphMismatch, got {:?}",
+                err
+            );
+        }
+    }
+
     /// Cancellation raised from another thread mid-run: the run always
     /// returns (no deadlock), and whatever it emitted is a duplicate-free
     /// set of genuine maximal bicliques.

@@ -9,6 +9,12 @@
 //! * **unwrap / expect / panic / index-literal** — banned in the
 //!   hot-path modules (`setops`, `ptree`, the MBET engine, the parallel
 //!   driver), where a stray panic aborts a worker mid-enumeration;
+//! * **lock-unwrap** — no bare `.unwrap()` on `Mutex`/`RwLock` lock
+//!   results anywhere outside tests: a panicking worker poisons its
+//!   locks, and an `.unwrap()` on the poisoned result turns one
+//!   contained panic into a cascade (use
+//!   `unwrap_or_else(PoisonError::into_inner)` as the parallel driver
+//!   does);
 //! * **println** — no `println!` outside the `cli`, `bench`, and `xtask`
 //!   crates (library crates report through sinks and `Stats`);
 //! * **doc** — every `pub` item in `mbe` and `bigraph` is documented;
@@ -59,6 +65,15 @@ const RULE_UNSAFE: &str = concat!("un", "safe");
 const NEEDLE_TODO: &str = concat!("TO", "DO");
 const NEEDLE_FIXME: &str = concat!("FIX", "ME");
 const FORBID_ATTR: &str = "#![forbid(unsafe_code)]";
+
+/// Lock acquisitions whose `Err` is only ever poisoning: `.unwrap()`ing
+/// them cascades one contained panic across every thread that touches
+/// the lock afterwards.
+const LOCK_UNWRAP_NEEDLES: &[&str] = &[
+    concat!(".lock().unwr", "ap()"),
+    concat!(".read().unwr", "ap()"),
+    concat!(".write().unwr", "ap()"),
+];
 
 /// One broken rule at one source line.
 #[derive(Debug, PartialEq, Eq)]
@@ -180,6 +195,7 @@ fn scan_file(rel: &str, content: &str) -> Vec<Violation> {
     let mut pending_cfg_test = false;
     let mut prev_allows: Vec<String> = Vec::new();
     let mut has_doc = false;
+    let mut attr_depth: i64 = 0;
 
     for (idx, raw) in content.lines().enumerate() {
         let line = idx + 1;
@@ -226,6 +242,15 @@ fn scan_file(rel: &str, content: &str) -> Vec<Violation> {
                     ));
                 }
             }
+            if LOCK_UNWRAP_NEEDLES.iter().any(|n| code.contains(n)) && !allowed("lock-unwrap") {
+                out.push(violation(
+                    rel,
+                    line,
+                    "lock-unwrap",
+                    "handle lock poisoning (unwrap_or_else(PoisonError::into_inner)), \
+                     don't .unwrap() the lock result",
+                ));
+            }
             if !println_ok && code.contains("println!") && !allowed("println") {
                 out.push(violation(
                     rel,
@@ -271,11 +296,16 @@ fn scan_file(rel: &str, content: &str) -> Vec<Violation> {
         // Track doc-comment adjacency for the `doc` rule. Plain `//`
         // comments (e.g. standalone `xtask-allow` markers) between a doc
         // comment and its item do not detach the docs — rustdoc skips
-        // them too.
+        // them too — and neither does any line of a multi-line attribute
+        // (`#[deprecated(` … `)]`), tracked by bracket depth.
         let t = raw.trim_start();
+        let attr_continuation = attr_depth > 0;
+        if attr_continuation || t.starts_with("#[") {
+            attr_depth += code.matches('[').count() as i64 - code.matches(']').count() as i64;
+        }
         if t.starts_with("///") || t.starts_with("//!") || t.starts_with("#[doc") {
             has_doc = true;
-        } else if !t.starts_with("#[") && !t.starts_with("//") {
+        } else if !attr_continuation && !t.starts_with("#[") && !t.starts_with("//") {
             has_doc = false;
         }
 
@@ -489,6 +519,38 @@ mod tests {
     }
 
     #[test]
+    fn lock_unwrap_flagged_everywhere_outside_tests() {
+        for needle in LOCK_UNWRAP_NEEDLES {
+            let src = format!("fn f() -> u32 {{\n    *state{needle}\n}}\n");
+            // Applies in every crate, not just hot paths.
+            assert_eq!(rules(&scan_file("crates/gen/src/lib.rs", &src)), vec!["lock-unwrap"]);
+            assert_eq!(rules(&scan_file("crates/cli/src/main.rs", &src)), vec!["lock-unwrap"]);
+        }
+        // Recovering the guard from a poisoned lock is the sanctioned form.
+        let ok = "fn f() {\n    \
+                  let g = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n    \
+                  drop(g);\n}\n";
+        assert!(scan_file("crates/gen/src/lib.rs", ok).is_empty());
+        // Escapes and test regions work as for every other rule.
+        let escaped = format!(
+            "fn f() -> u32 {{\n    // xtask-allow: lock-unwrap\n    *state{}\n}}\n",
+            LOCK_UNWRAP_NEEDLES[0]
+        );
+        assert!(scan_file("crates/gen/src/lib.rs", &escaped).is_empty());
+        let in_test = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn f() -> u32 {{\n        *state{}\n    }}\n}}\n",
+            LOCK_UNWRAP_NEEDLES[0]
+        );
+        assert!(scan_file("crates/gen/src/lib.rs", &in_test).is_empty());
+        // In a hot path the generic unwrap rule fires as well.
+        let hot = format!("fn f() -> u32 {{\n    *state{}\n}}\n", LOCK_UNWRAP_NEEDLES[0]);
+        assert_eq!(
+            rules(&scan_file("crates/mbe/src/parallel.rs", &hot)),
+            vec!["unwrap", "lock-unwrap"]
+        );
+    }
+
+    #[test]
     fn println_allowed_only_in_output_crates() {
         let src = "fn f() {\n    println!(\"hi\");\n}\n";
         assert_eq!(rules(&scan_file("crates/mbe/src/lib.rs", src)), vec!["println"]);
@@ -540,6 +602,15 @@ mod tests {
     fn plain_comment_between_docs_and_item_keeps_docs() {
         let src = "/// Docs.\n// xtask-allow: tuple-return\npub fn f() {}\n";
         assert!(scan_file("crates/mbe/src/util.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multiline_attribute_between_docs_and_item_keeps_docs() {
+        let src = "/// Docs.\n#[deprecated(\n    note = \"gone\"\n)]\npub fn f() {}\n";
+        assert!(scan_file("crates/mbe/src/util.rs", src).is_empty());
+        // Without docs the attribute does not count as documentation.
+        let undocumented = "#[deprecated(\n    note = \"gone\"\n)]\npub fn f() {}\n";
+        assert_eq!(rules(&scan_file("crates/mbe/src/util.rs", undocumented)), vec!["doc"]);
     }
 
     #[test]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api-d27e6207761f91fa.d: crates/mbe/tests/api.rs
+
+/root/repo/target/debug/deps/api-d27e6207761f91fa: crates/mbe/tests/api.rs
+
+crates/mbe/tests/api.rs:

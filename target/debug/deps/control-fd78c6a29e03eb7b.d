@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/control-fd78c6a29e03eb7b.d: crates/mbe/tests/control.rs
+
+/root/repo/target/debug/deps/control-fd78c6a29e03eb7b: crates/mbe/tests/control.rs
+
+crates/mbe/tests/control.rs:

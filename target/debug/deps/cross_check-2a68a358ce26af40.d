@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_check-2a68a358ce26af40.d: crates/mbe/tests/cross_check.rs
+
+/root/repo/target/debug/deps/cross_check-2a68a358ce26af40: crates/mbe/tests/cross_check.rs
+
+crates/mbe/tests/cross_check.rs:

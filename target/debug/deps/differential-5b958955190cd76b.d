@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-5b958955190cd76b.d: crates/mbe/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-5b958955190cd76b: crates/mbe/tests/differential.rs
+
+crates/mbe/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-666beb9d8e852606.d: crates/mbe/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-666beb9d8e852606: crates/mbe/tests/faults.rs
+
+crates/mbe/tests/faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-9ad4e0a16192000e.d: crates/mbe/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-9ad4e0a16192000e: crates/mbe/tests/faults.rs
+
+crates/mbe/tests/faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-de83c6b883a4e92e.d: crates/mbe/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-de83c6b883a4e92e: crates/mbe/tests/faults.rs
+
+crates/mbe/tests/faults.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/faults-eb3a6f65b734d4fb.d: crates/mbe/tests/faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfaults-eb3a6f65b734d4fb.rmeta: crates/mbe/tests/faults.rs Cargo.toml
+
+crates/mbe/tests/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/mbe-5d08ed2a9d87e9f3.d: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs Cargo.toml
+/root/repo/target/debug/deps/mbe-5d08ed2a9d87e9f3.d: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/checkpoint.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmbe-5d08ed2a9d87e9f3.rmeta: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs Cargo.toml
+/root/repo/target/debug/deps/libmbe-5d08ed2a9d87e9f3.rmeta: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/checkpoint.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs Cargo.toml
 
 crates/mbe/src/lib.rs:
 crates/mbe/src/baseline.rs:
+crates/mbe/src/checkpoint.rs:
 crates/mbe/src/extremal.rs:
 crates/mbe/src/filtered.rs:
 crates/mbe/src/invariants.rs:

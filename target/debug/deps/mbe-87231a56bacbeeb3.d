@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mbe-87231a56bacbeeb3.d: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/checkpoint.rs crates/mbe/src/extremal.rs crates/mbe/src/faults.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs
+
+/root/repo/target/debug/deps/mbe-87231a56bacbeeb3: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/checkpoint.rs crates/mbe/src/extremal.rs crates/mbe/src/faults.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs
+
+crates/mbe/src/lib.rs:
+crates/mbe/src/baseline.rs:
+crates/mbe/src/checkpoint.rs:
+crates/mbe/src/extremal.rs:
+crates/mbe/src/faults.rs:
+crates/mbe/src/filtered.rs:
+crates/mbe/src/invariants.rs:
+crates/mbe/src/mbet.rs:
+crates/mbe/src/metrics.rs:
+crates/mbe/src/parallel.rs:
+crates/mbe/src/progress.rs:
+crates/mbe/src/run.rs:
+crates/mbe/src/sink.rs:
+crates/mbe/src/task.rs:
+crates/mbe/src/verify.rs:
+crates/mbe/src/util.rs:

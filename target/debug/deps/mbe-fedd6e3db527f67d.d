@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/mbe-fedd6e3db527f67d.d: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs
+/root/repo/target/debug/deps/mbe-fedd6e3db527f67d.d: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/checkpoint.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs
 
-/root/repo/target/debug/deps/mbe-fedd6e3db527f67d: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs
+/root/repo/target/debug/deps/mbe-fedd6e3db527f67d: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/checkpoint.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs
 
 crates/mbe/src/lib.rs:
 crates/mbe/src/baseline.rs:
+crates/mbe/src/checkpoint.rs:
 crates/mbe/src/extremal.rs:
 crates/mbe/src/filtered.rs:
 crates/mbe/src/invariants.rs:

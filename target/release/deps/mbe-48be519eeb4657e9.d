@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/mbe-48be519eeb4657e9.d: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs
+/root/repo/target/release/deps/mbe-48be519eeb4657e9.d: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/checkpoint.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs
 
-/root/repo/target/release/deps/libmbe-48be519eeb4657e9.rlib: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs
+/root/repo/target/release/deps/libmbe-48be519eeb4657e9.rlib: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/checkpoint.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs
 
-/root/repo/target/release/deps/libmbe-48be519eeb4657e9.rmeta: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs
+/root/repo/target/release/deps/libmbe-48be519eeb4657e9.rmeta: crates/mbe/src/lib.rs crates/mbe/src/baseline.rs crates/mbe/src/checkpoint.rs crates/mbe/src/extremal.rs crates/mbe/src/filtered.rs crates/mbe/src/invariants.rs crates/mbe/src/mbet.rs crates/mbe/src/metrics.rs crates/mbe/src/parallel.rs crates/mbe/src/progress.rs crates/mbe/src/run.rs crates/mbe/src/sink.rs crates/mbe/src/task.rs crates/mbe/src/verify.rs crates/mbe/src/util.rs
 
 crates/mbe/src/lib.rs:
 crates/mbe/src/baseline.rs:
+crates/mbe/src/checkpoint.rs:
 crates/mbe/src/extremal.rs:
 crates/mbe/src/filtered.rs:
 crates/mbe/src/invariants.rs:
