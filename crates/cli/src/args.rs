@@ -8,6 +8,7 @@
 //!                          [--min-left A] [--min-right B] [--top-k K]
 //!                          [--count-only] [--max-print M]
 //!                          [--timeout SECS] [--max-bicliques N]
+//!                          [--trace FILE] [--metrics] [--progress SECS]
 //! mbe-cli generate <preset ABBREV | chung-lu NU NV E | gnm NU NV M>
 //!                  [--seed S] [--scale X] --output FILE
 //! mbe-cli presets
@@ -40,6 +41,9 @@ pub enum Command {
         max_bicliques: Option<u64>,
         checkpoint: Option<String>,
         resume: Option<String>,
+        trace: Option<String>,
+        metrics: bool,
+        progress: Option<f64>,
     },
     /// `generate ...`
     Generate { model: GenModel, seed: u64, scale: f64, output: String },
@@ -102,6 +106,9 @@ fn parse_enumerate(args: &[String]) -> Command {
         max_bicliques: None,
         checkpoint: None,
         resume: None,
+        trace: None,
+        metrics: false,
+        progress: None,
     };
     let Command::Enumerate {
         algorithm,
@@ -116,6 +123,9 @@ fn parse_enumerate(args: &[String]) -> Command {
         max_bicliques,
         checkpoint,
         resume,
+        trace,
+        metrics,
+        progress,
         ..
     } = &mut out
     else {
@@ -179,6 +189,15 @@ fn parse_enumerate(args: &[String]) -> Command {
             "--resume" => match it.next() {
                 Some(p) => *resume = Some(p.clone()),
                 None => return err("--resume needs a path"),
+            },
+            "--trace" => match it.next() {
+                Some(p) => *trace = Some(p.clone()),
+                None => return err("--trace needs a path"),
+            },
+            "--metrics" => *metrics = true,
+            "--progress" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 && secs.is_finite() => *progress = Some(secs),
+                _ => return err("--progress needs a positive number of seconds"),
             },
             other => return err(&format!("unknown enumerate flag `{other}`")),
         }
@@ -290,6 +309,15 @@ USAGE:
                            written by --checkpoint; the checkpoint pins
                            the original algorithm/order (only --threads
                            may change)
+        --trace PATH       write a JSONL event trace of the run to PATH
+                           (schema documented in DESIGN.md §8; validate
+                           with `cargo run -p xtask -- trace-check PATH`)
+        --metrics          print a per-worker metrics table (tasks,
+                           steals, idle wakeups, emitted, latency
+                           quantiles) to stderr after the run
+        --progress SECS    print a live progress line (emitted, rate,
+                           ETA when a budget is set) to stderr every
+                           SECS seconds
       Interactive runs can be cancelled by typing `q` + Enter (or
       closing stdin); partial results are reported with the stop reason.
 
@@ -424,6 +452,38 @@ mod tests {
             other => panic!("{other:?}"),
         }
         for bad in ["enumerate g.txt --checkpoint", "enumerate g.txt --resume"] {
+            assert!(
+                matches!(p(bad), Command::Help { error: Some(_) }),
+                "`{bad}` should be an error"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        match p("enumerate g.txt --trace t.jsonl --metrics --progress 0.5") {
+            Command::Enumerate { trace, metrics, progress, .. } => {
+                assert_eq!(trace, Some("t.jsonl".into()));
+                assert!(metrics);
+                assert_eq!(progress, Some(0.5));
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("enumerate g.txt") {
+            Command::Enumerate { trace, metrics, progress, .. } => {
+                assert_eq!(trace, None);
+                assert!(!metrics);
+                assert_eq!(progress, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "enumerate g.txt --trace",
+            "enumerate g.txt --progress",
+            "enumerate g.txt --progress 0",
+            "enumerate g.txt --progress -2",
+            "enumerate g.txt --progress soon",
+        ] {
             assert!(
                 matches!(p(bad), Command::Help { error: Some(_) }),
                 "`{bad}` should be an error"

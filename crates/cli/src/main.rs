@@ -6,10 +6,14 @@
 
 mod args;
 mod interrupt;
+mod observe;
 
 use args::{Command, GenModel};
 use bigraph::BipartiteGraph;
-use mbe::{Algorithm, Enumeration, RunControl, SizeThresholds, StopReason};
+use mbe::{
+    Algorithm, Enumeration, FanoutObserver, JsonlTraceObserver, RunControl, SizeThresholds,
+    StopReason,
+};
 use rand::SeedableRng;
 use std::process::ExitCode;
 
@@ -141,6 +145,9 @@ fn main() -> ExitCode {
             max_bicliques,
             checkpoint,
             resume,
+            trace,
+            metrics,
+            progress,
         } => match bigraph::io::read_edge_list_path(&file) {
             Ok(g) => {
                 let mut control = RunControl::new();
@@ -151,9 +158,10 @@ fn main() -> ExitCode {
                     control = control.max_emitted(n);
                 }
                 interrupt::spawn_stdin_watcher(&control);
+                let obs = ObsFlags { trace, metrics, progress, budget: max_bicliques };
                 run_enumerate(
                     &g, algorithm, order, threads, min_left, min_right, top_k, count_only,
-                    max_print, control, checkpoint, resume,
+                    max_print, control, checkpoint, resume, obs,
                 )
             }
             Err(e) => {
@@ -183,6 +191,15 @@ fn main() -> ExitCode {
     }
 }
 
+/// The observability flags of `enumerate`, bundled to keep
+/// [`run_enumerate`]'s signature in check.
+struct ObsFlags {
+    trace: Option<String>,
+    metrics: bool,
+    progress: Option<f64>,
+    budget: Option<u64>,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_enumerate(
     g: &BipartiteGraph,
@@ -197,6 +214,7 @@ fn run_enumerate(
     control: RunControl,
     checkpoint: Option<String>,
     resume: Option<String>,
+    obs: ObsFlags,
 ) -> ExitCode {
     println!(
         "graph: |U|={} |V|={} |E|={}  algorithm={}",
@@ -209,6 +227,9 @@ fn run_enumerate(
     if top_k.is_some() && (checkpoint.is_some() || resume.is_some()) {
         eprintln!("error: --checkpoint/--resume do not apply to --top-k runs");
         return ExitCode::FAILURE;
+    }
+    if top_k.is_some() && (obs.trace.is_some() || obs.metrics || obs.progress.is_some()) {
+        eprintln!("note: --trace/--metrics/--progress do not apply to --top-k runs");
     }
     if let Some(k) = top_k {
         let report = mbe::top_k_with_control(g, k, &control);
@@ -232,8 +253,40 @@ fn run_enumerate(
         return ExitCode::SUCCESS;
     }
 
+    // Build the observers before the Enumeration so their borrows
+    // outlive the run; the fanout combines --trace and --progress into
+    // the builder's single observer slot.
+    let trace_obs = match &obs.trace {
+        Some(path) => match JsonlTraceObserver::create(path) {
+            Ok(o) => Some(o),
+            Err(e) => {
+                eprintln!("error: cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let progress_obs = obs.progress.map(|secs| {
+        observe::StderrProgress::new(std::time::Duration::from_secs_f64(secs), obs.budget)
+    });
+    let mut fan = FanoutObserver::new();
+    if let Some(t) = &trace_obs {
+        fan.push(Box::new(t));
+    }
+    if let Some(p) = &progress_obs {
+        fan.push(Box::new(p));
+    }
+
     let mut run =
         Enumeration::new(g).algorithm(algorithm).order(order).threads(threads).control(control);
+    if !fan.is_empty() {
+        run = run.observer(&fan);
+        if progress_obs.is_some() {
+            // The progress line is sample-driven; tighten the cadence so
+            // it stays live on slow graphs.
+            run = run.sample_every(64);
+        }
+    }
     if min_left > 1 || min_right > 1 {
         run = run.thresholds(SizeThresholds::new(min_left, min_right));
     }
@@ -314,6 +367,18 @@ fn run_enumerate(
         }
         if report.bicliques.len() > max_print {
             println!("  … {} more (raise --max-print)", report.bicliques.len() - max_print);
+        }
+    }
+    if obs.metrics {
+        observe::print_worker_metrics(&report.metrics);
+    }
+    if let (Some(path), Some(t)) = (&obs.trace, &trace_obs) {
+        match t.take_error() {
+            Some(e) => {
+                eprintln!("error: trace write to {path} failed: {e}");
+                exit = ExitCode::FAILURE;
+            }
+            None => eprintln!("note: trace written to {path}"),
         }
     }
     exit

@@ -1,0 +1,127 @@
+//! CLI-side observers: the `--progress` live stderr line and the
+//! `--metrics` per-worker table.
+//!
+//! Both are built on the library's [`mbe::Observer`] hooks; the rate and
+//! ETA math is shared with [`mbe::progress::ProgressSink`].
+
+use mbe::metrics::RunMetrics;
+use mbe::obs::Observer;
+use mbe::Histogram;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Prints a `progress: …` line to stderr at most once per `every`,
+/// driven by the run's emission samples. With an emission budget the
+/// line includes an ETA at the mean rate observed so far.
+pub struct StderrProgress {
+    every: Duration,
+    budget: Option<u64>,
+    state: Mutex<State>,
+}
+
+struct State {
+    start: Instant,
+    last_print: Instant,
+    /// Last sampled cumulative emitted count per worker; the live total
+    /// is their sum (each worker samples independently).
+    per_worker: Vec<u64>,
+    printed: bool,
+}
+
+impl StderrProgress {
+    /// A progress line every `every` (first line after one interval).
+    pub fn new(every: Duration, budget: Option<u64>) -> Self {
+        let now = Instant::now();
+        StderrProgress {
+            every,
+            budget,
+            state: Mutex::new(State {
+                start: now,
+                last_print: now,
+                per_worker: Vec::new(),
+                printed: false,
+            }),
+        }
+    }
+}
+
+impl Observer for StderrProgress {
+    fn on_emit_sample(&self, worker: usize, emitted: u64) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.per_worker.len() <= worker {
+            st.per_worker.resize(worker + 1, 0);
+        }
+        st.per_worker[worker] = emitted;
+        if st.last_print.elapsed() < self.every {
+            return;
+        }
+        st.last_print = Instant::now();
+        st.printed = true;
+        let total: u64 = st.per_worker.iter().sum();
+        let elapsed = st.start.elapsed();
+        let rate = mbe::progress::rate_per_sec(total, elapsed);
+        match self.budget.and_then(|b| mbe::progress::eta(total, b, elapsed)) {
+            Some(eta) => eprintln!("progress: {total} bicliques, {rate:.0}/s, eta {eta:.0?}"),
+            None => eprintln!("progress: {total} bicliques, {rate:.0}/s"),
+        }
+    }
+
+    fn on_run_end(&self, _stop: mbe::StopReason, stats: &mbe::Stats) {
+        let st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.printed {
+            // Close the stream of interim lines with the exact final count
+            // (interim totals are sample-grained, so they lag slightly).
+            eprintln!("progress: done — {} bicliques in {:?}", stats.emitted, st.start.elapsed());
+        }
+    }
+}
+
+/// Prints the per-worker metrics table (`--metrics`) to stderr: task,
+/// steal, and idle-wakeup counts, delivered emissions, task-latency
+/// quantiles, and the deepest recursion each worker reached.
+pub fn print_worker_metrics(m: &RunMetrics) {
+    if m.workers.is_empty() {
+        eprintln!("metrics: none recorded for this run mode");
+        return;
+    }
+    eprintln!(
+        "{:>5} {:>9} {:>8} {:>9} {:>10} {:>9} {:>9} {:>6}",
+        "w", "tasks", "steals", "idle", "emitted", "p50_us", "p99_us", "depth"
+    );
+    for wm in &m.workers {
+        eprintln!(
+            "{:>5} {:>9} {:>8} {:>9} {:>10} {:>9} {:>9} {:>6}",
+            wm.worker,
+            wm.tasks,
+            wm.steals,
+            wm.idle_wakeups,
+            wm.emitted,
+            quantile(&wm.task_latency_us, 0.50),
+            quantile(&wm.task_latency_us, 0.99),
+            wm.peak_depth,
+        );
+    }
+    if m.workers.len() > 1 {
+        let merged = m.task_latency_us();
+        eprintln!(
+            "{:>5} {:>9} {:>8} {:>9} {:>10} {:>9} {:>9} {:>6}",
+            "total",
+            m.total_tasks(),
+            m.total_steals(),
+            m.total_idle_wakeups(),
+            m.total_emitted(),
+            quantile(&merged, 0.50),
+            quantile(&merged, 0.99),
+            m.peak_depth(),
+        );
+    }
+}
+
+/// Formats a histogram quantile as its power-of-two lower bound
+/// (`≥N`), or `-` when the histogram is empty.
+fn quantile(h: &Histogram, q: f64) -> String {
+    match h.quantile_lower_bound(q) {
+        Some(v) => format!("\u{2265}{v}"),
+        None => "-".to_string(),
+    }
+}

@@ -36,13 +36,29 @@ pub struct BaselineEngine<'g> {
     /// Unexplored subtrees captured while unwinding out of a stopped
     /// `run_task`/`run_node` call; drained via `take_frontier`.
     frontier: Vec<ResumeTask>,
+    /// Deepest recursion the last `run_task`/`run_node` call reached.
+    task_depth: usize,
 }
 
 impl<'g> BaselineEngine<'g> {
     /// An engine over `g`. `alg` must not be [`Algorithm::Mbet`].
     pub fn new(g: &'g BipartiteGraph, alg: Algorithm) -> Self {
         assert!(alg != Algorithm::Mbet, "use MbetEngine for Algorithm::Mbet");
-        BaselineEngine { g, alg, cbuf: Vec::new(), cbuf2: Vec::new(), frontier: Vec::new() }
+        BaselineEngine {
+            g,
+            alg,
+            cbuf: Vec::new(),
+            cbuf2: Vec::new(),
+            frontier: Vec::new(),
+            task_depth: 0,
+        }
+    }
+
+    /// Deepest enumeration recursion the most recent
+    /// [`run_task`](Self::run_task)/[`run_node`](Self::run_node) call
+    /// reached (0 when the root emitted without branching).
+    pub fn task_depth(&self) -> usize {
+        self.task_depth
     }
 
     /// Runs one root task. Breaks iff the sink (or the control plane
@@ -54,7 +70,8 @@ impl<'g> BaselineEngine<'g> {
         stats: &mut Stats,
     ) -> ControlFlow<StopReason> {
         self.frontier.clear();
-        self.expand(&task.l0, &[], task.v, &task.p0, &task.q0, sink, stats)
+        self.task_depth = 0;
+        self.expand(0, &task.l0, &[], task.v, &task.p0, &task.q0, sink, stats)
     }
 
     /// Takes the frontier captured by the last stopped call (empty if it
@@ -77,7 +94,8 @@ impl<'g> BaselineEngine<'g> {
         stats: &mut Stats,
     ) -> ControlFlow<StopReason> {
         self.frontier.clear();
-        self.expand(l, r_parent, v, p, q, sink, stats)
+        self.task_depth = 0;
+        self.expand(0, l, r_parent, v, p, q, sink, stats)
     }
 
     /// Expands the node reached by traversing `v` from a parent with
@@ -89,6 +107,7 @@ impl<'g> BaselineEngine<'g> {
     #[allow(clippy::too_many_arguments)]
     fn expand(
         &mut self,
+        depth: usize,
         l_new: &[u32],
         r_parent: &[u32],
         v: u32,
@@ -99,6 +118,7 @@ impl<'g> BaselineEngine<'g> {
     ) -> ControlFlow<StopReason> {
         debug_assert!(!l_new.is_empty());
         stats.nodes += 1;
+        self.task_depth = self.task_depth.max(depth);
 
         // Cheap rejection first for the Q-based variants: some excluded
         // vertex adjacent to all of L' proves (L', ·) can never be maximal
@@ -187,9 +207,16 @@ impl<'g> BaselineEngine<'g> {
             setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
             debug_assert!(!l_child.is_empty(), "candidates share a neighbor with L'");
             let l_child_owned = std::mem::take(&mut l_child);
-            if let ControlFlow::Break(r) =
-                self.expand(&l_child_owned, &r_new, w, &p_new[i + 1..], &q_now, sink, stats)
-            {
+            if let ControlFlow::Break(r) = self.expand(
+                depth + 1,
+                &l_child_owned,
+                &r_new,
+                w,
+                &p_new[i + 1..],
+                &q_now,
+                sink,
+                stats,
+            ) {
                 // The broken child captured its own subtree; this level
                 // owes the checkpoint its untried siblings `p_new[i+1..]`.
                 self.capture_siblings(l_new, &r_new, &p_new, i, &q_now);

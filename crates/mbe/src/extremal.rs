@@ -16,7 +16,7 @@
 //! and a stopped search still returns its best-so-far incumbents (they
 //! are genuine maximal bicliques, just not necessarily the global top-k).
 
-use crate::metrics::Stats;
+use crate::metrics::{RunMetrics, Stats};
 use crate::run::{ControlState, Report, RunControl, StopReason};
 use crate::sink::Biclique;
 use crate::task::TaskBuilder;
@@ -72,7 +72,7 @@ pub fn top_k_with_control(g: &BipartiteGraph, k: usize, control: &RunControl) ->
     let mut out: Vec<Biclique> = search.heap.into_iter().map(|e| e.biclique).collect();
     out.sort_by_key(|b| std::cmp::Reverse(b.edges()));
     stats.elapsed = start.elapsed();
-    Report { bicliques: out, stats, stop, checkpoint: None }
+    Report { bicliques: out, stats, stop, checkpoint: None, metrics: RunMetrics::default() }
 }
 
 /// Heap entry ordered so `BinaryHeap` behaves as a *min*-heap on score:

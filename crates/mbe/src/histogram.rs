@@ -1,0 +1,210 @@
+//! Log-bucketed (power-of-two) histograms for run telemetry.
+//!
+//! [`Histogram`] is the fixed-size, allocation-free counter backing the
+//! task-latency and enumeration-depth distributions in
+//! [`crate::metrics::RunMetrics`]. Bucket `0` counts the value `0`;
+//! bucket `i ≥ 1` counts values in `[2^(i-1), 2^i)`, so one 65-bucket
+//! array covers the entire `u64` range. Recording is a `leading_zeros`
+//! plus an array increment — cheap enough to run unconditionally on the
+//! per-task path of the observability layer (`mbe::obs`).
+
+/// Bucket count: one for zero plus one per possible bit length of a
+/// non-zero `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A power-of-two log-bucketed histogram over `u64` values.
+///
+/// ```
+/// use mbe::histogram::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(1);
+/// h.record(5); // lands in the [4, 8) bucket
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.max_bucket_lower_bound(), Some(4));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram { counts: [0; BUCKETS] }
+    }
+
+    /// The bucket index for `value`: `0` for zero, otherwise the bit
+    /// length of the value (so bucket `i` spans `[2^(i-1), 2^i)`).
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive lower bound of bucket `i` (`0` for bucket 0).
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Counts `value` into its bucket.
+    pub fn record(&mut self, value: u64) {
+        let i = Histogram::bucket_of(value);
+        if let Some(slot) = self.counts.get_mut(i) {
+            *slot = slot.saturating_add(1);
+        }
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        let mut total = 0u64;
+        for &c in &self.counts {
+            total = total.saturating_add(c);
+        }
+        total
+    }
+
+    /// `true` iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The raw bucket counts (index by [`Histogram::bucket_of`]).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// The lower bound of the highest non-empty bucket, or `None` when
+    /// empty — a cheap "order of magnitude of the maximum" readout.
+    pub fn max_bucket_lower_bound(&self) -> Option<u64> {
+        self.counts.iter().rposition(|&c| c > 0).map(Histogram::bucket_lower_bound)
+    }
+
+    /// Adds another histogram's counts into this one (per-worker metrics
+    /// merge into run totals this way).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// The lower bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`) of the recorded values, or `None` when empty.
+    /// Bucket resolution only: the answer is exact to a factor of two.
+    pub fn quantile_lower_bound(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Some(Histogram::bucket_lower_bound(i));
+            }
+        }
+        self.max_bucket_lower_bound()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    /// Compact form listing only non-empty buckets as `lower_bound: count`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut map = f.debug_map();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                map.entry(&Histogram::bucket_lower_bound(i), &c);
+            }
+        }
+        map.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(7), 3);
+        assert_eq!(Histogram::bucket_of(8), 4);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for i in 1..BUCKETS {
+            let lo = Histogram::bucket_lower_bound(i);
+            assert_eq!(Histogram::bucket_of(lo), i, "lower bound lands in its own bucket");
+            assert_eq!(Histogram::bucket_of(lo - 1).min(i), Histogram::bucket_of(lo - 1));
+        }
+    }
+
+    #[test]
+    fn record_count_and_max() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.max_bucket_lower_bound(), None);
+        for v in [0, 1, 1, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!(!h.is_empty());
+        // 100 has bit length 7: bucket [64, 128).
+        assert_eq!(h.max_bucket_lower_bound(), Some(64));
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 2);
+        assert_eq!(h.buckets()[2], 1);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(2);
+        b.record(2);
+        b.record(1024);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[2], 2);
+        assert_eq!(a.max_bucket_lower_bound(), Some(1024));
+    }
+
+    #[test]
+    fn quantiles_are_bucket_resolution() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10); // bucket [8, 16)
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket [512, 1024)
+        }
+        assert_eq!(h.quantile_lower_bound(0.5), Some(8));
+        assert_eq!(h.quantile_lower_bound(0.99), Some(512));
+        assert_eq!(h.quantile_lower_bound(0.0), Some(8));
+        assert_eq!(h.quantile_lower_bound(1.0), Some(512));
+        assert_eq!(Histogram::new().quantile_lower_bound(0.5), None);
+    }
+
+    #[test]
+    fn debug_lists_nonempty_buckets_only() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let s = format!("{h:?}");
+        assert_eq!(s, "{4: 1}");
+    }
+}

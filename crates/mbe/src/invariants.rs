@@ -242,6 +242,7 @@ pub fn check_stopped_collect(
         &crate::run::RunControl::new(),
         &mut rest,
         Some(&ckpt.frontier),
+        crate::obs::ObsCtx::noop(),
     );
     assert!(
         out.stop.is_complete(),

@@ -81,9 +81,11 @@ pub mod extremal;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
 pub mod filtered;
+pub mod histogram;
 pub mod invariants;
 pub mod mbet;
 pub mod metrics;
+pub mod obs;
 pub mod parallel;
 pub mod progress;
 pub mod run;
@@ -98,7 +100,9 @@ pub use extremal::{maximum_edge_biclique, top_k_by_edges, top_k_with_control};
 pub use filtered::SizeThresholds;
 #[allow(deprecated)]
 pub use filtered::{collect_filtered, enumerate_filtered};
-pub use metrics::Stats;
+pub use histogram::Histogram;
+pub use metrics::{RunMetrics, Stats, WorkerMetrics};
+pub use obs::{FanoutObserver, JsonlTraceObserver, NoopObserver, Observer};
 pub use run::{Enumeration, MbeError, Report, RunControl, StopReason};
 pub use sink::{Biclique, BicliqueSink, CollectSink, CountSink, FnSink, TrieSink};
 

@@ -91,12 +91,28 @@ pub struct MbetEngine<'g> {
     /// Unexplored subtrees captured while unwinding out of a stopped
     /// `run_task`/`run_node` call; drained via `take_frontier`.
     frontier: Vec<ResumeTask>,
+    /// Deepest recursion the last `run_task`/`run_node` call reached.
+    task_depth: usize,
 }
 
 impl<'g> MbetEngine<'g> {
     /// An engine over `g` with feature toggles `cfg`.
     pub fn new(g: &'g BipartiteGraph, cfg: MbetConfig) -> Self {
-        MbetEngine { g, cfg, pool: Vec::new(), peak_trie_nodes: 0, frontier: Vec::new() }
+        MbetEngine {
+            g,
+            cfg,
+            pool: Vec::new(),
+            peak_trie_nodes: 0,
+            frontier: Vec::new(),
+            task_depth: 0,
+        }
+    }
+
+    /// Deepest enumeration recursion the most recent
+    /// [`run_task`](Self::run_task)/[`run_node`](Self::run_node) call
+    /// reached (0 when the root emitted without branching).
+    pub fn task_depth(&self) -> usize {
+        self.task_depth
     }
 
     /// Takes the frontier captured by the last stopped call (empty if it
@@ -120,6 +136,7 @@ impl<'g> MbetEngine<'g> {
         stats: &mut Stats,
     ) -> ControlFlow<StopReason> {
         self.frontier.clear();
+        self.task_depth = 0;
         self.expand(0, &task.l0, &[], task.v, &task.p0, &task.q0, sink, stats)
     }
 
@@ -137,6 +154,7 @@ impl<'g> MbetEngine<'g> {
         stats: &mut Stats,
     ) -> ControlFlow<StopReason> {
         self.frontier.clear();
+        self.task_depth = 0;
         self.expand(0, l, r_parent, v, p, q, sink, stats)
     }
 
@@ -173,6 +191,7 @@ impl<'g> MbetEngine<'g> {
             );
         }
         stats.nodes += 1;
+        self.task_depth = self.task_depth.max(depth);
 
         if self.pool.len() <= depth {
             self.pool.resize_with(depth + 1, Scratch::default);
@@ -476,6 +495,7 @@ impl MbetEngine<'_> {
         stats: &mut Stats,
     ) -> ControlFlow<StopReason> {
         stats.nodes += 1;
+        self.task_depth = self.task_depth.max(depth);
         for &q in traversed {
             if setops::is_subset(l_new, self.g.nbr_v(q)) {
                 stats.nonmaximal += 1;

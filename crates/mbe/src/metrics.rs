@@ -8,6 +8,8 @@
 
 use std::time::Duration;
 
+use crate::histogram::Histogram;
+
 /// Counters accumulated over one enumeration run.
 ///
 /// On a *stopped* run (cancelled, deadline, or over budget — see
@@ -63,6 +65,115 @@ impl Stats {
     }
 }
 
+/// Telemetry one worker accumulated over a run (serial runs have exactly
+/// one; the parallel driver keeps one per worker thread).
+///
+/// `emitted` counts *delivered* emissions only, so
+/// `RunMetrics::total_emitted` always equals `Stats::emitted` for the
+/// same run segment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// This worker's index (0-based; 0 for serial runs).
+    pub worker: usize,
+    /// Tasks this worker executed (root, node, and split tasks alike).
+    pub tasks: u64,
+    /// Tasks obtained by stealing from a peer worker's deque (always 0
+    /// for serial runs; injector batch refills are not steals).
+    pub steals: u64,
+    /// Times the worker woke from its idle backoff loop to re-check for
+    /// work (always 0 for serial runs).
+    pub idle_wakeups: u64,
+    /// Maximal bicliques this worker delivered to the sink.
+    pub emitted: u64,
+    /// Deepest enumeration recursion any of this worker's tasks reached.
+    pub peak_depth: u64,
+    /// Peak live prefix-tree nodes across this worker's tasks (MBET
+    /// engines only; 0 for baselines).
+    pub peak_trie_nodes: u64,
+    /// Task wall-clock latency distribution, in microseconds.
+    pub task_latency_us: Histogram,
+    /// Per-task enumeration depth distribution.
+    pub depth: Histogram,
+}
+
+impl WorkerMetrics {
+    /// An empty counter set labeled with this worker's index.
+    pub fn new(worker: usize) -> Self {
+        WorkerMetrics { worker, ..Default::default() }
+    }
+}
+
+/// Per-worker telemetry for a whole run, carried on
+/// [`crate::Report::metrics`].
+///
+/// Resumed runs append segments: each driver invocation contributes its
+/// worker set, so a serial run resumed on 4 threads yields 1 + 4
+/// entries. The merged totals below fold the segments together
+/// (histograms add bucket-wise, peaks take the max). The shape of this
+/// struct is part of the versioned telemetry surface documented in
+/// DESIGN.md §8.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// One entry per worker per driver segment, in segment order.
+    pub workers: Vec<WorkerMetrics>,
+}
+
+impl RunMetrics {
+    /// Wraps a single worker's counters (the serial driver's shape).
+    pub fn from_single(wm: WorkerMetrics) -> Self {
+        RunMetrics { workers: vec![wm] }
+    }
+
+    /// Appends another run segment's workers (used on resume).
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.workers.extend(other.workers.iter().cloned());
+    }
+
+    /// Total tasks executed across workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Total successful steals across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total idle wakeups across workers.
+    pub fn total_idle_wakeups(&self) -> u64 {
+        self.workers.iter().map(|w| w.idle_wakeups).sum()
+    }
+
+    /// Total delivered emissions across workers; equals
+    /// [`Stats::emitted`] for the same run.
+    pub fn total_emitted(&self) -> u64 {
+        self.workers.iter().map(|w| w.emitted).sum()
+    }
+
+    /// Deepest recursion reached by any worker.
+    pub fn peak_depth(&self) -> u64 {
+        self.workers.iter().map(|w| w.peak_depth).max().unwrap_or(0)
+    }
+
+    /// Task latency distribution merged across workers (microseconds).
+    pub fn task_latency_us(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for w in &self.workers {
+            h.merge(&w.task_latency_us);
+        }
+        h
+    }
+
+    /// Per-task depth distribution merged across workers.
+    pub fn depth(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for w in &self.workers {
+            h.merge(&w.depth);
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +216,35 @@ mod tests {
         assert_eq!(a.tasks, 66);
         assert_eq!(a.bound_pruned, 77);
         assert_eq!(a.elapsed, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn run_metrics_totals_and_merge() {
+        let mut w0 = WorkerMetrics::new(0);
+        w0.tasks = 3;
+        w0.steals = 1;
+        w0.idle_wakeups = 2;
+        w0.emitted = 10;
+        w0.peak_depth = 4;
+        w0.task_latency_us.record(100);
+        w0.depth.record(4);
+        let mut w1 = WorkerMetrics::new(1);
+        w1.tasks = 2;
+        w1.emitted = 5;
+        w1.peak_depth = 7;
+        w1.task_latency_us.record(3);
+        w1.depth.record(7);
+
+        let mut m = RunMetrics::from_single(w0);
+        m.merge(&RunMetrics::from_single(w1));
+        assert_eq!(m.workers.len(), 2);
+        assert_eq!(m.total_tasks(), 5);
+        assert_eq!(m.total_steals(), 1);
+        assert_eq!(m.total_idle_wakeups(), 2);
+        assert_eq!(m.total_emitted(), 15);
+        assert_eq!(m.peak_depth(), 7);
+        assert_eq!(m.task_latency_us().count(), 2);
+        assert_eq!(m.depth().max_bucket_lower_bound(), Some(4));
+        assert_eq!(RunMetrics::default().peak_depth(), 0);
     }
 }

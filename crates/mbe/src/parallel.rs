@@ -28,10 +28,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 use crate::checkpoint::ResumeTask;
-use crate::metrics::Stats;
+use crate::metrics::{RunMetrics, Stats, WorkerMetrics};
+use crate::obs::{DriverKind, ObsCtx, RecordingSink, SegmentInfo, TaskDelta, TaskInfo, TaskKind};
 use crate::run::{ControlState, ControlledSink, MbeError, RunControl, StopReason};
 use crate::sink::{Biclique, BicliqueSink, CollectSink, CountSink};
-use crate::task::{root_representatives, AnyEngine, RootTask, TaskBuilder};
+use crate::task::{record_task, root_representatives, AnyEngine, RootTask, TaskBuilder};
 use crate::{Algorithm, MbeOptions};
 use bigraph::BipartiteGraph;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
@@ -53,6 +54,7 @@ pub(crate) struct ParOutcome<S> {
     pub(crate) stop: StopReason,
     pub(crate) frontier: Vec<ResumeTask>,
     pub(crate) panic: Option<PanicInfo>,
+    pub(crate) metrics: RunMetrics,
 }
 
 /// A unit of parallel work.
@@ -124,6 +126,7 @@ pub(crate) fn par_run<S, F>(
     opts: &MbeOptions,
     control: &RunControl,
     resume: Option<&[ResumeTask]>,
+    obs: ObsCtx<'_>,
     make_sink: F,
 ) -> Result<ParOutcome<S>, MbeError>
 where
@@ -141,7 +144,7 @@ where
 
     let injector: Injector<Task> = Injector::new();
     let pending = AtomicU64::new(0);
-    let state = ControlState::new(control);
+    let state = ControlState::with_obs(control, obs);
     let frontier: Mutex<Vec<ResumeTask>> = Mutex::new(Vec::new());
     let panic_slot: Mutex<Option<PanicInfo>> = Mutex::new(None);
 
@@ -185,10 +188,17 @@ where
         }
     }
 
+    obs.segment_start(&SegmentInfo {
+        driver: DriverKind::Parallel,
+        workers: threads,
+        seeded_tasks: pending.load(Ordering::SeqCst),
+        resumed: resume.is_some(),
+    });
+
     let workers: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<_> = workers.iter().map(|w| w.stealer()).collect();
 
-    let mut results: Vec<Option<(S, Stats)>> = (0..threads).map(|_| None).collect();
+    let mut results: Vec<Option<(S, Stats, WorkerMetrics)>> = (0..threads).map(|_| None).collect();
 
     let (spawn_err, panicked) = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -211,6 +221,8 @@ where
                     let mut sink = make_sink(wid);
                     let mut stats = Stats::default();
                     let mut engine = AnyEngine::new(h, opts);
+                    let obs_w = obs.for_worker(wid);
+                    let mut wm = WorkerMetrics::new(wid);
                     worker_loop(
                         h,
                         perm,
@@ -225,8 +237,14 @@ where
                         &mut stats,
                         frontier,
                         panic_slot,
+                        obs_w,
+                        &mut wm,
                     );
-                    *slot = Some((sink, stats));
+                    // A worker's delivered count is exactly its stats
+                    // delta (engines bump `stats.emitted` only after a
+                    // full-chain Continue).
+                    wm.emitted = stats.emitted;
+                    *slot = Some((sink, stats, wm));
                 });
             match spawned {
                 Ok(handle) => handles.push(handle),
@@ -261,11 +279,13 @@ where
 
     let mut stats = seed_stats;
     let mut sinks = Vec::with_capacity(threads);
+    let mut metrics = RunMetrics::default();
     for r in results {
-        let Some((s, st)) = r else {
+        let Some((s, st, wm)) = r else {
             return Err(MbeError::WorkerPanicked);
         };
         stats.merge(&st);
+        metrics.workers.push(wm);
         sinks.push(s);
     }
     let stop = state.reason();
@@ -278,26 +298,55 @@ where
         crate::invariants::check_parallel_run(g, opts, &stats, !stop.is_complete());
     }
     stats.elapsed = start.elapsed();
+    obs.segment_end(stop, &stats);
     let frontier = frontier.into_inner().unwrap_or_else(PoisonError::into_inner);
     let panic = panic_slot.into_inner().unwrap_or_else(PoisonError::into_inner);
-    Ok(ParOutcome { sinks, stats, stop, frontier, panic })
+    Ok(ParOutcome { sinks, stats, stop, frontier, panic, metrics })
+}
+
+/// Where a popped task came from — feeds the steal telemetry: only tasks
+/// taken from a *peer's* deque count as steals (injector pops are normal
+/// distribution, not work stealing).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TaskSource {
+    /// The worker's own deque.
+    Local,
+    /// The shared injector (seeded roots and split children).
+    Injector,
+    /// Stolen from another worker's deque.
+    Peer,
 }
 
 /// Pops the next task: local deque first, then the injector, then peers.
+/// Retries while any source reports [`Steal::Retry`] (a racing steal), so
+/// `None` means every source was *observed empty* — same semantics as the
+/// crossbeam `find(!Retry)` idiom this replaces.
 fn next_task(
     local: &Worker<Task>,
     injector: &Injector<Task>,
     stealers: &[Stealer<Task>],
-) -> Option<Task> {
-    local.pop().or_else(|| {
-        std::iter::repeat_with(|| {
-            injector
-                .steal_batch_and_pop(local)
-                .or_else(|| stealers.iter().map(|s| s.steal()).collect())
-        })
-        .find(|s| !matches!(s, Steal::Retry))
-        .and_then(|s| s.success())
-    })
+) -> Option<(Task, TaskSource)> {
+    if let Some(t) = local.pop() {
+        return Some((t, TaskSource::Local));
+    }
+    loop {
+        let mut retry = false;
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(t) => return Some((t, TaskSource::Injector)),
+            Steal::Retry => retry = true,
+            Steal::Empty => {}
+        }
+        for s in stealers {
+            match s.steal() {
+                Steal::Success(t) => return Some((t, TaskSource::Peer)),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
 }
 
 /// Post-stop cleanup: pop queued tasks into the shared `frontier`
@@ -315,7 +364,7 @@ fn drain_after_stop(
 ) {
     let backoff = Backoff::new();
     loop {
-        while let Some(task) = next_task(local, injector, stealers) {
+        while let Some((task, _)) = next_task(local, injector, stealers) {
             let captured = match task {
                 Task::Root(v) => ResumeTask::Root(v),
                 Task::Node(t) => resume_task_of(&t),
@@ -374,10 +423,15 @@ fn worker_loop<'g, S: BicliqueSink>(
     stats: &mut Stats,
     frontier: &Mutex<Vec<ResumeTask>>,
     panic_slot: &Mutex<Option<PanicInfo>>,
+    obs: ObsCtx<'_>,
+    wm: &mut WorkerMetrics,
 ) {
     let mut split_buf: Vec<NodeTask> = Vec::new();
     let mut builder = TaskBuilder::new(h);
     let backoff = Backoff::new();
+    // Fires `on_idle` once per idle *period* (transition into idleness),
+    // not per snooze; `wm.idle_wakeups` counts every snooze.
+    let mut idle = false;
     // Record a pre-cancelled / pre-expired control before doing any work.
     state.check_idle();
     loop {
@@ -385,7 +439,7 @@ fn worker_loop<'g, S: BicliqueSink>(
             drain_after_stop(local, injector, stealers, pending, frontier);
             return;
         }
-        let Some(task) = next_task(local, injector, stealers) else {
+        let Some((task, source)) = next_task(local, injector, stealers) else {
             // Injector and every stealer came up empty. Either the pool is
             // done (`pending` drained) or peers are still expanding nodes
             // that may yet split — back off exponentially (spin, then
@@ -395,12 +449,28 @@ fn worker_loop<'g, S: BicliqueSink>(
             if pending.load(Ordering::SeqCst) == 0 {
                 return;
             }
+            if !idle {
+                idle = true;
+                obs.idle();
+            }
+            wm.idle_wakeups += 1;
             state.check_idle();
             backoff.snooze();
             continue;
         };
         backoff.reset();
+        idle = false;
+        if source == TaskSource::Peer {
+            wm.steals += 1;
+            obs.steal();
+        }
 
+        // The task's identity for the observer: captured before the root
+        // build consumes it (splitting refines Root/Node to Split below).
+        let (origin_v, origin_kind) = match &task {
+            Task::Root(v) => (*v, TaskKind::Root),
+            Task::Node(t) => (t.v, TaskKind::Node),
+        };
         let task = match task {
             Task::Node(t) => Some(t),
             Task::Root(v) => builder.build(v).map(NodeTask::from_root),
@@ -410,7 +480,14 @@ fn worker_loop<'g, S: BicliqueSink>(
             Some(task) => {
                 stats.tasks += 1;
                 let nodes_before = stats.nodes;
+                let emitted_before = stats.emitted;
                 let was_split = task.should_split(opts);
+                let info = TaskInfo {
+                    v: origin_v,
+                    kind: if was_split { TaskKind::Split } else { origin_kind },
+                };
+                obs.task_start(&info);
+                let t0 = std::time::Instant::now();
                 // Contain per-task panics: a poisoned task must not take
                 // the whole pool down. The captured borrows (&mut sink,
                 // stats, engine, split_buf) end when the closure returns;
@@ -419,7 +496,8 @@ fn worker_loop<'g, S: BicliqueSink>(
                 // split buffer, so nothing poisoned survives the task.
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut mapped = crate::sink::map_right(sink, perm);
-                    let mut controlled = ControlledSink::new(state, &mut mapped);
+                    let mut recording = RecordingSink::with_base(&mut mapped, obs, emitted_before);
+                    let mut controlled = ControlledSink::new(state, &mut recording);
                     if was_split {
                         split_buf.clear();
                         split_node(h, &task, &mut controlled, stats, &mut split_buf)
@@ -435,6 +513,23 @@ fn worker_loop<'g, S: BicliqueSink>(
                         )
                     }
                 }));
+                let elapsed = t0.elapsed();
+                if result.is_ok() {
+                    // Split tasks process a single node outside the engine,
+                    // so their recursion depth is 0 and the engine's depth
+                    // field is stale — don't read it.
+                    let depth = if was_split { 0 } else { engine.task_depth() as u64 };
+                    record_task(wm, depth, engine.peak_trie_nodes() as u64, elapsed);
+                    obs.task_finish(
+                        &info,
+                        elapsed,
+                        &TaskDelta {
+                            nodes: stats.nodes - nodes_before,
+                            emitted: stats.emitted - emitted_before,
+                            depth,
+                        },
+                    );
+                }
                 match result {
                     Ok(ControlFlow::Continue(())) => {
                         if was_split {
@@ -462,6 +557,11 @@ fn worker_loop<'g, S: BicliqueSink>(
                         ControlFlow::Break(r)
                     }
                     Err(payload) => {
+                        // No `task_finish` hook for a panicked task, but it
+                        // *was* counted in `stats.tasks` — mirror that in
+                        // the worker metrics so the per-worker task sum
+                        // still equals the merged total.
+                        record_task(wm, 0, 0, elapsed);
                         let mut slot = panic_slot.lock().unwrap_or_else(PoisonError::into_inner);
                         if slot.is_none() {
                             *slot = Some(PanicInfo {
@@ -567,7 +667,7 @@ where
     S: BicliqueSink + Send,
     F: Fn(usize) -> S + Sync,
 {
-    match par_run(g, opts, &RunControl::new(), None, make_sink) {
+    match par_run(g, opts, &RunControl::new(), None, ObsCtx::noop(), make_sink) {
         Ok(out) => {
             if let Some(p) = out.panic {
                 // The builder returns this as MbeError::WorkerPanic with a
@@ -598,7 +698,7 @@ where
 )]
 // xtask-allow: tuple-return
 pub fn par_collect_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (Vec<Biclique>, Stats) {
-    match par_run(g, opts, &RunControl::new(), None, |_| CollectSink::new()) {
+    match par_run(g, opts, &RunControl::new(), None, ObsCtx::noop(), |_| CollectSink::new()) {
         Ok(out) => {
             if let Some(p) = out.panic {
                 // xtask-allow: panic
@@ -628,7 +728,7 @@ pub fn par_collect_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (Vec<Bicl
             values instead of panicking; see the migration table in DESIGN.md §4")]
 // xtask-allow: tuple-return
 pub fn par_count_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (u64, Stats) {
-    match par_run(g, opts, &RunControl::new(), None, |_| CountSink::default()) {
+    match par_run(g, opts, &RunControl::new(), None, ObsCtx::noop(), |_| CountSink::default()) {
         Ok(out) => {
             if let Some(p) = out.panic {
                 // xtask-allow: panic

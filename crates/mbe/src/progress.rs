@@ -6,6 +6,11 @@
 //! sink and records a time-stamped sample every `sample_every` emissions,
 //! allocation-free per emission. The E9 experiment and the long-running
 //! examples are built on it.
+//!
+//! The sample buffer is *bounded*: once it reaches [`MAX_SAMPLES`], every
+//! other retained sample is dropped and the interval doubles, so an
+//! unbounded enumeration keeps O([`MAX_SAMPLES`]) memory while the
+//! retained samples stay evenly spaced over the whole run.
 
 use crate::run::StopReason;
 use crate::sink::BicliqueSink;
@@ -20,6 +25,11 @@ pub struct Sample {
     /// Wall-clock time since the sink was created.
     pub elapsed: Duration,
 }
+
+/// Hard cap on retained samples: reaching it triggers decimation (drop
+/// every other sample, double the interval), bounding memory at
+/// ~`MAX_SAMPLES × size_of::<Sample>()` regardless of run length.
+pub const MAX_SAMPLES: usize = 4096;
 
 /// Wraps an inner sink, sampling `(emitted, elapsed)` periodically.
 pub struct ProgressSink<S: BicliqueSink> {
@@ -47,19 +57,22 @@ impl<S: BicliqueSink> ProgressSink<S> {
         self.emitted
     }
 
-    /// The recorded samples, in order.
+    /// The recorded samples, in order. Never longer than
+    /// [`MAX_SAMPLES`]; see [`sample_every`](Self::sample_every) for the
+    /// (possibly decimation-doubled) current interval.
     pub fn samples(&self) -> &[Sample] {
         &self.samples
     }
 
+    /// The current sampling interval. Starts at the constructor value and
+    /// doubles on each decimation pass.
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
     /// Mean emission rate so far, per second.
     pub fn rate_per_sec(&self) -> f64 {
-        let secs = self.start.elapsed().as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
-            self.emitted as f64 / secs
-        }
+        rate_per_sec(self.emitted, self.start.elapsed())
     }
 
     /// Time at which the `i`-th fraction (`i / parts`) of `total`
@@ -75,11 +88,46 @@ impl<S: BicliqueSink> ProgressSink<S> {
     }
 }
 
+/// Mean emission rate over `elapsed`, per second (`0.0` before any time
+/// has passed). Shared by [`ProgressSink`] and the CLI `--progress` line.
+pub fn rate_per_sec(emitted: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        emitted as f64 / secs
+    }
+}
+
+/// Estimated time remaining to reach `total` emissions at the mean rate
+/// observed so far. `None` when the rate is still zero or the total has
+/// been reached.
+pub fn eta(emitted: u64, total: u64, elapsed: Duration) -> Option<Duration> {
+    let rate = rate_per_sec(emitted, elapsed);
+    if rate <= 0.0 || emitted >= total {
+        return None;
+    }
+    Some(Duration::from_secs_f64((total - emitted) as f64 / rate))
+}
+
 impl<S: BicliqueSink> BicliqueSink for ProgressSink<S> {
     fn emit(&mut self, left: &[u32], right: &[u32]) -> ControlFlow<StopReason> {
         self.emitted += 1;
         if self.emitted.is_multiple_of(self.sample_every) {
-            self.samples.push(Sample { emitted: self.emitted, elapsed: self.start.elapsed() });
+            if self.samples.len() >= MAX_SAMPLES {
+                // Decimate: keep every other sample (the ones aligned to
+                // the doubled interval) and sample half as often from now
+                // on. Amortized O(1) per emission.
+                let mut i = 0usize;
+                self.samples.retain(|_| {
+                    i += 1;
+                    i.is_multiple_of(2)
+                });
+                self.sample_every = self.sample_every.saturating_mul(2);
+            }
+            if self.emitted.is_multiple_of(self.sample_every) {
+                self.samples.push(Sample { emitted: self.emitted, elapsed: self.start.elapsed() });
+            }
         }
         self.inner.emit(left, right)
     }
@@ -110,6 +158,25 @@ mod tests {
     }
 
     #[test]
+    fn decimation_bounds_samples() {
+        let mut p = ProgressSink::new(CountSink::default(), 1);
+        let total = (MAX_SAMPLES as u64) * 3;
+        for _ in 0..total {
+            assert!(p.emit(&[0], &[0]).is_continue());
+        }
+        assert!(p.samples().len() <= MAX_SAMPLES, "len={}", p.samples().len());
+        assert!(p.sample_every() > 1, "interval must have doubled");
+        // Retained samples stay aligned to the current interval and
+        // strictly ordered.
+        let every = p.sample_every();
+        for w in p.samples().windows(2) {
+            assert!(w[0].emitted < w[1].emitted);
+        }
+        assert!(p.samples().iter().all(|s| s.emitted.is_multiple_of(every)));
+        assert_eq!(p.emitted(), total);
+    }
+
+    #[test]
     fn time_to_fraction_lookup() {
         let mut p = ProgressSink::new(CountSink::default(), 1);
         for _ in 0..8 {
@@ -120,6 +187,18 @@ mod tests {
         let t_full = p.time_to_fraction(8, 2, 2).expect("sampled");
         assert!(t_half <= t_full);
         assert!(p.time_to_fraction(8, 3, 2).is_none() || p.emitted() >= 12);
+    }
+
+    #[test]
+    fn rate_and_eta_math() {
+        let dt = Duration::from_secs(2);
+        assert!((rate_per_sec(100, dt) - 50.0).abs() < 1e-9);
+        assert_eq!(rate_per_sec(100, Duration::ZERO), 0.0);
+        // 100 done of 200 in 2 s at 50/s → 2 s to go.
+        let e = eta(100, 200, dt).expect("rate is positive");
+        assert!((e.as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(eta(200, 200, dt), None, "already reached");
+        assert_eq!(eta(0, 10, Duration::ZERO), None, "no rate yet");
     }
 
     #[test]

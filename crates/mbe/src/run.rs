@@ -29,7 +29,8 @@ use bigraph::BipartiteGraph;
 
 use crate::checkpoint::{graph_fingerprint, Checkpoint, CheckpointError, ResumeTask};
 use crate::filtered::SizeThresholds;
-use crate::metrics::Stats;
+use crate::metrics::{RunMetrics, Stats, WorkerMetrics};
+use crate::obs::{ObsCtx, Observer, RunContext, DEFAULT_SAMPLE_EVERY};
 use crate::sink::{Biclique, BicliqueSink, CollectSink, CountSink};
 use crate::{Algorithm, MbeOptions, MbetConfig};
 
@@ -192,6 +193,7 @@ impl RunControl {
 /// workers.
 pub(crate) struct ControlState<'c> {
     control: &'c RunControl,
+    obs: ObsCtx<'c>,
     emit_tokens: AtomicU64,
     nodes: AtomicU64,
     stop: AtomicU8,
@@ -199,8 +201,15 @@ pub(crate) struct ControlState<'c> {
 
 impl<'c> ControlState<'c> {
     pub(crate) fn new(control: &'c RunControl) -> Self {
+        ControlState::with_obs(control, ObsCtx::noop())
+    }
+
+    /// Like [`new`](Self::new), additionally firing `on_stop` through
+    /// `obs` when a stop reason wins the first-writer race.
+    pub(crate) fn with_obs(control: &'c RunControl, obs: ObsCtx<'c>) -> Self {
         ControlState {
             control,
+            obs,
             emit_tokens: AtomicU64::new(0),
             nodes: AtomicU64::new(0),
             stop: AtomicU8::new(0),
@@ -222,7 +231,12 @@ impl<'c> ControlState<'c> {
     /// recorded; returns the winning (first-recorded) reason either way.
     pub(crate) fn note_stop(&self, reason: StopReason) -> StopReason {
         match self.stop.compare_exchange(0, reason.encode(), Ordering::SeqCst, Ordering::SeqCst) {
-            Ok(_) => reason,
+            Ok(_) => {
+                // Only the winning writer reports: on_stop fires exactly
+                // once per run, with the reason every worker will observe.
+                self.obs.stop(reason);
+                reason
+            }
             Err(prev) => StopReason::decode(prev).unwrap_or(reason),
         }
     }
@@ -396,6 +410,11 @@ pub struct Report {
     /// run later: the resumed output and this run's output are disjoint
     /// and together equal the complete run's output.
     pub checkpoint: Option<Checkpoint>,
+    /// Per-worker telemetry (histograms, steal/idle counters) for this
+    /// run segment; see [`RunMetrics`]. Always populated by the serial
+    /// and parallel drivers; empty (default) for size-thresholded and
+    /// extremal-search runs, which are not yet instrumented.
+    pub metrics: RunMetrics,
 }
 
 impl Report {
@@ -442,6 +461,8 @@ pub struct Enumeration<'g> {
     control: RunControl,
     thresholds: Option<SizeThresholds>,
     resume: Option<Checkpoint>,
+    observer: Option<&'g dyn Observer>,
+    sample_every: u64,
     #[cfg(feature = "fault-injection")]
     faults: Option<crate::faults::FaultPlan>,
 }
@@ -455,6 +476,8 @@ impl<'g> Enumeration<'g> {
             control: RunControl::new(),
             thresholds: None,
             resume: None,
+            observer: None,
+            sample_every: DEFAULT_SAMPLE_EVERY,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -528,6 +551,47 @@ impl<'g> Enumeration<'g> {
     /// and call [`RunControl::cancel`] to stop the run in flight.
     pub fn control_handle(&self) -> RunControl {
         self.control.clone()
+    }
+
+    /// Attaches an [`Observer`] whose hooks fire throughout the run (both
+    /// drivers). Without one, the hook sites reduce to a null check — see
+    /// the hot-path contract in [`crate::obs`].
+    pub fn observer(mut self, obs: &'g dyn Observer) -> Self {
+        self.observer = Some(obs);
+        self
+    }
+
+    /// Sets the emission-sampling cadence for
+    /// [`Observer::on_emit_sample`] (per worker, in delivered emissions;
+    /// clamped to at least 1). Defaults to
+    /// [`DEFAULT_SAMPLE_EVERY`].
+    pub fn sample_every(mut self, every: u64) -> Self {
+        self.sample_every = every.max(1);
+        self
+    }
+
+    /// The observer context the drivers thread around.
+    fn obs_ctx(&self) -> ObsCtx<'g> {
+        ObsCtx::new(self.observer, self.sample_every)
+    }
+
+    /// Fires `on_run_start` with this run's configuration.
+    fn note_run_start(&self, obs: &ObsCtx<'g>) {
+        obs.run_start(&RunContext {
+            algorithm: self.opts.algorithm,
+            threads: self.opts.threads,
+            resumed: self.resume.is_some(),
+        });
+    }
+
+    /// Fires `on_checkpoint` (when the report carries one) and
+    /// `on_run_end` — the common run epilogue, also used on the
+    /// contained-panic error path so trace observers always flush.
+    fn note_run_end(obs: &ObsCtx<'g>, report: &Report) {
+        if let Some(ck) = &report.checkpoint {
+            obs.checkpoint(ck.frontier.len() as u64, ck.emitted);
+        }
+        obs.run_end(report.stop, &report.stats);
     }
 
     /// Continues a previously stopped run from its checkpoint instead of
@@ -626,11 +690,19 @@ impl<'g> Enumeration<'g> {
     pub fn collect(self) -> Result<Report, MbeError> {
         self.validate()?;
         self.validate_resume()?;
+        let obs = self.obs_ctx();
+        self.note_run_start(&obs);
         if let Some(thr) = self.thresholds {
             let mut sink = CollectSink::new();
             let (stats, stop) =
                 crate::filtered::run_filtered(self.g, thr, &self.control, &mut sink);
-            let report = Report { bicliques: sink.into_vec(), stats, stop, checkpoint: None };
+            let report = Report {
+                bicliques: sink.into_vec(),
+                stats,
+                stop,
+                checkpoint: None,
+                metrics: RunMetrics::default(),
+            };
             crate::invariants::check_stopped_collect(
                 self.g,
                 &self.opts,
@@ -639,6 +711,7 @@ impl<'g> Enumeration<'g> {
                 report.stop,
                 None,
             );
+            Self::note_run_end(&obs, &report);
             return Ok(report);
         }
         let resume_tasks = self.resume.as_ref().map(|c| c.frontier.as_slice());
@@ -647,14 +720,25 @@ impl<'g> Enumeration<'g> {
             #[cfg(feature = "fault-injection")]
             let sink = crate::faults::FaultySink::new(self.faults.clone(), sink);
             let mut sink = sink;
-            let out =
-                run_serial_resumable(self.g, &self.opts, &self.control, &mut sink, resume_tasks);
+            let out = run_serial_resumable(
+                self.g,
+                &self.opts,
+                &self.control,
+                &mut sink,
+                resume_tasks,
+                obs,
+            );
             #[cfg(feature = "fault-injection")]
             let sink = sink.into_inner();
             (sink.into_vec(), out, None)
         } else {
-            let par =
-                crate::parallel::par_run(self.g, &self.opts, &self.control, resume_tasks, |_| {
+            let par = crate::parallel::par_run(
+                self.g,
+                &self.opts,
+                &self.control,
+                resume_tasks,
+                obs,
+                |_| {
                     #[cfg(feature = "fault-injection")]
                     {
                         crate::faults::FaultySink::new(self.faults.clone(), CollectSink::new())
@@ -663,7 +747,8 @@ impl<'g> Enumeration<'g> {
                     {
                         CollectSink::new()
                     }
-                })?;
+                },
+            )?;
             let mut bicliques = Vec::new();
             for s in par.sinks {
                 #[cfg(feature = "fault-injection")]
@@ -672,19 +757,34 @@ impl<'g> Enumeration<'g> {
             }
             (
                 bicliques,
-                RunOutcome { stats: par.stats, stop: par.stop, frontier: par.frontier },
+                RunOutcome {
+                    stats: par.stats,
+                    stop: par.stop,
+                    frontier: par.frontier,
+                    metrics: par.metrics,
+                },
                 par.panic,
             )
         };
         let checkpoint = self.make_checkpoint(out.stop, out.stats.emitted, out.frontier);
-        let report = Report { bicliques, stats: out.stats, stop: out.stop, checkpoint };
+        let report = Report {
+            bicliques,
+            stats: out.stats,
+            stop: out.stop,
+            checkpoint,
+            metrics: out.metrics,
+        };
         if let Some(p) = panic {
+            // Flush-before-fail: trace observers see run_end (with the
+            // WorkerPanicked stop) even though the terminal errors.
+            Self::note_run_end(&obs, &report);
             return Err(MbeError::WorkerPanic {
                 task: p.task,
                 payload: p.payload,
                 report: Box::new(report),
             });
         }
+        Self::note_run_end(&obs, &report);
         crate::invariants::check_stopped_collect(
             self.g,
             &self.opts,
@@ -704,27 +804,62 @@ impl<'g> Enumeration<'g> {
     pub fn count(self) -> Result<Report, MbeError> {
         self.validate()?;
         self.validate_resume()?;
+        let obs = self.obs_ctx();
+        self.note_run_start(&obs);
         if let Some(thr) = self.thresholds {
             let mut sink = CountSink::default();
             let (stats, stop) =
                 crate::filtered::run_filtered(self.g, thr, &self.control, &mut sink);
-            return Ok(Report { bicliques: Vec::new(), stats, stop, checkpoint: None });
+            let report = Report {
+                bicliques: Vec::new(),
+                stats,
+                stop,
+                checkpoint: None,
+                metrics: RunMetrics::default(),
+            };
+            Self::note_run_end(&obs, &report);
+            return Ok(report);
         }
         let resume_tasks = self.resume.as_ref().map(|c| c.frontier.as_slice());
         let (out, panic) = if self.opts.threads == 1 {
             let mut sink = CountSink::default();
-            let out =
-                run_serial_resumable(self.g, &self.opts, &self.control, &mut sink, resume_tasks);
+            let out = run_serial_resumable(
+                self.g,
+                &self.opts,
+                &self.control,
+                &mut sink,
+                resume_tasks,
+                obs,
+            );
             (out, None)
         } else {
-            let par =
-                crate::parallel::par_run(self.g, &self.opts, &self.control, resume_tasks, |_| {
-                    CountSink::default()
-                })?;
-            (RunOutcome { stats: par.stats, stop: par.stop, frontier: par.frontier }, par.panic)
+            let par = crate::parallel::par_run(
+                self.g,
+                &self.opts,
+                &self.control,
+                resume_tasks,
+                obs,
+                |_| CountSink::default(),
+            )?;
+            (
+                RunOutcome {
+                    stats: par.stats,
+                    stop: par.stop,
+                    frontier: par.frontier,
+                    metrics: par.metrics,
+                },
+                par.panic,
+            )
         };
         let checkpoint = self.make_checkpoint(out.stop, out.stats.emitted, out.frontier);
-        let report = Report { bicliques: Vec::new(), stats: out.stats, stop: out.stop, checkpoint };
+        let report = Report {
+            bicliques: Vec::new(),
+            stats: out.stats,
+            stop: out.stop,
+            checkpoint,
+            metrics: out.metrics,
+        };
+        Self::note_run_end(&obs, &report);
         if let Some(p) = panic {
             return Err(MbeError::WorkerPanic {
                 task: p.task,
@@ -742,14 +877,32 @@ impl<'g> Enumeration<'g> {
     /// results.
     pub fn run<S: BicliqueSink>(self, sink: &mut S) -> Result<Report, MbeError> {
         self.validate_resume()?;
+        let obs = self.obs_ctx();
+        self.note_run_start(&obs);
         if let Some(thr) = self.thresholds {
             let (stats, stop) = crate::filtered::run_filtered(self.g, thr, &self.control, sink);
-            return Ok(Report { bicliques: Vec::new(), stats, stop, checkpoint: None });
+            let report = Report {
+                bicliques: Vec::new(),
+                stats,
+                stop,
+                checkpoint: None,
+                metrics: RunMetrics::default(),
+            };
+            Self::note_run_end(&obs, &report);
+            return Ok(report);
         }
         let resume_tasks = self.resume.as_ref().map(|c| c.frontier.as_slice());
-        let out = run_serial_resumable(self.g, &self.opts, &self.control, sink, resume_tasks);
+        let out = run_serial_resumable(self.g, &self.opts, &self.control, sink, resume_tasks, obs);
         let checkpoint = self.make_checkpoint(out.stop, out.stats.emitted, out.frontier);
-        Ok(Report { bicliques: Vec::new(), stats: out.stats, stop: out.stop, checkpoint })
+        let report = Report {
+            bicliques: Vec::new(),
+            stats: out.stats,
+            stop: out.stop,
+            checkpoint,
+            metrics: out.metrics,
+        };
+        Self::note_run_end(&obs, &report);
+        Ok(report)
     }
 
     /// Runs on the parallel driver with one sink per worker (built by
@@ -771,11 +924,26 @@ impl<'g> Enumeration<'g> {
             ));
         }
         self.validate_resume()?;
+        let obs = self.obs_ctx();
+        self.note_run_start(&obs);
         let resume_tasks = self.resume.as_ref().map(|c| c.frontier.as_slice());
-        let par =
-            crate::parallel::par_run(self.g, &self.opts, &self.control, resume_tasks, make_sink)?;
+        let par = crate::parallel::par_run(
+            self.g,
+            &self.opts,
+            &self.control,
+            resume_tasks,
+            obs,
+            make_sink,
+        )?;
         let checkpoint = self.make_checkpoint(par.stop, par.stats.emitted, par.frontier);
-        let report = Report { bicliques: Vec::new(), stats: par.stats, stop: par.stop, checkpoint };
+        let report = Report {
+            bicliques: Vec::new(),
+            stats: par.stats,
+            stop: par.stop,
+            checkpoint,
+            metrics: par.metrics,
+        };
+        Self::note_run_end(&obs, &report);
         if let Some(p) = par.panic {
             return Err(MbeError::WorkerPanic {
                 task: p.task,
@@ -787,38 +955,55 @@ impl<'g> Enumeration<'g> {
     }
 }
 
-/// What a serial segment produced: the stats, the stop reason, and — for
-/// stopped segments — the captured unexplored frontier (internal ids).
+/// What a serial segment produced: the stats, the stop reason, for
+/// stopped segments the captured unexplored frontier (internal ids), and
+/// the per-worker telemetry.
 pub(crate) struct RunOutcome {
     pub(crate) stats: Stats,
     pub(crate) stop: StopReason,
     pub(crate) frontier: Vec<ResumeTask>,
+    pub(crate) metrics: RunMetrics,
 }
 
 /// Serial enumeration core shared by the builder terminals and the
 /// deprecated shims: applies the vertex order, then either runs every
 /// root task (`resume == None`) or replays a checkpointed frontier
-/// (`resume == Some`), under `control`. A stopped run's unexplored
-/// frontier comes back in the outcome.
+/// (`resume == Some`), under `control`, reporting through `obs`. A
+/// stopped run's unexplored frontier comes back in the outcome.
 pub(crate) fn run_serial_resumable<S: BicliqueSink>(
     g: &BipartiteGraph,
     opts: &MbeOptions,
     control: &RunControl,
     sink: &mut S,
     resume: Option<&[ResumeTask]>,
+    obs: ObsCtx<'_>,
 ) -> RunOutcome {
     let (h, perm) = bigraph::order::apply(g, opts.order);
     let mut stats = Stats::default();
     let mut frontier = Vec::new();
+    let mut wm = WorkerMetrics::new(0);
     let start = Instant::now();
     let stop = {
         let mut mapped = crate::sink::MapRight::new(sink, &perm);
         let mut driver = crate::task::SerialDriver::new(&h, opts);
         match resume {
-            Some(tasks) => {
-                driver.run_frontier(tasks, &mut mapped, &mut stats, control, &mut frontier)
-            }
-            None => driver.run_all_capturing(&mut mapped, &mut stats, control, &mut frontier),
+            Some(tasks) => driver.run_frontier(
+                tasks,
+                &mut mapped,
+                &mut stats,
+                control,
+                &mut frontier,
+                obs,
+                &mut wm,
+            ),
+            None => driver.run_all_capturing(
+                &mut mapped,
+                &mut stats,
+                control,
+                &mut frontier,
+                obs,
+                &mut wm,
+            ),
         }
     };
     if stop.is_complete() {
@@ -827,7 +1012,7 @@ pub(crate) fn run_serial_resumable<S: BicliqueSink>(
         crate::invariants::check_counter_identity(&stats);
     }
     stats.elapsed = start.elapsed();
-    RunOutcome { stats, stop, frontier }
+    RunOutcome { stats, stop, frontier, metrics: RunMetrics::from_single(wm) }
 }
 
 /// Serial enumeration core of the deprecated shims: like
@@ -838,7 +1023,7 @@ pub(crate) fn run_serial<S: BicliqueSink>(
     control: &RunControl,
     sink: &mut S,
 ) -> (Stats, StopReason) {
-    let out = run_serial_resumable(g, opts, control, sink, None);
+    let out = run_serial_resumable(g, opts, control, sink, None, ObsCtx::noop());
     (out.stats, out.stop)
 }
 

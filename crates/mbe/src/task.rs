@@ -17,7 +17,8 @@ use std::ops::ControlFlow;
 use crate::baseline::BaselineEngine;
 use crate::checkpoint::ResumeTask;
 use crate::mbet::MbetEngine;
-use crate::metrics::Stats;
+use crate::metrics::{Stats, WorkerMetrics};
+use crate::obs::{DriverKind, ObsCtx, RecordingSink, SegmentInfo, TaskInfo, TaskKind};
 use crate::run::{ControlState, ControlledSink, RunControl, StopReason};
 use crate::sink::BicliqueSink;
 use crate::{Algorithm, MbeOptions};
@@ -137,28 +138,67 @@ impl<'g> SerialDriver<'g> {
         control: &RunControl,
     ) -> StopReason {
         let mut frontier = Vec::new();
-        self.run_all_capturing(sink, stats, control, &mut frontier)
+        let mut wm = WorkerMetrics::new(0);
+        self.run_all_capturing(sink, stats, control, &mut frontier, ObsCtx::noop(), &mut wm)
     }
 
     /// [`run_all`](SerialDriver::run_all), additionally capturing the
-    /// unexplored frontier into `frontier` when the run stops early: the
+    /// unexplored frontier into `frontier` when the run stops early (the
     /// in-flight engine's untraversed subtrees plus every not-yet-started
-    /// root task, in internal (ordered) ids. Empty on a completed run.
+    /// root task, in internal (ordered) ids; empty on a completed run),
+    /// firing the `obs` hooks, and accumulating per-worker telemetry
+    /// into `wm`.
     pub(crate) fn run_all_capturing<S: BicliqueSink>(
         &mut self,
         sink: &mut S,
         stats: &mut Stats,
         control: &RunControl,
         frontier: &mut Vec<ResumeTask>,
+        obs: ObsCtx<'_>,
+        wm: &mut WorkerMetrics,
+    ) -> StopReason {
+        let emitted0 = stats.emitted;
+        let stop = self.run_all_inner(sink, stats, control, frontier, obs, wm);
+        wm.emitted += stats.emitted - emitted0;
+        obs.segment_end(stop, stats);
+        stop
+    }
+
+    /// Body of [`run_all_capturing`](SerialDriver::run_all_capturing)
+    /// (split out so the wrapper can settle `wm.emitted` on every early
+    /// return path at once).
+    fn run_all_inner<S: BicliqueSink>(
+        &mut self,
+        sink: &mut S,
+        stats: &mut Stats,
+        control: &RunControl,
+        frontier: &mut Vec<ResumeTask>,
+        obs: ObsCtx<'_>,
+        wm: &mut WorkerMetrics,
     ) -> StopReason {
         let g = self.g;
-        let state = ControlState::new(control);
-        let mut controlled = ControlledSink::new(&state, sink);
+        let state = ControlState::with_obs(control, obs);
+        let mut recording = RecordingSink::with_base(sink, obs, stats.emitted);
+        let mut controlled = ControlledSink::new(&state, &mut recording);
         // Root-level batching: only MBET with batching enabled skips
         // equivalent roots (the baselines process every vertex, as in
         // their papers).
         let batch_roots = self.opts.algorithm == Algorithm::Mbet && self.opts.mbet.batching;
         let reps = if batch_roots { Some(root_representatives(g)) } else { None };
+        if obs.enabled() {
+            // The seed count is only computed when someone is listening.
+            let seeded = (0..g.num_v())
+                .filter(|&v| {
+                    reps.as_deref().is_none_or(|r| r[v as usize]) && !g.nbr_v(v).is_empty()
+                })
+                .count() as u64;
+            obs.segment_start(&SegmentInfo {
+                driver: DriverKind::Serial,
+                workers: 1,
+                seeded_tasks: seeded,
+                resumed: false,
+            });
+        }
         if let ControlFlow::Break(r) = state.note_task(0) {
             // Cancelled or expired before any work: the whole run is the
             // frontier.
@@ -177,8 +217,25 @@ impl<'g> SerialDriver<'g> {
             }
             if let Some(task) = builder.build(v) {
                 stats.tasks += 1;
+                let info = TaskInfo { v, kind: TaskKind::Root };
+                obs.task_start(&info);
                 let nodes_before = stats.nodes;
-                if let ControlFlow::Break(r) = engine.run_task(&task, &mut controlled, stats) {
+                let emitted_before = stats.emitted;
+                let t0 = std::time::Instant::now();
+                let flow = engine.run_task(&task, &mut controlled, stats);
+                let elapsed = t0.elapsed();
+                let depth = engine.task_depth() as u64;
+                record_task(wm, depth, engine.peak_trie_nodes() as u64, elapsed);
+                obs.task_finish(
+                    &info,
+                    elapsed,
+                    &crate::obs::TaskDelta {
+                        nodes: stats.nodes - nodes_before,
+                        emitted: stats.emitted - emitted_before,
+                        depth,
+                    },
+                );
+                if let ControlFlow::Break(r) = flow {
                     frontier.append(&mut engine.take_frontier());
                     capture_remaining_roots(g, reps.as_deref(), v + 1, frontier);
                     return state.note_stop(r);
@@ -196,6 +253,7 @@ impl<'g> SerialDriver<'g> {
     /// sweep; each task's subtree is enumerated exactly as the original
     /// run would have. Stops capture the still-unexplored remainder into
     /// `frontier`, so resumed runs can themselves be checkpointed.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_frontier<S: BicliqueSink>(
         &mut self,
         tasks: &[ResumeTask],
@@ -203,10 +261,39 @@ impl<'g> SerialDriver<'g> {
         stats: &mut Stats,
         control: &RunControl,
         frontier: &mut Vec<ResumeTask>,
+        obs: ObsCtx<'_>,
+        wm: &mut WorkerMetrics,
+    ) -> StopReason {
+        let emitted0 = stats.emitted;
+        let stop = self.run_frontier_inner(tasks, sink, stats, control, frontier, obs, wm);
+        wm.emitted += stats.emitted - emitted0;
+        obs.segment_end(stop, stats);
+        stop
+    }
+
+    /// Body of [`run_frontier`](SerialDriver::run_frontier), split out so
+    /// the wrapper can settle `wm.emitted` on every return path at once.
+    #[allow(clippy::too_many_arguments)]
+    fn run_frontier_inner<S: BicliqueSink>(
+        &mut self,
+        tasks: &[ResumeTask],
+        sink: &mut S,
+        stats: &mut Stats,
+        control: &RunControl,
+        frontier: &mut Vec<ResumeTask>,
+        obs: ObsCtx<'_>,
+        wm: &mut WorkerMetrics,
     ) -> StopReason {
         let g = self.g;
-        let state = ControlState::new(control);
-        let mut controlled = ControlledSink::new(&state, sink);
+        let state = ControlState::with_obs(control, obs);
+        let mut recording = RecordingSink::with_base(sink, obs, stats.emitted);
+        let mut controlled = ControlledSink::new(&state, &mut recording);
+        obs.segment_start(&SegmentInfo {
+            driver: DriverKind::Serial,
+            workers: 1,
+            seeded_tasks: tasks.len() as u64,
+            resumed: true,
+        });
         if let ControlFlow::Break(r) = state.note_task(0) {
             frontier.extend(tasks.iter().cloned());
             return r;
@@ -215,19 +302,45 @@ impl<'g> SerialDriver<'g> {
         let mut engine = AnyEngine::new(g, &self.opts);
         for (i, task) in tasks.iter().enumerate() {
             let nodes_before = stats.nodes;
+            let emitted_before = stats.emitted;
+            let info = match task {
+                ResumeTask::Root(v) => TaskInfo { v: *v, kind: TaskKind::Root },
+                ResumeTask::Node { v, .. } => TaskInfo { v: *v, kind: TaskKind::Node },
+            };
+            let mut ran = true;
+            let t0 = std::time::Instant::now();
             let flow = match task {
                 ResumeTask::Root(v) => match builder.build(*v) {
                     Some(root) => {
                         stats.tasks += 1;
+                        obs.task_start(&info);
                         engine.run_task(&root, &mut controlled, stats)
                     }
-                    None => ControlFlow::Continue(()),
+                    None => {
+                        ran = false; // isolated root — nothing to do
+                        ControlFlow::Continue(())
+                    }
                 },
                 ResumeTask::Node { l, r_parent, v, p, q } => {
                     stats.tasks += 1;
+                    obs.task_start(&info);
                     engine.run_node(l, r_parent, *v, p, q, &mut controlled, stats)
                 }
             };
+            if ran {
+                let elapsed = t0.elapsed();
+                let depth = engine.task_depth() as u64;
+                record_task(wm, depth, engine.peak_trie_nodes() as u64, elapsed);
+                obs.task_finish(
+                    &info,
+                    elapsed,
+                    &crate::obs::TaskDelta {
+                        nodes: stats.nodes - nodes_before,
+                        emitted: stats.emitted - emitted_before,
+                        depth,
+                    },
+                );
+            }
             if let ControlFlow::Break(r) = flow {
                 frontier.append(&mut engine.take_frontier());
                 frontier.extend(tasks[i + 1..].iter().cloned());
@@ -240,6 +353,21 @@ impl<'g> SerialDriver<'g> {
         }
         StopReason::Completed
     }
+}
+
+/// Folds one finished task into the worker's telemetry: latency and
+/// depth histograms plus the running peaks.
+pub(crate) fn record_task(
+    wm: &mut WorkerMetrics,
+    depth: u64,
+    peak_trie_nodes: u64,
+    elapsed: std::time::Duration,
+) {
+    wm.tasks += 1;
+    wm.task_latency_us.record(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    wm.depth.record(depth);
+    wm.peak_depth = wm.peak_depth.max(depth);
+    wm.peak_trie_nodes = wm.peak_trie_nodes.max(peak_trie_nodes);
 }
 
 /// Pushes every root task at `from..` that would still run (representative
@@ -307,6 +435,23 @@ impl<'g> AnyEngine<'g> {
         match self {
             AnyEngine::Baseline(e) => e.take_frontier(),
             AnyEngine::Mbet(e) => e.take_frontier(),
+        }
+    }
+
+    /// Deepest recursion the last `run_task`/`run_node` call reached.
+    pub(crate) fn task_depth(&self) -> usize {
+        match self {
+            AnyEngine::Baseline(e) => e.task_depth(),
+            AnyEngine::Mbet(e) => e.task_depth(),
+        }
+    }
+
+    /// Peak live prefix-tree nodes across the engine's lifetime (MBET
+    /// only; baselines have no trie and report 0).
+    pub(crate) fn peak_trie_nodes(&self) -> usize {
+        match self {
+            AnyEngine::Baseline(_) => 0,
+            AnyEngine::Mbet(e) => e.peak_trie_nodes(),
         }
     }
 }

@@ -1,8 +1,15 @@
-//! Workspace lint runner: `cargo run -p xtask -- check`.
+//! Workspace tooling: `cargo run -p xtask -- <check | trace-check FILE |
+//! bench-snapshot [OUT]>`.
 //!
-//! A zero-dependency static-analysis pass over every `.rs` file in the
-//! workspace, enforcing the repo conventions that `clippy` cannot express
-//! (see README.md "Static analysis & invariants"):
+//! * `check` — the static-analysis pass described below;
+//! * `trace-check FILE` — validates a `--trace` JSONL run trace
+//!   ([`trace_check`]);
+//! * `bench-snapshot [OUT]` — runs the calibration bench and records a
+//!   committed JSON snapshot ([`snapshot`]).
+//!
+//! `check` is a zero-dependency static-analysis pass over every `.rs`
+//! file in the workspace, enforcing the repo conventions that `clippy`
+//! cannot express (see README.md "Static analysis & invariants"):
 //!
 //! * **unsafe** — no `unsafe` anywhere, and every crate root
 //!   (`src/lib.rs` / `src/main.rs`) carries `#![forbid(unsafe_code)]`;
@@ -32,16 +39,22 @@
 
 #![forbid(unsafe_code)]
 
+mod snapshot;
+mod trace_check;
+
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Modules whose panics abort enumeration mid-flight: the panic-family
-/// rules apply only here.
+/// rules apply only here. `obs.rs` and `histogram.rs` qualify because
+/// observer hooks and metrics recording run inside every task loop.
 const HOT_PATHS: &[&str] = &[
     "crates/setops/src/",
     "crates/ptree/src/",
     "crates/mbe/src/mbet.rs",
     "crates/mbe/src/parallel.rs",
+    "crates/mbe/src/obs.rs",
+    "crates/mbe/src/histogram.rs",
 ];
 
 /// Crates allowed to print to stdout (user-facing output or bench
@@ -93,16 +106,27 @@ impl fmt::Display for Violation {
 fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("check") => {}
-        other => {
-            eprintln!("usage: cargo run -p xtask -- check");
-            if let Some(cmd) = other {
-                eprintln!("unknown command: {cmd}");
-            }
-            std::process::exit(2);
-        }
+        Some("check") => run_check(),
+        Some("trace-check") => match args.next() {
+            Some(path) => trace_check::run(&path),
+            None => usage(Some("trace-check requires a trace file path")),
+        },
+        Some("bench-snapshot") => snapshot::run(&workspace_root(), args.next().as_deref()),
+        other => usage(other),
     }
+}
 
+/// Prints usage (with an optional offending input) and exits 2.
+fn usage(cmd: Option<&str>) -> ! {
+    eprintln!("usage: cargo run -p xtask -- <check | trace-check FILE | bench-snapshot [OUT]>");
+    if let Some(cmd) = cmd {
+        eprintln!("unknown or incomplete command: {cmd}");
+    }
+    std::process::exit(2);
+}
+
+/// The `check` subcommand: the full static-analysis pass.
+fn run_check() {
     let root = workspace_root();
     let files = collect_rs_files(&root);
     let mut violations = Vec::new();

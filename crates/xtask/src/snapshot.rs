@@ -1,0 +1,165 @@
+//! `bench-snapshot [OUT]`: runs the calibration bench (`cargo run
+//! --release -p bench --bin calib`) and writes its table as a committed
+//! JSON snapshot (default `BENCH_PR4.json` at the workspace root).
+//!
+//! The snapshot pins the biclique count per preset — a cheap regression
+//! tripwire across PRs — alongside the wall-clock time observed when it
+//! was taken (informational only; machines differ). The file format is
+//! documented in EXPERIMENTS.md ("Benchmark snapshots").
+
+use std::path::Path;
+
+/// Entry point for the `bench-snapshot` subcommand. Exits 0 after
+/// writing the snapshot, 1 when the bench fails or prints nothing
+/// parseable, 2 on I/O errors.
+pub fn run(root: &Path, out: Option<&str>) -> ! {
+    let out = out.unwrap_or("BENCH_PR4.json");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    println!("bench-snapshot: running the calib bench (release build, this takes a while)…");
+    let output = match std::process::Command::new(cargo)
+        .args(["run", "--release", "-q", "-p", "bench", "--bin", "calib"])
+        .current_dir(root)
+        .output()
+    {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench-snapshot: cannot run cargo: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !output.status.success() {
+        eprintln!("bench-snapshot: calib failed: {}", String::from_utf8_lossy(&output.stderr));
+        std::process::exit(1);
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let rows = match parse_calib(&stdout) {
+        Ok(rows) if !rows.is_empty() => rows,
+        Ok(_) => {
+            eprintln!("bench-snapshot: calib printed no rows");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("bench-snapshot: cannot parse calib output: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = render(&rows);
+    let path = root.join(out);
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("bench-snapshot: cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("bench-snapshot: wrote {} ({} presets)", path.display(), rows.len());
+    std::process::exit(0);
+}
+
+/// One row of the calibration table.
+#[derive(Debug, PartialEq)]
+struct Row {
+    preset: String,
+    bicliques: u64,
+    time_us: u64,
+}
+
+/// Parses calib's `ABBR  B=COUNT   (TIME)` lines.
+fn parse_calib(stdout: &str) -> Result<Vec<Row>, String> {
+    let mut rows = Vec::new();
+    for line in stdout.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let preset = parts.next().ok_or(format!("empty row {line:?}"))?.to_string();
+        let b = parts.next().ok_or(format!("missing B column in {line:?}"))?;
+        let bicliques = b
+            .strip_prefix("B=")
+            .and_then(|n| n.parse().ok())
+            .ok_or(format!("bad B column {b:?} in {line:?}"))?;
+        let t = parts.next().ok_or(format!("missing time column in {line:?}"))?;
+        let t = t
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or(format!("bad time column {t:?} in {line:?}"))?;
+        rows.push(Row { preset, bicliques, time_us: parse_duration_us(t)? });
+    }
+    Ok(rows)
+}
+
+/// Parses a `Duration` debug rendering (`96ms`, `1.2s`, `234µs`, `80ns`)
+/// into whole microseconds (rounded down, so sub-microsecond times are 0).
+fn parse_duration_us(s: &str) -> Result<u64, String> {
+    let digits_end = s.find(|c: char| !c.is_ascii_digit() && c != '.').unwrap_or(s.len());
+    let value: f64 = s[..digits_end].parse().map_err(|e| format!("bad duration {s:?}: {e}"))?;
+    let factor = match &s[digits_end..] {
+        "ns" => 1e-3,
+        "µs" | "us" => 1.0,
+        "ms" => 1e3,
+        "s" => 1e6,
+        other => return Err(format!("unknown duration unit {other:?} in {s:?}")),
+    };
+    Ok((value * factor) as u64)
+}
+
+/// Renders the snapshot JSON (hand-rolled; keys and rows are fully under
+/// our control so no escaping is needed).
+fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"source\": \"cargo run --release -p bench --bin calib\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"preset\": \"{}\", \"bicliques\": {}, \"time_us\": {}}}{sep}\n",
+            r.preset, r.bicliques, r.time_us
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_calib_rows() {
+        let rows = parse_calib("BX    B=5236      (96ms)\nML100 B=120      (234µs)\n").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], Row { preset: "BX".into(), bicliques: 5236, time_us: 96_000 });
+        assert_eq!(rows[1], Row { preset: "ML100".into(), bicliques: 120, time_us: 234 });
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(parse_duration_us("80ns").unwrap(), 0);
+        assert_eq!(parse_duration_us("234us").unwrap(), 234);
+        assert_eq!(parse_duration_us("96ms").unwrap(), 96_000);
+        assert_eq!(parse_duration_us("1.5s").unwrap(), 1_500_000);
+        assert!(parse_duration_us("10min").is_err());
+        assert!(parse_duration_us("fast").is_err());
+    }
+
+    #[test]
+    fn bad_rows_are_rejected() {
+        assert!(parse_calib("BX 5236 (96ms)").is_err(), "missing B= prefix");
+        assert!(parse_calib("BX B=x (96ms)").is_err());
+        assert!(parse_calib("BX B=1 96ms").is_err(), "missing parens");
+    }
+
+    #[test]
+    fn render_is_valid_minimal_json() {
+        let rows = vec![
+            Row { preset: "A".into(), bicliques: 1, time_us: 2 },
+            Row { preset: "B".into(), bicliques: 3, time_us: 4 },
+        ];
+        let json = render(&rows);
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("{\"preset\": \"A\", \"bicliques\": 1, \"time_us\": 2},"));
+        assert!(json.ends_with("]\n}\n"));
+        // No trailing comma on the last row.
+        assert!(json.contains("{\"preset\": \"B\", \"bicliques\": 3, \"time_us\": 4}\n"));
+    }
+}

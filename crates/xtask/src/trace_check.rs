@@ -1,0 +1,356 @@
+//! `trace-check FILE`: validates a JSONL run trace written by
+//! `JsonlTraceObserver` (`mbe-cli enumerate --trace FILE`).
+//!
+//! Checks, in order:
+//!
+//! * every line parses as a flat JSON object of string and unsigned
+//!   integer values (the only shapes schema v1 emits);
+//! * every event carries `v` (== the supported schema version), `t_us`,
+//!   and `ev`;
+//! * timestamps are non-decreasing across the whole file;
+//! * the first event is `run_start` and the last is `run_end`;
+//! * per worker, `task_start`/`task_finish` alternate and agree on the
+//!   task id — a start left open at end-of-file is tolerated only when
+//!   the final `run_end` reports a non-`completed` stop (a panicked task
+//!   never gets a finish event);
+//! * an empty file passes (a run can legitimately stop before any event
+//!   is flushed only if nothing was written at all).
+//!
+//! The checker is hand-rolled and zero-dependency like the writer; the
+//! schema version it understands is pinned here and must move in
+//! lockstep with `mbe::obs::TRACE_SCHEMA_VERSION`.
+
+use std::collections::HashMap;
+
+/// The trace schema version this checker understands (mirrors
+/// `mbe::obs::TRACE_SCHEMA_VERSION`; xtask is intentionally
+/// dependency-free, so the constant is pinned rather than imported).
+const SUPPORTED_VERSION: u64 = 1;
+
+/// A scalar JSON value of the trace schema.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(u64),
+    Str(String),
+}
+
+impl Value {
+    fn as_num(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Str(_) => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Num(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+/// What a valid trace looked like, for the success report.
+#[derive(Debug)]
+struct Summary {
+    events: usize,
+    final_stop: Option<String>,
+}
+
+/// Entry point for the `trace-check` subcommand: exits 0 on a valid
+/// trace, 1 on a malformed one, 2 when the file cannot be read.
+pub fn run(path: &str) -> ! {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("trace-check: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match validate(&content) {
+        Ok(s) => {
+            match &s.final_stop {
+                Some(stop) => {
+                    println!("trace-check: {path}: {} event(s) ok (stop: {stop})", s.events)
+                }
+                None => println!("trace-check: {path}: empty trace ok"),
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("trace-check: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Validates a whole trace; `Err` carries a `line N: reason` message.
+fn validate(content: &str) -> Result<Summary, String> {
+    let mut events = 0usize;
+    let mut last_us = 0u64;
+    let mut first_ev: Option<String> = None;
+    let mut last_ev: Option<String> = None;
+    let mut final_stop: Option<String> = None;
+    // Worker id -> task id of the task it currently has open.
+    let mut open: HashMap<u64, u64> = HashMap::new();
+
+    for (idx, line) in content.lines().enumerate() {
+        let n = idx + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {n}: blank line inside trace"));
+        }
+        let obj = parse_object(line).map_err(|e| format!("line {n}: {e}"))?;
+        let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+
+        let v = get("v")
+            .and_then(Value::as_num)
+            .ok_or(format!("line {n}: missing numeric `v` field"))?;
+        if v != SUPPORTED_VERSION {
+            return Err(format!("line {n}: schema version {v}, expected {SUPPORTED_VERSION}"));
+        }
+        let t_us = get("t_us")
+            .and_then(Value::as_num)
+            .ok_or(format!("line {n}: missing numeric `t_us` field"))?;
+        if t_us < last_us {
+            return Err(format!("line {n}: timestamp {t_us}us goes backwards (last {last_us}us)"));
+        }
+        last_us = t_us;
+        let ev = get("ev")
+            .and_then(Value::as_str)
+            .ok_or(format!("line {n}: missing string `ev` field"))?
+            .to_string();
+
+        match ev.as_str() {
+            "task_start" | "task_finish" => {
+                let w = get("w")
+                    .and_then(Value::as_num)
+                    .ok_or(format!("line {n}: {ev} without numeric `w`"))?;
+                let task = get("task")
+                    .and_then(Value::as_num)
+                    .ok_or(format!("line {n}: {ev} without numeric `task`"))?;
+                if ev == "task_start" {
+                    if let Some(prev) = open.insert(w, task) {
+                        return Err(format!(
+                            "line {n}: worker {w} starts task {task} while task {prev} is open"
+                        ));
+                    }
+                } else {
+                    match open.remove(&w) {
+                        Some(t) if t == task => {}
+                        Some(t) => {
+                            return Err(format!(
+                                "line {n}: worker {w} finishes task {task} but task {t} is open"
+                            ));
+                        }
+                        None => {
+                            return Err(format!(
+                                "line {n}: worker {w} finishes task {task} without a start"
+                            ));
+                        }
+                    }
+                }
+            }
+            "run_end" => {
+                final_stop = Some(
+                    get("stop")
+                        .and_then(Value::as_str)
+                        .ok_or(format!("line {n}: run_end without string `stop`"))?
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+
+        if first_ev.is_none() {
+            first_ev = Some(ev.clone());
+        }
+        last_ev = Some(ev);
+        events += 1;
+    }
+
+    if events == 0 {
+        return Ok(Summary { events, final_stop: None });
+    }
+    match first_ev.as_deref() {
+        Some("run_start") => {}
+        Some(other) => return Err(format!("first event is `{other}`, expected `run_start`")),
+        None => {}
+    }
+    match last_ev.as_deref() {
+        Some("run_end") => {}
+        Some(other) => return Err(format!("last event is `{other}`, expected `run_end`")),
+        None => {}
+    }
+    if !open.is_empty() {
+        // A task that panicked never gets its finish; every other path
+        // closes the pair, so dangling starts are only legal when the
+        // run itself reports a non-completed stop.
+        let completed = final_stop.as_deref() == Some("completed");
+        if completed {
+            let mut workers: Vec<u64> = open.keys().copied().collect();
+            workers.sort_unstable();
+            return Err(format!(
+                "run completed but worker(s) {workers:?} have unfinished task_start events"
+            ));
+        }
+    }
+    Ok(Summary { events, final_stop })
+}
+
+/// Parses one `{"key":value,...}` line of the trace schema: flat object,
+/// string keys, values either unsigned integers or escape-free strings.
+fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or("not a JSON object".to_string())?;
+    let mut out = Vec::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        let (key, after_key) = parse_string(rest)?;
+        rest = after_key.strip_prefix(':').ok_or(format!("expected `:` after key {key:?}"))?;
+        let (value, after_value) = parse_value(rest)?;
+        out.push((key, value));
+        rest = match after_value.strip_prefix(',') {
+            Some(r) if !r.is_empty() => r,
+            Some(_) => return Err("trailing comma".to_string()),
+            None if after_value.is_empty() => after_value,
+            None => return Err(format!("expected `,` before {after_value:?}")),
+        };
+    }
+    if out.is_empty() {
+        return Err("empty object".to_string());
+    }
+    Ok(out)
+}
+
+/// Parses a leading `"..."` (no escapes — the writer never emits any).
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let rest = s.strip_prefix('"').ok_or(format!("expected string at {s:?}"))?;
+    let end = rest.find('"').ok_or("unterminated string".to_string())?;
+    let inner = &rest[..end];
+    if inner.contains('\\') {
+        return Err(format!("unexpected escape in string {inner:?}"));
+    }
+    Ok((inner.to_string(), &rest[end + 1..]))
+}
+
+/// Parses a leading value: an unsigned integer or a string.
+fn parse_value(s: &str) -> Result<(Value, &str), String> {
+    if s.starts_with('"') {
+        let (v, rest) = parse_string(s)?;
+        return Ok((Value::Str(v), rest));
+    }
+    let digits = s.len() - s.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    if digits == 0 {
+        return Err(format!("expected number or string at {s:?}"));
+    }
+    let n: u64 = s[..digits].parse().map_err(|e| format!("bad number: {e}"))?;
+    Ok((Value::Num(n), &s[digits..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = concat!(
+        "{\"v\":1,\"t_us\":0,\"ev\":\"run_start\",\"alg\":\"MBET\",\"threads\":2,\"resumed\":0}\n",
+        "{\"v\":1,\"t_us\":5,\"ev\":\"segment_start\",\"driver\":\"parallel\",\"workers\":2,\"seeded\":3,\"resumed\":0}\n",
+        "{\"v\":1,\"t_us\":9,\"ev\":\"task_start\",\"w\":0,\"task\":1,\"kind\":\"root\"}\n",
+        "{\"v\":1,\"t_us\":12,\"ev\":\"task_start\",\"w\":1,\"task\":2,\"kind\":\"root\"}\n",
+        "{\"v\":1,\"t_us\":20,\"ev\":\"task_finish\",\"w\":0,\"task\":1,\"kind\":\"root\",\"us\":11,\"nodes\":4,\"emitted\":2,\"depth\":1}\n",
+        "{\"v\":1,\"t_us\":21,\"ev\":\"task_finish\",\"w\":1,\"task\":2,\"kind\":\"root\",\"us\":9,\"nodes\":3,\"emitted\":1,\"depth\":1}\n",
+        "{\"v\":1,\"t_us\":30,\"ev\":\"segment_end\",\"stop\":\"completed\",\"nodes\":7,\"emitted\":3}\n",
+        "{\"v\":1,\"t_us\":31,\"ev\":\"run_end\",\"stop\":\"completed\",\"nodes\":7,\"emitted\":3,\"tasks\":2}\n",
+    );
+
+    #[test]
+    fn accepts_a_wellformed_trace() {
+        let s = validate(GOOD).expect("valid");
+        assert_eq!(s.events, 8);
+        assert_eq!(s.final_stop.as_deref(), Some("completed"));
+    }
+
+    #[test]
+    fn accepts_an_empty_trace() {
+        let s = validate("").expect("valid");
+        assert_eq!(s.events, 0);
+    }
+
+    #[test]
+    fn rejects_nonmonotone_timestamps() {
+        let bad = GOOD.replace("\"t_us\":21", "\"t_us\":19");
+        let err = validate(&bad).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_and_wrong_version() {
+        assert!(validate("not json\n").is_err());
+        assert!(validate("{\"v\":1,\"t_us\":0}\n").unwrap_err().contains("ev"));
+        let wrong_v = GOOD.replace("\"v\":1", "\"v\":9");
+        assert!(validate(&wrong_v).unwrap_err().contains("schema version"));
+    }
+
+    #[test]
+    fn rejects_unbalanced_tasks_on_completed_runs() {
+        // Remove worker 1's finish: dangling start on a completed run.
+        let dangling: String = GOOD
+            .lines()
+            .filter(|l| !l.contains("\"task_finish\",\"w\":1"))
+            .fold(String::new(), |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            });
+        let err = validate(&dangling).unwrap_err();
+        assert!(err.contains("unfinished"), "{err}");
+        // The same dangling start is fine when the run did not complete.
+        let panicked = dangling.replace(
+            "\"ev\":\"run_end\",\"stop\":\"completed\"",
+            "\"ev\":\"run_end\",\"stop\":\"worker-panicked\"",
+        );
+        let panicked = panicked.replace(
+            "\"ev\":\"segment_end\",\"stop\":\"completed\"",
+            "\"ev\":\"segment_end\",\"stop\":\"worker-panicked\"",
+        );
+        assert!(validate(&panicked).is_ok());
+    }
+
+    #[test]
+    fn rejects_misordered_endpoints() {
+        let no_start = GOOD.lines().skip(1).map(|l| format!("{l}\n")).collect::<String>();
+        assert!(validate(&no_start).unwrap_err().contains("run_start"));
+        // The first 7 lines end at segment_end with all task pairs closed,
+        // so the endpoint rule is what fires.
+        let no_end: String = GOOD.lines().take(7).map(|l| format!("{l}\n")).collect();
+        assert!(validate(&no_end).unwrap_err().contains("run_end"));
+    }
+
+    #[test]
+    fn rejects_double_start_and_finish_mismatch() {
+        let double = GOOD.replace(
+            "{\"v\":1,\"t_us\":12,\"ev\":\"task_start\",\"w\":1,\"task\":2,\"kind\":\"root\"}",
+            "{\"v\":1,\"t_us\":12,\"ev\":\"task_start\",\"w\":0,\"task\":2,\"kind\":\"root\"}",
+        );
+        assert!(validate(&double).unwrap_err().contains("while task"));
+        let mismatch = GOOD.replace(
+            "\"ev\":\"task_finish\",\"w\":1,\"task\":2",
+            "\"ev\":\"task_finish\",\"w\":1,\"task\":7",
+        );
+        assert!(validate(&mismatch).unwrap_err().contains("is open"));
+    }
+
+    #[test]
+    fn parser_handles_the_schema_shapes() {
+        let obj = parse_object("{\"a\":1,\"b\":\"x\"}").expect("parses");
+        assert_eq!(
+            obj,
+            vec![("a".to_string(), Value::Num(1)), ("b".to_string(), Value::Str("x".to_string()))]
+        );
+        assert!(parse_object("{}").is_err());
+        assert!(parse_object("{\"a\":1,}").is_err());
+        assert!(parse_object("{\"a\":-1}").is_err(), "schema v1 has no negative numbers");
+        assert!(parse_object("{\"a\":{\"b\":1}}").is_err(), "schema v1 is flat");
+    }
+}
