@@ -127,8 +127,18 @@ fn compact(raw: &[(u64, u64)]) -> Result<BipartiteGraph, GraphError> {
 
 /// Reads an edge list from a file path.
 pub fn read_edge_list_path<P: AsRef<Path>>(path: P) -> Result<BipartiteGraph, GraphError> {
+    read_edge_list_path_with_limits(path, ReadLimits::default())
+}
+
+/// Reads an edge list from a file path with caller-chosen size limits —
+/// the entry point for loaders that treat the path as untrusted input
+/// (the query service's `LOAD` verb reads server-side files this way).
+pub fn read_edge_list_path_with_limits<P: AsRef<Path>>(
+    path: P,
+    limits: ReadLimits,
+) -> Result<BipartiteGraph, GraphError> {
     let f = std::fs::File::open(path)?;
-    read_edge_list(std::io::BufReader::new(f))
+    read_edge_list_with_limits(std::io::BufReader::new(f), limits)
 }
 
 /// Writes a graph as a plain 0-based edge list.
@@ -216,6 +226,27 @@ mod tests {
         d1.sort_unstable();
         d2.sort_unstable();
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn path_loader_applies_limits() {
+        let dir = std::env::temp_dir().join(format!("bigraph-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("limits.txt");
+        std::fs::write(&path, "1 1\n1 2\n2 1\n").unwrap();
+
+        let g = read_edge_list_path_with_limits(&path, ReadLimits::default()).unwrap();
+        assert_eq!(g.num_edges(), 3);
+
+        let tight = ReadLimits { max_edges: 2, ..ReadLimits::default() };
+        match read_edge_list_path_with_limits(&path, tight).unwrap_err() {
+            GraphError::TooLarge { what, limit } => {
+                assert_eq!(what, "edges");
+                assert_eq!(limit, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

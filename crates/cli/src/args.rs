@@ -11,6 +11,11 @@
 //!                          [--trace FILE] [--metrics] [--progress SECS]
 //! mbe-cli generate <preset ABBREV | chung-lu NU NV E | gnm NU NV M>
 //!                  [--seed S] [--scale X] --output FILE
+//! mbe-cli serve <addr> [--workers N] [--queue N] [--cache-mb MB]
+//!                      [--default-timeout SECS] [--trace-dir DIR]
+//!                      [--load NAME=FILE]...
+//! mbe-cli client <addr> <load NAME FILE | list | stats | shutdown
+//!                        | query GRAPH [flags]>
 //! mbe-cli presets
 //! ```
 
@@ -47,10 +52,49 @@ pub enum Command {
     },
     /// `generate ...`
     Generate { model: GenModel, seed: u64, scale: f64, output: String },
+    /// `serve <addr> ...`
+    Serve {
+        addr: String,
+        workers: usize,
+        queue: usize,
+        cache_mb: usize,
+        default_timeout: Option<f64>,
+        trace_dir: Option<String>,
+        preload: Vec<(String, String)>,
+    },
+    /// `client <addr> <action>`
+    Client { addr: String, action: ClientAction },
     /// `presets`
     Presets,
     /// `help` (also on bad input, with the error noted)
     Help { error: Option<String> },
+}
+
+/// What `client` should ask the server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// `load NAME FILE` — register a server-side edge list.
+    Load { name: String, file: String },
+    /// `list` — show registered graphs.
+    List,
+    /// `stats` — show server counters.
+    Stats,
+    /// `shutdown` — graceful server shutdown.
+    Shutdown,
+    /// `query GRAPH [flags]` — run (or replay from cache) a query.
+    Query {
+        graph: String,
+        algorithm: Algorithm,
+        order: VertexOrder,
+        threads: usize,
+        min_left: usize,
+        min_right: usize,
+        top_k: Option<usize>,
+        count_only: bool,
+        max_bicliques: Option<u64>,
+        timeout: Option<f64>,
+        max_print: usize,
+    },
 }
 
 /// What `generate` should produce.
@@ -80,6 +124,8 @@ pub fn parse(args: &[String]) -> Command {
         "core" => parse_core(&args[1..]),
         "enumerate" => parse_enumerate(&args[1..]),
         "generate" => parse_generate(&args[1..]),
+        "serve" => parse_serve(&args[1..]),
+        "client" => parse_client(&args[1..]),
         other => err(&format!("unknown command `{other}`")),
     }
 }
@@ -269,6 +315,178 @@ fn parse_generate(args: &[String]) -> Command {
     }
 }
 
+fn parse_serve(args: &[String]) -> Command {
+    let Some(addr) = args.first() else {
+        return err("serve requires a listen address (e.g. 127.0.0.1:7771)");
+    };
+    let mut workers = 2usize;
+    let mut queue = 8usize;
+    let mut cache_mb = 32usize;
+    let mut default_timeout = None;
+    let mut trace_dir = None;
+    let mut preload = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--workers" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => return err("--workers needs a number >= 1"),
+            },
+            "--queue" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => queue = n,
+                _ => return err("--queue needs a number >= 1"),
+            },
+            "--cache-mb" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cache_mb = n,
+                None => return err("--cache-mb needs a number"),
+            },
+            "--default-timeout" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 && secs.is_finite() => default_timeout = Some(secs),
+                _ => return err("--default-timeout needs a positive number of seconds"),
+            },
+            "--trace-dir" => match it.next() {
+                Some(d) => trace_dir = Some(d.clone()),
+                None => return err("--trace-dir needs a path"),
+            },
+            "--load" => match it.next().and_then(|s| s.split_once('=')) {
+                Some((name, file)) if !name.is_empty() && !file.is_empty() => {
+                    preload.push((name.to_string(), file.to_string()));
+                }
+                _ => return err("--load needs NAME=FILE"),
+            },
+            other => return err(&format!("unknown serve flag `{other}`")),
+        }
+    }
+    Command::Serve {
+        addr: addr.clone(),
+        workers,
+        queue,
+        cache_mb,
+        default_timeout,
+        trace_dir,
+        preload,
+    }
+}
+
+fn parse_client(args: &[String]) -> Command {
+    let Some(addr) = args.first() else {
+        return err("client requires a server address (e.g. 127.0.0.1:7771)");
+    };
+    let action = match args.get(1).map(String::as_str) {
+        Some("load") => match (args.get(2), args.get(3)) {
+            (Some(name), Some(file)) => {
+                if let Some(extra) = args.get(4) {
+                    return err(&format!("unexpected client load argument `{extra}`"));
+                }
+                ClientAction::Load { name: name.clone(), file: file.clone() }
+            }
+            _ => return err("client load requires NAME FILE"),
+        },
+        Some("list") => ClientAction::List,
+        Some("stats") => ClientAction::Stats,
+        Some("shutdown") => ClientAction::Shutdown,
+        Some("query") => match parse_client_query(&args[2..]) {
+            Ok(action) => action,
+            Err(msg) => return err(&msg),
+        },
+        other => {
+            return err(&format!(
+                "client needs an action (load|list|stats|shutdown|query), got {other:?}"
+            ))
+        }
+    };
+    Command::Client { addr: addr.clone(), action }
+}
+
+fn parse_client_query(args: &[String]) -> Result<ClientAction, String> {
+    let Some(graph) = args.first() else {
+        return Err("client query requires a graph name".to_string());
+    };
+    let mut action = ClientAction::Query {
+        graph: graph.clone(),
+        algorithm: Algorithm::Mbet,
+        order: VertexOrder::AscendingDegree,
+        threads: 1,
+        min_left: 1,
+        min_right: 1,
+        top_k: None,
+        count_only: false,
+        max_bicliques: None,
+        timeout: None,
+        max_print: 20,
+    };
+    let ClientAction::Query {
+        algorithm,
+        order,
+        threads,
+        min_left,
+        min_right,
+        top_k,
+        count_only,
+        max_bicliques,
+        timeout,
+        max_print,
+        ..
+    } = &mut action
+    else {
+        unreachable!()
+    };
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--count-only" => *count_only = true,
+            "--algorithm" => match it.next().map(String::as_str) {
+                Some("mbet") => *algorithm = Algorithm::Mbet,
+                Some("mbea") => *algorithm = Algorithm::Mbea,
+                Some("imbea") => *algorithm = Algorithm::Imbea,
+                Some("minelmbc") => *algorithm = Algorithm::MineLmbc,
+                other => return Err(format!("bad --algorithm {other:?}")),
+            },
+            "--order" => match it.next().map(String::as_str) {
+                Some("asc") => *order = VertexOrder::AscendingDegree,
+                Some("desc") => *order = VertexOrder::DescendingDegree,
+                Some("unilateral") => *order = VertexOrder::Unilateral,
+                Some("natural") => *order = VertexOrder::Natural,
+                Some(s) if s.starts_with("random:") => match s["random:".len()..].parse() {
+                    Ok(seed) => *order = VertexOrder::Random(seed),
+                    Err(_) => return Err("bad random seed in --order".to_string()),
+                },
+                other => return Err(format!("bad --order {other:?}")),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => *threads = n,
+                None => return Err("--threads needs a number".to_string()),
+            },
+            "--min-left" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => *min_left = n,
+                None => return Err("--min-left needs a number".to_string()),
+            },
+            "--min-right" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => *min_right = n,
+                None => return Err("--min-right needs a number".to_string()),
+            },
+            "--top-k" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => *top_k = Some(n),
+                None => return Err("--top-k needs a number".to_string()),
+            },
+            "--max-bicliques" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => *max_bicliques = Some(n),
+                _ => return Err("--max-bicliques needs a positive number".to_string()),
+            },
+            "--timeout" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 && secs.is_finite() => *timeout = Some(secs),
+                _ => return Err("--timeout needs a positive number of seconds".to_string()),
+            },
+            "--max-print" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => *max_print = n,
+                None => return Err("--max-print needs a number".to_string()),
+            },
+            other => return Err(format!("unknown client query flag `{other}`")),
+        }
+    }
+    Ok(action)
+}
+
 fn parse_triple<'a>(it: &mut impl Iterator<Item = &'a String>) -> Option<(u32, u32, usize)> {
     let nu = it.next()?.parse().ok()?;
     let nv = it.next()?.parse().ok()?;
@@ -326,6 +544,29 @@ USAGE:
         preset ABBREV      calibrated dataset analogue (see `presets`)
         chung-lu NU NV E   power-law bipartite graph
         gnm NU NV E        uniform random bipartite graph
+
+  mbe-cli serve <addr> [options]
+      Run the multi-client query service on <addr> (e.g. 127.0.0.1:7771).
+        --workers N            enumeration worker threads (default 2)
+        --queue N              admission queue slots (default 8); overflow
+                               is rejected with a typed busy response
+        --cache-mb MB          result-cache byte budget (default 32)
+        --default-timeout SECS deadline for queries without their own
+        --trace-dir DIR        write a JSONL trace per query to DIR
+        --load NAME=FILE       register a graph at startup (repeatable)
+      Interactive servers shut down gracefully on `q` + Enter: running
+      queries are cancelled and answer with their checkpoints.
+
+  mbe-cli client <addr> <action>
+      Talk to a running server. Actions:
+        load NAME FILE         register the server-side edge list FILE
+        list                   show registered graphs
+        stats                  show server counters (cache hits, queue)
+        shutdown               ask the server to drain and exit
+        query GRAPH [flags]    run a query; flags mirror `enumerate`
+                               (--algorithm --order --threads --min-left
+                               --min-right --top-k --count-only
+                               --max-bicliques --timeout --max-print)
 
   mbe-cli presets
       List the calibrated benchmark-dataset analogues.
@@ -507,6 +748,124 @@ mod tests {
                 assert_eq!(model, GenModel::ChungLu { nu: 100, nv: 50, edges: 400 });
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_serve() {
+        match p("serve 127.0.0.1:7771") {
+            Command::Serve {
+                addr,
+                workers,
+                queue,
+                cache_mb,
+                default_timeout,
+                trace_dir,
+                preload,
+            } => {
+                assert_eq!(addr, "127.0.0.1:7771");
+                assert_eq!(workers, 2);
+                assert_eq!(queue, 8);
+                assert_eq!(cache_mb, 32);
+                assert_eq!(default_timeout, None);
+                assert_eq!(trace_dir, None);
+                assert!(preload.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("serve 0.0.0.0:9 --workers 4 --queue 2 --cache-mb 64 \
+                 --default-timeout 1.5 --trace-dir /tmp/tr --load a=x.txt --load b=y.txt")
+        {
+            Command::Serve {
+                workers,
+                queue,
+                cache_mb,
+                default_timeout,
+                trace_dir,
+                preload,
+                ..
+            } => {
+                assert_eq!(workers, 4);
+                assert_eq!(queue, 2);
+                assert_eq!(cache_mb, 64);
+                assert_eq!(default_timeout, Some(1.5));
+                assert_eq!(trace_dir, Some("/tmp/tr".into()));
+                assert_eq!(preload, [("a".into(), "x.txt".into()), ("b".into(), "y.txt".into())]);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "serve",
+            "serve :0 --workers 0",
+            "serve :0 --queue nope",
+            "serve :0 --load broken",
+            "serve :0 --load =x",
+            "serve :0 --wat",
+        ] {
+            assert!(matches!(p(bad), Command::Help { error: Some(_) }), "`{bad}`");
+        }
+    }
+
+    #[test]
+    fn parses_client() {
+        assert_eq!(
+            p("client :1 load web graph.txt"),
+            Command::Client {
+                addr: ":1".into(),
+                action: ClientAction::Load { name: "web".into(), file: "graph.txt".into() }
+            }
+        );
+        assert_eq!(
+            p("client :1 list"),
+            Command::Client { addr: ":1".into(), action: ClientAction::List }
+        );
+        assert_eq!(
+            p("client :1 stats"),
+            Command::Client { addr: ":1".into(), action: ClientAction::Stats }
+        );
+        assert_eq!(
+            p("client :1 shutdown"),
+            Command::Client { addr: ":1".into(), action: ClientAction::Shutdown }
+        );
+        match p("client :1 query web --algorithm imbea --order random:3 --min-left 2 \
+                 --count-only --max-bicliques 50 --timeout 2.5 --max-print 5")
+        {
+            Command::Client {
+                action:
+                    ClientAction::Query {
+                        graph,
+                        algorithm,
+                        order,
+                        min_left,
+                        count_only,
+                        max_bicliques,
+                        timeout,
+                        max_print,
+                        ..
+                    },
+                ..
+            } => {
+                assert_eq!(graph, "web");
+                assert_eq!(algorithm, Algorithm::Imbea);
+                assert_eq!(order, VertexOrder::Random(3));
+                assert_eq!(min_left, 2);
+                assert!(count_only);
+                assert_eq!(max_bicliques, Some(50));
+                assert_eq!(timeout, Some(2.5));
+                assert_eq!(max_print, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "client",
+            "client :1",
+            "client :1 load onlyname",
+            "client :1 load a b extra",
+            "client :1 query",
+            "client :1 query g --timeout 0",
+            "client :1 poke",
+        ] {
+            assert!(matches!(p(bad), Command::Help { error: Some(_) }), "`{bad}`");
         }
     }
 

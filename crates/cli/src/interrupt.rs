@@ -1,49 +1,157 @@
-//! Cooperative cancellation for interactive runs.
+//! Cooperative cancellation for interactive commands.
 //!
 //! The workspace forbids `unsafe` and carries no signal-handling
 //! dependency, so a real `SIGINT` handler is out of reach: Ctrl-C still
 //! kills the process the way it kills any CLI. What we *can* offer
 //! safely is a stdin watcher: when stdin is a terminal, a daemon thread
-//! blocks on it and flips the shared [`RunControl`] cancel flag as soon
-//! as the user types `q` (then Enter) or closes the stream (Ctrl-D).
-//! The enumeration then drains cleanly and the partial results are
-//! reported with their stop reason — same path a `--timeout` takes.
+//! blocks on it and trips the shared cancel source as soon as the user
+//! types `q` (then Enter) or closes the stream (Ctrl-D).
+//!
+//! The watcher is a process-wide singleton. Commands register any number
+//! of [`RunControl`]s with [`register`]; the first `q` cancels them all,
+//! and anything registered *after* the trigger is cancelled immediately
+//! (so a run started just as the user quits cannot be missed). Both
+//! `enumerate` and `serve` share the one watcher thread — repeated
+//! registrations never spawn another.
 //!
 //! When stdin is not a terminal (piped input, CI) no watcher is spawned,
 //! so nothing consumes a downstream pipe's data.
 
 use mbe::RunControl;
 use std::io::{BufRead, IsTerminal};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock, PoisonError};
 
-/// Spawns the stdin watcher if stdin is a terminal. The thread is a
-/// daemon: it never blocks process exit, and it holds only a clone of
-/// `control`, so dropping the run does not leak anything observable.
-pub fn spawn_stdin_watcher(control: &RunControl) {
+/// The shared trip-wire: registered controls plus the sticky flag.
+#[derive(Default)]
+struct CancelSource {
+    controls: Mutex<Vec<RunControl>>,
+    triggered: AtomicBool,
+}
+
+impl CancelSource {
+    /// Adds a control; cancels it on the spot if the source already
+    /// tripped (including the race where the trigger lands mid-call).
+    fn register(&self, control: &RunControl) {
+        if self.triggered.load(Ordering::SeqCst) {
+            control.cancel();
+            return;
+        }
+        self.controls.lock().unwrap_or_else(PoisonError::into_inner).push(control.clone());
+        // The watcher may have tripped between the check and the push;
+        // its drain and this late registration would both be misses.
+        if self.triggered.load(Ordering::SeqCst) {
+            control.cancel();
+        }
+    }
+
+    /// Trips the source: cancels everything registered, now and forever.
+    fn trigger(&self) {
+        self.triggered.store(true, Ordering::SeqCst);
+        let controls = {
+            let mut guard = self.controls.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *guard)
+        };
+        for control in &controls {
+            control.cancel();
+        }
+    }
+}
+
+fn source() -> &'static CancelSource {
+    static SOURCE: OnceLock<CancelSource> = OnceLock::new();
+    SOURCE.get_or_init(CancelSource::default)
+}
+
+/// `true` iff this stdin line means "stop the run".
+fn is_quit(line: &str) -> bool {
+    line.trim().eq_ignore_ascii_case("q")
+}
+
+/// Registers `control` with the interactive cancel source: typing `q` +
+/// Enter (or closing stdin) cancels it. Spawns the stdin watcher thread
+/// on first use — exactly once per process, no matter how many runs or
+/// server instances register. No-op when stdin is not a terminal.
+pub fn register(control: &RunControl) {
     if !std::io::stdin().is_terminal() {
         return;
     }
-    let control = control.clone();
-    std::thread::Builder::new()
-        .name("mbe-cli-cancel".into())
-        .spawn(move || {
-            let stdin = std::io::stdin();
-            let mut line = String::new();
-            loop {
-                line.clear();
-                match stdin.lock().read_line(&mut line) {
-                    // EOF (Ctrl-D) or `q`: cancel and stop watching.
-                    Ok(0) => {
-                        control.cancel();
-                        return;
-                    }
-                    Ok(_) if line.trim().eq_ignore_ascii_case("q") => {
-                        control.cancel();
-                        return;
-                    }
-                    Ok(_) => {}
-                    Err(_) => return,
-                }
+    let src = source();
+    static WATCHER: Once = Once::new();
+    WATCHER.call_once(|| {
+        std::thread::Builder::new()
+            .name("mbe-cli-cancel".into())
+            .spawn(|| watch_stdin(source()))
+            .ok();
+    });
+    src.register(control);
+}
+
+/// The watcher loop: blocks on stdin lines until quit/EOF, then trips.
+fn watch_stdin(src: &'static CancelSource) {
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            // EOF (Ctrl-D) or `q`: cancel and stop watching.
+            Ok(0) => {
+                src.trigger();
+                return;
             }
-        })
-        .ok();
+            Ok(_) if is_quit(&line) => {
+                src.trigger();
+                return;
+            }
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quit_lines() {
+        assert!(is_quit("q\n"));
+        assert!(is_quit("  Q  \n"));
+        assert!(!is_quit("quit\n"));
+        assert!(!is_quit(""));
+    }
+
+    #[test]
+    fn trigger_cancels_all_registered_controls() {
+        let src = CancelSource::default();
+        let a = RunControl::new();
+        let b = RunControl::new();
+        src.register(&a);
+        src.register(&b);
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        src.trigger();
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn late_registration_after_trigger_is_cancelled_immediately() {
+        let src = CancelSource::default();
+        src.trigger();
+        let late = RunControl::new();
+        src.register(&late);
+        assert!(late.is_cancelled());
+        // And the list does not grow after the trip.
+        assert!(src.controls.lock().unwrap_or_else(PoisonError::into_inner).is_empty());
+    }
+
+    #[test]
+    fn trigger_is_idempotent() {
+        let src = CancelSource::default();
+        let a = RunControl::new();
+        src.register(&a);
+        src.trigger();
+        src.trigger();
+        assert!(a.is_cancelled());
+    }
 }

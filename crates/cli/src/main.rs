@@ -8,7 +8,7 @@ mod args;
 mod interrupt;
 mod observe;
 
-use args::{Command, GenModel};
+use args::{ClientAction, Command, GenModel};
 use bigraph::BipartiteGraph;
 use mbe::{
     Algorithm, Enumeration, FanoutObserver, JsonlTraceObserver, RunControl, SizeThresholds,
@@ -157,7 +157,7 @@ fn main() -> ExitCode {
                 if let Some(n) = max_bicliques {
                     control = control.max_emitted(n);
                 }
-                interrupt::spawn_stdin_watcher(&control);
+                interrupt::register(&control);
                 let obs = ObsFlags { trace, metrics, progress, budget: max_bicliques };
                 run_enumerate(
                     &g, algorithm, order, threads, min_left, min_right, top_k, count_only,
@@ -169,6 +169,10 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Command::Serve { addr, workers, queue, cache_mb, default_timeout, trace_dir, preload } => {
+            run_serve(&addr, workers, queue, cache_mb, default_timeout, trace_dir, &preload)
+        }
+        Command::Client { addr, action } => run_client(&addr, action),
         Command::Generate { model, seed, scale, output } => {
             let g = build_model(&model, seed, scale);
             match bigraph::io::write_edge_list_path(&g, &output) {
@@ -189,6 +193,212 @@ fn main() -> ExitCode {
             }
         }
     }
+}
+
+fn run_serve(
+    addr: &str,
+    workers: usize,
+    queue: usize,
+    cache_mb: usize,
+    default_timeout: Option<f64>,
+    trace_dir: Option<String>,
+    preload: &[(String, String)],
+) -> ExitCode {
+    let cfg = serve::ServerConfig {
+        workers,
+        queue_capacity: queue,
+        cache_bytes: cache_mb << 20,
+        default_timeout: default_timeout.map(std::time::Duration::from_secs_f64),
+        trace_dir: trace_dir.map(std::path::PathBuf::from),
+        ..serve::ServerConfig::default()
+    };
+    let server = match serve::Server::bind(addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (name, file) in preload {
+        match bigraph::io::read_edge_list_path(file) {
+            Ok(g) => {
+                let (nu, nv, ne) = (g.num_u(), g.num_v(), g.num_edges());
+                match server.preload(name, g) {
+                    Ok(()) => {
+                        println!("loaded {name} from {file} (|U|={nu} |V|={nv} |E|={ne})");
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot register {name}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: cannot load {name} from {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "mbe-serve listening on {} ({workers} workers, queue {queue}, cache {cache_mb} MiB)",
+        server.local_addr()
+    );
+    println!("type `q` + Enter (or send SHUTDOWN) to stop");
+
+    // Bridge the interactive quit watcher onto the server: a RunControl
+    // registered with the shared cancel source stands in for a signal
+    // handler, and a monitor thread translates its trip into a graceful
+    // shutdown. The monitor also exits when a client-issued SHUTDOWN
+    // beats it to the flag.
+    let quit = RunControl::new();
+    interrupt::register(&quit);
+    let monitor = server.handle();
+    std::thread::Builder::new()
+        .name("mbe-serve-quit".into())
+        .spawn(move || {
+            while !monitor.is_shutting_down() {
+                if quit.is_cancelled() {
+                    monitor.shutdown();
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        })
+        .ok();
+
+    match server.run() {
+        Ok(summary) => {
+            println!(
+                "server stopped: {} queries ({} busy-rejected), {} graphs, \
+                 cache {} hits / {} misses",
+                summary.queries,
+                summary.busy_rejected,
+                summary.graphs,
+                summary.cache.hits,
+                summary.cache.misses
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_client(addr: &str, action: ClientAction) -> ExitCode {
+    let mut client = match serve::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match action {
+        ClientAction::Load { name, file } => client.load(&name, &file).map(|info| {
+            println!(
+                "loaded {}: |U|={} |V|={} |E|={} fingerprint={:016x}",
+                info.name, info.num_u, info.num_v, info.num_edges, info.fingerprint
+            );
+        }),
+        ClientAction::List => client.list().map(|graphs| {
+            if graphs.is_empty() {
+                println!("no graphs registered");
+            }
+            for info in graphs {
+                println!(
+                    "{:<16} |U|={:<8} |V|={:<8} |E|={:<10} fingerprint={:016x}",
+                    info.name, info.num_u, info.num_v, info.num_edges, info.fingerprint
+                );
+            }
+        }),
+        ClientAction::Stats => client.stats().map(|s| {
+            println!("graphs        : {}", s.graphs);
+            println!("workers       : {}", s.workers);
+            println!("inflight      : {}", s.inflight);
+            println!("queued        : {}/{}", s.queued, s.queue_capacity);
+            println!("queries       : {}", s.queries);
+            println!("busy rejected : {}", s.busy_rejected);
+            println!("tasks started : {}", s.tasks_started);
+            println!("cache hits    : {}", s.cache.hits);
+            println!("cache misses  : {}", s.cache.misses);
+            println!("cache inserts : {}", s.cache.insertions);
+            println!("cache evicted : {}", s.cache.evictions);
+            println!("cache bytes   : {}", s.cache.bytes_used);
+            println!("shutting down : {}", s.shutting_down);
+        }),
+        ClientAction::Shutdown => client.shutdown().map(|()| {
+            println!("server is shutting down");
+        }),
+        ClientAction::Query {
+            graph,
+            algorithm,
+            order,
+            threads,
+            min_left,
+            min_right,
+            top_k,
+            count_only,
+            max_bicliques,
+            timeout,
+            max_print,
+        } => {
+            let params = mbe::service::QueryParams {
+                algorithm,
+                order,
+                threads,
+                min_left,
+                min_right,
+                top_k,
+                max_bicliques,
+                timeout: timeout.map(std::time::Duration::from_secs_f64),
+                count_only,
+            };
+            // Only fetch what will be printed; the reply's `total` still
+            // reports how many the server holds.
+            let max_return = u32::try_from(max_print).unwrap_or(u32::MAX);
+            return run_client_query(client, serve::QueryRequest { graph, params, max_return });
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_client_query(mut client: serve::Client, request: serve::QueryRequest) -> ExitCode {
+    let reply = match client.query(request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_stop_note(reply.stop);
+    let source = if reply.cached { "cache" } else { "server run" };
+    println!(
+        "{} maximal bicliques from {source} in {:?}",
+        reply.emitted,
+        std::time::Duration::from_micros(reply.elapsed_us)
+    );
+    for b in &reply.bicliques {
+        println!("  L={:?} R={:?}", b.left, b.right);
+    }
+    let shown = reply.bicliques.len() as u64;
+    if reply.total > shown {
+        println!("  … {} more (raise --max-print)", reply.total - shown);
+    }
+    if let Some(bytes) = &reply.checkpoint {
+        eprintln!(
+            "note: the stopped run returned a {}-byte checkpoint — \
+             save it with the library API to resume elsewhere",
+            bytes.len()
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 /// The observability flags of `enumerate`, bundled to keep

@@ -201,6 +201,60 @@ mod tests {
     }
 
     #[test]
+    fn quantile_empty_histogram_is_none_for_all_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile_lower_bound(q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_single_sample_answers_every_q() {
+        // With one recorded value, every quantile — including the q=0.0
+        // bound, whose rank clamps up to 1 — is that value's bucket.
+        let mut h = Histogram::new();
+        h.record(7); // bucket [4, 8)
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(h.quantile_lower_bound(q), Some(4), "q={q}");
+        }
+        // Out-of-range q clamps into [0, 1] rather than misbehaving.
+        assert_eq!(h.quantile_lower_bound(-3.0), Some(4));
+        assert_eq!(h.quantile_lower_bound(42.0), Some(4));
+        // A single zero sample sits in bucket 0.
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.quantile_lower_bound(0.0), Some(0));
+        assert_eq!(z.quantile_lower_bound(1.0), Some(0));
+    }
+
+    #[test]
+    fn quantile_all_samples_in_top_bucket() {
+        // Everything lands in the final bucket [2^63, u64::MAX]; the
+        // cumulative scan must reach it (and the max fallback agrees).
+        let mut h = Histogram::new();
+        for _ in 0..5 {
+            h.record(u64::MAX);
+        }
+        let top = 1u64 << 63;
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile_lower_bound(q), Some(top), "q={q}");
+        }
+        assert_eq!(h.max_bucket_lower_bound(), Some(top));
+    }
+
+    #[test]
+    fn quantile_q_bounds_pick_first_and_last_buckets() {
+        // q=0.0 → rank 1 → first (smallest) non-empty bucket;
+        // q=1.0 → rank = total → last (largest) non-empty bucket.
+        let mut h = Histogram::new();
+        h.record(1); // bucket [1, 2)
+        h.record(u64::MAX); // top bucket
+        assert_eq!(h.quantile_lower_bound(0.0), Some(1));
+        assert_eq!(h.quantile_lower_bound(1.0), Some(1u64 << 63));
+    }
+
+    #[test]
     fn debug_lists_nonempty_buckets_only() {
         let mut h = Histogram::new();
         h.record(5);

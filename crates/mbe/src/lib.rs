@@ -89,6 +89,7 @@ pub mod obs;
 pub mod parallel;
 pub mod progress;
 pub mod run;
+pub mod service;
 pub mod sink;
 pub mod task;
 pub mod verify;
@@ -101,9 +102,10 @@ pub use filtered::SizeThresholds;
 #[allow(deprecated)]
 pub use filtered::{collect_filtered, enumerate_filtered};
 pub use histogram::Histogram;
-pub use metrics::{RunMetrics, Stats, WorkerMetrics};
+pub use metrics::{CacheCounters, RunMetrics, Stats, WorkerMetrics};
 pub use obs::{FanoutObserver, JsonlTraceObserver, NoopObserver, Observer};
 pub use run::{Enumeration, MbeError, Report, RunControl, StopReason};
+pub use service::{CachedResult, QueryParams, ResultCache};
 pub use sink::{Biclique, BicliqueSink, CollectSink, CountSink, FnSink, TrieSink};
 
 use bigraph::order::VertexOrder;

@@ -174,9 +174,52 @@ impl RunMetrics {
     }
 }
 
+/// Counters of the service-layer result cache
+/// ([`crate::service::ResultCache`]), surfaced by the `STATS` verb of the
+/// query service.
+///
+/// `hits`/`misses`/`insertions`/`evictions` are monotone totals since the
+/// cache was created; `bytes_used` is a gauge of the current retained
+/// size and `bytes_evicted` the monotone total of bytes reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (whether or not a result was later inserted).
+    pub misses: u64,
+    /// Entries stored (replacements of an existing key count too).
+    pub insertions: u64,
+    /// Entries removed to make room under the byte budget.
+    pub evictions: u64,
+    /// Approximate bytes currently retained (gauge, not a total).
+    pub bytes_used: u64,
+    /// Approximate bytes reclaimed by evictions so far.
+    pub bytes_evicted: u64,
+}
+
+impl CacheCounters {
+    /// Fraction of lookups served from the cache (`0.0` before any
+    /// lookup).
+    pub fn hit_ratio(&self) -> f64 {
+        let lookups = self.hits.saturating_add(self.misses);
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_counters_hit_ratio() {
+        assert_eq!(CacheCounters::default().hit_ratio(), 0.0);
+        let c = CacheCounters { hits: 3, misses: 1, ..Default::default() };
+        assert!((c.hit_ratio() - 0.75).abs() < 1e-12);
+    }
 
     #[test]
     fn ratio_handles_zero_emissions() {

@@ -1,0 +1,240 @@
+//! Admission control: a bounded worker pool fed by a bounded queue.
+//!
+//! The server never runs enumeration on connection threads — queries are
+//! submitted here. Capacity is enforced at submission time with
+//! `try_send`: a full queue yields [`SubmitError::Busy`] immediately (the
+//! typed 429), so a connection thread can report back-pressure to its
+//! client instead of blocking behind someone else's long query.
+//!
+//! Shutdown drops the sender; workers drain whatever was already queued
+//! and exit, and [`Admission::shutdown`] joins them. Anything a drained
+//! job needs to know about shutdown it learns through its own
+//! [`mbe::RunControl`] — the pool itself never aborts a running job.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Unit of queued work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why [`Admission::submit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is full. Carries the queue state at rejection time.
+    Busy {
+        /// Jobs waiting when the rejection happened.
+        queued: u32,
+        /// Queue capacity.
+        capacity: u32,
+    },
+    /// The pool has been shut down.
+    Closed,
+}
+
+/// Bounded worker pool with typed back-pressure.
+pub struct Admission {
+    sender: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    queued: Arc<AtomicU64>,
+    capacity: u32,
+    worker_count: usize,
+}
+
+impl std::fmt::Debug for Admission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Admission")
+            .field("workers", &self.worker_count)
+            .field("capacity", &self.capacity)
+            .field("queued", &self.queued.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Admission {
+    /// Spawns `workers` threads sharing a queue of `queue_capacity` slots.
+    /// Both are clamped to at least 1.
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let queue_capacity = queue_capacity.max(1);
+        let (tx, rx) = sync_channel::<Job>(queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let queued = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let queued = Arc::clone(&queued);
+            let handle = std::thread::Builder::new()
+                .name(format!("mbe-serve-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &queued))
+                .unwrap_or_else(|e| panic!("failed to spawn admission worker: {e}"));
+            handles.push(handle);
+        }
+        Admission {
+            sender: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+            queued,
+            capacity: queue_capacity as u32,
+            worker_count: workers,
+        }
+    }
+
+    /// Queues a job without blocking. A full queue is a typed
+    /// [`SubmitError::Busy`]; a shut-down pool is [`SubmitError::Closed`].
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        let guard = self.sender.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(tx) = guard.as_ref() else {
+            return Err(SubmitError::Closed);
+        };
+        // Count before sending so a racing worker's decrement can't
+        // observe the counter at zero while its job is still queued.
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        match tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let queued = self.queued.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+                match e {
+                    TrySendError::Full(_) => Err(SubmitError::Busy {
+                        queued: queued.min(u64::from(u32::MAX)) as u32,
+                        capacity: self.capacity,
+                    }),
+                    TrySendError::Disconnected(_) => Err(SubmitError::Closed),
+                }
+            }
+        }
+    }
+
+    /// Jobs currently waiting (approximate under concurrency).
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Closes the queue and joins the workers. Already-queued jobs are
+    /// drained, not dropped. Idempotent.
+    pub fn shutdown(&self) {
+        self.sender.lock().unwrap_or_else(PoisonError::into_inner).take();
+        let handles: Vec<_> =
+            self.workers.lock().unwrap_or_else(PoisonError::into_inner).drain(..).collect();
+        for handle in handles {
+            // A worker that panicked already poisoned nothing we rely on;
+            // surface the summary and keep joining the rest.
+            if handle.join().is_err() {
+                eprintln!("mbe-serve: admission worker panicked");
+            }
+        }
+    }
+}
+
+impl Drop for Admission {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, queued: &AtomicU64) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        match job {
+            Ok(job) => {
+                queued.fetch_sub(1, Ordering::Relaxed);
+                job();
+            }
+            Err(_) => return, // sender dropped: pool shut down
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = Admission::new(2, 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            let tx = tx.clone();
+            // Submission can race ahead of two workers draining a
+            // 4-slot queue; retry rather than assert non-busy.
+            loop {
+                let done2 = Arc::clone(&done);
+                let tx2 = tx.clone();
+                match pool.submit(Box::new(move || {
+                    done2.fetch_add(1, Ordering::SeqCst);
+                    let _ = tx2.send(());
+                })) {
+                    Ok(()) => break,
+                    Err(SubmitError::Busy { .. }) => std::thread::yield_now(),
+                    Err(SubmitError::Closed) => panic!("pool closed unexpectedly"),
+                }
+            }
+        }
+        for _ in 0..8 {
+            rx.recv_timeout(Duration::from_secs(10)).expect("job ran");
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn full_queue_is_typed_busy() {
+        // One worker blocked on a gate; queue of one fills immediately.
+        let pool = Admission::new(1, 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(Box::new(move || {
+            let _ = started_tx.send(());
+            let _ = gate_rx.recv();
+        }))
+        .unwrap();
+        started_rx.recv_timeout(Duration::from_secs(10)).expect("worker picked up job");
+        // Worker busy; this occupies the single queue slot.
+        pool.submit(Box::new(|| {})).unwrap();
+        // And this one must bounce.
+        let err = pool.submit(Box::new(|| {})).unwrap_err();
+        match err {
+            SubmitError::Busy { queued, capacity } => {
+                assert_eq!(capacity, 1);
+                assert!(queued >= 1, "queued={queued}");
+            }
+            SubmitError::Closed => panic!("expected Busy, got Closed"),
+        }
+        drop(gate_tx);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_and_rejects_new_ones() {
+        let pool = Admission::new(1, 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 3, "queued jobs drained before join");
+        assert_eq!(pool.submit(Box::new(|| {})).unwrap_err(), SubmitError::Closed);
+        pool.shutdown(); // idempotent
+    }
+}

@@ -1,0 +1,172 @@
+//! Blocking client for the serve protocol.
+//!
+//! One [`Client`] owns one connection and speaks strict request/response
+//! — except for cancellation: [`Client::canceller`] clones the socket
+//! handle so another thread can inject a `CANCEL` frame while this
+//! thread is blocked waiting for a query reply. The server absorbs a
+//! mid-query `CANCEL` (the query's own reply, with `stop = cancelled`,
+//! is the acknowledgement); a `CANCEL` that races past the query's end
+//! gets a standalone ack, which [`Client::query`] silently skips.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{GraphInfo, QueryReply, QueryRequest, Reply, Request, Response, ServerStats};
+use crate::wire::{read_frame, write_frame, ReadOutcome, WireError};
+use crate::ServeError;
+
+/// Socket read timeout: how often the blocked reader rechecks its wait
+/// budget.
+const POLL: Duration = Duration::from_millis(25);
+
+/// How long a reply may stall mid-frame before the connection is
+/// considered broken.
+const FRAME_PATIENCE: Duration = Duration::from_secs(10);
+
+/// A blocking connection to an mbe-serve server.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+    wait: Duration,
+}
+
+impl Client {
+    /// Connects and configures the socket (read timeout, no Nagle).
+    /// The default reply-wait budget is one hour — effectively "until the
+    /// query finishes" — tune it with [`Client::wait`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(POLL))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            max_frame: crate::wire::MAX_FRAME_BYTES,
+            wait: Duration::from_secs(3600),
+        })
+    }
+
+    /// Sets how long to wait for a reply before giving up.
+    pub fn wait(mut self, dur: Duration) -> Self {
+        self.wait = dur;
+        self
+    }
+
+    /// The peer address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Sends one request and waits for one response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, ServeError> {
+        let deadline = Instant::now() + self.wait;
+        loop {
+            match read_frame(&mut self.stream, self.max_frame, FRAME_PATIENCE)? {
+                ReadOutcome::Frame(payload) => return Ok(Response::decode(&payload)?),
+                ReadOutcome::Idle => {
+                    if Instant::now() >= deadline {
+                        return Err(ServeError::Wire(WireError::Timeout("awaiting response")));
+                    }
+                }
+                ReadOutcome::Closed => {
+                    return Err(ServeError::Io(io::ErrorKind::UnexpectedEof.into()))
+                }
+            }
+        }
+    }
+
+    /// Maps the typed failure shapes onto [`ServeError`].
+    fn expect_ok(response: Response) -> Result<Reply, ServeError> {
+        match response {
+            Response::Ok(reply) => Ok(reply),
+            Response::Err { code, message } => Err(ServeError::Remote { code, message }),
+            Response::Busy { queued, capacity } => Err(ServeError::Busy { queued, capacity }),
+        }
+    }
+
+    /// Registers the edge list at server-side `path` under `name`.
+    pub fn load(&mut self, name: &str, path: &str) -> Result<GraphInfo, ServeError> {
+        let response =
+            self.call(&Request::Load { name: name.to_string(), path: path.to_string() })?;
+        match Self::expect_ok(response)? {
+            Reply::Loaded(info) => Ok(info),
+            _ => Err(ServeError::UnexpectedReply("LOAD answered with a non-Loaded reply")),
+        }
+    }
+
+    /// Lists registered graphs.
+    pub fn list(&mut self) -> Result<Vec<GraphInfo>, ServeError> {
+        let response = self.call(&Request::List)?;
+        match Self::expect_ok(response)? {
+            Reply::Graphs(list) => Ok(list),
+            _ => Err(ServeError::UnexpectedReply("LIST answered with a non-Graphs reply")),
+        }
+    }
+
+    /// Runs a query. A stray `CANCEL` acknowledgement (a cancel that
+    /// raced past the query's completion) is skipped, not an error.
+    pub fn query(&mut self, request: QueryRequest) -> Result<QueryReply, ServeError> {
+        let response = self.call(&Request::Query(request))?;
+        let mut reply = Self::expect_ok(response)?;
+        while matches!(reply, Reply::Cancelled) {
+            reply = Self::expect_ok(self.read_response()?)?;
+        }
+        match reply {
+            Reply::Query(q) => Ok(q),
+            _ => Err(ServeError::UnexpectedReply("QUERY answered with a non-Query reply")),
+        }
+    }
+
+    /// Fetches server counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+        let response = self.call(&Request::Stats)?;
+        match Self::expect_ok(response)? {
+            Reply::Stats(stats) => Ok(stats),
+            _ => Err(ServeError::UnexpectedReply("STATS answered with a non-Stats reply")),
+        }
+    }
+
+    /// Sends an idle `CANCEL` (a no-op ack when nothing is in flight).
+    pub fn cancel(&mut self) -> Result<(), ServeError> {
+        let response = self.call(&Request::Cancel)?;
+        match Self::expect_ok(response)? {
+            Reply::Cancelled => Ok(()),
+            _ => Err(ServeError::UnexpectedReply("CANCEL answered with a non-Cancelled reply")),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        let response = self.call(&Request::Shutdown)?;
+        match Self::expect_ok(response)? {
+            Reply::ShuttingDown => Ok(()),
+            _ => Err(ServeError::UnexpectedReply("SHUTDOWN answered with an unexpected reply")),
+        }
+    }
+
+    /// A writer onto this connection that can inject `CANCEL` from
+    /// another thread while this client blocks in [`Client::query`].
+    pub fn canceller(&self) -> Result<Canceller, ServeError> {
+        Ok(Canceller { stream: self.stream.try_clone()? })
+    }
+}
+
+/// Side-channel cancel trigger for an in-flight query (see
+/// [`Client::canceller`]).
+pub struct Canceller {
+    stream: TcpStream,
+}
+
+impl Canceller {
+    /// Injects a `CANCEL` frame. Fire-and-forget: the acknowledgement
+    /// arrives on the owning [`Client`] as the query's reply.
+    pub fn cancel(&mut self) -> Result<(), ServeError> {
+        write_frame(&mut self.stream, &Request::Cancel.encode())?;
+        Ok(())
+    }
+}

@@ -1,0 +1,101 @@
+//! `mbe-serve`: a multi-client maximal-biclique query service.
+//!
+//! The workspace's enumeration engines answer one-shot CLI runs; this
+//! crate makes them resident. A [`Server`] owns:
+//!
+//! - a **graph registry** ([`registry::GraphRegistry`]) of named graphs
+//!   behind `Arc`, each pinned by the FNV-1a fingerprint checkpoints use
+//!   ([`mbe::checkpoint::graph_fingerprint`]);
+//! - an **admission controller** ([`admission::Admission`]) — a bounded
+//!   worker pool fed by a bounded queue; when the queue is full a query
+//!   is rejected with a typed [`protocol::Response::Busy`] (the HTTP-429
+//!   shape) instead of blocking the connection;
+//! - a **result cache** ([`mbe::service::ResultCache`]) keyed by
+//!   `(graph fingerprint, canonical query params)` with byte-budgeted
+//!   LRU eviction; hit/miss counters surface through the `STATS` verb.
+//!
+//! Clients speak a small versioned, length-prefixed TCP protocol
+//! ([`wire`], [`protocol`]): `LOAD`, `LIST`, `QUERY`, `CANCEL`, `STATS`,
+//! `SHUTDOWN`. In-flight queries are cancellable per connection (a
+//! pipelined `CANCEL` frame flips the query's [`mbe::RunControl`]), and
+//! `SHUTDOWN` drains running queries by cancelling them — each stopped
+//! query returns its checkpoint to its client, so no work is silently
+//! lost. Everything is `std`-only: no async runtime, no serialization
+//! framework, no network dependencies.
+//!
+//! See DESIGN.md "§8b Service layer" for the frame layout, the
+//! registry/cache/admission semantics, and the shutdown-drain matrix.
+
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod wire;
+
+pub use admission::{Admission, SubmitError};
+pub use client::{Canceller, Client};
+pub use protocol::{GraphInfo, QueryReply, QueryRequest, Reply, Request, Response, ServerStats};
+pub use registry::{GraphEntry, GraphRegistry};
+pub use server::{Server, ServerConfig, ServerHandle, ServerSummary};
+pub use wire::WireError;
+
+use std::fmt;
+
+/// Errors surfaced by the client API and the server entry points.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// A frame could not be read, written, or decoded.
+    Wire(WireError),
+    /// The server's admission queue was full (the typed 429): the request
+    /// was rejected without being queued and may be retried later.
+    Busy {
+        /// Requests queued when the rejection happened.
+        queued: u32,
+        /// The queue's capacity.
+        capacity: u32,
+    },
+    /// The server answered with a typed error response.
+    Remote {
+        /// A `protocol::errcode` constant.
+        code: u8,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The server's reply did not match the request that was sent.
+    UnexpectedReply(&'static str),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+            ServeError::Wire(e) => write!(f, "wire error: {e}"),
+            ServeError::Busy { queued, capacity } => {
+                write!(f, "server busy: admission queue full ({queued}/{capacity}); retry later")
+            }
+            ServeError::Remote { code, message } => {
+                write!(f, "server error {}: {message}", protocol::errcode::label(*code))
+            }
+            ServeError::UnexpectedReply(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}

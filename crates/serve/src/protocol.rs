@@ -1,0 +1,804 @@
+//! Typed protocol messages and their byte codecs.
+//!
+//! Payload layout (inside a [`crate::wire`] frame):
+//!
+//! ```text
+//! byte 0: protocol version (PROTOCOL_VERSION = 1)
+//! byte 1: opcode (requests) or status (responses)
+//! rest:   message fields, little-endian, strings/blobs u32-length-prefixed
+//! ```
+//!
+//! Requests: `LOAD`(1), `LIST`(2), `QUERY`(3), `CANCEL`(4), `STATS`(5),
+//! `SHUTDOWN`(6). Response statuses: `OK`(0) — followed by a reply tag
+//! mirroring the request opcode — `ERR`(1) with a code and message, and
+//! `BUSY`(2), the typed admission rejection. Unknown versions and opcodes
+//! are decode errors, never silent acceptance: the version byte exists so
+//! a future v2 can change anything after byte 0.
+
+use std::time::Duration;
+
+use mbe::service::QueryParams;
+use mbe::{Algorithm, Biclique, CacheCounters, StopReason};
+
+use bigraph::order::VertexOrder;
+
+use crate::wire::{put_bytes, put_str, put_u32, put_u64, put_u8, Reader, WireError};
+
+/// Version byte every payload starts with.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Request opcodes (payload byte 1).
+pub mod opcode {
+    /// Register a server-side edge-list file under a name.
+    pub const LOAD: u8 = 1;
+    /// List registered graphs.
+    pub const LIST: u8 = 2;
+    /// Run (or replay from cache) an enumeration query.
+    pub const QUERY: u8 = 3;
+    /// Cancel the connection's in-flight query.
+    pub const CANCEL: u8 = 4;
+    /// Fetch server counters.
+    pub const STATS: u8 = 5;
+    /// Begin graceful shutdown.
+    pub const SHUTDOWN: u8 = 6;
+}
+
+/// Response statuses (payload byte 1).
+pub mod status {
+    /// Success; a reply tag and body follow.
+    pub const OK: u8 = 0;
+    /// Typed failure; code byte and message follow.
+    pub const ERR: u8 = 1;
+    /// Admission queue full — the 429-shaped rejection.
+    pub const BUSY: u8 = 2;
+}
+
+/// Error codes carried by [`Response::Err`].
+pub mod errcode {
+    /// Unexpected server-side failure.
+    pub const INTERNAL: u8 = 1;
+    /// The named graph is not registered.
+    pub const UNKNOWN_GRAPH: u8 = 2;
+    /// The request was well-framed but semantically invalid.
+    pub const BAD_REQUEST: u8 = 3;
+    /// The server is draining; no new work is admitted.
+    pub const SHUTTING_DOWN: u8 = 4;
+    /// The graph file could not be read or parsed.
+    pub const LOAD_FAILED: u8 = 5;
+    /// The name is registered to a different graph (fingerprint mismatch).
+    pub const NAME_CONFLICT: u8 = 6;
+
+    /// Human-readable label for an error code.
+    pub fn label(code: u8) -> &'static str {
+        match code {
+            INTERNAL => "internal",
+            UNKNOWN_GRAPH => "unknown-graph",
+            BAD_REQUEST => "bad-request",
+            SHUTTING_DOWN => "shutting-down",
+            LOAD_FAILED => "load-failed",
+            NAME_CONFLICT => "name-conflict",
+            _ => "unknown",
+        }
+    }
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Register the edge list at server-side `path` under `name`.
+    /// Idempotent when the name already maps to the same fingerprint.
+    Load {
+        /// Registry name to bind.
+        name: String,
+        /// Server-side path of the edge-list file.
+        path: String,
+    },
+    /// List registered graphs.
+    List,
+    /// Run a query (or serve it from cache).
+    Query(QueryRequest),
+    /// Cancel this connection's in-flight query. Sent mid-query it is
+    /// absorbed — the query's own response (stop = `cancelled`) is the
+    /// acknowledgement; sent idle it gets its own reply.
+    Cancel,
+    /// Fetch server counters.
+    Stats,
+    /// Begin graceful shutdown: running queries are cancelled (each
+    /// returning its checkpoint to its own client), then the server
+    /// drains and exits.
+    Shutdown,
+}
+
+/// The `QUERY` request body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Registry name of the graph to query.
+    pub graph: String,
+    /// Enumeration parameters (canonicalized server-side for the cache).
+    pub params: QueryParams,
+    /// Cap on bicliques returned in the response (the run itself is not
+    /// truncated; `u32::MAX` means "as many as the server allows").
+    pub max_return: u32,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success.
+    Ok(Reply),
+    /// Typed failure.
+    Err {
+        /// An [`errcode`] constant.
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Admission queue full; retry later. Carries the queue state at
+    /// rejection time.
+    Busy {
+        /// Requests queued when the rejection happened.
+        queued: u32,
+        /// Queue capacity.
+        capacity: u32,
+    },
+}
+
+/// The success payloads, tagged by the opcode they answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `LOAD` succeeded (or was idempotently replayed).
+    Loaded(GraphInfo),
+    /// `LIST` result.
+    Graphs(Vec<GraphInfo>),
+    /// `QUERY` result.
+    Query(QueryReply),
+    /// `CANCEL` received while no query was in flight.
+    Cancelled,
+    /// `STATS` result.
+    Stats(ServerStats),
+    /// `SHUTDOWN` acknowledged; the server is draining.
+    ShuttingDown,
+}
+
+/// One registered graph, as reported by `LOAD` and `LIST`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphInfo {
+    /// Registry name.
+    pub name: String,
+    /// FNV-1a fingerprint ([`mbe::checkpoint::graph_fingerprint`]).
+    pub fingerprint: u64,
+    /// `|U|`.
+    pub num_u: u64,
+    /// `|V|`.
+    pub num_v: u64,
+    /// `|E|`.
+    pub num_edges: u64,
+}
+
+/// The `QUERY` response body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// Why the run ended ([`StopReason::Completed`] for cache hits).
+    pub stop: StopReason,
+    /// `true` iff the result came from the result cache.
+    pub cached: bool,
+    /// Bicliques delivered by the (original) run.
+    pub emitted: u64,
+    /// Wall-clock of the (original) run, microseconds.
+    pub elapsed_us: u64,
+    /// Bicliques available server-side before `max_return` truncation
+    /// (0 for count-only queries).
+    pub total: u64,
+    /// The returned bicliques (possibly truncated; empty for count-only).
+    pub bicliques: Vec<Biclique>,
+    /// A stopped run's serialized [`mbe::Checkpoint`]
+    /// ([`mbe::Checkpoint::to_bytes`]) — present whenever the run stopped
+    /// early and was checkpointable, so a cancelled or shut-down query
+    /// can be resumed elsewhere.
+    pub checkpoint: Option<Vec<u8>>,
+}
+
+/// Server counters returned by `STATS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Registered graphs.
+    pub graphs: u64,
+    /// Queries currently executing or queued (registered controls).
+    pub inflight: u64,
+    /// Requests waiting in the admission queue.
+    pub queued: u64,
+    /// Admission queue capacity.
+    pub queue_capacity: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Queries answered (cache hits included).
+    pub queries: u64,
+    /// Queries rejected with [`Response::Busy`].
+    pub busy_rejected: u64,
+    /// Enumeration tasks started, observed via the server's global
+    /// observer hook (cache hits start none).
+    pub tasks_started: u64,
+    /// Result-cache counters.
+    pub cache: CacheCounters,
+    /// `true` once graceful shutdown has begun.
+    pub shutting_down: bool,
+}
+
+fn algorithm_to_u8(a: Algorithm) -> u8 {
+    match a {
+        Algorithm::MineLmbc => 1,
+        Algorithm::Mbea => 2,
+        Algorithm::Imbea => 3,
+        Algorithm::Mbet => 4,
+    }
+}
+
+fn algorithm_from_u8(v: u8) -> Result<Algorithm, WireError> {
+    match v {
+        1 => Ok(Algorithm::MineLmbc),
+        2 => Ok(Algorithm::Mbea),
+        3 => Ok(Algorithm::Imbea),
+        4 => Ok(Algorithm::Mbet),
+        _ => Err(WireError::Malformed("algorithm")),
+    }
+}
+
+fn order_to_bytes(buf: &mut Vec<u8>, o: VertexOrder) {
+    match o {
+        VertexOrder::Natural => {
+            put_u8(buf, 0);
+            put_u64(buf, 0);
+        }
+        VertexOrder::AscendingDegree => {
+            put_u8(buf, 1);
+            put_u64(buf, 0);
+        }
+        VertexOrder::DescendingDegree => {
+            put_u8(buf, 2);
+            put_u64(buf, 0);
+        }
+        VertexOrder::Unilateral => {
+            put_u8(buf, 3);
+            put_u64(buf, 0);
+        }
+        VertexOrder::Random(seed) => {
+            put_u8(buf, 4);
+            put_u64(buf, seed);
+        }
+    }
+}
+
+fn order_from_reader(r: &mut Reader<'_>) -> Result<VertexOrder, WireError> {
+    let tag = r.u8("order tag")?;
+    let seed = r.u64("order seed")?;
+    match tag {
+        0 => Ok(VertexOrder::Natural),
+        1 => Ok(VertexOrder::AscendingDegree),
+        2 => Ok(VertexOrder::DescendingDegree),
+        3 => Ok(VertexOrder::Unilateral),
+        4 => Ok(VertexOrder::Random(seed)),
+        _ => Err(WireError::Malformed("order tag")),
+    }
+}
+
+fn stop_to_u8(s: StopReason) -> u8 {
+    match s {
+        StopReason::Completed => 1,
+        StopReason::Cancelled => 2,
+        StopReason::Deadline => 3,
+        StopReason::EmitBudget => 4,
+        StopReason::NodeBudget => 5,
+        StopReason::SinkStopped => 6,
+        StopReason::WorkerPanicked => 7,
+    }
+}
+
+fn stop_from_u8(v: u8) -> Result<StopReason, WireError> {
+    match v {
+        1 => Ok(StopReason::Completed),
+        2 => Ok(StopReason::Cancelled),
+        3 => Ok(StopReason::Deadline),
+        4 => Ok(StopReason::EmitBudget),
+        5 => Ok(StopReason::NodeBudget),
+        6 => Ok(StopReason::SinkStopped),
+        7 => Ok(StopReason::WorkerPanicked),
+        _ => Err(WireError::Malformed("stop reason")),
+    }
+}
+
+/// `Option<u64>` as a presence byte plus the value.
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            put_u8(buf, 1);
+            put_u64(buf, x);
+        }
+        None => {
+            put_u8(buf, 0);
+            put_u64(buf, 0);
+        }
+    }
+}
+
+fn opt_u64_from_reader(r: &mut Reader<'_>, what: &'static str) -> Result<Option<u64>, WireError> {
+    let present = r.u8(what)?;
+    let value = r.u64(what)?;
+    match present {
+        0 => Ok(None),
+        1 => Ok(Some(value)),
+        _ => Err(WireError::Malformed(what)),
+    }
+}
+
+fn put_params(buf: &mut Vec<u8>, p: &QueryParams) {
+    put_u8(buf, algorithm_to_u8(p.algorithm));
+    order_to_bytes(buf, p.order);
+    put_u32(buf, p.threads as u32);
+    put_u32(buf, p.min_left as u32);
+    put_u32(buf, p.min_right as u32);
+    put_opt_u64(buf, p.top_k.map(|k| k as u64));
+    put_opt_u64(buf, p.max_bicliques);
+    put_opt_u64(buf, p.timeout.map(|d| d.as_millis() as u64));
+    put_u8(buf, u8::from(p.count_only));
+}
+
+fn params_from_reader(r: &mut Reader<'_>) -> Result<QueryParams, WireError> {
+    let algorithm = algorithm_from_u8(r.u8("algorithm")?)?;
+    let order = order_from_reader(r)?;
+    let threads = r.u32("threads")? as usize;
+    let min_left = r.u32("min_left")? as usize;
+    let min_right = r.u32("min_right")? as usize;
+    let top_k = opt_u64_from_reader(r, "top_k")?.map(|k| k as usize);
+    let max_bicliques = opt_u64_from_reader(r, "max_bicliques")?;
+    let timeout = opt_u64_from_reader(r, "timeout_ms")?.map(Duration::from_millis);
+    let count_only = match r.u8("count_only")? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Malformed("count_only")),
+    };
+    Ok(QueryParams {
+        algorithm,
+        order,
+        threads,
+        min_left,
+        min_right,
+        top_k,
+        max_bicliques,
+        timeout,
+        count_only,
+    })
+}
+
+fn put_graph_info(buf: &mut Vec<u8>, g: &GraphInfo) {
+    put_str(buf, &g.name);
+    put_u64(buf, g.fingerprint);
+    put_u64(buf, g.num_u);
+    put_u64(buf, g.num_v);
+    put_u64(buf, g.num_edges);
+}
+
+fn graph_info_from_reader(r: &mut Reader<'_>) -> Result<GraphInfo, WireError> {
+    Ok(GraphInfo {
+        name: r.str("graph name")?.to_string(),
+        fingerprint: r.u64("fingerprint")?,
+        num_u: r.u64("num_u")?,
+        num_v: r.u64("num_v")?,
+        num_edges: r.u64("num_edges")?,
+    })
+}
+
+fn put_biclique(buf: &mut Vec<u8>, b: &Biclique) {
+    put_u32(buf, b.left.len() as u32);
+    for &u in &b.left {
+        put_u32(buf, u);
+    }
+    put_u32(buf, b.right.len() as u32);
+    for &v in &b.right {
+        put_u32(buf, v);
+    }
+}
+
+fn biclique_from_reader(r: &mut Reader<'_>) -> Result<Biclique, WireError> {
+    let nl = r.u32("left len")? as usize;
+    if nl > r.remaining() / 4 {
+        return Err(WireError::Malformed("left len"));
+    }
+    let mut left = Vec::with_capacity(nl);
+    for _ in 0..nl {
+        left.push(r.u32("left id")?);
+    }
+    let nr = r.u32("right len")? as usize;
+    if nr > r.remaining() / 4 {
+        return Err(WireError::Malformed("right len"));
+    }
+    let mut right = Vec::with_capacity(nr);
+    for _ in 0..nr {
+        right.push(r.u32("right id")?);
+    }
+    Ok(Biclique { left, right })
+}
+
+fn put_stats(buf: &mut Vec<u8>, s: &ServerStats) {
+    put_u64(buf, s.graphs);
+    put_u64(buf, s.inflight);
+    put_u64(buf, s.queued);
+    put_u64(buf, s.queue_capacity);
+    put_u64(buf, s.workers);
+    put_u64(buf, s.queries);
+    put_u64(buf, s.busy_rejected);
+    put_u64(buf, s.tasks_started);
+    put_u64(buf, s.cache.hits);
+    put_u64(buf, s.cache.misses);
+    put_u64(buf, s.cache.insertions);
+    put_u64(buf, s.cache.evictions);
+    put_u64(buf, s.cache.bytes_used);
+    put_u64(buf, s.cache.bytes_evicted);
+    put_u8(buf, u8::from(s.shutting_down));
+}
+
+fn stats_from_reader(r: &mut Reader<'_>) -> Result<ServerStats, WireError> {
+    Ok(ServerStats {
+        graphs: r.u64("graphs")?,
+        inflight: r.u64("inflight")?,
+        queued: r.u64("queued")?,
+        queue_capacity: r.u64("queue_capacity")?,
+        workers: r.u64("workers")?,
+        queries: r.u64("queries")?,
+        busy_rejected: r.u64("busy_rejected")?,
+        tasks_started: r.u64("tasks_started")?,
+        cache: CacheCounters {
+            hits: r.u64("cache.hits")?,
+            misses: r.u64("cache.misses")?,
+            insertions: r.u64("cache.insertions")?,
+            evictions: r.u64("cache.evictions")?,
+            bytes_used: r.u64("cache.bytes_used")?,
+            bytes_evicted: r.u64("cache.bytes_evicted")?,
+        },
+        shutting_down: r.u8("shutting_down")? != 0,
+    })
+}
+
+impl Request {
+    /// Encodes this request as a frame payload (version + opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, PROTOCOL_VERSION);
+        match self {
+            Request::Load { name, path } => {
+                put_u8(&mut buf, opcode::LOAD);
+                put_str(&mut buf, name);
+                put_str(&mut buf, path);
+            }
+            Request::List => put_u8(&mut buf, opcode::LIST),
+            Request::Query(q) => {
+                put_u8(&mut buf, opcode::QUERY);
+                put_str(&mut buf, &q.graph);
+                put_params(&mut buf, &q.params);
+                put_u32(&mut buf, q.max_return);
+            }
+            Request::Cancel => put_u8(&mut buf, opcode::CANCEL),
+            Request::Stats => put_u8(&mut buf, opcode::STATS),
+            Request::Shutdown => put_u8(&mut buf, opcode::SHUTDOWN),
+        }
+        buf
+    }
+
+    /// Decodes a frame payload into a request. Rejects unknown versions,
+    /// unknown opcodes, and trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(payload);
+        let version = r.u8("version")?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::Version(version));
+        }
+        let op = r.u8("opcode")?;
+        let req = match op {
+            opcode::LOAD => Request::Load {
+                name: r.str("load name")?.to_string(),
+                path: r.str("load path")?.to_string(),
+            },
+            opcode::LIST => Request::List,
+            opcode::QUERY => {
+                let graph = r.str("query graph")?.to_string();
+                let params = params_from_reader(&mut r)?;
+                let max_return = r.u32("max_return")?;
+                Request::Query(QueryRequest { graph, params, max_return })
+            }
+            opcode::CANCEL => Request::Cancel,
+            opcode::STATS => Request::Stats,
+            opcode::SHUTDOWN => Request::Shutdown,
+            _ => return Err(WireError::Malformed("opcode")),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes this response as a frame payload (version + status + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, PROTOCOL_VERSION);
+        match self {
+            Response::Ok(reply) => {
+                put_u8(&mut buf, status::OK);
+                match reply {
+                    Reply::Loaded(info) => {
+                        put_u8(&mut buf, opcode::LOAD);
+                        put_graph_info(&mut buf, info);
+                    }
+                    Reply::Graphs(list) => {
+                        put_u8(&mut buf, opcode::LIST);
+                        put_u32(&mut buf, list.len() as u32);
+                        for info in list {
+                            put_graph_info(&mut buf, info);
+                        }
+                    }
+                    Reply::Query(q) => {
+                        put_u8(&mut buf, opcode::QUERY);
+                        put_u8(&mut buf, stop_to_u8(q.stop));
+                        put_u8(&mut buf, u8::from(q.cached));
+                        put_u64(&mut buf, q.emitted);
+                        put_u64(&mut buf, q.elapsed_us);
+                        put_u64(&mut buf, q.total);
+                        put_u32(&mut buf, q.bicliques.len() as u32);
+                        for b in &q.bicliques {
+                            put_biclique(&mut buf, b);
+                        }
+                        match &q.checkpoint {
+                            Some(bytes) => {
+                                put_u8(&mut buf, 1);
+                                put_bytes(&mut buf, bytes);
+                            }
+                            None => put_u8(&mut buf, 0),
+                        }
+                    }
+                    Reply::Cancelled => put_u8(&mut buf, opcode::CANCEL),
+                    Reply::Stats(s) => {
+                        put_u8(&mut buf, opcode::STATS);
+                        put_stats(&mut buf, s);
+                    }
+                    Reply::ShuttingDown => put_u8(&mut buf, opcode::SHUTDOWN),
+                }
+            }
+            Response::Err { code, message } => {
+                put_u8(&mut buf, status::ERR);
+                put_u8(&mut buf, *code);
+                put_str(&mut buf, message);
+            }
+            Response::Busy { queued, capacity } => {
+                put_u8(&mut buf, status::BUSY);
+                put_u32(&mut buf, *queued);
+                put_u32(&mut buf, *capacity);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a frame payload into a response.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(payload);
+        let version = r.u8("version")?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::Version(version));
+        }
+        let resp = match r.u8("status")? {
+            status::OK => {
+                let tag = r.u8("reply tag")?;
+                let reply = match tag {
+                    opcode::LOAD => Reply::Loaded(graph_info_from_reader(&mut r)?),
+                    opcode::LIST => {
+                        let n = r.u32("graph count")? as usize;
+                        let mut list = Vec::new();
+                        for _ in 0..n {
+                            list.push(graph_info_from_reader(&mut r)?);
+                        }
+                        Reply::Graphs(list)
+                    }
+                    opcode::QUERY => {
+                        let stop = stop_from_u8(r.u8("stop")?)?;
+                        let cached = r.u8("cached")? != 0;
+                        let emitted = r.u64("emitted")?;
+                        let elapsed_us = r.u64("elapsed_us")?;
+                        let total = r.u64("total")?;
+                        let n = r.u32("biclique count")? as usize;
+                        let mut bicliques = Vec::new();
+                        for _ in 0..n {
+                            bicliques.push(biclique_from_reader(&mut r)?);
+                        }
+                        let checkpoint = match r.u8("checkpoint present")? {
+                            0 => None,
+                            1 => Some(r.bytes("checkpoint")?.to_vec()),
+                            _ => return Err(WireError::Malformed("checkpoint present")),
+                        };
+                        Reply::Query(QueryReply {
+                            stop,
+                            cached,
+                            emitted,
+                            elapsed_us,
+                            total,
+                            bicliques,
+                            checkpoint,
+                        })
+                    }
+                    opcode::CANCEL => Reply::Cancelled,
+                    opcode::STATS => Reply::Stats(stats_from_reader(&mut r)?),
+                    opcode::SHUTDOWN => Reply::ShuttingDown,
+                    _ => return Err(WireError::Malformed("reply tag")),
+                };
+                Response::Ok(reply)
+            }
+            status::ERR => {
+                let code = r.u8("err code")?;
+                let message = r.str("err message")?.to_string();
+                Response::Err { code, message }
+            }
+            status::BUSY => {
+                let queued = r.u32("busy queued")?;
+                let capacity = r.u32("busy capacity")?;
+                Response::Busy { queued, capacity }
+            }
+            _ => return Err(WireError::Malformed("status")),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let bytes = req.encode();
+        assert_eq!(bytes[0], PROTOCOL_VERSION);
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let bytes = resp.encode();
+        assert_eq!(bytes[0], PROTOCOL_VERSION);
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Load { name: "web".into(), path: "/tmp/web.txt".into() });
+        roundtrip_req(Request::List);
+        roundtrip_req(Request::Cancel);
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::Query(QueryRequest {
+            graph: "g1".into(),
+            params: QueryParams {
+                algorithm: Algorithm::Imbea,
+                order: VertexOrder::Random(42),
+                threads: 4,
+                min_left: 2,
+                min_right: 3,
+                top_k: Some(10),
+                max_bicliques: Some(0), // budget 0 is meaningful, not "absent"
+                timeout: Some(Duration::from_millis(1500)),
+                count_only: true,
+            },
+            max_return: 100,
+        }));
+        // Defaults (all the None paths).
+        roundtrip_req(Request::Query(QueryRequest {
+            graph: "g2".into(),
+            params: QueryParams::default(),
+            max_return: u32::MAX,
+        }));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let info = GraphInfo {
+            name: "web".into(),
+            fingerprint: 0xFEED_F00D,
+            num_u: 10,
+            num_v: 20,
+            num_edges: 55,
+        };
+        roundtrip_resp(Response::Ok(Reply::Loaded(info.clone())));
+        roundtrip_resp(Response::Ok(Reply::Graphs(vec![info.clone(), info])));
+        roundtrip_resp(Response::Ok(Reply::Graphs(Vec::new())));
+        roundtrip_resp(Response::Ok(Reply::Cancelled));
+        roundtrip_resp(Response::Ok(Reply::ShuttingDown));
+        roundtrip_resp(Response::Err { code: errcode::UNKNOWN_GRAPH, message: "no web".into() });
+        roundtrip_resp(Response::Busy { queued: 8, capacity: 8 });
+        roundtrip_resp(Response::Ok(Reply::Stats(ServerStats {
+            graphs: 2,
+            inflight: 1,
+            queued: 3,
+            queue_capacity: 8,
+            workers: 4,
+            queries: 100,
+            busy_rejected: 5,
+            tasks_started: 64,
+            cache: CacheCounters {
+                hits: 9,
+                misses: 7,
+                insertions: 7,
+                evictions: 2,
+                bytes_used: 4096,
+                bytes_evicted: 1024,
+            },
+            shutting_down: true,
+        })));
+        roundtrip_resp(Response::Ok(Reply::Query(QueryReply {
+            stop: StopReason::Cancelled,
+            cached: false,
+            emitted: 12,
+            elapsed_us: 34_567,
+            total: 12,
+            bicliques: vec![
+                Biclique::new(vec![3, 1], vec![2]),
+                Biclique::new(vec![0], vec![5, 6, 7]),
+            ],
+            checkpoint: Some(vec![1, 2, 3, 4]),
+        })));
+        roundtrip_resp(Response::Ok(Reply::Query(QueryReply {
+            stop: StopReason::Completed,
+            cached: true,
+            emitted: 0,
+            elapsed_us: 0,
+            total: 0,
+            bicliques: Vec::new(),
+            checkpoint: None,
+        })));
+    }
+
+    #[test]
+    fn every_stop_reason_roundtrips() {
+        for stop in [
+            StopReason::Completed,
+            StopReason::Cancelled,
+            StopReason::Deadline,
+            StopReason::EmitBudget,
+            StopReason::NodeBudget,
+            StopReason::SinkStopped,
+            StopReason::WorkerPanicked,
+        ] {
+            assert_eq!(stop_from_u8(stop_to_u8(stop)).unwrap(), stop);
+        }
+        assert!(stop_from_u8(0).is_err());
+        assert!(stop_from_u8(8).is_err());
+    }
+
+    #[test]
+    fn bad_version_opcode_and_trailing_bytes_rejected() {
+        let mut bytes = Request::List.encode();
+        bytes[0] = 9;
+        assert!(matches!(Request::decode(&bytes).unwrap_err(), WireError::Version(9)));
+
+        let mut bytes = Request::List.encode();
+        bytes[1] = 200;
+        assert!(Request::decode(&bytes).is_err());
+
+        let mut bytes = Request::List.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+
+        assert!(Request::decode(&[]).is_err());
+        assert!(Response::decode(&[PROTOCOL_VERSION, 77]).is_err());
+    }
+
+    #[test]
+    fn hostile_biclique_length_is_rejected_without_allocation() {
+        // A Query reply claiming 2^32-ish ids with a 10-byte body must
+        // fail on the bounds check, not attempt the allocation.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, PROTOCOL_VERSION);
+        put_u8(&mut buf, status::OK);
+        put_u8(&mut buf, opcode::QUERY);
+        put_u8(&mut buf, 1); // stop = completed
+        put_u8(&mut buf, 0); // cached
+        put_u64(&mut buf, 1);
+        put_u64(&mut buf, 1);
+        put_u64(&mut buf, 1);
+        put_u32(&mut buf, 1); // one biclique...
+        put_u32(&mut buf, u32::MAX); // ...whose left side claims 4B ids
+        assert!(Response::decode(&buf).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Named-graph registry.
+//!
+//! Graphs are loaded once, fingerprinted with the same FNV-1a digest
+//! checkpoints use ([`mbe::checkpoint::graph_fingerprint`]), and shared
+//! behind `Arc` so concurrent queries never copy a graph. Registration
+//! is idempotent: re-loading a name with an identical fingerprint is a
+//! no-op success, while binding it to *different* bytes is a conflict —
+//! cached results are keyed by fingerprint, so silently swapping a
+//! graph under a name would serve stale answers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock};
+
+use bigraph::BipartiteGraph;
+use mbe::checkpoint::graph_fingerprint;
+
+use crate::protocol::GraphInfo;
+
+/// One registered graph.
+#[derive(Debug)]
+pub struct GraphEntry {
+    /// Registry name.
+    pub name: String,
+    /// The shared graph.
+    pub graph: Arc<BipartiteGraph>,
+    /// FNV-1a fingerprint of the graph's structure.
+    pub fingerprint: u64,
+}
+
+impl GraphEntry {
+    /// Summary for `LOAD`/`LIST` replies.
+    pub fn info(&self) -> GraphInfo {
+        GraphInfo {
+            name: self.name.clone(),
+            fingerprint: self.fingerprint,
+            num_u: self.graph.num_u() as u64,
+            num_v: self.graph.num_v() as u64,
+            num_edges: self.graph.num_edges() as u64,
+        }
+    }
+}
+
+/// Thread-safe name → graph map.
+#[derive(Debug, Default)]
+pub struct GraphRegistry {
+    inner: RwLock<HashMap<String, Arc<GraphEntry>>>,
+}
+
+/// Why [`GraphRegistry::insert`] refused a binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameConflict {
+    /// The contested name.
+    pub name: String,
+    /// Fingerprint already bound to the name.
+    pub existing: u64,
+    /// Fingerprint of the rejected graph.
+    pub offered: u64,
+}
+
+impl GraphRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `graph` under `name`. Idempotent when the name already
+    /// maps to a graph with the same fingerprint; a different fingerprint
+    /// is a [`NameConflict`]. Returns the (existing or new) entry.
+    pub fn insert(
+        &self,
+        name: &str,
+        graph: BipartiteGraph,
+    ) -> Result<Arc<GraphEntry>, NameConflict> {
+        let fingerprint = graph_fingerprint(&graph);
+        let mut map = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(existing) = map.get(name) {
+            if existing.fingerprint == fingerprint {
+                return Ok(Arc::clone(existing));
+            }
+            return Err(NameConflict {
+                name: name.to_string(),
+                existing: existing.fingerprint,
+                offered: fingerprint,
+            });
+        }
+        let entry =
+            Arc::new(GraphEntry { name: name.to_string(), graph: Arc::new(graph), fingerprint });
+        map.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks up a graph by name.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner).get(name).map(Arc::clone)
+    }
+
+    /// All entries, sorted by name (stable `LIST` output).
+    pub fn list(&self) -> Vec<Arc<GraphEntry>> {
+        let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        let mut entries: Vec<_> = map.values().map(Arc::clone).collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// `true` when no graph is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(edges: &[(u32, u32)]) -> BipartiteGraph {
+        BipartiteGraph::from_edges(4, 4, edges).unwrap()
+    }
+
+    #[test]
+    fn insert_get_list() {
+        let reg = GraphRegistry::new();
+        assert!(reg.is_empty());
+        let e = reg.insert("b", graph(&[(0, 0), (0, 1)])).unwrap();
+        reg.insert("a", graph(&[(1, 1)])).unwrap();
+        assert_eq!(reg.len(), 2);
+        let got = reg.get("b").unwrap();
+        assert_eq!(got.fingerprint, e.fingerprint);
+        assert_eq!(got.info().num_edges, 2);
+        assert!(reg.get("missing").is_none());
+        let names: Vec<_> = reg.list().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn reinsert_same_graph_is_idempotent() {
+        let reg = GraphRegistry::new();
+        let first = reg.insert("g", graph(&[(0, 0), (1, 1)])).unwrap();
+        let again = reg.insert("g", graph(&[(0, 0), (1, 1)])).unwrap();
+        assert_eq!(first.fingerprint, again.fingerprint);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_different_graph_conflicts() {
+        let reg = GraphRegistry::new();
+        let first = reg.insert("g", graph(&[(0, 0)])).unwrap();
+        let err = reg.insert("g", graph(&[(0, 0), (2, 2)])).unwrap_err();
+        assert_eq!(err.name, "g");
+        assert_eq!(err.existing, first.fingerprint);
+        assert_ne!(err.offered, err.existing);
+        // The original binding survives the rejected attempt.
+        assert_eq!(reg.get("g").unwrap().fingerprint, first.fingerprint);
+    }
+}

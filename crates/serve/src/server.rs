@@ -1,0 +1,587 @@
+//! The TCP server: accept loop, per-connection handlers, and the query
+//! pipeline (registry → cache → admission → enumeration → reply).
+//!
+//! Threading model: one acceptor (the caller of [`Server::run`]), one
+//! thread per live connection, and the [`Admission`] worker pool where
+//! enumeration actually runs. Connection threads never enumerate — they
+//! poll their socket with a short read timeout, which is what keeps a
+//! connection responsive to pipelined `CANCEL` frames while its query is
+//! executing on a worker.
+//!
+//! Shutdown ordering (`SHUTDOWN` request or [`ServerHandle::shutdown`]):
+//! the flag flips once, every registered in-flight [`RunControl`] is
+//! cancelled, and the acceptor is woken by a loopback connect. Cancelled
+//! queries return to their own clients with `stop = cancelled` and a
+//! serialized checkpoint, connection threads drain and exit on their
+//! next idle poll, and [`Server::run`] joins them before shutting the
+//! worker pool down and returning a [`ServerSummary`].
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, TryRecvError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bigraph::io::{read_edge_list_path_with_limits, ReadLimits};
+use bigraph::BipartiteGraph;
+use mbe::obs::TaskInfo;
+use mbe::service::{cacheable, run_query, CachedResult, QueryParams, ResultCache};
+use mbe::{
+    CacheCounters, Checkpoint, FanoutObserver, JsonlTraceObserver, MbeError, Observer, Report,
+    RunControl, StopReason,
+};
+
+use crate::admission::{Admission, SubmitError};
+use crate::protocol::{errcode, QueryReply, QueryRequest, Reply, Request, Response, ServerStats};
+use crate::registry::{GraphEntry, GraphRegistry};
+use crate::wire::{read_frame, write_frame, ReadOutcome};
+
+/// How long a peer may stall in the middle of a frame before the
+/// connection is dropped.
+const FRAME_PATIENCE: Duration = Duration::from_secs(10);
+
+/// Server tunables. [`ServerConfig::default`] is sized for tests and
+/// small deployments; everything is overridable field-by-field.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Enumeration worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Admission queue slots (clamped to ≥ 1); a full queue rejects with
+    /// [`Response::Busy`].
+    pub queue_capacity: usize,
+    /// Result-cache byte budget (see [`ResultCache`]).
+    pub cache_bytes: usize,
+    /// Deadline applied to queries that do not carry their own. Measured
+    /// from admission, so queued time counts.
+    pub default_timeout: Option<Duration>,
+    /// Idle connections are dropped after this long without a frame.
+    pub idle_timeout: Duration,
+    /// Hard cap on bicliques returned per reply, regardless of the
+    /// request's `max_return`.
+    pub max_return: u32,
+    /// Largest request frame accepted from a client.
+    pub max_frame_bytes: usize,
+    /// Parser limits applied to `LOAD`ed edge-list files.
+    pub read_limits: ReadLimits,
+    /// When set, each query writes a JSONL trace to
+    /// `<trace_dir>/req-<id>.jsonl` (best-effort; trace I/O errors never
+    /// fail a query).
+    pub trace_dir: Option<PathBuf>,
+    /// Socket read timeout: the cadence at which connection threads
+    /// notice cancellation, shutdown, and idle timeouts.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_bytes: 32 << 20,
+            default_timeout: None,
+            idle_timeout: Duration::from_secs(300),
+            max_return: 100_000,
+            max_frame_bytes: 16 << 20,
+            read_limits: ReadLimits::default(),
+            trace_dir: None,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Counts enumeration tasks via [`Observer::on_task_start`]; shared by
+/// every query so `STATS.tasks_started` moves iff an enumeration ran
+/// (the cache-hit test's witness that no new work happened).
+#[derive(Default)]
+struct TaskCounter {
+    started: AtomicU64,
+}
+
+impl TaskCounter {
+    fn count(&self) -> u64 {
+        self.started.load(Ordering::Relaxed)
+    }
+}
+
+impl Observer for TaskCounter {
+    fn on_task_start(&self, _worker: usize, _task: &TaskInfo) {
+        self.started.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+struct Shared {
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    registry: GraphRegistry,
+    cache: Mutex<ResultCache>,
+    admission: Admission,
+    /// Request id → the query's control, for `CANCEL` and shutdown-drain.
+    inflight: Mutex<HashMap<u64, RunControl>>,
+    task_counter: TaskCounter,
+    next_request: AtomicU64,
+    queries: AtomicU64,
+    busy_rejected: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A shutdown trigger detached from the blocked [`Server::run`] call.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Begins graceful shutdown: cancels in-flight queries and wakes the
+    /// acceptor. Idempotent.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// `true` once shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Counters reported by [`Server::run`] when it returns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerSummary {
+    /// Queries answered (cache hits included).
+    pub queries: u64,
+    /// Queries rejected with the typed busy response.
+    pub busy_rejected: u64,
+    /// Graphs registered at exit.
+    pub graphs: u64,
+    /// Result-cache counters at exit.
+    pub cache: CacheCounters,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// spawns the admission worker pool.
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            admission: Admission::new(cfg.workers, cfg.queue_capacity),
+            cache: Mutex::new(ResultCache::new(cfg.cache_bytes)),
+            cfg,
+            addr,
+            registry: GraphRegistry::new(),
+            inflight: Mutex::new(HashMap::new()),
+            task_counter: TaskCounter::default(),
+            next_request: AtomicU64::new(1),
+            queries: AtomicU64::new(0),
+            busy_rejected: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A cloneable handle that can trigger shutdown from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Pre-registers a graph before serving (the CLI's `--load` flags).
+    pub fn preload(&self, name: &str, graph: BipartiteGraph) -> Result<(), String> {
+        self.shared
+            .registry
+            .insert(name, graph)
+            .map(|_| ())
+            .map_err(|c| format!("name '{}' already bound to a different graph", c.name))
+    }
+
+    /// Serves until shutdown is triggered, then drains and returns the
+    /// final counters. Blocks the calling thread.
+    pub fn run(self) -> io::Result<ServerSummary> {
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        let mut conn_id: u64 = 0;
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        break; // the shutdown poke itself
+                    }
+                    conns.retain(|h| !h.is_finished());
+                    conn_id += 1;
+                    let shared = Arc::clone(&self.shared);
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("mbe-serve-conn-{conn_id}"))
+                        .spawn(move || handle_conn(&shared, stream));
+                    match spawned {
+                        Ok(handle) => conns.push(handle),
+                        Err(e) => eprintln!("mbe-serve: failed to spawn connection: {e}"),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // Transient accept failure (e.g. fd exhaustion):
+                    // back off instead of spinning.
+                    eprintln!("mbe-serve: accept error: {e}");
+                    std::thread::sleep(self.shared.cfg.poll_interval);
+                }
+            }
+        }
+        for handle in conns {
+            if handle.join().is_err() {
+                eprintln!("mbe-serve: connection thread panicked");
+            }
+        }
+        self.shared.admission.shutdown();
+        let cache = self.shared.cache.lock().unwrap_or_else(PoisonError::into_inner).counters();
+        Ok(ServerSummary {
+            queries: self.shared.queries.load(Ordering::Relaxed),
+            busy_rejected: self.shared.busy_rejected.load(Ordering::Relaxed),
+            graphs: self.shared.registry.len() as u64,
+            cache,
+        })
+    }
+}
+
+/// Flips the shutdown flag (once), cancels every registered in-flight
+/// query, and wakes the blocked acceptor with a loopback connect.
+fn trigger_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    {
+        let inflight = shared.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        for control in inflight.values() {
+            control.cancel();
+        }
+    }
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// One connection's read/dispatch/reply loop.
+fn handle_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let poll = shared.cfg.poll_interval;
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut idle = Duration::ZERO;
+    loop {
+        match read_frame(&mut stream, shared.cfg.max_frame_bytes, FRAME_PATIENCE) {
+            Ok(ReadOutcome::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                idle += poll;
+                if idle >= shared.cfg.idle_timeout {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Frame(payload)) => {
+                idle = Duration::ZERO;
+                for response in dispatch(shared, &mut stream, &payload) {
+                    if write_frame(&mut stream, &response.encode()).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes and executes one request. Returns the responses to send, in
+/// order — a query that absorbed a pipelined `SHUTDOWN` answers both.
+fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, payload: &[u8]) -> Vec<Response> {
+    let request = match Request::decode(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            return vec![Response::Err { code: errcode::BAD_REQUEST, message: e.to_string() }]
+        }
+    };
+    match request {
+        Request::Load { name, path } => vec![handle_load(shared, &name, &path)],
+        Request::List => {
+            let infos = shared.registry.list().iter().map(|e| e.info()).collect();
+            vec![Response::Ok(Reply::Graphs(infos))]
+        }
+        Request::Query(q) => handle_query(shared, stream, &q),
+        // Nothing is in flight on this connection (queries hold the loop
+        // until they answer), so an idle CANCEL is a trivial ack.
+        Request::Cancel => vec![Response::Ok(Reply::Cancelled)],
+        Request::Stats => vec![Response::Ok(Reply::Stats(server_stats(shared)))],
+        Request::Shutdown => {
+            trigger_shutdown(shared);
+            vec![Response::Ok(Reply::ShuttingDown)]
+        }
+    }
+}
+
+fn handle_load(shared: &Shared, name: &str, path: &str) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::Err {
+            code: errcode::SHUTTING_DOWN,
+            message: "server is shutting down".into(),
+        };
+    }
+    let graph = match read_edge_list_path_with_limits(path, shared.cfg.read_limits) {
+        Ok(g) => g,
+        Err(e) => {
+            return Response::Err {
+                code: errcode::LOAD_FAILED,
+                message: format!("cannot load '{path}': {e}"),
+            }
+        }
+    };
+    match shared.registry.insert(name, graph) {
+        Ok(entry) => Response::Ok(Reply::Loaded(entry.info())),
+        Err(conflict) => Response::Err {
+            code: errcode::NAME_CONFLICT,
+            message: format!(
+                "'{}' is bound to fingerprint {:016x}, refusing {:016x}",
+                conflict.name, conflict.existing, conflict.offered
+            ),
+        },
+    }
+}
+
+fn server_stats(shared: &Shared) -> ServerStats {
+    ServerStats {
+        graphs: shared.registry.len() as u64,
+        inflight: shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).len() as u64,
+        queued: shared.admission.queued(),
+        queue_capacity: u64::from(shared.admission.capacity()),
+        workers: shared.admission.workers() as u64,
+        queries: shared.queries.load(Ordering::Relaxed),
+        busy_rejected: shared.busy_rejected.load(Ordering::Relaxed),
+        tasks_started: shared.task_counter.count(),
+        cache: shared.cache.lock().unwrap_or_else(PoisonError::into_inner).counters(),
+        shutting_down: shared.shutdown.load(Ordering::SeqCst),
+    }
+}
+
+/// Clips a result to the smaller of the request's and the server's cap.
+fn clip(bicliques: &[mbe::Biclique], req_max: u32, cfg_max: u32) -> Vec<mbe::Biclique> {
+    bicliques.iter().take(req_max.min(cfg_max) as usize).cloned().collect()
+}
+
+fn reply_from_cached(hit: &CachedResult, q: &QueryRequest, cfg: &ServerConfig) -> QueryReply {
+    let (total, bicliques) = match &hit.bicliques {
+        Some(bs) => (bs.len() as u64, clip(bs, q.max_return, cfg.max_return)),
+        None => (0, Vec::new()),
+    };
+    QueryReply {
+        stop: StopReason::Completed,
+        cached: true,
+        emitted: hit.emitted,
+        elapsed_us: hit.elapsed.as_micros() as u64,
+        total,
+        bicliques,
+        checkpoint: None,
+    }
+}
+
+fn reply_from_report(report: &Report, q: &QueryRequest, cfg: &ServerConfig) -> QueryReply {
+    QueryReply {
+        stop: report.stop,
+        cached: false,
+        emitted: report.stats.emitted,
+        elapsed_us: report.stats.elapsed.as_micros() as u64,
+        total: report.bicliques.len() as u64,
+        bicliques: clip(&report.bicliques, q.max_return, cfg.max_return),
+        checkpoint: report.checkpoint.as_ref().map(Checkpoint::to_bytes),
+    }
+}
+
+/// The query pipeline: cache lookup, admission, execution on a worker,
+/// and a wait loop that keeps servicing this connection's pipelined
+/// `CANCEL`/`SHUTDOWN` frames while the worker runs.
+fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, q: &QueryRequest) -> Vec<Response> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return vec![Response::Err {
+            code: errcode::SHUTTING_DOWN,
+            message: "server is shutting down".into(),
+        }];
+    }
+    let Some(entry) = shared.registry.get(&q.graph) else {
+        return vec![Response::Err {
+            code: errcode::UNKNOWN_GRAPH,
+            message: format!("no graph named '{}' (LOAD it first)", q.graph),
+        }];
+    };
+    let fingerprint = entry.fingerprint;
+    let key = q.params.canonical_key();
+
+    // Cache first: hits are never queued, so they can't be rejected Busy.
+    {
+        let mut cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(hit) = cache.lookup(fingerprint, &key) {
+            drop(cache);
+            shared.queries.fetch_add(1, Ordering::Relaxed);
+            return vec![Response::Ok(Reply::Query(reply_from_cached(&hit, q, &shared.cfg)))];
+        }
+    }
+
+    // The deadline starts at admission, not execution: time spent queued
+    // counts against the request's budget.
+    let mut control = RunControl::new();
+    if let Some(limit) = q.params.timeout.or(shared.cfg.default_timeout) {
+        control = control.timeout(limit);
+    }
+    let id = shared.next_request.fetch_add(1, Ordering::Relaxed);
+    shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).insert(id, control.clone());
+    if shared.shutdown.load(Ordering::SeqCst) {
+        // Shutdown raced between the top check and registration; its
+        // cancel sweep may have missed this control.
+        control.cancel();
+    }
+
+    let (tx, rx) = sync_channel::<Result<Report, MbeError>>(1);
+    let job = {
+        let shared = Arc::clone(shared);
+        let entry = Arc::clone(&entry);
+        let params = q.params.clone();
+        let control = control.clone();
+        Box::new(move || {
+            let result = execute(&shared, &entry, &params, control, id);
+            shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+            let _ = tx.send(result);
+        })
+    };
+    match shared.admission.submit(job) {
+        Ok(()) => {}
+        Err(err) => {
+            shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+            return match err {
+                SubmitError::Busy { queued, capacity } => {
+                    shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
+                    vec![Response::Busy { queued, capacity }]
+                }
+                SubmitError::Closed => vec![Response::Err {
+                    code: errcode::SHUTTING_DOWN,
+                    message: "server is shutting down".into(),
+                }],
+            };
+        }
+    }
+
+    // Wait for the worker while keeping the socket serviced.
+    let mut pipelined: Vec<Response> = Vec::new();
+    let result = loop {
+        match rx.try_recv() {
+            Ok(result) => break Some(result),
+            Err(TryRecvError::Disconnected) => break None,
+            Err(TryRecvError::Empty) => {}
+        }
+        match read_frame(stream, shared.cfg.max_frame_bytes, FRAME_PATIENCE) {
+            Ok(ReadOutcome::Idle) => {}
+            Ok(ReadOutcome::Frame(payload)) => match Request::decode(&payload) {
+                // Absorbed: the query's own reply (stop = cancelled,
+                // checkpoint included) is the acknowledgement.
+                Ok(Request::Cancel) => control.cancel(),
+                Ok(Request::Shutdown) => {
+                    trigger_shutdown(shared);
+                    pipelined.push(Response::Ok(Reply::ShuttingDown));
+                }
+                Ok(_) => pipelined.push(Response::Err {
+                    code: errcode::BAD_REQUEST,
+                    message: "a query is in flight; only CANCEL or SHUTDOWN may be pipelined"
+                        .into(),
+                }),
+                Err(e) => pipelined
+                    .push(Response::Err { code: errcode::BAD_REQUEST, message: e.to_string() }),
+            },
+            // Client gone or broken: stop the work, let the worker wind
+            // down in the background, answer no one.
+            Ok(ReadOutcome::Closed) | Err(_) => {
+                control.cancel();
+                return Vec::new();
+            }
+        }
+    };
+
+    shared.queries.fetch_add(1, Ordering::Relaxed);
+    let response = match result {
+        Some(Ok(report)) => {
+            if cacheable(&report) {
+                let value = CachedResult::from_report(&report, q.params.count_only);
+                shared.cache.lock().unwrap_or_else(PoisonError::into_inner).insert(
+                    fingerprint,
+                    key,
+                    value,
+                );
+            }
+            Response::Ok(Reply::Query(reply_from_report(&report, q, &shared.cfg)))
+        }
+        // A contained worker panic still carries the partial report:
+        // surface it as a reply (stop = worker-panicked) so the client
+        // keeps the checkpoint and partial results.
+        Some(Err(MbeError::WorkerPanic { report, .. })) => {
+            Response::Ok(Reply::Query(reply_from_report(&report, q, &shared.cfg)))
+        }
+        Some(Err(e)) => Response::Err { code: errcode::INTERNAL, message: e.to_string() },
+        None => Response::Err {
+            code: errcode::INTERNAL,
+            message: "query worker disappeared without a result".into(),
+        },
+    };
+    let mut out = vec![response];
+    out.extend(pipelined);
+    out
+}
+
+/// Runs one admitted query on the current (worker) thread, composing the
+/// server-wide task counter with an optional per-request JSONL trace.
+fn execute(
+    shared: &Shared,
+    entry: &GraphEntry,
+    params: &QueryParams,
+    control: RunControl,
+    id: u64,
+) -> Result<Report, MbeError> {
+    let trace = shared.cfg.trace_dir.as_ref().and_then(|dir| {
+        let path = dir.join(format!("req-{id}.jsonl"));
+        match JsonlTraceObserver::create(path.to_string_lossy().as_ref()) {
+            Ok(obs) => Some(obs),
+            Err(e) => {
+                eprintln!("mbe-serve: cannot open trace {}: {e}", path.display());
+                None
+            }
+        }
+    });
+    let mut fan = FanoutObserver::new();
+    fan.push(Box::new(&shared.task_counter));
+    if let Some(t) = &trace {
+        fan.push(Box::new(t));
+    }
+    let result = run_query(&entry.graph, params, control, Some(&fan));
+    drop(fan);
+    if let Some(t) = &trace {
+        let _ = t.flush();
+    }
+    result
+}

@@ -1,0 +1,316 @@
+//! End-to-end acceptance tests for the serve crate, over real loopback
+//! sockets and OS threads:
+//!
+//! (a) concurrent clients on two graphs get correct, duplicate-free
+//!     results matching direct [`Enumeration`];
+//! (b) a repeated identical query is served from the cache — the hit
+//!     counter moves and no new enumeration tasks start;
+//! (c) a query past the admission queue bound gets the typed busy
+//!     response instead of blocking;
+//! (d) `SHUTDOWN` during a long query returns a checkpoint-bearing
+//!     cancelled reply and the server exits cleanly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bigraph::order::VertexOrder;
+use bigraph::BipartiteGraph;
+use mbe::checkpoint::graph_fingerprint;
+use mbe::service::QueryParams;
+use mbe::{Biclique, Checkpoint, Enumeration, StopReason};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::{Client, QueryRequest, ServeError, Server, ServerConfig, ServerHandle, ServerSummary};
+
+/// Crown graph S(n) — K(n,n) minus a perfect matching — with 2^n − 2
+/// maximal bicliques: a deterministically long-running query.
+fn crown(n: u32) -> BipartiteGraph {
+    let mut edges = Vec::with_capacity((n * (n - 1)) as usize);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    BipartiteGraph::from_edges(n, n, &edges).unwrap()
+}
+
+fn start(cfg: ServerConfig, preload: &[(&str, &BipartiteGraph)]) -> (ServerHandle, ServerJoin) {
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    for (name, graph) in preload {
+        server.preload(name, (*graph).clone()).unwrap();
+    }
+    let handle = server.handle();
+    (handle, ServerJoin(std::thread::spawn(move || server.run().unwrap())))
+}
+
+struct ServerJoin(std::thread::JoinHandle<ServerSummary>);
+
+impl ServerJoin {
+    fn join(self) -> ServerSummary {
+        self.0.join().expect("server thread panicked")
+    }
+}
+
+fn request(graph: &str, params: QueryParams) -> QueryRequest {
+    QueryRequest { graph: graph.to_string(), params, max_return: u32::MAX }
+}
+
+fn sorted(mut bicliques: Vec<Biclique>) -> Vec<Biclique> {
+    bicliques.sort();
+    bicliques
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// (a): six clients across two graphs — one preloaded, one `LOAD`ed over
+/// the wire from a file — all see exactly the direct enumeration.
+#[test]
+fn concurrent_clients_on_two_graphs_match_direct_enumeration() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let g1 = gen::er::gnm(&mut rng, 40, 40, 300);
+    let g2 = gen::er::gnm(&mut rng, 35, 45, 280);
+    let expected1 = sorted(Enumeration::new(&g1).collect().unwrap().bicliques);
+    let expected2 = sorted(Enumeration::new(&g2).collect().unwrap().bicliques);
+
+    let path = std::env::temp_dir().join(format!("serve-e2e-{}-g2.txt", std::process::id()));
+    bigraph::io::write_edge_list_path(&g2, &path).unwrap();
+
+    let (handle, join) = start(
+        ServerConfig { workers: 4, queue_capacity: 16, ..ServerConfig::default() },
+        &[("g1", &g1)],
+    );
+    let addr = handle.addr();
+
+    let mut admin = Client::connect(addr).unwrap();
+    let info = admin.load("g2", path.to_string_lossy().as_ref()).unwrap();
+    assert_eq!(info.fingerprint, graph_fingerprint(&g2), "file roundtrip preserved the graph");
+    let listed = admin.list().unwrap();
+    assert_eq!(
+        listed.iter().map(|i| i.name.as_str()).collect::<Vec<_>>(),
+        ["g1", "g2"],
+        "LIST is sorted and complete"
+    );
+    // Unknown graphs are a typed error, not a hang.
+    match admin.query(request("nope", QueryParams::default())) {
+        Err(ServeError::Remote { code, .. }) => {
+            assert_eq!(code, serve::protocol::errcode::UNKNOWN_GRAPH)
+        }
+        other => panic!("expected unknown-graph error, got {other:?}"),
+    }
+
+    let queries_run = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for i in 0..6 {
+            let (name, expected) = if i % 2 == 0 { ("g1", &expected1) } else { ("g2", &expected2) };
+            let queries_run = &queries_run;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                // Distinct orders defeat the result cache, so every
+                // client really enumerates concurrently.
+                let params =
+                    QueryParams { order: VertexOrder::Random(i), ..QueryParams::default() };
+                let reply = client.query(request(name, params)).unwrap();
+                assert_eq!(reply.stop, StopReason::Completed);
+                assert_eq!(reply.total, expected.len() as u64);
+                let got = sorted(reply.bicliques);
+                for pair in got.windows(2) {
+                    assert!(pair[0] < pair[1], "duplicate biclique in served result");
+                }
+                assert_eq!(&got, expected, "served result differs from direct enumeration");
+                queries_run.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(queries_run.load(Ordering::Relaxed), 6);
+
+    let stats = admin.stats().unwrap();
+    assert_eq!(stats.graphs, 2);
+    assert_eq!(stats.queries, 6, "six answered queries; the unknown-graph request never ran");
+
+    handle.shutdown();
+    let summary = join.join();
+    assert_eq!(summary.graphs, 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// (b): the second identical query is a cache hit — flagged as cached,
+/// hit counter up, and zero new enumeration tasks started.
+#[test]
+fn repeated_query_is_served_from_cache_without_new_work() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = gen::er::gnm(&mut rng, 30, 30, 200);
+    let (handle, join) = start(ServerConfig::default(), &[("g", &g)]);
+    let addr = handle.addr();
+
+    let mut first_client = Client::connect(addr).unwrap();
+    let first = first_client.query(request("g", QueryParams::default())).unwrap();
+    assert!(!first.cached);
+    assert_eq!(first.stop, StopReason::Completed);
+
+    let stats_before = first_client.stats().unwrap();
+    assert_eq!(stats_before.cache.misses, 1);
+    assert_eq!(stats_before.cache.hits, 0);
+    assert_eq!(stats_before.cache.insertions, 1);
+    let tasks_before = stats_before.tasks_started;
+    assert!(tasks_before > 0, "the first run must have started enumeration tasks");
+
+    // A *different* connection sees the same cache.
+    let mut second_client = Client::connect(addr).unwrap();
+    let second = second_client.query(request("g", QueryParams::default())).unwrap();
+    assert!(second.cached, "identical repeat must hit the cache");
+    assert_eq!(second.stop, StopReason::Completed);
+    assert_eq!(sorted(second.bicliques), sorted(first.bicliques));
+    assert_eq!(second.emitted, first.emitted);
+
+    let stats_after = second_client.stats().unwrap();
+    assert_eq!(stats_after.cache.hits, 1, "hit counter increments");
+    assert_eq!(stats_after.cache.misses, 1);
+    assert_eq!(
+        stats_after.tasks_started, tasks_before,
+        "a cache hit must not start enumeration tasks"
+    );
+    assert_eq!(stats_after.queries, 2);
+
+    // Execution hints don't defeat the cache: same query with a different
+    // thread count is still a hit.
+    let hinted = QueryParams { threads: 3, ..QueryParams::default() };
+    let third = second_client.query(request("g", hinted)).unwrap();
+    assert!(third.cached);
+
+    handle.shutdown();
+    let summary = join.join();
+    assert_eq!(summary.cache.hits, 2);
+    assert_eq!(summary.queries, 3);
+}
+
+/// (c): with one worker and one queue slot, a third concurrent query is
+/// rejected with the typed busy response immediately instead of waiting.
+#[test]
+fn overflowing_the_admission_queue_returns_typed_busy() {
+    let slow = crown(22);
+    let cfg = ServerConfig { workers: 1, queue_capacity: 1, ..ServerConfig::default() };
+    let (handle, join) = start(cfg, &[("slow", &slow)]);
+    let addr = handle.addr();
+    let count_only = |seed| QueryParams {
+        count_only: true,
+        order: VertexOrder::Random(seed),
+        ..QueryParams::default()
+    };
+
+    // Query 1 occupies the only worker.
+    let running = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query(request("slow", count_only(1))).unwrap()
+    });
+    let mut probe = Client::connect(addr).unwrap();
+    wait_until("query 1 to start executing", || {
+        let s = probe.stats().unwrap();
+        s.inflight >= 1 && s.queued == 0
+    });
+
+    // Query 2 fills the single queue slot.
+    let queued = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query(request("slow", count_only(2))).unwrap()
+    });
+    wait_until("query 2 to be queued", || probe.stats().unwrap().queued >= 1);
+
+    // Query 3 must bounce, fast, with the queue state attached.
+    let t0 = Instant::now();
+    let mut rejected_client = Client::connect(addr).unwrap();
+    match rejected_client.query(request("slow", count_only(3))) {
+        Err(ServeError::Busy { queued, capacity }) => {
+            assert_eq!(capacity, 1);
+            assert!(queued >= 1);
+        }
+        other => panic!("expected the typed busy rejection, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "busy rejection must not wait behind the running query"
+    );
+    assert_eq!(probe.stats().unwrap().busy_rejected, 1);
+
+    // Drain: shutdown cancels the running and queued queries; both
+    // clients still get well-formed (cancelled) replies.
+    handle.shutdown();
+    assert_eq!(running.join().unwrap().stop, StopReason::Cancelled);
+    assert_eq!(queued.join().unwrap().stop, StopReason::Cancelled);
+    let summary = join.join();
+    assert_eq!(summary.busy_rejected, 1);
+}
+
+/// (d): `SHUTDOWN` mid-query — the long query comes back as a cancelled,
+/// checkpoint-bearing reply; the server drains and exits cleanly.
+#[test]
+fn shutdown_during_long_query_returns_checkpoint_and_exits() {
+    let slow = crown(22);
+    let fingerprint = graph_fingerprint(&slow);
+    let (handle, join) = start(ServerConfig::default(), &[("slow", &slow)]);
+    let addr = handle.addr();
+
+    let long = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .query(request("slow", QueryParams { count_only: true, ..QueryParams::default() }))
+            .unwrap()
+    });
+    let mut second = Client::connect(addr).unwrap();
+    wait_until("the long query to start", || second.stats().unwrap().inflight >= 1);
+    assert!(!handle.is_shutting_down());
+    second.shutdown().unwrap();
+
+    let reply = long.join().unwrap();
+    assert_eq!(reply.stop, StopReason::Cancelled);
+    assert!(!reply.cached);
+    let bytes = reply.checkpoint.expect("a drained query must carry its checkpoint");
+    let checkpoint = Checkpoint::from_bytes(&bytes).unwrap();
+    assert_eq!(checkpoint.fingerprint, fingerprint, "checkpoint pins the queried graph");
+    assert_eq!(checkpoint.stop, StopReason::Cancelled);
+    assert_eq!(checkpoint.emitted, reply.emitted);
+    assert!(!checkpoint.frontier.is_empty(), "mid-run stop leaves unexplored frontier tasks");
+
+    let summary = join.join();
+    assert_eq!(summary.queries, 1, "the drained query was the only one answered");
+    // The listener is gone: no new connections are accepted.
+    wait_until("the port to close", || Client::connect(addr).is_err());
+}
+
+/// Per-connection cancellation: a `CANCEL` injected through a
+/// [`serve::Canceller`] stops that connection's in-flight query.
+#[test]
+fn canceller_stops_own_inflight_query() {
+    let slow = crown(22);
+    let (handle, join) = start(ServerConfig::default(), &[("slow", &slow)]);
+    let addr = handle.addr();
+
+    let client = Client::connect(addr).unwrap();
+    let mut canceller = client.canceller().unwrap();
+    let worker = std::thread::spawn(move || {
+        let mut client = client;
+        client
+            .query(request("slow", QueryParams { count_only: true, ..QueryParams::default() }))
+            .unwrap()
+    });
+    // Make it likely the query is mid-run; correctness doesn't depend on
+    // it (an early CANCEL is read by the query's wait loop either way).
+    std::thread::sleep(Duration::from_millis(30));
+    canceller.cancel().unwrap();
+    let reply = worker.join().unwrap();
+    assert_eq!(reply.stop, StopReason::Cancelled);
+    assert!(reply.checkpoint.is_some());
+
+    // The connection (and server) survive a cancelled query.
+    let mut probe = Client::connect(addr).unwrap();
+    assert_eq!(probe.stats().unwrap().queries, 1);
+    handle.shutdown();
+    join.join();
+}

@@ -22,6 +22,10 @@
 //!   contained panic into a cascade (use
 //!   `unwrap_or_else(PoisonError::into_inner)` as the parallel driver
 //!   does);
+//! * **net-timeout** — non-test code naming the blocking TCP stream type
+//!   must set an explicit read timeout somewhere in the same file: a
+//!   deadline-less socket read wedges its thread on a stalled peer (the
+//!   serve crate's poll-loop pattern);
 //! * **println** — no `println!` outside the `cli`, `bench`, and `xtask`
 //!   crates (library crates report through sinks and `Stats`);
 //! * **doc** — every `pub` item in `mbe` and `bigraph` is documented;
@@ -47,7 +51,11 @@ use std::path::{Path, PathBuf};
 
 /// Modules whose panics abort enumeration mid-flight: the panic-family
 /// rules apply only here. `obs.rs` and `histogram.rs` qualify because
-/// observer hooks and metrics recording run inside every task loop.
+/// observer hooks and metrics recording run inside every task loop; the
+/// serve request path (framing, codec, dispatch) qualifies because a
+/// panic there kills a connection thread mid-reply and strands the
+/// client. `admission.rs` stays out: its pool setup intentionally
+/// panics on spawn failure before any request is accepted.
 const HOT_PATHS: &[&str] = &[
     "crates/setops/src/",
     "crates/ptree/src/",
@@ -55,6 +63,9 @@ const HOT_PATHS: &[&str] = &[
     "crates/mbe/src/parallel.rs",
     "crates/mbe/src/obs.rs",
     "crates/mbe/src/histogram.rs",
+    "crates/serve/src/wire.rs",
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/server.rs",
 ];
 
 /// Crates allowed to print to stdout (user-facing output or bench
@@ -87,6 +98,12 @@ const LOCK_UNWRAP_NEEDLES: &[&str] = &[
     concat!(".read().unwr", "ap()"),
     concat!(".write().unwr", "ap()"),
 ];
+
+/// The blocking socket type whose reads wedge forever without a
+/// deadline, and the call that sets one. A non-test file mentioning the
+/// former must contain the latter (see the `net-timeout` rule).
+const NET_TYPE_NEEDLE: &str = concat!("Tcp", "Stream");
+const NET_TIMEOUT_NEEDLE: &str = concat!("set_read_timeout", "(Some(");
 
 /// One broken rule at one source line.
 #[derive(Debug, PartialEq, Eq)]
@@ -212,6 +229,13 @@ fn scan_file(rel: &str, content: &str) -> Vec<Violation> {
     let println_ok = PRINTLN_OK.iter().any(|p| rel.starts_with(p));
     let doc_required = DOC_PATHS.iter().any(|p| rel.starts_with(p));
     let tuple_banned = TUPLE_RETURN_PATHS.iter().any(|p| rel.starts_with(p));
+    // `net-timeout` is file-level: the socket mention and the timeout
+    // call are usually on different lines, so the requirement is "the
+    // file configures one somewhere". Integration tests drive sockets
+    // through the library APIs and are exempt wholesale.
+    let net_checked = !rel.contains("/tests/");
+    let has_net_timeout = content.contains(NET_TIMEOUT_NEEDLE);
+    let mut net_line: Option<usize> = None;
 
     let mut out = Vec::new();
     let mut depth: i64 = 0;
@@ -275,7 +299,9 @@ fn scan_file(rel: &str, content: &str) -> Vec<Violation> {
                      don't .unwrap() the lock result",
                 ));
             }
-            if !println_ok && code.contains("println!") && !allowed("println") {
+            // `contains_word` keeps `eprintln!` (stderr diagnostics, fine
+            // in any crate) from tripping the stdout rule.
+            if !println_ok && contains_word(code, "println") && !allowed("println") {
                 out.push(violation(
                     rel,
                     line,
@@ -306,6 +332,13 @@ fn scan_file(rel: &str, content: &str) -> Vec<Violation> {
                     "tuple-return",
                     "pub fns in mbe return Report/Result, not bare tuples",
                 ));
+            }
+            if net_checked
+                && net_line.is_none()
+                && code.contains(NET_TYPE_NEEDLE)
+                && !allowed("net-timeout")
+            {
+                net_line = Some(line);
             }
             if untagged_todo(raw) && !allowed("todo") {
                 out.push(violation(
@@ -343,6 +376,18 @@ fn scan_file(rel: &str, content: &str) -> Vec<Violation> {
 
         // A standalone allow comment covers the next line.
         prev_allows = if trimmed.is_empty() { allows } else { Vec::new() };
+    }
+    if let Some(line) = net_line {
+        if !has_net_timeout {
+            out.push(violation(
+                rel,
+                line,
+                "net-timeout",
+                "blocking socket reads need a deadline: a file using this socket type \
+                 must call set_read_timeout(Some(..)) (or carry an xtask-allow)",
+            ));
+            out.sort_by_key(|v| v.line);
+        }
     }
     out
 }
@@ -580,6 +625,10 @@ mod tests {
         assert_eq!(rules(&scan_file("crates/mbe/src/lib.rs", src)), vec!["println"]);
         assert!(scan_file("crates/cli/src/main.rs", src).is_empty());
         assert!(scan_file("crates/bench/src/lib.rs", src).is_empty());
+        // Stderr diagnostics are fine everywhere.
+        let stderr = "fn f() {\n    eprintln!(\"hi\");\n}\n";
+        assert!(scan_file("crates/mbe/src/lib.rs", stderr).is_empty());
+        assert!(scan_file("crates/serve/src/server.rs", stderr).is_empty());
     }
 
     #[test]
@@ -635,6 +684,48 @@ mod tests {
         // Without docs the attribute does not count as documentation.
         let undocumented = "#[deprecated(\n    note = \"gone\"\n)]\npub fn f() {}\n";
         assert_eq!(rules(&scan_file("crates/mbe/src/util.rs", undocumented)), vec!["doc"]);
+    }
+
+    #[test]
+    fn serve_request_path_is_hot() {
+        let src = "fn f(v: Vec<u32>) -> u32 {\n    *v.first().unwrap()\n}\n";
+        for file in ["wire.rs", "protocol.rs", "server.rs"] {
+            let rel = format!("crates/serve/src/{file}");
+            assert_eq!(rules(&scan_file(&rel, src)), vec!["unwrap"], "{rel}");
+        }
+        // Pool setup (admission) and the client helper are not request-path.
+        assert!(scan_file("crates/serve/src/admission.rs", src).is_empty());
+        assert!(scan_file("crates/serve/src/client.rs", src).is_empty());
+    }
+
+    #[test]
+    fn net_reads_require_explicit_timeout() {
+        let bad =
+            format!("use std::net::{0};\n\nfn f(s: &{0}) {{\n    drop(s);\n}}\n", NET_TYPE_NEEDLE);
+        let got = scan_file("crates/serve/src/client.rs", &bad);
+        assert_eq!(rules(&got), vec!["net-timeout"]);
+        assert_eq!(got[0].line, 1, "anchors to the first mention");
+        // A file that configures a read deadline anywhere is fine.
+        let good = format!(
+            "{bad}fn g(s: &{}) {{\n    s.{}POLL)).ok();\n}}\n",
+            NET_TYPE_NEEDLE, NET_TIMEOUT_NEEDLE
+        );
+        assert!(scan_file("crates/serve/src/client.rs", &good).is_empty());
+        // Integration tests, comments, and cfg(test) regions are exempt.
+        assert!(scan_file("crates/serve/tests/service.rs", &bad).is_empty());
+        let comment_only = format!("// speaks {} on the wire\nfn f() {{}}\n", NET_TYPE_NEEDLE);
+        assert!(scan_file("crates/serve/src/client.rs", &comment_only).is_empty());
+        let in_test = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn f(s: &std::net::{}) {{\n        drop(s);\n    }}\n}}\n",
+            NET_TYPE_NEEDLE
+        );
+        assert!(scan_file("crates/serve/src/client.rs", &in_test).is_empty());
+        // The escape hatch works as for line rules.
+        let escaped = format!(
+            "// xtask-allow: net-timeout\nfn f(s: &std::net::{}) {{\n    drop(s);\n}}\n",
+            NET_TYPE_NEEDLE
+        );
+        assert!(scan_file("crates/serve/src/client.rs", &escaped).is_empty());
     }
 
     #[test]
