@@ -447,6 +447,7 @@ impl<'g> MbetEngine<'g> {
         for j in broke_at + 1..s.groups.len() {
             let grp = s.groups[j];
             let key = slice(&s.keyar, grp.key);
+            // xtask-allow: hot-alloc-loop (cold checkpoint-capture path; each resume task owns its data)
             let mut l_child = Vec::new();
             util::unrank(l_new, key, &mut l_child);
             let mut p: Vec<u32> =
@@ -457,10 +458,10 @@ impl<'g> MbetEngine<'g> {
             p.sort_unstable();
             self.frontier.push(ResumeTask::Node {
                 l: l_child,
-                r_parent: r_new.to_vec(),
+                r_parent: r_new.to_vec(), // xtask-allow: hot-alloc-loop (owned by the resume task)
                 v: grp.rep,
                 p,
-                q: q_accum.clone(),
+                q: q_accum.clone(), // xtask-allow: hot-alloc-loop (owned by the resume task)
             });
             q_accum.push(grp.rep);
         }
@@ -577,14 +578,16 @@ impl MbetEngine<'_> {
         q_accum.push(p_new[broke_at]);
         for k in broke_at + 1..p_new.len() {
             let w = p_new[k];
+            // xtask-allow: hot-alloc-loop (cold checkpoint-capture path; each resume task owns its data)
             let mut l_child = Vec::new();
             setops::intersect_into(l_parent, self.g.nbr_v(w), &mut l_child);
             self.frontier.push(ResumeTask::Node {
                 l: l_child,
-                r_parent: r_new.to_vec(),
+                r_parent: r_new.to_vec(), // xtask-allow: hot-alloc-loop (owned by the resume task)
                 v: w,
+                // xtask-allow: hot-alloc-loop (owned by the resume task)
                 p: p_new[k + 1..].to_vec(),
-                q: q_accum.clone(),
+                q: q_accum.clone(), // xtask-allow: hot-alloc-loop (owned by the resume task)
             });
             q_accum.push(w);
         }

@@ -157,12 +157,14 @@ where
                 pending.fetch_add(1, Ordering::SeqCst);
                 injector.push(match t {
                     ResumeTask::Root(v) => Task::Root(*v),
+                    // Once per checkpointed task at startup, cold; the
+                    // queued task owns its sets.
                     ResumeTask::Node { l, r_parent, v, p, q } => Task::Node(NodeTask {
-                        l: l.clone(),
-                        r_parent: r_parent.clone(),
+                        l: l.clone(),               // xtask-allow: hot-alloc-loop (startup resume seeding)
+                        r_parent: r_parent.clone(), // xtask-allow: hot-alloc-loop (startup resume seeding)
                         v: *v,
-                        p: p.clone(),
-                        q: q.clone(),
+                        p: p.clone(), // xtask-allow: hot-alloc-loop (startup resume seeding)
+                        q: q.clone(), // xtask-allow: hot-alloc-loop (startup resume seeding)
                     }),
                 });
             }
@@ -201,7 +203,7 @@ where
     let mut results: Vec<Option<(S, Stats, WorkerMetrics)>> = (0..threads).map(|_| None).collect();
 
     let (spawn_err, panicked) = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
+        let mut handles = Vec::with_capacity(threads);
         let mut spawn_err: Option<String> = None;
         for (wid, (local, slot)) in workers.into_iter().zip(results.iter_mut()).enumerate() {
             let injector = &injector;
@@ -215,6 +217,7 @@ where
             let panic_slot = &panic_slot;
             let spawned = scope
                 .builder()
+                // xtask-allow: hot-alloc-loop (once per worker at spawn)
                 .name(format!("mbe-worker-{wid}"))
                 .stack_size(64 << 20) // deep R-chains recurse; be generous
                 .spawn(move |_| {
@@ -251,7 +254,7 @@ where
                 Err(e) => {
                     // Stop the already-running workers (they drain the
                     // queue) and surface the failure to the caller.
-                    spawn_err = Some(e.to_string());
+                    spawn_err = Some(e.to_string()); // xtask-allow: hot-alloc-loop (spawn-failure path, at most once)
                     state.note_stop(StopReason::Cancelled);
                     break;
                 }
@@ -514,22 +517,30 @@ fn worker_loop<'g, S: BicliqueSink>(
                     }
                 }));
                 let elapsed = t0.elapsed();
+                // Split tasks process a single node outside the engine,
+                // so their recursion depth is 0 and the engine's depth
+                // field is stale — don't read it. Same for a panicked
+                // task: mid-unwind engine state is garbage.
+                let depth = match &result {
+                    Ok(_) if !was_split => engine.task_depth() as u64,
+                    _ => 0,
+                };
                 if result.is_ok() {
-                    // Split tasks process a single node outside the engine,
-                    // so their recursion depth is 0 and the engine's depth
-                    // field is stale — don't read it.
-                    let depth = if was_split { 0 } else { engine.task_depth() as u64 };
                     record_task(wm, depth, engine.peak_trie_nodes() as u64, elapsed);
-                    obs.task_finish(
-                        &info,
-                        elapsed,
-                        &TaskDelta {
-                            nodes: stats.nodes - nodes_before,
-                            emitted: stats.emitted - emitted_before,
-                            depth,
-                        },
-                    );
                 }
+                // Every task_start pairs with a task_finish, on the
+                // panic path too — a dangling start would read as a
+                // forever-running task in the trace. A panicked task
+                // reports the deltas it accumulated before unwinding.
+                obs.task_finish(
+                    &info,
+                    elapsed,
+                    &TaskDelta {
+                        nodes: stats.nodes - nodes_before,
+                        emitted: stats.emitted - emitted_before,
+                        depth,
+                    },
+                );
                 match result {
                     Ok(ControlFlow::Continue(())) => {
                         if was_split {
@@ -557,10 +568,10 @@ fn worker_loop<'g, S: BicliqueSink>(
                         ControlFlow::Break(r)
                     }
                     Err(payload) => {
-                        // No `task_finish` hook for a panicked task, but it
-                        // *was* counted in `stats.tasks` — mirror that in
-                        // the worker metrics so the per-worker task sum
-                        // still equals the merged total.
+                        // The panicked task *was* counted in `stats.tasks`
+                        // — mirror that in the worker metrics so the
+                        // per-worker task sum still equals the merged
+                        // total.
                         record_task(wm, 0, 0, elapsed);
                         let mut slot = panic_slot.lock().unwrap_or_else(PoisonError::into_inner);
                         if slot.is_none() {
@@ -606,8 +617,9 @@ fn split_node(
             return ControlFlow::Continue(());
         }
     }
-    let mut absorbed = Vec::new();
-    let mut p_new = Vec::new();
+    // `absorbed` and `p_new` partition `t.p`.
+    let mut absorbed = Vec::with_capacity(t.p.len());
+    let mut p_new = Vec::with_capacity(t.p.len());
     for &w in &t.p {
         let common = setops::intersect_count(&t.l, g.nbr_v(w));
         if common == t.l.len() {
@@ -636,12 +648,16 @@ fn split_node(
     for i in 0..p_new.len() {
         let w = p_new[i];
         setops::intersect_into(&t.l, g.nbr_v(w), &mut l_child);
+        // Each child task is shipped through the injector and outlives
+        // this frame — it must own its sets. Split nodes are rare
+        // (fan-out dominates), so the copies are off the hot path.
         out.push(NodeTask {
-            l: l_child.clone(),
-            r_parent: r_new.clone(),
+            l: l_child.clone(),      // xtask-allow: hot-alloc-loop (owned by the child task)
+            r_parent: r_new.clone(), // xtask-allow: hot-alloc-loop (owned by the child task)
             v: w,
+            // xtask-allow: hot-alloc-loop (owned by the child task)
             p: p_new[i + 1..].to_vec(),
-            q: q_now.clone(),
+            q: q_now.clone(), // xtask-allow: hot-alloc-loop (owned by the child task)
         });
         q_now.push(w);
     }

@@ -132,6 +132,8 @@ impl CandidateTrie {
     pub fn for_each_group(&self, mut f: impl FnMut(&[u32], &[u32])) {
         let mut path: Vec<u32> = Vec::new();
         let mut verts: Vec<u32> = Vec::new();
+        // Child-reversal scratch, reused across all node visits.
+        let mut tmp: Vec<u32> = Vec::new();
         // Explicit DFS: (node, entering) — entering=false pops the path.
         let mut stack: Vec<(u32, bool)> = vec![(0, true)];
         while let Some((idx, entering)) = stack.pop() {
@@ -156,7 +158,7 @@ impl CandidateTrie {
             }
             // Push children (any order; reverse keeps visitation sorted).
             let mut kids = n.first_child;
-            let mut tmp: Vec<u32> = Vec::new();
+            tmp.clear();
             while kids != NIL {
                 tmp.push(kids);
                 kids = self.nodes[kids as usize].next_sibling;

@@ -589,7 +589,10 @@ impl Response {
                     opcode::LOAD => Reply::Loaded(graph_info_from_reader(&mut r)?),
                     opcode::LIST => {
                         let n = r.u32("graph count")? as usize;
-                        let mut list = Vec::new();
+                        // Pre-size, capped by what the payload could
+                        // actually hold (≥ 36 wire bytes per entry) so
+                        // a hostile count can't reserve gigabytes.
+                        let mut list = Vec::with_capacity(n.min(r.remaining() / 36));
                         for _ in 0..n {
                             list.push(graph_info_from_reader(&mut r)?);
                         }
@@ -602,7 +605,9 @@ impl Response {
                         let elapsed_us = r.u64("elapsed_us")?;
                         let total = r.u64("total")?;
                         let n = r.u32("biclique count")? as usize;
-                        let mut bicliques = Vec::new();
+                        // Capped pre-size (≥ 8 wire bytes per empty
+                        // biclique), same rationale as the LIST arm.
+                        let mut bicliques = Vec::with_capacity(n.min(r.remaining() / 8));
                         for _ in 0..n {
                             bicliques.push(biclique_from_reader(&mut r)?);
                         }

@@ -231,6 +231,7 @@ impl Server {
                     conn_id += 1;
                     let shared = Arc::clone(&self.shared);
                     let spawned = std::thread::Builder::new()
+                        // xtask-allow: hot-alloc-loop (once per accepted connection)
                         .name(format!("mbe-serve-conn-{conn_id}"))
                         .spawn(move || handle_conn(&shared, stream));
                     match spawned {
@@ -512,8 +513,10 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, q: &QueryRequest) 
                     message: "a query is in flight; only CANCEL or SHUTDOWN may be pipelined"
                         .into(),
                 }),
-                Err(e) => pipelined
-                    .push(Response::Err { code: errcode::BAD_REQUEST, message: e.to_string() }),
+                Err(e) => pipelined.push(Response::Err {
+                    code: errcode::BAD_REQUEST,
+                    message: e.to_string(), // xtask-allow: hot-alloc-loop (malformed-request error path)
+                }),
             },
             // Client gone or broken: stop the work, let the worker wind
             // down in the background, answer no one.

@@ -1,0 +1,550 @@
+//! Lock-order analysis (`lock-order`).
+//!
+//! Deadlocks need two ingredients: two locks, and two code paths that
+//! acquire them in opposite orders. This pass finds the second
+//! ingredient statically for the crates where locks actually live —
+//! the serve layer and the parallel driver:
+//!
+//! 1. **Lock inventory** — every `Mutex`/`RwLock` declaration site
+//!    (struct field, static, or `let` binding with a visible type or
+//!    `Mutex::new` initializer). A lock's identity is its name plus
+//!    declaring file, so `inner` in the registry and `inner` in the
+//!    observer stay distinct.
+//! 2. **Acquisition scopes** — each `.lock()` / `.read()` /
+//!    `.write()` call whose receiver resolves to an inventoried lock,
+//!    with the guard's lexical extent: a `let`-bound guard lives to
+//!    the end of its enclosing block (or an explicit `drop(guard)`);
+//!    a temporary guard lives to the end of its statement — Rust's
+//!    actual temporary-lifetime rule, which is exactly what makes
+//!    `S { a: m.lock()…, b: n.lock()… }` hold both locks at once.
+//! 3. **Acquisition graph** — an edge `A → B` whenever `B` is
+//!    acquired while a guard for `A` is live, either directly in the
+//!    same extent or transitively through a call (callees' may-acquire
+//!    sets are propagated to a fixed point over the workspace call
+//!    graph). Only calls whose name resolves to exactly one workspace
+//!    fn participate — ubiquitous names (`new`, `take`, `load`, …)
+//!    resolve to every same-named method and would connect unrelated
+//!    locks into phantom deadlock paths.
+//! 4. **Cycles** — any cycle in that graph is a potential deadlock;
+//!    the diagnostic carries both acquisition sites.
+
+use std::collections::HashSet;
+
+use super::{CallGraph, Finding, Severity, Workspace};
+use crate::index::FileIndex;
+
+/// Files whose locks participate in the analysis. Everything else is
+/// lock-free by the `check` conventions (panic containment + channels).
+fn in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/serve/src/")
+        || rel == "crates/mbe/src/parallel.rs"
+        || rel == "crates/mbe/src/obs.rs"
+}
+
+/// One inventoried lock declaration.
+struct Lock {
+    /// Declaring file (index into `ws.files`).
+    file: usize,
+    name: String,
+}
+
+/// A source location carried into diagnostics.
+#[derive(Clone)]
+struct Site {
+    rel: String,
+    line: u32,
+    col: u32,
+}
+
+/// One "held A while acquiring B" observation.
+struct Edge {
+    from: usize,
+    to: usize,
+    /// Where the held lock was acquired.
+    hold: Site,
+    /// Where the inner lock was acquired (or the call that leads
+    /// there).
+    acq: Site,
+    /// Name of the fn containing the hold.
+    fn_name: String,
+    /// Callee name when the inner acquisition is reached via a call.
+    via: Option<String>,
+}
+
+/// Runs the pass over the workspace.
+pub fn run(ws: &Workspace<'_>, graph: &CallGraph) -> Vec<Finding> {
+    let locks = inventory(ws);
+    if locks.len() < 2 {
+        return Vec::new();
+    }
+
+    // Direct acquisitions per call-graph node: (lock, site ci, extent
+    // end ci).
+    let mut acquisitions: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); graph.nodes.len()];
+    for (node, &(fi, gi)) in graph.nodes.iter().enumerate() {
+        let idx = &ws.files[fi];
+        if !in_scope(&idx.rel) {
+            continue;
+        }
+        let Some((body_s, body_e)) = idx.fns[gi].body else { continue };
+        for ci in body_s..=body_e {
+            let Some(lock) = acquisition_at(idx, ci, fi, &locks) else { continue };
+            let end = guard_extent(idx, ci, body_s, body_e);
+            acquisitions[node].push((lock, ci, end));
+        }
+    }
+
+    // May-acquire sets (lock id + representative direct site),
+    // propagated over call edges to a fixed point.
+    let mut may: Vec<Vec<(usize, Site)>> = acquisitions
+        .iter()
+        .enumerate()
+        .map(|(node, acqs)| {
+            let (fi, _) = graph.nodes[node];
+            acqs.iter().map(|&(l, ci, _)| (l, site(&ws.files[fi], ci))).collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for node in 0..graph.nodes.len() {
+            for c in 0..graph.calls[node].len() {
+                let callee = graph.calls[node][c];
+                if callee == node || !unique_name(ws, graph, callee) {
+                    continue;
+                }
+                let inherited: Vec<(usize, Site)> = may[callee]
+                    .iter()
+                    .filter(|(l, _)| !may[node].iter().any(|(m, _)| m == l))
+                    .cloned()
+                    .collect();
+                if !inherited.is_empty() {
+                    may[node].extend(inherited);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Acquisition edges: direct overlaps and call-mediated ones.
+    let mut edges: Vec<Edge> = Vec::new();
+    for (node, acqs) in acquisitions.iter().enumerate() {
+        let (fi, gi) = graph.nodes[node];
+        let idx = &ws.files[fi];
+        let fn_name = idx.fns[gi].name.clone();
+        for &(held, ci, end) in acqs {
+            for &(inner, ci2, _) in acqs {
+                if inner != held && ci2 > ci && ci2 <= end {
+                    edges.push(Edge {
+                        from: held,
+                        to: inner,
+                        hold: site(idx, ci),
+                        acq: site(idx, ci2),
+                        fn_name: fn_name.clone(),
+                        via: None,
+                    });
+                }
+            }
+            for (callee, call_ci) in idx.calls_in(ci, end) {
+                if matches!(callee, "lock" | "read" | "write" | "drop" | "unwrap_or_else") {
+                    continue;
+                }
+                let targets = graph.by_name(callee);
+                if targets.len() != 1 {
+                    continue; // ambiguous name — no reliable edge
+                }
+                for &target in targets {
+                    if target == node {
+                        continue;
+                    }
+                    for (inner, inner_site) in &may[target] {
+                        if *inner != held {
+                            edges.push(Edge {
+                                from: held,
+                                to: *inner,
+                                hold: site(idx, ci),
+                                acq: inner_site.clone(),
+                                fn_name: fn_name.clone(),
+                                via: Some(format!(
+                                    "{callee} (called at {}:{})",
+                                    idx.rel,
+                                    idx.pos(call_ci).0
+                                )),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    cycles(&locks, &edges)
+}
+
+/// `true` when `node`'s fn name is declared exactly once in the
+/// workspace, so a bare-name call to it is unambiguous.
+fn unique_name(ws: &Workspace<'_>, graph: &CallGraph, node: usize) -> bool {
+    let (fi, gi) = graph.nodes[node];
+    graph.by_name(&ws.files[fi].fns[gi].name).len() == 1
+}
+
+/// Reports one finding per distinct lock cycle.
+fn cycles(locks: &[Lock], edges: &[Edge]) -> Vec<Finding> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); locks.len()];
+    for (i, e) in edges.iter().enumerate() {
+        adj[e.from].push(i);
+    }
+    let mut out = Vec::new();
+    let mut reported: HashSet<Vec<usize>> = HashSet::new();
+    for e in edges {
+        // BFS from the inner lock back to the held lock.
+        let Some(path) = lock_path(locks.len(), &adj, edges, e.to, e.from) else { continue };
+        let mut cycle: Vec<usize> = path.clone();
+        cycle.push(e.to);
+        cycle.sort_unstable();
+        cycle.dedup();
+        if !reported.insert(cycle) {
+            continue;
+        }
+        let reverse = edges
+            .iter()
+            .find(|r| r.from == e.to && r.to == e.from)
+            .map(|r| {
+                format!(
+                    "; `{}` is held at {}:{} while acquiring `{}` at {}:{} in fn `{}`{}",
+                    locks[r.from].name,
+                    r.hold.rel,
+                    r.hold.line,
+                    locks[r.to].name,
+                    r.acq.rel,
+                    r.acq.line,
+                    r.fn_name,
+                    r.via.as_deref().map(|v| format!(" via {v}")).unwrap_or_default(),
+                )
+            })
+            .unwrap_or_else(|| {
+                let names: Vec<&str> = path.iter().map(|&l| locks[l].name.as_str()).collect();
+                format!("; reverse acquisition path exists through `{}`", names.join("` -> `"))
+            });
+        out.push(Finding {
+            rule: "lock-order",
+            severity: Severity::Error,
+            file: e.hold.rel.clone(),
+            line: e.hold.line,
+            col: e.hold.col,
+            message: format!(
+                "potential deadlock: `{}` is held at {}:{} while acquiring `{}` at {}:{} in fn `{}`{}{}",
+                locks[e.from].name,
+                e.hold.rel,
+                e.hold.line,
+                locks[e.to].name,
+                e.acq.rel,
+                e.acq.line,
+                e.fn_name,
+                e.via.as_deref().map(|v| format!(" via {v}")).unwrap_or_default(),
+                reverse,
+            ),
+        });
+    }
+    out
+}
+
+/// The lock-id path `from → … → to` (excluding `to`'s final hop
+/// target), or `None` when unreachable.
+fn lock_path(
+    n: usize,
+    adj: &[Vec<usize>],
+    edges: &[Edge],
+    from: usize,
+    to: usize,
+) -> Option<Vec<usize>> {
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[from] = true;
+    queue.push_back(from);
+    while let Some(u) = queue.pop_front() {
+        if u == to {
+            let mut path = vec![u];
+            let mut cur = u;
+            while let Some(p) = prev[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &ei in &adj[u] {
+            let v = edges[ei].to;
+            if !seen[v] {
+                seen[v] = true;
+                prev[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Collects every lock declaration in scoped files.
+fn inventory(ws: &Workspace<'_>) -> Vec<Lock> {
+    let mut locks: Vec<Lock> = Vec::new();
+    for (fi, idx) in ws.files.iter().enumerate() {
+        if !in_scope(&idx.rel) {
+            continue;
+        }
+        for ci in 0..idx.len() {
+            if !matches!(idx.text(ci), "Mutex" | "RwLock") || idx.in_test(ci) {
+                continue;
+            }
+            let next = idx.code.get(ci + 1).map(|_| idx.text(ci + 1));
+            let declares = match next {
+                Some("<") => true,
+                Some("::") => idx.code.get(ci + 2).is_some_and(|_| idx.text(ci + 2) == "new"),
+                _ => false,
+            };
+            if !declares {
+                continue;
+            }
+            let Some(name) = binding_name_before(idx, ci) else { continue };
+            if !locks.iter().any(|l| l.file == fi && l.name == name) {
+                locks.push(Lock { file: fi, name });
+            }
+        }
+    }
+    locks
+}
+
+/// Walks back from the `Mutex`/`RwLock` token across generic wrappers
+/// (`Arc<`), path prefixes (`std::sync::`), and references to the
+/// `name :` / `name =` binding that owns it.
+fn binding_name_before(idx: &FileIndex<'_>, ci: usize) -> Option<String> {
+    let mut j = ci.checked_sub(1)?;
+    loop {
+        let t = idx.text(j);
+        match t {
+            ":" | "=" => {
+                let name = idx.text(j.checked_sub(1)?);
+                let first = name.chars().next()?;
+                return if first.is_alphabetic() || first == '_' {
+                    Some(name.strip_prefix("r#").unwrap_or(name).to_string())
+                } else {
+                    None
+                };
+            }
+            "<" | "::" | "&" | "mut" => {}
+            t if t.starts_with('\'') => {}
+            t if t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') => {}
+            _ => return None,
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// The inventoried lock acquired by a `.lock()` / `.read()` /
+/// `.write()` at `ci`, resolved by receiver name (same file preferred,
+/// then a unique declaration anywhere in scope).
+fn acquisition_at(idx: &FileIndex<'_>, ci: usize, fi: usize, locks: &[Lock]) -> Option<usize> {
+    if !matches!(idx.text(ci), "lock" | "read" | "write") {
+        return None;
+    }
+    if ci < 2 || idx.text(ci - 1) != "." {
+        return None;
+    }
+    if idx.code.get(ci + 1).is_none_or(|_| idx.text(ci + 1) != "(") {
+        return None;
+    }
+    if idx.code.get(ci + 2).is_none_or(|_| idx.text(ci + 2) != ")") {
+        return None;
+    }
+    let recv = idx.text(ci - 2);
+    let first = recv.chars().next()?;
+    if !(first.is_alphabetic() || first == '_') {
+        return None;
+    }
+    let matching: Vec<usize> = (0..locks.len()).filter(|&l| locks[l].name == recv).collect();
+    match matching.len() {
+        0 => None,
+        1 => Some(matching[0]),
+        _ => matching.iter().copied().find(|&l| locks[l].file == fi),
+    }
+}
+
+/// The code index where the guard acquired at `ci` dies.
+fn guard_extent(idx: &FileIndex<'_>, ci: usize, body_s: usize, body_e: usize) -> usize {
+    let start = statement_start(idx, ci, body_s);
+    if idx.text(start) == "let" {
+        // Find the binding name (skipping `mut` and one pattern layer).
+        let mut j = start + 1;
+        if idx.text(j) == "mut" {
+            j += 1;
+        }
+        let name = if idx.code.get(j + 1).is_some_and(|_| idx.text(j + 1) == "(") {
+            idx.text(j + 2)
+        } else {
+            idx.text(j)
+        };
+        // Innermost enclosing block: the guard lives to its `}` …
+        let mut stack = Vec::new();
+        for k in body_s..ci {
+            match idx.text(k) {
+                "{" => stack.push(k),
+                "}" => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        let block_end = stack.last().map(|&open| idx.matching_brace(open)).unwrap_or(body_e);
+        // … unless an explicit `drop(name)` releases it earlier.
+        for k in ci..block_end {
+            if idx.text(k) == "drop"
+                && idx.code.get(k + 3).is_some()
+                && idx.text(k + 1) == "("
+                && idx.text(k + 2) == name
+                && idx.text(k + 3) == ")"
+            {
+                return k;
+            }
+        }
+        block_end
+    } else {
+        // A temporary guard: lives to the end of the statement.
+        let mut depth = 0i64;
+        for k in ci..=body_e {
+            match idx.text(k) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return k;
+                    }
+                }
+                ";" if depth <= 0 => return k,
+                _ => {}
+            }
+        }
+        body_e
+    }
+}
+
+/// The first code token of the statement containing `ci`.
+fn statement_start(idx: &FileIndex<'_>, ci: usize, body_s: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = ci;
+    while j > body_s {
+        let t = idx.text(j - 1);
+        match t {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return j,
+            _ => {}
+        }
+        j -= 1;
+    }
+    j
+}
+
+fn site(idx: &FileIndex<'_>, ci: usize) -> Site {
+    let (line, col) = idx.pos(ci);
+    Site { rel: idx.rel.clone(), line, col }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::sources;
+    use super::super::{run_passes, Finding};
+
+    fn lock_findings(files: &[(&str, &str)]) -> Vec<Finding> {
+        run_passes(&sources(files), "").into_iter().filter(|f| f.rule == "lock-order").collect()
+    }
+
+    #[test]
+    fn opposite_order_in_two_fns_is_a_cycle() {
+        let src = "static A: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n\
+                   static B: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n\
+                   fn f() {\n    let ga = A.lock();\n    let gb = B.lock();\n}\n\
+                   fn g() {\n    let gb = B.lock();\n    let ga = A.lock();\n}\n";
+        let got = lock_findings(&[("crates/serve/src/fixture.rs", src)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, "lock-order");
+        assert_eq!((got[0].line, got[0].col), (4, 16), "anchors at the held acquisition");
+        assert!(got[0].message.contains("`A`") && got[0].message.contains("`B`"));
+        assert!(
+            got[0].message.contains("fixture.rs:5"),
+            "cites the inner site: {}",
+            got[0].message
+        );
+        assert!(
+            got[0].message.contains("fixture.rs:8"),
+            "cites the reverse site: {}",
+            got[0].message
+        );
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "static A: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n\
+                   static B: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n\
+                   fn f() {\n    let ga = A.lock();\n    drop(ga);\n    let gb = B.lock();\n    drop(gb);\n}\n\
+                   fn g() {\n    let gb = B.lock();\n    let ga = A.lock();\n}\n";
+        assert!(lock_findings(&[("crates/serve/src/fixture.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn cycle_through_a_call_edge_is_found() {
+        let src = "static A: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n\
+                   static B: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n\
+                   fn f() {\n    let ga = A.lock();\n    h();\n}\n\
+                   fn h() {\n    let gb = B.lock();\n}\n\
+                   fn g() {\n    let gb = B.lock();\n    let ga = A.lock();\n}\n";
+        let got = lock_findings(&[("crates/serve/src/fixture.rs", src)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("via h"), "{}", got[0].message);
+    }
+
+    #[test]
+    fn temporary_guards_live_to_statement_end() {
+        // Both locks are held at once inside the struct literal; `g`
+        // takes them in the reverse order.
+        let src = "struct S { a: u32, b: u32 }\n\
+                   static A: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n\
+                   static B: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n\
+                   fn f() -> S {\n    S { a: *A.lock().unwrap(), b: *B.lock().unwrap() }\n}\n\
+                   fn g() {\n    let gb = B.lock();\n    let ga = A.lock();\n}\n";
+        let got = lock_findings(&[("crates/serve/src/fixture.rs", src)]);
+        assert_eq!(got.len(), 1, "{got:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "static A: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n\
+                   static B: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n\
+                   fn f() {\n    let ga = A.lock();\n    let gb = B.lock();\n}\n\
+                   fn g() {\n    let ga = A.lock();\n    let gb = B.lock();\n}\n";
+        assert!(lock_findings(&[("crates/serve/src/fixture.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn same_name_locks_in_different_files_stay_distinct() {
+        // `inner` here and `inner` there are different locks; opposite
+        // orders against them must not merge into a phantom cycle.
+        let a = "struct R { inner: std::sync::RwLock<u32>, aux: std::sync::Mutex<u32> }\n\
+                 impl R {\n    fn f(&self) {\n        let g = self.inner.read();\n        \
+                 let h = self.aux.lock();\n    }\n}\n";
+        let b = "struct O { inner: std::sync::Mutex<u32> }\n\
+                 impl O {\n    fn g(&self) {\n        let g = self.inner.lock();\n    }\n}\n";
+        let got = lock_findings(&[
+            ("crates/serve/src/registry_fixture.rs", a),
+            ("crates/serve/src/obs_fixture.rs", b),
+        ]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

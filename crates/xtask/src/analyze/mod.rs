@@ -1,0 +1,504 @@
+//! `cargo run -p xtask -- analyze`: token-level, cross-file static
+//! analysis over the workspace.
+//!
+//! Where `check` pattern-matches single lines, `analyze` works on the
+//! [`crate::lexer`] token stream and the [`crate::index`] item index,
+//! so its rules can see across lines (guard scopes, loop bodies) and
+//! across files (the call graph, the protocol tables). Four passes run
+//! today:
+//!
+//! * [`lock_order`] — builds the inter-lock acquisition graph for the
+//!   serve crate and the parallel driver and reports cycles as
+//!   potential deadlocks (`lock-order`);
+//! * [`hot_alloc`] — flags allocation inside loops and panicking ops
+//!   in the hot-path files (`hot-alloc-loop`, plus the `unwrap` /
+//!   `expect` / `panic` / `index-literal` ids inherited from the
+//!   retired `check` regex rules, so existing `xtask-allow` escapes
+//!   keep working);
+//! * [`protocol`] — cross-checks the serve opcode and errcode tables
+//!   against the codec match arms and the DESIGN §8b listing
+//!   (`protocol-opcode`, `protocol-errcode`);
+//! * [`observer`] — verifies every `task_start` notify site pairs with
+//!   a `task_finish` on all exit paths, including the `catch_unwind`
+//!   panic path (`observer-balance`).
+//!
+//! Findings are reported human-readable and, with `--json PATH`, as a
+//! machine-readable report. CI runs in baseline-diff mode: the
+//! committed `xtask-analyze-baseline.json` records accepted findings
+//! (keyed on rule + file + message, so line drift does not churn it)
+//! and the gate fails only on findings *not* in the baseline.
+//! `--update-baseline` rewrites the file after intentional changes.
+
+pub mod hot_alloc;
+pub mod lock_order;
+pub mod observer;
+pub mod protocol;
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::index::FileIndex;
+
+/// One diagnostic produced by a pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (documented in README "Static analysis &
+    /// invariants").
+    pub rule: &'static str,
+    /// Gate tier; see [`Severity`].
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the anchoring token.
+    pub line: u32,
+    /// 1-based column (in characters) of the anchoring token.
+    pub col: u32,
+    /// Human-readable description. Part of the baseline key: keep it
+    /// deterministic and free of volatile detail like line numbers.
+    pub message: String,
+}
+
+/// Finding severity. Every current rule gates (`error`); the report
+/// schema keeps the field so advisory (`warn`) tiers can be added
+/// without a format break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the baseline-diff gate when new.
+    Error,
+}
+
+impl Severity {
+    fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl Finding {
+    /// Builds a finding anchored at code token `ci` of `idx`.
+    pub fn at(
+        rule: &'static str,
+        severity: Severity,
+        idx: &FileIndex<'_>,
+        ci: usize,
+        message: String,
+    ) -> Finding {
+        let (line, col) = idx.pos(ci);
+        Finding { rule, severity, file: idx.rel.clone(), line, col, message }
+    }
+
+    /// The baseline identity: line/col excluded so unrelated edits
+    /// above a finding do not invalidate the baseline entry.
+    fn key(&self) -> (String, String, String) {
+        (self.rule.to_string(), self.file.clone(), self.message.clone())
+    }
+}
+
+/// Every indexed file of the workspace, plus cross-file lookups.
+pub struct Workspace<'a> {
+    /// Indexed files, in path order.
+    pub files: Vec<FileIndex<'a>>,
+}
+
+impl<'a> Workspace<'a> {
+    /// Indexes `(rel path, source)` pairs.
+    pub fn build(sources: &'a [(String, String)]) -> Workspace<'a> {
+        Workspace { files: sources.iter().map(|(rel, src)| FileIndex::build(rel, src)).collect() }
+    }
+
+    /// The index for one workspace-relative path.
+    pub fn file(&self, rel: &str) -> Option<&FileIndex<'a>> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+/// A workspace-wide call graph over non-test `fn` items, with calls
+/// resolved by bare name (conservative: a name defined in several
+/// files resolves to all of them).
+pub struct CallGraph {
+    /// `(file index, fn index)` per node.
+    pub nodes: Vec<(usize, usize)>,
+    /// Adjacency: callee node ids per node.
+    pub calls: Vec<Vec<usize>>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over every non-test fn with a body.
+    pub fn build(ws: &Workspace<'_>) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                if f.in_test || f.body.is_none() {
+                    continue;
+                }
+                by_name.entry(f.name.clone()).or_default().push(nodes.len());
+                nodes.push((fi, gi));
+            }
+        }
+        let mut calls = vec![Vec::new(); nodes.len()];
+        for (id, &(fi, gi)) in nodes.iter().enumerate() {
+            let file = &ws.files[fi];
+            let (s, e) = file.fns[gi].body.expect("nodes have bodies");
+            for (name, _) in file.calls_in(s, e) {
+                if let Some(tgts) = by_name.get(name) {
+                    for &t in tgts {
+                        if !calls[id].contains(&t) {
+                            calls[id].push(t);
+                        }
+                    }
+                }
+            }
+        }
+        CallGraph { nodes, calls, by_name }
+    }
+
+    /// Node ids whose fn has `name`.
+    pub fn by_name(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `true` for every node reachable from any fn named in `entries`
+    /// (following call edges transitively, entries included).
+    pub fn reachable_from(&self, entries: &[&str]) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> =
+            entries.iter().flat_map(|n| self.by_name(n).iter().copied()).collect();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id], true) {
+                continue;
+            }
+            stack.extend(self.calls[id].iter().copied());
+        }
+        seen
+    }
+}
+
+/// Runs the full analysis over in-memory sources. Pure on its inputs
+/// so the self-tests can feed synthetic workspaces.
+pub fn run_passes(sources: &[(String, String)], design: &str) -> Vec<Finding> {
+    let ws = Workspace::build(sources);
+    let graph = CallGraph::build(&ws);
+    let mut findings = Vec::new();
+    findings.extend(lock_order::run(&ws, &graph));
+    findings.extend(hot_alloc::run(&ws, &graph));
+    findings.extend(protocol::run(&ws, design));
+    findings.extend(observer::run(&ws));
+    // Apply the shared `xtask-allow` escape hatch, then order
+    // deterministically for stable reports and baselines.
+    findings.retain(|f| !ws.file(&f.file).is_some_and(|idx| idx.allowed(f.line, f.rule)));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule, &a.message)
+            .cmp(&(&b.file, b.line, b.col, b.rule, &b.message))
+    });
+    findings
+}
+
+/// The `analyze` subcommand. `args` are the CLI words after `analyze`.
+pub fn run(root: &Path, args: &[String]) -> ! {
+    let mut update_baseline = false;
+    let mut json_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--update-baseline" => update_baseline = true,
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json_out = Some(p.clone()),
+                    None => {
+                        eprintln!("xtask analyze: --json requires an output path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("xtask analyze: unknown flag {other}");
+                eprintln!("usage: cargo run -p xtask -- analyze [--update-baseline] [--json OUT]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let files = crate::collect_rs_files(root);
+    let mut sources = Vec::with_capacity(files.len());
+    for path in &files {
+        let content = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("xtask: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        sources.push((rel, content));
+    }
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+    let findings = run_passes(&sources, &design);
+
+    let baseline_path = root.join("xtask-analyze-baseline.json");
+    if update_baseline {
+        write_report(&baseline_path, &findings);
+        println!(
+            "xtask analyze: baseline updated ({} finding(s) accepted into {})",
+            findings.len(),
+            baseline_path.display()
+        );
+        std::process::exit(0);
+    }
+
+    if let Some(path) = &json_out {
+        write_report(Path::new(path), &findings);
+    }
+
+    // Baseline-diff: a finding fails the gate only when its key has
+    // more occurrences than the baseline grants (multiset semantics).
+    let baseline = load_baseline(&baseline_path);
+    let mut budget = baseline.clone();
+    let mut fresh = Vec::new();
+    let mut baselined = 0usize;
+    for f in &findings {
+        let n = budget.entry(f.key()).or_insert(0);
+        if *n > 0 {
+            *n -= 1;
+            baselined += 1;
+        } else {
+            fresh.push(f);
+        }
+    }
+    let stale: usize = budget.values().copied().sum();
+
+    for f in &fresh {
+        println!(
+            "{}:{}:{}: {} [{}] {}",
+            f.file,
+            f.line,
+            f.col,
+            f.severity.label(),
+            f.rule,
+            f.message
+        );
+    }
+    let gate: Vec<&&Finding> = fresh.iter().filter(|f| f.severity == Severity::Error).collect();
+    println!(
+        "xtask analyze: {} finding(s) ({} new, {} baselined, {} stale baseline entr{}) in {} files",
+        findings.len(),
+        fresh.len(),
+        baselined,
+        stale,
+        if stale == 1 { "y" } else { "ies" },
+        sources.len()
+    );
+    if stale > 0 {
+        println!(
+            "xtask analyze: note: run with --update-baseline to drop resolved baseline entries"
+        );
+    }
+    std::process::exit(if gate.is_empty() { 0 } else { 1 });
+}
+
+/// Serializes findings as the committed report/baseline format: one
+/// finding object per line so diffs and the parser stay line-based.
+pub fn render_report(findings: &[Finding]) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {");
+        s.push_str(&format!(
+            "\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{}",
+            json_str(f.rule),
+            json_str(f.severity.label()),
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(&f.message)
+        ));
+        s.push('}');
+    }
+    if !findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+fn write_report(path: &Path, findings: &[Finding]) {
+    if let Err(e) = std::fs::write(path, render_report(findings)) {
+        eprintln!("xtask analyze: cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+}
+
+/// A JSON string literal for `s` (escapes `"`, `\`, and control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Loads baseline keys as a multiset. A missing file is an empty
+/// baseline; an unparseable line is a hard error (a silently skipped
+/// entry would surface as a phantom "new" finding in CI).
+fn load_baseline(path: &Path) -> HashMap<(String, String, String), usize> {
+    let Ok(content) = std::fs::read_to_string(path) else {
+        return HashMap::new();
+    };
+    let mut out = HashMap::new();
+    for (i, line) in content.lines().enumerate() {
+        let t = line.trim().trim_end_matches(',');
+        if !t.starts_with('{') || !t.contains("\"rule\"") {
+            continue;
+        }
+        match parse_finding_line(t) {
+            Some(key) => *out.entry(key).or_insert(0) += 1,
+            None => {
+                eprintln!(
+                    "xtask analyze: malformed baseline entry at {}:{}",
+                    path.display(),
+                    i + 1
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+/// Extracts `(rule, file, message)` from one serialized finding line.
+fn parse_finding_line(line: &str) -> Option<(String, String, String)> {
+    Some((json_field(line, "rule")?, json_field(line, "file")?, json_field(line, "message")?))
+}
+
+/// The string value of `"key":"…"` in `line`, unescaped.
+fn json_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds owned sources for synthetic-workspace tests.
+    pub(crate) fn sources(files: &[(&str, &str)]) -> Vec<(String, String)> {
+        files.iter().map(|(r, s)| (r.to_string(), s.to_string())).collect()
+    }
+
+    #[test]
+    fn report_round_trips_through_the_baseline_parser() {
+        let findings = vec![
+            Finding {
+                rule: "lock-order",
+                severity: Severity::Error,
+                file: "crates/serve/src/server.rs".into(),
+                line: 10,
+                col: 5,
+                message: "held `a` while acquiring `b` — \"quoted\"\\path".into(),
+            },
+            Finding {
+                rule: "hot-alloc-loop",
+                severity: Severity::Error,
+                file: "crates/setops/src/lib.rs".into(),
+                line: 3,
+                col: 1,
+                message: "tab\there".into(),
+            },
+        ];
+        let report = render_report(&findings);
+        let mut keys = HashMap::new();
+        for line in report.lines() {
+            let t = line.trim().trim_end_matches(',');
+            if t.starts_with('{') && t.contains("\"rule\"") {
+                *keys.entry(parse_finding_line(t).expect("parses")).or_insert(0usize) += 1;
+            }
+        }
+        assert_eq!(keys.len(), 2);
+        for f in &findings {
+            assert_eq!(keys.get(&f.key()), Some(&1), "{:?}", f.key());
+        }
+    }
+
+    #[test]
+    fn empty_report_is_stable() {
+        assert_eq!(render_report(&[]), "{\n  \"version\": 1,\n  \"findings\": []\n}\n");
+    }
+
+    #[test]
+    fn call_graph_resolves_by_name_and_reachability() {
+        let srcs = sources(&[
+            ("crates/a/src/lib.rs", "fn entry() { helper(); }\nfn idle() {}\n"),
+            ("crates/b/src/lib.rs", "fn helper() { leaf(); }\nfn leaf() {}\n"),
+        ]);
+        let ws = Workspace::build(&srcs);
+        let g = CallGraph::build(&ws);
+        let seen = g.reachable_from(&["entry"]);
+        let name = |id: usize| {
+            let (fi, gi) = g.nodes[id];
+            ws.files[fi].fns[gi].name.clone()
+        };
+        let reached: Vec<String> = (0..g.nodes.len()).filter(|&i| seen[i]).map(name).collect();
+        assert!(reached.contains(&"entry".to_string()));
+        assert!(reached.contains(&"helper".to_string()));
+        assert!(reached.contains(&"leaf".to_string()));
+        assert!(!reached.contains(&"idle".to_string()));
+    }
+
+    #[test]
+    fn test_fns_stay_out_of_the_graph() {
+        let srcs = sources(&[(
+            "crates/a/src/lib.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn live() { panic!(); }\n}\n",
+        )]);
+        let ws = Workspace::build(&srcs);
+        let g = CallGraph::build(&ws);
+        assert_eq!(g.by_name("live").len(), 1);
+    }
+
+    #[test]
+    fn allows_suppress_findings_in_run_passes() {
+        // A hot-path unwrap with and without the legacy escape.
+        let flagged = sources(&[(
+            "crates/setops/src/lib.rs",
+            "fn f(v: Vec<u32>) -> u32 {\n    *v.first().unwrap()\n}\n",
+        )]);
+        assert!(run_passes(&flagged, "").iter().any(|f| f.rule == "unwrap"));
+        let escaped = sources(&[(
+            "crates/setops/src/lib.rs",
+            "fn f(v: Vec<u32>) -> u32 {\n    *v.first().unwrap() // xtask-allow: unwrap\n}\n",
+        )]);
+        assert!(!run_passes(&escaped, "").iter().any(|f| f.rule == "unwrap"));
+    }
+}

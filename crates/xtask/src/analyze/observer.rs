@@ -1,0 +1,222 @@
+//! Observer-hook balance analysis (`observer-balance`).
+//!
+//! The trace tooling (`xtask trace-check`, the JSONL observers)
+//! assumes every `task_start` notification is matched by a
+//! `task_finish` — a dangling start either means a lost-forever task
+//! in the trace or, worse, per-task accounting that silently drifts.
+//! The risky spot is exactly the one a line-based rule cannot see:
+//! a driver that notifies `task_start`, runs the task under
+//! `catch_unwind`, and then only notifies `task_finish` on the `Ok`
+//! path, skipping it when the task panicked.
+//!
+//! For every non-test function that notifies `task_start` (or calls
+//! the `on_task_start` hook directly), this pass checks:
+//!
+//! * at least one `task_finish` site exists in the same function
+//!   (and vice versa — a finish with no start is flagged too);
+//! * when the function uses `catch_unwind`, not *every* finish site
+//!   may sit under an `Ok`-result guard (`if result.is_ok() { … }`,
+//!   `Ok(…) => { … }`): at least one must run on the panic path.
+//!
+//! Functions *named* after the hooks (`task_start`, `on_task_finish`,
+//! …) are the notification plumbing itself — `ObsCtx` methods and
+//! `Observer` forwarders legitimately relay one hook without its
+//! partner and are exempt.
+
+use super::{Finding, Severity, Workspace};
+use crate::index::FileIndex;
+
+/// The notify/hook call names, start and finish families.
+const START_CALLS: &[&str] = &["task_start", "on_task_start"];
+const FINISH_CALLS: &[&str] = &["task_finish", "on_task_finish"];
+
+/// Runs the pass over every file.
+pub fn run(ws: &Workspace<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for idx in &ws.files {
+        for f in &idx.fns {
+            if f.in_test {
+                continue;
+            }
+            if START_CALLS.contains(&f.name.as_str()) || FINISH_CALLS.contains(&f.name.as_str()) {
+                continue; // notification plumbing, not a driver
+            }
+            let Some((body_s, body_e)) = f.body else { continue };
+            let starts = call_sites(idx, body_s, body_e, START_CALLS);
+            let finishes = call_sites(idx, body_s, body_e, FINISH_CALLS);
+            if starts.is_empty() && finishes.is_empty() {
+                continue;
+            }
+            if finishes.is_empty() {
+                out.push(Finding::at(
+                    "observer-balance",
+                    Severity::Error,
+                    idx,
+                    starts[0],
+                    format!(
+                        "`{}` notifies task_start but never task_finish; every start must pair \
+                         with a finish on all exit paths",
+                        f.name
+                    ),
+                ));
+                continue;
+            }
+            if starts.is_empty() {
+                out.push(Finding::at(
+                    "observer-balance",
+                    Severity::Error,
+                    idx,
+                    finishes[0],
+                    format!("`{}` notifies task_finish without a task_start", f.name),
+                ));
+                continue;
+            }
+            // The panic path: under catch_unwind, a finish that only
+            // runs when the result was Ok leaves panicked tasks
+            // dangling.
+            let catch = (body_s..=body_e).find(|&ci| idx.text(ci) == "catch_unwind");
+            if let Some(catch_ci) = catch {
+                let blocks = block_tree(idx, body_s, body_e);
+                if finishes.iter().all(|&ci| ok_guarded(idx, &blocks, ci)) {
+                    out.push(Finding::at(
+                        "observer-balance",
+                        Severity::Error,
+                        idx,
+                        catch_ci,
+                        format!(
+                            "`{}` skips task_finish on the catch_unwind panic path: every \
+                             finish site is guarded on an Ok result",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Code indices of `.name(` call sites for any name in `names`.
+fn call_sites(idx: &FileIndex<'_>, s: usize, e: usize, names: &[&str]) -> Vec<usize> {
+    idx.calls_in(s, e)
+        .into_iter()
+        .filter(|(name, ci)| names.contains(name) && *ci > 0 && idx.text(ci - 1) == ".")
+        .map(|(_, ci)| ci)
+        .collect()
+}
+
+/// One `{ … }` block inside a fn body, with the code range of its
+/// header (the tokens between the previous statement boundary and the
+/// opening brace: `if result.is_ok()`, `Ok(d) =>`, …).
+struct Block {
+    open: usize,
+    close: usize,
+    header: (usize, usize),
+}
+
+/// All blocks strictly inside the fn body, in opening order.
+fn block_tree(idx: &FileIndex<'_>, body_s: usize, body_e: usize) -> Vec<Block> {
+    let mut out = Vec::new();
+    for ci in body_s + 1..body_e {
+        if idx.text(ci) != "{" {
+            continue;
+        }
+        let mut h = ci;
+        while h > body_s + 1 && !matches!(idx.text(h - 1), ";" | "{" | "}" | ",") {
+            h -= 1;
+        }
+        out.push(Block {
+            open: ci,
+            close: idx.matching_brace(ci),
+            header: (h, ci.saturating_sub(1)),
+        });
+    }
+    out
+}
+
+/// `true` when some block enclosing `ci` has an `Ok`-result guard in
+/// its header.
+fn ok_guarded(idx: &FileIndex<'_>, blocks: &[Block], ci: usize) -> bool {
+    blocks.iter().filter(|b| ci > b.open && ci < b.close).any(|b| {
+        let (hs, he) = b.header;
+        (hs..=he).any(|h| {
+            let t = idx.text(h);
+            t == "is_ok" || (t == "Ok" && h < he && idx.text(h + 1) == "(")
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::sources;
+    use super::super::{run_passes, Finding};
+
+    fn findings(src: &str) -> Vec<Finding> {
+        run_passes(&sources(&[("crates/mbe/src/task.rs", src)]), "")
+            .into_iter()
+            .filter(|f| f.rule == "observer-balance")
+            .collect()
+    }
+
+    #[test]
+    fn unpaired_start_is_flagged_at_the_start_site() {
+        let src = "fn drive(obs: &Obs) {\n    obs.task_start(&info());\n    work();\n}\n";
+        let got = findings(src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, "observer-balance");
+        assert_eq!((got[0].line, got[0].col), (2, 9));
+        assert!(got[0].message.contains("never task_finish"), "{}", got[0].message);
+    }
+
+    #[test]
+    fn balanced_hooks_are_clean() {
+        let src = "fn drive(obs: &Obs) {\n    obs.task_start(&info());\n    work();\n    \
+                   obs.task_finish(&info(), t, &d);\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn ok_guarded_finish_under_catch_unwind_is_flagged() {
+        let src = "fn worker(obs: &Obs) {\n    obs.task_start(&info());\n    \
+                   let result = catch_unwind(|| work());\n    if result.is_ok() {\n        \
+                   obs.task_finish(&info(), t, &d);\n    }\n}\n";
+        let got = findings(src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 3, "anchors at catch_unwind");
+        assert!(got[0].message.contains("panic path"), "{}", got[0].message);
+        // A match on Ok(..) is the same hazard.
+        let arm = "fn worker(obs: &Obs) {\n    obs.task_start(&info());\n    \
+                   match catch_unwind(|| work()) {\n        Ok(d) => {\n            \
+                   obs.task_finish(&info(), t, &d);\n        }\n        Err(_) => {}\n    }\n}\n";
+        assert_eq!(findings(arm).len(), 1);
+    }
+
+    #[test]
+    fn unconditional_finish_under_catch_unwind_is_clean() {
+        let src = "fn worker(obs: &Obs) {\n    obs.task_start(&info());\n    \
+                   let result = catch_unwind(|| work());\n    obs.task_finish(&info(), t, &d);\n    \
+                   if result.is_ok() {\n        record();\n    }\n}\n";
+        assert!(findings(src).is_empty());
+        // A second, unguarded finish on the panic arm also balances.
+        let both_arms = "fn worker(obs: &Obs) {\n    obs.task_start(&info());\n    \
+                         match catch_unwind(|| work()) {\n        Ok(d) => {\n            \
+                         obs.task_finish(&info(), t, &d);\n        }\n        Err(_) => {\n            \
+                         obs.task_finish(&info(), t, &zero());\n        }\n    }\n}\n";
+        assert!(findings(both_arms).is_empty());
+    }
+
+    #[test]
+    fn hook_plumbing_fns_are_exempt() {
+        let src = "fn task_start(o: &O) {\n    o.on_task_start(0, &t());\n}\n\
+                   fn on_task_start(o: &O) {\n    o.on_task_start(0, &t());\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn finish_without_start_is_flagged() {
+        let src = "fn drain(obs: &Obs) {\n    obs.task_finish(&info(), t, &d);\n}\n";
+        let got = findings(src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("without a task_start"), "{}", got[0].message);
+    }
+}

@@ -1,0 +1,282 @@
+//! Protocol exhaustiveness analysis (`protocol-opcode`,
+//! `protocol-errcode`).
+//!
+//! The serve wire protocol is hand-rolled: opcode constants in
+//! `crates/serve/src/protocol.rs`, four codec functions
+//! (`Request::encode` / `Request::decode` / `Response::encode` /
+//! `Response::decode` — the reply tag mirrors the request opcode), a
+//! stable errcode table with a `label()` mapping, and a prose listing
+//! in DESIGN.md §8b. Nothing but convention keeps those five places in
+//! sync, and the ROADMAP's upcoming `STREAM`/`UPDATE` opcodes will
+//! touch all of them. This pass cross-checks:
+//!
+//! * every `opcode::X` constant is referenced in each of the four
+//!   codec functions (an unhandled opcode falls into the
+//!   `_ => Malformed` arm at runtime — a silent protocol hole);
+//! * opcode values are unique;
+//! * DESIGN.md's wire-format listing names every opcode with its value
+//!   (`` `X`=n ``);
+//! * every `errcode::X` constant has a `label()` arm and appears in
+//!   the DESIGN error-code listing.
+//!
+//! Findings anchor at the constant's declaration, which is where the
+//! fix starts.
+
+use super::{Finding, Severity, Workspace};
+use crate::index::FileIndex;
+
+/// The file that owns the protocol tables.
+const PROTOCOL_FILE: &str = "crates/serve/src/protocol.rs";
+
+/// Runs the pass. Missing protocol file (synthetic workspaces) is a
+/// no-op.
+pub fn run(ws: &Workspace<'_>, design: &str) -> Vec<Finding> {
+    match ws.file(PROTOCOL_FILE) {
+        Some(idx) => check(idx, design),
+        None => Vec::new(),
+    }
+}
+
+/// One `const NAME: u8 = N;` entry and its declaration site.
+struct Entry {
+    name: String,
+    value: Option<u64>,
+    ci: usize,
+}
+
+/// Cross-checks one protocol file against `design`.
+fn check(idx: &FileIndex<'_>, design: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let opcodes = mod_consts(idx, "opcode");
+    let errcodes = mod_consts(idx, "errcode");
+
+    // The four codec fns, located through their impl blocks so the
+    // Request and Response pairs stay distinct.
+    let codecs = [
+        ("Request", "encode"),
+        ("Request", "decode"),
+        ("Response", "encode"),
+        ("Response", "decode"),
+    ];
+    let codec_bodies: Vec<(String, Option<(usize, usize)>)> =
+        codecs.iter().map(|&(ty, f)| (format!("{ty}::{f}"), fn_in_impl(idx, ty, f))).collect();
+    for (label, body) in &codec_bodies {
+        if body.is_none() {
+            out.push(Finding {
+                rule: "protocol-opcode",
+                severity: Severity::Error,
+                file: idx.rel.clone(),
+                line: 1,
+                col: 1,
+                message: format!("codec fn `{label}` not found in the protocol module"),
+            });
+        }
+    }
+
+    for op in &opcodes {
+        for (label, body) in &codec_bodies {
+            let Some((s, e)) = body else { continue };
+            if !has_path_ref(idx, *s, *e, "opcode", &op.name) {
+                out.push(Finding::at(
+                    "protocol-opcode",
+                    Severity::Error,
+                    idx,
+                    op.ci,
+                    format!("opcode `{}` has no arm in `{label}`", op.name),
+                ));
+            }
+        }
+        let listed = op.value.is_some_and(|v| design.contains(&format!("`{}`={v}", op.name)));
+        if !listed {
+            out.push(Finding::at(
+                "protocol-opcode",
+                Severity::Error,
+                idx,
+                op.ci,
+                format!(
+                    "opcode `{}` (= {}) is missing from the DESIGN.md wire-format listing",
+                    op.name,
+                    op.value.map(|v| v.to_string()).unwrap_or_else(|| "?".into())
+                ),
+            ));
+        }
+    }
+    let mut by_value: Vec<&Entry> = opcodes.iter().filter(|e| e.value.is_some()).collect();
+    by_value.sort_by_key(|e| e.value);
+    for w in by_value.windows(2) {
+        if w[0].value == w[1].value {
+            out.push(Finding::at(
+                "protocol-opcode",
+                Severity::Error,
+                idx,
+                w[1].ci,
+                format!(
+                    "opcode `{}` reuses value {} already taken by `{}`",
+                    w[1].name,
+                    w[1].value.unwrap_or(0),
+                    w[0].name
+                ),
+            ));
+        }
+    }
+
+    let label_body = fn_named(idx, "label");
+    for ec in &errcodes {
+        let labeled = label_body.is_some_and(|(s, e)| (s..=e).any(|ci| idx.text(ci) == ec.name));
+        if !labeled {
+            out.push(Finding::at(
+                "protocol-errcode",
+                Severity::Error,
+                idx,
+                ec.ci,
+                format!("errcode `{}` has no arm in `errcode::label`", ec.name),
+            ));
+        }
+        if !design.contains(&format!("`{}`", ec.name)) {
+            out.push(Finding::at(
+                "protocol-errcode",
+                Severity::Error,
+                idx,
+                ec.ci,
+                format!("errcode `{}` is missing from the DESIGN.md error-code listing", ec.name),
+            ));
+        }
+    }
+    out
+}
+
+/// `const NAME: u8 = N;` entries inside `mod <name> { … }`.
+fn mod_consts(idx: &FileIndex<'_>, mod_name: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    let Some((s, e)) = mod_extent(idx, mod_name) else { return out };
+    for ci in s..=e {
+        if idx.text(ci) != "const" || idx.in_test(ci) {
+            continue;
+        }
+        if idx.code.get(ci + 5).is_none() {
+            continue;
+        }
+        // const NAME : u8 = N
+        if idx.text(ci + 2) == ":" && idx.text(ci + 4) == "=" {
+            let value = idx.text(ci + 5).parse::<u64>().ok();
+            out.push(Entry { name: idx.text(ci + 1).to_string(), value, ci: ci + 1 });
+        }
+    }
+    out
+}
+
+/// The `{ … }` extent of `mod <name>`.
+fn mod_extent(idx: &FileIndex<'_>, name: &str) -> Option<(usize, usize)> {
+    for ci in 0..idx.len() {
+        if idx.text(ci) == "mod"
+            && idx.code.get(ci + 2).is_some()
+            && idx.text(ci + 1) == name
+            && idx.text(ci + 2) == "{"
+        {
+            return Some((ci + 2, idx.matching_brace(ci + 2)));
+        }
+    }
+    None
+}
+
+/// The body of `fn <fn_name>` inside `impl <ty_name> { … }`.
+fn fn_in_impl(idx: &FileIndex<'_>, ty_name: &str, fn_name: &str) -> Option<(usize, usize)> {
+    for ci in 0..idx.len() {
+        if idx.text(ci) == "impl"
+            && idx.code.get(ci + 2).is_some()
+            && idx.text(ci + 1) == ty_name
+            && idx.text(ci + 2) == "{"
+        {
+            let end = idx.matching_brace(ci + 2);
+            return idx
+                .fns
+                .iter()
+                .find(|f| f.name == fn_name && f.fn_ci > ci + 2 && f.fn_ci < end)
+                .and_then(|f| f.body);
+        }
+    }
+    None
+}
+
+/// The body of the first non-test fn named `name`.
+fn fn_named(idx: &FileIndex<'_>, name: &str) -> Option<(usize, usize)> {
+    idx.fns.iter().find(|f| f.name == name && !f.in_test).and_then(|f| f.body)
+}
+
+/// `true` when `[s, e]` contains the token sequence `head :: name`.
+fn has_path_ref(idx: &FileIndex<'_>, s: usize, e: usize, head: &str, name: &str) -> bool {
+    (s..=e.saturating_sub(2))
+        .any(|ci| idx.text(ci) == head && idx.text(ci + 1) == "::" && idx.text(ci + 2) == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::sources;
+    use super::super::{run_passes, Finding};
+
+    /// A minimal protocol module: two opcodes, one errcode, all four
+    /// codec fns. `gaps` knocks holes in it for the negative tests.
+    fn protocol_src(decode_handles_b: bool, label_handles_x: bool) -> String {
+        let b_arm = if decode_handles_b { "opcode::B => 2," } else { "" };
+        let x_arm = if label_handles_x { "X => \"x\"," } else { "" };
+        format!(
+            "pub mod opcode {{\n    pub const A: u8 = 1;\n    pub const B: u8 = 2;\n}}\n\
+             pub mod errcode {{\n    pub const X: u8 = 1;\n    \
+             pub fn label(c: u8) -> &'static str {{\n        match c {{\n            {x_arm}\n            \
+             _ => \"unknown\",\n        }}\n    }}\n}}\n\
+             pub struct Request;\npub struct Response;\n\
+             impl Request {{\n    pub fn encode(&self) -> u8 {{ opcode::A + opcode::B }}\n    \
+             pub fn decode(v: u8) -> u8 {{\n        match v {{\n            opcode::A => 1,\n            {b_arm}\n            \
+             _ => 0,\n        }}\n    }}\n}}\n\
+             impl Response {{\n    pub fn encode(&self) -> u8 {{ opcode::A + opcode::B }}\n    \
+             pub fn decode(v: u8) -> u8 {{ v + opcode::A + opcode::B }}\n}}\n"
+        )
+    }
+
+    const DESIGN_OK: &str = "opcodes: `A`=1, `B`=2. errors: `X`.";
+
+    fn findings(src: &str, design: &str) -> Vec<Finding> {
+        run_passes(&sources(&[("crates/serve/src/protocol.rs", src)]), design)
+            .into_iter()
+            .filter(|f| f.rule.starts_with("protocol-"))
+            .collect()
+    }
+
+    #[test]
+    fn complete_tables_are_clean() {
+        assert!(findings(&protocol_src(true, true), DESIGN_OK).is_empty());
+    }
+
+    #[test]
+    fn missing_decode_arm_is_flagged_at_the_const() {
+        let got = findings(&protocol_src(false, true), DESIGN_OK);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, "protocol-opcode");
+        assert!(got[0].message.contains("`B`"), "{}", got[0].message);
+        assert!(got[0].message.contains("Request::decode"), "{}", got[0].message);
+        assert_eq!(got[0].line, 3, "anchors at `const B`");
+    }
+
+    #[test]
+    fn missing_label_arm_and_design_entries_are_flagged() {
+        let got = findings(&protocol_src(true, false), DESIGN_OK);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].rule, "protocol-errcode");
+        assert!(got[0].message.contains("label"), "{}", got[0].message);
+
+        let got = findings(&protocol_src(true, true), "opcodes: `A`=1. errors: `X`.");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("DESIGN.md"), "{}", got[0].message);
+        assert!(got[0].message.contains("`B`"), "{}", got[0].message);
+        // A value mismatch is as bad as a missing entry.
+        let drifted = findings(&protocol_src(true, true), "opcodes: `A`=1, `B`=9. errors: `X`.");
+        assert_eq!(drifted.len(), 1, "{drifted:?}");
+    }
+
+    #[test]
+    fn duplicate_opcode_values_are_flagged() {
+        let src = protocol_src(true, true).replace("pub const B: u8 = 2;", "pub const B: u8 = 1;");
+        let got = findings(&src, "opcodes: `A`=1, `B`=1. errors: `X`.");
+        assert!(got.iter().any(|f| f.message.contains("reuses value")), "{got:?}");
+    }
+}

@@ -1,0 +1,345 @@
+//! Per-file item index built on the [`crate::lexer`] token stream.
+//!
+//! The analysis passes need more structure than raw tokens: which
+//! function a token belongs to, whether it sits inside a `#[cfg(test)]`
+//! region, where function bodies begin and end, and which workspace
+//! functions a body calls. This module computes that once per file:
+//!
+//! * **code view** — indices of non-trivia tokens, so passes scan
+//!   `code[i]`, `code[i+1]`, … without tripping over comments;
+//! * **test regions** — brace extents introduced by an item carrying a
+//!   `#[cfg(test)]` / `#[test]` attribute (passes skip them, matching
+//!   the long-standing `check` exemption);
+//! * **functions** — every `fn` item with its name, signature start,
+//!   and body extent (as code-token indices), used for call-graph
+//!   construction and guard-scope tracking;
+//! * **allows** — the `// xtask-allow: <rule>` escape hatch, looked up
+//!   against the raw source lines exactly as `check` does (same line,
+//!   or a standalone comment line directly above).
+
+use crate::lexer::{lex, Token};
+
+/// One `fn` item found in a file.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's name (`r#`-stripped).
+    pub name: String,
+    /// Code index of the `fn` keyword.
+    pub fn_ci: usize,
+    /// Code indices of the body's `{` and matching `}`; `None` for
+    /// bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// `true` when the item sits inside a test region (or a
+    /// `tests/` integration file).
+    pub in_test: bool,
+}
+
+/// A fully indexed source file.
+pub struct FileIndex<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// The lossless token stream.
+    pub tokens: Vec<Token<'a>>,
+    /// Indices into `tokens` of code (non-trivia) tokens.
+    pub code: Vec<usize>,
+    /// All `fn` items, in source order (nested fns appear separately).
+    pub fns: Vec<FnItem>,
+    /// Code-index ranges `[start, end]` covered by test attributes.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Raw source lines, for `xtask-allow` lookups.
+    pub lines: Vec<&'a str>,
+}
+
+impl<'a> FileIndex<'a> {
+    /// Lexes and indexes one file.
+    pub fn build(rel: &str, src: &'a str) -> FileIndex<'a> {
+        let tokens = lex(src);
+        let code: Vec<usize> = (0..tokens.len()).filter(|&i| tokens[i].kind.is_code()).collect();
+        let lines: Vec<&str> = src.lines().collect();
+        let mut idx = FileIndex {
+            rel: rel.to_string(),
+            tokens,
+            code,
+            fns: Vec::new(),
+            test_ranges: Vec::new(),
+            lines,
+        };
+        idx.find_test_ranges();
+        idx.find_fns();
+        idx
+    }
+
+    /// The token behind code index `ci`.
+    pub fn tok(&self, ci: usize) -> &Token<'a> {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// The code token's text.
+    pub fn text(&self, ci: usize) -> &'a str {
+        self.tok(ci).text
+    }
+
+    /// `(line, col)` of code token `ci`.
+    pub fn pos(&self, ci: usize) -> (u32, u32) {
+        let t = self.tok(ci);
+        (t.line, t.col)
+    }
+
+    /// Number of code tokens.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `true` when code index `ci` is inside a test region, or the
+    /// whole file is test code (`tests/` directories).
+    pub fn in_test(&self, ci: usize) -> bool {
+        self.rel.contains("/tests/") || self.test_ranges.iter().any(|&(s, e)| ci >= s && ci <= e)
+    }
+
+    /// `true` when the finding at 1-based `line` is suppressed by an
+    /// `xtask-allow: <rule>` marker on that line or on a standalone
+    /// comment line directly above it.
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        let i = line as usize - 1;
+        if self.lines.get(i).is_some_and(|l| line_allows(l, rule)) {
+            return true;
+        }
+        i > 0
+            && self.lines.get(i - 1).is_some_and(|l| {
+                let t = l.trim_start();
+                t.starts_with("//") && line_allows(l, rule)
+            })
+    }
+
+    /// Code index of the matching `}` for the `{` at `open` (brace
+    /// depth over code tokens). Returns the last token on imbalance.
+    pub fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0i64;
+        for ci in open..self.len() {
+            match self.text(ci) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return ci;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.len().saturating_sub(1)
+    }
+
+    /// Marks brace extents introduced by `#[cfg(test)]` / `#[test]`
+    /// attributes: the attribute's item owns the next `{ … }` at its
+    /// nesting level, and everything inside is test code.
+    fn find_test_ranges(&mut self) {
+        let mut pending_test = false;
+        let mut ci = 0;
+        while ci < self.len() {
+            if self.text(ci) == "#" && ci + 1 < self.len() && self.text(ci + 1) == "[" {
+                let end = self.matching_bracket(ci + 1);
+                let mut is_test = false;
+                let mut saw_cfg = false;
+                for j in ci + 1..=end {
+                    match self.text(j) {
+                        "cfg" => saw_cfg = true,
+                        "test" if saw_cfg || j == ci + 2 => is_test = true,
+                        _ => {}
+                    }
+                }
+                pending_test = pending_test || is_test;
+                ci = end + 1;
+                continue;
+            }
+            match self.text(ci) {
+                // The attached item ends without a body (`;`): the
+                // pending attribute is spent.
+                ";" if pending_test => pending_test = false,
+                "{" if pending_test => {
+                    let close = self.matching_brace(ci);
+                    self.test_ranges.push((ci, close));
+                    pending_test = false;
+                    ci = close + 1;
+                    continue;
+                }
+                _ => {}
+            }
+            ci += 1;
+        }
+    }
+
+    /// Code index of the matching `]` for the `[` at `open`.
+    fn matching_bracket(&self, open: usize) -> usize {
+        let mut depth = 0i64;
+        for ci in open..self.len() {
+            match self.text(ci) {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return ci;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.len().saturating_sub(1)
+    }
+
+    /// Finds every `fn` item and its body extent. `fn` pointer types
+    /// (`fn(u32) -> u32`) have no name token and are skipped.
+    fn find_fns(&mut self) {
+        let mut fns = Vec::new();
+        for ci in 0..self.len() {
+            if self.text(ci) != "fn" {
+                continue;
+            }
+            let Some(name_tok) = self.code.get(ci + 1).map(|_| self.text(ci + 1)) else {
+                continue;
+            };
+            let first = name_tok.chars().next().unwrap_or(' ');
+            if !(first.is_alphabetic() || first == '_' || name_tok.starts_with("r#")) {
+                continue; // `fn(` — a pointer type, not an item
+            }
+            let name = name_tok.strip_prefix("r#").unwrap_or(name_tok).to_string();
+            // Scan the signature for the body `{` (or `;`): parens and
+            // brackets must be balanced so argument defaults and array
+            // types don't fool the search.
+            let mut depth = 0i64;
+            let mut body = None;
+            for j in ci + 2..self.len() {
+                match self.text(j) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        body = Some((j, self.matching_brace(j)));
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            // `#[test] fn x() { … }` ranges start at the body brace,
+            // after the `fn` keyword — test either position.
+            let in_test = self.in_test(ci) || body.is_some_and(|(s, _)| self.in_test(s));
+            fns.push(FnItem { name, fn_ci: ci, body, in_test });
+        }
+        self.fns = fns;
+    }
+
+    /// Call sites inside the code range `[from, to]`: each `(callee
+    /// name, code index)` where an identifier is directly followed by
+    /// `(`. Keywords and macro invocations (`name!`) are excluded;
+    /// method calls (`.name(`) are included — the workspace call graph
+    /// resolves them by bare name.
+    pub fn calls_in(&self, from: usize, to: usize) -> Vec<(&'a str, usize)> {
+        let mut out = Vec::new();
+        for ci in from..=to.min(self.len().saturating_sub(1)) {
+            let t = self.text(ci);
+            let first = t.chars().next().unwrap_or(' ');
+            if !(first.is_alphabetic() || first == '_') {
+                continue;
+            }
+            if KEYWORDS.contains(&t) {
+                continue;
+            }
+            if ci < to && self.text(ci + 1) == "(" {
+                // `fn name(` is a definition, not a call.
+                if ci > 0 && self.text(ci - 1) == "fn" {
+                    continue;
+                }
+                out.push((t, ci));
+            }
+        }
+        out
+    }
+}
+
+/// Keywords that look like calls when followed by `(`.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "loop", "match", "return", "fn", "let", "mut", "ref", "move", "in", "as",
+    "use", "pub", "impl", "trait", "struct", "enum", "mod", "where", "else", "break",
+    // The next entry is a keyword *string*, not an unsafe block.
+    // xtask-allow: unsafe
+    "continue", "unsafe", "dyn", "Some", "Ok", "Err", "None",
+];
+
+/// `true` iff this raw line carries an `xtask-allow:` marker naming
+/// `rule` (comma-separated list after the colon).
+fn line_allows(line: &str, rule: &str) -> bool {
+    match line.find("xtask-allow:") {
+        Some(i) => line[i + "xtask-allow:".len()..]
+            .split(&[',', '\u{2014}', '('][..])
+            .map(str::trim)
+            .take_while(|s| !s.is_empty())
+            .any(|s| s == rule),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fns_and_bodies_are_found() {
+        let src = "fn alpha(x: u32) -> u32 {\n    beta(x)\n}\n\nfn beta(y: u32) -> u32 { y }\n";
+        let idx = FileIndex::build("crates/demo/src/lib.rs", src);
+        let names: Vec<_> = idx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+        let (s, e) = idx.fns[0].body.unwrap();
+        assert_eq!(idx.text(s), "{");
+        assert_eq!(idx.text(e), "}");
+        let calls = idx.calls_in(s, e);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].0, "beta");
+    }
+
+    #[test]
+    fn cfg_test_regions_and_test_attr() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n\
+                   #[test]\nfn a_test() {}\n";
+        let idx = FileIndex::build("crates/demo/src/lib.rs", src);
+        let live = idx.fns.iter().find(|f| f.name == "live").unwrap();
+        let helper = idx.fns.iter().find(|f| f.name == "helper").unwrap();
+        let a_test = idx.fns.iter().find(|f| f.name == "a_test").unwrap();
+        assert!(!live.in_test);
+        assert!(helper.in_test);
+        assert!(a_test.in_test);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "type F = fn(u32) -> u32;\nfn real(f: F) -> u32 { f(1) }\n";
+        let idx = FileIndex::build("crates/demo/src/lib.rs", src);
+        let names: Vec<_> = idx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn integration_test_files_are_all_test() {
+        let idx = FileIndex::build("crates/demo/tests/it.rs", "fn t() {}\n");
+        assert!(idx.fns[0].in_test);
+    }
+
+    #[test]
+    fn allows_same_line_and_line_above() {
+        let src = "fn f() {\n    bad(); // xtask-allow: some-rule\n    // xtask-allow: other\n    \
+                   worse();\n    plain();\n}\n";
+        let idx = FileIndex::build("crates/demo/src/lib.rs", src);
+        assert!(idx.allowed(2, "some-rule"));
+        assert!(!idx.allowed(2, "other"));
+        assert!(idx.allowed(4, "other"));
+        assert!(!idx.allowed(5, "some-rule"));
+    }
+
+    #[test]
+    fn attributes_with_bodies_do_not_leak_test_status() {
+        // A cfg(test) attr followed by a `use` (ends in `;`) must not
+        // mark the next unrelated block as test code.
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn live() { x(); }\n";
+        let idx = FileIndex::build("crates/demo/src/lib.rs", src);
+        assert!(!idx.fns[0].in_test);
+    }
+}

@@ -11,8 +11,9 @@
 //! * the first event is `run_start` and the last is `run_end`;
 //! * per worker, `task_start`/`task_finish` alternate and agree on the
 //!   task id — a start left open at end-of-file is tolerated only when
-//!   the final `run_end` reports a non-`completed` stop (a panicked task
-//!   never gets a finish event);
+//!   the final `run_end` reports a non-`completed` stop (the driver now
+//!   finishes panicked tasks too, but traces from runs killed mid-task
+//!   — e.g. an aborted process — legitimately end on an open start);
 //! * an empty file passes (a run can legitimately stop before any event
 //!   is flushed only if nothing was written at all).
 //!
@@ -182,9 +183,10 @@ fn validate(content: &str) -> Result<Summary, String> {
         None => {}
     }
     if !open.is_empty() {
-        // A task that panicked never gets its finish; every other path
-        // closes the pair, so dangling starts are only legal when the
-        // run itself reports a non-completed stop.
+        // The driver pairs every start with a finish (panicked tasks
+        // included), but a run killed mid-task — aborted process, lost
+        // write — can still end on an open start; tolerate that only
+        // when the run itself reports a non-completed stop.
         let completed = final_stop.as_deref() == Some("completed");
         if completed {
             let mut workers: Vec<u64> = open.keys().copied().collect();
