@@ -25,11 +25,13 @@ pub mod builder;
 pub mod butterfly;
 pub mod core;
 pub mod io;
+pub mod local;
 pub mod order;
 pub mod stats;
 pub mod two_hop;
 
 pub use builder::GraphBuilder;
+pub use local::LocalGraph;
 
 /// Which side of the bipartite graph a vertex belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

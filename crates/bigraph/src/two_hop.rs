@@ -49,10 +49,29 @@ impl TwoHop {
     }
 
     /// Size of `N²(v)` without materializing it.
+    ///
+    /// Counts fresh epoch marks directly — no allocation and no sort,
+    /// honoring the struct's "repeated calls allocate nothing" contract.
     pub fn degree_v(&mut self, g: &BipartiteGraph, v: u32) -> usize {
-        let mut buf = Vec::new();
-        self.of_v(g, v, &mut buf);
-        buf.len()
+        debug_assert_eq!(self.seen.len(), g.num_v() as usize);
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.seen.iter_mut().for_each(|s| *s = u32::MAX);
+            self.epoch = 1;
+        }
+        // Mark `v` first so it is excluded without a per-hit comparison.
+        self.seen[v as usize] = self.epoch;
+        let mut n = 0;
+        for &u in g.nbr_v(v) {
+            for &w in g.nbr_u(u) {
+                let slot = &mut self.seen[w as usize];
+                if *slot != self.epoch {
+                    *slot = self.epoch;
+                    n += 1;
+                }
+            }
+        }
+        n
     }
 }
 
@@ -110,7 +129,35 @@ mod tests {
         }
     }
 
+    #[test]
+    fn degree_matches_materialized_size() {
+        let g = crate::tests::g0();
+        let mut th = TwoHop::new(g.num_v() as usize);
+        let mut out = Vec::new();
+        for v in 0..g.num_v() {
+            // Interleave with of_v to prove the epoch marks don't bleed.
+            th.of_v(&g, v, &mut out);
+            let want = out.len();
+            assert_eq!(th.degree_v(&g, v), want, "v={v}");
+            assert_eq!(th.degree_v(&g, v), want, "repeat v={v}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn degree_v_matches_of_v(
+            edges in proptest::collection::vec((0u32..12, 0u32..10), 0..120)
+        ) {
+            let g = crate::BipartiteGraph::from_edges(12, 10, &edges).unwrap();
+            let mut th = TwoHop::new(10);
+            let mut out = Vec::new();
+            for v in 0..g.num_v() {
+                let deg = th.degree_v(&g, v);
+                th.of_v(&g, v, &mut out);
+                prop_assert_eq!(deg, out.len());
+            }
+        }
+
         #[test]
         fn mark_based_matches_kway(
             edges in proptest::collection::vec((0u32..12, 0u32..10), 0..120)

@@ -14,7 +14,11 @@
 //!
 //! These engines deliberately mirror the published pseudocode, including
 //! its per-node allocations — they are the comparators the MBET speedups
-//! in the experiment suite are measured against.
+//! in the experiment suite are measured against. The node body runs
+//! through the shared expansion helpers in [`crate::task`] (over the
+//! global-graph [`crate::task::NbrSource`]), so every engine answers the
+//! candidate/exclusion questions with the same [`setops::SetView`]
+//! operation set.
 
 use std::ops::ControlFlow;
 
@@ -22,7 +26,7 @@ use crate::checkpoint::ResumeTask;
 use crate::metrics::Stats;
 use crate::run::StopReason;
 use crate::sink::BicliqueSink;
-use crate::task::RootTask;
+use crate::task::{NbrSource, RootTask};
 use crate::Algorithm;
 use bigraph::BipartiteGraph;
 
@@ -123,36 +127,21 @@ impl<'g> BaselineEngine<'g> {
         // Cheap rejection first for the Q-based variants: some excluded
         // vertex adjacent to all of L' proves (L', ·) can never be maximal
         // here, and the same holds for every descendant (L'' ⊆ L').
-        if self.alg != Algorithm::MineLmbc {
-            for &q in traversed {
-                if setops::is_subset(l_new, self.g.nbr_v(q)) {
-                    stats.nonmaximal += 1;
-                    return ControlFlow::Continue(());
-                }
-            }
+        if self.alg != Algorithm::MineLmbc
+            && crate::task::covered_by_excluded(self.g, traversed, l_new)
+        {
+            stats.nonmaximal += 1;
+            return ControlFlow::Continue(());
         }
 
         // Absorption: untraversed candidates adjacent to all of L' belong
         // in R'. Collect them and the surviving candidate set in one pass.
         let mut absorbed: Vec<u32> = Vec::new();
         let mut p_new: Vec<u32> = Vec::new();
-        for &w in untraversed {
-            let nw = self.g.nbr_v(w);
-            let common = setops::intersect_count(l_new, nw);
-            if common == l_new.len() {
-                absorbed.push(w);
-            } else if common > 0 {
-                p_new.push(w);
-            }
-        }
+        crate::task::partition_candidates(self.g, untraversed, l_new, &mut absorbed, &mut p_new);
         stats.absorbed += absorbed.len() as u64;
 
-        // R' = r_parent ∪ {v} ∪ absorbed.
-        let mut r_new: Vec<u32> = Vec::with_capacity(r_parent.len() + 1 + absorbed.len());
-        r_new.extend_from_slice(r_parent);
-        r_new.push(v);
-        r_new.extend_from_slice(&absorbed);
-        r_new.sort_unstable();
+        let r_new = crate::task::assemble_r(r_parent, v, &absorbed);
         crate::invariants::check_node(self.g, l_new, &r_new);
 
         if self.alg == Algorithm::MineLmbc {
@@ -185,26 +174,21 @@ impl<'g> BaselineEngine<'g> {
 
         // Q' = excluded vertices still relevant below (sharing a neighbor
         // with L'). MineLMBC has no Q at all.
-        let mut q_now: Vec<u32> = if self.alg == Algorithm::MineLmbc {
-            Vec::new()
-        } else {
-            traversed
-                .iter()
-                .copied()
-                .filter(|&q| setops::intersect_first(self.g.nbr_v(q), l_new).is_some())
-                .collect()
-        };
+        let mut q_now: Vec<u32> = Vec::new();
+        if self.alg != Algorithm::MineLmbc {
+            crate::task::live_excluded(self.g, traversed, l_new, &mut q_now);
+        }
 
         if self.alg == Algorithm::Imbea {
             // iMBEA: branch on sparse candidates first.
             let g = self.g;
-            p_new.sort_by_key(|&w| setops::intersect_count(l_new, g.nbr_v(w)));
+            p_new.sort_by_key(|&w| g.nbr(w, l_new.len()).intersect_count(l_new));
         }
 
         let mut l_child = Vec::new();
         for i in 0..p_new.len() {
             let w = p_new[i];
-            setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
+            crate::task::child_l(self.g, l_new, w, &mut l_child);
             debug_assert!(!l_child.is_empty(), "candidates share a neighbor with L'");
             let l_child_owned = std::mem::take(&mut l_child);
             if let ControlFlow::Break(r) = self.expand(
@@ -246,7 +230,7 @@ impl<'g> BaselineEngine<'g> {
         for k in broke_at + 1..p_new.len() {
             let w = p_new[k];
             let mut l_child = Vec::new();
-            setops::intersect_into(l_parent, self.g.nbr_v(w), &mut l_child);
+            crate::task::child_l(self.g, l_parent, w, &mut l_child);
             self.frontier.push(ResumeTask::Node {
                 l: l_child,
                 r_parent: r_new.to_vec(),

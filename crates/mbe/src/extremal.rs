@@ -146,41 +146,24 @@ impl Search<'_> {
             return;
         }
         stats.nodes += 1;
-        for &q in traversed {
-            if setops::is_subset(l_new, self.g.nbr_v(q)) {
-                stats.nonmaximal += 1;
-                return;
-            }
+        if crate::task::covered_by_excluded(self.g, traversed, l_new) {
+            stats.nonmaximal += 1;
+            return;
         }
         let mut absorbed: Vec<u32> = Vec::new();
         let mut p_new: Vec<u32> = Vec::new();
-        for &w in untraversed {
-            let common = setops::intersect_count(l_new, self.g.nbr_v(w));
-            if common == l_new.len() {
-                absorbed.push(w);
-            } else if common > 0 {
-                p_new.push(w);
-            }
-        }
-        let mut r_new: Vec<u32> = Vec::with_capacity(r_parent.len() + 1 + absorbed.len());
-        r_new.extend_from_slice(r_parent);
-        r_new.push(v);
-        r_new.extend_from_slice(&absorbed);
-        r_new.sort_unstable();
+        crate::task::partition_candidates(self.g, untraversed, l_new, &mut absorbed, &mut p_new);
+        let r_new = crate::task::assemble_r(r_parent, v, &absorbed);
 
         self.offer(l_new, &r_new);
         stats.emitted += 1;
 
-        let q_now_base: Vec<u32> = traversed
-            .iter()
-            .copied()
-            .filter(|&q| setops::intersect_first(self.g.nbr_v(q), l_new).is_some())
-            .collect();
-        let mut q_now = q_now_base;
+        let mut q_now: Vec<u32> = Vec::new();
+        crate::task::live_excluded(self.g, traversed, l_new, &mut q_now);
         let mut l_child = Vec::new();
         for i in 0..p_new.len() {
             let w = p_new[i];
-            setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
+            crate::task::child_l(self.g, l_new, w, &mut l_child);
             let l_child_owned = std::mem::take(&mut l_child);
             self.expand(&l_child_owned, &r_new, w, &p_new[i + 1..], &q_now, stats);
             l_child = l_child_owned;

@@ -25,7 +25,7 @@ use std::ops::ControlFlow;
 
 use crate::metrics::Stats;
 use crate::run::{ControlState, ControlledSink, RunControl, StopReason};
-use crate::sink::{Biclique, BicliqueSink, CollectSink};
+use crate::sink::BicliqueSink;
 use crate::task::TaskBuilder;
 use bigraph::core::alpha_beta_core;
 use bigraph::BipartiteGraph;
@@ -47,8 +47,7 @@ impl SizeThresholds {
 }
 
 /// Size-filtered enumeration core used by the [`crate::Enumeration`]
-/// builder (via [`crate::Enumeration::thresholds`]) and the deprecated
-/// shims: core-reduces `g`, runs every root task under `control`, and
+/// builder (via [`crate::Enumeration::thresholds`]): core-reduces `g`, runs every root task under `control`, and
 /// returns the stats plus the stop reason. Vertex ids are reported in
 /// `g`'s id space; counters refer to the *reduced* graph's enumeration.
 pub(crate) fn run_filtered<S: BicliqueSink>(
@@ -112,29 +111,6 @@ pub(crate) fn run_filtered<S: BicliqueSink>(
     (stats, stop)
 }
 
-/// Enumerates every maximal biclique of `g` meeting `thr` into `sink`,
-/// with core reduction and size pruning. Vertex ids reported in `g`'s id
-/// space. Returns the run's [`Stats`] (counters refer to the *reduced*
-/// graph's enumeration).
-#[deprecated(note = "use Enumeration::new(g).thresholds(thr).run(sink)")]
-pub fn enumerate_filtered<S: BicliqueSink>(
-    g: &BipartiteGraph,
-    thr: SizeThresholds,
-    sink: &mut S,
-) -> Stats {
-    let (stats, _stop) = run_filtered(g, thr, &RunControl::new(), sink);
-    stats
-}
-
-/// Convenience wrapper collecting qualifying bicliques.
-#[deprecated(note = "use Enumeration::new(g).thresholds(thr).collect()")]
-// xtask-allow: tuple-return
-pub fn collect_filtered(g: &BipartiteGraph, thr: SizeThresholds) -> (Vec<Biclique>, Stats) {
-    let mut sink = CollectSink::new();
-    let (stats, _stop) = run_filtered(g, thr, &RunControl::new(), &mut sink);
-    (sink.into_vec(), stats)
-}
-
 /// MBEA-style engine with the two size prunings.
 struct FilteredEngine<'g> {
     g: &'g BipartiteGraph,
@@ -159,22 +135,13 @@ impl FilteredEngine<'_> {
             return ControlFlow::Continue(());
         }
         stats.nodes += 1;
-        for &q in traversed {
-            if setops::is_subset(l_new, self.g.nbr_v(q)) {
-                stats.nonmaximal += 1;
-                return ControlFlow::Continue(());
-            }
+        if crate::task::covered_by_excluded(self.g, traversed, l_new) {
+            stats.nonmaximal += 1;
+            return ControlFlow::Continue(());
         }
         let mut absorbed: Vec<u32> = Vec::new();
         let mut p_new: Vec<u32> = Vec::new();
-        for &w in untraversed {
-            let common = setops::intersect_count(l_new, self.g.nbr_v(w));
-            if common == l_new.len() {
-                absorbed.push(w);
-            } else if common > 0 {
-                p_new.push(w);
-            }
-        }
+        crate::task::partition_candidates(self.g, untraversed, l_new, &mut absorbed, &mut p_new);
         stats.absorbed += absorbed.len() as u64;
         let r_len = r_parent.len() + 1 + absorbed.len();
 
@@ -184,26 +151,19 @@ impl FilteredEngine<'_> {
             return ControlFlow::Continue(());
         }
 
-        let mut r_new: Vec<u32> = Vec::with_capacity(r_len);
-        r_new.extend_from_slice(r_parent);
-        r_new.push(v);
-        r_new.extend_from_slice(&absorbed);
-        r_new.sort_unstable();
+        let r_new = crate::task::assemble_r(r_parent, v, &absorbed);
 
         if r_new.len() >= self.thr.min_r {
             sink.emit(l_new, &r_new)?;
             stats.emitted += 1;
         }
 
-        let mut q_now: Vec<u32> = traversed
-            .iter()
-            .copied()
-            .filter(|&q| setops::intersect_first(self.g.nbr_v(q), l_new).is_some())
-            .collect();
+        let mut q_now: Vec<u32> = Vec::new();
+        crate::task::live_excluded(self.g, traversed, l_new, &mut q_now);
         let mut l_child = Vec::new();
         for i in 0..p_new.len() {
             let w = p_new[i];
-            setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
+            crate::task::child_l(self.g, l_new, w, &mut l_child);
             let l_child_owned = std::mem::take(&mut l_child);
             self.expand(&l_child_owned, &r_new, w, &p_new[i + 1..], &q_now, sink, stats)?;
             l_child = l_child_owned;
@@ -216,6 +176,7 @@ impl FilteredEngine<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::Biclique;
     use crate::{Algorithm, Enumeration, MbeOptions};
     use proptest::prelude::*;
 
@@ -277,18 +238,6 @@ mod tests {
         // than unfiltered enumeration.
         let _ = Enumeration::new(&g).options(MbeOptions::new(Algorithm::Mbea)).collect().unwrap();
         assert!(stats.nodes <= 7);
-    }
-
-    #[test]
-    fn deprecated_shims_still_work() {
-        let g = g0();
-        #[allow(deprecated)]
-        let (got, _) = collect_filtered(&g, SizeThresholds::new(2, 2));
-        assert_eq!(got.len(), 3);
-        let mut sink = CollectSink::new();
-        #[allow(deprecated)]
-        let _stats = enumerate_filtered(&g, SizeThresholds::new(1, 1), &mut sink);
-        assert_eq!(sink.len(), 6);
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //!
 //! The enumeration engines lean on structural invariants that ordinary
 //! unit tests only probe pointwise: every node's `L` is the exact common
-//! neighborhood of its `R'`, trie keys are strictly increasing ranks
-//! inside `0..|L|`, the `Scratch` arenas hand out non-overlapping spans,
+//! neighborhood of its `R'`, trie keys are strictly increasing local-id
+//! subsets of their node's `L`, every per-root localization relabels
+//! consistently (sorted id maps, rows matching the global intersections,
+//! bitmap rows decoding to their sorted rows), the `Scratch` arenas hand
+//! out non-overlapping spans,
 //! the counter identity `nodes = emitted + nonmaximal` closes for every
 //! engine, the parallel driver drains its `pending` ledger and emits
 //! exactly the serial count, and a stopped (cancelled / budgeted /
@@ -54,26 +57,41 @@ pub fn check_node(g: &BipartiteGraph, l: &[u32], r_new: &[u32]) {
 #[inline(always)]
 pub fn check_node(_g: &BipartiteGraph, _l: &[u32], _r_new: &[u32]) {}
 
-/// Asserts that a trie key is a strictly increasing rank sequence within
-/// `0..l_len` (ranks index into the node's `L`).
+/// Asserts that a trie key is a strictly increasing sequence of local
+/// left ids drawn from the node's `L` (itself a sorted local-id set):
+/// every key the localized MBET engine builds must be a subset of the
+/// `L` it was keyed against.
 #[cfg(feature = "debug-invariants")]
-pub fn check_rank_key(key: &[u32], l_len: usize) {
+pub fn check_local_key(key: &[u32], l_new: &[u32]) {
     assert!(
         setops::is_strictly_increasing(key),
-        "invariant: rank key not strictly increasing: {key:?}"
+        "invariant: local key not strictly increasing: {key:?}"
     );
-    if let Some(&last) = key.last() {
-        assert!(
-            (last as usize) < l_len,
-            "invariant: rank {last} out of range for |L| = {l_len} (key {key:?})"
-        );
-    }
+    assert!(
+        setops::is_subset(key, l_new),
+        "invariant: local key {key:?} escapes the node's L {l_new:?}"
+    );
 }
 
 /// No-op stub (enable `debug-invariants` for the real check).
 #[cfg(not(feature = "debug-invariants"))]
 #[inline(always)]
-pub fn check_rank_key(_key: &[u32], _l_len: usize) {}
+pub fn check_local_key(_key: &[u32], _l_new: &[u32]) {}
+
+/// Asserts the relabeling invariants of a freshly built
+/// [`bigraph::LocalGraph`]: sorted id maps, rows strictly increasing
+/// inside the left universe, each row equal to the global intersection
+/// it localizes, and (when built) bitmap rows decoding to exactly their
+/// sorted rows. Called once per localization.
+#[cfg(feature = "debug-invariants")]
+pub fn check_localization(g: &BipartiteGraph, local: &bigraph::LocalGraph) {
+    local.check_consistency(g);
+}
+
+/// No-op stub (enable `debug-invariants` for the real check).
+#[cfg(not(feature = "debug-invariants"))]
+#[inline(always)]
+pub fn check_localization(_g: &BipartiteGraph, _local: &bigraph::LocalGraph) {}
 
 /// Asserts `Scratch` arena span discipline: every `(start, end)` span is
 /// well-formed and in-bounds for an arena of `arena_len` symbols, and two
@@ -309,21 +327,29 @@ mod tests {
     }
 
     #[test]
-    fn check_rank_key_accepts_ranks_in_range() {
-        check_rank_key(&[0, 2, 3], 4);
-        check_rank_key(&[], 0);
+    fn check_local_key_accepts_subsets() {
+        check_local_key(&[0, 2, 3], &[0, 1, 2, 3]);
+        check_local_key(&[], &[]);
     }
 
     #[test]
     #[should_panic(expected = "strictly increasing")]
-    fn check_rank_key_rejects_duplicates() {
-        check_rank_key(&[1, 1], 4);
+    fn check_local_key_rejects_duplicates() {
+        check_local_key(&[1, 1], &[0, 1, 2, 3]);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn check_rank_key_rejects_out_of_range() {
-        check_rank_key(&[0, 4], 4);
+    #[should_panic(expected = "escapes")]
+    fn check_local_key_rejects_non_subset() {
+        check_local_key(&[0, 4], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn check_localization_accepts_fresh_build() {
+        let g = g0();
+        let mut local = bigraph::LocalGraph::new(setops::Kernel::Adaptive);
+        local.localize(&g, g.nbr_v(0), &[0, 1]);
+        check_localization(&g, &local);
     }
 
     #[test]

@@ -94,13 +94,9 @@ pub mod sink;
 pub mod task;
 pub mod verify;
 
-mod util;
-
 pub use checkpoint::{Checkpoint, CheckpointError, ResumeTask};
 pub use extremal::{maximum_edge_biclique, top_k_by_edges, top_k_with_control};
 pub use filtered::SizeThresholds;
-#[allow(deprecated)]
-pub use filtered::{collect_filtered, enumerate_filtered};
 pub use histogram::Histogram;
 pub use metrics::{CacheCounters, RunMetrics, Stats, WorkerMetrics};
 pub use obs::{FanoutObserver, JsonlTraceObserver, NoopObserver, Observer};
@@ -108,8 +104,9 @@ pub use run::{Enumeration, MbeError, Report, RunControl, StopReason};
 pub use service::{CachedResult, QueryParams, ResultCache};
 pub use sink::{Biclique, BicliqueSink, CollectSink, CountSink, FnSink, TrieSink};
 
+pub use setops::Kernel;
+
 use bigraph::order::VertexOrder;
-use bigraph::BipartiteGraph;
 
 /// Which enumeration engine to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -182,6 +179,11 @@ pub struct MbeOptions {
     /// Load-aware splitting: root tasks with estimated size above this are
     /// split (parallel driver only).
     pub split_size: usize,
+    /// Which intersection kernels the MBET engine may use. An execution
+    /// hint only: never changes which bicliques are emitted or their
+    /// order, so (like `threads`) it is excluded from checkpoint
+    /// fingerprints and cache keys.
+    pub kernel: Kernel,
 }
 
 impl MbeOptions {
@@ -196,6 +198,7 @@ impl MbeOptions {
             threads: 1,
             split_height: 20,
             split_size: 1500,
+            kernel: Kernel::Adaptive,
         }
     }
 
@@ -216,44 +219,18 @@ impl MbeOptions {
         self.threads = threads;
         self
     }
+
+    /// Sets the intersection-kernel policy (execution hint).
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 impl Default for MbeOptions {
     fn default() -> Self {
         MbeOptions::new(Algorithm::Mbet)
     }
-}
-
-/// Enumerates all maximal bicliques of `g` into `sink`, serially.
-///
-/// The sink sees each maximal biclique exactly once, in a deterministic
-/// order for a fixed option set, with vertex ids in the *input* id space
-/// (orderings are applied and un-applied internally). Returns enumeration
-/// [`Stats`].
-#[deprecated(note = "use Enumeration::new(g).options(opts).run(sink)")]
-pub fn enumerate<S: BicliqueSink>(g: &BipartiteGraph, opts: &MbeOptions, sink: &mut S) -> Stats {
-    let (stats, _stop) = run::run_serial(g, opts, &RunControl::new(), sink);
-    stats
-}
-
-/// Convenience wrapper: collects all maximal bicliques into a vector.
-///
-/// Always returns `Some`; the `Option` is a fossil of the pre-[`Report`]
-/// signature, preserved so existing callers keep compiling.
-#[deprecated(note = "use Enumeration::new(g).options(opts).collect()")]
-// xtask-allow: tuple-return
-pub fn collect_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> Option<(Vec<Biclique>, Stats)> {
-    let mut sink = CollectSink::new();
-    let (stats, _stop) = run::run_serial(g, opts, &RunControl::new(), &mut sink);
-    Some((sink.into_vec(), stats))
-}
-
-/// Convenience wrapper: counts maximal bicliques without storing them.
-#[deprecated(note = "use Enumeration::new(g).options(opts).count()")]
-pub fn count_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (u64, Stats) {
-    let mut sink = CountSink::default();
-    let (stats, _stop) = run::run_serial(g, opts, &RunControl::new(), &mut sink);
-    (sink.count(), stats)
 }
 
 #[cfg(test)]

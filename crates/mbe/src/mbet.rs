@@ -1,9 +1,23 @@
-//! The MBET engine: prefix-tree driven enumeration.
+//! The MBET engine: prefix-tree driven enumeration over per-root
+//! localized subgraphs.
+//!
+//! Per root task (and per resumed node) the engine first **localizes**:
+//! it builds a [`LocalGraph`] holding the induced subgraph on the
+//! task's left universe and right vertices, densely relabeled on both
+//! sides (see `bigraph::local` for the id-space rules). Everything the
+//! recursion touches from then on — candidate keys, excluded keys, `L`
+//! sets — lives in local ids; only `R'` (which must be reported),
+//! emissions, and checkpoint frontiers are translated back to global
+//! ids at the boundary. Localized rows are pre-clipped to `N(root)` and
+//! may be bitmap-packed, so each per-node intersection picks the
+//! cheapest representation through [`LocalGraph::row_view`] under the
+//! engine's [`Kernel`] policy.
 //!
 //! Per enumeration node, the engine re-encodes every candidate's and
-//! excluded vertex's local neighborhood as ranks within the node's `L` and
-//! inserts them into two [`CandidateTrie`]s. The tries then answer the
-//! node's three hot questions structurally (DESIGN.md §3.2):
+//! excluded vertex's local neighborhood as its intersection with the
+//! node's `L` and inserts it into two [`CandidateTrie`]s. The tries
+//! then answer the node's three hot questions structurally (DESIGN.md
+//! §3.2):
 //!
 //! 1. **Equivalence batching** — candidates landing on the same trie node
 //!    have identical local neighborhoods; only the smallest (the group
@@ -17,7 +31,9 @@
 //!
 //! Each of the three is independently switchable via [`MbetConfig`]; with
 //! all three off the engine is branch-for-branch identical to MBEA, which
-//! the test suite asserts down to the node counters.
+//! the test suite asserts down to the node counters. (Local ids are
+//! order-isomorphic to global ids, so localization never changes a
+//! tie-break or a branch.)
 //!
 //! The hot path is allocation-free in steady state: keys and member lists
 //! live in per-depth arenas (`Scratch`) that are reused across sibling
@@ -31,10 +47,10 @@ use crate::metrics::Stats;
 use crate::run::StopReason;
 use crate::sink::BicliqueSink;
 use crate::task::RootTask;
-use crate::util;
 use crate::MbetConfig;
-use bigraph::BipartiteGraph;
+use bigraph::{BipartiteGraph, LocalGraph};
 use ptree::CandidateTrie;
+use setops::Kernel;
 
 /// A `(start, end)` range into one of the scratch arenas.
 type Span = (u32, u32);
@@ -47,7 +63,7 @@ fn slice(arena: &[u32], s: Span) -> &[u32] {
 /// One equivalence class of candidates at a node.
 #[derive(Clone, Copy)]
 struct Group {
-    /// Local neighborhood as ranks within the node's `L` (into `keyar`).
+    /// Local neighborhood as local left ids `⊆ L` (into `keyar`).
     key: Span,
     /// Members (into `memar`), unordered.
     members: Span,
@@ -74,17 +90,22 @@ struct Scratch {
     memar: Vec<u32>,
     groups: Vec<Group>,
     q_list: Vec<Excluded>,
-    ranks: Vec<u32>,
+    keybuf: Vec<u32>,
     absorbed: Vec<u32>,
     l_child: Vec<u32>,
     child_p: Vec<u32>,
     child_q: Vec<u32>,
+    /// The node's `L` translated back to global ids for emission.
+    emit_l: Vec<u32>,
 }
 
 /// The prefix-tree enumeration engine.
 pub struct MbetEngine<'g> {
     g: &'g BipartiteGraph,
     cfg: MbetConfig,
+    /// Per-task localized subgraph; rebuilt by `run_task`/`run_node`,
+    /// its buffers reused across tasks.
+    local: LocalGraph,
     pool: Vec<Scratch>,
     /// Peak candidate-trie node count across the run (memory metric).
     peak_trie_nodes: usize,
@@ -93,18 +114,29 @@ pub struct MbetEngine<'g> {
     frontier: Vec<ResumeTask>,
     /// Deepest recursion the last `run_task`/`run_node` call reached.
     task_depth: usize,
+    /// Reused staging buffers for the per-task localization.
+    rights_buf: Vec<u32>,
+    root_l: Vec<u32>,
+    root_p: Vec<u32>,
+    root_q: Vec<u32>,
 }
 
 impl<'g> MbetEngine<'g> {
-    /// An engine over `g` with feature toggles `cfg`.
-    pub fn new(g: &'g BipartiteGraph, cfg: MbetConfig) -> Self {
+    /// An engine over `g` with feature toggles `cfg`, using the
+    /// intersection kernels permitted by `kernel`.
+    pub fn new(g: &'g BipartiteGraph, cfg: MbetConfig, kernel: Kernel) -> Self {
         MbetEngine {
             g,
             cfg,
+            local: LocalGraph::new(kernel),
             pool: Vec::new(),
             peak_trie_nodes: 0,
             frontier: Vec::new(),
             task_depth: 0,
+            rights_buf: Vec::new(),
+            root_l: Vec::new(),
+            root_p: Vec::new(),
+            root_q: Vec::new(),
         }
     }
 
@@ -127,8 +159,8 @@ impl<'g> MbetEngine<'g> {
         self.peak_trie_nodes
     }
 
-    /// Runs one root task. Breaks iff the sink (or the control plane
-    /// gating it) requested a stop.
+    /// Runs one root task (global ids in, global ids emitted). Breaks
+    /// iff the sink (or the control plane gating it) requested a stop.
     pub fn run_task(
         &mut self,
         task: &RootTask,
@@ -137,11 +169,39 @@ impl<'g> MbetEngine<'g> {
     ) -> ControlFlow<StopReason> {
         self.frontier.clear();
         self.task_depth = 0;
-        self.expand(0, &task.l0, &[], task.v, &task.p0, &task.q0, sink, stats)
+        // The task's right universe, `q0 ∪ {v} ∪ p0`, is already sorted:
+        // the task builder guarantees q0 < v < p0.
+        self.rights_buf.clear();
+        self.rights_buf.extend_from_slice(&task.q0);
+        self.rights_buf.push(task.v);
+        self.rights_buf.extend_from_slice(&task.p0);
+        debug_assert!(setops::is_strictly_increasing(&self.rights_buf));
+        self.local.localize(self.g, &task.l0, &self.rights_buf);
+        crate::invariants::check_localization(self.g, &self.local);
+
+        // Local ids are ranks in the sorted universes, so the three
+        // slices are contiguous ranges.
+        let nq = task.q0.len() as u32;
+        self.root_l.clear();
+        self.root_l.extend(0..task.l0.len() as u32);
+        self.root_q.clear();
+        self.root_q.extend(0..nq);
+        self.root_p.clear();
+        self.root_p.extend(nq + 1..self.rights_buf.len() as u32);
+
+        let l = std::mem::take(&mut self.root_l);
+        let p = std::mem::take(&mut self.root_p);
+        let q = std::mem::take(&mut self.root_q);
+        let flow = self.expand(0, &l, &[], nq, &p, &q, sink, stats);
+        self.root_l = l;
+        self.root_p = p;
+        self.root_q = q;
+        flow
     }
 
-    /// Runs an arbitrary unchecked node (used by the parallel driver's
-    /// split tasks). Semantics identical to [`Self::run_task`].
+    /// Runs an arbitrary unchecked node, given in global ids (used by
+    /// the parallel driver's split tasks and checkpoint resume).
+    /// Semantics identical to [`Self::run_task`].
     #[allow(clippy::too_many_arguments)]
     pub fn run_node(
         &mut self,
@@ -155,12 +215,71 @@ impl<'g> MbetEngine<'g> {
     ) -> ControlFlow<StopReason> {
         self.frontier.clear();
         self.task_depth = 0;
-        self.expand(0, l, r_parent, v, p, q, sink, stats)
+        // Arbitrary caller input: sort the right universe defensively.
+        self.rights_buf.clear();
+        self.rights_buf.extend_from_slice(q);
+        self.rights_buf.extend_from_slice(p);
+        self.rights_buf.push(v);
+        self.rights_buf.sort_unstable();
+        self.rights_buf.dedup();
+        self.local.localize(self.g, l, &self.rights_buf);
+        crate::invariants::check_localization(self.g, &self.local);
+
+        self.root_l.clear();
+        self.root_l.extend(0..l.len() as u32);
+        self.root_p.clear();
+        for &w in p {
+            self.root_p.push(self.rlocal(w));
+        }
+        self.root_q.clear();
+        for &w in q {
+            self.root_q.push(self.rlocal(w));
+        }
+        let v_local = self.rlocal(v);
+
+        let l = std::mem::take(&mut self.root_l);
+        let p = std::mem::take(&mut self.root_p);
+        let q = std::mem::take(&mut self.root_q);
+        let flow = self.expand(0, &l, r_parent, v_local, &p, &q, sink, stats);
+        self.root_l = l;
+        self.root_p = p;
+        self.root_q = q;
+        flow
+    }
+
+    /// Local id of a right vertex known to be inside the current
+    /// localization (callers only look up members of the `rights` slice
+    /// the localization was just built from, so the search cannot miss).
+    #[inline]
+    fn rlocal(&self, w: u32) -> u32 {
+        // xtask-allow: expect
+        self.local.right_local(w).expect("vertex missing from localization")
+    }
+
+    /// A [`ResumeTask::Node`] for the current node, translated back to
+    /// global ids — checkpoints never leak local ids. `l_global` is the
+    /// already-translated `L`; `v`/`p`/`q` are local right ids.
+    fn node_resume(
+        &self,
+        l_global: &[u32],
+        r_parent: &[u32],
+        v: u32,
+        p: &[u32],
+        q: &[u32],
+    ) -> ResumeTask {
+        ResumeTask::Node {
+            l: l_global.to_vec(),
+            r_parent: r_parent.to_vec(),
+            v: self.local.right_global(v),
+            p: p.iter().map(|&w| self.local.right_global(w)).collect(),
+            q: q.iter().map(|&w| self.local.right_global(w)).collect(),
+        }
     }
 
     /// Expands the node reached by traversing `v`: `l_new` is already the
-    /// child's `L`. Mirrors `BaselineEngine::expand` but runs the node
-    /// body through the tries.
+    /// child's `L`. All of `l_new`/`v`/`untraversed`/`traversed` are
+    /// local ids; `r_parent` is global. Mirrors `BaselineEngine::expand`
+    /// but runs the node body through the tries.
     #[allow(clippy::too_many_arguments)]
     fn expand(
         &mut self,
@@ -205,26 +324,29 @@ impl<'g> MbetEngine<'g> {
         s.q_list.clear();
 
         // ---- Excluded vertices: key them, dedupe equivalents, and check
-        // this node's maximality along the way.
+        // this node's maximality along the way. A key is the vertex's
+        // localized row clipped to `L'` — local left ids, so keys of one
+        // node share an id space and one representation check
+        // (`check_local_key`) covers both kernels.
         let mut covered = false;
         for &q in traversed {
-            util::intersect_ranks(self.g.nbr_v(q), l_new, &mut s.ranks);
-            crate::invariants::check_rank_key(&s.ranks, l_new.len());
-            if s.ranks.is_empty() {
+            self.local.row_view(q, l_new.len()).intersect_into(l_new, &mut s.keybuf);
+            crate::invariants::check_local_key(&s.keybuf, l_new);
+            if s.keybuf.is_empty() {
                 continue; // can never cover any L'' ⊆ L'
             }
-            if s.ranks.len() == l_new.len() {
+            if s.keybuf.len() == l_new.len() {
                 covered = true; // q adjacent to all of L'
                 break;
             }
             let existed = if self.cfg.trie_maximality || self.cfg.batching {
-                s.ctrie_q.insert(&s.ranks, q)
+                s.ctrie_q.insert(&s.keybuf, q)
             } else {
                 false
             };
             if !(existed && self.cfg.batching) {
                 let start = s.keyar.len() as u32;
-                s.keyar.extend_from_slice(&s.ranks);
+                s.keyar.extend_from_slice(&s.keybuf);
                 s.q_list.push(Excluded { v: q, key: (start, s.keyar.len() as u32) });
             }
         }
@@ -236,12 +358,12 @@ impl<'g> MbetEngine<'g> {
 
         // ---- Candidates: trie-group them by local neighborhood.
         for &w in untraversed {
-            util::intersect_ranks(self.g.nbr_v(w), l_new, &mut s.ranks);
-            crate::invariants::check_rank_key(&s.ranks, l_new.len());
-            if s.ranks.is_empty() {
+            self.local.row_view(w, l_new.len()).intersect_into(l_new, &mut s.keybuf);
+            crate::invariants::check_local_key(&s.keybuf, l_new);
+            if s.keybuf.is_empty() {
                 continue;
             }
-            s.ctrie_p.insert(&s.ranks, w);
+            s.ctrie_p.insert(&s.keybuf, w);
         }
         self.peak_trie_nodes = self.peak_trie_nodes.max(s.ctrie_p.node_count());
         {
@@ -275,7 +397,8 @@ impl<'g> MbetEngine<'g> {
             });
         }
         // Process groups in representative-id order (determinism and
-        // equivalence with the baselines' candidate order).
+        // equivalence with the baselines' candidate order — local right
+        // order is global right order).
         s.groups.sort_unstable_by_key(|grp| grp.rep);
         crate::invariants::check_spans(
             s.keyar.len(),
@@ -284,8 +407,8 @@ impl<'g> MbetEngine<'g> {
         crate::invariants::check_spans(s.memar.len(), s.groups.iter().map(|grp| grp.members));
 
         // ---- Absorption for *this* node: candidates adjacent to all of
-        // L' go straight into R'. Their key is the full rank range
-        // 0..|L'|, so full coverage is a length test, paid once per group.
+        // L' go straight into R'. Their key is all of L', so full
+        // coverage is a length test, paid once per group.
         s.absorbed.clear();
         {
             let memar = &s.memar;
@@ -302,27 +425,23 @@ impl<'g> MbetEngine<'g> {
         }
         stats.absorbed += s.absorbed.len() as u64;
 
-        // R' must outlive the recursion below: one true allocation per
-        // emitted biclique.
-        let mut r_new: Vec<u32> = Vec::with_capacity(r_parent.len() + 1 + s.absorbed.len());
-        r_new.extend_from_slice(r_parent);
-        r_new.push(v);
-        r_new.extend_from_slice(&s.absorbed);
-        r_new.sort_unstable();
-        crate::invariants::check_node(self.g, l_new, &r_new);
+        // R' lives in global ids (it outlives this localization): map
+        // the absorbed candidates home before they join it. One true
+        // allocation per emitted biclique.
+        for w in &mut s.absorbed {
+            *w = self.local.right_global(*w);
+        }
+        let r_new = crate::task::assemble_r(r_parent, self.local.right_global(v), &s.absorbed);
+        self.local.left_to_global(l_new, &mut s.emit_l);
+        crate::invariants::check_node(self.g, &s.emit_l, &r_new);
 
-        if let ControlFlow::Break(r) = sink.emit(l_new, &r_new) {
-            self.pool[depth] = s;
+        if let ControlFlow::Break(r) = sink.emit(&s.emit_l, &r_new) {
             // A Break verdict means this emission was NOT delivered (the
             // control gate rejects before forwarding), so re-running the
             // whole node on resume delivers it exactly once.
-            self.frontier.push(ResumeTask::Node {
-                l: l_new.to_vec(),
-                r_parent: r_parent.to_vec(),
-                v,
-                p: untraversed.to_vec(),
-                q: traversed.to_vec(),
-            });
+            let resume = self.node_resume(&s.emit_l, r_parent, v, untraversed, traversed);
+            self.frontier.push(resume);
+            self.pool[depth] = s;
             return ControlFlow::Break(r);
         }
         stats.emitted += 1;
@@ -336,7 +455,7 @@ impl<'g> MbetEngine<'g> {
             stats.batched += n_members - 1;
 
             // Maximality of the child: some excluded vertex adjacent to
-            // all of L'' = unrank(key)?
+            // all of L'' = key?
             let non_maximal = if self.cfg.trie_maximality {
                 s.ctrie_q.any_superset(key)
             } else {
@@ -349,27 +468,34 @@ impl<'g> MbetEngine<'g> {
                 stats.nodes += 1;
                 stats.nonmaximal += 1;
             } else {
-                util::unrank(l_new, key, &mut s.l_child);
+                // The key *is* the child's L, already in local left ids.
+                s.l_child.clear();
+                s.l_child.extend_from_slice(key);
 
                 // Child's candidate universe: the rest of this group
                 // (equivalent to the representative, hence adjacent to all
                 // of L'' — the child's full-coverage scan absorbs them into
                 // its R'), plus members of later groups whose key shares a
-                // rank with this key (the rest die at the child anyway).
+                // vertex with this key (the rest die at the child anyway).
                 s.child_p.clear();
                 s.child_p
                     .extend(slice(&s.memar, grp.members).iter().copied().filter(|&w| w != grp.rep));
                 if self.cfg.trie_absorption {
-                    // Per-group (not per-member) rank test.
+                    // Per-group (not per-member) key test.
                     for later in &s.groups[gi + 1..] {
-                        if rank_keys_intersect(slice(&s.keyar, later.key), key) {
+                        if local_keys_intersect(slice(&s.keyar, later.key), key) {
                             s.child_p.extend_from_slice(slice(&s.memar, later.members));
                         }
                     }
                 } else {
                     for later in &s.groups[gi + 1..] {
                         for &w in slice(&s.memar, later.members) {
-                            if setops::intersect_first(self.g.nbr_v(w), &s.l_child).is_some() {
+                            if self
+                                .local
+                                .row_view(w, s.l_child.len())
+                                .intersect_first(&s.l_child)
+                                .is_some()
+                            {
                                 s.child_p.push(w);
                             }
                         }
@@ -381,7 +507,7 @@ impl<'g> MbetEngine<'g> {
                 s.child_q.extend(
                     s.q_list
                         .iter()
-                        .filter(|q| rank_keys_intersect(slice(&s.keyar, q.key), key))
+                        .filter(|q| local_keys_intersect(slice(&s.keyar, q.key), key))
                         .map(|q| q.v),
                 );
 
@@ -406,7 +532,7 @@ impl<'g> MbetEngine<'g> {
                 if let ControlFlow::Break(r) = cont {
                     // The broken child captured its own subtree; this
                     // level owes the checkpoint its untried groups.
-                    self.capture_group_siblings(&s, l_new, &r_new, gi);
+                    self.capture_group_siblings(&s, &r_new, gi);
                     stop = Some(r);
                     break;
                 }
@@ -431,45 +557,46 @@ impl<'g> MbetEngine<'g> {
     }
 
     /// Pushes the untried groups `s.groups[broke_at + 1..]` as resume
-    /// tasks. Each group's node branches on its representative with `p` =
-    /// its co-members plus all later groups' members (a conservative
-    /// superset — the child's candidate scan drops the irrelevant ones)
-    /// and `q` = the current exclusions plus every earlier representative.
-    fn capture_group_siblings(
-        &mut self,
-        s: &Scratch,
-        l_new: &[u32],
-        r_new: &[u32],
-        broke_at: usize,
-    ) {
-        let mut q_accum: Vec<u32> = s.q_list.iter().map(|q| q.v).collect();
-        q_accum.push(s.groups[broke_at].rep);
+    /// tasks, translated to global ids. Each group's node branches on its
+    /// representative with `p` = its co-members plus all later groups'
+    /// members (a conservative superset — the child's candidate scan
+    /// drops the irrelevant ones) and `q` = the current exclusions plus
+    /// every earlier representative.
+    fn capture_group_siblings(&mut self, s: &Scratch, r_new: &[u32], broke_at: usize) {
+        let mut q_accum: Vec<u32> = s.q_list.iter().map(|q| self.local.right_global(q.v)).collect();
+        q_accum.push(self.local.right_global(s.groups[broke_at].rep));
         for j in broke_at + 1..s.groups.len() {
             let grp = s.groups[j];
             let key = slice(&s.keyar, grp.key);
             // xtask-allow: hot-alloc-loop (cold checkpoint-capture path; each resume task owns its data)
             let mut l_child = Vec::new();
-            util::unrank(l_new, key, &mut l_child);
-            let mut p: Vec<u32> =
-                slice(&s.memar, grp.members).iter().copied().filter(|&w| w != grp.rep).collect();
+            self.local.left_to_global(key, &mut l_child);
+            let mut p: Vec<u32> = slice(&s.memar, grp.members)
+                .iter()
+                .copied()
+                .filter(|&w| w != grp.rep)
+                .map(|w| self.local.right_global(w))
+                .collect();
             for later in &s.groups[j + 1..] {
-                p.extend_from_slice(slice(&s.memar, later.members));
+                p.extend(
+                    slice(&s.memar, later.members).iter().map(|&w| self.local.right_global(w)),
+                );
             }
             p.sort_unstable();
             self.frontier.push(ResumeTask::Node {
                 l: l_child,
                 r_parent: r_new.to_vec(), // xtask-allow: hot-alloc-loop (owned by the resume task)
-                v: grp.rep,
+                v: self.local.right_global(grp.rep),
                 p,
                 q: q_accum.clone(), // xtask-allow: hot-alloc-loop (owned by the resume task)
             });
-            q_accum.push(grp.rep);
+            q_accum.push(self.local.right_global(grp.rep));
         }
     }
 }
 
-/// `true` iff two sorted rank keys share an element.
-fn rank_keys_intersect(a: &[u32], b: &[u32]) -> bool {
+/// `true` iff two sorted local-left-id keys share an element.
+fn local_keys_intersect(a: &[u32], b: &[u32]) -> bool {
     setops::intersect_first(a, b).is_some()
 }
 
@@ -481,8 +608,9 @@ const SMALL_NODE_CANDIDATES: usize = 4;
 impl MbetEngine<'_> {
     /// Scan-based node processing for small candidate sets. Identical
     /// semantics (and counter accounting) to `BaselineEngine`'s MBEA
-    /// path, but recursing back into [`Self::expand`] so larger
-    /// descendants regain the trie machinery.
+    /// path — it runs the same shared expansion helpers, only against
+    /// the localized rows — but recursing back into [`Self::expand`] so
+    /// larger descendants regain the trie machinery.
     #[allow(clippy::too_many_arguments)]
     fn expand_small(
         &mut self,
@@ -497,53 +625,43 @@ impl MbetEngine<'_> {
     ) -> ControlFlow<StopReason> {
         stats.nodes += 1;
         self.task_depth = self.task_depth.max(depth);
-        for &q in traversed {
-            if setops::is_subset(l_new, self.g.nbr_v(q)) {
-                stats.nonmaximal += 1;
-                return ControlFlow::Continue(());
-            }
+        if crate::task::covered_by_excluded(&self.local, traversed, l_new) {
+            stats.nonmaximal += 1;
+            return ControlFlow::Continue(());
         }
         let mut absorbed: Vec<u32> = Vec::new();
         let mut p_new: Vec<u32> = Vec::new();
-        for &w in untraversed {
-            let common = setops::intersect_count(l_new, self.g.nbr_v(w));
-            if common == l_new.len() {
-                absorbed.push(w);
-            } else if common > 0 {
-                p_new.push(w);
-            }
-        }
+        crate::task::partition_candidates(
+            &self.local,
+            untraversed,
+            l_new,
+            &mut absorbed,
+            &mut p_new,
+        );
         stats.absorbed += absorbed.len() as u64;
-        let mut r_new: Vec<u32> = Vec::with_capacity(r_parent.len() + 1 + absorbed.len());
-        r_new.extend_from_slice(r_parent);
-        r_new.push(v);
-        r_new.extend_from_slice(&absorbed);
-        r_new.sort_unstable();
-        crate::invariants::check_node(self.g, l_new, &r_new);
-        if let ControlFlow::Break(r) = sink.emit(l_new, &r_new) {
+        for w in &mut absorbed {
+            *w = self.local.right_global(*w);
+        }
+        let r_new = crate::task::assemble_r(r_parent, self.local.right_global(v), &absorbed);
+        let mut emit_l = Vec::new();
+        self.local.left_to_global(l_new, &mut emit_l);
+        crate::invariants::check_node(self.g, &emit_l, &r_new);
+        if let ControlFlow::Break(r) = sink.emit(&emit_l, &r_new) {
             // Undelivered emission: re-run the whole node on resume.
-            self.frontier.push(ResumeTask::Node {
-                l: l_new.to_vec(),
-                r_parent: r_parent.to_vec(),
-                v,
-                p: untraversed.to_vec(),
-                q: traversed.to_vec(),
-            });
+            let resume = self.node_resume(&emit_l, r_parent, v, untraversed, traversed);
+            self.frontier.push(resume);
             return ControlFlow::Break(r);
         }
         stats.emitted += 1;
         if p_new.is_empty() {
             return ControlFlow::Continue(());
         }
-        let mut q_now: Vec<u32> = traversed
-            .iter()
-            .copied()
-            .filter(|&q| setops::intersect_first(self.g.nbr_v(q), l_new).is_some())
-            .collect();
+        let mut q_now: Vec<u32> = Vec::new();
+        crate::task::live_excluded(&self.local, traversed, l_new, &mut q_now);
         let mut l_child = Vec::new();
         for i in 0..p_new.len() {
             let w = p_new[i];
-            setops::intersect_into(l_new, self.g.nbr_v(w), &mut l_child);
+            crate::task::child_l(&self.local, l_new, w, &mut l_child);
             let l_child_owned = std::mem::take(&mut l_child);
             if let ControlFlow::Break(r) = self.expand(
                 depth + 1,
@@ -565,7 +683,8 @@ impl MbetEngine<'_> {
     }
 
     /// Scan-path sibling capture, mirroring the baseline engine's: pushes
-    /// `p_new[broke_at + 1..]` with `q` grown by each earlier branch.
+    /// `p_new[broke_at + 1..]` with `q` grown by each earlier branch, all
+    /// translated to global ids.
     fn capture_small_siblings(
         &mut self,
         l_parent: &[u32],
@@ -574,22 +693,24 @@ impl MbetEngine<'_> {
         broke_at: usize,
         q_now: &[u32],
     ) {
-        let mut q_accum = q_now.to_vec();
-        q_accum.push(p_new[broke_at]);
+        let mut q_accum: Vec<u32> = q_now.iter().map(|&q| self.local.right_global(q)).collect();
+        q_accum.push(self.local.right_global(p_new[broke_at]));
+        let mut l_local = Vec::new();
         for k in broke_at + 1..p_new.len() {
             let w = p_new[k];
+            crate::task::child_l(&self.local, l_parent, w, &mut l_local);
             // xtask-allow: hot-alloc-loop (cold checkpoint-capture path; each resume task owns its data)
             let mut l_child = Vec::new();
-            setops::intersect_into(l_parent, self.g.nbr_v(w), &mut l_child);
+            self.local.left_to_global(&l_local, &mut l_child);
             self.frontier.push(ResumeTask::Node {
                 l: l_child,
                 r_parent: r_new.to_vec(), // xtask-allow: hot-alloc-loop (owned by the resume task)
-                v: w,
+                v: self.local.right_global(w),
                 // xtask-allow: hot-alloc-loop (owned by the resume task)
-                p: p_new[k + 1..].to_vec(),
+                p: p_new[k + 1..].iter().map(|&x| self.local.right_global(x)).collect(),
                 q: q_accum.clone(), // xtask-allow: hot-alloc-loop (owned by the resume task)
             });
-            q_accum.push(w);
+            q_accum.push(self.local.right_global(w));
         }
     }
 }
@@ -623,11 +744,15 @@ mod tests {
         .unwrap()
     }
 
-    fn run_mbet(g: &BipartiteGraph, cfg: MbetConfig) -> (Vec<Biclique>, Stats) {
+    fn run_mbet_kernel(
+        g: &BipartiteGraph,
+        cfg: MbetConfig,
+        kernel: Kernel,
+    ) -> (Vec<Biclique>, Stats) {
         let mut sink = CollectSink::new();
         let mut stats = Stats::default();
         let mut builder = TaskBuilder::new(g);
-        let mut engine = MbetEngine::new(g, cfg);
+        let mut engine = MbetEngine::new(g, cfg, kernel);
         for v in 0..g.num_v() {
             if let Some(t) = builder.build(v) {
                 assert!(engine.run_task(&t, &mut sink, &mut stats).is_continue());
@@ -636,6 +761,10 @@ mod tests {
         let mut out = sink.into_vec();
         out.sort();
         (out, stats)
+    }
+
+    fn run_mbet(g: &BipartiteGraph, cfg: MbetConfig) -> (Vec<Biclique>, Stats) {
+        run_mbet_kernel(g, cfg, Kernel::Adaptive)
     }
 
     #[test]
@@ -650,6 +779,20 @@ mod tests {
                     assert_eq!(stats.emitted, 6, "{cfg:?}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_bicliques_and_counters() {
+        let g = g0();
+        let base = run_mbet_kernel(&g, MbetConfig::default(), Kernel::SortedOnly);
+        for kernel in [Kernel::Adaptive, Kernel::BitmapOnly] {
+            let got = run_mbet_kernel(&g, MbetConfig::default(), kernel);
+            assert_eq!(got.0, base.0, "{kernel:?}");
+            assert_eq!(got.1.nodes, base.1.nodes, "{kernel:?}");
+            assert_eq!(got.1.emitted, base.1.emitted, "{kernel:?}");
+            assert_eq!(got.1.nonmaximal, base.1.nonmaximal, "{kernel:?}");
+            assert_eq!(got.1.batched, base.1.batched, "{kernel:?}");
         }
     }
 
@@ -717,10 +860,38 @@ mod tests {
             crate::sink::STOP
         });
         let mut builder = TaskBuilder::new(&g);
-        let mut engine = MbetEngine::new(&g, MbetConfig::default());
+        let mut engine = MbetEngine::new(&g, MbetConfig::default(), Kernel::Adaptive);
         let t = builder.build(0).unwrap();
         assert!(engine.run_task(&t, &mut sink, &mut stats).is_break());
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn captured_frontier_is_global_ids() {
+        // Stop at the first emission of a root with candidates: the
+        // captured resume tasks must be valid *global* right ids with
+        // global L sets, even though the engine ran on local ids.
+        let g = g0();
+        let mut stats = Stats::default();
+        let mut sink = crate::FnSink(|_: &[u32], _: &[u32]| crate::sink::STOP);
+        let mut builder = TaskBuilder::new(&g);
+        let mut engine = MbetEngine::new(&g, MbetConfig::default(), Kernel::Adaptive);
+        let t = builder.build(0).unwrap();
+        assert!(engine.run_task(&t, &mut sink, &mut stats).is_break());
+        let frontier = engine.take_frontier();
+        assert!(!frontier.is_empty());
+        for task in &frontier {
+            if let ResumeTask::Node { l, v, p, q, .. } = task {
+                assert!(*v < g.num_v());
+                for &w in p.iter().chain(q.iter()) {
+                    assert!(w < g.num_v());
+                }
+                for &u in l {
+                    assert!(u < g.num_u());
+                }
+                assert!(setops::is_strictly_increasing(l));
+            }
+        }
     }
 
     #[test]
@@ -734,7 +905,7 @@ mod tests {
             edges.push(((v + 1) % 4, v));
         }
         let g = BipartiteGraph::from_edges(4, 9, &edges).unwrap();
-        let mut engine = MbetEngine::new(&g, MbetConfig::default());
+        let mut engine = MbetEngine::new(&g, MbetConfig::default(), Kernel::Adaptive);
         let mut sink = CollectSink::new();
         let mut stats = Stats::default();
         let mut builder = TaskBuilder::new(&g);
@@ -758,8 +929,10 @@ mod tests {
                 edges.push(((v + 1) % 3, v));
             }
             let g = BipartiteGraph::from_edges(3, 2 + extra, &edges).unwrap();
-            let (bicliques, _) = run_mbet(&g, MbetConfig::default());
-            crate::verify::assert_matches_brute_force(&g, &bicliques);
+            for kernel in [Kernel::Adaptive, Kernel::SortedOnly, Kernel::BitmapOnly] {
+                let (bicliques, _) = run_mbet_kernel(&g, MbetConfig::default(), kernel);
+                crate::verify::assert_matches_brute_force(&g, &bicliques);
+            }
         }
     }
 }

@@ -31,7 +31,7 @@ use crate::checkpoint::ResumeTask;
 use crate::metrics::{RunMetrics, Stats, WorkerMetrics};
 use crate::obs::{DriverKind, ObsCtx, RecordingSink, SegmentInfo, TaskDelta, TaskInfo, TaskKind};
 use crate::run::{ControlState, ControlledSink, MbeError, RunControl, StopReason};
-use crate::sink::{Biclique, BicliqueSink, CollectSink, CountSink};
+use crate::sink::BicliqueSink;
 use crate::task::{record_task, root_representatives, AnyEngine, RootTask, TaskBuilder};
 use crate::{Algorithm, MbeOptions};
 use bigraph::BipartiteGraph;
@@ -102,7 +102,7 @@ impl NodeTask {
 }
 
 /// Parallel enumeration core used by the [`crate::Enumeration`] builder
-/// terminals and the deprecated shims: runs the configured algorithm over
+/// terminals: runs the configured algorithm over
 /// `g` with `opts.threads` workers (0 = all available cores) under
 /// `control`. When `resume` is `Some`, the pool is seeded from the
 /// checkpointed frontier (internal ids) instead of the root sweep.
@@ -611,43 +611,26 @@ fn split_node(
     out: &mut Vec<NodeTask>,
 ) -> ControlFlow<StopReason> {
     stats.nodes += 1;
-    for &q in &t.q {
-        if setops::is_subset(&t.l, g.nbr_v(q)) {
-            stats.nonmaximal += 1;
-            return ControlFlow::Continue(());
-        }
+    if crate::task::covered_by_excluded(g, &t.q, &t.l) {
+        stats.nonmaximal += 1;
+        return ControlFlow::Continue(());
     }
     // `absorbed` and `p_new` partition `t.p`.
     let mut absorbed = Vec::with_capacity(t.p.len());
     let mut p_new = Vec::with_capacity(t.p.len());
-    for &w in &t.p {
-        let common = setops::intersect_count(&t.l, g.nbr_v(w));
-        if common == t.l.len() {
-            absorbed.push(w);
-        } else if common > 0 {
-            p_new.push(w);
-        }
-    }
+    crate::task::partition_candidates(g, &t.p, &t.l, &mut absorbed, &mut p_new);
     stats.absorbed += absorbed.len() as u64;
-    let mut r_new = Vec::with_capacity(t.r_parent.len() + 1 + absorbed.len());
-    r_new.extend_from_slice(&t.r_parent);
-    r_new.push(t.v);
-    r_new.extend_from_slice(&absorbed);
-    r_new.sort_unstable();
+    let r_new = crate::task::assemble_r(&t.r_parent, t.v, &absorbed);
     crate::invariants::check_node(g, &t.l, &r_new);
     sink.emit(&t.l, &r_new)?;
     stats.emitted += 1;
 
-    let q_base: Vec<u32> =
-        t.q.iter()
-            .copied()
-            .filter(|&q| setops::intersect_first(g.nbr_v(q), &t.l).is_some())
-            .collect();
-    let mut q_now = q_base;
+    let mut q_now: Vec<u32> = Vec::new();
+    crate::task::live_excluded(g, &t.q, &t.l, &mut q_now);
     let mut l_child = Vec::new();
     for i in 0..p_new.len() {
         let w = p_new[i];
-        setops::intersect_into(&t.l, g.nbr_v(w), &mut l_child);
+        crate::task::child_l(g, &t.l, w, &mut l_child);
         // Each child task is shipped through the injector and outlives
         // this frame — it must own its sets. Split nodes are rare
         // (fan-out dominates), so the copies are off the hot path.
@@ -664,110 +647,10 @@ fn split_node(
     ControlFlow::Continue(())
 }
 
-/// Runs the configured algorithm over `g` with `opts.threads` workers
-/// (0 = all available cores). `make_sink(worker_index)` builds one sink
-/// per worker; the sinks and the merged stats are returned.
-///
-/// Emission *order* is nondeterministic, the emitted *set* is not.
-#[deprecated(
-    note = "use Enumeration::new(g).options(opts).run_per_worker(make_sink), which returns \
-            typed MbeError values instead of panicking; see the migration table in DESIGN.md §4"
-)]
-pub fn par_enumerate_with<S, F>(
-    g: &BipartiteGraph,
-    opts: &MbeOptions,
-    make_sink: F,
-) -> (Vec<S>, Stats)
-// xtask-allow: tuple-return
-where
-    S: BicliqueSink + Send,
-    F: Fn(usize) -> S + Sync,
-{
-    match par_run(g, opts, &RunControl::new(), None, ObsCtx::noop(), make_sink) {
-        Ok(out) => {
-            if let Some(p) = out.panic {
-                // The builder returns this as MbeError::WorkerPanic with a
-                // partial report; this legacy entry point can only
-                // re-panic. xtask-allow: panic
-                panic!(
-                    "parallel enumeration failed: worker panicked in {}: {} \
-                     (the Enumeration builder returns this as MbeError::WorkerPanic \
-                     with a partial report — see the migration table in DESIGN.md §4)",
-                    p.task, p.payload
-                );
-            }
-            (out.sinks, out.stats)
-        }
-        // The builder returns these as typed MbeError values; this legacy
-        // entry point can only panic. xtask-allow: panic
-        Err(e) => panic!(
-            "parallel enumeration failed: {e} (a typed mbe::MbeError; migrate to \
-             mbe::Enumeration::run_per_worker — see the migration table in DESIGN.md §4)"
-        ),
-    }
-}
-
-/// Parallel collection of all maximal bicliques (unsorted).
-#[deprecated(
-    note = "use Enumeration::new(g).options(opts).collect(), which returns typed MbeError \
-            values instead of panicking; see the migration table in DESIGN.md §4"
-)]
-// xtask-allow: tuple-return
-pub fn par_collect_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (Vec<Biclique>, Stats) {
-    match par_run(g, opts, &RunControl::new(), None, ObsCtx::noop(), |_| CollectSink::new()) {
-        Ok(out) => {
-            if let Some(p) = out.panic {
-                // xtask-allow: panic
-                panic!(
-                    "parallel enumeration failed: worker panicked in {}: {} \
-                     (the Enumeration builder returns this as MbeError::WorkerPanic \
-                     with a partial report — see the migration table in DESIGN.md §4)",
-                    p.task, p.payload
-                );
-            }
-            let mut all = Vec::new();
-            for s in out.sinks {
-                all.extend(s.into_vec());
-            }
-            (all, out.stats)
-        }
-        // The builder returns these as typed MbeError values. xtask-allow: panic
-        Err(e) => panic!(
-            "parallel enumeration failed: {e} (a typed mbe::MbeError; migrate to \
-             mbe::Enumeration::collect — see the migration table in DESIGN.md §4)"
-        ),
-    }
-}
-
-/// Parallel count of maximal bicliques.
-#[deprecated(note = "use Enumeration::new(g).options(opts).count(), which returns typed MbeError \
-            values instead of panicking; see the migration table in DESIGN.md §4")]
-// xtask-allow: tuple-return
-pub fn par_count_bicliques(g: &BipartiteGraph, opts: &MbeOptions) -> (u64, Stats) {
-    match par_run(g, opts, &RunControl::new(), None, ObsCtx::noop(), |_| CountSink::default()) {
-        Ok(out) => {
-            if let Some(p) = out.panic {
-                // xtask-allow: panic
-                panic!(
-                    "parallel enumeration failed: worker panicked in {}: {} \
-                     (the Enumeration builder returns this as MbeError::WorkerPanic \
-                     with a partial report — see the migration table in DESIGN.md §4)",
-                    p.task, p.payload
-                );
-            }
-            (out.sinks.iter().map(|s| s.count()).sum(), out.stats)
-        }
-        // The builder returns these as typed MbeError values. xtask-allow: panic
-        Err(e) => panic!(
-            "parallel enumeration failed: {e} (a typed mbe::MbeError; migrate to \
-             mbe::Enumeration::count — see the migration table in DESIGN.md §4)"
-        ),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::CountSink;
     use crate::Enumeration;
 
     fn g0() -> BipartiteGraph {
@@ -840,18 +723,6 @@ mod tests {
         let report = report.unwrap();
         assert_eq!(report.count(), 0);
         assert!(report.is_complete());
-    }
-
-    #[test]
-    fn deprecated_par_shims_still_work() {
-        let g = g0();
-        let opts = MbeOptions::new(Algorithm::Mbet).threads(2);
-        #[allow(deprecated)]
-        let (bicliques, _) = par_collect_bicliques(&g, &opts);
-        assert_eq!(bicliques.len(), 6);
-        #[allow(deprecated)]
-        let (count, _) = par_count_bicliques(&g, &opts);
-        assert_eq!(count, 6);
     }
 
     #[test]

@@ -965,8 +965,8 @@ pub(crate) struct RunOutcome {
     pub(crate) metrics: RunMetrics,
 }
 
-/// Serial enumeration core shared by the builder terminals and the
-/// deprecated shims: applies the vertex order, then either runs every
+/// Serial enumeration core shared by the builder terminals: applies
+/// the vertex order, then either runs every
 /// root task (`resume == None`) or replays a checkpointed frontier
 /// (`resume == Some`), under `control`, reporting through `obs`. A
 /// stopped run's unexplored frontier comes back in the outcome.
@@ -1015,8 +1015,10 @@ pub(crate) fn run_serial_resumable<S: BicliqueSink>(
     RunOutcome { stats, stop, frontier, metrics: RunMetrics::from_single(wm) }
 }
 
-/// Serial enumeration core of the deprecated shims: like
-/// [`run_serial_resumable`] with no resume, discarding the frontier.
+/// One-shot serial enumeration: like [`run_serial_resumable`] with no
+/// resume, discarding the frontier. Kept as the reference execution the
+/// `debug-invariants` harness replays parallel and stopped runs against.
+#[cfg_attr(not(feature = "debug-invariants"), allow(dead_code))]
 pub(crate) fn run_serial<S: BicliqueSink>(
     g: &BipartiteGraph,
     opts: &MbeOptions,

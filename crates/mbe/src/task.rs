@@ -23,7 +23,8 @@ use crate::run::{ControlState, ControlledSink, RunControl, StopReason};
 use crate::sink::BicliqueSink;
 use crate::{Algorithm, MbeOptions};
 use bigraph::two_hop::TwoHop;
-use bigraph::BipartiteGraph;
+use bigraph::{BipartiteGraph, LocalGraph};
+use setops::SetView;
 
 /// One per-root-vertex unit of enumeration work.
 #[derive(Debug, Clone)]
@@ -89,6 +90,103 @@ impl<'g> TaskBuilder<'g> {
             p0: self.buf[split..].to_vec(),
         })
     }
+}
+
+/// Anything that can hand out a [`SetView`] of a right vertex's
+/// neighborhood (restricted to the current universe).
+///
+/// This is the seam between the engines and the graph representation:
+/// the baselines read global adjacency straight off the
+/// [`BipartiteGraph`] CSR, while the localized MBET engine reads
+/// per-root [`LocalGraph`] rows (which may be bitmap-packed). The
+/// shared expansion helpers below are written against this trait, so
+/// every engine runs the same candidate/exclusion logic regardless of
+/// representation.
+pub trait NbrSource {
+    /// The neighborhood of right vertex `w`, as a view chosen to be
+    /// cheap to probe with a sorted operand of length `probe_len`.
+    fn nbr(&self, w: u32, probe_len: usize) -> SetView<'_>;
+}
+
+impl NbrSource for BipartiteGraph {
+    fn nbr(&self, w: u32, _probe_len: usize) -> SetView<'_> {
+        SetView::Sorted(self.nbr_v(w))
+    }
+}
+
+impl NbrSource for LocalGraph {
+    fn nbr(&self, w: u32, probe_len: usize) -> SetView<'_> {
+        self.row_view(w, probe_len)
+    }
+}
+
+/// `true` iff some excluded vertex of `traversed` is adjacent to all of
+/// `l_new` — the standard Q-based non-maximality prune (`L' ⊆ N(q)`),
+/// fatal for the node and all its descendants.
+pub(crate) fn covered_by_excluded<N: NbrSource + ?Sized>(
+    n: &N,
+    traversed: &[u32],
+    l_new: &[u32],
+) -> bool {
+    traversed.iter().any(|&q| n.nbr(q, l_new.len()).contains_all(l_new))
+}
+
+/// One pass over `untraversed` splitting it by local degree against
+/// `l_new`: full coverage → `absorbed` (joins `R'`), partial overlap →
+/// `p_new` (stays a candidate), empty overlap → dropped. Outputs are
+/// cleared first and keep the input's relative order.
+pub(crate) fn partition_candidates<N: NbrSource + ?Sized>(
+    n: &N,
+    untraversed: &[u32],
+    l_new: &[u32],
+    absorbed: &mut Vec<u32>,
+    p_new: &mut Vec<u32>,
+) {
+    absorbed.clear();
+    p_new.clear();
+    for &w in untraversed {
+        let common = n.nbr(w, l_new.len()).intersect_count(l_new);
+        if common == l_new.len() {
+            absorbed.push(w);
+        } else if common > 0 {
+            p_new.push(w);
+        }
+    }
+}
+
+/// `R' = r_parent ∪ {v} ∪ absorbed`, sorted — the one allocation per
+/// emitted biclique that must outlive the recursion.
+pub(crate) fn assemble_r(r_parent: &[u32], v: u32, absorbed: &[u32]) -> Vec<u32> {
+    let mut r_new: Vec<u32> = Vec::with_capacity(r_parent.len() + 1 + absorbed.len());
+    r_new.extend_from_slice(r_parent);
+    r_new.push(v);
+    r_new.extend_from_slice(absorbed);
+    r_new.sort_unstable();
+    r_new
+}
+
+/// The excluded vertices still relevant below this node: those sharing
+/// at least one neighbor with `l_new` (first-occurrence early-exit
+/// test). Preserves order; `out` is cleared first.
+pub(crate) fn live_excluded<N: NbrSource + ?Sized>(
+    n: &N,
+    traversed: &[u32],
+    l_new: &[u32],
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    out.extend(
+        traversed
+            .iter()
+            .copied()
+            .filter(|&q| n.nbr(q, l_new.len()).intersect_first(l_new).is_some()),
+    );
+}
+
+/// The child's `L`: `l_new ∩ N(w)`, strictly increasing, into `out`
+/// (cleared first).
+pub(crate) fn child_l<N: NbrSource + ?Sized>(n: &N, l_new: &[u32], w: u32, out: &mut Vec<u32>) {
+    n.nbr(w, l_new.len()).intersect_into(l_new, out);
 }
 
 /// Root-level equivalence classes: `reps[v]` is `true` iff `v` is the
@@ -389,13 +487,17 @@ fn capture_remaining_roots(
 /// once per worker so scratch pools are reused across tasks.
 pub(crate) enum AnyEngine<'g> {
     Baseline(BaselineEngine<'g>),
-    Mbet(MbetEngine<'g>),
+    // Boxed: the MBET engine embeds the localization buffers, making it
+    // much larger than the baseline variant. One box per worker.
+    Mbet(Box<MbetEngine<'g>>),
 }
 
 impl<'g> AnyEngine<'g> {
     pub(crate) fn new(g: &'g BipartiteGraph, opts: &MbeOptions) -> Self {
         match opts.algorithm {
-            Algorithm::Mbet => AnyEngine::Mbet(MbetEngine::new(g, opts.mbet)),
+            Algorithm::Mbet => {
+                AnyEngine::Mbet(Box::new(MbetEngine::new(g, opts.mbet, opts.kernel)))
+            }
             alg => AnyEngine::Baseline(BaselineEngine::new(g, alg)),
         }
     }

@@ -142,19 +142,17 @@ fn graphs_with_swapped_sides_give_mirrored_results() {
 }
 
 #[test]
-fn deprecated_entry_points_still_work() {
+fn kernel_option_is_behavior_invariant() {
+    // The kernel is an execution hint: forcing either pure variant must
+    // reproduce the default run exactly — same bicliques, same order,
+    // same counters.
     let g = demo_graph();
     let want = Enumeration::new(&g).collect().unwrap();
-    #[allow(deprecated)]
-    let (old_collected, old_stats) = mbe::collect_bicliques(&g, &MbeOptions::default()).unwrap();
-    assert_eq!(old_collected, want.bicliques);
-    assert_eq!(old_stats.emitted, want.stats.emitted);
-    #[allow(deprecated)]
-    let (old_count, _) = mbe::count_bicliques(&g, &MbeOptions::default());
-    assert_eq!(old_count, want.count());
-    let mut sink = CountSink::default();
-    #[allow(deprecated)]
-    let stats = mbe::enumerate(&g, &MbeOptions::default(), &mut sink);
-    assert_eq!(stats.emitted, want.stats.emitted);
-    assert_eq!(sink.count(), want.count());
+    for kernel in [mbe::Kernel::SortedOnly, mbe::Kernel::BitmapOnly] {
+        let got =
+            Enumeration::new(&g).options(MbeOptions::default().kernel(kernel)).collect().unwrap();
+        assert_eq!(got.bicliques, want.bicliques, "{kernel:?}");
+        assert_eq!(got.stats.emitted, want.stats.emitted, "{kernel:?}");
+        assert_eq!(got.stats.nodes, want.stats.nodes, "{kernel:?}");
+    }
 }

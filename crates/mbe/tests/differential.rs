@@ -172,6 +172,89 @@ fn counters_close_at_scale() {
     }
 }
 
+#[test]
+fn kernels_agree_at_scale() {
+    // The kernel is an execution hint: pure-sorted, pure-bitmap, and the
+    // adaptive default must produce identical emissions (order included,
+    // serially) and identical search-tree counters, at a scale where the
+    // packed rows actually engage.
+    let g = structured(55, 350, 240, 2200);
+    let want = Enumeration::new(&g)
+        .options(MbeOptions::default().kernel(mbe::Kernel::SortedOnly))
+        .collect()
+        .unwrap();
+    assert!(want.bicliques.len() > 100);
+    for kernel in [mbe::Kernel::Adaptive, mbe::Kernel::BitmapOnly] {
+        let got =
+            Enumeration::new(&g).options(MbeOptions::default().kernel(kernel)).collect().unwrap();
+        assert_eq!(got.bicliques, want.bicliques, "{kernel:?}");
+        assert_eq!(got.stats.nodes, want.stats.nodes, "{kernel:?}");
+        assert_eq!(got.stats.emitted, want.stats.emitted, "{kernel:?}");
+        assert_eq!(got.stats.nonmaximal, want.stats.nonmaximal, "{kernel:?}");
+        assert_eq!(got.stats.batched, want.stats.batched, "{kernel:?}");
+    }
+    let mut reference = want.bicliques;
+    reference.sort();
+    for threads in [2, 4] {
+        for kernel in [mbe::Kernel::SortedOnly, mbe::Kernel::BitmapOnly] {
+            let mut got = collect(&g, MbeOptions::default().threads(threads).kernel(kernel));
+            got.sort();
+            assert_eq!(got, reference, "threads={threads} {kernel:?}");
+        }
+    }
+}
+
+#[test]
+fn resume_crosses_relabeled_roots_under_kernel_change() {
+    // Stopping mid-root captures `Node` frontier entries whose sets were
+    // translated back out of that root's compacted id space; resuming
+    // re-localizes them from scratch. The kernel is not pinned by the
+    // checkpoint (it never affects the emitted set), so the two segments
+    // may even run under different kernels.
+    let g = structured(77, 300, 200, 1800);
+    let full: std::collections::HashSet<Biclique> =
+        collect(&g, MbeOptions::default()).into_iter().collect();
+    let stopped = Enumeration::new(&g)
+        .options(MbeOptions::default().kernel(mbe::Kernel::SortedOnly))
+        .max_bicliques(3)
+        .collect()
+        .unwrap();
+    let ckpt = stopped.checkpoint.clone().expect("budget-stopped run must checkpoint");
+    // The stop landed inside a root subtree: the frontier must carry
+    // interior nodes (not just untouched roots), every id translated back
+    // into the graph-wide space.
+    let mut saw_node = false;
+    for task in &ckpt.frontier {
+        if let mbe::ResumeTask::Node { l, r_parent, v, p, q } = task {
+            saw_node = true;
+            assert!(setops::is_strictly_increasing(l));
+            for &u in l {
+                assert!(u < g.num_u(), "left id {u} out of range");
+            }
+            for &w in r_parent.iter().chain(p).chain(q).chain(std::iter::once(v)) {
+                assert!(w < g.num_v(), "right id {w} out of range");
+            }
+        }
+    }
+    assert!(saw_node, "expected the stop to land inside a root subtree");
+    for kernel in [mbe::Kernel::SortedOnly, mbe::Kernel::BitmapOnly, mbe::Kernel::Adaptive] {
+        for threads in [1, 3] {
+            let resumed = Enumeration::new(&g)
+                .options(MbeOptions::default().threads(threads).kernel(kernel))
+                .resume(ckpt.clone())
+                .collect()
+                .unwrap();
+            assert!(resumed.is_complete(), "{kernel:?} threads={threads}");
+            let mut union: std::collections::HashSet<Biclique> =
+                std::collections::HashSet::with_capacity(full.len());
+            for b in stopped.bicliques.iter().chain(resumed.bicliques.iter()) {
+                assert!(union.insert(b.clone()), "duplicate across segments: {b:?} ({kernel:?})");
+            }
+            assert_eq!(union, full, "{kernel:?} threads={threads}");
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Run-control contract, property-tested.
 
@@ -240,6 +323,38 @@ proptest! {
             .unwrap();
         prop_assert_eq!(cancelled.stop, StopReason::Cancelled);
         prop_assert!(cancelled.bicliques.is_empty());
+    }
+
+    /// Kernel differential on arbitrary graphs: forcing the pure-bitmap
+    /// and pure-sorted kernels through the public API must be observably
+    /// identical — same bicliques in the same serial order, same search
+    /// counters — and parallel runs agree as sets at 2–4 workers.
+    #[test]
+    fn bitmap_and_sorted_kernels_are_observably_identical(
+        g in random_graph(),
+        threads in 2usize..5,
+    ) {
+        let sorted = Enumeration::new(&g)
+            .options(MbeOptions::default().kernel(mbe::Kernel::SortedOnly))
+            .collect()
+            .unwrap();
+        let bits = Enumeration::new(&g)
+            .options(MbeOptions::default().kernel(mbe::Kernel::BitmapOnly))
+            .collect()
+            .unwrap();
+        prop_assert_eq!(&sorted.bicliques, &bits.bicliques);
+        prop_assert_eq!(sorted.stats.nodes, bits.stats.nodes);
+        prop_assert_eq!(sorted.stats.emitted, bits.stats.emitted);
+        prop_assert_eq!(sorted.stats.nonmaximal, bits.stats.nonmaximal);
+        prop_assert_eq!(sorted.stats.batched, bits.stats.batched);
+
+        let mut want = sorted.bicliques;
+        want.sort();
+        for kernel in [mbe::Kernel::SortedOnly, mbe::Kernel::BitmapOnly] {
+            let mut got = collect(&g, MbeOptions::default().threads(threads).kernel(kernel));
+            got.sort();
+            prop_assert_eq!(&got, &want, "threads={} {:?}", threads, kernel);
+        }
     }
 
     /// The checkpoint/resume contract on random graphs: stop a run with a

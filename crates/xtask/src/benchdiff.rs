@@ -1,0 +1,213 @@
+//! `bench-diff OLD NEW`: compares two committed bench snapshots
+//! (the schema-1 JSON written by `bench-snapshot`).
+//!
+//! The comparison has two halves:
+//!
+//! * **Correctness gate** — both snapshots must cover the same preset
+//!   set with identical `bicliques` counts. Any mismatch is a
+//!   correctness regression (or an incomparable snapshot) and exits 1.
+//! * **Performance report** — per-preset wall-clock speedup
+//!   (`old/new`, so > 1.00 is faster) plus the geometric mean.
+//!   Informational: timings come from whatever machines took the
+//!   snapshots, so CI runs this step advisorily.
+
+use std::path::Path;
+
+/// Entry point for the `bench-diff` subcommand. Exits 0 when the
+/// snapshots agree on counts, 1 on any count/preset mismatch, 2 when a
+/// file cannot be read or parsed.
+pub fn run(root: &Path, old: &str, new: &str) -> ! {
+    let old_rows = load(root, old);
+    let new_rows = load(root, new);
+    match diff(&old_rows, &new_rows) {
+        Ok(report) => {
+            print!("{report}");
+            std::process::exit(0);
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("bench-diff: {e}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One `{preset, bicliques, time_us}` row of a snapshot.
+#[derive(Debug, PartialEq)]
+struct Row {
+    preset: String,
+    bicliques: u64,
+    time_us: u64,
+}
+
+fn load(root: &Path, name: &str) -> Vec<Row> {
+    let path = root.join(name);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-diff: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    match parse_snapshot(&text) {
+        Ok(rows) if !rows.is_empty() => rows,
+        Ok(_) => {
+            eprintln!("bench-diff: {} has no rows", path.display());
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("bench-diff: cannot parse {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses the snapshot JSON. The format is machine-written one-row-per-
+/// line (`render` in [`crate::snapshot`]), so a field scanner is enough —
+/// no general JSON parser needed, but the fields may come in any order.
+fn parse_snapshot(text: &str) -> Result<Vec<Row>, String> {
+    if !text.contains("\"schema\": 1") {
+        return Err("missing or unsupported \"schema\" (want 1)".into());
+    }
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"preset\"") {
+            continue;
+        }
+        let preset = str_field(line, "preset")?;
+        let bicliques = num_field(line, "bicliques")?;
+        let time_us = num_field(line, "time_us")?;
+        rows.push(Row { preset, bicliques, time_us });
+    }
+    Ok(rows)
+}
+
+/// Extracts `"key": "value"` from a one-line JSON object.
+fn str_field(line: &str, key: &str) -> Result<String, String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag).ok_or(format!("missing {key:?} in {line:?}"))? + tag.len();
+    let end = line[start..].find('"').ok_or(format!("unterminated {key:?} in {line:?}"))?;
+    Ok(line[start..start + end].to_string())
+}
+
+/// Extracts `"key": 123` from a one-line JSON object.
+fn num_field(line: &str, key: &str) -> Result<u64, String> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag).ok_or(format!("missing {key:?} in {line:?}"))? + tag.len();
+    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().map_err(|_| format!("bad {key:?} value in {line:?}"))
+}
+
+/// Builds the human-readable diff table, or the list of count/preset
+/// mismatches when the snapshots are not count-identical.
+fn diff(old: &[Row], new: &[Row]) -> Result<String, Vec<String>> {
+    let mut errors = Vec::new();
+    for o in old {
+        match new.iter().find(|n| n.preset == o.preset) {
+            None => errors.push(format!("preset {} missing from new snapshot", o.preset)),
+            Some(n) if n.bicliques != o.bicliques => errors.push(format!(
+                "preset {}: biclique count changed {} -> {}",
+                o.preset, o.bicliques, n.bicliques
+            )),
+            Some(_) => {}
+        }
+    }
+    for n in new {
+        if !old.iter().any(|o| o.preset == n.preset) {
+            errors.push(format!("preset {} missing from old snapshot", n.preset));
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>12} {:>12} {:>9}\n",
+        "preset", "bicliques", "old_us", "new_us", "speedup"
+    ));
+    let mut log_sum = 0.0f64;
+    let mut regressions = 0usize;
+    for o in old {
+        // Presence verified above; linear rescan keeps this dependency-free.
+        let n = new.iter().find(|n| n.preset == o.preset).unwrap();
+        // Sub-microsecond rows round to 0; clamp so the ratio stays finite.
+        let ratio = o.time_us.max(1) as f64 / n.time_us.max(1) as f64;
+        log_sum += ratio.ln();
+        if ratio < 1.0 {
+            regressions += 1;
+        }
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>12} {:>12} {:>8.2}x\n",
+            o.preset, o.bicliques, o.time_us, n.time_us, ratio
+        ));
+    }
+    let geomean = (log_sum / old.len() as f64).exp();
+    out.push_str(&format!(
+        "counts identical across {} presets; geomean speedup {:.2}x ({} slower than old)\n",
+        old.len(),
+        geomean,
+        regressions
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(rows: &[(&str, u64, u64)]) -> Vec<Row> {
+        rows.iter().map(|&(p, b, t)| Row { preset: p.into(), bicliques: b, time_us: t }).collect()
+    }
+
+    #[test]
+    fn parses_rendered_snapshot() {
+        let text = "{\n  \"schema\": 1,\n  \"source\": \"x\",\n  \"rows\": [\n    \
+                    {\"preset\": \"BX\", \"bicliques\": 5236, \"time_us\": 96000},\n    \
+                    {\"preset\": \"ML\", \"bicliques\": 120, \"time_us\": 234}\n  ]\n}\n";
+        let rows = parse_snapshot(text).unwrap();
+        assert_eq!(rows, snap(&[("BX", 5236, 96_000), ("ML", 120, 234)]));
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_bad_rows() {
+        assert!(parse_snapshot("{\"schema\": 2}").is_err());
+        let text = "{\"schema\": 1}\n{\"preset\": \"A\", \"bicliques\": x}\n";
+        assert!(parse_snapshot(text).is_err());
+    }
+
+    #[test]
+    fn identical_counts_produce_speedup_table() {
+        let old = snap(&[("A", 10, 2000), ("B", 5, 300)]);
+        let new = snap(&[("A", 10, 1000), ("B", 5, 600)]);
+        let report = diff(&old, &new).unwrap();
+        assert!(report.contains("2.00x"), "{report}");
+        assert!(report.contains("0.50x"), "{report}");
+        assert!(report.contains("geomean speedup 1.00x"), "{report}");
+        assert!(report.contains("(1 slower than old)"), "{report}");
+    }
+
+    #[test]
+    fn count_changes_and_preset_drift_fail() {
+        let old = snap(&[("A", 10, 100), ("B", 5, 100)]);
+        let changed = snap(&[("A", 11, 100), ("B", 5, 100)]);
+        let errs = diff(&old, &changed).unwrap_err();
+        assert!(errs[0].contains("count changed 10 -> 11"), "{errs:?}");
+
+        let missing = snap(&[("A", 10, 100)]);
+        let errs = diff(&old, &missing).unwrap_err();
+        assert!(errs[0].contains("missing from new"), "{errs:?}");
+        let errs = diff(&missing, &old).unwrap_err();
+        assert!(errs[0].contains("missing from old"), "{errs:?}");
+    }
+
+    #[test]
+    fn zero_time_rows_stay_finite() {
+        let old = snap(&[("A", 1, 0)]);
+        let new = snap(&[("A", 1, 0)]);
+        let report = diff(&old, &new).unwrap();
+        assert!(report.contains("1.00x"), "{report}");
+    }
+}

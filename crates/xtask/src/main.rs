@@ -1,5 +1,5 @@
 //! Workspace tooling: `cargo run -p xtask -- <check | analyze |
-//! trace-check FILE | bench-snapshot [OUT]>`.
+//! trace-check FILE | bench-snapshot [OUT] | bench-diff OLD NEW>`.
 //!
 //! * `check` — the line-based convention pass described below;
 //! * `analyze` — the token-level cross-file static analysis
@@ -10,7 +10,10 @@
 //! * `trace-check FILE` — validates a `--trace` JSONL run trace
 //!   ([`trace_check`]);
 //! * `bench-snapshot [OUT]` — runs the calibration bench and records a
-//!   committed JSON snapshot ([`snapshot`]).
+//!   committed JSON snapshot ([`snapshot`]);
+//! * `bench-diff OLD NEW` — compares two snapshots: fails on any
+//!   biclique-count difference, reports per-preset speedups
+//!   ([`benchdiff`]).
 //!
 //! `check` is a zero-dependency static-analysis pass over every `.rs`
 //! file in the workspace, enforcing the repo conventions that `clippy`
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 mod analyze;
+mod benchdiff;
 mod index;
 mod lexer;
 mod snapshot;
@@ -144,6 +148,10 @@ fn main() {
             None => usage(Some("trace-check requires a trace file path")),
         },
         Some("bench-snapshot") => snapshot::run(&workspace_root(), args.next().as_deref()),
+        Some("bench-diff") => match (args.next(), args.next()) {
+            (Some(old), Some(new)) => benchdiff::run(&workspace_root(), &old, &new),
+            _ => usage(Some("bench-diff requires OLD and NEW snapshot paths")),
+        },
         other => usage(other),
     }
 }
@@ -152,7 +160,8 @@ fn main() {
 fn usage(cmd: Option<&str>) -> ! {
     eprintln!(
         "usage: cargo run -p xtask -- \
-         <check | analyze [--update-baseline] [--json OUT] | trace-check FILE | bench-snapshot [OUT]>"
+         <check | analyze [--update-baseline] [--json OUT] | trace-check FILE | \
+         bench-snapshot [OUT] | bench-diff OLD NEW>"
     );
     if let Some(cmd) = cmd {
         eprintln!("unknown or incomplete command: {cmd}");

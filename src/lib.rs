@@ -41,10 +41,6 @@ pub use setops;
 pub mod prelude {
     pub use bigraph::order::VertexOrder;
     pub use bigraph::BipartiteGraph;
-    #[allow(deprecated)]
-    pub use mbe::parallel::{par_collect_bicliques, par_count_bicliques};
-    #[allow(deprecated)]
-    pub use mbe::{collect_bicliques, count_bicliques, enumerate};
     pub use mbe::{
         Algorithm, Biclique, BicliqueSink, Enumeration, MbeError, MbeOptions, MbetConfig, Report,
         RunControl, Stats, StopReason,
