@@ -61,6 +61,11 @@ pub enum Command {
         default_timeout: Option<f64>,
         trace_dir: Option<String>,
         preload: Vec<(String, String)>,
+        /// Worker addresses for coordinator mode (empty = plain server).
+        coordinator: Vec<String>,
+        /// Refuse (typed `no-workers`) instead of falling back to local
+        /// enumeration when every worker is lost.
+        no_fallback: bool,
     },
     /// `client <addr> <action>`
     Client { addr: String, action: ClientAction },
@@ -325,6 +330,8 @@ fn parse_serve(args: &[String]) -> Command {
     let mut default_timeout = None;
     let mut trace_dir = None;
     let mut preload = Vec::new();
+    let mut coordinator = Vec::new();
+    let mut no_fallback = false;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -354,8 +361,27 @@ fn parse_serve(args: &[String]) -> Command {
                 }
                 _ => return err("--load needs NAME=FILE"),
             },
+            "--coordinator" => match it.next() {
+                Some(list) if !list.is_empty() => {
+                    let addrs: Vec<String> = list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|a| !a.is_empty())
+                        .map(String::from)
+                        .collect();
+                    if addrs.is_empty() {
+                        return err("--coordinator needs ADDR[,ADDR...]");
+                    }
+                    coordinator.extend(addrs);
+                }
+                _ => return err("--coordinator needs ADDR[,ADDR...]"),
+            },
+            "--no-fallback" => no_fallback = true,
             other => return err(&format!("unknown serve flag `{other}`")),
         }
+    }
+    if no_fallback && coordinator.is_empty() {
+        return err("--no-fallback only makes sense with --coordinator");
     }
     Command::Serve {
         addr: addr.clone(),
@@ -365,6 +391,8 @@ fn parse_serve(args: &[String]) -> Command {
         default_timeout,
         trace_dir,
         preload,
+        coordinator,
+        no_fallback,
     }
 }
 
@@ -554,6 +582,13 @@ USAGE:
         --default-timeout SECS deadline for queries without their own
         --trace-dir DIR        write a JSONL trace per query to DIR
         --load NAME=FILE       register a graph at startup (repeatable)
+        --coordinator ADDRS    run as a coordinator: fan shardable
+                               queries out to the comma-separated worker
+                               addresses, with retry, quarantine, and
+                               checkpoint re-steal (repeatable)
+        --no-fallback          with --coordinator: answer `no-workers`
+                               instead of enumerating locally when every
+                               worker is lost
       Interactive servers shut down gracefully on `q` + Enter: running
       queries are cancelled and answer with their checkpoints.
 
@@ -762,6 +797,8 @@ mod tests {
                 default_timeout,
                 trace_dir,
                 preload,
+                coordinator,
+                no_fallback,
             } => {
                 assert_eq!(addr, "127.0.0.1:7771");
                 assert_eq!(workers, 2);
@@ -770,6 +807,8 @@ mod tests {
                 assert_eq!(default_timeout, None);
                 assert_eq!(trace_dir, None);
                 assert!(preload.is_empty());
+                assert!(coordinator.is_empty());
+                assert!(!no_fallback);
             }
             other => panic!("{other:?}"),
         }
@@ -802,6 +841,24 @@ mod tests {
             "serve :0 --load =x",
             "serve :0 --wat",
         ] {
+            assert!(matches!(p(bad), Command::Help { error: Some(_) }), "`{bad}`");
+        }
+    }
+
+    #[test]
+    fn parses_coordinator_flags() {
+        // Comma-separated and repeated forms compose.
+        match p("serve :0 --coordinator 10.0.0.1:7771,10.0.0.2:7771 \
+                 --coordinator 10.0.0.3:7771 --no-fallback")
+        {
+            Command::Serve { coordinator, no_fallback, .. } => {
+                assert_eq!(coordinator, ["10.0.0.1:7771", "10.0.0.2:7771", "10.0.0.3:7771"]);
+                assert!(no_fallback);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in ["serve :0 --coordinator", "serve :0 --coordinator ,", "serve :0 --no-fallback"]
+        {
             assert!(matches!(p(bad), Command::Help { error: Some(_) }), "`{bad}`");
         }
     }

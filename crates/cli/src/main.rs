@@ -169,9 +169,27 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        Command::Serve { addr, workers, queue, cache_mb, default_timeout, trace_dir, preload } => {
-            run_serve(&addr, workers, queue, cache_mb, default_timeout, trace_dir, &preload)
-        }
+        Command::Serve {
+            addr,
+            workers,
+            queue,
+            cache_mb,
+            default_timeout,
+            trace_dir,
+            preload,
+            coordinator,
+            no_fallback,
+        } => run_serve(
+            &addr,
+            workers,
+            queue,
+            cache_mb,
+            default_timeout,
+            trace_dir,
+            &preload,
+            &coordinator,
+            no_fallback,
+        ),
         Command::Client { addr, action } => run_client(&addr, action),
         Command::Generate { model, seed, scale, output } => {
             let g = build_model(&model, seed, scale);
@@ -195,6 +213,7 @@ fn main() -> ExitCode {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_serve(
     addr: &str,
     workers: usize,
@@ -203,13 +222,21 @@ fn run_serve(
     default_timeout: Option<f64>,
     trace_dir: Option<String>,
     preload: &[(String, String)],
+    coordinator: &[String],
+    no_fallback: bool,
 ) -> ExitCode {
+    let coordinator_cfg = (!coordinator.is_empty()).then(|| {
+        let mut c = serve::CoordinatorConfig::new(coordinator.to_vec());
+        c.local_fallback = !no_fallback;
+        c
+    });
     let cfg = serve::ServerConfig {
         workers,
         queue_capacity: queue,
         cache_bytes: cache_mb << 20,
         default_timeout: default_timeout.map(std::time::Duration::from_secs_f64),
         trace_dir: trace_dir.map(std::path::PathBuf::from),
+        coordinator: coordinator_cfg,
         ..serve::ServerConfig::default()
     };
     let server = match serve::Server::bind(addr, cfg) {
@@ -243,6 +270,14 @@ fn run_serve(
         "mbe-serve listening on {} ({workers} workers, queue {queue}, cache {cache_mb} MiB)",
         server.local_addr()
     );
+    if !coordinator.is_empty() {
+        println!(
+            "coordinator mode: fanning shardable queries out to {} worker(s): {}{}",
+            coordinator.len(),
+            coordinator.join(", "),
+            if no_fallback { " (no local fallback)" } else { "" }
+        );
+    }
     println!("type `q` + Enter (or send SHUTDOWN) to stop");
 
     // Bridge the interactive quit watcher onto the server: a RunControl
@@ -277,6 +312,16 @@ fn run_serve(
                 summary.cache.hits,
                 summary.cache.misses
             );
+            if summary.queue_wait.executed > 0 {
+                println!(
+                    "queue wait: {} jobs, max {:?}, mean {:?}",
+                    summary.queue_wait.executed,
+                    std::time::Duration::from_micros(summary.queue_wait.max_us),
+                    std::time::Duration::from_micros(
+                        summary.queue_wait.total_us / summary.queue_wait.executed
+                    )
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -320,6 +365,14 @@ fn run_client(addr: &str, action: ClientAction) -> ExitCode {
             println!("queries       : {}", s.queries);
             println!("busy rejected : {}", s.busy_rejected);
             println!("tasks started : {}", s.tasks_started);
+            println!("jobs executed : {}", s.jobs_executed);
+            // Busy-vs-dead telemetry: a live-but-backlogged server shows
+            // rising queue waits; a dead one answers nothing at all.
+            println!(
+                "queue wait    : max {:?}, mean {:?}",
+                std::time::Duration::from_micros(s.queue_wait_max_us),
+                std::time::Duration::from_micros(s.queue_wait_total_us / s.jobs_executed.max(1))
+            );
             println!("cache hits    : {}", s.cache.hits);
             println!("cache misses  : {}", s.cache.misses);
             println!("cache inserts : {}", s.cache.insertions);
@@ -384,6 +437,16 @@ fn run_client_query(mut client: serve::Client, request: serve::QueryRequest) -> 
         reply.emitted,
         std::time::Duration::from_micros(reply.elapsed_us)
     );
+    if let Some(d) = reply.dist {
+        println!(
+            "distributed across {} workers in {} shards ({} retries, {} re-steals, \
+             {} speculated)",
+            d.workers, d.shards, d.retries, d.resteals, d.speculated
+        );
+        if d.degraded {
+            println!("degraded: local fallback enumerated the remainder after worker loss");
+        }
+    }
     for b in &reply.bicliques {
         println!("  L={:?} R={:?}", b.left, b.right);
     }

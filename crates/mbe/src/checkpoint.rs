@@ -53,7 +53,8 @@ use bigraph::order::VertexOrder;
 use bigraph::BipartiteGraph;
 
 use crate::run::StopReason;
-use crate::{Algorithm, MbetConfig};
+use crate::task::{capture_remaining_roots, est_tree_size, root_representatives, TaskBuilder};
+use crate::{Algorithm, MbeOptions, MbetConfig};
 
 /// Format magic (`b"MBCK"`).
 const MAGIC: [u8; 4] = *b"MBCK";
@@ -300,6 +301,122 @@ impl Checkpoint {
             return Err(CheckpointError::GraphMismatch { expected: self.fingerprint, found });
         }
         Ok(())
+    }
+
+    /// Partitions the frontier into at most `k` independent shards.
+    ///
+    /// Each shard is a self-contained checkpoint over a disjoint subset
+    /// of this frontier, sharing the header (fingerprint, pinned
+    /// options, stop reason) but starting its own emission count at
+    /// zero. Because frontier tasks are disjoint subtrees of the
+    /// enumeration tree, resuming every shard independently and
+    /// unioning the outputs reproduces exactly what resuming `self`
+    /// would emit, duplicate-free — the invariant the coordinator's
+    /// scatter/gather relies on and `tests/shard.rs` property-tests.
+    ///
+    /// Cuts are balanced by the same saturating `height × candidates`
+    /// tree-size estimate the parallel driver splits on (LPT greedy:
+    /// heaviest task into the lightest shard). Empty shards are not
+    /// returned, so fewer than `k` checkpoints come back when the
+    /// frontier has fewer tasks. `k == 0` is malformed, and `g` must
+    /// fingerprint-match (task weights are read off the ordered graph).
+    pub fn split(&self, g: &BipartiteGraph, k: usize) -> Result<Vec<Checkpoint>, CheckpointError> {
+        if k == 0 {
+            return Err(CheckpointError::Malformed("split into zero shards"));
+        }
+        self.matches(g)?;
+        // Weights live in the ordered id space, like the frontier itself.
+        let (h, _perm) = bigraph::order::apply(g, self.order);
+        let mut builder = TaskBuilder::new(&h);
+        let weights: Vec<usize> = self
+            .frontier
+            .iter()
+            .map(|task| {
+                match task {
+                    // An isolated root would be skipped on resume; weight 1
+                    // keeps the assignment total and the estimate monotone.
+                    ResumeTask::Root(v) => builder.build(*v).map_or(1, |t| t.est_size().max(1)),
+                    ResumeTask::Node { l, p, .. } => {
+                        est_tree_size(l.len().min(p.len()), p.len()).max(1)
+                    }
+                }
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..self.frontier.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse((weights[i], std::cmp::Reverse(i))));
+        let mut loads = vec![0usize; k];
+        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for i in order {
+            let lightest = (0..k).min_by_key(|&b| loads[b]).unwrap_or(0);
+            loads[lightest] = loads[lightest].saturating_add(weights[i]);
+            bins[lightest].push(i);
+        }
+        Ok(bins
+            .into_iter()
+            .filter(|idxs| !idxs.is_empty())
+            .map(|mut idxs| {
+                // Deterministic shard contents: frontier order within a
+                // shard follows the original checkpoint, not LPT order.
+                idxs.sort_unstable();
+                let tasks = idxs.into_iter().map(|i| self.frontier[i].clone()).collect();
+                Checkpoint { emitted: 0, frontier: tasks, ..self.clone() }
+            })
+            .collect())
+    }
+
+    /// Recombines shards produced by [`Checkpoint::split`] (or any
+    /// checkpoints of the same run) into one checkpoint: the union of
+    /// the frontiers, the sum of the emission counts.
+    ///
+    /// All parts must agree on the header — fingerprint, algorithm,
+    /// order, and MBET toggles — otherwise the frontiers live in
+    /// different id spaces and concatenating them would be garbage;
+    /// that and an empty `parts` are rejected as malformed. The merged
+    /// stop reason is the first part's.
+    pub fn merge(parts: &[Checkpoint]) -> Result<Checkpoint, CheckpointError> {
+        let Some(first) = parts.first() else {
+            return Err(CheckpointError::Malformed("merge of zero shards"));
+        };
+        let mut merged = first.clone();
+        for part in &parts[1..] {
+            if part.fingerprint != first.fingerprint
+                || part.algorithm != first.algorithm
+                || part.order != first.order
+                || part.mbet != first.mbet
+            {
+                return Err(CheckpointError::Malformed("shard header mismatch"));
+            }
+            merged.emitted += part.emitted;
+            merged.frontier.extend(part.frontier.iter().cloned());
+        }
+        Ok(merged)
+    }
+}
+
+/// The checkpoint a run of `opts` over `g` would produce if stopped
+/// before doing any work: the complete root frontier, zero emissions.
+///
+/// This is the seed of the coordinator's scatter phase — [`Checkpoint::split`]
+/// cuts it into shards and each shard resumes on a worker. The frontier
+/// honors root-level batching exactly as the drivers do (only MBET with
+/// batching enabled skips non-representative roots), so the shard union
+/// equals the direct run without duplicates.
+pub fn initial_checkpoint(g: &BipartiteGraph, opts: &MbeOptions) -> Checkpoint {
+    let (h, _perm) = bigraph::order::apply(g, opts.order);
+    let batch_roots = opts.algorithm == Algorithm::Mbet && opts.mbet.batching;
+    let reps = if batch_roots { Some(root_representatives(&h)) } else { None };
+    let mut frontier = Vec::new();
+    capture_remaining_roots(&h, reps.as_deref(), 0, &mut frontier);
+    Checkpoint {
+        fingerprint: graph_fingerprint(g),
+        algorithm: opts.algorithm,
+        order: opts.order,
+        mbet: opts.mbet,
+        emitted: 0,
+        // Non-`Completed` so the checkpoint round-trips through the wire
+        // codec (a completed run has nothing to resume).
+        stop: StopReason::Cancelled,
+        frontier,
     }
 }
 
@@ -590,6 +707,88 @@ mod tests {
     fn load_missing_file_is_io_error() {
         let err = Checkpoint::load("/nonexistent/definitely/missing.ckpt").unwrap_err();
         assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn initial_checkpoint_seeds_the_batched_root_frontier() {
+        // v0 and v1 share a neighborhood; v3 is isolated.
+        let g =
+            BipartiteGraph::from_edges(2, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (0, 2)]).unwrap();
+        let opts = crate::MbeOptions::new(Algorithm::Mbet);
+        let ckpt = initial_checkpoint(&g, &opts);
+        assert_eq!(ckpt.fingerprint, graph_fingerprint(&g));
+        assert_eq!(ckpt.emitted, 0);
+        assert!(!ckpt.stop.is_complete());
+        // Batching drops the duplicate root, isolation drops v3: 2 roots
+        // remain (in ordered ids, so only the count is asserted).
+        assert_eq!(ckpt.frontier.len(), 2);
+        // Baselines batch nothing: every non-isolated root is seeded.
+        let mbea = initial_checkpoint(&g, &crate::MbeOptions::new(Algorithm::Mbea));
+        assert_eq!(mbea.frontier.len(), 3);
+        // And the whole thing survives the wire format.
+        assert_eq!(Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn split_partitions_disjointly_and_merge_reassembles() {
+        let g = BipartiteGraph::from_edges(
+            4,
+            4,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2), (3, 3)],
+        )
+        .unwrap();
+        let opts = crate::MbeOptions::new(Algorithm::Mbet);
+        let whole = initial_checkpoint(&g, &opts);
+        for k in 1..=6 {
+            let shards = whole.split(&g, k).unwrap();
+            assert!(shards.len() <= k);
+            assert!(shards.iter().all(|s| !s.frontier.is_empty()));
+            assert!(shards.iter().all(|s| s.emitted == 0));
+            let mut union: Vec<ResumeTask> =
+                shards.iter().flat_map(|s| s.frontier.iter().cloned()).collect();
+            assert_eq!(union.len(), whole.frontier.len(), "k={k}: disjoint and total");
+            union.sort_by_key(|t| match t {
+                ResumeTask::Root(v) => *v,
+                ResumeTask::Node { v, .. } => *v,
+            });
+            let mut expected = whole.frontier.clone();
+            expected.sort_by_key(|t| match t {
+                ResumeTask::Root(v) => *v,
+                ResumeTask::Node { v, .. } => *v,
+            });
+            assert_eq!(union, expected, "k={k}");
+            let merged = Checkpoint::merge(&shards).unwrap();
+            assert_eq!(merged.frontier.len(), whole.frontier.len());
+            assert_eq!(merged.fingerprint, whole.fingerprint);
+        }
+    }
+
+    #[test]
+    fn split_rejects_zero_shards_and_foreign_graphs() {
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let other = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 0)]).unwrap();
+        let ckpt = initial_checkpoint(&g, &crate::MbeOptions::default());
+        assert!(matches!(ckpt.split(&g, 0), Err(CheckpointError::Malformed(_))));
+        assert!(matches!(ckpt.split(&other, 2), Err(CheckpointError::GraphMismatch { .. })));
+    }
+
+    #[test]
+    fn merge_rejects_empty_and_mismatched_headers() {
+        assert!(matches!(Checkpoint::merge(&[]), Err(CheckpointError::Malformed(_))));
+        let a = sample();
+        let mut b = sample();
+        b.fingerprint ^= 1;
+        assert!(matches!(
+            Checkpoint::merge(&[a.clone(), b]),
+            Err(CheckpointError::Malformed("shard header mismatch"))
+        ));
+        let mut c = sample();
+        c.order = VertexOrder::Natural;
+        assert!(Checkpoint::merge(&[a.clone(), c]).is_err());
+        // Matching headers sum emissions and concatenate frontiers.
+        let merged = Checkpoint::merge(&[a.clone(), a.clone()]).unwrap();
+        assert_eq!(merged.emitted, 2 * a.emitted);
+        assert_eq!(merged.frontier.len(), 2 * a.frontier.len());
     }
 
     #[test]

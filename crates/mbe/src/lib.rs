@@ -94,7 +94,7 @@ pub mod sink;
 pub mod task;
 pub mod verify;
 
-pub use checkpoint::{Checkpoint, CheckpointError, ResumeTask};
+pub use checkpoint::{initial_checkpoint, Checkpoint, CheckpointError, ResumeTask};
 pub use extremal::{maximum_edge_biclique, top_k_by_edges, top_k_with_control};
 pub use filtered::SizeThresholds;
 pub use histogram::Histogram;

@@ -86,6 +86,16 @@ impl QueryParams {
         self.min_left > 1 || self.min_right > 1
     }
 
+    /// `true` iff this query can be split across workers by frontier
+    /// sharding. Thresholded runs are not checkpointable, `top_k` is a
+    /// global extremal search, and an emission budget is a whole-run
+    /// property a per-shard budget cannot express — all three run
+    /// undistributed (locally at a coordinator, without the degraded
+    /// flag: that is policy, not failure).
+    pub fn shardable(&self) -> bool {
+        !self.thresholded() && self.top_k.is_none() && self.max_bicliques.is_none()
+    }
+
     /// The canonical cache-key string: a stable, human-readable encoding
     /// of exactly the result-affecting parameters. Two queries with equal
     /// keys on the same graph fingerprint have identical complete
@@ -144,6 +154,32 @@ pub fn run_query<'g>(
     if params.thresholded() {
         run = run.thresholds(SizeThresholds::new(params.min_left, params.min_right));
     }
+    if let Some(obs) = observer {
+        run = run.observer(obs);
+    }
+    if params.count_only {
+        run.count()
+    } else {
+        run.collect()
+    }
+}
+
+/// Resumes one frontier shard of the query described by `params`.
+///
+/// The coordinator's worker-side bridge: `ckpt` (usually a part of a
+/// [`crate::checkpoint::initial_checkpoint`] split) pins the
+/// result-affecting options, so only the execution hints of `params`
+/// (`threads`, `count_only`) apply. The report covers exactly the
+/// shard's subtrees; a non-completed stop carries the shard's own
+/// remaining-frontier checkpoint, which is what re-steal re-queues.
+pub fn run_shard<'g>(
+    g: &'g BipartiteGraph,
+    params: &QueryParams,
+    ckpt: crate::Checkpoint,
+    control: RunControl,
+    observer: Option<&'g dyn Observer>,
+) -> Result<Report, MbeError> {
+    let mut run = Enumeration::new(g).threads(params.threads).control(control).resume(ckpt);
     if let Some(obs) = observer {
         run = run.observer(obs);
     }

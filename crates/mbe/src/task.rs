@@ -470,7 +470,7 @@ pub(crate) fn record_task(
 
 /// Pushes every root task at `from..` that would still run (representative
 /// under root batching, non-isolated) as a [`ResumeTask::Root`].
-fn capture_remaining_roots(
+pub(crate) fn capture_remaining_roots(
     g: &BipartiteGraph,
     reps: Option<&[bool]>,
     from: u32,

@@ -15,9 +15,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Unit of queued work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// How long jobs sat in the queue before a worker picked them up.
+///
+/// The coordinator's health probes use this to tell a *busy* worker
+/// (alive, queue wait rising) from a *dead* one (no STATS reply at all):
+/// back-pressure is a scheduling signal, not a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueWait {
+    /// Sum of queue-wait times across executed jobs, in microseconds.
+    pub total_us: u64,
+    /// Largest single queue wait observed, in microseconds.
+    pub max_us: u64,
+    /// Jobs a worker has picked up (denominator for the mean).
+    pub executed: u64,
+}
 
 /// Why [`Admission::submit`] refused a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,11 +51,20 @@ pub enum SubmitError {
 
 /// Bounded worker pool with typed back-pressure.
 pub struct Admission {
-    sender: Mutex<Option<SyncSender<Job>>>,
+    sender: Mutex<Option<SyncSender<(Instant, Job)>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     queued: Arc<AtomicU64>,
+    wait: Arc<WaitCounters>,
     capacity: u32,
     worker_count: usize,
+}
+
+/// Shared queue-wait accumulators, updated by workers at dequeue time.
+#[derive(Debug, Default)]
+struct WaitCounters {
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+    executed: AtomicU64,
 }
 
 impl std::fmt::Debug for Admission {
@@ -58,16 +83,18 @@ impl Admission {
     pub fn new(workers: usize, queue_capacity: usize) -> Self {
         let workers = workers.max(1);
         let queue_capacity = queue_capacity.max(1);
-        let (tx, rx) = sync_channel::<Job>(queue_capacity);
+        let (tx, rx) = sync_channel::<(Instant, Job)>(queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
         let queued = Arc::new(AtomicU64::new(0));
+        let wait = Arc::new(WaitCounters::default());
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let rx = Arc::clone(&rx);
             let queued = Arc::clone(&queued);
+            let wait = Arc::clone(&wait);
             let handle = std::thread::Builder::new()
                 .name(format!("mbe-serve-worker-{i}"))
-                .spawn(move || worker_loop(&rx, &queued))
+                .spawn(move || worker_loop(&rx, &queued, &wait))
                 .unwrap_or_else(|e| panic!("failed to spawn admission worker: {e}"));
             handles.push(handle);
         }
@@ -75,6 +102,7 @@ impl Admission {
             sender: Mutex::new(Some(tx)),
             workers: Mutex::new(handles),
             queued,
+            wait,
             capacity: queue_capacity as u32,
             worker_count: workers,
         }
@@ -90,7 +118,7 @@ impl Admission {
         // Count before sending so a racing worker's decrement can't
         // observe the counter at zero while its job is still queued.
         self.queued.fetch_add(1, Ordering::Relaxed);
-        match tx.try_send(job) {
+        match tx.try_send((Instant::now(), job)) {
             Ok(()) => Ok(()),
             Err(e) => {
                 let queued = self.queued.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
@@ -120,6 +148,15 @@ impl Admission {
         self.worker_count
     }
 
+    /// Queue-wait counters so far (approximate under concurrency).
+    pub fn queue_wait(&self) -> QueueWait {
+        QueueWait {
+            total_us: self.wait.total_us.load(Ordering::Relaxed),
+            max_us: self.wait.max_us.load(Ordering::Relaxed),
+            executed: self.wait.executed.load(Ordering::Relaxed),
+        }
+    }
+
     /// Closes the queue and joins the workers. Already-queued jobs are
     /// drained, not dropped. Idempotent.
     pub fn shutdown(&self) {
@@ -142,15 +179,19 @@ impl Drop for Admission {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>, queued: &AtomicU64) {
+fn worker_loop(rx: &Mutex<Receiver<(Instant, Job)>>, queued: &AtomicU64, wait: &WaitCounters) {
     loop {
         let job = {
             let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
             guard.recv()
         };
         match job {
-            Ok(job) => {
+            Ok((submitted, job)) => {
                 queued.fetch_sub(1, Ordering::Relaxed);
+                let waited = u64::try_from(submitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+                wait.total_us.fetch_add(waited, Ordering::Relaxed);
+                wait.max_us.fetch_max(waited, Ordering::Relaxed);
+                wait.executed.fetch_add(1, Ordering::Relaxed);
                 job();
             }
             Err(_) => return, // sender dropped: pool shut down
@@ -219,6 +260,28 @@ mod tests {
         }
         drop(gate_tx);
         pool.shutdown();
+    }
+
+    #[test]
+    fn queue_wait_counts_executed_jobs_and_grows_under_backlog() {
+        let pool = Admission::new(1, 4);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(Box::new(move || {
+            let _ = started_tx.send(());
+            let _ = gate_rx.recv();
+        }))
+        .unwrap();
+        started_rx.recv_timeout(Duration::from_secs(10)).expect("worker picked up job");
+        // This job sits behind the gated one, accumulating queue wait.
+        pool.submit(Box::new(|| {})).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        drop(gate_tx);
+        pool.shutdown();
+        let wait = pool.queue_wait();
+        assert_eq!(wait.executed, 2, "both jobs ran");
+        assert!(wait.max_us >= 10_000, "gated job waited: max_us={}", wait.max_us);
+        assert!(wait.total_us >= wait.max_us);
     }
 
     #[test]

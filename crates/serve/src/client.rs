@@ -12,7 +12,9 @@ use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
-use crate::protocol::{GraphInfo, QueryReply, QueryRequest, Reply, Request, Response, ServerStats};
+use crate::protocol::{
+    GraphInfo, QueryReply, QueryRequest, Reply, Request, Response, ServerStats, ShardRequest,
+};
 use crate::wire::{read_frame, write_frame, ReadOutcome, WireError};
 use crate::ServeError;
 
@@ -119,6 +121,21 @@ impl Client {
         match reply {
             Reply::Query(q) => Ok(q),
             _ => Err(ServeError::UnexpectedReply("QUERY answered with a non-Query reply")),
+        }
+    }
+
+    /// Runs one frontier shard to completion on the remote worker —
+    /// the coordinator's fan-out verb. Like [`Client::query`], a stray
+    /// `CANCEL` acknowledgement is skipped.
+    pub fn query_shard(&mut self, request: ShardRequest) -> Result<QueryReply, ServeError> {
+        let response = self.call(&Request::QueryShard(request))?;
+        let mut reply = Self::expect_ok(response)?;
+        while matches!(reply, Reply::Cancelled) {
+            reply = Self::expect_ok(self.read_response()?)?;
+        }
+        match reply {
+            Reply::Shard(q) => Ok(q),
+            _ => Err(ServeError::UnexpectedReply("QUERY_SHARD answered with a non-Shard reply")),
         }
     }
 

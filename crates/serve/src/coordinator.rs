@@ -1,0 +1,547 @@
+//! Coordinator mode: fault-tolerant sharded enumeration across workers.
+//!
+//! A coordinator is an ordinary `mbe-serve` instance that answers the
+//! unchanged client protocol, but executes shardable queries by
+//! scatter/gather: the query's root frontier (an
+//! [`mbe::checkpoint::initial_checkpoint`]) is [`split`](Checkpoint::split)
+//! into size-balanced shards, fanned out to stock workers as
+//! `QUERY_SHARD` requests, and the duplicate-free shard replies are
+//! merged into one answer carrying a [`DistSummary`].
+//!
+//! The robustness ladder, in escalation order:
+//!
+//! 1. **Retry with jittered exponential backoff** — a failed attempt
+//!    re-queues its shard; nothing was merged, so re-running the same
+//!    checkpoint is exact.
+//! 2. **Re-steal** — a worker lost mid-shard (connection died after
+//!    dispatch) or answering with a stopped-but-checkpointed reply
+//!    (contained panic, shutdown) has its remaining frontier re-queued to
+//!    a healthy worker; banked partial output merges with the eventual
+//!    completion (the checkpoint contract keeps the union exact).
+//! 3. **Quarantine** — workers crossing a consecutive-failure threshold
+//!    are sidelined and periodically re-probed with `STATS`.
+//! 4. **Speculation** — shards running past a p99-based threshold are
+//!    duplicated onto another worker; the first completion wins.
+//! 5. **Local fallback** — with every worker quarantined (or a shard's
+//!    retry budget exhausted), the remaining frontier is merged and
+//!    enumerated locally, and the reply is flagged `degraded`.
+//!
+//! See DESIGN.md §8c for the full failure matrix.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use bigraph::BipartiteGraph;
+use mbe::checkpoint::initial_checkpoint;
+use mbe::service::{run_shard, QueryParams};
+use mbe::{Biclique, Checkpoint, MbeOptions, RunControl, StopReason};
+
+use crate::client::Client;
+use crate::health::HealthBoard;
+use crate::protocol::{errcode, DistSummary, ShardRequest};
+use crate::shard::ShardBoard;
+use crate::ServeError;
+
+/// Main-loop pacing: how often the coordinator rechecks cancellation,
+/// deadline, health, and stragglers.
+const POLL: Duration = Duration::from_millis(10);
+
+/// Sleep slice for backoff/quarantine waits, so draining stays prompt.
+const SLEEP_SLICE: Duration = Duration::from_millis(25);
+
+/// Tunables of a coordinator. [`CoordinatorConfig::new`] applies the
+/// defaults; everything is overridable field-by-field.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Worker addresses (`host:port`) to fan shards out to.
+    pub workers: Vec<String>,
+    /// Frontier shards cut per worker (more shards = finer re-steal
+    /// granularity and better balance, at more per-shard overhead).
+    pub shards_per_worker: u32,
+    /// Failed attempts a shard may accumulate before it is stranded and
+    /// handed to the fallback ladder.
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per consecutive failure of a worker.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Per-attempt reply budget: a worker silent for this long loses the
+    /// shard (it is re-stolen) even if the connection stays open.
+    pub attempt_timeout: Duration,
+    /// Straggler threshold multiplier over the p99 shard completion time.
+    pub speculate_factor: f64,
+    /// Floor of the straggler threshold — never speculate earlier.
+    pub speculate_min: Duration,
+    /// Reply budget for health probes and load broadcasts.
+    pub probe_patience: Duration,
+    /// Consecutive failures that quarantine a worker.
+    pub quarantine_after: u32,
+    /// How long a quarantined worker sits out before re-probing.
+    pub quarantine_for: Duration,
+    /// When every worker is lost (or a shard strands), enumerate the
+    /// remaining frontier locally and flag the reply `degraded` instead
+    /// of failing with `no-workers`.
+    pub local_fallback: bool,
+}
+
+impl CoordinatorConfig {
+    /// Defaults sized for a small LAN deployment.
+    pub fn new(workers: Vec<String>) -> Self {
+        CoordinatorConfig {
+            workers,
+            shards_per_worker: 4,
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            attempt_timeout: Duration::from_secs(3600),
+            speculate_factor: 3.0,
+            speculate_min: Duration::from_secs(2),
+            probe_patience: Duration::from_secs(2),
+            quarantine_after: 3,
+            quarantine_for: Duration::from_secs(5),
+            local_fallback: true,
+        }
+    }
+}
+
+/// A distributed query's merged result plus provenance.
+#[derive(Debug, Clone)]
+pub struct DistOutcome {
+    /// Why the distributed run ended.
+    pub stop: StopReason,
+    /// Merged emission count across shards.
+    pub emitted: u64,
+    /// Wall-clock of the whole scatter/gather, microseconds.
+    pub elapsed_us: u64,
+    /// Merged bicliques (duplicate-free by the first-writer rule).
+    pub bicliques: Vec<Biclique>,
+    /// Serialized merged checkpoint of the unfinished remainder, for
+    /// stopped (cancelled/deadline) distributed runs.
+    pub checkpoint: Option<Vec<u8>>,
+    /// Distribution provenance for the reply.
+    pub dist: DistSummary,
+}
+
+/// Why a distributed query failed outright (not merely degraded).
+#[derive(Debug, Clone)]
+pub enum DistError {
+    /// Every worker is lost and local fallback is disabled.
+    NoWorkers,
+    /// An unrecoverable coordinator-side failure.
+    Internal(String),
+}
+
+impl DistError {
+    /// The matching protocol error code.
+    pub fn code(&self) -> u8 {
+        match self {
+            DistError::NoWorkers => errcode::NO_WORKERS,
+            DistError::Internal(_) => errcode::INTERNAL,
+        }
+    }
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::NoWorkers => {
+                f.write_str("all workers lost or quarantined and local fallback is disabled")
+            }
+            DistError::Internal(m) => write!(f, "distributed query failed: {m}"),
+        }
+    }
+}
+
+/// Long-lived coordinator state: worker health persists across queries,
+/// so a worker quarantined by one query stays sidelined for the next.
+pub(crate) struct Coordinator {
+    cfg: CoordinatorConfig,
+    health: HealthBoard,
+    /// Graph name → server-side path, recorded at `LOAD` so a worker
+    /// answering `unknown-graph` can be brought up to date lazily.
+    hints: Mutex<HashMap<String, String>>,
+}
+
+impl Coordinator {
+    pub(crate) fn new(cfg: CoordinatorConfig) -> Self {
+        let health = HealthBoard::new(cfg.workers.len());
+        Coordinator { cfg, health, hints: Mutex::new(HashMap::new()) }
+    }
+
+    /// Records a successful `LOAD` and broadcasts it to every worker,
+    /// best-effort — a worker that misses it is caught up lazily when a
+    /// shard bounces with `unknown-graph`.
+    pub(crate) fn note_load(&self, name: &str, path: &str) {
+        self.hints
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_string(), path.to_string());
+        for addr in &self.cfg.workers {
+            if let Ok(client) = Client::connect(addr.as_str()) {
+                let _ = client.wait(self.cfg.probe_patience).load(name, path);
+            }
+        }
+    }
+
+    /// Executes one shardable query by scatter/gather. `deadline` is the
+    /// query's admission-time deadline (`control` carries the matching
+    /// cancellation flag).
+    pub(crate) fn run(
+        &self,
+        graph: &BipartiteGraph,
+        graph_name: &str,
+        params: &QueryParams,
+        control: &RunControl,
+        deadline: Option<Instant>,
+    ) -> Result<DistOutcome, DistError> {
+        let started = Instant::now();
+        let workers = self.cfg.workers.len() as u32;
+        let opts = MbeOptions::new(params.algorithm).order(params.order);
+        let whole = initial_checkpoint(graph, &opts);
+        if whole.frontier.is_empty() {
+            return Ok(DistOutcome {
+                stop: StopReason::Completed,
+                emitted: 0,
+                elapsed_us: started.elapsed().as_micros() as u64,
+                bicliques: Vec::new(),
+                checkpoint: None,
+                dist: DistSummary { workers, ..DistSummary::default() },
+            });
+        }
+        let target = self.cfg.workers.len().max(1) * self.cfg.shards_per_worker.max(1) as usize;
+        let parts = whole
+            .split(graph, target)
+            .map_err(|e| DistError::Internal(format!("frontier split failed: {e}")))?;
+        let board = ShardBoard::new(parts, self.cfg.max_attempts);
+        let shards = board.shard_count() as u32;
+
+        let mut stop = StopReason::Completed;
+        let mut degraded = false;
+        let mut tail: Option<Vec<u8>> = None;
+        let mut error: Option<DistError> = None;
+
+        std::thread::scope(|scope| {
+            for (widx, addr) in self.cfg.workers.iter().enumerate() {
+                let board = &board;
+                scope.spawn(move || {
+                    self.drive_worker(widx, addr, board, graph_name, params, deadline);
+                });
+            }
+            loop {
+                if board.finished() {
+                    break;
+                }
+                if control.is_cancelled() {
+                    stop = StopReason::Cancelled;
+                    tail = claim_tail(&board);
+                    break;
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    stop = StopReason::Deadline;
+                    tail = claim_tail(&board);
+                    break;
+                }
+                let no_workers = self.health.healthy_count() == 0;
+                if no_workers || board.has_stranded() {
+                    if !self.cfg.local_fallback {
+                        error = Some(if no_workers {
+                            DistError::NoWorkers
+                        } else {
+                            DistError::Internal("a shard exhausted its retry budget".into())
+                        });
+                        break;
+                    }
+                    degraded = true;
+                    match self.run_locally(graph, params, control, &board) {
+                        Ok(None) => {} // remainder completed; loop sees finished()
+                        Ok(Some((local_stop, local_tail))) => {
+                            stop = local_stop;
+                            tail = local_tail;
+                            break;
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                if let Some(p99) = board.p99_duration() {
+                    let threshold =
+                        self.cfg.speculate_min.max(p99.mul_f64(self.cfg.speculate_factor.max(0.0)));
+                    board.speculate_stragglers(threshold);
+                }
+                board.wait_for_change(POLL);
+            }
+            board.abort();
+        });
+
+        if let Some(e) = error {
+            return Err(e);
+        }
+        let (bicliques, emitted, counters) = board.finish();
+        Ok(DistOutcome {
+            stop,
+            emitted,
+            elapsed_us: started.elapsed().as_micros() as u64,
+            bicliques,
+            checkpoint: tail,
+            dist: DistSummary {
+                workers,
+                shards,
+                retries: counters.retries,
+                resteals: counters.resteals,
+                speculated: counters.speculated,
+                degraded,
+            },
+        })
+    }
+
+    /// Claims the remaining frontier and enumerates it on this thread
+    /// (the degradation terminal). Returns `Ok(None)` when the remainder
+    /// completed, `Ok(Some((stop, checkpoint)))` when the local run was
+    /// itself stopped (cancel/deadline), and `Err` on failure.
+    #[allow(clippy::type_complexity)]
+    fn run_locally(
+        &self,
+        graph: &BipartiteGraph,
+        params: &QueryParams,
+        control: &RunControl,
+        board: &ShardBoard,
+    ) -> Result<Option<(StopReason, Option<Vec<u8>>)>, DistError> {
+        let Some((checkpoints, partials, partial_emitted)) = board.claim_pending() else {
+            return Ok(None);
+        };
+        board.merge_local(partials, partial_emitted);
+        let merged = Checkpoint::merge(&checkpoints)
+            .map_err(|e| DistError::Internal(format!("cannot merge remaining shards: {e}")))?;
+        let report = run_shard(graph, params, merged, control.clone(), None)
+            .map_err(|e| DistError::Internal(format!("local fallback failed: {e}")))?;
+        let stopped = report.stop;
+        let ckpt = report.checkpoint.as_ref().map(Checkpoint::to_bytes);
+        board.merge_local(report.bicliques, report.stats.emitted);
+        if stopped == StopReason::Completed {
+            Ok(None)
+        } else {
+            Ok(Some((stopped, ckpt)))
+        }
+    }
+
+    /// One worker's driver loop: pop shards, execute them remotely,
+    /// classify failures, and sit out quarantine with periodic probes.
+    fn drive_worker(
+        &self,
+        widx: usize,
+        addr: &str,
+        board: &ShardBoard,
+        graph_name: &str,
+        params: &QueryParams,
+        deadline: Option<Instant>,
+    ) {
+        let mut consecutive: u32 = 0;
+        loop {
+            if !self.serve_quarantine(widx, addr, board) {
+                return;
+            }
+            let Some((idx, epoch, ckpt)) = board.next() else { return };
+            match self.attempt(addr, graph_name, params, deadline, &ckpt) {
+                AttemptOutcome::Completed(bicliques, emitted) => {
+                    consecutive = 0;
+                    self.health.record_success(widx);
+                    board.complete(idx, epoch, bicliques, emitted);
+                }
+                AttemptOutcome::Stopped(remaining, partial, partial_emitted) => {
+                    // The worker answered — it is alive — but lost the
+                    // shard (contained panic, shutdown, deadline): bank
+                    // the partial and re-steal the remainder.
+                    consecutive = 0;
+                    self.health.record_success(widx);
+                    board.resteal(idx, epoch, remaining, partial, partial_emitted);
+                }
+                AttemptOutcome::Refused { lost_mid_run } => {
+                    // Alive but unable to take the shard right now
+                    // (busy, draining, catching up on graphs).
+                    consecutive = consecutive.saturating_add(1);
+                    board.fail(idx, epoch, lost_mid_run);
+                    self.sleep_backoff(board, widx, consecutive);
+                }
+                AttemptOutcome::Failed { lost_mid_run } => {
+                    consecutive = consecutive.saturating_add(1);
+                    self.health.record_failure(
+                        widx,
+                        self.cfg.quarantine_after,
+                        self.cfg.quarantine_for,
+                    );
+                    board.fail(idx, epoch, lost_mid_run);
+                    self.sleep_backoff(board, widx, consecutive);
+                }
+            }
+        }
+    }
+
+    /// While quarantined: sleep out the sentence, then probe with a
+    /// `STATS` round trip; success re-admits, failure re-quarantines.
+    /// Returns `false` when the board drained while waiting.
+    fn serve_quarantine(&self, widx: usize, addr: &str, board: &ShardBoard) -> bool {
+        while self.health.is_quarantined(widx) {
+            if board.is_aborted() || board.finished() {
+                return false;
+            }
+            let remaining = self.health.quarantine_remaining(widx);
+            if remaining > Duration::ZERO {
+                std::thread::sleep(remaining.min(SLEEP_SLICE));
+                continue;
+            }
+            let probed =
+                Client::connect(addr).and_then(|c| c.wait(self.cfg.probe_patience).stats()).is_ok();
+            if probed {
+                self.health.record_success(widx);
+            } else {
+                self.health.record_failure(
+                    widx,
+                    self.cfg.quarantine_after,
+                    self.cfg.quarantine_for,
+                );
+            }
+        }
+        !(board.is_aborted() || board.finished())
+    }
+
+    /// One remote shard attempt, classified for the driver loop.
+    fn attempt(
+        &self,
+        addr: &str,
+        graph_name: &str,
+        params: &QueryParams,
+        deadline: Option<Instant>,
+        ckpt: &Checkpoint,
+    ) -> AttemptOutcome {
+        let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        let wait = remaining.map_or(self.cfg.attempt_timeout, |r| r.min(self.cfg.attempt_timeout));
+        let client = match Client::connect(addr) {
+            Ok(c) => c.wait(wait),
+            Err(_) => return AttemptOutcome::Failed { lost_mid_run: false },
+        };
+        let mut client = client;
+        let request = ShardRequest {
+            graph: graph_name.to_string(),
+            params: QueryParams { timeout: remaining, ..params.clone() },
+            max_return: u32::MAX,
+            checkpoint: ckpt.to_bytes(),
+        };
+        match client.query_shard(request) {
+            Ok(reply) if reply.stop == StopReason::Completed => {
+                AttemptOutcome::Completed(reply.bicliques, reply.emitted)
+            }
+            Ok(reply) => match reply.checkpoint.as_deref().map(Checkpoint::from_bytes) {
+                // A contained panic's checkpoint is best-effort — the
+                // panicked task itself is excluded (see mbe's fault
+                // tests) — so merging against it would under-count.
+                // Every other stop's checkpoint is exact by the resume
+                // contract.
+                Some(Ok(remaining_ckpt)) if reply.stop != StopReason::WorkerPanicked => {
+                    AttemptOutcome::Stopped(remaining_ckpt, reply.bicliques, reply.emitted)
+                }
+                // No usable checkpoint (or an untrustworthy one):
+                // nothing was merged, so discarding the partial and
+                // re-running the whole shard from our own record stays
+                // exact. That re-run *is* the re-steal.
+                _ => AttemptOutcome::Refused { lost_mid_run: true },
+            },
+            Err(ServeError::Busy { .. }) => AttemptOutcome::Refused { lost_mid_run: false },
+            Err(ServeError::Remote { code, .. }) => {
+                if code == errcode::UNKNOWN_GRAPH {
+                    self.push_graph(addr, graph_name);
+                }
+                AttemptOutcome::Refused { lost_mid_run: false }
+            }
+            // Connection died or timed out after dispatch: the worker is
+            // lost mid-run; the re-run from our shard record re-steals it.
+            Err(_) => AttemptOutcome::Failed { lost_mid_run: true },
+        }
+    }
+
+    /// Lazily forwards a recorded `LOAD` to a worker that answered
+    /// `unknown-graph`.
+    fn push_graph(&self, addr: &str, graph_name: &str) {
+        let hint =
+            self.hints.lock().unwrap_or_else(PoisonError::into_inner).get(graph_name).cloned();
+        if let Some(path) = hint {
+            if let Ok(client) = Client::connect(addr) {
+                let _ = client.wait(self.cfg.probe_patience).load(graph_name, &path);
+            }
+        }
+    }
+
+    /// Jittered exponential backoff, sliced so an abort stays prompt.
+    fn sleep_backoff(&self, board: &ShardBoard, widx: usize, consecutive: u32) {
+        let mut dur = self.cfg.backoff_base;
+        for _ in 1..consecutive.min(16) {
+            dur = (dur * 2).min(self.cfg.backoff_cap);
+        }
+        let seed = (widx as u64) << 32 | u64::from(consecutive);
+        let mut left = dur.min(self.cfg.backoff_cap).mul_f64(jitter(seed));
+        while left > Duration::ZERO {
+            if board.is_aborted() || board.finished() {
+                return;
+            }
+            let slice = left.min(SLEEP_SLICE);
+            std::thread::sleep(slice);
+            left = left.saturating_sub(slice);
+        }
+    }
+}
+
+/// What one remote attempt amounted to.
+enum AttemptOutcome {
+    /// The shard ran to completion: its bicliques and emission count.
+    Completed(Vec<Biclique>, u64),
+    /// Stopped early with a usable remaining-frontier checkpoint plus
+    /// the partial output delivered before the stop.
+    Stopped(Checkpoint, Vec<Biclique>, u64),
+    /// The worker declined or lost the shard without yielding output.
+    Refused { lost_mid_run: bool },
+    /// The worker could not be reached or the connection broke.
+    Failed { lost_mid_run: bool },
+}
+
+/// Claims the unfinished remainder and serializes its merged checkpoint
+/// (for stopped distributed runs); banked partials merge into the board.
+fn claim_tail(board: &ShardBoard) -> Option<Vec<u8>> {
+    let (checkpoints, partials, partial_emitted) = board.claim_pending()?;
+    board.merge_local(partials, partial_emitted);
+    Checkpoint::merge(&checkpoints).ok().map(|m| m.to_bytes())
+}
+
+/// Deterministic jitter in `[0.5, 1.5)` from a xorshift-mixed seed — no
+/// RNG dependency, and reproducible given the same failure sequence.
+fn jitter(seed: u64) -> f64 {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    0.5 + (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_bounded_and_spread() {
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..256u64 {
+            let j = jitter(seed);
+            assert!((0.5..1.5).contains(&j), "jitter {j} out of range");
+            distinct.insert((j * 1e6) as u64);
+        }
+        assert!(distinct.len() > 200, "jitter should spread, got {}", distinct.len());
+    }
+
+    #[test]
+    fn dist_error_maps_to_protocol_codes() {
+        assert_eq!(DistError::NoWorkers.code(), errcode::NO_WORKERS);
+        assert_eq!(DistError::Internal("x".into()).code(), errcode::INTERNAL);
+    }
+}

@@ -1,0 +1,130 @@
+//! Worker health tracking for the coordinator.
+//!
+//! Each worker address gets a slot. Failures recorded by the worker's own
+//! driver thread accumulate; crossing the quarantine threshold marks the
+//! worker unhealthy until a probe (a `STATS` round trip) succeeds. Health
+//! is only ever written by the worker's own thread, which gives the
+//! coordinator a cheap invariant: when [`HealthBoard::healthy_count`]
+//! reads zero, no shard attempt is in flight — every driver thread is
+//! sleeping in backoff or quarantine — so the remaining frontier can be
+//! claimed for local fallback without racing a remote completion.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One worker's failure bookkeeping.
+#[derive(Debug)]
+struct WorkerHealth {
+    /// Consecutive failures since the last success.
+    consecutive_failures: u32,
+    /// Set while the worker is quarantined; cleared by a probe success.
+    quarantined_until: Option<Instant>,
+    /// `false` from quarantine entry until a probe or attempt succeeds.
+    healthy: bool,
+}
+
+/// Per-worker health slots (index-aligned with the worker address list).
+#[derive(Debug)]
+pub(crate) struct HealthBoard {
+    slots: Vec<Mutex<WorkerHealth>>,
+}
+
+impl HealthBoard {
+    pub(crate) fn new(workers: usize) -> Self {
+        HealthBoard {
+            slots: (0..workers)
+                .map(|_| {
+                    Mutex::new(WorkerHealth {
+                        consecutive_failures: 0,
+                        quarantined_until: None,
+                        healthy: true,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn slot(&self, i: usize) -> std::sync::MutexGuard<'_, WorkerHealth> {
+        self.slots[i].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A successful attempt or probe: failures reset, quarantine lifted.
+    pub(crate) fn record_success(&self, i: usize) {
+        let mut h = self.slot(i);
+        h.consecutive_failures = 0;
+        h.quarantined_until = None;
+        h.healthy = true;
+    }
+
+    /// A failed attempt or probe. Returns `true` when this failure pushed
+    /// (or kept) the worker into quarantine for `quarantine_for`.
+    pub(crate) fn record_failure(
+        &self,
+        i: usize,
+        quarantine_after: u32,
+        quarantine_for: Duration,
+    ) -> bool {
+        let mut h = self.slot(i);
+        h.consecutive_failures = h.consecutive_failures.saturating_add(1);
+        if h.consecutive_failures >= quarantine_after.max(1) {
+            h.quarantined_until = Some(Instant::now() + quarantine_for);
+            h.healthy = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time left before the worker may probe for re-admission (zero when
+    /// not quarantined or already expired).
+    pub(crate) fn quarantine_remaining(&self, i: usize) -> Duration {
+        self.slot(i)
+            .quarantined_until
+            .map_or(Duration::ZERO, |until| until.saturating_duration_since(Instant::now()))
+    }
+
+    /// `true` while the worker is sidelined awaiting a successful probe.
+    pub(crate) fn is_quarantined(&self, i: usize) -> bool {
+        !self.slot(i).healthy
+    }
+
+    /// Workers currently considered healthy.
+    pub(crate) fn healthy_count(&self) -> usize {
+        (0..self.slots.len()).filter(|&i| self.slot(i).healthy).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failures_accumulate_into_quarantine_and_probe_readmits() {
+        let board = HealthBoard::new(2);
+        assert_eq!(board.healthy_count(), 2);
+        let q = Duration::from_secs(60);
+
+        assert!(!board.record_failure(0, 3, q));
+        assert!(!board.record_failure(0, 3, q));
+        assert!(!board.is_quarantined(0), "below threshold");
+        assert!(board.record_failure(0, 3, q));
+        assert!(board.is_quarantined(0));
+        assert_eq!(board.healthy_count(), 1);
+        assert!(board.quarantine_remaining(0) > Duration::ZERO);
+        assert_eq!(board.quarantine_remaining(1), Duration::ZERO);
+
+        board.record_success(0);
+        assert!(!board.is_quarantined(0));
+        assert_eq!(board.healthy_count(), 2);
+    }
+
+    #[test]
+    fn a_success_resets_the_consecutive_count() {
+        let board = HealthBoard::new(1);
+        let q = Duration::from_secs(1);
+        board.record_failure(0, 3, q);
+        board.record_failure(0, 3, q);
+        board.record_success(0);
+        assert!(!board.record_failure(0, 3, q), "count restarted after success");
+    }
+}

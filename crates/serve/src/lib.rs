@@ -16,12 +16,19 @@
 //!
 //! Clients speak a small versioned, length-prefixed TCP protocol
 //! ([`wire`], [`protocol`]): `LOAD`, `LIST`, `QUERY`, `CANCEL`, `STATS`,
-//! `SHUTDOWN`. In-flight queries are cancellable per connection (a
-//! pipelined `CANCEL` frame flips the query's [`mbe::RunControl`]), and
-//! `SHUTDOWN` drains running queries by cancelling them — each stopped
-//! query returns its checkpoint to its client, so no work is silently
-//! lost. Everything is `std`-only: no async runtime, no serialization
-//! framework, no network dependencies.
+//! `SHUTDOWN`, `QUERY_SHARD`. In-flight queries are cancellable per
+//! connection (a pipelined `CANCEL` frame flips the query's
+//! [`mbe::RunControl`]), and `SHUTDOWN` drains running queries by
+//! cancelling them — each stopped query returns its checkpoint to its
+//! client, so no work is silently lost. Everything is `std`-only: no
+//! async runtime, no serialization framework, no network dependencies.
+//!
+//! A server configured with [`CoordinatorConfig`] additionally runs
+//! **coordinator mode** ([`coordinator`]): shardable queries are split
+//! along their checkpoint root frontier and fanned out to stock workers
+//! as `QUERY_SHARD` requests, with retry, backoff, quarantine,
+//! checkpoint re-steal, straggler speculation, and local-fallback
+//! degradation (see DESIGN.md §8c).
 //!
 //! See DESIGN.md "§8b Service layer" for the frame layout, the
 //! registry/cache/admission semantics, and the shutdown-drain matrix.
@@ -30,14 +37,21 @@
 
 pub mod admission;
 pub mod client;
+pub mod coordinator;
+mod health;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+mod shard;
 pub mod wire;
 
-pub use admission::{Admission, SubmitError};
+pub use admission::{Admission, QueueWait, SubmitError};
 pub use client::{Canceller, Client};
-pub use protocol::{GraphInfo, QueryReply, QueryRequest, Reply, Request, Response, ServerStats};
+pub use coordinator::{CoordinatorConfig, DistError, DistOutcome};
+pub use protocol::{
+    DistSummary, GraphInfo, QueryReply, QueryRequest, Reply, Request, Response, ServerStats,
+    ShardRequest,
+};
 pub use registry::{GraphEntry, GraphRegistry};
 pub use server::{Server, ServerConfig, ServerHandle, ServerSummary};
 pub use wire::WireError;

@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Requests: `LOAD`(1), `LIST`(2), `QUERY`(3), `CANCEL`(4), `STATS`(5),
-//! `SHUTDOWN`(6). Response statuses: `OK`(0) — followed by a reply tag
+//! `SHUTDOWN`(6), `QUERY_SHARD`(7). Response statuses: `OK`(0) — followed by a reply tag
 //! mirroring the request opcode — `ERR`(1) with a code and message, and
 //! `BUSY`(2), the typed admission rejection. Unknown versions and opcodes
 //! are decode errors, never silent acceptance: the version byte exists so
@@ -41,6 +41,9 @@ pub mod opcode {
     pub const STATS: u8 = 5;
     /// Begin graceful shutdown.
     pub const SHUTDOWN: u8 = 6;
+    /// Run a shard-scoped query: an enumeration resumed from a serialized
+    /// checkpoint frontier, as issued by a coordinator to its workers.
+    pub const QUERY_SHARD: u8 = 7;
 }
 
 /// Response statuses (payload byte 1).
@@ -67,6 +70,12 @@ pub mod errcode {
     pub const LOAD_FAILED: u8 = 5;
     /// The name is registered to a different graph (fingerprint mismatch).
     pub const NAME_CONFLICT: u8 = 6;
+    /// A shard-scoped query carried a checkpoint that does not decode or
+    /// does not match the named graph.
+    pub const BAD_SHARD: u8 = 7;
+    /// A coordinator exhausted its worker pool (all dead or quarantined)
+    /// and local fallback is disabled.
+    pub const NO_WORKERS: u8 = 8;
 
     /// Human-readable label for an error code.
     pub fn label(code: u8) -> &'static str {
@@ -77,6 +86,8 @@ pub mod errcode {
             SHUTTING_DOWN => "shutting-down",
             LOAD_FAILED => "load-failed",
             NAME_CONFLICT => "name-conflict",
+            BAD_SHARD => "bad-shard",
+            NO_WORKERS => "no-workers",
             _ => "unknown",
         }
     }
@@ -107,6 +118,9 @@ pub enum Request {
     /// returning its checkpoint to its own client), then the server
     /// drains and exits.
     Shutdown,
+    /// Run a shard of a distributed query: resume enumeration from the
+    /// carried checkpoint frontier instead of the full root set.
+    QueryShard(ShardRequest),
 }
 
 /// The `QUERY` request body.
@@ -119,6 +133,24 @@ pub struct QueryRequest {
     /// Cap on bicliques returned in the response (the run itself is not
     /// truncated; `u32::MAX` means "as many as the server allows").
     pub max_return: u32,
+}
+
+/// The `QUERY_SHARD` request body: a query scoped to a checkpoint
+/// frontier. The worker validates the checkpoint against the named
+/// graph's fingerprint ([`errcode::BAD_SHARD`] on mismatch) and resumes
+/// from it, so the reply covers exactly the shard's subtrees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRequest {
+    /// Registry name of the graph to query.
+    pub graph: String,
+    /// Enumeration parameters. Thresholds/budgets must be unset — shards
+    /// are only cut from shardable queries.
+    pub params: QueryParams,
+    /// Cap on bicliques returned in the response.
+    pub max_return: u32,
+    /// Serialized [`mbe::Checkpoint`] ([`mbe::Checkpoint::to_bytes`])
+    /// carrying the frontier this shard must enumerate.
+    pub checkpoint: Vec<u8>,
 }
 
 /// A server→client message.
@@ -158,6 +190,10 @@ pub enum Reply {
     Stats(ServerStats),
     /// `SHUTDOWN` acknowledged; the server is draining.
     ShuttingDown,
+    /// `QUERY_SHARD` result — the same body as a `QUERY` reply, under its
+    /// own tag so a worker's shard answer can never be confused with a
+    /// whole-query answer.
+    Shard(QueryReply),
 }
 
 /// One registered graph, as reported by `LOAD` and `LIST`.
@@ -196,6 +232,29 @@ pub struct QueryReply {
     /// early and was checkpointable, so a cancelled or shut-down query
     /// can be resumed elsewhere.
     pub checkpoint: Option<Vec<u8>>,
+    /// How a coordinator distributed the run — present only on replies a
+    /// coordinator assembled by scatter/gather (never on worker or
+    /// single-server replies, and never on cache hits).
+    pub dist: Option<DistSummary>,
+}
+
+/// Provenance of a coordinator-assembled query reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DistSummary {
+    /// Worker addresses the coordinator fanned out to.
+    pub workers: u32,
+    /// Shards the frontier was cut into.
+    pub shards: u32,
+    /// Shard attempts retried after connect/IO failure.
+    pub retries: u32,
+    /// Shards re-stolen from a failed worker and re-run elsewhere
+    /// (from the last returned checkpoint when one came back).
+    pub resteals: u32,
+    /// Straggler shards speculatively duplicated (first writer wins).
+    pub speculated: u32,
+    /// `true` when every worker was lost and the coordinator fell back
+    /// to enumerating the remaining shards locally.
+    pub degraded: bool,
 }
 
 /// Server counters returned by `STATS`.
@@ -220,6 +279,14 @@ pub struct ServerStats {
     pub tasks_started: u64,
     /// Result-cache counters.
     pub cache: CacheCounters,
+    /// Summed queue wait of executed jobs, microseconds. Together with
+    /// `jobs_executed` this lets a health probe tell *busy* (alive, wait
+    /// rising) from *dead* (no STATS reply at all).
+    pub queue_wait_total_us: u64,
+    /// Largest single queue wait observed, microseconds.
+    pub queue_wait_max_us: u64,
+    /// Jobs admission workers have picked up.
+    pub jobs_executed: u64,
     /// `true` once graceful shutdown has begun.
     pub shutting_down: bool,
 }
@@ -433,6 +500,9 @@ fn put_stats(buf: &mut Vec<u8>, s: &ServerStats) {
     put_u64(buf, s.cache.evictions);
     put_u64(buf, s.cache.bytes_used);
     put_u64(buf, s.cache.bytes_evicted);
+    put_u64(buf, s.queue_wait_total_us);
+    put_u64(buf, s.queue_wait_max_us);
+    put_u64(buf, s.jobs_executed);
     put_u8(buf, u8::from(s.shutting_down));
 }
 
@@ -454,8 +524,76 @@ fn stats_from_reader(r: &mut Reader<'_>) -> Result<ServerStats, WireError> {
             bytes_used: r.u64("cache.bytes_used")?,
             bytes_evicted: r.u64("cache.bytes_evicted")?,
         },
+        queue_wait_total_us: r.u64("queue_wait_total_us")?,
+        queue_wait_max_us: r.u64("queue_wait_max_us")?,
+        jobs_executed: r.u64("jobs_executed")?,
         shutting_down: r.u8("shutting_down")? != 0,
     })
+}
+
+/// The `QUERY`/`QUERY_SHARD` reply body, shared by both reply tags.
+fn put_query_reply(buf: &mut Vec<u8>, q: &QueryReply) {
+    put_u8(buf, stop_to_u8(q.stop));
+    put_u8(buf, u8::from(q.cached));
+    put_u64(buf, q.emitted);
+    put_u64(buf, q.elapsed_us);
+    put_u64(buf, q.total);
+    put_u32(buf, q.bicliques.len() as u32);
+    for b in &q.bicliques {
+        put_biclique(buf, b);
+    }
+    match &q.checkpoint {
+        Some(bytes) => {
+            put_u8(buf, 1);
+            put_bytes(buf, bytes);
+        }
+        None => put_u8(buf, 0),
+    }
+    match &q.dist {
+        Some(d) => {
+            put_u8(buf, 1);
+            put_u32(buf, d.workers);
+            put_u32(buf, d.shards);
+            put_u32(buf, d.retries);
+            put_u32(buf, d.resteals);
+            put_u32(buf, d.speculated);
+            put_u8(buf, u8::from(d.degraded));
+        }
+        None => put_u8(buf, 0),
+    }
+}
+
+fn query_reply_from_reader(r: &mut Reader<'_>) -> Result<QueryReply, WireError> {
+    let stop = stop_from_u8(r.u8("stop")?)?;
+    let cached = r.u8("cached")? != 0;
+    let emitted = r.u64("emitted")?;
+    let elapsed_us = r.u64("elapsed_us")?;
+    let total = r.u64("total")?;
+    let n = r.u32("biclique count")? as usize;
+    // Capped pre-size (≥ 8 wire bytes per empty biclique) so a hostile
+    // count can't reserve gigabytes.
+    let mut bicliques = Vec::with_capacity(n.min(r.remaining() / 8));
+    for _ in 0..n {
+        bicliques.push(biclique_from_reader(r)?);
+    }
+    let checkpoint = match r.u8("checkpoint present")? {
+        0 => None,
+        1 => Some(r.bytes("checkpoint")?.to_vec()),
+        _ => return Err(WireError::Malformed("checkpoint present")),
+    };
+    let dist = match r.u8("dist present")? {
+        0 => None,
+        1 => Some(DistSummary {
+            workers: r.u32("dist.workers")?,
+            shards: r.u32("dist.shards")?,
+            retries: r.u32("dist.retries")?,
+            resteals: r.u32("dist.resteals")?,
+            speculated: r.u32("dist.speculated")?,
+            degraded: r.u8("dist.degraded")? != 0,
+        }),
+        _ => return Err(WireError::Malformed("dist present")),
+    };
+    Ok(QueryReply { stop, cached, emitted, elapsed_us, total, bicliques, checkpoint, dist })
 }
 
 impl Request {
@@ -479,6 +617,13 @@ impl Request {
             Request::Cancel => put_u8(&mut buf, opcode::CANCEL),
             Request::Stats => put_u8(&mut buf, opcode::STATS),
             Request::Shutdown => put_u8(&mut buf, opcode::SHUTDOWN),
+            Request::QueryShard(s) => {
+                put_u8(&mut buf, opcode::QUERY_SHARD);
+                put_str(&mut buf, &s.graph);
+                put_params(&mut buf, &s.params);
+                put_u32(&mut buf, s.max_return);
+                put_bytes(&mut buf, &s.checkpoint);
+            }
         }
         buf
     }
@@ -507,6 +652,13 @@ impl Request {
             opcode::CANCEL => Request::Cancel,
             opcode::STATS => Request::Stats,
             opcode::SHUTDOWN => Request::Shutdown,
+            opcode::QUERY_SHARD => {
+                let graph = r.str("shard graph")?.to_string();
+                let params = params_from_reader(&mut r)?;
+                let max_return = r.u32("max_return")?;
+                let checkpoint = r.bytes("shard checkpoint")?.to_vec();
+                Request::QueryShard(ShardRequest { graph, params, max_return, checkpoint })
+            }
             _ => return Err(WireError::Malformed("opcode")),
         };
         r.finish()?;
@@ -536,22 +688,7 @@ impl Response {
                     }
                     Reply::Query(q) => {
                         put_u8(&mut buf, opcode::QUERY);
-                        put_u8(&mut buf, stop_to_u8(q.stop));
-                        put_u8(&mut buf, u8::from(q.cached));
-                        put_u64(&mut buf, q.emitted);
-                        put_u64(&mut buf, q.elapsed_us);
-                        put_u64(&mut buf, q.total);
-                        put_u32(&mut buf, q.bicliques.len() as u32);
-                        for b in &q.bicliques {
-                            put_biclique(&mut buf, b);
-                        }
-                        match &q.checkpoint {
-                            Some(bytes) => {
-                                put_u8(&mut buf, 1);
-                                put_bytes(&mut buf, bytes);
-                            }
-                            None => put_u8(&mut buf, 0),
-                        }
+                        put_query_reply(&mut buf, q);
                     }
                     Reply::Cancelled => put_u8(&mut buf, opcode::CANCEL),
                     Reply::Stats(s) => {
@@ -559,6 +696,10 @@ impl Response {
                         put_stats(&mut buf, s);
                     }
                     Reply::ShuttingDown => put_u8(&mut buf, opcode::SHUTDOWN),
+                    Reply::Shard(q) => {
+                        put_u8(&mut buf, opcode::QUERY_SHARD);
+                        put_query_reply(&mut buf, q);
+                    }
                 }
             }
             Response::Err { code, message } => {
@@ -598,37 +739,11 @@ impl Response {
                         }
                         Reply::Graphs(list)
                     }
-                    opcode::QUERY => {
-                        let stop = stop_from_u8(r.u8("stop")?)?;
-                        let cached = r.u8("cached")? != 0;
-                        let emitted = r.u64("emitted")?;
-                        let elapsed_us = r.u64("elapsed_us")?;
-                        let total = r.u64("total")?;
-                        let n = r.u32("biclique count")? as usize;
-                        // Capped pre-size (≥ 8 wire bytes per empty
-                        // biclique), same rationale as the LIST arm.
-                        let mut bicliques = Vec::with_capacity(n.min(r.remaining() / 8));
-                        for _ in 0..n {
-                            bicliques.push(biclique_from_reader(&mut r)?);
-                        }
-                        let checkpoint = match r.u8("checkpoint present")? {
-                            0 => None,
-                            1 => Some(r.bytes("checkpoint")?.to_vec()),
-                            _ => return Err(WireError::Malformed("checkpoint present")),
-                        };
-                        Reply::Query(QueryReply {
-                            stop,
-                            cached,
-                            emitted,
-                            elapsed_us,
-                            total,
-                            bicliques,
-                            checkpoint,
-                        })
-                    }
+                    opcode::QUERY => Reply::Query(query_reply_from_reader(&mut r)?),
                     opcode::CANCEL => Reply::Cancelled,
                     opcode::STATS => Reply::Stats(stats_from_reader(&mut r)?),
                     opcode::SHUTDOWN => Reply::ShuttingDown,
+                    opcode::QUERY_SHARD => Reply::Shard(query_reply_from_reader(&mut r)?),
                     _ => return Err(WireError::Malformed("reply tag")),
                 };
                 Response::Ok(reply)
@@ -694,6 +809,12 @@ mod tests {
             params: QueryParams::default(),
             max_return: u32::MAX,
         }));
+        roundtrip_req(Request::QueryShard(ShardRequest {
+            graph: "g3".into(),
+            params: QueryParams { threads: 2, ..QueryParams::default() },
+            max_return: 50,
+            checkpoint: vec![9, 8, 7, 6, 5],
+        }));
     }
 
     #[test]
@@ -729,6 +850,9 @@ mod tests {
                 bytes_used: 4096,
                 bytes_evicted: 1024,
             },
+            queue_wait_total_us: 123_456,
+            queue_wait_max_us: 45_000,
+            jobs_executed: 77,
             shutting_down: true,
         })));
         roundtrip_resp(Response::Ok(Reply::Query(QueryReply {
@@ -742,6 +866,7 @@ mod tests {
                 Biclique::new(vec![0], vec![5, 6, 7]),
             ],
             checkpoint: Some(vec![1, 2, 3, 4]),
+            dist: None,
         })));
         roundtrip_resp(Response::Ok(Reply::Query(QueryReply {
             stop: StopReason::Completed,
@@ -751,7 +876,48 @@ mod tests {
             total: 0,
             bicliques: Vec::new(),
             checkpoint: None,
+            dist: None,
         })));
+        // A coordinator-assembled reply with full distribution provenance,
+        // under both the QUERY and the QUERY_SHARD tag.
+        let distributed = QueryReply {
+            stop: StopReason::Completed,
+            cached: false,
+            emitted: 40,
+            elapsed_us: 9_999,
+            total: 40,
+            bicliques: vec![Biclique::new(vec![1], vec![2])],
+            checkpoint: None,
+            dist: Some(DistSummary {
+                workers: 3,
+                shards: 12,
+                retries: 2,
+                resteals: 1,
+                speculated: 1,
+                degraded: true,
+            }),
+        };
+        roundtrip_resp(Response::Ok(Reply::Query(distributed.clone())));
+        roundtrip_resp(Response::Ok(Reply::Shard(distributed)));
+    }
+
+    #[test]
+    fn shard_reply_tag_is_distinct_from_query() {
+        let reply = QueryReply {
+            stop: StopReason::Completed,
+            cached: false,
+            emitted: 1,
+            elapsed_us: 1,
+            total: 1,
+            bicliques: Vec::new(),
+            checkpoint: None,
+            dist: None,
+        };
+        let shard = Response::Ok(Reply::Shard(reply.clone())).encode();
+        let query = Response::Ok(Reply::Query(reply)).encode();
+        assert_ne!(shard, query, "reply tags must distinguish shard from whole-query answers");
+        assert_eq!(shard[2], opcode::QUERY_SHARD);
+        assert_eq!(query[2], opcode::QUERY);
     }
 
     #[test]

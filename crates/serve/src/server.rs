@@ -21,22 +21,25 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, TryRecvError};
+use std::sync::mpsc::{sync_channel, Receiver, TryRecvError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bigraph::io::{read_edge_list_path_with_limits, ReadLimits};
 use bigraph::BipartiteGraph;
 use mbe::obs::TaskInfo;
 use mbe::service::{cacheable, run_query, CachedResult, QueryParams, ResultCache};
 use mbe::{
-    CacheCounters, Checkpoint, FanoutObserver, JsonlTraceObserver, MbeError, Observer, Report,
-    RunControl, StopReason,
+    CacheCounters, Checkpoint, Enumeration, FanoutObserver, JsonlTraceObserver, MbeError, Observer,
+    Report, RunControl, StopReason,
 };
 
-use crate::admission::{Admission, SubmitError};
-use crate::protocol::{errcode, QueryReply, QueryRequest, Reply, Request, Response, ServerStats};
+use crate::admission::{Admission, QueueWait, SubmitError};
+use crate::coordinator::{Coordinator, CoordinatorConfig, DistError, DistOutcome};
+use crate::protocol::{
+    errcode, QueryReply, QueryRequest, Reply, Request, Response, ServerStats, ShardRequest,
+};
 use crate::registry::{GraphEntry, GraphRegistry};
 use crate::wire::{read_frame, write_frame, ReadOutcome};
 
@@ -74,6 +77,14 @@ pub struct ServerConfig {
     /// Socket read timeout: the cadence at which connection threads
     /// notice cancellation, shutdown, and idle timeouts.
     pub poll_interval: Duration,
+    /// When set, this server runs coordinator mode: shardable queries
+    /// are split and fanned out to the configured workers (see
+    /// [`crate::coordinator`]); everything else still runs locally.
+    pub coordinator: Option<CoordinatorConfig>,
+    /// Scripted faults applied to shard executions — the deterministic
+    /// worker-crash vehicle of the coordinator fault harness.
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<mbe::faults::FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +100,9 @@ impl Default for ServerConfig {
             read_limits: ReadLimits::default(),
             trace_dir: None,
             poll_interval: Duration::from_millis(25),
+            coordinator: None,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 }
@@ -122,6 +136,9 @@ struct Shared {
     admission: Admission,
     /// Request id → the query's control, for `CANCEL` and shutdown-drain.
     inflight: Mutex<HashMap<u64, RunControl>>,
+    /// Present iff this server runs coordinator mode. Long-lived so
+    /// worker quarantine persists across queries.
+    coord: Option<Coordinator>,
     task_counter: TaskCounter,
     next_request: AtomicU64,
     queries: AtomicU64,
@@ -164,6 +181,8 @@ pub struct ServerSummary {
     pub graphs: u64,
     /// Result-cache counters at exit.
     pub cache: CacheCounters,
+    /// Admission queue-wait counters at exit (busy-vs-dead telemetry).
+    pub queue_wait: QueueWait,
 }
 
 /// A bound, not-yet-running server.
@@ -181,6 +200,7 @@ impl Server {
         let shared = Arc::new(Shared {
             admission: Admission::new(cfg.workers, cfg.queue_capacity),
             cache: Mutex::new(ResultCache::new(cfg.cache_bytes)),
+            coord: cfg.coordinator.clone().map(Coordinator::new),
             cfg,
             addr,
             registry: GraphRegistry::new(),
@@ -263,6 +283,7 @@ impl Server {
             busy_rejected: self.shared.busy_rejected.load(Ordering::Relaxed),
             graphs: self.shared.registry.len() as u64,
             cache,
+            queue_wait: self.shared.admission.queue_wait(),
         })
     }
 }
@@ -331,6 +352,7 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, payload: &[u8]) -> Vec
             vec![Response::Ok(Reply::Graphs(infos))]
         }
         Request::Query(q) => handle_query(shared, stream, &q),
+        Request::QueryShard(s) => handle_shard_query(shared, stream, &s),
         // Nothing is in flight on this connection (queries hold the loop
         // until they answer), so an idle CANCEL is a trivial ack.
         Request::Cancel => vec![Response::Ok(Reply::Cancelled)],
@@ -359,7 +381,14 @@ fn handle_load(shared: &Shared, name: &str, path: &str) -> Response {
         }
     };
     match shared.registry.insert(name, graph) {
-        Ok(entry) => Response::Ok(Reply::Loaded(entry.info())),
+        Ok(entry) => {
+            // Coordinators remember where the graph came from and push it
+            // to workers eagerly (and again lazily on `unknown-graph`).
+            if let Some(coord) = &shared.coord {
+                coord.note_load(name, path);
+            }
+            Response::Ok(Reply::Loaded(entry.info()))
+        }
         Err(conflict) => Response::Err {
             code: errcode::NAME_CONFLICT,
             message: format!(
@@ -371,6 +400,7 @@ fn handle_load(shared: &Shared, name: &str, path: &str) -> Response {
 }
 
 fn server_stats(shared: &Shared) -> ServerStats {
+    let wait = shared.admission.queue_wait();
     ServerStats {
         graphs: shared.registry.len() as u64,
         inflight: shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).len() as u64,
@@ -381,6 +411,9 @@ fn server_stats(shared: &Shared) -> ServerStats {
         busy_rejected: shared.busy_rejected.load(Ordering::Relaxed),
         tasks_started: shared.task_counter.count(),
         cache: shared.cache.lock().unwrap_or_else(PoisonError::into_inner).counters(),
+        queue_wait_total_us: wait.total_us,
+        queue_wait_max_us: wait.max_us,
+        jobs_executed: wait.executed,
         shutting_down: shared.shutdown.load(Ordering::SeqCst),
     }
 }
@@ -403,6 +436,7 @@ fn reply_from_cached(hit: &CachedResult, q: &QueryRequest, cfg: &ServerConfig) -
         total,
         bicliques,
         checkpoint: None,
+        dist: None,
     }
 }
 
@@ -415,6 +449,38 @@ fn reply_from_report(report: &Report, q: &QueryRequest, cfg: &ServerConfig) -> Q
         total: report.bicliques.len() as u64,
         bicliques: clip(&report.bicliques, q.max_return, cfg.max_return),
         checkpoint: report.checkpoint.as_ref().map(Checkpoint::to_bytes),
+        dist: None,
+    }
+}
+
+/// The reply a coordinator assembles from a merged distributed run — the
+/// only reply shape that carries a [`crate::protocol::DistSummary`].
+fn reply_from_dist(outcome: &DistOutcome, q: &QueryRequest, cfg: &ServerConfig) -> QueryReply {
+    QueryReply {
+        stop: outcome.stop,
+        cached: false,
+        emitted: outcome.emitted,
+        elapsed_us: outcome.elapsed_us,
+        total: outcome.bicliques.len() as u64,
+        bicliques: clip(&outcome.bicliques, q.max_return, cfg.max_return),
+        checkpoint: outcome.checkpoint.clone(),
+        dist: Some(outcome.dist),
+    }
+}
+
+/// A worker's reply to one `QUERY_SHARD`. Shards bypass the result cache
+/// in both directions: a shard is a fragment of a query, not a canonical
+/// query of its own.
+fn shard_reply(report: &Report, s: &ShardRequest, cfg: &ServerConfig) -> QueryReply {
+    QueryReply {
+        stop: report.stop,
+        cached: false,
+        emitted: report.stats.emitted,
+        elapsed_us: report.stats.elapsed.as_micros() as u64,
+        total: report.bicliques.len() as u64,
+        bicliques: clip(&report.bicliques, s.max_return, cfg.max_return),
+        checkpoint: report.checkpoint.as_ref().map(Checkpoint::to_bytes),
+        dist: None,
     }
 }
 
@@ -448,10 +514,13 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, q: &QueryRequest) 
     }
 
     // The deadline starts at admission, not execution: time spent queued
-    // counts against the request's budget.
+    // counts against the request's budget. Captured as an instant so the
+    // coordinator can hand the same deadline to its shard attempts.
+    let deadline =
+        q.params.timeout.or(shared.cfg.default_timeout).map(|limit| Instant::now() + limit);
     let mut control = RunControl::new();
-    if let Some(limit) = q.params.timeout.or(shared.cfg.default_timeout) {
-        control = control.timeout(limit);
+    if let Some(at) = deadline {
+        control = control.deadline(at);
     }
     let id = shared.next_request.fetch_add(1, Ordering::Relaxed);
     shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).insert(id, control.clone());
@@ -461,41 +530,135 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, q: &QueryRequest) 
         control.cancel();
     }
 
-    let (tx, rx) = sync_channel::<Result<Report, MbeError>>(1);
+    // Shardable queries route through the coordinator when one is
+    // configured; thresholded / top-k / budgeted queries always run
+    // locally (that is policy, not degradation — no `degraded` flag).
+    let distribute = shared.coord.is_some() && q.params.shardable();
+    let (tx, rx) = sync_channel::<QueryOutcome>(1);
     let job = {
         let shared = Arc::clone(shared);
         let entry = Arc::clone(&entry);
+        let graph_name = q.graph.clone();
         let params = q.params.clone();
         let control = control.clone();
         Box::new(move || {
-            let result = execute(&shared, &entry, &params, control, id);
+            let result = match shared.coord.as_ref().filter(|_| distribute) {
+                Some(coord) => QueryOutcome::Dist(coord.run(
+                    &entry.graph,
+                    &graph_name,
+                    &params,
+                    &control,
+                    deadline,
+                )),
+                None => QueryOutcome::Local(execute(&shared, &entry, &params, control, id)),
+            };
             shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
             let _ = tx.send(result);
         })
     };
-    match shared.admission.submit(job) {
-        Ok(()) => {}
-        Err(err) => {
-            shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
-            return match err {
-                SubmitError::Busy { queued, capacity } => {
-                    shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
-                    vec![Response::Busy { queued, capacity }]
-                }
-                SubmitError::Closed => vec![Response::Err {
-                    code: errcode::SHUTTING_DOWN,
-                    message: "server is shutting down".into(),
-                }],
-            };
-        }
+    if let Err(err) = shared.admission.submit(job) {
+        shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+        return vec![reject(shared, err)];
     }
 
-    // Wait for the worker while keeping the socket serviced.
+    let Some((result, pipelined)) = wait_for_result(shared, stream, &control, &rx) else {
+        return Vec::new();
+    };
+
+    shared.queries.fetch_add(1, Ordering::Relaxed);
+    let response = match result {
+        Some(QueryOutcome::Local(Ok(report))) => {
+            if cacheable(&report) {
+                let value = CachedResult::from_report(&report, q.params.count_only);
+                shared.cache.lock().unwrap_or_else(PoisonError::into_inner).insert(
+                    fingerprint,
+                    key,
+                    value,
+                );
+            }
+            Response::Ok(Reply::Query(reply_from_report(&report, q, &shared.cfg)))
+        }
+        // A contained worker panic still carries the partial report:
+        // surface it as a reply (stop = worker-panicked) so the client
+        // keeps the checkpoint and partial results.
+        Some(QueryOutcome::Local(Err(MbeError::WorkerPanic { report, .. }))) => {
+            Response::Ok(Reply::Query(reply_from_report(&report, q, &shared.cfg)))
+        }
+        Some(QueryOutcome::Local(Err(e))) => {
+            Response::Err { code: errcode::INTERNAL, message: e.to_string() }
+        }
+        Some(QueryOutcome::Dist(Ok(outcome))) => {
+            let reply = reply_from_dist(&outcome, q, &shared.cfg);
+            // A complete merged result is cacheable under the same key a
+            // local run would use; later hits answer with `dist: None`.
+            if outcome.stop == StopReason::Completed {
+                let value = CachedResult {
+                    bicliques: if q.params.count_only {
+                        None
+                    } else {
+                        Some(Arc::new(outcome.bicliques))
+                    },
+                    emitted: outcome.emitted,
+                    elapsed: Duration::from_micros(outcome.elapsed_us),
+                };
+                shared.cache.lock().unwrap_or_else(PoisonError::into_inner).insert(
+                    fingerprint,
+                    key,
+                    value,
+                );
+            }
+            Response::Ok(Reply::Query(reply))
+        }
+        Some(QueryOutcome::Dist(Err(e))) => {
+            Response::Err { code: e.code(), message: e.to_string() }
+        }
+        None => Response::Err {
+            code: errcode::INTERNAL,
+            message: "query worker disappeared without a result".into(),
+        },
+    };
+    let mut out = vec![response];
+    out.extend(pipelined);
+    out
+}
+
+/// How one admitted query job resolved: locally or via the coordinator.
+enum QueryOutcome {
+    Local(Result<Report, MbeError>),
+    Dist(Result<DistOutcome, DistError>),
+}
+
+/// The typed response for a refused admission.
+fn reject(shared: &Shared, err: SubmitError) -> Response {
+    match err {
+        SubmitError::Busy { queued, capacity } => {
+            shared.busy_rejected.fetch_add(1, Ordering::Relaxed);
+            Response::Busy { queued, capacity }
+        }
+        SubmitError::Closed => Response::Err {
+            code: errcode::SHUTTING_DOWN,
+            message: "server is shutting down".into(),
+        },
+    }
+}
+
+/// Blocks until the admitted job answers on `rx`, keeping the socket
+/// serviced so pipelined `CANCEL`/`SHUTDOWN` frames still work while the
+/// job runs. Returns `None` when the client vanished (the work is
+/// cancelled and there is no one to answer); otherwise the job's result
+/// (`None` inside when the worker died without reporting) plus any
+/// responses to append after the query's own.
+fn wait_for_result<T>(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    control: &RunControl,
+    rx: &Receiver<T>,
+) -> Option<(Option<T>, Vec<Response>)> {
     let mut pipelined: Vec<Response> = Vec::new();
-    let result = loop {
+    loop {
         match rx.try_recv() {
-            Ok(result) => break Some(result),
-            Err(TryRecvError::Disconnected) => break None,
+            Ok(result) => return Some((Some(result), pipelined)),
+            Err(TryRecvError::Disconnected) => return Some((None, pipelined)),
             Err(TryRecvError::Empty) => {}
         }
         match read_frame(stream, shared.cfg.max_frame_bytes, FRAME_PATIENCE) {
@@ -522,34 +685,94 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, q: &QueryRequest) 
             // down in the background, answer no one.
             Ok(ReadOutcome::Closed) | Err(_) => {
                 control.cancel();
-                return Vec::new();
+                return None;
             }
         }
+    }
+}
+
+/// The worker half of coordinator mode: validates and resumes one
+/// frontier shard. Same admission, cancellation, and shutdown-drain
+/// semantics as a full query, but the reply rides the `QUERY_SHARD` tag
+/// and the result cache is bypassed in both directions.
+fn handle_shard_query(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    s: &ShardRequest,
+) -> Vec<Response> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return vec![Response::Err {
+            code: errcode::SHUTTING_DOWN,
+            message: "server is shutting down".into(),
+        }];
+    }
+    let Some(entry) = shared.registry.get(&s.graph) else {
+        return vec![Response::Err {
+            code: errcode::UNKNOWN_GRAPH,
+            message: format!("no graph named '{}' (LOAD it first)", s.graph),
+        }];
+    };
+    let ckpt = match Checkpoint::from_bytes(&s.checkpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            return vec![Response::Err {
+                code: errcode::BAD_SHARD,
+                message: format!("malformed shard checkpoint: {e}"),
+            }]
+        }
+    };
+    if let Err(e) = ckpt.matches(&entry.graph) {
+        return vec![Response::Err {
+            code: errcode::BAD_SHARD,
+            message: format!("shard does not match graph '{}': {e}", s.graph),
+        }];
+    }
+
+    let deadline =
+        s.params.timeout.or(shared.cfg.default_timeout).map(|limit| Instant::now() + limit);
+    let mut control = RunControl::new();
+    if let Some(at) = deadline {
+        control = control.deadline(at);
+    }
+    let id = shared.next_request.fetch_add(1, Ordering::Relaxed);
+    shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).insert(id, control.clone());
+    if shared.shutdown.load(Ordering::SeqCst) {
+        control.cancel();
+    }
+
+    let (tx, rx) = sync_channel::<Result<Report, MbeError>>(1);
+    let job = {
+        let shared = Arc::clone(shared);
+        let entry = Arc::clone(&entry);
+        let params = s.params.clone();
+        let control = control.clone();
+        Box::new(move || {
+            let result = execute_shard(&shared, &entry, &params, ckpt, control, id);
+            shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+            let _ = tx.send(result);
+        })
+    };
+    if let Err(err) = shared.admission.submit(job) {
+        shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+        return vec![reject(shared, err)];
+    }
+
+    let Some((result, pipelined)) = wait_for_result(shared, stream, &control, &rx) else {
+        return Vec::new();
     };
 
     shared.queries.fetch_add(1, Ordering::Relaxed);
     let response = match result {
-        Some(Ok(report)) => {
-            if cacheable(&report) {
-                let value = CachedResult::from_report(&report, q.params.count_only);
-                shared.cache.lock().unwrap_or_else(PoisonError::into_inner).insert(
-                    fingerprint,
-                    key,
-                    value,
-                );
-            }
-            Response::Ok(Reply::Query(reply_from_report(&report, q, &shared.cfg)))
-        }
-        // A contained worker panic still carries the partial report:
-        // surface it as a reply (stop = worker-panicked) so the client
-        // keeps the checkpoint and partial results.
+        Some(Ok(report)) => Response::Ok(Reply::Shard(shard_reply(&report, s, &shared.cfg))),
+        // Same contained-panic contract as QUERY: the partial report and
+        // checkpoint go back so the coordinator can re-steal the rest.
         Some(Err(MbeError::WorkerPanic { report, .. })) => {
-            Response::Ok(Reply::Query(reply_from_report(&report, q, &shared.cfg)))
+            Response::Ok(Reply::Shard(shard_reply(&report, s, &shared.cfg)))
         }
         Some(Err(e)) => Response::Err { code: errcode::INTERNAL, message: e.to_string() },
         None => Response::Err {
             code: errcode::INTERNAL,
-            message: "query worker disappeared without a result".into(),
+            message: "shard worker disappeared without a result".into(),
         },
     };
     let mut out = vec![response];
@@ -566,16 +789,7 @@ fn execute(
     control: RunControl,
     id: u64,
 ) -> Result<Report, MbeError> {
-    let trace = shared.cfg.trace_dir.as_ref().and_then(|dir| {
-        let path = dir.join(format!("req-{id}.jsonl"));
-        match JsonlTraceObserver::create(path.to_string_lossy().as_ref()) {
-            Ok(obs) => Some(obs),
-            Err(e) => {
-                eprintln!("mbe-serve: cannot open trace {}: {e}", path.display());
-                None
-            }
-        }
-    });
+    let trace = open_trace(shared, id);
     let mut fan = FanoutObserver::new();
     fan.push(Box::new(&shared.task_counter));
     if let Some(t) = &trace {
@@ -587,4 +801,53 @@ fn execute(
         let _ = t.flush();
     }
     result
+}
+
+/// Runs one admitted shard on the current (worker) thread: the resume
+/// path of [`execute`], plus the scripted-fault hook the coordinator
+/// harness uses to stage deterministic worker crashes.
+fn execute_shard(
+    shared: &Shared,
+    entry: &GraphEntry,
+    params: &QueryParams,
+    ckpt: Checkpoint,
+    control: RunControl,
+    id: u64,
+) -> Result<Report, MbeError> {
+    let trace = open_trace(shared, id);
+    let mut fan = FanoutObserver::new();
+    fan.push(Box::new(&shared.task_counter));
+    if let Some(t) = &trace {
+        fan.push(Box::new(t));
+    }
+    let run = Enumeration::new(&entry.graph)
+        .threads(params.threads)
+        .control(control)
+        .resume(ckpt)
+        .observer(&fan);
+    #[cfg(feature = "fault-injection")]
+    let run = match &shared.cfg.fault_plan {
+        Some(plan) => run.faults(plan.clone()),
+        None => run,
+    };
+    let result = if params.count_only { run.count() } else { run.collect() };
+    if let Some(t) = &trace {
+        let _ = t.flush();
+    }
+    result
+}
+
+/// Opens the per-request JSONL trace when tracing is configured
+/// (best-effort: trace I/O problems never fail a query).
+fn open_trace(shared: &Shared, id: u64) -> Option<JsonlTraceObserver> {
+    shared.cfg.trace_dir.as_ref().and_then(|dir| {
+        let path = dir.join(format!("req-{id}.jsonl"));
+        match JsonlTraceObserver::create(path.to_string_lossy().as_ref()) {
+            Ok(obs) => Some(obs),
+            Err(e) => {
+                eprintln!("mbe-serve: cannot open trace {}: {e}", path.display());
+                None
+            }
+        }
+    })
 }

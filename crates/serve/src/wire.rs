@@ -97,7 +97,18 @@ fn read_full<R: Read>(
         let window = buf.get_mut(filled..).unwrap_or(&mut []);
         match r.read(window) {
             Ok(0) => return Err(WireError::TruncatedFrame),
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                // Partial progress consumes the same budget a timeout
+                // does: the deadline is absolute, so each successful
+                // read re-arms only the *remaining* patience. Without
+                // this check a peer dribbling one byte per poll
+                // interval always "makes progress" and never hits the
+                // timeout arm — pinning the handler indefinitely.
+                if filled < buf.len() && Instant::now() >= deadline {
+                    return Err(WireError::Timeout(stage));
+                }
+            }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) if is_timeout(&e) => {
                 if Instant::now() >= deadline {
@@ -375,5 +386,29 @@ mod tests {
             read_frame(&mut stalled, 1024, Duration::from_millis(0)).unwrap_err(),
             WireError::Timeout(_)
         ));
+    }
+
+    #[test]
+    fn byte_dribbling_cannot_outlive_the_patience_budget() {
+        // A peer that delivers exactly one byte per read never takes the
+        // timeout arm, yet must still hit the deadline: partial progress
+        // consumes the remaining budget rather than re-arming a full one.
+        let mut frame = Vec::new();
+        write_frame(&mut frame, b"dribble").unwrap();
+        let chunks: Vec<Option<Vec<u8>>> = frame.iter().map(|&b| Some(vec![b])).collect();
+        let mut dribbler = Stutter { chunks };
+        assert!(matches!(
+            read_frame(&mut dribbler, 1024, Duration::from_millis(0)).unwrap_err(),
+            WireError::Timeout(_)
+        ));
+
+        // The same dribble inside a generous budget still reassembles —
+        // the check only fires when the deadline has truly passed.
+        let chunks: Vec<Option<Vec<u8>>> = frame.iter().map(|&b| Some(vec![b])).collect();
+        let mut dribbler = Stutter { chunks };
+        match read_frame(&mut dribbler, 1024, Duration::from_secs(5)).unwrap() {
+            ReadOutcome::Frame(p) => assert_eq!(p, b"dribble"),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

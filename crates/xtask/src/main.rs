@@ -81,6 +81,9 @@ const HOT_PATHS: &[&str] = &[
     "crates/serve/src/wire.rs",
     "crates/serve/src/protocol.rs",
     "crates/serve/src/server.rs",
+    "crates/serve/src/coordinator.rs",
+    "crates/serve/src/shard.rs",
+    "crates/serve/src/health.rs",
 ];
 
 /// Crates allowed to print to stdout (user-facing output or bench
