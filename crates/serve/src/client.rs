@@ -61,16 +61,32 @@ impl Client {
 
     /// Sends one request and waits for one response.
     pub fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
-        write_frame(&mut self.stream, &request.encode())?;
-        self.read_response()
+        self.call_until(request, &|| false)
     }
 
-    fn read_response(&mut self) -> Result<Response, ServeError> {
+    /// Sends one request and waits for one response, additionally giving
+    /// up with [`ServeError::Aborted`] as soon as `give_up` answers
+    /// `true` (polled at the socket's read cadence, ~25 ms). The caller
+    /// owns the consequence: the reply, if one ever comes, is left
+    /// unread on the connection, so the client should be dropped.
+    pub fn call_until(
+        &mut self,
+        request: &Request,
+        give_up: &dyn Fn() -> bool,
+    ) -> Result<Response, ServeError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        self.read_response(give_up)
+    }
+
+    fn read_response(&mut self, give_up: &dyn Fn() -> bool) -> Result<Response, ServeError> {
         let deadline = Instant::now() + self.wait;
         loop {
             match read_frame(&mut self.stream, self.max_frame, FRAME_PATIENCE)? {
                 ReadOutcome::Frame(payload) => return Ok(Response::decode(&payload)?),
                 ReadOutcome::Idle => {
+                    if give_up() {
+                        return Err(ServeError::Aborted);
+                    }
                     if Instant::now() >= deadline {
                         return Err(ServeError::Wire(WireError::Timeout("awaiting response")));
                     }
@@ -116,7 +132,7 @@ impl Client {
         let response = self.call(&Request::Query(request))?;
         let mut reply = Self::expect_ok(response)?;
         while matches!(reply, Reply::Cancelled) {
-            reply = Self::expect_ok(self.read_response()?)?;
+            reply = Self::expect_ok(self.read_response(&|| false)?)?;
         }
         match reply {
             Reply::Query(q) => Ok(q),
@@ -128,10 +144,23 @@ impl Client {
     /// the coordinator's fan-out verb. Like [`Client::query`], a stray
     /// `CANCEL` acknowledgement is skipped.
     pub fn query_shard(&mut self, request: ShardRequest) -> Result<QueryReply, ServeError> {
-        let response = self.call(&Request::QueryShard(request))?;
+        self.query_shard_until(request, &|| false)
+    }
+
+    /// [`Client::query_shard`] with an early-exit hook: the wait is
+    /// abandoned with [`ServeError::Aborted`] once `give_up` answers
+    /// `true`. The coordinator uses this so a query whose merged result
+    /// is already known (cancel, deadline, local fallback) is not pinned
+    /// behind a hung worker's full attempt timeout.
+    pub fn query_shard_until(
+        &mut self,
+        request: ShardRequest,
+        give_up: &dyn Fn() -> bool,
+    ) -> Result<QueryReply, ServeError> {
+        let response = self.call_until(&Request::QueryShard(request), give_up)?;
         let mut reply = Self::expect_ok(response)?;
         while matches!(reply, Reply::Cancelled) {
-            reply = Self::expect_ok(self.read_response()?)?;
+            reply = Self::expect_ok(self.read_response(give_up)?)?;
         }
         match reply {
             Reply::Shard(q) => Ok(q),

@@ -171,17 +171,25 @@ impl Coordinator {
 
     /// Records a successful `LOAD` and broadcasts it to every worker,
     /// best-effort — a worker that misses it is caught up lazily when a
-    /// shard bounces with `unknown-graph`.
+    /// shard bounces with `unknown-graph`. The broadcast runs on a
+    /// detached thread: serial probes of dead workers would otherwise
+    /// stack `probe_patience` timeouts onto the client's `LOAD` reply.
     pub(crate) fn note_load(&self, name: &str, path: &str) {
         self.hints
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(name.to_string(), path.to_string());
-        for addr in &self.cfg.workers {
-            if let Ok(client) = Client::connect(addr.as_str()) {
-                let _ = client.wait(self.cfg.probe_patience).load(name, path);
+        let workers = self.cfg.workers.clone();
+        let patience = self.cfg.probe_patience;
+        let name = name.to_string();
+        let path = path.to_string();
+        let _ = std::thread::Builder::new().name("mbe-coord-load".into()).spawn(move || {
+            for addr in workers {
+                if let Ok(client) = Client::connect(addr.as_str()) {
+                    let _ = client.wait(patience).load(&name, &path);
+                }
             }
-        }
+        });
     }
 
     /// Executes one shardable query by scatter/gather. `deadline` is the
@@ -252,10 +260,14 @@ impl Coordinator {
                         });
                         break;
                     }
-                    degraded = true;
                     match self.run_locally(graph, params, control, &board) {
-                        Ok(None) => {} // remainder completed; loop sees finished()
-                        Ok(Some((local_stop, local_tail))) => {
+                        // The trigger resolved itself (e.g. a running
+                        // speculative attempt completed the stranded
+                        // shard): nothing ran locally, nothing degraded.
+                        Ok(LocalRun::NothingPending) => {}
+                        Ok(LocalRun::Completed) => degraded = true,
+                        Ok(LocalRun::Stopped(local_stop, local_tail)) => {
+                            degraded = true;
                             stop = local_stop;
                             tail = local_tail;
                             break;
@@ -299,19 +311,18 @@ impl Coordinator {
     }
 
     /// Claims the remaining frontier and enumerates it on this thread
-    /// (the degradation terminal). Returns `Ok(None)` when the remainder
-    /// completed, `Ok(Some((stop, checkpoint)))` when the local run was
-    /// itself stopped (cancel/deadline), and `Err` on failure.
-    #[allow(clippy::type_complexity)]
+    /// (the degradation terminal). Only [`LocalRun::Completed`] and
+    /// [`LocalRun::Stopped`] mean local work actually ran — the caller
+    /// sets the `degraded` flag on exactly those.
     fn run_locally(
         &self,
         graph: &BipartiteGraph,
         params: &QueryParams,
         control: &RunControl,
         board: &ShardBoard,
-    ) -> Result<Option<(StopReason, Option<Vec<u8>>)>, DistError> {
+    ) -> Result<LocalRun, DistError> {
         let Some((checkpoints, partials, partial_emitted)) = board.claim_pending() else {
-            return Ok(None);
+            return Ok(LocalRun::NothingPending);
         };
         board.merge_local(partials, partial_emitted);
         let merged = Checkpoint::merge(&checkpoints)
@@ -322,9 +333,9 @@ impl Coordinator {
         let ckpt = report.checkpoint.as_ref().map(Checkpoint::to_bytes);
         board.merge_local(report.bicliques, report.stats.emitted);
         if stopped == StopReason::Completed {
-            Ok(None)
+            Ok(LocalRun::Completed)
         } else {
-            Ok(Some((stopped, ckpt)))
+            Ok(LocalRun::Stopped(stopped, ckpt))
         }
     }
 
@@ -344,12 +355,12 @@ impl Coordinator {
             if !self.serve_quarantine(widx, addr, board) {
                 return;
             }
-            let Some((idx, epoch, ckpt)) = board.next() else { return };
-            match self.attempt(addr, graph_name, params, deadline, &ckpt) {
+            let Some((idx, epoch, started, ckpt)) = board.next() else { return };
+            match self.attempt(addr, graph_name, params, deadline, board, &ckpt) {
                 AttemptOutcome::Completed(bicliques, emitted) => {
                     consecutive = 0;
                     self.health.record_success(widx);
-                    board.complete(idx, epoch, bicliques, emitted);
+                    board.complete(idx, epoch, started, bicliques, emitted);
                 }
                 AttemptOutcome::Stopped(remaining, partial, partial_emitted) => {
                     // The worker answered — it is alive — but lost the
@@ -375,6 +386,14 @@ impl Coordinator {
                     );
                     board.fail(idx, epoch, lost_mid_run);
                     self.sleep_backoff(board, widx, consecutive);
+                }
+                // The board aborted while this attempt was in flight: the
+                // merged result is already decided (completion, cancel,
+                // deadline, or fallback), so drain without charging the
+                // worker a failure — it may be perfectly healthy.
+                AttemptOutcome::Aborted => {
+                    board.fail(idx, epoch, false);
+                    return;
                 }
             }
         }
@@ -408,13 +427,17 @@ impl Coordinator {
         !(board.is_aborted() || board.finished())
     }
 
-    /// One remote shard attempt, classified for the driver loop.
+    /// One remote shard attempt, classified for the driver loop. The
+    /// reply wait is abandoned (→ [`AttemptOutcome::Aborted`]) as soon
+    /// as the board aborts, so a hung worker cannot pin
+    /// [`Coordinator::run`] past the moment the merged result is known.
     fn attempt(
         &self,
         addr: &str,
         graph_name: &str,
         params: &QueryParams,
         deadline: Option<Instant>,
+        board: &ShardBoard,
         ckpt: &Checkpoint,
     ) -> AttemptOutcome {
         let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
@@ -430,7 +453,15 @@ impl Coordinator {
             max_return: u32::MAX,
             checkpoint: ckpt.to_bytes(),
         };
-        match client.query_shard(request) {
+        match client.query_shard_until(request, &|| board.is_aborted()) {
+            // A reply whose advertised total exceeds the bicliques it
+            // actually carries was clipped in transit (a worker applying
+            // its client-facing `max_return` cap to an internal shard —
+            // a contract violation, see DESIGN §8c). Merging it would
+            // silently under-count, and a Completed outcome would cache
+            // the truncated list; treat the shard as lost instead, so
+            // the retry/strand/fallback ladder keeps the result exact.
+            Ok(reply) if truncated(&reply) => AttemptOutcome::Refused { lost_mid_run: true },
             Ok(reply) if reply.stop == StopReason::Completed => {
                 AttemptOutcome::Completed(reply.bicliques, reply.emitted)
             }
@@ -450,6 +481,7 @@ impl Coordinator {
                 _ => AttemptOutcome::Refused { lost_mid_run: true },
             },
             Err(ServeError::Busy { .. }) => AttemptOutcome::Refused { lost_mid_run: false },
+            Err(ServeError::Aborted) => AttemptOutcome::Aborted,
             Err(ServeError::Remote { code, .. }) => {
                 if code == errcode::UNKNOWN_GRAPH {
                     self.push_graph(addr, graph_name);
@@ -504,6 +536,26 @@ enum AttemptOutcome {
     Refused { lost_mid_run: bool },
     /// The worker could not be reached or the connection broke.
     Failed { lost_mid_run: bool },
+    /// The board aborted mid-wait; the driver should drain.
+    Aborted,
+}
+
+/// How one local-fallback invocation resolved.
+enum LocalRun {
+    /// Nothing was pending — no local enumeration ran.
+    NothingPending,
+    /// The claimed remainder completed locally.
+    Completed,
+    /// The local run itself was stopped (cancel/deadline): the stop
+    /// reason and the serialized remaining checkpoint.
+    Stopped(StopReason, Option<Vec<u8>>),
+}
+
+/// `true` when a shard reply advertises more bicliques than it carries —
+/// it was clipped somewhere and must not be merged. (Count-only shards
+/// advertise `total = 0` with an empty list, so they never trip this.)
+fn truncated(reply: &crate::protocol::QueryReply) -> bool {
+    reply.total > reply.bicliques.len() as u64
 }
 
 /// Claims the unfinished remainder and serializes its merged checkpoint

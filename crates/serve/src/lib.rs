@@ -82,6 +82,9 @@ pub enum ServeError {
     },
     /// The server's reply did not match the request that was sent.
     UnexpectedReply(&'static str),
+    /// The caller abandoned the wait for a reply (see
+    /// [`Client::call_until`]) — the connection may still be healthy.
+    Aborted,
 }
 
 impl fmt::Display for ServeError {
@@ -96,6 +99,7 @@ impl fmt::Display for ServeError {
                 write!(f, "server error {}: {message}", protocol::errcode::label(*code))
             }
             ServeError::UnexpectedReply(what) => write!(f, "unexpected reply: {what}"),
+            ServeError::Aborted => f.write_str("reply wait abandoned by the caller"),
         }
     }
 }

@@ -470,15 +470,18 @@ fn reply_from_dist(outcome: &DistOutcome, q: &QueryRequest, cfg: &ServerConfig) 
 
 /// A worker's reply to one `QUERY_SHARD`. Shards bypass the result cache
 /// in both directions: a shard is a fragment of a query, not a canonical
-/// query of its own.
-fn shard_reply(report: &Report, s: &ShardRequest, cfg: &ServerConfig) -> QueryReply {
+/// query of its own. Only the *request's* `max_return` applies — never
+/// this server's `cfg.max_return`: shard replies are coordinator-facing,
+/// and a config-clipped reply would silently drop bicliques from the
+/// merged distributed result (DESIGN §8c documents this contract).
+fn shard_reply(report: &Report, s: &ShardRequest) -> QueryReply {
     QueryReply {
         stop: report.stop,
         cached: false,
         emitted: report.stats.emitted,
         elapsed_us: report.stats.elapsed.as_micros() as u64,
         total: report.bicliques.len() as u64,
-        bicliques: clip(&report.bicliques, s.max_return, cfg.max_return),
+        bicliques: clip(&report.bicliques, s.max_return, u32::MAX),
         checkpoint: report.checkpoint.as_ref().map(Checkpoint::to_bytes),
         dist: None,
     }
@@ -763,11 +766,11 @@ fn handle_shard_query(
 
     shared.queries.fetch_add(1, Ordering::Relaxed);
     let response = match result {
-        Some(Ok(report)) => Response::Ok(Reply::Shard(shard_reply(&report, s, &shared.cfg))),
+        Some(Ok(report)) => Response::Ok(Reply::Shard(shard_reply(&report, s))),
         // Same contained-panic contract as QUERY: the partial report and
         // checkpoint go back so the coordinator can re-steal the rest.
         Some(Err(MbeError::WorkerPanic { report, .. })) => {
-            Response::Ok(Reply::Shard(shard_reply(&report, s, &shared.cfg)))
+            Response::Ok(Reply::Shard(shard_reply(&report, s)))
         }
         Some(Err(e)) => Response::Err { code: errcode::INTERNAL, message: e.to_string() },
         None => Response::Err {

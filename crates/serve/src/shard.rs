@@ -135,9 +135,12 @@ impl ShardBoard {
     }
 
     /// Blocks until a shard is ready, the board finishes, or it aborts.
-    /// Returns the shard's index, the epoch this attempt runs under, and
-    /// a clone of its current checkpoint.
-    pub(crate) fn next(&self) -> Option<(usize, u32, Checkpoint)> {
+    /// Returns the shard's index, the epoch this attempt runs under, the
+    /// attempt's own start time (thread it back through
+    /// [`ShardBoard::complete`] so the recorded shard duration is the
+    /// accepted attempt's, not the latest dispatch's), and a clone of
+    /// the shard's current checkpoint.
+    pub(crate) fn next(&self) -> Option<(usize, u32, Instant, Checkpoint)> {
         let mut st = self.lock();
         loop {
             if st.aborted || st.done_count == st.slots.len() {
@@ -151,11 +154,12 @@ impl ShardBoard {
                 if stale {
                     continue;
                 }
+                let started = Instant::now();
                 let slot = &mut st.slots[idx];
                 slot.running += 1;
-                slot.started = Some(Instant::now());
+                slot.started = Some(started);
                 // xtask-allow: hot-alloc-loop (one clone per shard dispatch, then returns)
-                return Some((idx, epoch, slot.checkpoint.clone()));
+                return Some((idx, epoch, started, slot.checkpoint.clone()));
             }
             st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
@@ -164,10 +168,15 @@ impl ShardBoard {
     /// An attempt finished its whole shard. Accepted only if the shard is
     /// not already done and the epoch still matches (first writer wins);
     /// an accepted completion merges the shard's accumulated partial.
+    /// `started` is the accepting attempt's own dispatch time from
+    /// [`ShardBoard::next`] — a speculative duplicate resets the slot's
+    /// `started`, so measuring from the slot would clock the latest
+    /// attempt, skew the p99 low, and over-trigger speculation.
     pub(crate) fn complete(
         &self,
         idx: usize,
         epoch: u32,
+        started: Instant,
         bicliques: Vec<Biclique>,
         emitted: u64,
     ) -> bool {
@@ -183,21 +192,19 @@ impl ShardBoard {
             }
         };
         if accepted {
-            let (partial, partial_emitted, elapsed) = {
+            let (partial, partial_emitted) = {
                 let slot = &mut st.slots[idx];
-                (
-                    std::mem::take(&mut slot.partial),
-                    std::mem::take(&mut slot.partial_emitted),
-                    slot.started.map(|t| t.elapsed()),
-                )
+                (std::mem::take(&mut slot.partial), std::mem::take(&mut slot.partial_emitted))
             };
             st.bicliques.extend(partial);
             st.bicliques.extend(bicliques);
             st.emitted += partial_emitted + emitted;
-            if let Some(d) = elapsed {
-                st.durations.push(d);
-            }
+            st.durations.push(started.elapsed());
             st.done_count += 1;
+            // A straggler that strands on its own failures can still be
+            // completed by a running speculative duplicate; a completed
+            // shard must not trip the degraded fallback.
+            st.stranded.retain(|&i| i != idx);
         }
         self.cv.notify_all();
         accepted
@@ -230,6 +237,9 @@ impl ShardBoard {
         let entry = (idx, slot.epoch);
         st.ready.push_back(entry);
         st.counters.resteals += 1;
+        // The shard is pending again with an advanced checkpoint — it is
+        // no longer waiting on the fallback ladder.
+        st.stranded.retain(|&i| i != idx);
         self.cv.notify_all();
         true
     }
@@ -417,21 +427,21 @@ mod tests {
     #[test]
     fn first_writer_wins_and_stale_epochs_are_discarded() {
         let board = ShardBoard::new(shards(2), 4);
-        let (i0, e0, _c) = board.next().unwrap();
-        assert!(board.complete(i0, e0, vec![b(0, 0)], 1));
-        assert!(!board.complete(i0, e0, vec![b(9, 9)], 1), "duplicate completion discarded");
+        let (i0, e0, t0, _c) = board.next().unwrap();
+        assert!(board.complete(i0, e0, t0, vec![b(0, 0)], 1));
+        assert!(!board.complete(i0, e0, t0, vec![b(9, 9)], 1), "duplicate completion discarded");
 
-        let (i1, e1, _c) = board.next().unwrap();
+        let (i1, e1, t1, _c) = board.next().unwrap();
         // A re-steal advances the epoch; the pre-steal attempt is stale.
         let (_, _, remaining) = {
             let st = board.lock();
             (0, 0, st.slots[i1].checkpoint.clone())
         };
         assert!(board.resteal(i1, e1, remaining, vec![b(1, 1)], 1));
-        assert!(!board.complete(i1, e1, vec![b(2, 2)], 1), "stale attempt rejected");
-        let (i1b, e1b, _c) = board.next().unwrap();
+        assert!(!board.complete(i1, e1, t1, vec![b(2, 2)], 1), "stale attempt rejected");
+        let (i1b, e1b, t1b, _c) = board.next().unwrap();
         assert_eq!(i1b, i1);
-        assert!(board.complete(i1b, e1b, vec![b(3, 3)], 1));
+        assert!(board.complete(i1b, e1b, t1b, vec![b(3, 3)], 1));
         assert!(board.finished());
 
         let (bicliques, emitted, counters) = board.finish();
@@ -445,12 +455,12 @@ mod tests {
     #[test]
     fn failures_requeue_then_strand_and_claim_collects_the_rest() {
         let board = ShardBoard::new(shards(3), 2);
-        let (i, e, _c) = board.next().unwrap();
+        let (i, e, _t, _c) = board.next().unwrap();
         assert_eq!(board.fail(i, e, false), FailDisposition::Requeued);
         // The requeued entry comes back (possibly after the other shards).
         let mut seen = Vec::new();
         for _ in 0..3 {
-            let (idx, ep, _c) = board.next().unwrap();
+            let (idx, ep, _t, _c) = board.next().unwrap();
             seen.push((idx, ep));
         }
         let again = seen.iter().find(|(idx, _)| *idx == i).expect("requeued shard reappears");
@@ -475,17 +485,59 @@ mod tests {
     #[test]
     fn speculation_duplicates_a_straggler_once_per_epoch() {
         let board = ShardBoard::new(shards(1), 4);
-        let (i, e, _c) = board.next().unwrap();
+        let (i, e, t, _c) = board.next().unwrap();
         std::thread::sleep(Duration::from_millis(5));
         assert_eq!(board.speculate_stragglers(Duration::ZERO), 1);
         assert_eq!(board.speculate_stragglers(Duration::ZERO), 0, "once per epoch");
-        let (i2, e2, _c) = board.next().unwrap();
+        let (i2, e2, t2, _c) = board.next().unwrap();
         assert_eq!((i2, e2), (i, e), "duplicate runs the same epoch");
-        assert!(board.complete(i, e, vec![b(0, 0)], 1));
-        assert!(!board.complete(i2, e2, vec![b(0, 0)], 1), "loser discarded");
+        assert!(board.complete(i, e, t, vec![b(0, 0)], 1));
+        assert!(!board.complete(i2, e2, t2, vec![b(0, 0)], 1), "loser discarded");
         let (bicliques, _, counters) = board.finish();
         assert_eq!(bicliques.len(), 1, "no duplicates from speculation");
         assert_eq!(counters.speculated, 1);
+    }
+
+    #[test]
+    fn completion_duration_is_the_accepted_attempts_own() {
+        let board = ShardBoard::new(shards(1), 4);
+        let (i, e, t, _c) = board.next().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        // A speculative duplicate resets the slot's latest-dispatch time…
+        assert_eq!(board.speculate_stragglers(Duration::ZERO), 1);
+        let (_i2, _e2, t2, _c) = board.next().unwrap();
+        assert!(t2 > t);
+        // …but the first attempt completes, and the recorded duration is
+        // measured from *its* start, not the duplicate's.
+        assert!(board.complete(i, e, t, vec![b(0, 0)], 1));
+        let recorded = board.lock().durations[0];
+        assert!(
+            recorded >= Duration::from_millis(20),
+            "duration must cover the accepted attempt's full run, got {recorded:?}"
+        );
+    }
+
+    #[test]
+    fn completion_and_resteal_unstrand_a_shard() {
+        let board = ShardBoard::new(shards(1), 1);
+        let (i, e, t, _c) = board.next().unwrap();
+        // The only attempt budget is spent: the shard strands while a
+        // speculative duplicate (same epoch) is still out.
+        assert_eq!(board.fail(i, e, false), FailDisposition::Stranded);
+        assert!(board.has_stranded());
+        assert!(board.complete(i, e, t, vec![b(0, 0)], 1));
+        assert!(!board.has_stranded(), "a completed shard must not trip the fallback ladder");
+        assert!(board.finished());
+
+        // Same shape, but the straggling duplicate comes back with a
+        // checkpointed partial: the re-steal re-queues the shard, so it
+        // is pending again — not stranded.
+        let board = ShardBoard::new(shards(1), 1);
+        let (i, e, _t, c) = board.next().unwrap();
+        assert_eq!(board.fail(i, e, false), FailDisposition::Stranded);
+        assert!(board.has_stranded());
+        assert!(board.resteal(i, e, c, vec![b(1, 1)], 1));
+        assert!(!board.has_stranded(), "a re-queued shard is pending, not stranded");
     }
 
     #[test]

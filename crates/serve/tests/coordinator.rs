@@ -22,15 +22,18 @@
 
 use std::io::Read;
 use std::net::TcpListener;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bigraph::BipartiteGraph;
 use mbe::service::QueryParams;
 use mbe::{Biclique, Enumeration, StopReason};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serve::protocol::{errcode, Reply, Request, Response};
+use serve::wire::{read_frame, write_frame, ReadOutcome};
 use serve::{
-    Client, CoordinatorConfig, QueryRequest, ServeError, Server, ServerConfig, ServerHandle,
+    Client, CoordinatorConfig, QueryReply, QueryRequest, ServeError, Server, ServerConfig,
+    ServerHandle,
 };
 
 fn sorted(mut bicliques: Vec<Biclique>) -> Vec<Biclique> {
@@ -102,6 +105,49 @@ fn hang_server() -> String {
                 while matches!(reader.read(&mut sink), Ok(n) if n > 0) {}
             });
             parked.push(stream);
+        }
+    });
+    addr
+}
+
+/// A protocol-breaking worker: every shard request is answered with a
+/// "clipped" Completed reply that advertises emissions it does not carry
+/// (`total`/`emitted` > `bicliques.len()`) — the shape an out-of-contract
+/// worker clipping internal shard replies by its own `max_return` config
+/// would produce.
+fn clipping_worker() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            std::thread::spawn(move || loop {
+                match read_frame(&mut stream, 64 << 20, Duration::from_secs(5)) {
+                    Ok(ReadOutcome::Frame(payload)) => {
+                        let response = match Request::decode(&payload) {
+                            Ok(Request::QueryShard(_)) => Response::Ok(Reply::Shard(QueryReply {
+                                stop: StopReason::Completed,
+                                cached: false,
+                                emitted: 7,
+                                elapsed_us: 1,
+                                total: 7,
+                                bicliques: Vec::new(),
+                                checkpoint: None,
+                                dist: None,
+                            })),
+                            _ => Response::Err {
+                                code: errcode::BAD_REQUEST,
+                                message: "unsupported".into(),
+                            },
+                        };
+                        if write_frame(&mut stream, &response.encode()).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(ReadOutcome::Idle) => {}
+                    _ => return,
+                }
+            });
         }
     });
     addr
@@ -282,6 +328,105 @@ fn straggler_shard_is_speculatively_reexecuted() {
     handle.shutdown();
     join.join().unwrap();
     live_handle.shutdown();
+}
+
+/// (h): workers must not clip shard replies by their own client-facing
+/// `max_return` config — only the request's cap applies (DESIGN §8c).
+/// Workers capped far below the result size still return full shards,
+/// and the merged answer is complete with no fallback.
+#[test]
+fn worker_max_return_config_does_not_clip_shard_replies() {
+    let g = test_graph(19);
+    let expected = sorted(Enumeration::new(&g).collect().unwrap().bicliques);
+    assert!(expected.len() > 3, "fixture must exceed the worker cap");
+
+    let small = ServerConfig { max_return: 3, ..ServerConfig::default() };
+    let workers: Vec<_> = (0..2).map(|_| start_worker("g", &g, small.clone())).collect();
+    let addrs = workers.iter().map(|(a, _)| a.clone()).collect();
+    let (handle, join) = start_coordinator("g", &g, coord_cfg(addrs));
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let reply = client.query(request("g", QueryParams::default())).unwrap();
+    assert_eq!(reply.stop, StopReason::Completed);
+    let dist = reply.dist.unwrap();
+    assert!(!dist.degraded, "shard replies ignore the worker's config cap: {dist:?}");
+    assert_eq!(reply.emitted, expected.len() as u64);
+    assert_eq!(sorted(reply.bicliques), expected);
+
+    handle.shutdown();
+    join.join().unwrap();
+    for (_, worker) in workers {
+        worker.shutdown();
+    }
+}
+
+/// (i): a worker that *does* clip (total > bicliques carried) must never
+/// poison the merged result or the cache: the coordinator refuses the
+/// truncated reply, strands the shards, and falls back locally — exact,
+/// flagged degraded, and the cached repeat is the full list.
+#[test]
+fn clipped_shard_reply_is_rejected_not_merged() {
+    let g = test_graph(18);
+    let expected = sorted(Enumeration::new(&g).collect().unwrap().bicliques);
+
+    let mut cfg = coord_cfg(vec![clipping_worker()]);
+    cfg.max_attempts = 2; // the fake worker never improves; strand fast
+    let (handle, join) = start_coordinator("g", &g, cfg);
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let reply = client.query(request("g", QueryParams::default())).unwrap();
+    assert_eq!(reply.stop, StopReason::Completed);
+    let dist = reply.dist.unwrap();
+    assert!(dist.degraded, "the clipping worker is useless; fallback must run: {dist:?}");
+    assert_eq!(
+        reply.emitted,
+        expected.len() as u64,
+        "advertised-but-absent emissions must never merge"
+    );
+    assert_eq!(sorted(reply.bicliques), expected);
+
+    // The Completed distributed result entered the cache — as the full
+    // list, not a truncation.
+    let again = client.query(request("g", QueryParams::default())).unwrap();
+    assert!(again.cached);
+    assert_eq!(sorted(again.bicliques), expected);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// (j): cancelling a distributed query must not wait out a hung worker's
+/// attempt timeout — in-flight shard waits are abandoned as soon as the
+/// board aborts, so the reply returns at cancellation speed even with
+/// the default hour-scale `attempt_timeout`.
+#[test]
+fn cancel_returns_promptly_despite_hung_worker() {
+    let g = test_graph(20);
+    let mut cfg = coord_cfg(vec![hang_server()]);
+    cfg.attempt_timeout = Duration::from_secs(600); // would pin run() without abortable waits
+    let (handle, join) = start_coordinator("g", &g, cfg);
+
+    let client = Client::connect(handle.addr()).unwrap();
+    let mut canceller = client.canceller().unwrap();
+    let mut client = client;
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        let _ = canceller.cancel();
+    });
+    let begun = Instant::now();
+    let reply = client.query(request("g", QueryParams::default())).unwrap();
+    assert_eq!(reply.stop, StopReason::Cancelled);
+    assert!(
+        begun.elapsed() < Duration::from_secs(30),
+        "cancel was pinned behind the attempt timeout: {:?}",
+        begun.elapsed()
+    );
+    let dist = reply.dist.unwrap();
+    assert!(!dist.degraded, "nothing ran locally on the cancel path");
+    assert!(reply.checkpoint.is_some(), "a cancelled distributed run returns the merged tail");
+
+    handle.shutdown();
+    join.join().unwrap();
 }
 
 /// (g): a scripted panic inside one worker's shard execution. The
