@@ -13,9 +13,9 @@
 //!                  [--seed S] [--scale X] --output FILE
 //! mbe-cli serve <addr> [--workers N] [--queue N] [--cache-mb MB]
 //!                      [--default-timeout SECS] [--trace-dir DIR]
-//!                      [--load NAME=FILE]...
-//! mbe-cli client <addr> <load NAME FILE | list | stats | shutdown
-//!                        | query GRAPH [flags]>
+//!                      [--metrics-addr ADDR] [--load NAME=FILE]...
+//! mbe-cli client <addr> <load NAME FILE | list | stats [--watch SECS]
+//!                        | metrics | shutdown | query GRAPH [flags]>
 //! mbe-cli presets
 //! ```
 
@@ -60,6 +60,8 @@ pub enum Command {
         cache_mb: usize,
         default_timeout: Option<f64>,
         trace_dir: Option<String>,
+        /// Prometheus scrape address (`GET /metrics`), when enabled.
+        metrics_addr: Option<String>,
         preload: Vec<(String, String)>,
         /// Worker addresses for coordinator mode (empty = plain server).
         coordinator: Vec<String>,
@@ -82,8 +84,11 @@ pub enum ClientAction {
     Load { name: String, file: String },
     /// `list` — show registered graphs.
     List,
-    /// `stats` — show server counters.
-    Stats,
+    /// `stats [--watch SECS]` — show server counters, optionally
+    /// refreshing in place every SECS seconds until interrupted.
+    Stats { watch: Option<f64> },
+    /// `metrics` — show the full server telemetry snapshot.
+    Metrics,
     /// `shutdown` — graceful server shutdown.
     Shutdown,
     /// `query GRAPH [flags]` — run (or replay from cache) a query.
@@ -329,6 +334,7 @@ fn parse_serve(args: &[String]) -> Command {
     let mut cache_mb = 32usize;
     let mut default_timeout = None;
     let mut trace_dir = None;
+    let mut metrics_addr = None;
     let mut preload = Vec::new();
     let mut coordinator = Vec::new();
     let mut no_fallback = false;
@@ -354,6 +360,10 @@ fn parse_serve(args: &[String]) -> Command {
             "--trace-dir" => match it.next() {
                 Some(d) => trace_dir = Some(d.clone()),
                 None => return err("--trace-dir needs a path"),
+            },
+            "--metrics-addr" => match it.next() {
+                Some(a) if !a.is_empty() => metrics_addr = Some(a.clone()),
+                _ => return err("--metrics-addr needs an address (e.g. 127.0.0.1:9095)"),
             },
             "--load" => match it.next().and_then(|s| s.split_once('=')) {
                 Some((name, file)) if !name.is_empty() && !file.is_empty() => {
@@ -390,6 +400,7 @@ fn parse_serve(args: &[String]) -> Command {
         cache_mb,
         default_timeout,
         trace_dir,
+        metrics_addr,
         preload,
         coordinator,
         no_fallback,
@@ -411,7 +422,11 @@ fn parse_client(args: &[String]) -> Command {
             _ => return err("client load requires NAME FILE"),
         },
         Some("list") => ClientAction::List,
-        Some("stats") => ClientAction::Stats,
+        Some("stats") => match parse_client_stats(&args[2..]) {
+            Ok(action) => action,
+            Err(msg) => return err(&msg),
+        },
+        Some("metrics") => ClientAction::Metrics,
         Some("shutdown") => ClientAction::Shutdown,
         Some("query") => match parse_client_query(&args[2..]) {
             Ok(action) => action,
@@ -419,11 +434,26 @@ fn parse_client(args: &[String]) -> Command {
         },
         other => {
             return err(&format!(
-                "client needs an action (load|list|stats|shutdown|query), got {other:?}"
+                "client needs an action (load|list|stats|metrics|shutdown|query), got {other:?}"
             ))
         }
     };
     Command::Client { addr: addr.clone(), action }
+}
+
+fn parse_client_stats(args: &[String]) -> Result<ClientAction, String> {
+    let mut watch = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--watch" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 && secs.is_finite() => watch = Some(secs),
+                _ => return Err("--watch needs a positive number of seconds".to_string()),
+            },
+            other => return Err(format!("unknown client stats flag `{other}`")),
+        }
+    }
+    Ok(ClientAction::Stats { watch })
 }
 
 fn parse_client_query(args: &[String]) -> Result<ClientAction, String> {
@@ -580,7 +610,12 @@ USAGE:
                                is rejected with a typed busy response
         --cache-mb MB          result-cache byte budget (default 32)
         --default-timeout SECS deadline for queries without their own
-        --trace-dir DIR        write a JSONL trace per query to DIR
+        --trace-dir DIR        write a JSONL trace per query to DIR; a
+                               coordinator also writes one distributed
+                               span log per query (join them with
+                               `xtask trace-check --distributed DIR`)
+        --metrics-addr ADDR    serve Prometheus text exposition over
+                               HTTP on ADDR (scrape GET /metrics)
         --load NAME=FILE       register a graph at startup (repeatable)
         --coordinator ADDRS    run as a coordinator: fan shardable
                                queries out to the comma-separated worker
@@ -596,7 +631,12 @@ USAGE:
       Talk to a running server. Actions:
         load NAME FILE         register the server-side edge list FILE
         list                   show registered graphs
-        stats                  show server counters (cache hits, queue)
+        stats [--watch SECS]   show server counters (cache hits, queue);
+                               --watch refreshes every SECS seconds
+                               until q + Enter (or Ctrl-C)
+        metrics                show the full telemetry snapshot
+                               (per-opcode counters and latency, shard
+                               retries/re-steals, worker health)
         shutdown               ask the server to drain and exit
         query GRAPH [flags]    run a query; flags mirror `enumerate`
                                (--algorithm --order --threads --min-left
@@ -796,6 +836,7 @@ mod tests {
                 cache_mb,
                 default_timeout,
                 trace_dir,
+                metrics_addr,
                 preload,
                 coordinator,
                 no_fallback,
@@ -806,6 +847,7 @@ mod tests {
                 assert_eq!(cache_mb, 32);
                 assert_eq!(default_timeout, None);
                 assert_eq!(trace_dir, None);
+                assert_eq!(metrics_addr, None);
                 assert!(preload.is_empty());
                 assert!(coordinator.is_empty());
                 assert!(!no_fallback);
@@ -813,7 +855,8 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match p("serve 0.0.0.0:9 --workers 4 --queue 2 --cache-mb 64 \
-                 --default-timeout 1.5 --trace-dir /tmp/tr --load a=x.txt --load b=y.txt")
+                 --default-timeout 1.5 --trace-dir /tmp/tr --metrics-addr 127.0.0.1:9095 \
+                 --load a=x.txt --load b=y.txt")
         {
             Command::Serve {
                 workers,
@@ -821,6 +864,7 @@ mod tests {
                 cache_mb,
                 default_timeout,
                 trace_dir,
+                metrics_addr,
                 preload,
                 ..
             } => {
@@ -829,6 +873,7 @@ mod tests {
                 assert_eq!(cache_mb, 64);
                 assert_eq!(default_timeout, Some(1.5));
                 assert_eq!(trace_dir, Some("/tmp/tr".into()));
+                assert_eq!(metrics_addr, Some("127.0.0.1:9095".into()));
                 assert_eq!(preload, [("a".into(), "x.txt".into()), ("b".into(), "y.txt".into())]);
             }
             other => panic!("{other:?}"),
@@ -839,6 +884,7 @@ mod tests {
             "serve :0 --queue nope",
             "serve :0 --load broken",
             "serve :0 --load =x",
+            "serve :0 --metrics-addr",
             "serve :0 --wat",
         ] {
             assert!(matches!(p(bad), Command::Help { error: Some(_) }), "`{bad}`");
@@ -878,7 +924,15 @@ mod tests {
         );
         assert_eq!(
             p("client :1 stats"),
-            Command::Client { addr: ":1".into(), action: ClientAction::Stats }
+            Command::Client { addr: ":1".into(), action: ClientAction::Stats { watch: None } }
+        );
+        assert_eq!(
+            p("client :1 stats --watch 0.5"),
+            Command::Client { addr: ":1".into(), action: ClientAction::Stats { watch: Some(0.5) } }
+        );
+        assert_eq!(
+            p("client :1 metrics"),
+            Command::Client { addr: ":1".into(), action: ClientAction::Metrics }
         );
         assert_eq!(
             p("client :1 shutdown"),
@@ -920,6 +974,9 @@ mod tests {
             "client :1 load a b extra",
             "client :1 query",
             "client :1 query g --timeout 0",
+            "client :1 stats --watch 0",
+            "client :1 stats --watch nope",
+            "client :1 stats --wat",
             "client :1 poke",
         ] {
             assert!(matches!(p(bad), Command::Help { error: Some(_) }), "`{bad}`");

@@ -176,6 +176,7 @@ fn main() -> ExitCode {
             cache_mb,
             default_timeout,
             trace_dir,
+            metrics_addr,
             preload,
             coordinator,
             no_fallback,
@@ -186,6 +187,7 @@ fn main() -> ExitCode {
             cache_mb,
             default_timeout,
             trace_dir,
+            metrics_addr,
             &preload,
             &coordinator,
             no_fallback,
@@ -221,6 +223,7 @@ fn run_serve(
     cache_mb: usize,
     default_timeout: Option<f64>,
     trace_dir: Option<String>,
+    metrics_addr: Option<String>,
     preload: &[(String, String)],
     coordinator: &[String],
     no_fallback: bool,
@@ -230,12 +233,23 @@ fn run_serve(
         c.local_fallback = !no_fallback;
         c
     });
+    let metrics_sock = match metrics_addr {
+        Some(a) => match a.parse::<std::net::SocketAddr>() {
+            Ok(sock) => Some(sock),
+            Err(e) => {
+                eprintln!("error: bad --metrics-addr {a}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let cfg = serve::ServerConfig {
         workers,
         queue_capacity: queue,
         cache_bytes: cache_mb << 20,
         default_timeout: default_timeout.map(std::time::Duration::from_secs_f64),
         trace_dir: trace_dir.map(std::path::PathBuf::from),
+        metrics_addr: metrics_sock,
         coordinator: coordinator_cfg,
         ..serve::ServerConfig::default()
     };
@@ -270,6 +284,9 @@ fn run_serve(
         "mbe-serve listening on {} ({workers} workers, queue {queue}, cache {cache_mb} MiB)",
         server.local_addr()
     );
+    if let Some(maddr) = server.metrics_addr() {
+        println!("metrics exposition on http://{maddr}/metrics");
+    }
     if !coordinator.is_empty() {
         println!(
             "coordinator mode: fanning shardable queries out to {} worker(s): {}{}",
@@ -357,29 +374,9 @@ fn run_client(addr: &str, action: ClientAction) -> ExitCode {
                 );
             }
         }),
-        ClientAction::Stats => client.stats().map(|s| {
-            println!("graphs        : {}", s.graphs);
-            println!("workers       : {}", s.workers);
-            println!("inflight      : {}", s.inflight);
-            println!("queued        : {}/{}", s.queued, s.queue_capacity);
-            println!("queries       : {}", s.queries);
-            println!("busy rejected : {}", s.busy_rejected);
-            println!("tasks started : {}", s.tasks_started);
-            println!("jobs executed : {}", s.jobs_executed);
-            // Busy-vs-dead telemetry: a live-but-backlogged server shows
-            // rising queue waits; a dead one answers nothing at all.
-            println!(
-                "queue wait    : max {:?}, mean {:?}",
-                std::time::Duration::from_micros(s.queue_wait_max_us),
-                std::time::Duration::from_micros(s.queue_wait_total_us / s.jobs_executed.max(1))
-            );
-            println!("cache hits    : {}", s.cache.hits);
-            println!("cache misses  : {}", s.cache.misses);
-            println!("cache inserts : {}", s.cache.insertions);
-            println!("cache evicted : {}", s.cache.evictions);
-            println!("cache bytes   : {}", s.cache.bytes_used);
-            println!("shutting down : {}", s.shutting_down);
-        }),
+        ClientAction::Stats { watch: None } => client.stats().map(|s| print_stats(&s)),
+        ClientAction::Stats { watch: Some(secs) } => run_client_stats_watch(&mut client, secs),
+        ClientAction::Metrics => client.metrics().map(|m| print_metrics(&m)),
         ClientAction::Shutdown => client.shutdown().map(|()| {
             println!("server is shutting down");
         }),
@@ -410,7 +407,10 @@ fn run_client(addr: &str, action: ClientAction) -> ExitCode {
             // Only fetch what will be printed; the reply's `total` still
             // reports how many the server holds.
             let max_return = u32::try_from(max_print).unwrap_or(u32::MAX);
-            return run_client_query(client, serve::QueryRequest { graph, params, max_return });
+            return run_client_query(
+                client,
+                serve::QueryRequest { graph, params, max_return, trace: None },
+            );
         }
     };
     match result {
@@ -462,6 +462,137 @@ fn run_client_query(mut client: serve::Client, request: serve::QueryRequest) -> 
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Renders the admission queue-wait counters in human units, with the
+/// mean normalized by executed jobs. Zero executed jobs reads as idle
+/// rather than dividing by a guess.
+fn format_queue_wait(total_us: u64, max_us: u64, executed: u64) -> String {
+    if executed == 0 {
+        return "no jobs executed yet".to_string();
+    }
+    format!(
+        "max {:?}, mean {:?} over {executed} jobs",
+        std::time::Duration::from_micros(max_us),
+        std::time::Duration::from_micros(total_us / executed)
+    )
+}
+
+fn print_stats(s: &serve::ServerStats) {
+    println!("graphs        : {}", s.graphs);
+    println!("workers       : {}", s.workers);
+    println!("inflight      : {}", s.inflight);
+    println!("queued        : {}/{}", s.queued, s.queue_capacity);
+    println!("queries       : {}", s.queries);
+    println!("busy rejected : {}", s.busy_rejected);
+    println!("tasks started : {}", s.tasks_started);
+    println!("jobs executed : {}", s.jobs_executed);
+    // Busy-vs-dead telemetry: a live-but-backlogged server shows
+    // rising queue waits; a dead one answers nothing at all.
+    println!(
+        "queue wait    : {}",
+        format_queue_wait(s.queue_wait_total_us, s.queue_wait_max_us, s.jobs_executed)
+    );
+    println!("cache hits    : {}", s.cache.hits);
+    println!("cache misses  : {}", s.cache.misses);
+    println!("cache inserts : {}", s.cache.insertions);
+    println!("cache evicted : {}", s.cache.evictions);
+    println!("cache bytes   : {}", s.cache.bytes_used);
+    println!("shutting down : {}", s.shutting_down);
+}
+
+/// Polls `STATS` every `secs` seconds until Ctrl-C (or `q` + Enter),
+/// repainting in place so the terminal reads like a dashboard.
+fn run_client_stats_watch(client: &mut serve::Client, secs: f64) -> Result<(), serve::ServeError> {
+    let quit = RunControl::new();
+    interrupt::register(&quit);
+    let interval = std::time::Duration::from_secs_f64(secs);
+    while !quit.is_cancelled() {
+        let stats = client.stats()?;
+        // Clear the screen and home the cursor so each refresh paints
+        // over the last one.
+        print!("\x1b[2J\x1b[H");
+        print_stats(&stats);
+        println!("(refreshing every {secs}s — Ctrl-C or `q` + Enter stops)");
+        // Sleep in short slices so the quit flag stays prompt.
+        let mut left = interval;
+        while left > std::time::Duration::ZERO && !quit.is_cancelled() {
+            let slice = left.min(std::time::Duration::from_millis(100));
+            std::thread::sleep(slice);
+            left = left.saturating_sub(slice);
+        }
+    }
+    Ok(())
+}
+
+fn print_metrics(m: &serve::MetricsSnapshot) {
+    println!("uptime        : {:?}", std::time::Duration::from_micros(m.uptime_us));
+    println!(
+        "graphs        : {} ({} loads, {} name conflicts)",
+        m.graphs, m.graph_loads, m.graph_conflicts
+    );
+    println!(
+        "queries       : {} total, {} distributed, {} busy-rejected, {} inflight",
+        m.queries, m.dist_queries, m.busy_rejected, m.inflight
+    );
+    println!(
+        "queue         : {}/{} queued, {} pool workers",
+        m.queued, m.queue_capacity, m.pool_workers
+    );
+    println!(
+        "queue wait    : {}",
+        format_queue_wait(
+            m.queue_wait.sum(),
+            m.queue_wait.max_bucket_lower_bound().unwrap_or(0),
+            m.jobs_executed
+        )
+    );
+    println!(
+        "cache         : {} hits / {} misses, {} inserts, {} evictions, {} bytes held, {} bytes evicted",
+        m.cache_hits, m.cache_misses, m.cache_insertions, m.cache_evictions, m.cache_bytes_used, m.cache_bytes_evicted
+    );
+    println!("requests      :");
+    for (name, op) in serve::telemetry::OP_NAMES.iter().zip(m.ops.iter()) {
+        if op.count == 0 {
+            continue;
+        }
+        let p50 = op.latency.quantile_lower_bound(0.5).unwrap_or(0);
+        let p99 = op.latency.quantile_lower_bound(0.99).unwrap_or(0);
+        println!(
+            "  {name:<12} {:>8} calls, {:>6} errors, p50 ≥ {:?}, p99 ≥ {:?}",
+            op.count,
+            op.errors,
+            std::time::Duration::from_micros(p50),
+            std::time::Duration::from_micros(p99)
+        );
+    }
+    if m.shard_dispatches > 0 || m.dist_queries > 0 {
+        println!(
+            "shards        : {} dispatched, {} retries, {} re-steals, {} speculated",
+            m.shard_dispatches, m.shard_retries, m.shard_resteals, m.shard_speculated
+        );
+        println!(
+            "fallback      : {} stranded shards claimed locally, {} full local fallbacks",
+            m.shard_stranded_claims, m.shard_fallbacks
+        );
+    }
+    if !m.workers.is_empty() {
+        println!(
+            "fleet health  : {} quarantines, {} re-admissions",
+            m.worker_quarantines, m.worker_readmissions
+        );
+        for (i, w) in m.workers.iter().enumerate() {
+            println!(
+                "  worker {i}: {} ({} ok / {} failed attempts, streak {}, {} quarantines)",
+                if w.healthy { "healthy" } else { "quarantined" },
+                w.successes,
+                w.failures,
+                w.consecutive_failures,
+                w.quarantines
+            );
+        }
+    }
+    println!("shutting down : {}", m.shutting_down);
 }
 
 /// The observability flags of `enumerate`, bundled to keep
@@ -680,5 +811,29 @@ fn build_model(model: &GenModel, seed: u64, scale: f64) -> BipartiteGraph {
             gen::chung_lu::generate(&mut rng, &cfg)
         }
         GenModel::Gnm { nu, nv, edges } => gen::er::gnm(&mut rng, *nu, *nv, *edges),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::format_queue_wait;
+
+    #[test]
+    fn queue_wait_is_normalized_by_executed_jobs() {
+        // 900µs over 3 jobs → 300µs mean; max passes through.
+        assert_eq!(format_queue_wait(900, 1_200, 3), "max 1.2ms, mean 300µs over 3 jobs");
+    }
+
+    #[test]
+    fn queue_wait_with_no_jobs_does_not_divide() {
+        assert_eq!(format_queue_wait(0, 0, 0), "no jobs executed yet");
+        // Stale totals with zero executed still must not panic.
+        assert_eq!(format_queue_wait(500, 500, 0), "no jobs executed yet");
+    }
+
+    #[test]
+    fn queue_wait_uses_human_units_across_scales() {
+        assert_eq!(format_queue_wait(2_000_000, 2_000_000, 1), "max 2s, mean 2s over 1 jobs");
+        assert_eq!(format_queue_wait(10, 10, 1), "max 10µs, mean 10µs over 1 jobs");
     }
 }

@@ -27,6 +27,7 @@ pub const BUCKETS: usize = 65;
 #[derive(Clone, Copy, PartialEq, Eq)]
 pub struct Histogram {
     counts: [u64; BUCKETS],
+    sum: u64,
 }
 
 impl Default for Histogram {
@@ -38,7 +39,19 @@ impl Default for Histogram {
 impl Histogram {
     /// An empty histogram.
     pub const fn new() -> Self {
-        Histogram { counts: [0; BUCKETS] }
+        Histogram { counts: [0; BUCKETS], sum: 0 }
+    }
+
+    /// Reconstructs a histogram from raw bucket counts and a value sum —
+    /// the wire-decode counterpart of [`Histogram::buckets`] and
+    /// [`Histogram::sum`]. Buckets beyond [`BUCKETS`] are ignored;
+    /// missing trailing buckets read as zero.
+    pub fn from_parts(buckets: &[u64], sum: u64) -> Self {
+        let mut h = Histogram { counts: [0; BUCKETS], sum };
+        for (slot, &c) in h.counts.iter_mut().zip(buckets.iter()) {
+            *slot = c;
+        }
+        h
     }
 
     /// The bucket index for `value`: `0` for zero, otherwise the bit
@@ -52,19 +65,25 @@ impl Histogram {
     }
 
     /// The inclusive lower bound of bucket `i` (`0` for bucket 0).
+    /// Total over any index: out-of-range `i` saturates to `u64::MAX`,
+    /// so exposition code may ask for "the bound after the last bucket"
+    /// without overflow.
     pub fn bucket_lower_bound(i: usize) -> u64 {
         match i {
             0 => 0,
-            _ => 1u64 << (i - 1),
+            1..=64 => 1u64 << (i - 1),
+            _ => u64::MAX,
         }
     }
 
-    /// Counts `value` into its bucket.
+    /// Counts `value` into its bucket and adds it to the running sum
+    /// (both saturating).
     pub fn record(&mut self, value: u64) {
         let i = Histogram::bucket_of(value);
         if let Some(slot) = self.counts.get_mut(i) {
             *slot = slot.saturating_add(1);
         }
+        self.sum = self.sum.saturating_add(value);
     }
 
     /// Total number of recorded values.
@@ -74,6 +93,13 @@ impl Histogram {
             total = total.saturating_add(c);
         }
         total
+    }
+
+    /// Saturating sum of every recorded value — with
+    /// [`Histogram::count`], enough for a mean and for Prometheus-style
+    /// `_sum`/`_count` exposition.
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// `true` iff nothing has been recorded.
@@ -92,12 +118,13 @@ impl Histogram {
         self.counts.iter().rposition(|&c| c > 0).map(Histogram::bucket_lower_bound)
     }
 
-    /// Adds another histogram's counts into this one (per-worker metrics
-    /// merge into run totals this way).
+    /// Adds another histogram's counts and sum into this one
+    /// (per-worker metrics merge into run totals this way).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a = a.saturating_add(*b);
         }
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// The lower bound of the bucket containing the `q`-quantile
@@ -252,6 +279,67 @@ mod tests {
         h.record(u64::MAX); // top bucket
         assert_eq!(h.quantile_lower_bound(0.0), Some(1));
         assert_eq!(h.quantile_lower_bound(1.0), Some(1u64 << 63));
+    }
+
+    #[test]
+    fn sum_tracks_recorded_values_and_saturates() {
+        let mut h = Histogram::new();
+        assert_eq!(h.sum(), 0);
+        h.record(3);
+        h.record(0);
+        h.record(7);
+        assert_eq!(h.sum(), 10);
+        assert_eq!(h.count(), 3);
+        // The sum saturates instead of wrapping.
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        h.record(1);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(900);
+        let before = h;
+        // Identity on the right: h ∪ ∅ = h.
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        // Identity on the left: ∅ ∪ h = h.
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn merge_adds_sums_saturating() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(u64::MAX);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_buckets_and_sum() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 5, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_parts(h.buckets(), h.sum());
+        assert_eq!(rebuilt, h);
+        // Short slices read as zero-padded; long slices are truncated.
+        let short = Histogram::from_parts(&[2, 1], 3);
+        assert_eq!(short.count(), 3);
+        assert_eq!(short.sum(), 3);
+        assert_eq!(short.buckets()[0], 2);
+        let long = vec![1u64; BUCKETS + 10];
+        let truncated = Histogram::from_parts(&long, 0);
+        assert_eq!(truncated.count(), BUCKETS as u64);
     }
 
     #[test]

@@ -48,7 +48,15 @@ use crate::Algorithm;
 /// Version of the JSONL trace event schema emitted by
 /// [`JsonlTraceObserver`] (the `"v"` field of every line). Bump on any
 /// incompatible change and document the delta in DESIGN.md §8.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 (over v1): the `run_start` header line gains a mandatory
+/// `"anchor"` field — wall-clock UNIX-epoch microseconds captured at
+/// observer creation — so run-relative `t_us` timestamps from
+/// different processes can be aligned on one wall-clock axis; it also
+/// gains optional `"trace"`/`"parent"` fields carrying a distributed
+/// trace context (see [`JsonlTraceObserver::set_trace_context`]). All
+/// other events are unchanged; validators keep accepting v1.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Default emission-sampling cadence: `on_emit_sample` fires once per
 /// this many delivered emissions per worker.
@@ -467,6 +475,12 @@ impl<S: BicliqueSink> BicliqueSink for RecordingSink<'_, S> {
 struct TraceInner {
     out: std::io::BufWriter<std::fs::File>,
     start: Instant,
+    /// Wall-clock UNIX-epoch µs captured at creation: the `anchor`
+    /// field of the `run_start` header line (schema v2).
+    anchor_us: u64,
+    /// Distributed trace context stamped onto the header line, set via
+    /// [`JsonlTraceObserver::set_trace_context`] before the run starts.
+    trace: Option<(u64, u64)>,
     last_us: u64,
     buf: String,
     error: Option<std::io::Error>,
@@ -478,7 +492,7 @@ struct TraceInner {
 /// One line per event, e.g.:
 ///
 /// ```text
-/// {"v":1,"t_us":1423,"ev":"task_finish","w":0,"task":5,"kind":"root","us":87,"nodes":12,"emitted":4,"depth":3}
+/// {"v":2,"t_us":1423,"ev":"task_finish","w":0,"task":5,"kind":"root","us":87,"nodes":12,"emitted":4,"depth":3}
 /// ```
 ///
 /// Every line carries the schema version `"v"` ([`TRACE_SCHEMA_VERSION`]),
@@ -500,15 +514,31 @@ impl JsonlTraceObserver {
     /// Creates (truncating) `path` and returns an observer tracing to it.
     pub fn create(path: &str) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
+        let anchor_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
         Ok(JsonlTraceObserver {
             inner: Mutex::new(TraceInner {
                 out: std::io::BufWriter::new(file),
                 start: Instant::now(),
+                anchor_us,
+                trace: None,
                 last_us: 0,
                 buf: String::with_capacity(160),
                 error: None,
             }),
         })
+    }
+
+    /// Stamps a distributed trace context onto this trace: the
+    /// `run_start` header line will carry `"trace"` and `"parent"`
+    /// fields, making the file joinable against a coordinator span log
+    /// by trace id. Must be called before the run starts (the header is
+    /// written by `on_run_start`).
+    pub fn set_trace_context(&self, trace_id: u64, parent_span: u64) {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).trace =
+            Some((trace_id, parent_span));
     }
 
     /// Takes the first write error encountered, if any (subsequent
@@ -569,10 +599,22 @@ fn field_str(buf: &mut String, key: &str, value: &str) {
 
 impl Observer for JsonlTraceObserver {
     fn on_run_start(&self, ctx: &RunContext) {
+        // The anchor and trace context are read outside `event`'s
+        // closure to keep the lock acquisition single (the closure runs
+        // under the same lock).
+        let (anchor_us, trace) = {
+            let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            (inner.anchor_us, inner.trace)
+        };
         self.event("run_start", |b| {
             field_str(b, "alg", ctx.algorithm.label());
             field_u64(b, "threads", ctx.threads as u64);
             field_u64(b, "resumed", ctx.resumed as u64);
+            field_u64(b, "anchor", anchor_us);
+            if let Some((trace_id, parent_span)) = trace {
+                field_u64(b, "trace", trace_id);
+                field_u64(b, "parent", parent_span);
+            }
         });
     }
 
@@ -761,5 +803,45 @@ mod tests {
             assert!(t >= last, "timestamps must be non-decreasing");
             last = t;
         }
+    }
+
+    #[test]
+    fn run_start_carries_anchor_and_optional_trace_context() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+
+        // Without a trace context: anchor present, trace absent.
+        let path = dir.join(format!("mbe-obs-anchor-{pid}.jsonl")).to_string_lossy().into_owned();
+        let obs = JsonlTraceObserver::create(&path).unwrap();
+        obs.on_run_start(&RunContext { algorithm: Algorithm::Mbet, threads: 1, resumed: false });
+        obs.on_run_end(StopReason::Completed, &Stats::default());
+        drop(obs);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("\"anchor\":"), "{header}");
+        assert!(!header.contains("\"trace\":"), "{header}");
+        let anchor: u64 = header
+            .split("\"anchor\":")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(anchor > 0, "wall clock anchor should be a real epoch timestamp");
+
+        // With a trace context: both ids stamped on the header line.
+        let path = dir.join(format!("mbe-obs-trace-{pid}.jsonl")).to_string_lossy().into_owned();
+        let obs = JsonlTraceObserver::create(&path).unwrap();
+        obs.set_trace_context(12345, 6789);
+        obs.on_run_start(&RunContext { algorithm: Algorithm::Mbet, threads: 1, resumed: false });
+        obs.on_run_end(StopReason::Completed, &Stats::default());
+        drop(obs);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("\"trace\":12345"), "{header}");
+        assert!(header.contains("\"parent\":6789"), "{header}");
+        assert!(header.contains("\"anchor\":"), "{header}");
     }
 }

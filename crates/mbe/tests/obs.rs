@@ -238,9 +238,10 @@ fn assert_trace_shape(content: &str, want_stop: &str) {
     assert!(last.contains("\"ev\":\"run_end\""), "last line: {last}");
     assert!(last.contains(&format!("\"stop\":\"{want_stop}\"")), "last line: {last}");
     let mut prev = 0u64;
+    let version_tag = format!("\"v\":{}", mbe::obs::TRACE_SCHEMA_VERSION);
     for line in &lines {
         assert!(line.starts_with('{') && line.ends_with('}'), "not an object: {line}");
-        assert!(line.contains("\"v\":1"), "unversioned line: {line}");
+        assert!(line.contains(&version_tag), "unversioned line: {line}");
         let t: u64 = line
             .split("\"t_us\":")
             .nth(1)

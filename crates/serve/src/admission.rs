@@ -17,6 +17,8 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use mbe::histogram::Histogram;
+
 /// Unit of queued work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -65,6 +67,8 @@ struct WaitCounters {
     total_us: AtomicU64,
     max_us: AtomicU64,
     executed: AtomicU64,
+    /// Full wait distribution (µs, log-bucketed) for telemetry.
+    hist: Mutex<Histogram>,
 }
 
 impl std::fmt::Debug for Admission {
@@ -157,6 +161,11 @@ impl Admission {
         }
     }
 
+    /// A copy of the queue-wait distribution (µs, log-bucketed).
+    pub fn queue_wait_histogram(&self) -> Histogram {
+        *self.wait.hist.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Closes the queue and joins the workers. Already-queued jobs are
     /// drained, not dropped. Idempotent.
     pub fn shutdown(&self) {
@@ -192,6 +201,7 @@ fn worker_loop(rx: &Mutex<Receiver<(Instant, Job)>>, queued: &AtomicU64, wait: &
                 wait.total_us.fetch_add(waited, Ordering::Relaxed);
                 wait.max_us.fetch_max(waited, Ordering::Relaxed);
                 wait.executed.fetch_add(1, Ordering::Relaxed);
+                wait.hist.lock().unwrap_or_else(PoisonError::into_inner).record(waited);
                 job();
             }
             Err(_) => return, // sender dropped: pool shut down
@@ -282,6 +292,9 @@ mod tests {
         assert_eq!(wait.executed, 2, "both jobs ran");
         assert!(wait.max_us >= 10_000, "gated job waited: max_us={}", wait.max_us);
         assert!(wait.total_us >= wait.max_us);
+        let hist = pool.queue_wait_histogram();
+        assert_eq!(hist.count(), 2, "histogram saw both executed jobs");
+        assert_eq!(hist.sum(), wait.total_us);
     }
 
     #[test]

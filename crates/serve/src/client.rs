@@ -177,6 +177,15 @@ impl Client {
         }
     }
 
+    /// Fetches the full server telemetry snapshot.
+    pub fn metrics(&mut self) -> Result<crate::telemetry::MetricsSnapshot, ServeError> {
+        let response = self.call(&Request::Metrics)?;
+        match Self::expect_ok(response)? {
+            Reply::Metrics(snapshot) => Ok(*snapshot),
+            _ => Err(ServeError::UnexpectedReply("METRICS answered with a non-Metrics reply")),
+        }
+    }
+
     /// Sends an idle `CANCEL` (a no-op ack when nothing is in flight).
     pub fn cancel(&mut self) -> Result<(), ServeError> {
         let response = self.call(&Request::Cancel)?;

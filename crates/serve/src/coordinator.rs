@@ -39,8 +39,10 @@ use mbe::{Biclique, Checkpoint, MbeOptions, RunControl, StopReason};
 
 use crate::client::Client;
 use crate::health::HealthBoard;
-use crate::protocol::{errcode, DistSummary, ShardRequest};
+use crate::protocol::{errcode, DistSummary, ShardRequest, TraceContext};
 use crate::shard::ShardBoard;
+use crate::span::SpanLog;
+use crate::telemetry::{ServerMetrics, WorkerStatus};
 use crate::ServeError;
 
 /// Main-loop pacing: how often the coordinator rechecks cancellation,
@@ -192,9 +194,18 @@ impl Coordinator {
         });
     }
 
+    /// Per-worker health telemetry, index-aligned with
+    /// [`CoordinatorConfig::workers`].
+    pub(crate) fn worker_status(&self) -> Vec<WorkerStatus> {
+        self.health.status()
+    }
+
     /// Executes one shardable query by scatter/gather. `deadline` is the
     /// query's admission-time deadline (`control` carries the matching
-    /// cancellation flag).
+    /// cancellation flag). `metrics` receives live shard-attempt
+    /// counters; `span` receives the query's distributed span log (both
+    /// optional — telemetry never gates enumeration).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run(
         &self,
         graph: &BipartiteGraph,
@@ -202,12 +213,18 @@ impl Coordinator {
         params: &QueryParams,
         control: &RunControl,
         deadline: Option<Instant>,
+        metrics: Option<&ServerMetrics>,
+        span: Option<&SpanLog>,
     ) -> Result<DistOutcome, DistError> {
         let started = Instant::now();
         let workers = self.cfg.workers.len() as u32;
         let opts = MbeOptions::new(params.algorithm).order(params.order);
         let whole = initial_checkpoint(graph, &opts);
         if whole.frontier.is_empty() {
+            if let Some(s) = span {
+                s.coord_start(0, u64::from(workers));
+                s.coord_end("completed", 0, 0, 0, false);
+            }
             return Ok(DistOutcome {
                 stop: StopReason::Completed,
                 emitted: 0,
@@ -223,6 +240,9 @@ impl Coordinator {
             .map_err(|e| DistError::Internal(format!("frontier split failed: {e}")))?;
         let board = ShardBoard::new(parts, self.cfg.max_attempts);
         let shards = board.shard_count() as u32;
+        if let Some(s) = span {
+            s.coord_start(u64::from(shards), u64::from(workers));
+        }
 
         let mut stop = StopReason::Completed;
         let mut degraded = false;
@@ -233,7 +253,9 @@ impl Coordinator {
             for (widx, addr) in self.cfg.workers.iter().enumerate() {
                 let board = &board;
                 scope.spawn(move || {
-                    self.drive_worker(widx, addr, board, graph_name, params, deadline);
+                    self.drive_worker(
+                        widx, addr, board, graph_name, params, deadline, metrics, span,
+                    );
                 });
             }
             loop {
@@ -260,7 +282,7 @@ impl Coordinator {
                         });
                         break;
                     }
-                    match self.run_locally(graph, params, control, &board) {
+                    match self.run_locally(graph, params, control, &board, metrics, span) {
                         // The trigger resolved itself (e.g. a running
                         // speculative attempt completed the stranded
                         // shard): nothing ran locally, nothing degraded.
@@ -282,7 +304,11 @@ impl Coordinator {
                 if let Some(p99) = board.p99_duration() {
                     let threshold =
                         self.cfg.speculate_min.max(p99.mul_f64(self.cfg.speculate_factor.max(0.0)));
-                    board.speculate_stragglers(threshold);
+                    for (idx, epoch) in board.speculate_stragglers(threshold) {
+                        if let Some(s) = span {
+                            s.speculate(idx as u64, u64::from(epoch));
+                        }
+                    }
                 }
                 board.wait_for_change(POLL);
             }
@@ -290,9 +316,21 @@ impl Coordinator {
         });
 
         if let Some(e) = error {
+            if let Some(s) = span {
+                s.coord_end("error", 0, 0, 0, false);
+            }
             return Err(e);
         }
         let (bicliques, emitted, counters) = board.finish();
+        if let Some(s) = span {
+            s.coord_end(
+                stop.label(),
+                u64::from(counters.retries),
+                u64::from(counters.resteals),
+                u64::from(counters.speculated),
+                degraded,
+            );
+        }
         Ok(DistOutcome {
             stop,
             emitted,
@@ -320,10 +358,19 @@ impl Coordinator {
         params: &QueryParams,
         control: &RunControl,
         board: &ShardBoard,
+        metrics: Option<&ServerMetrics>,
+        span: Option<&SpanLog>,
     ) -> Result<LocalRun, DistError> {
         let Some((checkpoints, partials, partial_emitted)) = board.claim_pending() else {
             return Ok(LocalRun::NothingPending);
         };
+        if let Some(m) = metrics {
+            ServerMetrics::add(&m.shard_stranded_claims, checkpoints.len() as u64);
+            ServerMetrics::add(&m.shard_fallbacks, 1);
+        }
+        if let Some(s) = span {
+            s.fallback(checkpoints.len() as u64);
+        }
         board.merge_local(partials, partial_emitted);
         let merged = Checkpoint::merge(&checkpoints)
             .map_err(|e| DistError::Internal(format!("cannot merge remaining shards: {e}")))?;
@@ -341,6 +388,7 @@ impl Coordinator {
 
     /// One worker's driver loop: pop shards, execute them remotely,
     /// classify failures, and sit out quarantine with periodic probes.
+    #[allow(clippy::too_many_arguments)]
     fn drive_worker(
         &self,
         widx: usize,
@@ -349,6 +397,8 @@ impl Coordinator {
         graph_name: &str,
         params: &QueryParams,
         deadline: Option<Instant>,
+        metrics: Option<&ServerMetrics>,
+        span: Option<&SpanLog>,
     ) {
         let mut consecutive: u32 = 0;
         loop {
@@ -356,41 +406,80 @@ impl Coordinator {
                 return;
             }
             let Some((idx, epoch, started, ckpt)) = board.next() else { return };
-            match self.attempt(addr, graph_name, params, deadline, board, &ckpt) {
-                AttemptOutcome::Completed(bicliques, emitted) => {
+            let span_id = span.map(|s| s.dispatch(idx as u64, u64::from(epoch), widx as u64));
+            if let Some(m) = metrics {
+                ServerMetrics::add(&m.shard_dispatches, 1);
+            }
+            let trace = span
+                .zip(span_id)
+                .map(|(s, sid)| TraceContext { trace_id: s.trace_id(), parent_span: sid });
+            let outcome = self.attempt(addr, graph_name, params, deadline, board, &ckpt, trace);
+            // Health is charged by outcome *kind*, not by what the board
+            // does with the result: an aborted attempt in particular
+            // charges nothing — the merged result was already decided,
+            // and the worker may be perfectly healthy (see DESIGN §8c).
+            match health_charge(&outcome) {
+                HealthCharge::Success => {
                     consecutive = 0;
                     self.health.record_success(widx);
-                    board.complete(idx, epoch, started, bicliques, emitted);
                 }
-                AttemptOutcome::Stopped(remaining, partial, partial_emitted) => {
-                    // The worker answered — it is alive — but lost the
-                    // shard (contained panic, shutdown, deadline): bank
-                    // the partial and re-steal the remainder.
-                    consecutive = 0;
-                    self.health.record_success(widx);
-                    board.resteal(idx, epoch, remaining, partial, partial_emitted);
-                }
-                AttemptOutcome::Refused { lost_mid_run } => {
-                    // Alive but unable to take the shard right now
-                    // (busy, draining, catching up on graphs).
-                    consecutive = consecutive.saturating_add(1);
-                    board.fail(idx, epoch, lost_mid_run);
-                    self.sleep_backoff(board, widx, consecutive);
-                }
-                AttemptOutcome::Failed { lost_mid_run } => {
+                HealthCharge::Failure => {
                     consecutive = consecutive.saturating_add(1);
                     self.health.record_failure(
                         widx,
                         self.cfg.quarantine_after,
                         self.cfg.quarantine_for,
                     );
-                    board.fail(idx, epoch, lost_mid_run);
+                }
+                HealthCharge::Nothing => {
+                    if !matches!(outcome, AttemptOutcome::Aborted) {
+                        consecutive = consecutive.saturating_add(1);
+                    }
+                }
+            }
+            match outcome {
+                AttemptOutcome::Completed(bicliques, emitted) => {
+                    let accepted = board.complete(idx, epoch, started, bicliques, emitted);
+                    if let (Some(s), Some(sid)) = (span, span_id) {
+                        if accepted {
+                            s.merge(idx as u64, u64::from(epoch), sid, emitted);
+                        } else {
+                            s.discard(idx as u64, u64::from(epoch), sid);
+                        }
+                    }
+                }
+                AttemptOutcome::Stopped(remaining, partial, partial_emitted) => {
+                    // The worker answered — it is alive — but lost the
+                    // shard (contained panic, shutdown, deadline): bank
+                    // the partial and re-steal the remainder.
+                    let requeued = board.resteal(idx, epoch, remaining, partial, partial_emitted);
+                    if let (Some(s), Some(sid)) = (span, span_id) {
+                        if requeued {
+                            s.resteal(idx as u64, u64::from(epoch));
+                        } else {
+                            s.discard(idx as u64, u64::from(epoch), sid);
+                        }
+                    }
+                }
+                // Refused: alive but unable to take the shard right now
+                // (busy, draining, catching up on graphs).
+                AttemptOutcome::Refused { lost_mid_run }
+                | AttemptOutcome::Failed { lost_mid_run } => {
+                    let disposition = board.fail(idx, epoch, lost_mid_run);
+                    if let Some(s) = span {
+                        if disposition != crate::shard::FailDisposition::Stale {
+                            if lost_mid_run {
+                                s.resteal(idx as u64, u64::from(epoch));
+                            } else {
+                                s.retry(idx as u64, u64::from(epoch));
+                            }
+                        }
+                    }
                     self.sleep_backoff(board, widx, consecutive);
                 }
                 // The board aborted while this attempt was in flight: the
                 // merged result is already decided (completion, cancel,
-                // deadline, or fallback), so drain without charging the
-                // worker a failure — it may be perfectly healthy.
+                // deadline, or fallback), so drain.
                 AttemptOutcome::Aborted => {
                     board.fail(idx, epoch, false);
                     return;
@@ -431,6 +520,9 @@ impl Coordinator {
     /// reply wait is abandoned (→ [`AttemptOutcome::Aborted`]) as soon
     /// as the board aborts, so a hung worker cannot pin
     /// [`Coordinator::run`] past the moment the merged result is known.
+    /// `trace` is the dispatch's span context, stamped onto the worker's
+    /// own run trace so the two logs join by trace id.
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
         addr: &str,
@@ -439,6 +531,7 @@ impl Coordinator {
         deadline: Option<Instant>,
         board: &ShardBoard,
         ckpt: &Checkpoint,
+        trace: Option<TraceContext>,
     ) -> AttemptOutcome {
         let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
         let wait = remaining.map_or(self.cfg.attempt_timeout, |r| r.min(self.cfg.attempt_timeout));
@@ -452,6 +545,7 @@ impl Coordinator {
             params: QueryParams { timeout: remaining, ..params.clone() },
             max_return: u32::MAX,
             checkpoint: ckpt.to_bytes(),
+            trace,
         };
         match client.query_shard_until(request, &|| board.is_aborted()) {
             // A reply whose advertised total exceeds the bicliques it
@@ -525,6 +619,29 @@ impl Coordinator {
     }
 }
 
+/// How an attempt's outcome charges the worker's health record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HealthCharge {
+    /// The worker answered usefully: reset its failure streak.
+    Success,
+    /// The worker was unreachable or dropped the connection: one strike.
+    Failure,
+    /// No verdict on the worker. Covers refusals (alive, just busy or
+    /// behind on graphs) and aborted attempts (the merged result was
+    /// already decided; the worker may be perfectly healthy).
+    Nothing,
+}
+
+/// Maps an attempt outcome to its health charge — the single place the
+/// "aborted attempts charge no failure" rule lives (DESIGN §8c).
+fn health_charge(outcome: &AttemptOutcome) -> HealthCharge {
+    match outcome {
+        AttemptOutcome::Completed(..) | AttemptOutcome::Stopped(..) => HealthCharge::Success,
+        AttemptOutcome::Failed { .. } => HealthCharge::Failure,
+        AttemptOutcome::Refused { .. } | AttemptOutcome::Aborted => HealthCharge::Nothing,
+    }
+}
+
 /// What one remote attempt amounted to.
 enum AttemptOutcome {
     /// The shard ran to completion: its bicliques and emission count.
@@ -579,6 +696,51 @@ fn jitter(seed: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::server::{Server, ServerConfig};
+
+    fn test_shards(k: usize) -> Vec<Checkpoint> {
+        let g = bigraph::BipartiteGraph::from_edges(
+            4,
+            4,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (3, 3)],
+        )
+        .unwrap();
+        let opts = MbeOptions::new(mbe::Algorithm::Mbet);
+        initial_checkpoint(&g, &opts).split(&g, k).unwrap()
+    }
+
+    #[test]
+    fn quarantined_worker_is_readmitted_by_a_stats_probe() {
+        // A real server on a loopback port is the probe target: the
+        // re-admission path is a live STATS round trip, not a mock.
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+
+        let mut cfg = CoordinatorConfig::new(vec![addr.clone()]);
+        cfg.quarantine_after = 3;
+        cfg.quarantine_for = Duration::from_millis(10);
+        let coord = Coordinator::new(cfg);
+        for _ in 0..3 {
+            coord.health.record_failure(0, 3, Duration::from_millis(10));
+        }
+        let before = coord.worker_status();
+        assert!(!before[0].healthy, "three strikes quarantine the worker");
+        assert_eq!(before[0].quarantines, 1);
+        assert_eq!(before[0].readmissions, 0);
+
+        // Pending work keeps serve_quarantine in its probe loop: it
+        // sits out the sentence, probes, and re-admits on success.
+        let board = ShardBoard::new(test_shards(2), 4);
+        assert!(coord.serve_quarantine(0, &addr, &board), "board still has work");
+        let after = coord.worker_status();
+        assert!(after[0].healthy, "a successful STATS probe re-admits");
+        assert_eq!(after[0].readmissions, 1);
+
+        handle.shutdown();
+        let _ = join.join();
+    }
 
     #[test]
     fn jitter_is_bounded_and_spread() {
@@ -595,5 +757,22 @@ mod tests {
     fn dist_error_maps_to_protocol_codes() {
         assert_eq!(DistError::NoWorkers.code(), errcode::NO_WORKERS);
         assert_eq!(DistError::Internal("x".into()).code(), errcode::INTERNAL);
+    }
+
+    #[test]
+    fn health_charge_spares_refused_and_aborted_attempts() {
+        assert_eq!(health_charge(&AttemptOutcome::Completed(Vec::new(), 0)), HealthCharge::Success);
+        assert_eq!(
+            health_charge(&AttemptOutcome::Failed { lost_mid_run: true }),
+            HealthCharge::Failure
+        );
+        // A refusal means the worker answered — busy or behind on
+        // graphs, not broken — and an aborted attempt means the merged
+        // result was already decided elsewhere. Neither is a strike.
+        assert_eq!(
+            health_charge(&AttemptOutcome::Refused { lost_mid_run: false }),
+            HealthCharge::Nothing
+        );
+        assert_eq!(health_charge(&AttemptOutcome::Aborted), HealthCharge::Nothing);
     }
 }

@@ -12,6 +12,8 @@
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use crate::telemetry::WorkerStatus;
+
 /// One worker's failure bookkeeping.
 #[derive(Debug)]
 struct WorkerHealth {
@@ -21,6 +23,14 @@ struct WorkerHealth {
     quarantined_until: Option<Instant>,
     /// `false` from quarantine entry until a probe or attempt succeeds.
     healthy: bool,
+    /// Lifetime charged attempt/probe successes (telemetry only).
+    successes: u64,
+    /// Lifetime charged attempt/probe failures (telemetry only).
+    failures: u64,
+    /// Lifetime quarantine entries (telemetry only).
+    quarantines: u64,
+    /// Lifetime quarantine exits via a successful probe (telemetry only).
+    readmissions: u64,
 }
 
 /// Per-worker health slots (index-aligned with the worker address list).
@@ -38,6 +48,10 @@ impl HealthBoard {
                         consecutive_failures: 0,
                         quarantined_until: None,
                         healthy: true,
+                        successes: 0,
+                        failures: 0,
+                        quarantines: 0,
+                        readmissions: 0,
                     })
                 })
                 .collect(),
@@ -51,6 +65,10 @@ impl HealthBoard {
     /// A successful attempt or probe: failures reset, quarantine lifted.
     pub(crate) fn record_success(&self, i: usize) {
         let mut h = self.slot(i);
+        h.successes = h.successes.saturating_add(1);
+        if !h.healthy {
+            h.readmissions = h.readmissions.saturating_add(1);
+        }
         h.consecutive_failures = 0;
         h.quarantined_until = None;
         h.healthy = true;
@@ -65,8 +83,12 @@ impl HealthBoard {
         quarantine_for: Duration,
     ) -> bool {
         let mut h = self.slot(i);
+        h.failures = h.failures.saturating_add(1);
         h.consecutive_failures = h.consecutive_failures.saturating_add(1);
         if h.consecutive_failures >= quarantine_after.max(1) {
+            if h.healthy {
+                h.quarantines = h.quarantines.saturating_add(1);
+            }
             h.quarantined_until = Some(Instant::now() + quarantine_for);
             h.healthy = false;
             true
@@ -92,6 +114,24 @@ impl HealthBoard {
     pub(crate) fn healthy_count(&self) -> usize {
         (0..self.slots.len()).filter(|&i| self.slot(i).healthy).count()
     }
+
+    /// Telemetry snapshot of every slot, index-aligned with the worker
+    /// address list.
+    pub(crate) fn status(&self) -> Vec<WorkerStatus> {
+        (0..self.slots.len())
+            .map(|i| {
+                let h = self.slot(i);
+                WorkerStatus {
+                    healthy: h.healthy,
+                    consecutive_failures: u64::from(h.consecutive_failures),
+                    successes: h.successes,
+                    failures: h.failures,
+                    quarantines: h.quarantines,
+                    readmissions: h.readmissions,
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +156,29 @@ mod tests {
         board.record_success(0);
         assert!(!board.is_quarantined(0));
         assert_eq!(board.healthy_count(), 2);
+    }
+
+    #[test]
+    fn status_counts_lifetime_quarantines_and_readmissions() {
+        let board = HealthBoard::new(2);
+        let q = Duration::from_secs(60);
+        board.record_failure(0, 2, q);
+        board.record_failure(0, 2, q); // enters quarantine
+        board.record_failure(0, 2, q); // still quarantined: not a new entry
+        board.record_success(0); // probe succeeds: readmission
+        board.record_failure(0, 2, q);
+        board.record_failure(0, 2, q); // second quarantine entry
+        board.record_success(0); // second readmission
+
+        let status = board.status();
+        assert_eq!(status.len(), 2);
+        assert!(status[0].healthy);
+        assert_eq!(status[0].consecutive_failures, 0);
+        assert_eq!(status[0].successes, 2);
+        assert_eq!(status[0].failures, 5);
+        assert_eq!(status[0].quarantines, 2);
+        assert_eq!(status[0].readmissions, 2);
+        assert_eq!(status[1], WorkerStatus { healthy: true, ..WorkerStatus::default() });
     }
 
     #[test]

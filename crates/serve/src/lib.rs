@@ -43,6 +43,8 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 mod shard;
+mod span;
+pub mod telemetry;
 pub mod wire;
 
 pub use admission::{Admission, QueueWait, SubmitError};
@@ -50,10 +52,11 @@ pub use client::{Canceller, Client};
 pub use coordinator::{CoordinatorConfig, DistError, DistOutcome};
 pub use protocol::{
     DistSummary, GraphInfo, QueryReply, QueryRequest, Reply, Request, Response, ServerStats,
-    ShardRequest,
+    ShardRequest, TraceContext,
 };
 pub use registry::{GraphEntry, GraphRegistry};
 pub use server::{Server, ServerConfig, ServerHandle, ServerSummary};
+pub use telemetry::{MetricsSnapshot, OpSnapshot, ServerMetrics, WorkerStatus};
 pub use wire::WireError;
 
 use std::fmt;

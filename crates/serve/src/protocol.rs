@@ -9,23 +9,37 @@
 //! ```
 //!
 //! Requests: `LOAD`(1), `LIST`(2), `QUERY`(3), `CANCEL`(4), `STATS`(5),
-//! `SHUTDOWN`(6), `QUERY_SHARD`(7). Response statuses: `OK`(0) — followed by a reply tag
+//! `SHUTDOWN`(6), `QUERY_SHARD`(7), `METRICS`(8). Response statuses: `OK`(0) — followed by a reply tag
 //! mirroring the request opcode — `ERR`(1) with a code and message, and
 //! `BUSY`(2), the typed admission rejection. Unknown versions and opcodes
 //! are decode errors, never silent acceptance: the version byte exists so
 //! a future v2 can change anything after byte 0.
+//!
+//! Within version 1, [`PROTOCOL_MINOR`] tracks additive revisions:
+//! minor 1 added the `METRICS` opcode and the optional trailing
+//! [`TraceContext`] on `QUERY`/`QUERY_SHARD`. Additions must keep every
+//! minor-0 payload decoding unchanged (the trace context is encoded
+//! only when present, so old and new encoders agree byte-for-byte on
+//! trace-less requests — see the decode-compat tests).
 
 use std::time::Duration;
 
+use mbe::histogram::Histogram;
 use mbe::service::QueryParams;
 use mbe::{Algorithm, Biclique, CacheCounters, StopReason};
 
 use bigraph::order::VertexOrder;
 
+use crate::telemetry::{MetricsSnapshot, OpSnapshot, WorkerStatus};
 use crate::wire::{put_bytes, put_str, put_u32, put_u64, put_u8, Reader, WireError};
 
 /// Version byte every payload starts with.
 pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Additive revision within [`PROTOCOL_VERSION`] — bumped when a new
+/// opcode or optional trailing field is added without breaking old
+/// payloads (documentation only; never sent on the wire).
+pub const PROTOCOL_MINOR: u8 = 1;
 
 /// Request opcodes (payload byte 1).
 pub mod opcode {
@@ -44,6 +58,9 @@ pub mod opcode {
     /// Run a shard-scoped query: an enumeration resumed from a serialized
     /// checkpoint frontier, as issued by a coordinator to its workers.
     pub const QUERY_SHARD: u8 = 7;
+    /// Fetch the full server telemetry snapshot (per-opcode counters,
+    /// latency histograms, shard/health counters).
+    pub const METRICS: u8 = 8;
 }
 
 /// Response statuses (payload byte 1).
@@ -121,6 +138,23 @@ pub enum Request {
     /// Run a shard of a distributed query: resume enumeration from the
     /// carried checkpoint frontier instead of the full root set.
     QueryShard(ShardRequest),
+    /// Fetch the full server telemetry snapshot.
+    Metrics,
+}
+
+/// Distributed trace context carried by `QUERY`/`QUERY_SHARD`
+/// requests. A worker stamps both ids onto its JSONL run trace so the
+/// trace can be joined against the coordinator's span log by trace id
+/// (DESIGN §8b). Encoded only when present — trace-less requests are
+/// byte-identical to protocol minor 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Query-scoped id shared by the coordinator log and every worker
+    /// trace the query touched.
+    pub trace_id: u64,
+    /// The dispatching span within the coordinator's log (one per
+    /// shard attempt).
+    pub parent_span: u64,
 }
 
 /// The `QUERY` request body.
@@ -133,6 +167,8 @@ pub struct QueryRequest {
     /// Cap on bicliques returned in the response (the run itself is not
     /// truncated; `u32::MAX` means "as many as the server allows").
     pub max_return: u32,
+    /// Optional distributed trace context (protocol minor 1).
+    pub trace: Option<TraceContext>,
 }
 
 /// The `QUERY_SHARD` request body: a query scoped to a checkpoint
@@ -151,6 +187,8 @@ pub struct ShardRequest {
     /// Serialized [`mbe::Checkpoint`] ([`mbe::Checkpoint::to_bytes`])
     /// carrying the frontier this shard must enumerate.
     pub checkpoint: Vec<u8>,
+    /// Optional distributed trace context (protocol minor 1).
+    pub trace: Option<TraceContext>,
 }
 
 /// A server→client message.
@@ -194,6 +232,8 @@ pub enum Reply {
     /// own tag so a worker's shard answer can never be confused with a
     /// whole-query answer.
     Shard(QueryReply),
+    /// `METRICS` result.
+    Metrics(Box<MetricsSnapshot>),
 }
 
 /// One registered graph, as reported by `LOAD` and `LIST`.
@@ -397,6 +437,33 @@ fn opt_u64_from_reader(r: &mut Reader<'_>, what: &'static str) -> Result<Option<
     }
 }
 
+/// The optional trailing [`TraceContext`]: nothing at all when absent
+/// (so trace-less payloads match protocol minor 0 byte-for-byte), a
+/// presence byte plus two u64s when present.
+fn put_opt_trace(buf: &mut Vec<u8>, t: Option<TraceContext>) {
+    if let Some(t) = t {
+        put_u8(buf, 1);
+        put_u64(buf, t.trace_id);
+        put_u64(buf, t.parent_span);
+    }
+}
+
+/// Decodes the optional trailing trace context: end-of-payload means
+/// absent (a minor-0 encoder), otherwise a presence byte governs.
+fn opt_trace_from_reader(r: &mut Reader<'_>) -> Result<Option<TraceContext>, WireError> {
+    if r.remaining() == 0 {
+        return Ok(None);
+    }
+    match r.u8("trace present")? {
+        0 => Ok(None),
+        1 => Ok(Some(TraceContext {
+            trace_id: r.u64("trace id")?,
+            parent_span: r.u64("parent span")?,
+        })),
+        _ => Err(WireError::Malformed("trace present")),
+    }
+}
+
 fn put_params(buf: &mut Vec<u8>, p: &QueryParams) {
     put_u8(buf, algorithm_to_u8(p.algorithm));
     order_to_bytes(buf, p.order);
@@ -531,6 +598,165 @@ fn stats_from_reader(r: &mut Reader<'_>) -> Result<ServerStats, WireError> {
     })
 }
 
+/// A histogram as its value sum plus a length-prefixed bucket array.
+fn put_histogram(buf: &mut Vec<u8>, h: &Histogram) {
+    put_u64(buf, h.sum());
+    put_u32(buf, h.buckets().len() as u32);
+    for &c in h.buckets() {
+        put_u64(buf, c);
+    }
+}
+
+fn histogram_from_reader(r: &mut Reader<'_>) -> Result<Histogram, WireError> {
+    let sum = r.u64("histogram sum")?;
+    let n = r.u32("histogram buckets")? as usize;
+    if n > r.remaining() / 8 {
+        return Err(WireError::Malformed("histogram buckets"));
+    }
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        buckets.push(r.u64("histogram bucket")?);
+    }
+    Ok(Histogram::from_parts(&buckets, sum))
+}
+
+fn put_metrics(buf: &mut Vec<u8>, m: &MetricsSnapshot) {
+    put_u64(buf, m.uptime_us);
+    put_u32(buf, m.ops.len() as u32);
+    for op in &m.ops {
+        put_u64(buf, op.count);
+        put_u64(buf, op.errors);
+        put_histogram(buf, &op.latency);
+    }
+    put_u64(buf, m.queued);
+    put_u64(buf, m.queue_capacity);
+    put_u64(buf, m.pool_workers);
+    put_histogram(buf, &m.queue_wait);
+    put_u64(buf, m.jobs_executed);
+    put_u64(buf, m.busy_rejected);
+    put_u64(buf, m.cache_hits);
+    put_u64(buf, m.cache_misses);
+    put_u64(buf, m.cache_insertions);
+    put_u64(buf, m.cache_evictions);
+    put_u64(buf, m.cache_bytes_used);
+    put_u64(buf, m.cache_bytes_evicted);
+    put_u64(buf, m.graphs);
+    put_u64(buf, m.graph_loads);
+    put_u64(buf, m.graph_conflicts);
+    put_u64(buf, m.inflight);
+    put_u64(buf, m.queries);
+    put_u64(buf, m.dist_queries);
+    put_u64(buf, m.shard_dispatches);
+    put_u64(buf, m.shard_retries);
+    put_u64(buf, m.shard_resteals);
+    put_u64(buf, m.shard_speculated);
+    put_u64(buf, m.shard_stranded_claims);
+    put_u64(buf, m.shard_fallbacks);
+    put_u64(buf, m.worker_quarantines);
+    put_u64(buf, m.worker_readmissions);
+    put_u32(buf, m.workers.len() as u32);
+    for w in &m.workers {
+        put_u8(buf, u8::from(w.healthy));
+        put_u64(buf, w.consecutive_failures);
+        put_u64(buf, w.successes);
+        put_u64(buf, w.failures);
+        put_u64(buf, w.quarantines);
+        put_u64(buf, w.readmissions);
+    }
+    put_u8(buf, u8::from(m.shutting_down));
+}
+
+fn metrics_from_reader(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
+    let uptime_us = r.u64("uptime_us")?;
+    let n_ops = r.u32("op count")? as usize;
+    // ≥ 28 wire bytes per op row (two u64s + histogram header).
+    if n_ops > r.remaining() / 28 {
+        return Err(WireError::Malformed("op count"));
+    }
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let count = r.u64("op.count")?;
+        let errors = r.u64("op.errors")?;
+        let latency = histogram_from_reader(r)?;
+        ops.push(OpSnapshot { count, errors, latency });
+    }
+    let queued = r.u64("queued")?;
+    let queue_capacity = r.u64("queue_capacity")?;
+    let pool_workers = r.u64("pool_workers")?;
+    let queue_wait = histogram_from_reader(r)?;
+    let jobs_executed = r.u64("jobs_executed")?;
+    let busy_rejected = r.u64("busy_rejected")?;
+    let cache_hits = r.u64("cache_hits")?;
+    let cache_misses = r.u64("cache_misses")?;
+    let cache_insertions = r.u64("cache_insertions")?;
+    let cache_evictions = r.u64("cache_evictions")?;
+    let cache_bytes_used = r.u64("cache_bytes_used")?;
+    let cache_bytes_evicted = r.u64("cache_bytes_evicted")?;
+    let graphs = r.u64("graphs")?;
+    let graph_loads = r.u64("graph_loads")?;
+    let graph_conflicts = r.u64("graph_conflicts")?;
+    let inflight = r.u64("inflight")?;
+    let queries = r.u64("queries")?;
+    let dist_queries = r.u64("dist_queries")?;
+    let shard_dispatches = r.u64("shard_dispatches")?;
+    let shard_retries = r.u64("shard_retries")?;
+    let shard_resteals = r.u64("shard_resteals")?;
+    let shard_speculated = r.u64("shard_speculated")?;
+    let shard_stranded_claims = r.u64("shard_stranded_claims")?;
+    let shard_fallbacks = r.u64("shard_fallbacks")?;
+    let worker_quarantines = r.u64("worker_quarantines")?;
+    let worker_readmissions = r.u64("worker_readmissions")?;
+    let n_workers = r.u32("worker count")? as usize;
+    // ≥ 41 wire bytes per worker row (a flag byte + five u64s).
+    if n_workers > r.remaining() / 41 {
+        return Err(WireError::Malformed("worker count"));
+    }
+    let mut workers = Vec::with_capacity(n_workers);
+    for _ in 0..n_workers {
+        workers.push(WorkerStatus {
+            healthy: r.u8("worker.healthy")? != 0,
+            consecutive_failures: r.u64("worker.consecutive_failures")?,
+            successes: r.u64("worker.successes")?,
+            failures: r.u64("worker.failures")?,
+            quarantines: r.u64("worker.quarantines")?,
+            readmissions: r.u64("worker.readmissions")?,
+        });
+    }
+    let shutting_down = r.u8("shutting_down")? != 0;
+    Ok(MetricsSnapshot {
+        uptime_us,
+        ops,
+        queued,
+        queue_capacity,
+        pool_workers,
+        queue_wait,
+        jobs_executed,
+        busy_rejected,
+        cache_hits,
+        cache_misses,
+        cache_insertions,
+        cache_evictions,
+        cache_bytes_used,
+        cache_bytes_evicted,
+        graphs,
+        graph_loads,
+        graph_conflicts,
+        inflight,
+        queries,
+        dist_queries,
+        shard_dispatches,
+        shard_retries,
+        shard_resteals,
+        shard_speculated,
+        shard_stranded_claims,
+        shard_fallbacks,
+        worker_quarantines,
+        worker_readmissions,
+        workers,
+        shutting_down,
+    })
+}
+
 /// The `QUERY`/`QUERY_SHARD` reply body, shared by both reply tags.
 fn put_query_reply(buf: &mut Vec<u8>, q: &QueryReply) {
     put_u8(buf, stop_to_u8(q.stop));
@@ -613,6 +839,7 @@ impl Request {
                 put_str(&mut buf, &q.graph);
                 put_params(&mut buf, &q.params);
                 put_u32(&mut buf, q.max_return);
+                put_opt_trace(&mut buf, q.trace);
             }
             Request::Cancel => put_u8(&mut buf, opcode::CANCEL),
             Request::Stats => put_u8(&mut buf, opcode::STATS),
@@ -623,7 +850,9 @@ impl Request {
                 put_params(&mut buf, &s.params);
                 put_u32(&mut buf, s.max_return);
                 put_bytes(&mut buf, &s.checkpoint);
+                put_opt_trace(&mut buf, s.trace);
             }
+            Request::Metrics => put_u8(&mut buf, opcode::METRICS),
         }
         buf
     }
@@ -647,7 +876,8 @@ impl Request {
                 let graph = r.str("query graph")?.to_string();
                 let params = params_from_reader(&mut r)?;
                 let max_return = r.u32("max_return")?;
-                Request::Query(QueryRequest { graph, params, max_return })
+                let trace = opt_trace_from_reader(&mut r)?;
+                Request::Query(QueryRequest { graph, params, max_return, trace })
             }
             opcode::CANCEL => Request::Cancel,
             opcode::STATS => Request::Stats,
@@ -657,8 +887,10 @@ impl Request {
                 let params = params_from_reader(&mut r)?;
                 let max_return = r.u32("max_return")?;
                 let checkpoint = r.bytes("shard checkpoint")?.to_vec();
-                Request::QueryShard(ShardRequest { graph, params, max_return, checkpoint })
+                let trace = opt_trace_from_reader(&mut r)?;
+                Request::QueryShard(ShardRequest { graph, params, max_return, checkpoint, trace })
             }
+            opcode::METRICS => Request::Metrics,
             _ => return Err(WireError::Malformed("opcode")),
         };
         r.finish()?;
@@ -699,6 +931,10 @@ impl Response {
                     Reply::Shard(q) => {
                         put_u8(&mut buf, opcode::QUERY_SHARD);
                         put_query_reply(&mut buf, q);
+                    }
+                    Reply::Metrics(m) => {
+                        put_u8(&mut buf, opcode::METRICS);
+                        put_metrics(&mut buf, m);
                     }
                 }
             }
@@ -744,6 +980,7 @@ impl Response {
                     opcode::STATS => Reply::Stats(stats_from_reader(&mut r)?),
                     opcode::SHUTDOWN => Reply::ShuttingDown,
                     opcode::QUERY_SHARD => Reply::Shard(query_reply_from_reader(&mut r)?),
+                    opcode::METRICS => Reply::Metrics(Box::new(metrics_from_reader(&mut r)?)),
                     _ => return Err(WireError::Malformed("reply tag")),
                 };
                 Response::Ok(reply)
@@ -802,19 +1039,91 @@ mod tests {
                 count_only: true,
             },
             max_return: 100,
+            trace: None,
         }));
         // Defaults (all the None paths).
         roundtrip_req(Request::Query(QueryRequest {
             graph: "g2".into(),
             params: QueryParams::default(),
             max_return: u32::MAX,
+            trace: None,
         }));
         roundtrip_req(Request::QueryShard(ShardRequest {
             graph: "g3".into(),
             params: QueryParams { threads: 2, ..QueryParams::default() },
             max_return: 50,
             checkpoint: vec![9, 8, 7, 6, 5],
+            trace: None,
         }));
+        roundtrip_req(Request::Metrics);
+        // Trace contexts survive both carrying opcodes.
+        roundtrip_req(Request::Query(QueryRequest {
+            graph: "g4".into(),
+            params: QueryParams::default(),
+            max_return: 10,
+            trace: Some(TraceContext { trace_id: 0xDEAD_BEEF, parent_span: 7 }),
+        }));
+        roundtrip_req(Request::QueryShard(ShardRequest {
+            graph: "g5".into(),
+            params: QueryParams::default(),
+            max_return: 10,
+            checkpoint: vec![1, 2],
+            trace: Some(TraceContext { trace_id: u64::MAX, parent_span: 0 }),
+        }));
+    }
+
+    /// A minor-0 encoder never wrote the trace tail; a minor-1 decoder
+    /// must read those payloads unchanged — and a minor-1 encoder with
+    /// no trace must produce the identical bytes, so minor-0 decoders
+    /// accept minor-1 trace-less requests too.
+    #[test]
+    fn trace_less_requests_are_wire_compatible_with_minor_zero() {
+        // Hand-build the old QUERY shape: graph, params, max_return,
+        // nothing after.
+        let mut old = Vec::new();
+        put_u8(&mut old, PROTOCOL_VERSION);
+        put_u8(&mut old, opcode::QUERY);
+        put_str(&mut old, "g");
+        put_params(&mut old, &QueryParams::default());
+        put_u32(&mut old, 5);
+        let decoded = Request::decode(&old).unwrap();
+        let expected = Request::Query(QueryRequest {
+            graph: "g".into(),
+            params: QueryParams::default(),
+            max_return: 5,
+            trace: None,
+        });
+        assert_eq!(decoded, expected);
+        // Byte-identical in the other direction.
+        assert_eq!(expected.encode(), old);
+
+        // Same for QUERY_SHARD.
+        let mut old = Vec::new();
+        put_u8(&mut old, PROTOCOL_VERSION);
+        put_u8(&mut old, opcode::QUERY_SHARD);
+        put_str(&mut old, "g");
+        put_params(&mut old, &QueryParams::default());
+        put_u32(&mut old, 5);
+        put_bytes(&mut old, &[3, 4]);
+        let decoded = Request::decode(&old).unwrap();
+        let expected = Request::QueryShard(ShardRequest {
+            graph: "g".into(),
+            params: QueryParams::default(),
+            max_return: 5,
+            checkpoint: vec![3, 4],
+            trace: None,
+        });
+        assert_eq!(decoded, expected);
+        assert_eq!(expected.encode(), old);
+
+        // An explicit absent-marker byte (0) also reads as None, and a
+        // bad presence byte is rejected rather than skipped.
+        let mut explicit = expected.encode();
+        explicit.push(0);
+        assert_eq!(Request::decode(&explicit).unwrap(), expected);
+        let mut bad = expected.encode();
+        bad.push(7);
+        assert!(Request::decode(&bad).is_err());
     }
 
     #[test]
@@ -899,6 +1208,97 @@ mod tests {
         };
         roundtrip_resp(Response::Ok(Reply::Query(distributed.clone())));
         roundtrip_resp(Response::Ok(Reply::Shard(distributed)));
+    }
+
+    #[test]
+    fn metrics_reply_roundtrips() {
+        use crate::telemetry::{OP_COUNT, OP_QUERY};
+        // Empty snapshot (fresh server).
+        roundtrip_resp(Response::Ok(Reply::Metrics(Box::default())));
+        // A populated snapshot with histograms and per-worker rows.
+        let mut m = MetricsSnapshot {
+            uptime_us: 1_234_567,
+            ops: vec![OpSnapshot::default(); OP_COUNT],
+            queued: 2,
+            queue_capacity: 8,
+            pool_workers: 4,
+            jobs_executed: 31,
+            busy_rejected: 1,
+            cache_hits: 5,
+            cache_misses: 6,
+            cache_insertions: 6,
+            cache_evictions: 1,
+            cache_bytes_used: 2048,
+            cache_bytes_evicted: 512,
+            graphs: 2,
+            graph_loads: 3,
+            graph_conflicts: 1,
+            inflight: 1,
+            queries: 30,
+            dist_queries: 4,
+            shard_dispatches: 17,
+            shard_retries: 2,
+            shard_resteals: 1,
+            shard_speculated: 1,
+            shard_stranded_claims: 1,
+            shard_fallbacks: 1,
+            worker_quarantines: 1,
+            worker_readmissions: 1,
+            workers: vec![
+                WorkerStatus {
+                    healthy: true,
+                    consecutive_failures: 0,
+                    successes: 12,
+                    failures: 1,
+                    quarantines: 0,
+                    readmissions: 0,
+                },
+                WorkerStatus {
+                    healthy: false,
+                    consecutive_failures: 3,
+                    successes: 2,
+                    failures: 5,
+                    quarantines: 1,
+                    readmissions: 1,
+                },
+            ],
+            shutting_down: false,
+            ..Default::default()
+        };
+        m.queue_wait.record(420);
+        if let Some(op) = m.ops.get_mut(OP_QUERY) {
+            op.count = 30;
+            op.errors = 2;
+            op.latency.record(15_000);
+            op.latency.record(u64::MAX);
+        }
+        roundtrip_resp(Response::Ok(Reply::Metrics(Box::new(m))));
+    }
+
+    #[test]
+    fn hostile_metrics_lengths_are_rejected_without_allocation() {
+        // An op count far larger than the remaining payload must fail
+        // the bounds check, not attempt the allocation.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, PROTOCOL_VERSION);
+        put_u8(&mut buf, status::OK);
+        put_u8(&mut buf, opcode::METRICS);
+        put_u64(&mut buf, 0); // uptime
+        put_u32(&mut buf, u32::MAX); // hostile op count
+        assert!(Response::decode(&buf).is_err());
+
+        // Same for a hostile histogram bucket count.
+        let mut buf = Vec::new();
+        put_u8(&mut buf, PROTOCOL_VERSION);
+        put_u8(&mut buf, status::OK);
+        put_u8(&mut buf, opcode::METRICS);
+        put_u64(&mut buf, 0); // uptime
+        put_u32(&mut buf, 1); // one op row...
+        put_u64(&mut buf, 0); // count
+        put_u64(&mut buf, 0); // errors
+        put_u64(&mut buf, 0); // histogram sum
+        put_u32(&mut buf, u32::MAX); // ...with 4B buckets
+        assert!(Response::decode(&buf).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! graph under a name would serve stale answers.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 use bigraph::BipartiteGraph;
@@ -44,6 +45,8 @@ impl GraphEntry {
 #[derive(Debug, Default)]
 pub struct GraphRegistry {
     inner: RwLock<HashMap<String, Arc<GraphEntry>>>,
+    loads: AtomicU64,
+    conflicts: AtomicU64,
 }
 
 /// Why [`GraphRegistry::insert`] refused a binding.
@@ -72,11 +75,13 @@ impl GraphRegistry {
         graph: BipartiteGraph,
     ) -> Result<Arc<GraphEntry>, NameConflict> {
         let fingerprint = graph_fingerprint(&graph);
+        self.loads.fetch_add(1, Ordering::Relaxed);
         let mut map = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         if let Some(existing) = map.get(name) {
             if existing.fingerprint == fingerprint {
                 return Ok(Arc::clone(existing));
             }
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
             return Err(NameConflict {
                 name: name.to_string(),
                 existing: existing.fingerprint,
@@ -110,6 +115,17 @@ impl GraphRegistry {
     /// `true` when no graph is registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lifetime `LOAD` attempts (idempotent re-loads and conflicts
+    /// included).
+    pub fn loads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime `LOAD` attempts rejected with a [`NameConflict`].
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
     }
 }
 
@@ -155,5 +171,16 @@ mod tests {
         assert_ne!(err.offered, err.existing);
         // The original binding survives the rejected attempt.
         assert_eq!(reg.get("g").unwrap().fingerprint, first.fingerprint);
+    }
+
+    #[test]
+    fn load_and_conflict_counters_track_insert_outcomes() {
+        let reg = GraphRegistry::new();
+        assert_eq!((reg.loads(), reg.conflicts()), (0, 0));
+        reg.insert("g", graph(&[(0, 0)])).unwrap();
+        reg.insert("g", graph(&[(0, 0)])).unwrap(); // idempotent re-load
+        reg.insert("g", graph(&[(1, 1)])).unwrap_err(); // conflict
+        assert_eq!(reg.loads(), 3, "every attempt is a load");
+        assert_eq!(reg.conflicts(), 1);
     }
 }

@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 use std::io;
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -39,8 +40,11 @@ use crate::admission::{Admission, QueueWait, SubmitError};
 use crate::coordinator::{Coordinator, CoordinatorConfig, DistError, DistOutcome};
 use crate::protocol::{
     errcode, QueryReply, QueryRequest, Reply, Request, Response, ServerStats, ShardRequest,
+    TraceContext,
 };
 use crate::registry::{GraphEntry, GraphRegistry};
+use crate::span::SpanLog;
+use crate::telemetry::{self, render_prometheus, MetricsSnapshot, ServerMetrics};
 use crate::wire::{read_frame, write_frame, ReadOutcome};
 
 /// How long a peer may stall in the middle of a frame before the
@@ -71,9 +75,15 @@ pub struct ServerConfig {
     /// Parser limits applied to `LOAD`ed edge-list files.
     pub read_limits: ReadLimits,
     /// When set, each query writes a JSONL trace to
-    /// `<trace_dir>/req-<id>.jsonl` (best-effort; trace I/O errors never
-    /// fail a query).
+    /// `<trace_dir>/req-<pid>-<id>.jsonl` — and a coordinator writes its
+    /// distributed span log to `<trace_dir>/coord-<pid>-<id>.jsonl`
+    /// (best-effort; trace I/O errors never fail a query).
     pub trace_dir: Option<PathBuf>,
+    /// When set, a plain-HTTP responder on this address answers `GET
+    /// /metrics` with Prometheus text exposition of the server's
+    /// [`MetricsSnapshot`] (the scrape-friendly view of the `METRICS`
+    /// wire request).
+    pub metrics_addr: Option<SocketAddr>,
     /// Socket read timeout: the cadence at which connection threads
     /// notice cancellation, shutdown, and idle timeouts.
     pub poll_interval: Duration,
@@ -99,6 +109,7 @@ impl Default for ServerConfig {
             max_frame_bytes: 16 << 20,
             read_limits: ReadLimits::default(),
             trace_dir: None,
+            metrics_addr: None,
             poll_interval: Duration::from_millis(25),
             coordinator: None,
             #[cfg(feature = "fault-injection")]
@@ -139,6 +150,8 @@ struct Shared {
     /// Present iff this server runs coordinator mode. Long-lived so
     /// worker quarantine persists across queries.
     coord: Option<Coordinator>,
+    /// The server-wide telemetry registry (see [`crate::telemetry`]).
+    metrics: ServerMetrics,
     task_counter: TaskCounter,
     next_request: AtomicU64,
     queries: AtomicU64,
@@ -188,6 +201,10 @@ pub struct ServerSummary {
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
+    /// Present iff [`ServerConfig::metrics_addr`] was set: the bound
+    /// Prometheus scrape listener, served by a thread [`Server::run`]
+    /// spawns.
+    metrics_listener: Option<TcpListener>,
     shared: Arc<Shared>,
 }
 
@@ -197,6 +214,10 @@ impl Server {
     pub fn bind<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let metrics_listener = match cfg.metrics_addr {
+            Some(maddr) => Some(TcpListener::bind(maddr)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             admission: Admission::new(cfg.workers, cfg.queue_capacity),
             cache: Mutex::new(ResultCache::new(cfg.cache_bytes)),
@@ -205,18 +226,24 @@ impl Server {
             addr,
             registry: GraphRegistry::new(),
             inflight: Mutex::new(HashMap::new()),
+            metrics: ServerMetrics::new(),
             task_counter: TaskCounter::default(),
             next_request: AtomicU64::new(1),
             queries: AtomicU64::new(0),
             busy_rejected: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
-        Ok(Server { listener, shared })
+        Ok(Server { listener, metrics_listener, shared })
     }
 
     /// The bound address (useful after binding port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The bound metrics-scrape address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener.as_ref().and_then(|l| l.local_addr().ok())
     }
 
     /// A cloneable handle that can trigger shutdown from another thread.
@@ -236,6 +263,14 @@ impl Server {
     /// Serves until shutdown is triggered, then drains and returns the
     /// final counters. Blocks the calling thread.
     pub fn run(self) -> io::Result<ServerSummary> {
+        let metrics_thread = self.metrics_listener.and_then(|listener| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("mbe-serve-metrics".into())
+                .spawn(move || serve_metrics_http(&listener, &shared))
+                .map_err(|e| eprintln!("mbe-serve: failed to spawn metrics responder: {e}"))
+                .ok()
+        });
         let mut conns: Vec<JoinHandle<()>> = Vec::new();
         let mut conn_id: u64 = 0;
         loop {
@@ -274,6 +309,13 @@ impl Server {
         for handle in conns {
             if handle.join().is_err() {
                 eprintln!("mbe-serve: connection thread panicked");
+            }
+        }
+        if let Some(handle) = metrics_thread {
+            // The responder polls the shutdown flag (set by the time the
+            // accept loop breaks), so this join is prompt.
+            if handle.join().is_err() {
+                eprintln!("mbe-serve: metrics responder panicked");
             }
         }
         self.shared.admission.shutdown();
@@ -345,7 +387,9 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, payload: &[u8]) -> Vec
             return vec![Response::Err { code: errcode::BAD_REQUEST, message: e.to_string() }]
         }
     };
-    match request {
+    let op = op_slot(&request);
+    let started = Instant::now();
+    let responses = match request {
         Request::Load { name, path } => vec![handle_load(shared, &name, &path)],
         Request::List => {
             let infos = shared.registry.list().iter().map(|e| e.info()).collect();
@@ -357,10 +401,33 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, payload: &[u8]) -> Vec
         // until they answer), so an idle CANCEL is a trivial ack.
         Request::Cancel => vec![Response::Ok(Reply::Cancelled)],
         Request::Stats => vec![Response::Ok(Reply::Stats(server_stats(shared)))],
+        Request::Metrics => {
+            vec![Response::Ok(Reply::Metrics(Box::new(metrics_snapshot(shared))))]
+        }
         Request::Shutdown => {
             trigger_shutdown(shared);
             vec![Response::Ok(Reply::ShuttingDown)]
         }
+    };
+    // An empty response list means the client vanished mid-query: not an
+    // error the server produced, so it only counts toward the op total.
+    let ok = !matches!(responses.first(), Some(Response::Err { .. }) | Some(Response::Busy { .. }));
+    let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.metrics.record_request(op, elapsed_us, ok);
+    responses
+}
+
+/// Maps a decoded request to its [`crate::telemetry`] opcode slot.
+fn op_slot(request: &Request) -> usize {
+    match request {
+        Request::Load { .. } => telemetry::OP_LOAD,
+        Request::List => telemetry::OP_LIST,
+        Request::Query(_) => telemetry::OP_QUERY,
+        Request::QueryShard(_) => telemetry::OP_QUERY_SHARD,
+        Request::Cancel => telemetry::OP_CANCEL,
+        Request::Stats => telemetry::OP_STATS,
+        Request::Metrics => telemetry::OP_METRICS,
+        Request::Shutdown => telemetry::OP_SHUTDOWN,
     }
 }
 
@@ -416,6 +483,115 @@ fn server_stats(shared: &Shared) -> ServerStats {
         jobs_executed: wait.executed,
         shutting_down: shared.shutdown.load(Ordering::SeqCst),
     }
+}
+
+/// Assembles the full typed telemetry snapshot: the `METRICS` reply body
+/// and the source the Prometheus responder renders. Worker quarantine /
+/// re-admission totals are derived here from the coordinator's health
+/// board — the single source of truth — rather than double-booked as
+/// registry counters.
+fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
+    // Guards are taken one statement at a time, in the same
+    // inflight-before-cache order as `server_stats` (lock-order rule).
+    let inflight = shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).len() as u64;
+    let cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner).counters();
+    let wait = shared.admission.queue_wait();
+    let workers = shared.coord.as_ref().map(Coordinator::worker_status).unwrap_or_default();
+    let m = &shared.metrics;
+    MetricsSnapshot {
+        uptime_us: m.uptime_us(),
+        ops: m.ops_snapshot(),
+        queued: shared.admission.queued(),
+        queue_capacity: u64::from(shared.admission.capacity()),
+        pool_workers: shared.admission.workers() as u64,
+        queue_wait: shared.admission.queue_wait_histogram(),
+        jobs_executed: wait.executed,
+        busy_rejected: shared.busy_rejected.load(Ordering::Relaxed),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_insertions: cache.insertions,
+        cache_evictions: cache.evictions,
+        cache_bytes_used: cache.bytes_used,
+        cache_bytes_evicted: cache.bytes_evicted,
+        graphs: shared.registry.len() as u64,
+        graph_loads: shared.registry.loads(),
+        graph_conflicts: shared.registry.conflicts(),
+        inflight,
+        queries: shared.queries.load(Ordering::Relaxed),
+        dist_queries: m.dist_queries.load(Ordering::Relaxed),
+        shard_dispatches: m.shard_dispatches.load(Ordering::Relaxed),
+        shard_retries: m.shard_retries.load(Ordering::Relaxed),
+        shard_resteals: m.shard_resteals.load(Ordering::Relaxed),
+        shard_speculated: m.shard_speculated.load(Ordering::Relaxed),
+        shard_stranded_claims: m.shard_stranded_claims.load(Ordering::Relaxed),
+        shard_fallbacks: m.shard_fallbacks.load(Ordering::Relaxed),
+        worker_quarantines: workers.iter().map(|w| w.quarantines).sum(),
+        worker_readmissions: workers.iter().map(|w| w.readmissions).sum(),
+        workers,
+        shutting_down: shared.shutdown.load(Ordering::SeqCst),
+    }
+}
+
+/// Accept loop of the `--metrics-addr` scrape responder: non-blocking so
+/// it notices shutdown within one poll interval.
+fn serve_metrics_http(listener: &TcpListener, shared: &Arc<Shared>) {
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("mbe-serve: metrics responder cannot poll: {e}");
+        return;
+    }
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = answer_metrics_http(stream, shared);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.cfg.poll_interval);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(shared.cfg.poll_interval),
+        }
+    }
+}
+
+/// Answers one scrape connection: a minimal HTTP/1.1 exchange — `GET
+/// /metrics` (or `/`) returns Prometheus text exposition 0.0.4, anything
+/// else 404/405. One request per connection (`Connection: close`).
+fn answer_metrics_http(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(FRAME_PATIENCE))?;
+    let mut head = [0u8; 4096];
+    let mut filled = 0usize;
+    while filled < head.len() {
+        match stream.read(&mut head[filled..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                filled += n;
+                if head[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let request_line = String::from_utf8_lossy(&head[..filled]);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", String::from("only GET is supported\n"))
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", render_prometheus(&metrics_snapshot(shared)))
+    } else {
+        ("404 Not Found", String::from("try /metrics\n"))
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())
 }
 
 /// Clips a result to the smaller of the request's and the server's cap.
@@ -544,16 +720,48 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, q: &QueryRequest) 
         let graph_name = q.graph.clone();
         let params = q.params.clone();
         let control = control.clone();
+        let trace_ctx = q.trace;
         Box::new(move || {
             let result = match shared.coord.as_ref().filter(|_| distribute) {
-                Some(coord) => QueryOutcome::Dist(coord.run(
-                    &entry.graph,
-                    &graph_name,
-                    &params,
-                    &control,
-                    deadline,
-                )),
-                None => QueryOutcome::Local(execute(&shared, &entry, &params, control, id)),
+                Some(coord) => {
+                    let span = open_span_log(&shared, id);
+                    let dist = coord.run(
+                        &entry.graph,
+                        &graph_name,
+                        &params,
+                        &control,
+                        deadline,
+                        Some(&shared.metrics),
+                        span.as_ref(),
+                    );
+                    // Fold the run's provenance into the registry here —
+                    // the one place both exist — so the Prometheus
+                    // counters always agree with the `DistSummary` the
+                    // client saw. (Dispatches, stranded claims, and
+                    // fallbacks are counted live at their event sites.)
+                    if let Ok(outcome) = &dist {
+                        ServerMetrics::add(&shared.metrics.dist_queries, 1);
+                        ServerMetrics::add(
+                            &shared.metrics.shard_retries,
+                            u64::from(outcome.dist.retries),
+                        );
+                        ServerMetrics::add(
+                            &shared.metrics.shard_resteals,
+                            u64::from(outcome.dist.resteals),
+                        );
+                        ServerMetrics::add(
+                            &shared.metrics.shard_speculated,
+                            u64::from(outcome.dist.speculated),
+                        );
+                    }
+                    if let Some(e) = span.as_ref().and_then(SpanLog::take_error) {
+                        eprintln!("mbe-serve: span log write failed: {e}");
+                    }
+                    QueryOutcome::Dist(dist)
+                }
+                None => {
+                    QueryOutcome::Local(execute(&shared, &entry, &params, control, id, trace_ctx))
+                }
             };
             shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
             let _ = tx.send(result);
@@ -749,8 +957,9 @@ fn handle_shard_query(
         let entry = Arc::clone(&entry);
         let params = s.params.clone();
         let control = control.clone();
+        let trace_ctx = s.trace;
         Box::new(move || {
-            let result = execute_shard(&shared, &entry, &params, ckpt, control, id);
+            let result = execute_shard(&shared, &entry, &params, ckpt, control, id, trace_ctx);
             shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
             let _ = tx.send(result);
         })
@@ -784,15 +993,18 @@ fn handle_shard_query(
 }
 
 /// Runs one admitted query on the current (worker) thread, composing the
-/// server-wide task counter with an optional per-request JSONL trace.
+/// server-wide task counter with an optional per-request JSONL trace
+/// (stamped with the request's distributed trace context, if it carried
+/// one).
 fn execute(
     shared: &Shared,
     entry: &GraphEntry,
     params: &QueryParams,
     control: RunControl,
     id: u64,
+    trace_ctx: Option<TraceContext>,
 ) -> Result<Report, MbeError> {
-    let trace = open_trace(shared, id);
+    let trace = open_trace(shared, id, trace_ctx);
     let mut fan = FanoutObserver::new();
     fan.push(Box::new(&shared.task_counter));
     if let Some(t) = &trace {
@@ -816,8 +1028,9 @@ fn execute_shard(
     ckpt: Checkpoint,
     control: RunControl,
     id: u64,
+    trace_ctx: Option<TraceContext>,
 ) -> Result<Report, MbeError> {
-    let trace = open_trace(shared, id);
+    let trace = open_trace(shared, id, trace_ctx);
     let mut fan = FanoutObserver::new();
     fan.push(Box::new(&shared.task_counter));
     if let Some(t) = &trace {
@@ -841,14 +1054,46 @@ fn execute_shard(
 }
 
 /// Opens the per-request JSONL trace when tracing is configured
-/// (best-effort: trace I/O problems never fail a query).
-fn open_trace(shared: &Shared, id: u64) -> Option<JsonlTraceObserver> {
+/// (best-effort: trace I/O problems never fail a query). The filename
+/// carries this process's pid so workers sharing a `--trace-dir` with
+/// their coordinator (or a restarted self) never clobber each other's
+/// request ids. A distributed trace context, when present, is stamped
+/// onto the trace header so it joins the coordinator's span log.
+fn open_trace(
+    shared: &Shared,
+    id: u64,
+    trace_ctx: Option<TraceContext>,
+) -> Option<JsonlTraceObserver> {
     shared.cfg.trace_dir.as_ref().and_then(|dir| {
-        let path = dir.join(format!("req-{id}.jsonl"));
+        let path = dir.join(format!("req-{}-{id}.jsonl", std::process::id()));
         match JsonlTraceObserver::create(path.to_string_lossy().as_ref()) {
-            Ok(obs) => Some(obs),
+            Ok(obs) => {
+                if let Some(ctx) = trace_ctx {
+                    obs.set_trace_context(ctx.trace_id, ctx.parent_span);
+                }
+                Some(obs)
+            }
             Err(e) => {
                 eprintln!("mbe-serve: cannot open trace {}: {e}", path.display());
+                None
+            }
+        }
+    })
+}
+
+/// Opens the coordinator's distributed span log when tracing is
+/// configured (best-effort, like [`open_trace`]). The trace id folds the
+/// coordinator's pid with the request id, so coordinators sharing a
+/// trace dir across restarts never collide on trace ids.
+fn open_span_log(shared: &Shared, id: u64) -> Option<SpanLog> {
+    shared.cfg.trace_dir.as_ref().and_then(|dir| {
+        let pid = u64::from(std::process::id());
+        let trace_id = (pid << 32) | (id & 0xFFFF_FFFF);
+        let path = dir.join(format!("coord-{pid}-{id}.jsonl"));
+        match SpanLog::create(path.to_string_lossy().as_ref(), trace_id) {
+            Ok(log) => Some(log),
+            Err(e) => {
+                eprintln!("mbe-serve: cannot open span log {}: {e}", path.display());
                 None
             }
         }

@@ -360,11 +360,12 @@ impl ShardBoard {
     }
 
     /// Duplicates running shards whose current attempt has exceeded
-    /// `threshold` (at most one duplicate per epoch). Returns how many
-    /// were speculated this scan.
-    pub(crate) fn speculate_stragglers(&self, threshold: Duration) -> usize {
+    /// `threshold` (at most one duplicate per epoch). Returns the
+    /// `(shard index, epoch)` pairs speculated this scan, so the caller
+    /// can log them.
+    pub(crate) fn speculate_stragglers(&self, threshold: Duration) -> Vec<(usize, u32)> {
         let mut st = self.lock();
-        let mut launched = 0;
+        let mut launched = Vec::new();
         for i in 0..st.slots.len() {
             let entry = {
                 let slot = &st.slots[i];
@@ -380,10 +381,11 @@ impl ShardBoard {
                 st.slots[idx].speculated_epoch = Some(epoch);
                 st.ready.push_back((idx, epoch));
                 st.counters.speculated += 1;
-                launched += 1;
+                // xtask-allow: hot-alloc-loop (speculation is rare; the common empty scan never allocates)
+                launched.push((idx, epoch));
             }
         }
-        if launched > 0 {
+        if !launched.is_empty() {
             self.cv.notify_all();
         }
         launched
@@ -487,8 +489,8 @@ mod tests {
         let board = ShardBoard::new(shards(1), 4);
         let (i, e, t, _c) = board.next().unwrap();
         std::thread::sleep(Duration::from_millis(5));
-        assert_eq!(board.speculate_stragglers(Duration::ZERO), 1);
-        assert_eq!(board.speculate_stragglers(Duration::ZERO), 0, "once per epoch");
+        assert_eq!(board.speculate_stragglers(Duration::ZERO), vec![(i, e)]);
+        assert!(board.speculate_stragglers(Duration::ZERO).is_empty(), "once per epoch");
         let (i2, e2, t2, _c) = board.next().unwrap();
         assert_eq!((i2, e2), (i, e), "duplicate runs the same epoch");
         assert!(board.complete(i, e, t, vec![b(0, 0)], 1));
@@ -504,7 +506,7 @@ mod tests {
         let (i, e, t, _c) = board.next().unwrap();
         std::thread::sleep(Duration::from_millis(20));
         // A speculative duplicate resets the slot's latest-dispatch time…
-        assert_eq!(board.speculate_stragglers(Duration::ZERO), 1);
+        assert_eq!(board.speculate_stragglers(Duration::ZERO).len(), 1);
         let (_i2, _e2, t2, _c) = board.next().unwrap();
         assert!(t2 > t);
         // …but the first attempt completes, and the recorded duration is

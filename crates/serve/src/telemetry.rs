@@ -1,0 +1,455 @@
+//! Server-wide metrics registry and Prometheus-style text exposition.
+//!
+//! [`ServerMetrics`] is the lock-cheap registry every request thread
+//! writes into: per-opcode counters are `AtomicU64` (relaxed — these
+//! are monotone counters, not synchronization), and the per-opcode
+//! latency distributions are [`mbe::histogram::Histogram`]s behind
+//! short-lived leaf mutexes (recording is a lock, a `leading_zeros`,
+//! and two adds — never held across another lock or a call).
+//!
+//! The registry is read two ways:
+//!
+//! * the `METRICS` wire request serializes a full [`MetricsSnapshot`]
+//!   (typed, histogram buckets included) for `mbe-cli client metrics`;
+//! * the optional `--metrics-addr` HTTP responder renders the same
+//!   snapshot as Prometheus text exposition via
+//!   [`render_prometheus`].
+//!
+//! The metric catalogue (names, types, labels, increment sites) is
+//! documented in DESIGN.md §8b.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use mbe::histogram::{Histogram, BUCKETS};
+
+/// Per-opcode slot indices into [`ServerMetrics::ops`] (wire-protocol
+/// opcodes map onto these in `server::dispatch`).
+pub const OP_LOAD: usize = 0;
+/// `LIST` slot.
+pub const OP_LIST: usize = 1;
+/// `QUERY` slot.
+pub const OP_QUERY: usize = 2;
+/// `CANCEL` slot.
+pub const OP_CANCEL: usize = 3;
+/// `STATS` slot.
+pub const OP_STATS: usize = 4;
+/// `SHUTDOWN` slot.
+pub const OP_SHUTDOWN: usize = 5;
+/// `QUERY_SHARD` slot.
+pub const OP_QUERY_SHARD: usize = 6;
+/// `METRICS` slot.
+pub const OP_METRICS: usize = 7;
+/// Number of per-opcode slots.
+pub const OP_COUNT: usize = 8;
+
+/// Exposition label for each opcode slot, indexed like
+/// [`ServerMetrics::ops`].
+pub const OP_NAMES: [&str; OP_COUNT] =
+    ["load", "list", "query", "cancel", "stats", "shutdown", "query_shard", "metrics"];
+
+/// One opcode's request counters and latency distribution.
+#[derive(Default)]
+pub struct OpMetrics {
+    /// Requests dispatched (success or failure).
+    pub count: AtomicU64,
+    /// Requests answered with an error or busy response.
+    pub errors: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+impl OpMetrics {
+    /// Records one request's wall-clock latency in microseconds.
+    pub fn record_latency(&self, us: u64) {
+        self.latency.lock().unwrap_or_else(PoisonError::into_inner).record(us);
+    }
+
+    /// A copy of the latency distribution.
+    pub fn latency(&self) -> Histogram {
+        *self.latency.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The server-wide metrics registry. One instance per server, shared
+/// by every connection thread, the admission pool, and the
+/// coordinator. All counters are lifetime totals since server start.
+pub struct ServerMetrics {
+    start: Instant,
+    /// Per-opcode request counters, indexed by the `OP_*` constants.
+    pub ops: [OpMetrics; OP_COUNT],
+    /// Distributed queries answered through the coordinator.
+    pub dist_queries: AtomicU64,
+    /// Shard attempts handed to workers (first dispatches plus every
+    /// retry, re-steal continuation, and speculation).
+    pub shard_dispatches: AtomicU64,
+    /// Failed shard attempts re-queued for another try.
+    pub shard_retries: AtomicU64,
+    /// Shard remainders re-queued after a worker returned a partial
+    /// result (checkpoint re-steal).
+    pub shard_resteals: AtomicU64,
+    /// Straggler shards dispatched a second time speculatively.
+    pub shard_speculated: AtomicU64,
+    /// Stranded shards claimed and finished by the coordinator's local
+    /// fallback.
+    pub shard_stranded_claims: AtomicU64,
+    /// Local-fallback invocations that claimed unfinished shards.
+    pub shard_fallbacks: AtomicU64,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+impl ServerMetrics {
+    /// A fresh registry; `start` anchors the uptime gauge.
+    pub fn new() -> Self {
+        ServerMetrics {
+            start: Instant::now(),
+            ops: std::array::from_fn(|_| OpMetrics::default()),
+            dist_queries: AtomicU64::new(0),
+            shard_dispatches: AtomicU64::new(0),
+            shard_retries: AtomicU64::new(0),
+            shard_resteals: AtomicU64::new(0),
+            shard_speculated: AtomicU64::new(0),
+            shard_stranded_claims: AtomicU64::new(0),
+            shard_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one dispatched request: bumps the opcode's counter and
+    /// latency histogram (and its error counter unless `ok`).
+    pub fn record_request(&self, op: usize, elapsed_us: u64, ok: bool) {
+        if let Some(slot) = self.ops.get(op) {
+            slot.count.fetch_add(1, Ordering::Relaxed);
+            if !ok {
+                slot.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            slot.record_latency(elapsed_us);
+        }
+    }
+
+    /// Relaxed increment helper for the plain counters.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Microseconds since the registry was created.
+    pub fn uptime_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Copies the per-opcode counters out as snapshot rows.
+    pub fn ops_snapshot(&self) -> Vec<OpSnapshot> {
+        let mut out = Vec::with_capacity(OP_COUNT);
+        for op in &self.ops {
+            out.push(OpSnapshot {
+                count: op.count.load(Ordering::Relaxed),
+                errors: op.errors.load(Ordering::Relaxed),
+                latency: op.latency(),
+            });
+        }
+        out
+    }
+}
+
+/// One opcode's counters in a [`MetricsSnapshot`], indexed like
+/// [`OP_NAMES`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct OpSnapshot {
+    /// Requests dispatched.
+    pub count: u64,
+    /// Requests answered with an error or busy response.
+    pub errors: u64,
+    /// Request latency distribution (µs, log-bucketed).
+    pub latency: Histogram,
+}
+
+/// One worker's health state in a [`MetricsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct WorkerStatus {
+    /// `false` while quarantined.
+    pub healthy: bool,
+    /// Current consecutive-failure streak.
+    pub consecutive_failures: u64,
+    /// Lifetime successful attempts.
+    pub successes: u64,
+    /// Lifetime failed attempts (aborted attempts are not charged).
+    pub failures: u64,
+    /// Lifetime quarantine entries.
+    pub quarantines: u64,
+    /// Lifetime re-admissions after quarantine.
+    pub readmissions: u64,
+}
+
+/// A full, typed copy of the server's telemetry — the `METRICS` wire
+/// reply body and the source for [`render_prometheus`].
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Microseconds since server start.
+    pub uptime_us: u64,
+    /// Per-opcode counters, indexed like [`OP_NAMES`].
+    pub ops: Vec<OpSnapshot>,
+    /// Jobs currently queued for admission.
+    pub queued: u64,
+    /// Admission queue capacity.
+    pub queue_capacity: u64,
+    /// Worker threads in the admission pool.
+    pub pool_workers: u64,
+    /// Queue-wait distribution (µs, log-bucketed).
+    pub queue_wait: Histogram,
+    /// Jobs the admission pool has finished executing.
+    pub jobs_executed: u64,
+    /// Requests bounced with `Busy` at admission.
+    pub busy_rejected: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache insertions.
+    pub cache_insertions: u64,
+    /// Result-cache evictions.
+    pub cache_evictions: u64,
+    /// Bytes currently held by the result cache.
+    pub cache_bytes_used: u64,
+    /// Lifetime bytes evicted from the result cache.
+    pub cache_bytes_evicted: u64,
+    /// Graphs currently registered.
+    pub graphs: u64,
+    /// Lifetime accepted graph loads.
+    pub graph_loads: u64,
+    /// Lifetime rejected loads (name conflicts).
+    pub graph_conflicts: u64,
+    /// Queries currently in flight.
+    pub inflight: u64,
+    /// Queries accepted for execution.
+    pub queries: u64,
+    /// Distributed queries answered through the coordinator.
+    pub dist_queries: u64,
+    /// Shard attempts handed to workers.
+    pub shard_dispatches: u64,
+    /// Failed shard attempts re-queued.
+    pub shard_retries: u64,
+    /// Partial shard results re-queued from a checkpoint.
+    pub shard_resteals: u64,
+    /// Straggler shards speculatively re-dispatched.
+    pub shard_speculated: u64,
+    /// Stranded shards claimed by the local fallback.
+    pub shard_stranded_claims: u64,
+    /// Distributed queries degraded to local fallback.
+    pub shard_fallbacks: u64,
+    /// Workers newly quarantined.
+    pub worker_quarantines: u64,
+    /// Quarantined workers re-admitted.
+    pub worker_readmissions: u64,
+    /// Per-worker health state (empty unless coordinating).
+    pub workers: Vec<WorkerStatus>,
+    /// `true` once shutdown has been requested.
+    pub shutting_down: bool,
+}
+
+/// Writes one `# TYPE` header and a single unlabeled sample.
+fn sample(out: &mut String, name: &str, kind: &str, value: u64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Writes one histogram in Prometheus exposition shape: cumulative
+/// `_bucket{le=…}` samples over the power-of-two bucket bounds, then
+/// `_sum` and `_count`. An optional `{label}` is spliced into every
+/// sample's label set.
+fn histogram_samples(out: &mut String, name: &str, label: &str, h: &Histogram) {
+    use std::fmt::Write as _;
+    let sep = if label.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets().iter().enumerate() {
+        // Zero buckets are skipped to keep the text compact; the last
+        // bucket has no finite upper bound — the `+Inf` sample below
+        // carries its cumulative count.
+        if c == 0 || i + 1 == BUCKETS {
+            cumulative = cumulative.saturating_add(c);
+            continue;
+        }
+        cumulative = cumulative.saturating_add(c);
+        // Bucket i spans [2^(i-1), 2^i): its inclusive upper bound is
+        // 2^i - 1 (bucket 0 holds exactly the value 0).
+        let le = Histogram::bucket_lower_bound(i + 1).saturating_sub(1);
+        let _ = writeln!(out, "{name}_bucket{{{label}{sep}le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{{label}{sep}le=\"+Inf\"}} {cumulative}");
+    if label.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", h.sum());
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    } else {
+        let _ = writeln!(out, "{name}_sum{{{label}}} {}", h.sum());
+        let _ = writeln!(out, "{name}_count{{{label}}} {}", h.count());
+    }
+}
+
+/// Renders a snapshot as Prometheus text exposition (format 0.0.4).
+pub fn render_prometheus(s: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(4096);
+
+    sample(&mut out, "mbe_uptime_microseconds", "gauge", s.uptime_us);
+    sample(&mut out, "mbe_shutting_down", "gauge", u64::from(s.shutting_down));
+
+    let _ = writeln!(out, "# TYPE mbe_requests_total counter");
+    for (name, op) in OP_NAMES.iter().zip(s.ops.iter()) {
+        let _ = writeln!(out, "mbe_requests_total{{op=\"{name}\"}} {}", op.count);
+    }
+    let _ = writeln!(out, "# TYPE mbe_request_errors_total counter");
+    for (name, op) in OP_NAMES.iter().zip(s.ops.iter()) {
+        let _ = writeln!(out, "mbe_request_errors_total{{op=\"{name}\"}} {}", op.errors);
+    }
+    let _ = writeln!(out, "# TYPE mbe_request_latency_microseconds histogram");
+    let mut label = String::with_capacity(32);
+    for (name, op) in OP_NAMES.iter().zip(s.ops.iter()) {
+        label.clear();
+        let _ = write!(label, "op=\"{name}\"");
+        histogram_samples(&mut out, "mbe_request_latency_microseconds", &label, &op.latency);
+    }
+
+    sample(&mut out, "mbe_queue_depth", "gauge", s.queued);
+    sample(&mut out, "mbe_queue_capacity", "gauge", s.queue_capacity);
+    sample(&mut out, "mbe_pool_workers", "gauge", s.pool_workers);
+    let _ = writeln!(out, "# TYPE mbe_queue_wait_microseconds histogram");
+    histogram_samples(&mut out, "mbe_queue_wait_microseconds", "", &s.queue_wait);
+    sample(&mut out, "mbe_jobs_executed_total", "counter", s.jobs_executed);
+    sample(&mut out, "mbe_busy_rejected_total", "counter", s.busy_rejected);
+
+    sample(&mut out, "mbe_cache_hits_total", "counter", s.cache_hits);
+    sample(&mut out, "mbe_cache_misses_total", "counter", s.cache_misses);
+    sample(&mut out, "mbe_cache_insertions_total", "counter", s.cache_insertions);
+    sample(&mut out, "mbe_cache_evictions_total", "counter", s.cache_evictions);
+    sample(&mut out, "mbe_cache_bytes_used", "gauge", s.cache_bytes_used);
+    sample(&mut out, "mbe_cache_bytes_evicted_total", "counter", s.cache_bytes_evicted);
+
+    sample(&mut out, "mbe_graphs", "gauge", s.graphs);
+    sample(&mut out, "mbe_graph_loads_total", "counter", s.graph_loads);
+    sample(&mut out, "mbe_graph_conflicts_total", "counter", s.graph_conflicts);
+    sample(&mut out, "mbe_inflight_queries", "gauge", s.inflight);
+    sample(&mut out, "mbe_queries_total", "counter", s.queries);
+
+    sample(&mut out, "mbe_dist_queries_total", "counter", s.dist_queries);
+    sample(&mut out, "mbe_shard_dispatches_total", "counter", s.shard_dispatches);
+    sample(&mut out, "mbe_shard_retries_total", "counter", s.shard_retries);
+    sample(&mut out, "mbe_shard_resteals_total", "counter", s.shard_resteals);
+    sample(&mut out, "mbe_shard_speculated_total", "counter", s.shard_speculated);
+    sample(&mut out, "mbe_shard_stranded_claims_total", "counter", s.shard_stranded_claims);
+    sample(&mut out, "mbe_shard_fallbacks_total", "counter", s.shard_fallbacks);
+    sample(&mut out, "mbe_worker_quarantines_total", "counter", s.worker_quarantines);
+    sample(&mut out, "mbe_worker_readmissions_total", "counter", s.worker_readmissions);
+
+    let _ = writeln!(out, "# TYPE mbe_worker_healthy gauge");
+    for (i, w) in s.workers.iter().enumerate() {
+        let _ = writeln!(out, "mbe_worker_healthy{{worker=\"{i}\"}} {}", u64::from(w.healthy));
+    }
+    let _ = writeln!(out, "# TYPE mbe_worker_consecutive_failures gauge");
+    for (i, w) in s.workers.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "mbe_worker_consecutive_failures{{worker=\"{i}\"}} {}",
+            w.consecutive_failures
+        );
+    }
+    let _ = writeln!(out, "# TYPE mbe_worker_attempt_successes_total counter");
+    for (i, w) in s.workers.iter().enumerate() {
+        let _ =
+            writeln!(out, "mbe_worker_attempt_successes_total{{worker=\"{i}\"}} {}", w.successes);
+    }
+    let _ = writeln!(out, "# TYPE mbe_worker_attempt_failures_total counter");
+    for (i, w) in s.workers.iter().enumerate() {
+        let _ = writeln!(out, "mbe_worker_attempt_failures_total{{worker=\"{i}\"}} {}", w.failures);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_request_counts_errors_and_latency() {
+        let m = ServerMetrics::new();
+        m.record_request(OP_QUERY, 100, true);
+        m.record_request(OP_QUERY, 200, false);
+        m.record_request(OP_COUNT + 5, 1, true); // out of range: ignored
+        let ops = m.ops_snapshot();
+        assert_eq!(ops.len(), OP_COUNT);
+        assert_eq!(ops[OP_QUERY].count, 2);
+        assert_eq!(ops[OP_QUERY].errors, 1);
+        assert_eq!(ops[OP_QUERY].latency.count(), 2);
+        assert_eq!(ops[OP_QUERY].latency.sum(), 300);
+        assert_eq!(ops[OP_LOAD].count, 0);
+    }
+
+    #[test]
+    fn uptime_is_monotone() {
+        let m = ServerMetrics::new();
+        let a = m.uptime_us();
+        let b = m.uptime_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn prometheus_text_has_expected_families() {
+        let mut s =
+            MetricsSnapshot { ops: vec![OpSnapshot::default(); OP_COUNT], ..Default::default() };
+        s.shard_retries = 3;
+        s.shard_resteals = 2;
+        s.queued = 1;
+        s.queue_wait.record(50);
+        s.workers = vec![
+            WorkerStatus { healthy: true, successes: 4, ..Default::default() },
+            WorkerStatus { healthy: false, failures: 3, quarantines: 1, ..Default::default() },
+        ];
+        if let Some(op) = s.ops.get_mut(OP_QUERY) {
+            op.count = 7;
+            op.latency.record(1000);
+        }
+        let text = render_prometheus(&s);
+        assert!(text.contains("# TYPE mbe_requests_total counter"), "{text}");
+        assert!(text.contains("mbe_requests_total{op=\"query\"} 7"), "{text}");
+        assert!(text.contains("mbe_shard_retries_total 3"), "{text}");
+        assert!(text.contains("mbe_shard_resteals_total 2"), "{text}");
+        assert!(text.contains("mbe_queue_depth 1"), "{text}");
+        assert!(text.contains("mbe_worker_healthy{worker=\"0\"} 1"), "{text}");
+        assert!(text.contains("mbe_worker_healthy{worker=\"1\"} 0"), "{text}");
+        // Histogram shape: cumulative buckets end with +Inf == _count.
+        assert!(text.contains("mbe_queue_wait_microseconds_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("mbe_queue_wait_microseconds_sum 50"), "{text}");
+        assert!(text.contains("mbe_queue_wait_microseconds_count 1"), "{text}");
+        // Every line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            if line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap_or("");
+            assert!(
+                value.chars().all(|c| c.is_ascii_digit()),
+                "non-numeric sample value in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut h = Histogram::new();
+        h.record(1); // bucket [1,2) → le="1"
+        h.record(10); // bucket [8,16) → le="15"
+        let mut out = String::new();
+        histogram_samples(&mut out, "x", "", &h);
+        assert!(out.contains("x_bucket{le=\"1\"} 1"), "{out}");
+        assert!(out.contains("x_bucket{le=\"15\"} 2"), "{out}");
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 2"), "{out}");
+        assert!(out.contains("x_sum 11"), "{out}");
+        assert!(out.contains("x_count 2"), "{out}");
+    }
+}

@@ -42,7 +42,7 @@ fn sorted(mut bicliques: Vec<Biclique>) -> Vec<Biclique> {
 }
 
 fn request(graph: &str, params: QueryParams) -> QueryRequest {
-    QueryRequest { graph: graph.to_string(), params, max_return: u32::MAX }
+    QueryRequest { graph: graph.to_string(), params, max_return: u32::MAX, trace: None }
 }
 
 /// Starts a stock worker preloaded with `graph`; returns its address and

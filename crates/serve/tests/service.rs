@@ -54,7 +54,7 @@ impl ServerJoin {
 }
 
 fn request(graph: &str, params: QueryParams) -> QueryRequest {
-    QueryRequest { graph: graph.to_string(), params, max_return: u32::MAX }
+    QueryRequest { graph: graph.to_string(), params, max_return: u32::MAX, trace: None }
 }
 
 fn sorted(mut bicliques: Vec<Biclique>) -> Vec<Biclique> {

@@ -84,6 +84,8 @@ const HOT_PATHS: &[&str] = &[
     "crates/serve/src/coordinator.rs",
     "crates/serve/src/shard.rs",
     "crates/serve/src/health.rs",
+    "crates/serve/src/span.rs",
+    "crates/serve/src/telemetry.rs",
 ];
 
 /// Crates allowed to print to stdout (user-facing output or bench
@@ -147,6 +149,10 @@ fn main() {
             analyze::run(&workspace_root(), &rest)
         }
         Some("trace-check") => match args.next() {
+            Some(flag) if flag == "--distributed" => match args.next() {
+                Some(dir) => trace_check::run_distributed(&dir),
+                None => usage(Some("trace-check --distributed requires a directory")),
+            },
             Some(path) => trace_check::run(&path),
             None => usage(Some("trace-check requires a trace file path")),
         },
@@ -163,7 +169,8 @@ fn main() {
 fn usage(cmd: Option<&str>) -> ! {
     eprintln!(
         "usage: cargo run -p xtask -- \
-         <check | analyze [--update-baseline] [--json OUT] | trace-check FILE | \
+         <check | analyze [--update-baseline] [--json OUT] | \
+         trace-check <FILE | --distributed DIR> | \
          bench-snapshot [OUT] | bench-diff OLD NEW>"
     );
     if let Some(cmd) = cmd {

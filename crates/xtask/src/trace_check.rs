@@ -1,12 +1,16 @@
 //! `trace-check FILE`: validates a JSONL run trace written by
 //! `JsonlTraceObserver` (`mbe-cli enumerate --trace FILE`).
+//! `trace-check --distributed DIR`: additionally joins a coordinator
+//! span log against the worker run traces sharing its directory.
 //!
-//! Checks, in order:
+//! Single-file checks, in order:
 //!
 //! * every line parses as a flat JSON object of string and unsigned
-//!   integer values (the only shapes schema v1 emits);
-//! * every event carries `v` (== the supported schema version), `t_us`,
-//!   and `ev`;
+//!   integer values (the only shapes the schema emits);
+//! * every event carries `v` (a supported schema version, uniform
+//!   across the file), `t_us`, and `ev`;
+//! * schema v2 requires the `run_start` header to carry a wall-clock
+//!   `anchor` field (v1 headers predate it and stay valid);
 //! * timestamps are non-decreasing across the whole file;
 //! * the first event is `run_start` and the last is `run_end`;
 //! * per worker, `task_start`/`task_finish` alternate and agree on the
@@ -17,16 +21,30 @@
 //! * an empty file passes (a run can legitimately stop before any event
 //!   is flushed only if nothing was written at all).
 //!
+//! Distributed checks (see [`validate_distributed`]) classify every
+//! `*.jsonl` in the directory by its first event — `coord_start` marks
+//! a coordinator span log, `run_start` a worker run trace — validate
+//! the span log's internal invariants (unique spans, per-shard epoch
+//! monotonicity, merges referencing real dispatches), and join every
+//! merged span to exactly one fully-valid worker trace via the
+//! `trace`/`parent` header fields. Worker traces from unmerged attempts
+//! may be truncated (a killed worker flushes nothing), so they are
+//! classified but not body-checked.
+//!
 //! The checker is hand-rolled and zero-dependency like the writer; the
-//! schema version it understands is pinned here and must move in
+//! schema versions it understands are pinned here and must move in
 //! lockstep with `mbe::obs::TRACE_SCHEMA_VERSION`.
 
 use std::collections::HashMap;
 
-/// The trace schema version this checker understands (mirrors
-/// `mbe::obs::TRACE_SCHEMA_VERSION`; xtask is intentionally
-/// dependency-free, so the constant is pinned rather than imported).
-const SUPPORTED_VERSION: u64 = 1;
+/// The trace schema versions this checker understands (the newest
+/// mirrors `mbe::obs::TRACE_SCHEMA_VERSION`; xtask is intentionally
+/// dependency-free, so the constants are pinned rather than imported).
+const SUPPORTED_VERSIONS: &[u64] = &[1, 2];
+
+/// First schema version whose `run_start`/`coord_start` header carries
+/// the mandatory wall-clock `anchor` field.
+const ANCHOR_SINCE: u64 = 2;
 
 /// A scalar JSON value of the trace schema.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +107,7 @@ pub fn run(path: &str) -> ! {
 fn validate(content: &str) -> Result<Summary, String> {
     let mut events = 0usize;
     let mut last_us = 0u64;
+    let mut file_version: Option<u64> = None;
     let mut first_ev: Option<String> = None;
     let mut last_ev: Option<String> = None;
     let mut final_stop: Option<String> = None;
@@ -103,12 +122,8 @@ fn validate(content: &str) -> Result<Summary, String> {
         let obj = parse_object(line).map_err(|e| format!("line {n}: {e}"))?;
         let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
 
-        let v = get("v")
-            .and_then(Value::as_num)
-            .ok_or(format!("line {n}: missing numeric `v` field"))?;
-        if v != SUPPORTED_VERSION {
-            return Err(format!("line {n}: schema version {v}, expected {SUPPORTED_VERSION}"));
-        }
+        let v = check_version(&mut file_version, get("v").and_then(Value::as_num))
+            .map_err(|e| format!("line {n}: {e}"))?;
         let t_us = get("t_us")
             .and_then(Value::as_num)
             .ok_or(format!("line {n}: missing numeric `t_us` field"))?;
@@ -122,6 +137,9 @@ fn validate(content: &str) -> Result<Summary, String> {
             .to_string();
 
         match ev.as_str() {
+            "run_start" if v >= ANCHOR_SINCE && get("anchor").and_then(Value::as_num).is_none() => {
+                return Err(format!("line {n}: schema v{v} run_start without numeric `anchor`"));
+            }
             "task_start" | "task_finish" => {
                 let w = get("w")
                     .and_then(Value::as_num)
@@ -197,6 +215,371 @@ fn validate(content: &str) -> Result<Summary, String> {
         }
     }
     Ok(Summary { events, final_stop })
+}
+
+/// Folds one line's `v` field into the file-wide version: it must be a
+/// supported schema version and, once seen, every later line must agree.
+fn check_version(file_version: &mut Option<u64>, v: Option<u64>) -> Result<u64, String> {
+    let v = v.ok_or("missing numeric `v` field")?;
+    if !SUPPORTED_VERSIONS.contains(&v) {
+        return Err(format!("schema version {v}, expected one of {SUPPORTED_VERSIONS:?}"));
+    }
+    match *file_version {
+        Some(seen) if seen != v => {
+            Err(format!("schema version {v} differs from the file's version {seen}"))
+        }
+        _ => {
+            *file_version = Some(v);
+            Ok(v)
+        }
+    }
+}
+
+/// One parsed coordinator span log: the join keys the distributed
+/// checker needs after the log's internal invariants have passed.
+#[derive(Debug)]
+struct CoordLog {
+    name: String,
+    trace: u64,
+    /// span id -> (shard, epoch) it was dispatched under.
+    spans: HashMap<u64, (u64, u64)>,
+    /// Accepted merges: shard -> span id.
+    merged: HashMap<u64, u64>,
+}
+
+/// Validates one coordinator span log (`coord_start` … `coord_end`).
+fn validate_span_log(name: &str, content: &str) -> Result<CoordLog, String> {
+    let mut last_us = 0u64;
+    let mut file_version: Option<u64> = None;
+    let mut spans: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut merged: HashMap<u64, u64> = HashMap::new();
+    let mut last_epoch: HashMap<u64, u64> = HashMap::new();
+    let mut header: Option<(u64, u64)> = None; // (trace, shards)
+    let mut footer: Option<(String, u64, u64, u64, u64)> = None;
+    let (mut retries, mut resteals, mut speculated, mut fallback_claimed) =
+        (0u64, 0u64, 0u64, 0u64);
+    let total = content.lines().count();
+
+    for (idx, line) in content.lines().enumerate() {
+        let n = idx + 1;
+        let obj = parse_object(line).map_err(|e| format!("line {n}: {e}"))?;
+        let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let num = |key: &str| {
+            get(key).and_then(Value::as_num).ok_or(format!("line {n}: missing numeric `{key}`"))
+        };
+
+        let v = check_version(&mut file_version, get("v").and_then(Value::as_num))
+            .map_err(|e| format!("line {n}: {e}"))?;
+        let t_us = num("t_us")?;
+        if t_us < last_us {
+            return Err(format!("line {n}: timestamp {t_us}us goes backwards (last {last_us}us)"));
+        }
+        last_us = t_us;
+        let ev = get("ev")
+            .and_then(Value::as_str)
+            .ok_or(format!("line {n}: missing string `ev` field"))?;
+
+        if n == 1 && ev != "coord_start" {
+            return Err(format!("first event is `{ev}`, expected `coord_start`"));
+        }
+        if n == total && ev != "coord_end" {
+            return Err(format!("last event is `{ev}`, expected `coord_end`"));
+        }
+
+        match ev {
+            "coord_start" => {
+                if header.is_some() {
+                    return Err(format!("line {n}: duplicate coord_start"));
+                }
+                if v >= ANCHOR_SINCE {
+                    num("anchor")?;
+                }
+                num("workers")?;
+                header = Some((num("trace")?, num("shards")?));
+            }
+            "dispatch" => {
+                let (shard, epoch) = (num("shard")?, num("epoch")?);
+                num("worker")?;
+                let span = num("span")?;
+                let shards = header.map(|(_, s)| s).unwrap_or(0);
+                if shard >= shards {
+                    return Err(format!("line {n}: shard {shard} out of range (shards={shards})"));
+                }
+                if spans.insert(span, (shard, epoch)).is_some() {
+                    return Err(format!("line {n}: span {span} dispatched twice"));
+                }
+                let prev = last_epoch.entry(shard).or_insert(epoch);
+                if epoch < *prev {
+                    return Err(format!(
+                        "line {n}: shard {shard} dispatched at epoch {epoch} after epoch {prev}"
+                    ));
+                }
+                *prev = epoch;
+            }
+            "merge" | "discard" => {
+                let (shard, epoch) = (num("shard")?, num("epoch")?);
+                let span = num("span")?;
+                match spans.get(&span) {
+                    Some(&(s, e)) if s == shard && e == epoch => {}
+                    Some(&(s, e)) => {
+                        return Err(format!(
+                            "line {n}: {ev} references span {span} dispatched as \
+                             shard {s} epoch {e}, not shard {shard} epoch {epoch}"
+                        ));
+                    }
+                    None => {
+                        return Err(format!("line {n}: {ev} references undispatched span {span}"));
+                    }
+                }
+                if ev == "merge" {
+                    num("emitted")?;
+                    if let Some(prev) = merged.insert(shard, span) {
+                        return Err(format!(
+                            "line {n}: shard {shard} merged twice (spans {prev} and {span})"
+                        ));
+                    }
+                }
+            }
+            "retry" => {
+                num("shard")?;
+                num("epoch")?;
+                retries += 1;
+            }
+            "resteal" => {
+                num("shard")?;
+                num("epoch")?;
+                resteals += 1;
+            }
+            "speculate" => {
+                num("shard")?;
+                num("epoch")?;
+                speculated += 1;
+            }
+            "fallback" => {
+                fallback_claimed += num("claimed")?;
+            }
+            "coord_end" => {
+                if footer.is_some() {
+                    return Err(format!("line {n}: duplicate coord_end"));
+                }
+                let stop = get("stop")
+                    .and_then(Value::as_str)
+                    .ok_or(format!("line {n}: coord_end without string `stop`"))?
+                    .to_string();
+                footer = Some((
+                    stop,
+                    num("retries")?,
+                    num("resteals")?,
+                    num("speculated")?,
+                    num("degraded")?,
+                ));
+            }
+            other => return Err(format!("line {n}: unknown span-log event `{other}`")),
+        }
+    }
+
+    let (trace, shards) = header.ok_or("empty span log (no coord_start)".to_string())?;
+    let (stop, f_retries, f_resteals, f_speculated, degraded) =
+        footer.ok_or("span log never reaches coord_end".to_string())?;
+    if (f_retries, f_resteals, f_speculated) != (retries, resteals, speculated) {
+        return Err(format!(
+            "coord_end counters ({f_retries} retries, {f_resteals} resteals, \
+             {f_speculated} speculated) disagree with the event stream \
+             ({retries}, {resteals}, {speculated})"
+        ));
+    }
+    // A clean completion with no degradation and no locally-claimed
+    // shards must account for every shard with exactly one merge.
+    if stop == "completed"
+        && degraded == 0
+        && fallback_claimed == 0
+        && merged.len() as u64 != shards
+    {
+        return Err(format!(
+            "run completed cleanly but only {} of {shards} shards were merged",
+            merged.len()
+        ));
+    }
+    Ok(CoordLog { name: name.to_string(), trace, spans, merged })
+}
+
+/// The `trace`/`parent` header context of one worker run trace, plus
+/// whether the body was judged (only merged attempts are body-checked).
+#[derive(Debug)]
+struct WorkerHeader {
+    context: Option<(u64, u64)>,
+}
+
+/// Parses just the `run_start` header of a worker trace: version,
+/// anchor (v2+), and the optional distributed trace context.
+fn worker_header(content: &str) -> Result<WorkerHeader, String> {
+    let first = content.lines().next().ok_or("empty worker trace".to_string())?;
+    let obj = parse_object(first).map_err(|e| format!("line 1: {e}"))?;
+    let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let v = check_version(&mut None, get("v").and_then(Value::as_num))
+        .map_err(|e| format!("line 1: {e}"))?;
+    if get("ev").and_then(Value::as_str) != Some("run_start") {
+        return Err("line 1: worker trace must open with run_start".to_string());
+    }
+    if v >= ANCHOR_SINCE && get("anchor").and_then(Value::as_num).is_none() {
+        return Err(format!("line 1: schema v{v} run_start without numeric `anchor`"));
+    }
+    let context =
+        match (get("trace").and_then(Value::as_num), get("parent").and_then(Value::as_num)) {
+            (Some(t), Some(p)) => Some((t, p)),
+            (None, None) => None,
+            _ => {
+                return Err("line 1: run_start carries `trace` without `parent` (or vice versa)"
+                    .to_string())
+            }
+        };
+    Ok(WorkerHeader { context })
+}
+
+/// What a valid distributed trace directory looked like.
+#[derive(Debug, Default)]
+struct DistSummary {
+    coord_logs: usize,
+    worker_traces: usize,
+    joined_spans: usize,
+    lenient: usize,
+    standalone: usize,
+}
+
+/// Validates a directory's worth of `(file name, content)` pairs as one
+/// distributed trace set. See the module docs for the invariants.
+fn validate_distributed(files: &[(String, String)]) -> Result<DistSummary, String> {
+    let mut coords: Vec<CoordLog> = Vec::new();
+    let mut workers: Vec<(String, WorkerHeader, &str)> = Vec::new();
+    for (name, content) in files {
+        if content.trim().is_empty() {
+            continue;
+        }
+        let first = content.lines().next().unwrap_or_default();
+        if first.contains("\"ev\":\"coord_start\"") {
+            coords.push(validate_span_log(name, content).map_err(|e| format!("{name}: {e}"))?);
+        } else {
+            let header = worker_header(content).map_err(|e| format!("{name}: {e}"))?;
+            workers.push((name.clone(), header, content.as_str()));
+        }
+    }
+    if coords.is_empty() {
+        return Err("no coordinator span log (coord_start) found in the directory".to_string());
+    }
+    let mut by_trace: HashMap<u64, &CoordLog> = HashMap::new();
+    for c in &coords {
+        if let Some(prev) = by_trace.insert(c.trace, c) {
+            return Err(format!("{} and {} both claim trace id {}", prev.name, c.name, c.trace));
+        }
+    }
+
+    let mut summary = DistSummary {
+        coord_logs: coords.len(),
+        worker_traces: workers.len(),
+        ..DistSummary::default()
+    };
+    // Every context-carrying worker trace must point at a dispatched
+    // span of a coordinator log in this directory.
+    for (name, header, _) in &workers {
+        let Some((t, p)) = header.context else {
+            summary.standalone += 1;
+            continue;
+        };
+        let coord = by_trace.get(&t).ok_or(format!("{name}: references unknown trace id {t}"))?;
+        if !coord.spans.contains_key(&p) {
+            return Err(format!(
+                "{name}: parent span {p} was never dispatched by {} (trace {t})",
+                coord.name
+            ));
+        }
+    }
+    // Every merged span joins exactly one fully-valid worker trace.
+    for coord in &coords {
+        for (&shard, &span) in &coord.merged {
+            let matches: Vec<&(String, WorkerHeader, &str)> =
+                workers.iter().filter(|(_, h, _)| h.context == Some((coord.trace, span))).collect();
+            match matches.as_slice() {
+                [(name, _, content)] => {
+                    validate(content).map_err(|e| {
+                        format!("{name} (merged shard {shard} of {}): {e}", coord.name)
+                    })?;
+                    summary.joined_spans += 1;
+                }
+                [] => {
+                    return Err(format!(
+                        "{}: merged shard {shard} (span {span}) has no worker trace",
+                        coord.name
+                    ));
+                }
+                many => {
+                    let names: Vec<&str> = many.iter().map(|(n, _, _)| n.as_str()).collect();
+                    return Err(format!(
+                        "{}: merged shard {shard} (span {span}) matches {} worker traces: {names:?}",
+                        coord.name,
+                        many.len()
+                    ));
+                }
+            }
+        }
+    }
+    // Unmerged attempts (retried, discarded, or killed mid-run) may
+    // leave truncated traces behind; they are counted, not judged.
+    let joined: std::collections::HashSet<(u64, u64)> =
+        coords.iter().flat_map(|c| c.merged.values().map(move |&s| (c.trace, s))).collect();
+    for (name, header, content) in &workers {
+        match header.context {
+            Some(ctx) if !joined.contains(&ctx) => summary.lenient += 1,
+            None => {
+                validate(content).map_err(|e| format!("{name}: {e}"))?;
+            }
+            _ => {}
+        }
+    }
+    Ok(summary)
+}
+
+/// Entry point for `trace-check --distributed DIR`: exits 0 when the
+/// directory holds a joinable distributed trace set, 1 when it does
+/// not, 2 when the directory cannot be read.
+pub fn run_distributed(dir: &str) -> ! {
+    let mut files: Vec<(String, String)> = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("trace-check: cannot read directory {dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+        match std::fs::read_to_string(&path) {
+            Ok(content) => files.push((name, content)),
+            Err(e) => {
+                eprintln!("trace-check: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    files.sort();
+    match validate_distributed(&files) {
+        Ok(s) => {
+            println!(
+                "trace-check: {dir}: {} coordinator log(s), {} worker trace(s); \
+                 {} merged span(s) joined, {} unmerged attempt(s) tolerated, \
+                 {} standalone trace(s) validated",
+                s.coord_logs, s.worker_traces, s.joined_spans, s.lenient, s.standalone
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("trace-check: {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Parses one `{"key":value,...}` line of the trace schema: flat object,
@@ -341,6 +724,134 @@ mod tests {
             "\"ev\":\"task_finish\",\"w\":1,\"task\":7",
         );
         assert!(validate(&mismatch).unwrap_err().contains("is open"));
+    }
+
+    /// A minimal v2 worker trace, optionally carrying a trace context.
+    fn v2_worker(trace: Option<(u64, u64)>, stop: &str) -> String {
+        let ctx = trace.map(|(t, p)| format!(",\"trace\":{t},\"parent\":{p}")).unwrap_or_default();
+        format!(
+            "{{\"v\":2,\"t_us\":0,\"ev\":\"run_start\",\"alg\":\"MBET\",\"threads\":1,\
+             \"resumed\":0,\"anchor\":1700000000000000{ctx}}}\n\
+             {{\"v\":2,\"t_us\":9,\"ev\":\"run_end\",\"stop\":\"{stop}\",\"nodes\":3,\
+             \"emitted\":2,\"tasks\":1}}\n"
+        )
+    }
+
+    /// A v2 span log: 2 shards, shard 0 merged from span 1, shard 1
+    /// retried once then merged from span 3.
+    fn v2_span_log() -> String {
+        concat!(
+            "{\"v\":2,\"t_us\":0,\"ev\":\"coord_start\",\"trace\":7,\"anchor\":1700000000000000,\"shards\":2,\"workers\":2}\n",
+            "{\"v\":2,\"t_us\":1,\"ev\":\"dispatch\",\"shard\":0,\"epoch\":0,\"worker\":0,\"span\":1}\n",
+            "{\"v\":2,\"t_us\":2,\"ev\":\"dispatch\",\"shard\":1,\"epoch\":0,\"worker\":1,\"span\":2}\n",
+            "{\"v\":2,\"t_us\":3,\"ev\":\"merge\",\"shard\":0,\"epoch\":0,\"span\":1,\"emitted\":4}\n",
+            "{\"v\":2,\"t_us\":4,\"ev\":\"retry\",\"shard\":1,\"epoch\":0}\n",
+            "{\"v\":2,\"t_us\":5,\"ev\":\"dispatch\",\"shard\":1,\"epoch\":0,\"worker\":0,\"span\":3}\n",
+            "{\"v\":2,\"t_us\":6,\"ev\":\"merge\",\"shard\":1,\"epoch\":0,\"span\":3,\"emitted\":2}\n",
+            "{\"v\":2,\"t_us\":7,\"ev\":\"coord_end\",\"stop\":\"completed\",\"retries\":1,\"resteals\":0,\"speculated\":0,\"degraded\":0}\n",
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn accepts_a_v2_trace_and_requires_its_anchor() {
+        let good = v2_worker(None, "completed");
+        assert_eq!(validate(&good).expect("valid").events, 2);
+        let no_anchor = good.replace(",\"anchor\":1700000000000000", "");
+        assert!(validate(&no_anchor).unwrap_err().contains("anchor"));
+        // v1 headers predate the anchor and stay valid.
+        assert!(validate(GOOD).is_ok());
+        // Versions must be uniform within one file.
+        let mixed = good.replace("{\"v\":2,\"t_us\":9", "{\"v\":1,\"t_us\":9");
+        assert!(validate(&mixed).unwrap_err().contains("differs"));
+    }
+
+    #[test]
+    fn joins_a_distributed_trace_set() {
+        let files = vec![
+            ("coord-1-1.jsonl".to_string(), v2_span_log()),
+            ("req-2-1.jsonl".to_string(), v2_worker(Some((7, 1)), "completed")),
+            // The retried attempt's trace is truncated mid-run (killed
+            // worker): tolerated because span 2 was never merged.
+            (
+                "req-3-1.jsonl".to_string(),
+                v2_worker(Some((7, 2)), "completed").lines().take(1).collect::<String>() + "\n",
+            ),
+            ("req-2-2.jsonl".to_string(), v2_worker(Some((7, 3)), "completed")),
+            // A standalone local run with no context is fully validated.
+            ("req-1-9.jsonl".to_string(), v2_worker(None, "completed")),
+        ];
+        let s = validate_distributed(&files).expect("joinable");
+        assert_eq!(s.coord_logs, 1);
+        assert_eq!(s.worker_traces, 4);
+        assert_eq!(s.joined_spans, 2);
+        assert_eq!(s.lenient, 1);
+        assert_eq!(s.standalone, 1);
+    }
+
+    #[test]
+    fn rejects_unjoinable_distributed_sets() {
+        // A merged span with no worker trace behind it.
+        let missing = vec![
+            ("coord.jsonl".to_string(), v2_span_log()),
+            ("req-a.jsonl".to_string(), v2_worker(Some((7, 1)), "completed")),
+        ];
+        let err = validate_distributed(&missing).unwrap_err();
+        assert!(err.contains("no worker trace"), "{err}");
+        // A worker trace claiming a span the coordinator never dispatched.
+        let orphan = vec![
+            ("coord.jsonl".to_string(), v2_span_log()),
+            ("req-a.jsonl".to_string(), v2_worker(Some((7, 1)), "completed")),
+            ("req-b.jsonl".to_string(), v2_worker(Some((7, 3)), "completed")),
+            ("req-c.jsonl".to_string(), v2_worker(Some((7, 99)), "completed")),
+        ];
+        let err = validate_distributed(&orphan).unwrap_err();
+        assert!(err.contains("never dispatched"), "{err}");
+        // An unknown trace id.
+        let unknown = vec![
+            ("coord.jsonl".to_string(), v2_span_log()),
+            ("req-a.jsonl".to_string(), v2_worker(Some((7, 1)), "completed")),
+            ("req-b.jsonl".to_string(), v2_worker(Some((7, 3)), "completed")),
+            ("req-c.jsonl".to_string(), v2_worker(Some((8, 1)), "completed")),
+        ];
+        let err = validate_distributed(&unknown).unwrap_err();
+        assert!(err.contains("unknown trace id"), "{err}");
+        // No coordinator log at all.
+        let none = vec![("req-a.jsonl".to_string(), v2_worker(None, "completed"))];
+        assert!(validate_distributed(&none).unwrap_err().contains("no coordinator"));
+    }
+
+    #[test]
+    fn rejects_inconsistent_span_logs() {
+        // Merge referencing a span dispatched under another shard.
+        let wrong = v2_span_log().replace(
+            "\"ev\":\"merge\",\"shard\":0,\"epoch\":0,\"span\":1",
+            "\"ev\":\"merge\",\"shard\":0,\"epoch\":0,\"span\":2",
+        );
+        let err = validate_span_log("x", &wrong).unwrap_err();
+        assert!(err.contains("dispatched as"), "{err}");
+        // Footer counters must match the event stream.
+        let counters = v2_span_log().replace("\"retries\":1", "\"retries\":3");
+        let err = validate_span_log("x", &counters).unwrap_err();
+        assert!(err.contains("disagree"), "{err}");
+        // A clean completion must merge every shard.
+        let unmerged: String = v2_span_log()
+            .lines()
+            .filter(|l| !(l.contains("\"ev\":\"merge\"") && l.contains("\"shard\":1")))
+            .fold(String::new(), |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            });
+        let err = validate_span_log("x", &unmerged).unwrap_err();
+        assert!(err.contains("1 of 2 shards"), "{err}");
+        // Shard epochs can only move forward.
+        let regress = v2_span_log().replace(
+            "\"ev\":\"dispatch\",\"shard\":1,\"epoch\":0,\"worker\":0,\"span\":3",
+            "\"ev\":\"dispatch\",\"shard\":1,\"epoch\":0,\"worker\":0,\"span\":3,\"x\":0",
+        );
+        // (sanity: unrelated extra fields are fine)
+        assert!(validate_span_log("x", &regress).is_ok());
     }
 
     #[test]
