@@ -3,6 +3,11 @@
 //! Each preset reports the fastest of five timed runs: single-shot
 //! wall-clock at the small end (~10ms) jitters by more than real
 //! changes, and the minimum is the usual low-noise estimator.
+//!
+//! The bipartite table is followed by the OCT sweep (`oc2`..`oc8`):
+//! planted near-bipartite general graphs enumerated through the
+//! `oct` crate's transversal driver, same row format so
+//! `bench-snapshot` parses both uniformly.
 fn main() {
     for p in gen::all_presets() {
         let g = p.build(42);
@@ -17,6 +22,18 @@ fn main() {
         // Two decimals: `{:.0?}` quantizes seconds-scale runs to one
         // significant figure, which is coarser than the changes the
         // snapshot diff exists to show.
+        println!("{:<5} B={:<9} ({:.2?})", p.abbrev, count, best);
+    }
+    for p in gen::oct_presets() {
+        let (g, _plan) = p.build(42);
+        let mut count = 0;
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..5 {
+            let t = std::time::Instant::now();
+            let report = oct::OctEnumeration::new(&g).count().expect("valid configuration");
+            best = best.min(t.elapsed());
+            count = report.stats.emitted;
+        }
         println!("{:<5} B={:<9} ({:.2?})", p.abbrev, count, best);
     }
 }

@@ -24,6 +24,7 @@
 pub mod builder;
 pub mod butterfly;
 pub mod core;
+pub mod general;
 pub mod io;
 pub mod local;
 pub mod order;
@@ -31,6 +32,7 @@ pub mod stats;
 pub mod two_hop;
 
 pub use builder::GraphBuilder;
+pub use general::GeneralGraph;
 pub use local::LocalGraph;
 
 /// Which side of the bipartite graph a vertex belongs to.

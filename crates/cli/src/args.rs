@@ -50,6 +50,24 @@ pub enum Command {
         metrics: bool,
         progress: Option<f64>,
     },
+    /// `oct-enumerate <file> ...` — maximal induced bicliques of a
+    /// *general* graph via odd-cycle-transversal decomposition.
+    OctEnumerate {
+        file: String,
+        algorithm: Algorithm,
+        order: VertexOrder,
+        threads: usize,
+        max_oct: u32,
+        count_only: bool,
+        max_print: usize,
+        timeout: Option<f64>,
+        max_bicliques: Option<u64>,
+        checkpoint: Option<String>,
+        resume: Option<String>,
+        trace: Option<String>,
+        metrics: bool,
+        progress: Option<f64>,
+    },
     /// `generate ...`
     Generate { model: GenModel, seed: u64, scale: f64, output: String },
     /// `serve <addr> ...`
@@ -82,6 +100,9 @@ pub enum Command {
 pub enum ClientAction {
     /// `load NAME FILE` — register a server-side edge list.
     Load { name: String, file: String },
+    /// `load-general NAME FILE` — register a *general* (non-bipartite)
+    /// edge list; queries route through the OCT driver.
+    LoadGeneral { name: String, file: String },
     /// `list` — show registered graphs.
     List,
     /// `stats [--watch SECS]` — show server counters, optionally
@@ -111,8 +132,24 @@ pub enum ClientAction {
 #[derive(Debug, Clone, PartialEq)]
 pub enum GenModel {
     Preset(String),
-    ChungLu { nu: u32, nv: u32, edges: usize },
-    Gnm { nu: u32, nv: u32, edges: usize },
+    ChungLu {
+        nu: u32,
+        nv: u32,
+        edges: usize,
+    },
+    Gnm {
+        nu: u32,
+        nv: u32,
+        edges: usize,
+    },
+    /// Planted near-bipartite *general* graph (written as a general
+    /// edge list, consumable by `oct-enumerate` and `LOAD_GENERAL`).
+    OctPlanted {
+        left: u32,
+        right: u32,
+        edges: usize,
+        oct: u32,
+    },
 }
 
 /// Parses a full argument list (without the program name).
@@ -133,6 +170,7 @@ pub fn parse(args: &[String]) -> Command {
         },
         "core" => parse_core(&args[1..]),
         "enumerate" => parse_enumerate(&args[1..]),
+        "oct-enumerate" => parse_oct_enumerate(&args[1..]),
         "generate" => parse_generate(&args[1..]),
         "serve" => parse_serve(&args[1..]),
         "client" => parse_client(&args[1..]),
@@ -261,6 +299,111 @@ fn parse_enumerate(args: &[String]) -> Command {
     out
 }
 
+fn parse_oct_enumerate(args: &[String]) -> Command {
+    let Some(file) = args.first() else {
+        return err("oct-enumerate requires a file argument");
+    };
+    let mut out = Command::OctEnumerate {
+        file: file.clone(),
+        algorithm: Algorithm::Mbet,
+        order: VertexOrder::AscendingDegree,
+        threads: 1,
+        max_oct: 12,
+        count_only: false,
+        max_print: 20,
+        timeout: None,
+        max_bicliques: None,
+        checkpoint: None,
+        resume: None,
+        trace: None,
+        metrics: false,
+        progress: None,
+    };
+    let Command::OctEnumerate {
+        algorithm,
+        order,
+        threads,
+        max_oct,
+        count_only,
+        max_print,
+        timeout,
+        max_bicliques,
+        checkpoint,
+        resume,
+        trace,
+        metrics,
+        progress,
+        ..
+    } = &mut out
+    else {
+        unreachable!()
+    };
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--count-only" => *count_only = true,
+            "--algorithm" => match it.next().map(String::as_str) {
+                Some("mbet") => *algorithm = Algorithm::Mbet,
+                Some("mbea") => *algorithm = Algorithm::Mbea,
+                Some("imbea") => *algorithm = Algorithm::Imbea,
+                Some("minelmbc") => *algorithm = Algorithm::MineLmbc,
+                other => return err(&format!("bad --algorithm {other:?}")),
+            },
+            "--order" => match it.next().map(String::as_str) {
+                Some("asc") => *order = VertexOrder::AscendingDegree,
+                Some("desc") => *order = VertexOrder::DescendingDegree,
+                Some("unilateral") => *order = VertexOrder::Unilateral,
+                Some("natural") => *order = VertexOrder::Natural,
+                Some(s) if s.starts_with("random:") => match s["random:".len()..].parse() {
+                    Ok(seed) => *order = VertexOrder::Random(seed),
+                    Err(_) => return err("bad random seed in --order"),
+                },
+                other => return err(&format!("bad --order {other:?}")),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => *threads = n,
+                None => return err("--threads needs a number"),
+            },
+            "--max-oct" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n <= 14 => *max_oct = n,
+                _ => return err("--max-oct needs a number <= 14"),
+            },
+            "--max-print" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => *max_print = n,
+                None => return err("--max-print needs a number"),
+            },
+            "--timeout" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 && secs.is_finite() => *timeout = Some(secs),
+                _ => return err("--timeout needs a positive number of seconds"),
+            },
+            "--max-bicliques" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => *max_bicliques = Some(n),
+                _ => return err("--max-bicliques needs a positive number"),
+            },
+            "--checkpoint" => match it.next() {
+                Some(p) => *checkpoint = Some(p.clone()),
+                None => return err("--checkpoint needs a path"),
+            },
+            "--resume" => match it.next() {
+                Some(p) => *resume = Some(p.clone()),
+                None => return err("--resume needs a path"),
+            },
+            "--trace" => match it.next() {
+                Some(p) => *trace = Some(p.clone()),
+                None => return err("--trace needs a path"),
+            },
+            "--metrics" => *metrics = true,
+            "--progress" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 && secs.is_finite() => *progress = Some(secs),
+                _ => return err("--progress needs a positive number of seconds"),
+            },
+            other => return err(&format!("unknown oct-enumerate flag `{other}`")),
+        }
+    }
+    out
+}
+
 fn parse_core(args: &[String]) -> Command {
     let (Some(file), Some(a), Some(b)) = (args.first(), args.get(1), args.get(2)) else {
         return err("core requires FILE ALPHA BETA");
@@ -297,6 +440,25 @@ fn parse_generate(args: &[String]) -> Command {
             Some((nu, nv, e)) => GenModel::Gnm { nu, nv, edges: e },
             None => return err("generate gnm requires NU NV EDGES"),
         },
+        Some("oct-planted") => {
+            let quad = (|| {
+                let left = it.next()?.parse().ok()?;
+                let right = it.next()?.parse().ok()?;
+                let edges = it.next()?.parse().ok()?;
+                let oct = it.next()?.parse().ok()?;
+                Some((left, right, edges, oct))
+            })();
+            match quad {
+                Some((left, right, edges, oct)) if left > 0 && right > 0 => {
+                    GenModel::OctPlanted { left, right, edges, oct }
+                }
+                _ => {
+                    return err(
+                        "generate oct-planted requires LEFT RIGHT EDGES OCT (LEFT, RIGHT > 0)",
+                    )
+                }
+            }
+        }
         other => return err(&format!("bad generate model {other:?}")),
     };
     let mut seed = 42u64;
@@ -421,6 +583,15 @@ fn parse_client(args: &[String]) -> Command {
             }
             _ => return err("client load requires NAME FILE"),
         },
+        Some("load-general") => match (args.get(2), args.get(3)) {
+            (Some(name), Some(file)) => {
+                if let Some(extra) = args.get(4) {
+                    return err(&format!("unexpected client load-general argument `{extra}`"));
+                }
+                ClientAction::LoadGeneral { name: name.clone(), file: file.clone() }
+            }
+            _ => return err("client load-general requires NAME FILE"),
+        },
         Some("list") => ClientAction::List,
         Some("stats") => match parse_client_stats(&args[2..]) {
             Ok(action) => action,
@@ -434,7 +605,8 @@ fn parse_client(args: &[String]) -> Command {
         },
         other => {
             return err(&format!(
-                "client needs an action (load|list|stats|metrics|shutdown|query), got {other:?}"
+                "client needs an action \
+                 (load|load-general|list|stats|metrics|shutdown|query), got {other:?}"
             ))
         }
     };
@@ -597,11 +769,44 @@ USAGE:
       Interactive runs can be cancelled by typing `q` + Enter (or
       closing stdin); partial results are reported with the stop reason.
 
+  mbe-cli oct-enumerate <file> [options]
+      Enumerate maximal *induced* bicliques of a general (non-bipartite)
+      graph, read as a general edge list (one `u v` pair per line, no
+      side structure). The graph is decomposed into a small odd cycle
+      transversal plus a bipartite remainder; each transversal side
+      assignment runs the bipartite engine on a compacted instance, and
+      results are deduplicated and maximality-filtered globally.
+        --algorithm mbet|mbea|imbea|minelmbc   inner engine (default mbet)
+        --order asc|desc|unilateral|natural|random:SEED
+        --threads N        worker threads for each inner run
+        --max-oct K        refuse transversals larger than K (default 12,
+                           max 14; the sweep is 3^K assignments)
+        --count-only       print only the count and stats
+        --max-print M      cap printed bicliques (default 20)
+        --timeout SECS     stop after SECS seconds, report partial results
+        --max-bicliques N  stop after N bicliques have been emitted
+        --checkpoint PATH  write a resumable position on an early stop
+                           (covers the dedup state: a stopped + resumed
+                           pair emits no duplicates)
+        --resume PATH      continue from a checkpoint; pins the original
+                           algorithm/order
+        --trace PATH       JSONL event trace (one bracket per assignment
+                           unit)
+        --metrics          per-worker metrics folded across assignment
+                           units, printed to stderr
+        --progress SECS    live progress line on stderr
+      Interactive runs can be cancelled by typing `q` + Enter; the stop
+      lands between assignment units and is checkpointable.
+
   mbe-cli generate <model> --output FILE [--seed S] [--scale X]
       Write a synthetic bipartite graph as an edge list. Models:
         preset ABBREV      calibrated dataset analogue (see `presets`)
         chung-lu NU NV E   power-law bipartite graph
         gnm NU NV E        uniform random bipartite graph
+        oct-planted L R E K  planted near-bipartite *general* graph:
+                           an L x R bipartite core with E edges plus K
+                           odd-cycle vertices (written as a general edge
+                           list for `oct-enumerate`)
 
   mbe-cli serve <addr> [options]
       Run the multi-client query service on <addr> (e.g. 127.0.0.1:7771).
@@ -630,6 +835,9 @@ USAGE:
   mbe-cli client <addr> <action>
       Talk to a running server. Actions:
         load NAME FILE         register the server-side edge list FILE
+        load-general NAME FILE register a server-side *general* edge
+                               list; queries on it route through the
+                               OCT driver
         list                   show registered graphs
         stats [--watch SECS]   show server counters (cache hits, queue);
                                --watch refreshes every SECS seconds
@@ -804,6 +1012,108 @@ mod tests {
                 matches!(p(bad), Command::Help { error: Some(_) }),
                 "`{bad}` should be an error"
             );
+        }
+    }
+
+    #[test]
+    fn parses_oct_enumerate() {
+        match p("oct-enumerate g.txt") {
+            Command::OctEnumerate { file, algorithm, threads, max_oct, count_only, .. } => {
+                assert_eq!(file, "g.txt");
+                assert_eq!(algorithm, Algorithm::Mbet);
+                assert_eq!(threads, 1);
+                assert_eq!(max_oct, 12);
+                assert!(!count_only);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("oct-enumerate g.txt --algorithm imbea --order random:9 --threads 4 \
+                 --max-oct 10 --count-only --timeout 2.5 --max-bicliques 100 \
+                 --checkpoint c.mbok --resume old.mbok --trace t.jsonl --metrics \
+                 --progress 0.5 --max-print 3")
+        {
+            Command::OctEnumerate {
+                algorithm,
+                order,
+                threads,
+                max_oct,
+                count_only,
+                timeout,
+                max_bicliques,
+                checkpoint,
+                resume,
+                trace,
+                metrics,
+                progress,
+                max_print,
+                ..
+            } => {
+                assert_eq!(algorithm, Algorithm::Imbea);
+                assert_eq!(order, VertexOrder::Random(9));
+                assert_eq!(threads, 4);
+                assert_eq!(max_oct, 10);
+                assert!(count_only);
+                assert_eq!(timeout, Some(2.5));
+                assert_eq!(max_bicliques, Some(100));
+                assert_eq!(checkpoint, Some("c.mbok".into()));
+                assert_eq!(resume, Some("old.mbok".into()));
+                assert_eq!(trace, Some("t.jsonl".into()));
+                assert!(metrics);
+                assert_eq!(progress, Some(0.5));
+                assert_eq!(max_print, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "oct-enumerate",
+            "oct-enumerate g --max-oct 15",
+            "oct-enumerate g --max-oct nope",
+            "oct-enumerate g --min-left 2",
+            "oct-enumerate g --top-k 3",
+            "oct-enumerate g --timeout 0",
+            "oct-enumerate g --bogus",
+        ] {
+            assert!(
+                matches!(p(bad), Command::Help { error: Some(_) }),
+                "`{bad}` should be an error"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_generate_oct_planted() {
+        match p("generate oct-planted 60 60 360 4 --seed 3 -o g.txt") {
+            Command::Generate { model, seed, output, .. } => {
+                assert_eq!(model, GenModel::OctPlanted { left: 60, right: 60, edges: 360, oct: 4 });
+                assert_eq!(seed, 3);
+                assert_eq!(output, "g.txt");
+            }
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "generate oct-planted 60 60 360 -o g.txt",
+            "generate oct-planted 0 60 360 4 -o g.txt",
+            "generate oct-planted 60 0 360 4 -o g.txt",
+            "generate oct-planted a b c d -o g.txt",
+        ] {
+            assert!(
+                matches!(p(bad), Command::Help { error: Some(_) }),
+                "`{bad}` should be an error"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_client_load_general() {
+        assert_eq!(
+            p("client :1 load-general web graph.txt"),
+            Command::Client {
+                addr: ":1".into(),
+                action: ClientAction::LoadGeneral { name: "web".into(), file: "graph.txt".into() }
+            }
+        );
+        for bad in ["client :1 load-general onlyname", "client :1 load-general a b extra"] {
+            assert!(matches!(p(bad), Command::Help { error: Some(_) }), "`{bad}`");
         }
     }
 

@@ -169,6 +169,49 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Command::OctEnumerate {
+            file,
+            algorithm,
+            order,
+            threads,
+            max_oct,
+            count_only,
+            max_print,
+            timeout,
+            max_bicliques,
+            checkpoint,
+            resume,
+            trace,
+            metrics,
+            progress,
+        } => match bigraph::general::read_general_edge_list_path(&file) {
+            Ok(g) => {
+                let mut control = RunControl::new();
+                if let Some(secs) = timeout {
+                    control = control.timeout(std::time::Duration::from_secs_f64(secs));
+                }
+                interrupt::register(&control);
+                let obs = ObsFlags { trace, metrics, progress, budget: max_bicliques };
+                run_oct_enumerate(
+                    &g,
+                    algorithm,
+                    order,
+                    threads,
+                    max_oct,
+                    count_only,
+                    max_print,
+                    max_bicliques,
+                    control,
+                    checkpoint,
+                    resume,
+                    obs,
+                )
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Command::Serve {
             addr,
             workers,
@@ -193,6 +236,32 @@ fn main() -> ExitCode {
             no_fallback,
         ),
         Command::Client { addr, action } => run_client(&addr, action),
+        Command::Generate {
+            model: GenModel::OctPlanted { left, right, edges, oct },
+            seed,
+            output,
+            ..
+        } => {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let cfg = gen::NearBipartiteConfig::new(left, right, edges, oct);
+            let (g, plan) = gen::near_bipartite(&mut rng, &cfg);
+            match bigraph::general::write_general_edge_list_path(&g, &output) {
+                Ok(()) => {
+                    println!(
+                        "wrote {} (|V|={} |E|={} planted |OCT|={})",
+                        output,
+                        g.num_vertices(),
+                        g.num_edges(),
+                        plan.oct.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Command::Generate { model, seed, scale, output } => {
             let g = build_model(&model, seed, scale);
             match bigraph::io::write_edge_list_path(&g, &output) {
@@ -361,6 +430,12 @@ fn run_client(addr: &str, action: ClientAction) -> ExitCode {
             println!(
                 "loaded {}: |U|={} |V|={} |E|={} fingerprint={:016x}",
                 info.name, info.num_u, info.num_v, info.num_edges, info.fingerprint
+            );
+        }),
+        ClientAction::LoadGeneral { name, file } => client.load_general(&name, &file).map(|info| {
+            println!(
+                "loaded general {}: |V|={} |E|={} fingerprint={:016x}",
+                info.name, info.num_u, info.num_edges, info.fingerprint
             );
         }),
         ClientAction::List => client.list().map(|graphs| {
@@ -788,6 +863,153 @@ fn run_enumerate(
     exit
 }
 
+/// The general-graph analogue of [`run_enumerate`]: the OCT driver with
+/// the same control/observability surface. `--max-bicliques` is passed
+/// to the driver (which counts deduplicated final emissions) rather
+/// than to the control (which would gate raw per-assignment candidates
+/// before dedup).
+#[allow(clippy::too_many_arguments)]
+fn run_oct_enumerate(
+    g: &bigraph::general::GeneralGraph,
+    algorithm: Algorithm,
+    order: bigraph::order::VertexOrder,
+    threads: usize,
+    max_oct: u32,
+    count_only: bool,
+    max_print: usize,
+    max_bicliques: Option<u64>,
+    control: RunControl,
+    checkpoint: Option<String>,
+    resume: Option<String>,
+    obs: ObsFlags,
+) -> ExitCode {
+    println!(
+        "general graph: |V|={} |E|={}  algorithm={} (OCT driver)",
+        g.num_vertices(),
+        g.num_edges(),
+        algorithm.label()
+    );
+
+    let trace_obs = match &obs.trace {
+        Some(path) => match JsonlTraceObserver::create(path) {
+            Ok(o) => Some(o),
+            Err(e) => {
+                eprintln!("error: cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let progress_obs = obs.progress.map(|secs| {
+        observe::StderrProgress::new(std::time::Duration::from_secs_f64(secs), obs.budget)
+    });
+    let mut fan = FanoutObserver::new();
+    if let Some(t) = &trace_obs {
+        fan.push(Box::new(t));
+    }
+    if let Some(p) = &progress_obs {
+        fan.push(Box::new(p));
+    }
+
+    let mut run = oct::OctEnumeration::new(g)
+        .algorithm(algorithm)
+        .order(order)
+        .threads(threads)
+        .max_oct(max_oct)
+        .control(control);
+    if let Some(n) = max_bicliques {
+        run = run.max_bicliques(n);
+    }
+    if !fan.is_empty() {
+        run = run.observer(&fan);
+    }
+    if let Some(path) = &resume {
+        match oct::OctCheckpoint::load(path) {
+            Ok(ckpt) => {
+                eprintln!(
+                    "note: resuming from {path} ({} bicliques emitted before the stop)",
+                    ckpt.emitted
+                );
+                if ckpt.algorithm != algorithm || ckpt.order != order {
+                    eprintln!(
+                        "note: the checkpoint pins algorithm={} — \
+                         --algorithm/--order are ignored on resume",
+                        ckpt.algorithm.label()
+                    );
+                }
+                run = run.resume(ckpt);
+            }
+            Err(e) => {
+                eprintln!("error: cannot resume from {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut exit = ExitCode::SUCCESS;
+    let report = match if count_only { run.count() } else { run.collect() } {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_stop_note(report.stop);
+    if let Some(path) = &checkpoint {
+        match &report.checkpoint {
+            Some(ckpt) => match ckpt.save(path) {
+                Ok(()) => eprintln!(
+                    "note: checkpoint written to {path} — continue with `--resume {path}`"
+                ),
+                Err(e) => {
+                    eprintln!("error: failed to write checkpoint to {path}: {e}");
+                    exit = ExitCode::FAILURE;
+                }
+            },
+            None => eprintln!("note: run completed — no checkpoint written to {path}"),
+        }
+    }
+    println!(
+        "decomposition: |OCT|={} |X|={} |Y|={} ({} valid assignments, {} units, {} inner runs)",
+        report.stats.oct_size,
+        report.stats.left_size,
+        report.stats.right_size,
+        report.stats.assignments,
+        report.stats.units_run,
+        report.stats.inner_runs
+    );
+    println!(
+        "{} maximal induced bicliques in {:?} \
+         (candidates={} duplicates={} nonmaximal={})",
+        report.stats.emitted,
+        report.stats.elapsed,
+        report.stats.candidates,
+        report.stats.duplicates,
+        report.stats.nonmaximal
+    );
+    if !count_only {
+        for b in report.bicliques.iter().take(max_print) {
+            println!("  A={:?} B={:?}", b.left, b.right);
+        }
+        if report.bicliques.len() > max_print {
+            println!("  … {} more (raise --max-print)", report.bicliques.len() - max_print);
+        }
+    }
+    if obs.metrics {
+        observe::print_worker_metrics(&report.metrics);
+    }
+    if let (Some(path), Some(t)) = (&obs.trace, &trace_obs) {
+        match t.take_error() {
+            Some(e) => {
+                eprintln!("error: trace write to {path} failed: {e}");
+                exit = ExitCode::FAILURE;
+            }
+            None => eprintln!("note: trace written to {path}"),
+        }
+    }
+    exit
+}
+
 /// One line of context when a run stopped early, on stderr so it never
 /// contaminates piped output.
 fn print_stop_note(stop: StopReason) {
@@ -811,6 +1033,9 @@ fn build_model(model: &GenModel, seed: u64, scale: f64) -> BipartiteGraph {
             gen::chung_lu::generate(&mut rng, &cfg)
         }
         GenModel::Gnm { nu, nv, edges } => gen::er::gnm(&mut rng, *nu, *nv, *edges),
+        // Dispatched to the general-graph writer in `main` before
+        // reaching the bipartite builder.
+        GenModel::OctPlanted { .. } => unreachable!("oct-planted is handled in main"),
     }
 }
 

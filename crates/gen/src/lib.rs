@@ -19,10 +19,14 @@
 
 pub mod chung_lu;
 pub mod er;
+pub mod near_bipartite;
 pub mod planted;
 pub mod preferential;
 pub mod presets;
 
+pub use near_bipartite::{
+    gnp_general, near_bipartite, oct_presets, NearBipartiteConfig, NearBipartitePlan, OctPreset,
+};
 pub use presets::{all_presets, Preset};
 
 use rand::distributions::Distribution;

@@ -1,0 +1,234 @@
+//! Planted near-bipartite general graphs for the OCT driver.
+//!
+//! The model starts from a bipartite core `X × Y` (Erdős–Rényi with an
+//! exact edge count, like [`crate::er::gnm`]) and then plants `k`
+//! *transversal* vertices. Each planted vertex is anchored on a random
+//! core edge `(x, y)` — connecting to both endpoints closes a triangle,
+//! so the vertex genuinely sits on an odd cycle — and then attaches to
+//! a few extra random core vertices on both sides. Planted vertices are
+//! never adjacent to each other, so deleting the `k` planted vertices
+//! always leaves the graph bipartite: the optimal odd cycle transversal
+//! has size ≤ `k`, and the heuristic in `oct::decompose` is expected to
+//! land at or below that.
+//!
+//! Also provides [`gnp_general`], a general-graph Erdős–Rényi control
+//! used by the differential tests.
+
+use bigraph::general::GeneralGraph;
+use rand::Rng;
+
+/// Parameters of the planted near-bipartite model.
+#[derive(Debug, Clone)]
+pub struct NearBipartiteConfig {
+    /// Vertices in the bipartite core's `X` class (ids `0..left`).
+    pub left: u32,
+    /// Vertices in the `Y` class (ids `left..left + right`).
+    pub right: u32,
+    /// Exact number of core `X × Y` edges (capped at the universe).
+    pub core_edges: usize,
+    /// Planted transversal vertices
+    /// (ids `left + right..left + right + oct`).
+    pub oct: u32,
+    /// Extra random core attachments per planted vertex, beyond the two
+    /// anchor edges.
+    pub extra_degree: u32,
+}
+
+impl NearBipartiteConfig {
+    /// A config with `extra_degree = 4`.
+    pub fn new(left: u32, right: u32, core_edges: usize, oct: u32) -> Self {
+        NearBipartiteConfig { left, right, core_edges, oct, extra_degree: 4 }
+    }
+}
+
+/// Where the generator put everything — the ground truth the tests and
+/// the experiment tables compare the heuristic against.
+#[derive(Debug, Clone)]
+pub struct NearBipartitePlan {
+    /// Ids of the planted transversal vertices, sorted.
+    pub oct: Vec<u32>,
+    /// Ids of the core `X` class, sorted.
+    pub left: Vec<u32>,
+    /// Ids of the core `Y` class, sorted.
+    pub right: Vec<u32>,
+}
+
+/// Generates a planted near-bipartite general graph. Deterministic for
+/// a given RNG state.
+pub fn near_bipartite<R: Rng>(
+    rng: &mut R,
+    cfg: &NearBipartiteConfig,
+) -> (GeneralGraph, NearBipartitePlan) {
+    assert!(cfg.left > 0 && cfg.right > 0, "core classes must be non-empty");
+    assert!(
+        cfg.core_edges > 0 || cfg.oct == 0,
+        "planted vertices need at least one core edge to anchor on"
+    );
+    let n = cfg.left + cfg.right + cfg.oct;
+    let y0 = cfg.left; // first Y id
+    let s0 = cfg.left + cfg.right; // first planted id
+    let universe = cfg.left as usize * cfg.right as usize;
+    let m = cfg.core_edges.min(universe).max(if cfg.oct > 0 { 1 } else { 0 });
+
+    // Core edges: rejection-sample exactly m distinct (x, y) pairs.
+    let mut core: Vec<(u32, u32)> = Vec::with_capacity(m);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    while core.len() < m {
+        let idx = rng.gen_range(0..universe);
+        if seen.insert(idx) {
+            let x = (idx / cfg.right as usize) as u32;
+            let y = y0 + (idx % cfg.right as usize) as u32;
+            core.push((x, y));
+        }
+    }
+
+    let mut edges = core.clone();
+    for i in 0..cfg.oct {
+        let s = s0 + i;
+        // Anchor on a random core edge: triangle s-x-y.
+        let &(ax, ay) = &core[rng.gen_range(0..core.len())];
+        edges.push((s, ax));
+        edges.push((s, ay));
+        // Extra attachments anywhere in the core (duplicates are merged
+        // by the graph constructor).
+        for _ in 0..cfg.extra_degree {
+            let t = rng.gen_range(0..(cfg.left + cfg.right));
+            edges.push((s, t));
+        }
+    }
+
+    let g = GeneralGraph::from_edges(n, &edges).expect("generated ids are in range");
+    let plan = NearBipartitePlan {
+        oct: (s0..s0 + cfg.oct).collect(),
+        left: (0..cfg.left).collect(),
+        right: (y0..s0).collect(),
+    };
+    (g, plan)
+}
+
+/// General-graph `G(n, p)`: each of the `n(n-1)/2` possible edges is
+/// present independently with probability `p`. Small-n control for the
+/// differential tests against the brute-force oracle.
+pub fn gnp_general<R: Rng>(rng: &mut R, n: u32, p: f64) -> GeneralGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.gen::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    GeneralGraph::from_edges(n, &edges).expect("ids in range")
+}
+
+/// One planted near-bipartite experiment point, scaling transversal
+/// size against a fixed core. Mirrors [`crate::presets::Preset`] but
+/// for general graphs; kept separate so the pinned 13-dataset bipartite
+/// preset table is untouched.
+#[derive(Debug, Clone)]
+pub struct OctPreset {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Short label used by the bench harness (`oc2`, `oc4`, ...).
+    pub abbrev: &'static str,
+    /// Generator parameters.
+    pub config: NearBipartiteConfig,
+}
+
+impl OctPreset {
+    /// Generates the instance for `seed`.
+    pub fn build(&self, seed: u64) -> (GeneralGraph, NearBipartitePlan) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0c7);
+        near_bipartite(&mut rng, &self.config)
+    }
+}
+
+/// The OCT-size sweep used by EXPERIMENTS.md and `bench-snapshot`:
+/// the same 60+60 core with 2, 4, 6 and 8 planted transversal
+/// vertices.
+pub fn oct_presets() -> Vec<OctPreset> {
+    let core = |oct| NearBipartiteConfig::new(60, 60, 360, oct);
+    vec![
+        OctPreset { name: "planted-oct-2", abbrev: "oc2", config: core(2) },
+        OctPreset { name: "planted-oct-4", abbrev: "oc4", config: core(4) },
+        OctPreset { name: "planted-oct-6", abbrev: "oc6", config: core(6) },
+        OctPreset { name: "planted-oct-8", abbrev: "oc8", config: core(8) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_structure_holds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = NearBipartiteConfig::new(20, 15, 80, 5);
+        let (g, plan) = near_bipartite(&mut rng, &cfg);
+        assert_eq!(g.num_vertices(), 40);
+        assert_eq!(plan.oct, vec![35, 36, 37, 38, 39]);
+        // Core is bipartite: no X-X or Y-Y edges.
+        for (u, v) in g.edges() {
+            let side = |w: u32| {
+                if w < 20 {
+                    0
+                } else if w < 35 {
+                    1
+                } else {
+                    2
+                }
+            };
+            assert!(side(u) != side(v) || side(u) == 2, "edge ({u},{v}) inside a core class");
+            assert!(!(side(u) == 2 && side(v) == 2), "planted vertices must not be adjacent");
+        }
+        // Every planted vertex closes a triangle (its anchor).
+        for &s in &plan.oct {
+            let nbrs = g.nbr(s);
+            let closes = nbrs
+                .iter()
+                .enumerate()
+                .any(|(i, &a)| nbrs[i + 1..].iter().any(|&b| g.has_edge(a, b)));
+            assert!(closes, "planted vertex {s} is not on a triangle");
+        }
+    }
+
+    #[test]
+    fn zero_oct_is_bipartite() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (g, plan) = near_bipartite(&mut rng, &NearBipartiteConfig::new(10, 10, 30, 0));
+        assert!(plan.oct.is_empty());
+        assert_eq!(g.num_vertices(), 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = NearBipartiteConfig::new(12, 12, 40, 3);
+        let (a, _) = near_bipartite(&mut StdRng::seed_from_u64(7), &cfg);
+        let (b, _) = near_bipartite(&mut StdRng::seed_from_u64(7), &cfg);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn gnp_general_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(gnp_general(&mut rng, 8, 0.0).num_edges(), 0);
+        assert_eq!(gnp_general(&mut rng, 8, 1.0).num_edges(), 28);
+    }
+
+    #[test]
+    fn oct_presets_have_unique_abbrevs() {
+        let ps = oct_presets();
+        let mut ab: Vec<_> = ps.iter().map(|p| p.abbrev).collect();
+        ab.sort_unstable();
+        ab.dedup();
+        assert_eq!(ab.len(), ps.len());
+        let (g, plan) = ps[0].build(1);
+        assert_eq!(plan.oct.len(), 2);
+        assert!(g.num_edges() > 0);
+    }
+}

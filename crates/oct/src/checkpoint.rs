@@ -1,0 +1,374 @@
+//! Resumable positions for the OCT enumeration driver.
+//!
+//! An [`OctCheckpoint`] pins the graph (fingerprint), the inner-engine
+//! configuration (algorithm + order), the next *enumeration unit* to
+//! run (an assignment code plus the unit kind within it), and the full
+//! set of dedup keys inserted so far. Carrying the dedup state is what
+//! makes `stopped ∪ resumed` equal the complete run **duplicate-free**:
+//! a candidate discovered under an early assignment and re-discovered
+//! under a later one after resume is recognized and suppressed, even
+//! though the two discoveries happened in different processes.
+//!
+//! The byte format mirrors the hardening rules of `mbe::checkpoint`:
+//! magic + version header, FNV-1a trailer checksum, and hostile length
+//! prefixes rejected before any allocation is sized by them.
+
+use bigraph::general::GeneralGraph;
+use bigraph::order::VertexOrder;
+use mbe::Algorithm;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MBOK";
+const VERSION: u8 = 1;
+
+/// Why a checkpoint could not be decoded, validated, or applied.
+#[derive(Debug)]
+pub enum OctCheckpointError {
+    /// Payload ends before a fixed-size field.
+    Truncated,
+    /// The magic bytes are not `MBOK`.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// A structural rule was violated (hostile length prefix, unknown
+    /// enum tag, unsorted key, ...).
+    Corrupt(&'static str),
+    /// The trailer checksum does not match the payload.
+    ChecksumMismatch,
+    /// The checkpoint was taken on a different graph.
+    FingerprintMismatch,
+    /// Underlying I/O failure while loading or saving.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for OctCheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OctCheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            OctCheckpointError::BadMagic => write!(f, "not an OCT checkpoint (bad magic)"),
+            OctCheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            OctCheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            OctCheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+            OctCheckpointError::FingerprintMismatch => {
+                write!(f, "checkpoint was taken on a different graph")
+            }
+            OctCheckpointError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OctCheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OctCheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for OctCheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        OctCheckpointError::Io(e)
+    }
+}
+
+/// A resumable position of the OCT driver. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OctCheckpoint {
+    /// Fingerprint of the general graph the run was enumerating.
+    pub fingerprint: u64,
+    /// Pinned inner-engine algorithm (resume re-applies it).
+    pub algorithm: Algorithm,
+    /// Pinned vertex order.
+    pub order: VertexOrder,
+    /// The ternary assignment code of the next unit to run.
+    pub next_code: u64,
+    /// Unit kind within that code: `0` = crossing, `1` = same-side.
+    pub next_kind: u8,
+    /// Cumulative bicliques emitted across all runs so far.
+    pub emitted: u64,
+    /// Every dedup key (sorted `A ∪ B` vertex set) inserted so far —
+    /// emitted, duplicate-suppressed, and maximality-rejected alike.
+    pub keys: Vec<Vec<u32>>,
+}
+
+fn alg_tag(a: Algorithm) -> u8 {
+    match a {
+        Algorithm::MineLmbc => 1,
+        Algorithm::Mbea => 2,
+        Algorithm::Imbea => 3,
+        Algorithm::Mbet => 4,
+    }
+}
+
+fn alg_from(tag: u8) -> Result<Algorithm, OctCheckpointError> {
+    Ok(match tag {
+        1 => Algorithm::MineLmbc,
+        2 => Algorithm::Mbea,
+        3 => Algorithm::Imbea,
+        4 => Algorithm::Mbet,
+        _ => return Err(OctCheckpointError::Corrupt("unknown algorithm tag")),
+    })
+}
+
+fn order_parts(o: VertexOrder) -> (u8, u64) {
+    match o {
+        VertexOrder::Natural => (1, 0),
+        VertexOrder::AscendingDegree => (2, 0),
+        VertexOrder::DescendingDegree => (3, 0),
+        VertexOrder::Unilateral => (4, 0),
+        VertexOrder::Random(seed) => (5, seed),
+    }
+}
+
+fn order_from(tag: u8, seed: u64) -> Result<VertexOrder, OctCheckpointError> {
+    Ok(match tag {
+        1 => VertexOrder::Natural,
+        2 => VertexOrder::AscendingDegree,
+        3 => VertexOrder::DescendingDegree,
+        4 => VertexOrder::Unilateral,
+        5 => VertexOrder::Random(seed),
+        _ => return Err(OctCheckpointError::Corrupt("unknown order tag")),
+    })
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], OctCheckpointError> {
+        if self.buf.len() - self.pos < n {
+            return Err(OctCheckpointError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, OctCheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, OctCheckpointError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, OctCheckpointError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+impl OctCheckpoint {
+    /// Serializes to the `MBOK` byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(64 + self.keys.iter().map(|k| 4 + 4 * k.len()).sum::<usize>());
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.push(alg_tag(self.algorithm));
+        let (otag, seed) = order_parts(self.order);
+        out.push(otag);
+        out.extend_from_slice(&seed.to_le_bytes());
+        out.extend_from_slice(&self.next_code.to_le_bytes());
+        out.push(self.next_kind);
+        out.extend_from_slice(&self.emitted.to_le_bytes());
+        out.extend_from_slice(&(self.keys.len() as u64).to_le_bytes());
+        for key in &self.keys {
+            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            for &v in key {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let sum = fnv(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes and verifies a serialized checkpoint. Hostile length
+    /// prefixes are rejected before any allocation is sized by them.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, OctCheckpointError> {
+        if bytes.len() < MAGIC.len() + 1 + 8 {
+            return Err(OctCheckpointError::Truncated);
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+        let want = u64::from_le_bytes([
+            trailer[0], trailer[1], trailer[2], trailer[3], trailer[4], trailer[5], trailer[6],
+            trailer[7],
+        ]);
+        if fnv(payload) != want {
+            return Err(OctCheckpointError::ChecksumMismatch);
+        }
+        let mut r = Reader { buf: payload, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(OctCheckpointError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(OctCheckpointError::BadVersion(version));
+        }
+        let fingerprint = r.u64()?;
+        let algorithm = alg_from(r.u8()?)?;
+        let otag = r.u8()?;
+        let seed = r.u64()?;
+        let order = order_from(otag, seed)?;
+        let next_code = r.u64()?;
+        let next_kind = r.u8()?;
+        if next_kind > 1 {
+            return Err(OctCheckpointError::Corrupt("unit kind out of range"));
+        }
+        let emitted = r.u64()?;
+        let n_keys = r.u64()?;
+        // Each key costs at least 4 bytes (its length prefix); a count
+        // larger than the payload could carry is hostile.
+        if n_keys > (r.remaining() / 4) as u64 {
+            return Err(OctCheckpointError::Corrupt("key count exceeds payload"));
+        }
+        let mut keys = Vec::with_capacity(n_keys as usize);
+        for _ in 0..n_keys {
+            let len = r.u32()? as usize;
+            if len > r.remaining() / 4 {
+                return Err(OctCheckpointError::Corrupt("key length exceeds payload"));
+            }
+            let mut key = Vec::with_capacity(len);
+            for _ in 0..len {
+                key.push(r.u32()?);
+            }
+            if !key.windows(2).all(|w| w[0] < w[1]) {
+                return Err(OctCheckpointError::Corrupt("key not strictly increasing"));
+            }
+            keys.push(key);
+        }
+        if r.remaining() != 0 {
+            return Err(OctCheckpointError::Corrupt("trailing bytes"));
+        }
+        Ok(OctCheckpoint { fingerprint, algorithm, order, next_code, next_kind, emitted, keys })
+    }
+
+    /// `true` iff this checkpoint was taken on (a structural twin of)
+    /// `g`.
+    pub fn matches(&self, g: &GeneralGraph) -> bool {
+        self.fingerprint == g.fingerprint()
+    }
+
+    /// Writes the checkpoint to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), OctCheckpointError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and verifies a checkpoint from a file.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, OctCheckpointError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OctCheckpoint {
+        OctCheckpoint {
+            fingerprint: 0xdead_beef_1234_5678,
+            algorithm: Algorithm::Mbet,
+            order: VertexOrder::Random(42),
+            next_code: 17,
+            next_kind: 1,
+            emitted: 9,
+            keys: vec![vec![0, 3, 7], vec![1, 2], vec![]],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        assert_eq!(OctCheckpoint::from_bytes(&bytes).unwrap(), c);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let c = sample();
+        let mut bytes = c.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(
+            OctCheckpoint::from_bytes(&bytes),
+            Err(OctCheckpointError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 4, 5, 12, bytes.len() - 1] {
+            assert!(OctCheckpoint::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_key_count_rejected() {
+        // Hand-craft a payload declaring u64::MAX keys with a valid
+        // checksum; the count must be rejected before allocation.
+        let mut c = sample();
+        c.keys.clear();
+        let mut bytes = c.to_bytes();
+        bytes.truncate(bytes.len() - 8); // drop checksum
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&u64::MAX.to_le_bytes()); // n_keys
+        let sum = fnv(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            OctCheckpoint::from_bytes(&bytes),
+            Err(OctCheckpointError::Corrupt("key count exceeds payload"))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        let n = bytes.len();
+        let sum = fnv(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(OctCheckpoint::from_bytes(&bytes), Err(OctCheckpointError::BadMagic)));
+
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 99;
+        let n = bytes.len();
+        let sum = fnv(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            OctCheckpoint::from_bytes(&bytes),
+            Err(OctCheckpointError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("oct-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.mbok");
+        let c = sample();
+        c.save(&path).unwrap();
+        assert_eq!(OctCheckpoint::load(&path).unwrap(), c);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,354 @@
+//! Odd-cycle-transversal computation.
+//!
+//! [`two_color`] is the exact bipartiteness check: a BFS 2-coloring
+//! that returns the certificate bipartition when one exists. For
+//! non-bipartite inputs, [`decompose`] runs a bounded local-search
+//! heuristic: *odd-cycle peeling* (repeatedly 2-color, extract an odd
+//! cycle from the BFS tree on conflict, move its highest-degree vertex
+//! into the transversal) followed by *swap improvement* (re-admit a
+//! transversal vertex outright when the remainder stays bipartite, or
+//! trade it for one of its neighbors when the trade unlocks a further
+//! removal). The search is deterministic — vertices are visited in id
+//! order with lowest-id tie-breaks — so the same graph always yields
+//! the same decomposition, which is what lets OCT checkpoints replay
+//! the same assignment schedule on resume.
+//!
+//! Every result is a *valid* transversal (the remainder is certified
+//! bipartite by construction); minimality is heuristic. Exactly
+//! bipartite inputs always yield an empty transversal.
+
+use bigraph::general::GeneralGraph;
+
+/// Where a vertex landed in an OCT decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Remainder vertex on the left (`X`) side of the certificate
+    /// bipartition.
+    Left,
+    /// Remainder vertex on the right (`Y`) side.
+    Right,
+    /// Member of the odd cycle transversal.
+    Oct,
+}
+
+/// A certified odd-cycle-transversal decomposition: removing
+/// [`Decomposition::oct`] leaves a bipartite graph whose sides are the
+/// `Left`/`Right` classes.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Per-vertex class, indexed by vertex id.
+    pub class: Vec<Class>,
+    /// The transversal, sorted ascending.
+    pub oct: Vec<u32>,
+}
+
+impl Decomposition {
+    /// Sorted ids of the `Left`-class remainder vertices.
+    pub fn left(&self) -> Vec<u32> {
+        self.ids_of(Class::Left)
+    }
+
+    /// Sorted ids of the `Right`-class remainder vertices.
+    pub fn right(&self) -> Vec<u32> {
+        self.ids_of(Class::Right)
+    }
+
+    fn ids_of(&self, want: Class) -> Vec<u32> {
+        self.class.iter().enumerate().filter(|&(_, &c)| c == want).map(|(i, _)| i as u32).collect()
+    }
+
+    /// Checks the certificate: no edge joins two remainder vertices of
+    /// the same class. `true` for every decomposition this module
+    /// produces; exposed for tests and debug assertions.
+    pub fn is_valid(&self, g: &GeneralGraph) -> bool {
+        g.edges().all(|(a, b)| {
+            let (ca, cb) = (self.class[a as usize], self.class[b as usize]);
+            ca == Class::Oct || cb == Class::Oct || ca != cb
+        })
+    }
+}
+
+/// BFS 2-colors the subgraph induced by `active`. On success, `color`
+/// holds 0/1 for active vertices. On an odd cycle, returns its vertex
+/// list (closed walk of odd length) extracted from the BFS tree.
+fn color_active(
+    g: &GeneralGraph,
+    active: &[bool],
+    color: &mut [u8],
+    parent: &mut [u32],
+    depth: &mut [u32],
+) -> Result<(), Vec<u32>> {
+    const UNSET: u8 = 2;
+    for c in color.iter_mut() {
+        *c = UNSET;
+    }
+    let n = g.num_vertices();
+    let mut queue = std::collections::VecDeque::new();
+    for root in 0..n {
+        if !active[root as usize] || color[root as usize] != UNSET {
+            continue;
+        }
+        color[root as usize] = 0;
+        parent[root as usize] = root;
+        depth[root as usize] = 0;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for &w in g.nbr(u) {
+                if !active[w as usize] {
+                    continue;
+                }
+                if color[w as usize] == UNSET {
+                    color[w as usize] = 1 - color[u as usize];
+                    parent[w as usize] = u;
+                    depth[w as usize] = depth[u as usize] + 1;
+                    queue.push_back(w);
+                } else if color[w as usize] == color[u as usize] {
+                    return Err(extract_cycle(u, w, parent, depth));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walks BFS-tree parents from the endpoints of conflict edge `(u, w)`
+/// up to their lowest common ancestor; the two paths plus the edge form
+/// an odd cycle (both endpoints have equal-parity depth).
+fn extract_cycle(u: u32, w: u32, parent: &[u32], depth: &[u32]) -> Vec<u32> {
+    let (mut a, mut b) = (u, w);
+    let mut path_a = vec![a];
+    let mut path_b = vec![b];
+    while depth[a as usize] > depth[b as usize] {
+        a = parent[a as usize];
+        path_a.push(a);
+    }
+    while depth[b as usize] > depth[a as usize] {
+        b = parent[b as usize];
+        path_b.push(b);
+    }
+    while a != b {
+        a = parent[a as usize];
+        path_a.push(a);
+        b = parent[b as usize];
+        path_b.push(b);
+    }
+    // `a == b` is the LCA, present once in each path; drop one copy.
+    path_b.pop();
+    path_b.reverse();
+    path_a.extend(path_b);
+    path_a
+}
+
+/// Computes the certificate bipartition of a bipartite graph, or `None`
+/// if the graph contains an odd cycle. Deterministic: BFS components
+/// are rooted at the lowest unvisited id and roots are colored 0.
+pub fn two_color(g: &GeneralGraph) -> Option<Vec<u8>> {
+    let n = g.num_vertices() as usize;
+    let active = vec![true; n];
+    let mut color = vec![0u8; n];
+    let mut parent = vec![0u32; n];
+    let mut depth = vec![0u32; n];
+    color_active(g, &active, &mut color, &mut parent, &mut depth).ok().map(|()| color)
+}
+
+/// Computes an odd cycle transversal by peeling plus bounded swap
+/// improvement (see the module docs). The result is always valid;
+/// bipartite inputs yield an empty transversal and their exact
+/// certificate bipartition.
+pub fn decompose(g: &GeneralGraph) -> Decomposition {
+    let n = g.num_vertices() as usize;
+    let mut active = vec![true; n];
+    let mut color = vec![0u8; n];
+    let mut parent = vec![0u32; n];
+    let mut depth = vec![0u32; n];
+    let mut oct: Vec<u32> = Vec::new();
+
+    let colorable = |active: &[bool],
+                     color: &mut [u8],
+                     parent: &mut [u32],
+                     depth: &mut [u32]|
+     -> Result<(), Vec<u32>> { color_active(g, active, color, parent, depth) };
+
+    // Peeling: on each odd cycle, transfer the cycle vertex with the
+    // highest remaining degree (lowest id on ties) into the transversal.
+    while let Err(cycle) = colorable(&active, &mut color, &mut parent, &mut depth) {
+        let pick = cycle
+            .iter()
+            .copied()
+            .max_by_key(|&v| {
+                let d = g.nbr(v).iter().filter(|&&w| active[w as usize]).count();
+                (d, std::cmp::Reverse(v))
+            })
+            .unwrap_or(cycle[0]);
+        active[pick as usize] = false;
+        oct.push(pick);
+    }
+
+    // Bounded local search: each bipartiteness re-check spends one unit
+    // of budget, so the improvement phase is O((n + budget) · (n + m)).
+    let mut budget: u64 = 64 + 8 * n as u64;
+    loop {
+        // Drop pass: re-admit any vertex whose return keeps the
+        // remainder bipartite.
+        let mut dropped = false;
+        let mut i = 0;
+        while i < oct.len() {
+            if budget == 0 {
+                break;
+            }
+            let v = oct[i];
+            active[v as usize] = true;
+            budget -= 1;
+            if colorable(&active, &mut color, &mut parent, &mut depth).is_ok() {
+                oct.remove(i);
+                dropped = true;
+            } else {
+                active[v as usize] = false;
+                i += 1;
+            }
+        }
+        if dropped {
+            continue;
+        }
+        // Swap pass: trade a transversal vertex for a neighbor when the
+        // trade keeps the remainder bipartite AND unlocks a drop — a
+        // strict size improvement; equal-size churn is rejected so the
+        // search terminates.
+        let mut improved = false;
+        'swap: for i in 0..oct.len() {
+            let s = oct[i];
+            for &w in g.nbr(s) {
+                if !active[w as usize] || budget < 2 {
+                    continue;
+                }
+                active[w as usize] = false;
+                active[s as usize] = true;
+                budget -= 1;
+                if colorable(&active, &mut color, &mut parent, &mut depth).is_ok() {
+                    // Equal-size trade is valid; keep it only if it
+                    // unlocks a drop (strict improvement).
+                    oct[i] = w;
+                    let mut j = 0;
+                    while j < oct.len() && budget > 0 {
+                        let t = oct[j];
+                        active[t as usize] = true;
+                        budget -= 1;
+                        if colorable(&active, &mut color, &mut parent, &mut depth).is_ok() {
+                            oct.remove(j);
+                            improved = true;
+                            break 'swap;
+                        }
+                        active[t as usize] = false;
+                        j += 1;
+                    }
+                    oct[i] = s;
+                }
+                active[w as usize] = true;
+                active[s as usize] = false;
+            }
+        }
+        if !improved || budget == 0 {
+            break;
+        }
+    }
+
+    // Final certificate coloring of the remainder.
+    let ok = colorable(&active, &mut color, &mut parent, &mut depth).is_ok();
+    debug_assert!(ok, "peeling must terminate with a bipartite remainder");
+    if !ok {
+        // Defensive: fall back to an all-OCT decomposition rather than
+        // returning an invalid certificate.
+        return Decomposition { class: vec![Class::Oct; n], oct: (0..n as u32).collect() };
+    }
+    oct.sort_unstable();
+    let class: Vec<Class> = (0..n)
+        .map(|v| {
+            if !active[v] {
+                Class::Oct
+            } else if color[v] == 0 {
+                Class::Left
+            } else {
+                Class::Right
+            }
+        })
+        .collect();
+    Decomposition { class, oct }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bipartite_graph_two_colors() {
+        // A 6-cycle: bipartite.
+        let g =
+            GeneralGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let colors = two_color(&g).unwrap();
+        for (a, b) in g.edges() {
+            assert_ne!(colors[a as usize], colors[b as usize]);
+        }
+        let d = decompose(&g);
+        assert!(d.oct.is_empty());
+        assert!(d.is_valid(&g));
+    }
+
+    #[test]
+    fn triangle_needs_one() {
+        let g = GeneralGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert!(two_color(&g).is_none());
+        let d = decompose(&g);
+        assert_eq!(d.oct.len(), 1);
+        assert!(d.is_valid(&g));
+    }
+
+    #[test]
+    fn five_cycle_needs_one() {
+        let g = GeneralGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let d = decompose(&g);
+        assert_eq!(d.oct.len(), 1);
+        assert!(d.is_valid(&g));
+    }
+
+    #[test]
+    fn two_disjoint_triangles_need_two() {
+        let g =
+            GeneralGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        let d = decompose(&g);
+        assert_eq!(d.oct.len(), 2);
+        assert!(d.is_valid(&g));
+    }
+
+    #[test]
+    fn complete_graph_k4() {
+        // K4 has OCT number 2 (removing any two vertices leaves one edge).
+        let g =
+            GeneralGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let d = decompose(&g);
+        assert_eq!(d.oct.len(), 2);
+        assert!(d.is_valid(&g));
+    }
+
+    #[test]
+    fn deterministic() {
+        let edges =
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (0, 5), (1, 4), (2, 5)];
+        let g = GeneralGraph::from_edges(6, &edges).unwrap();
+        let d1 = decompose(&g);
+        let d2 = decompose(&g);
+        assert_eq!(d1.oct, d2.oct);
+        assert_eq!(d1.left(), d2.left());
+        assert_eq!(d1.right(), d2.right());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = GeneralGraph::from_edges(0, &[]).unwrap();
+        let d = decompose(&g);
+        assert!(d.oct.is_empty());
+        let g = GeneralGraph::from_edges(1, &[]).unwrap();
+        let d = decompose(&g);
+        assert!(d.oct.is_empty());
+        assert_eq!(d.class, vec![Class::Left]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Brute-force oracle for maximal induced bicliques, used by the
+//! differential tests. Exponential in `|V|` — callers must keep `n`
+//! small (the function rejects `n > 20`).
+
+use bigraph::general::GeneralGraph;
+
+/// All maximal induced bicliques of `g`, each returned as the sorted
+/// vertex set `A ∪ B` (the union determines the pair: a complete
+/// bipartite graph with two non-empty sides is connected and has a
+/// unique bipartition). The result is sorted lexicographically.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 20 vertices — the `2^n` subset sweep is
+/// only meant for test-sized graphs.
+pub fn maximal_induced_bicliques(g: &GeneralGraph) -> Vec<Vec<u32>> {
+    let n = g.num_vertices();
+    assert!(n <= 20, "reference oracle is exponential; n = {n} is too large");
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    for set in 1u32..(1u32 << n) {
+        if let Some((a, b)) = split_biclique(g, set) {
+            if is_maximal(g, &a, &b) {
+                let mut key: Vec<u32> = (0..n).filter(|&v| set >> v & 1 == 1).collect();
+                key.sort_unstable();
+                out.push(key);
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Tries to split the vertex subset `set` into an induced biclique
+/// `(A, B)` with both sides non-empty. Picks the lowest vertex `v0`,
+/// puts its in-set neighbors in `B` and the rest (including `v0`) in
+/// `A`, then verifies independence of both sides and completeness
+/// between them — for a valid biclique this recovers the unique
+/// bipartition.
+fn split_biclique(g: &GeneralGraph, set: u32) -> Option<(Vec<u32>, Vec<u32>)> {
+    let v0 = set.trailing_zeros();
+    let mut a = vec![v0];
+    let mut b = Vec::new();
+    let mut rest = set & !(1 << v0);
+    while rest != 0 {
+        let v = rest.trailing_zeros();
+        rest &= rest - 1;
+        if g.has_edge(v0, v) {
+            b.push(v);
+        } else {
+            a.push(v);
+        }
+    }
+    if b.is_empty() {
+        return None;
+    }
+    for (i, &u) in a.iter().enumerate() {
+        for &w in &a[i + 1..] {
+            if g.has_edge(u, w) {
+                return None;
+            }
+        }
+    }
+    for (i, &u) in b.iter().enumerate() {
+        for &w in &b[i + 1..] {
+            if g.has_edge(u, w) {
+                return None;
+            }
+        }
+    }
+    for &u in &a {
+        for &w in &b {
+            if !g.has_edge(u, w) {
+                return None;
+            }
+        }
+    }
+    Some((a, b))
+}
+
+/// `true` iff no outside vertex extends either side of `(a, b)`.
+fn is_maximal(g: &GeneralGraph, a: &[u32], b: &[u32]) -> bool {
+    for v in 0..g.num_vertices() {
+        if a.contains(&v) || b.contains(&v) {
+            continue;
+        }
+        if b.iter().all(|&w| g.has_edge(v, w)) && a.iter().all(|&w| !g.has_edge(v, w)) {
+            return false;
+        }
+        if a.iter().all(|&w| g.has_edge(v, w)) && b.iter().all(|&w| !g.has_edge(v, w)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge_is_its_own_biclique() {
+        let g = GeneralGraph::from_edges(2, &[(0, 1)]).unwrap();
+        assert_eq!(maximal_induced_bicliques(&g), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn triangle_edges_are_maximal() {
+        let g = GeneralGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(maximal_induced_bicliques(&g), vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+    }
+
+    #[test]
+    fn path_three_center_pair() {
+        // P3 0-1-2: the only maximal induced biclique is {1}-{0,2}.
+        let g = GeneralGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(maximal_induced_bicliques(&g), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn independent_set_has_none() {
+        let g = GeneralGraph::from_edges(3, &[]).unwrap();
+        assert!(maximal_induced_bicliques(&g).is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for the decomposition heuristic.
+
+use bigraph::general::GeneralGraph;
+use gen::gnp_general;
+use oct::decompose::{decompose, two_color, Class};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The heuristic's output is always a *valid* transversal: the
+    /// classes certify a 2-coloring of the graph minus the OCT set.
+    #[test]
+    fn heuristic_output_is_a_valid_transversal(seed in 0u64..500, n in 1u32..40, pm in 0u32..100) {
+        let p = pm as f64 / 100.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnp_general(&mut rng, n, p);
+        let d = decompose(&g);
+        prop_assert!(d.is_valid(&g), "invalid decomposition for n={n} p={p} seed={seed}");
+        // Every vertex is classified exactly once.
+        prop_assert_eq!(d.class.len(), n as usize);
+        let oct_count = d.class.iter().filter(|&&c| c == Class::Oct).count();
+        prop_assert_eq!(oct_count, d.oct.len());
+    }
+
+    /// Bipartite inputs always decompose with an empty transversal.
+    #[test]
+    fn bipartite_inputs_need_no_transversal(seed in 0u64..200, nu in 1u32..20, nv in 1u32..20, m in 0usize..120) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bg = gen::er::gnm(&mut rng, nu, nv, m);
+        let g = GeneralGraph::from_bipartite(&bg);
+        prop_assert!(two_color(&g).is_some(), "bipartite graph must 2-color");
+        let d = decompose(&g);
+        prop_assert!(d.oct.is_empty(), "bipartite input produced |OCT| = {}", d.oct.len());
+    }
+
+    /// On odd-cycle-free graphs the two_color certificate is a real
+    /// proper coloring.
+    #[test]
+    fn two_color_certificate_is_proper(seed in 0u64..200, nu in 1u32..16, nv in 1u32..16) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bg = gen::er::gnm(&mut rng, nu, nv, (nu * nv / 3) as usize);
+        let g = GeneralGraph::from_bipartite(&bg);
+        let color = two_color(&g).expect("bipartite");
+        for (u, v) in g.edges() {
+            prop_assert_ne!(color[u as usize], color[v as usize]);
+        }
+    }
+
+    /// Graphs with odd cycles are never falsely certified bipartite.
+    #[test]
+    fn odd_cycles_are_detected(seed in 0u64..200, n in 3u32..20) {
+        // A random graph plus a forced triangle on {0, 1, 2}.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = gnp_general(&mut rng, n, 0.2);
+        let mut edges: Vec<(u32, u32)> = base.edges().collect();
+        edges.extend_from_slice(&[(0, 1), (1, 2), (0, 2)]);
+        let g = GeneralGraph::from_edges(n, &edges).expect("in range");
+        prop_assert!(two_color(&g).is_none());
+        let d = decompose(&g);
+        prop_assert!(!d.oct.is_empty());
+        prop_assert!(d.is_valid(&g));
+    }
+}

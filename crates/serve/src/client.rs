@@ -117,6 +117,20 @@ impl Client {
         }
     }
 
+    /// Registers the *general* edge list at server-side `path` under
+    /// `name`. The returned info reports `|V|` in `num_u` and 0 in
+    /// `num_v`; queries on the name run through the server's OCT driver.
+    pub fn load_general(&mut self, name: &str, path: &str) -> Result<GraphInfo, ServeError> {
+        let response =
+            self.call(&Request::LoadGeneral { name: name.to_string(), path: path.to_string() })?;
+        match Self::expect_ok(response)? {
+            Reply::LoadedGeneral(info) => Ok(info),
+            _ => Err(ServeError::UnexpectedReply(
+                "LOAD_GENERAL answered with a non-LoadedGeneral reply",
+            )),
+        }
+    }
+
     /// Lists registered graphs.
     pub fn list(&mut self) -> Result<Vec<GraphInfo>, ServeError> {
         let response = self.call(&Request::List)?;

@@ -16,7 +16,11 @@
 //!
 //! Clients speak a small versioned, length-prefixed TCP protocol
 //! ([`wire`], [`protocol`]): `LOAD`, `LIST`, `QUERY`, `CANCEL`, `STATS`,
-//! `SHUTDOWN`, `QUERY_SHARD`. In-flight queries are cancellable per
+//! `SHUTDOWN`, `QUERY_SHARD`, `LOAD_GENERAL`. Graphs registered via
+//! `LOAD_GENERAL` are *general* (non-bipartite); queries on them route
+//! through the `oct` crate's odd-cycle-transversal driver and reject
+//! bipartite-only parameters with the `wrong-kind` error code.
+//! In-flight queries are cancellable per
 //! connection (a pipelined `CANCEL` frame flips the query's
 //! [`mbe::RunControl`]), and `SHUTDOWN` drains running queries by
 //! cancelling them — each stopped query returns its checkpoint to its
@@ -54,7 +58,7 @@ pub use protocol::{
     DistSummary, GraphInfo, QueryReply, QueryRequest, Reply, Request, Response, ServerStats,
     ShardRequest, TraceContext,
 };
-pub use registry::{GraphEntry, GraphRegistry};
+pub use registry::{GraphData, GraphEntry, GraphRegistry};
 pub use server::{Server, ServerConfig, ServerHandle, ServerSummary};
 pub use telemetry::{MetricsSnapshot, OpSnapshot, ServerMetrics, WorkerStatus};
 pub use wire::WireError;

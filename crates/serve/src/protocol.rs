@@ -9,7 +9,8 @@
 //! ```
 //!
 //! Requests: `LOAD`(1), `LIST`(2), `QUERY`(3), `CANCEL`(4), `STATS`(5),
-//! `SHUTDOWN`(6), `QUERY_SHARD`(7), `METRICS`(8). Response statuses: `OK`(0) — followed by a reply tag
+//! `SHUTDOWN`(6), `QUERY_SHARD`(7), `METRICS`(8), `LOAD_GENERAL`(9).
+//! Response statuses: `OK`(0) — followed by a reply tag
 //! mirroring the request opcode — `ERR`(1) with a code and message, and
 //! `BUSY`(2), the typed admission rejection. Unknown versions and opcodes
 //! are decode errors, never silent acceptance: the version byte exists so
@@ -17,7 +18,9 @@
 //!
 //! Within version 1, [`PROTOCOL_MINOR`] tracks additive revisions:
 //! minor 1 added the `METRICS` opcode and the optional trailing
-//! [`TraceContext`] on `QUERY`/`QUERY_SHARD`. Additions must keep every
+//! [`TraceContext`] on `QUERY`/`QUERY_SHARD`; minor 2 added the
+//! `LOAD_GENERAL` opcode (general graphs served via the OCT driver)
+//! and the `WRONG_KIND` error code. Additions must keep every
 //! minor-0 payload decoding unchanged (the trace context is encoded
 //! only when present, so old and new encoders agree byte-for-byte on
 //! trace-less requests — see the decode-compat tests).
@@ -39,7 +42,7 @@ pub const PROTOCOL_VERSION: u8 = 1;
 /// Additive revision within [`PROTOCOL_VERSION`] — bumped when a new
 /// opcode or optional trailing field is added without breaking old
 /// payloads (documentation only; never sent on the wire).
-pub const PROTOCOL_MINOR: u8 = 1;
+pub const PROTOCOL_MINOR: u8 = 2;
 
 /// Request opcodes (payload byte 1).
 pub mod opcode {
@@ -61,6 +64,10 @@ pub mod opcode {
     /// Fetch the full server telemetry snapshot (per-opcode counters,
     /// latency histograms, shard/health counters).
     pub const METRICS: u8 = 8;
+    /// Register a server-side *general* (non-bipartite) edge-list file
+    /// under a name; queries on it route through the OCT driver
+    /// (protocol minor 2).
+    pub const LOAD_GENERAL: u8 = 9;
 }
 
 /// Response statuses (payload byte 1).
@@ -93,6 +100,9 @@ pub mod errcode {
     /// A coordinator exhausted its worker pool (all dead or quarantined)
     /// and local fallback is disabled.
     pub const NO_WORKERS: u8 = 8;
+    /// The query's parameters do not apply to the target graph's kind
+    /// (e.g. bipartite-only thresholds or top-k on a general graph).
+    pub const WRONG_KIND: u8 = 9;
 
     /// Human-readable label for an error code.
     pub fn label(code: u8) -> &'static str {
@@ -105,6 +115,7 @@ pub mod errcode {
             NAME_CONFLICT => "name-conflict",
             BAD_SHARD => "bad-shard",
             NO_WORKERS => "no-workers",
+            WRONG_KIND => "wrong-kind",
             _ => "unknown",
         }
     }
@@ -140,6 +151,15 @@ pub enum Request {
     QueryShard(ShardRequest),
     /// Fetch the full server telemetry snapshot.
     Metrics,
+    /// Register the *general* (non-bipartite) edge list at server-side
+    /// `path` under `name`. Queries on the graph route through the OCT
+    /// driver; [`GraphInfo`] reports `|V|` in `num_u` and 0 in `num_v`.
+    LoadGeneral {
+        /// Registry name to bind.
+        name: String,
+        /// Server-side path of the general edge-list file.
+        path: String,
+    },
 }
 
 /// Distributed trace context carried by `QUERY`/`QUERY_SHARD`
@@ -234,6 +254,11 @@ pub enum Reply {
     Shard(QueryReply),
     /// `METRICS` result.
     Metrics(Box<MetricsSnapshot>),
+    /// `LOAD_GENERAL` succeeded (or was idempotently replayed). The
+    /// info reports `|V|` in `num_u` and 0 in `num_v` — [`GraphInfo`]'s
+    /// shape is pinned by the minor-0 compat tests, so the general
+    /// kind is signaled by the reply tag, not a new field.
+    LoadedGeneral(GraphInfo),
 }
 
 /// One registered graph, as reported by `LOAD` and `LIST`.
@@ -853,6 +878,11 @@ impl Request {
                 put_opt_trace(&mut buf, s.trace);
             }
             Request::Metrics => put_u8(&mut buf, opcode::METRICS),
+            Request::LoadGeneral { name, path } => {
+                put_u8(&mut buf, opcode::LOAD_GENERAL);
+                put_str(&mut buf, name);
+                put_str(&mut buf, path);
+            }
         }
         buf
     }
@@ -891,6 +921,10 @@ impl Request {
                 Request::QueryShard(ShardRequest { graph, params, max_return, checkpoint, trace })
             }
             opcode::METRICS => Request::Metrics,
+            opcode::LOAD_GENERAL => Request::LoadGeneral {
+                name: r.str("load-general name")?.to_string(),
+                path: r.str("load-general path")?.to_string(),
+            },
             _ => return Err(WireError::Malformed("opcode")),
         };
         r.finish()?;
@@ -935,6 +969,10 @@ impl Response {
                     Reply::Metrics(m) => {
                         put_u8(&mut buf, opcode::METRICS);
                         put_metrics(&mut buf, m);
+                    }
+                    Reply::LoadedGeneral(info) => {
+                        put_u8(&mut buf, opcode::LOAD_GENERAL);
+                        put_graph_info(&mut buf, info);
                     }
                 }
             }
@@ -981,6 +1019,7 @@ impl Response {
                     opcode::SHUTDOWN => Reply::ShuttingDown,
                     opcode::QUERY_SHARD => Reply::Shard(query_reply_from_reader(&mut r)?),
                     opcode::METRICS => Reply::Metrics(Box::new(metrics_from_reader(&mut r)?)),
+                    opcode::LOAD_GENERAL => Reply::LoadedGeneral(graph_info_from_reader(&mut r)?),
                     _ => return Err(WireError::Malformed("reply tag")),
                 };
                 Response::Ok(reply)
@@ -1021,6 +1060,7 @@ mod tests {
     #[test]
     fn requests_roundtrip() {
         roundtrip_req(Request::Load { name: "web".into(), path: "/tmp/web.txt".into() });
+        roundtrip_req(Request::LoadGeneral { name: "road".into(), path: "/tmp/road.txt".into() });
         roundtrip_req(Request::List);
         roundtrip_req(Request::Cancel);
         roundtrip_req(Request::Stats);
@@ -1136,6 +1176,19 @@ mod tests {
             num_edges: 55,
         };
         roundtrip_resp(Response::Ok(Reply::Loaded(info.clone())));
+        // A general graph reuses GraphInfo with |V| in num_u and num_v=0;
+        // the LOAD_GENERAL reply tag (not a new field) signals the kind.
+        roundtrip_resp(Response::Ok(Reply::LoadedGeneral(GraphInfo {
+            name: "road".into(),
+            fingerprint: 0xC0FF_EE00,
+            num_u: 128,
+            num_v: 0,
+            num_edges: 301,
+        })));
+        roundtrip_resp(Response::Err {
+            code: errcode::WRONG_KIND,
+            message: "min-left applies only to bipartite graphs".into(),
+        });
         roundtrip_resp(Response::Ok(Reply::Graphs(vec![info.clone(), info])));
         roundtrip_resp(Response::Ok(Reply::Graphs(Vec::new())));
         roundtrip_resp(Response::Ok(Reply::Cancelled));

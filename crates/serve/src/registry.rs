@@ -12,31 +12,72 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
-use bigraph::BipartiteGraph;
+use bigraph::{BipartiteGraph, GeneralGraph};
 use mbe::checkpoint::graph_fingerprint;
 
 use crate::protocol::GraphInfo;
+
+/// The structure a registry entry holds: a bipartite graph served by the
+/// stock enumeration engine, or a general graph served via the OCT
+/// driver. The two kinds share one namespace — a name binds to exactly
+/// one graph regardless of kind.
+#[derive(Debug)]
+pub enum GraphData {
+    /// Bipartite edge list (`LOAD`).
+    Bipartite(Arc<BipartiteGraph>),
+    /// General edge list (`LOAD_GENERAL`).
+    General(Arc<GeneralGraph>),
+}
 
 /// One registered graph.
 #[derive(Debug)]
 pub struct GraphEntry {
     /// Registry name.
     pub name: String,
-    /// The shared graph.
-    pub graph: Arc<BipartiteGraph>,
-    /// FNV-1a fingerprint of the graph's structure.
+    /// The shared graph, tagged by kind.
+    pub data: GraphData,
+    /// FNV-1a fingerprint of the graph's structure. Bipartite and
+    /// general fingerprints are computed by different digests, so the
+    /// same name can never silently swap kinds without a conflict.
     pub fingerprint: u64,
 }
 
 impl GraphEntry {
-    /// Summary for `LOAD`/`LIST` replies.
+    /// The bipartite graph, when this entry holds one.
+    pub fn bipartite(&self) -> Option<&Arc<BipartiteGraph>> {
+        match &self.data {
+            GraphData::Bipartite(g) => Some(g),
+            GraphData::General(_) => None,
+        }
+    }
+
+    /// The general graph, when this entry holds one.
+    pub fn general(&self) -> Option<&Arc<GeneralGraph>> {
+        match &self.data {
+            GraphData::General(g) => Some(g),
+            GraphData::Bipartite(_) => None,
+        }
+    }
+
+    /// Summary for `LOAD`/`LIST` replies. General graphs report `|V|`
+    /// in `num_u` and 0 in `num_v` — [`GraphInfo`]'s shape is pinned by
+    /// the minor-0 wire compat tests, so kind is not a wire field.
     pub fn info(&self) -> GraphInfo {
-        GraphInfo {
-            name: self.name.clone(),
-            fingerprint: self.fingerprint,
-            num_u: self.graph.num_u() as u64,
-            num_v: self.graph.num_v() as u64,
-            num_edges: self.graph.num_edges() as u64,
+        match &self.data {
+            GraphData::Bipartite(g) => GraphInfo {
+                name: self.name.clone(),
+                fingerprint: self.fingerprint,
+                num_u: g.num_u() as u64,
+                num_v: g.num_v() as u64,
+                num_edges: g.num_edges() as u64,
+            },
+            GraphData::General(g) => GraphInfo {
+                name: self.name.clone(),
+                fingerprint: self.fingerprint,
+                num_u: g.num_vertices() as u64,
+                num_v: 0,
+                num_edges: g.num_edges() as u64,
+            },
         }
     }
 }
@@ -75,9 +116,33 @@ impl GraphRegistry {
         graph: BipartiteGraph,
     ) -> Result<Arc<GraphEntry>, NameConflict> {
         let fingerprint = graph_fingerprint(&graph);
+        self.insert_data(name, GraphData::Bipartite(Arc::new(graph)), fingerprint)
+    }
+
+    /// Registers a general graph under `name`, with the same idempotency
+    /// and conflict rules as [`GraphRegistry::insert`]. A name already
+    /// bound to a bipartite graph conflicts (the kinds use distinct
+    /// fingerprint digests).
+    pub fn insert_general(
+        &self,
+        name: &str,
+        graph: GeneralGraph,
+    ) -> Result<Arc<GraphEntry>, NameConflict> {
+        let fingerprint = graph.fingerprint();
+        self.insert_data(name, GraphData::General(Arc::new(graph)), fingerprint)
+    }
+
+    fn insert_data(
+        &self,
+        name: &str,
+        data: GraphData,
+        fingerprint: u64,
+    ) -> Result<Arc<GraphEntry>, NameConflict> {
         self.loads.fetch_add(1, Ordering::Relaxed);
         let mut map = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         if let Some(existing) = map.get(name) {
+            // Same fingerprint implies same digest domain, hence same
+            // kind: an idempotent replay of the original load.
             if existing.fingerprint == fingerprint {
                 return Ok(Arc::clone(existing));
             }
@@ -88,8 +153,7 @@ impl GraphRegistry {
                 offered: fingerprint,
             });
         }
-        let entry =
-            Arc::new(GraphEntry { name: name.to_string(), graph: Arc::new(graph), fingerprint });
+        let entry = Arc::new(GraphEntry { name: name.to_string(), data, fingerprint });
         map.insert(name.to_string(), Arc::clone(&entry));
         Ok(entry)
     }
@@ -171,6 +235,28 @@ mod tests {
         assert_ne!(err.offered, err.existing);
         // The original binding survives the rejected attempt.
         assert_eq!(reg.get("g").unwrap().fingerprint, first.fingerprint);
+    }
+
+    #[test]
+    fn general_graphs_share_the_namespace() {
+        let reg = GraphRegistry::new();
+        let tri = GeneralGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let e = reg.insert_general("tri", tri.clone()).unwrap();
+        assert!(e.general().is_some());
+        assert!(e.bipartite().is_none());
+        let info = e.info();
+        assert_eq!((info.num_u, info.num_v, info.num_edges), (3, 0, 3));
+
+        // Idempotent replay of the same general graph.
+        let again = reg.insert_general("tri", tri.clone()).unwrap();
+        assert_eq!(again.fingerprint, e.fingerprint);
+        assert_eq!(reg.len(), 1);
+
+        // The name is taken regardless of kind: a bipartite bind under
+        // the same name conflicts, and vice versa.
+        assert!(reg.insert("tri", graph(&[(0, 0)])).is_err());
+        reg.insert("bip", graph(&[(0, 0)])).unwrap();
+        assert!(reg.insert_general("bip", tri).is_err());
     }
 
     #[test]

@@ -27,14 +27,16 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bigraph::general::read_general_edge_list_path_with_limits;
 use bigraph::io::{read_edge_list_path_with_limits, ReadLimits};
-use bigraph::BipartiteGraph;
+use bigraph::{BipartiteGraph, GeneralGraph};
 use mbe::obs::TaskInfo;
 use mbe::service::{cacheable, run_query, CachedResult, QueryParams, ResultCache};
 use mbe::{
     CacheCounters, Checkpoint, Enumeration, FanoutObserver, JsonlTraceObserver, MbeError, Observer,
     Report, RunControl, StopReason,
 };
+use oct::{OctCheckpoint, OctEnumeration, OctError, OctReport};
 
 use crate::admission::{Admission, QueueWait, SubmitError};
 use crate::coordinator::{Coordinator, CoordinatorConfig, DistError, DistOutcome};
@@ -42,7 +44,7 @@ use crate::protocol::{
     errcode, QueryReply, QueryRequest, Reply, Request, Response, ServerStats, ShardRequest,
     TraceContext,
 };
-use crate::registry::{GraphEntry, GraphRegistry};
+use crate::registry::{GraphData, GraphRegistry};
 use crate::span::SpanLog;
 use crate::telemetry::{self, render_prometheus, MetricsSnapshot, ServerMetrics};
 use crate::wire::{read_frame, write_frame, ReadOutcome};
@@ -391,6 +393,7 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, payload: &[u8]) -> Vec
     let started = Instant::now();
     let responses = match request {
         Request::Load { name, path } => vec![handle_load(shared, &name, &path)],
+        Request::LoadGeneral { name, path } => vec![handle_load_general(shared, &name, &path)],
         Request::List => {
             let infos = shared.registry.list().iter().map(|e| e.info()).collect();
             vec![Response::Ok(Reply::Graphs(infos))]
@@ -421,6 +424,7 @@ fn dispatch(shared: &Arc<Shared>, stream: &mut TcpStream, payload: &[u8]) -> Vec
 fn op_slot(request: &Request) -> usize {
     match request {
         Request::Load { .. } => telemetry::OP_LOAD,
+        Request::LoadGeneral { .. } => telemetry::OP_LOAD_GENERAL,
         Request::List => telemetry::OP_LIST,
         Request::Query(_) => telemetry::OP_QUERY,
         Request::QueryShard(_) => telemetry::OP_QUERY_SHARD,
@@ -456,6 +460,39 @@ fn handle_load(shared: &Shared, name: &str, path: &str) -> Response {
             }
             Response::Ok(Reply::Loaded(entry.info()))
         }
+        Err(conflict) => Response::Err {
+            code: errcode::NAME_CONFLICT,
+            message: format!(
+                "'{}' is bound to fingerprint {:016x}, refusing {:016x}",
+                conflict.name, conflict.existing, conflict.offered
+            ),
+        },
+    }
+}
+
+/// `LOAD_GENERAL`: same hardened read-limits and idempotency contract as
+/// [`handle_load`], but the file is parsed as a general edge list and
+/// queries on the name will route through the OCT driver. The graph is
+/// *not* announced to coordinator workers — general queries are never
+/// sharded, so workers have no use for it.
+fn handle_load_general(shared: &Shared, name: &str, path: &str) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::Err {
+            code: errcode::SHUTTING_DOWN,
+            message: "server is shutting down".into(),
+        };
+    }
+    let graph = match read_general_edge_list_path_with_limits(path, shared.cfg.read_limits) {
+        Ok(g) => g,
+        Err(e) => {
+            return Response::Err {
+                code: errcode::LOAD_FAILED,
+                message: format!("cannot load '{path}': {e}"),
+            }
+        }
+    };
+    match shared.registry.insert_general(name, graph) {
+        Ok(entry) => Response::Ok(Reply::LoadedGeneral(entry.info())),
         Err(conflict) => Response::Err {
             code: errcode::NAME_CONFLICT,
             message: format!(
@@ -680,6 +717,12 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, q: &QueryRequest) 
         }];
     };
     let fingerprint = entry.fingerprint;
+    let graph = match &entry.data {
+        GraphData::Bipartite(g) => Arc::clone(g),
+        GraphData::General(g) => {
+            return handle_oct_query(shared, stream, q, fingerprint, Arc::clone(g))
+        }
+    };
     let key = q.params.canonical_key();
 
     // Cache first: hits are never queued, so they can't be rejected Busy.
@@ -716,7 +759,7 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, q: &QueryRequest) 
     let (tx, rx) = sync_channel::<QueryOutcome>(1);
     let job = {
         let shared = Arc::clone(shared);
-        let entry = Arc::clone(&entry);
+        let graph = Arc::clone(&graph);
         let graph_name = q.graph.clone();
         let params = q.params.clone();
         let control = control.clone();
@@ -726,7 +769,7 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, q: &QueryRequest) 
                 Some(coord) => {
                     let span = open_span_log(&shared, id);
                     let dist = coord.run(
-                        &entry.graph,
+                        &graph,
                         &graph_name,
                         &params,
                         &control,
@@ -760,7 +803,7 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, q: &QueryRequest) 
                     QueryOutcome::Dist(dist)
                 }
                 None => {
-                    QueryOutcome::Local(execute(&shared, &entry, &params, control, id, trace_ctx))
+                    QueryOutcome::Local(execute(&shared, &graph, &params, control, id, trace_ctx))
                 }
             };
             shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
@@ -837,6 +880,166 @@ fn handle_query(shared: &Arc<Shared>, stream: &mut TcpStream, q: &QueryRequest) 
 enum QueryOutcome {
     Local(Result<Report, MbeError>),
     Dist(Result<DistOutcome, DistError>),
+}
+
+/// The reply for one completed (or stopped) OCT driver run. The reply
+/// rides the ordinary `QUERY` tag — the client asked a question about a
+/// named graph and gets bicliques back; which engine answered is the
+/// server's business.
+fn reply_from_oct(report: &OctReport, q: &QueryRequest, cfg: &ServerConfig) -> QueryReply {
+    QueryReply {
+        stop: report.stop,
+        cached: false,
+        emitted: report.stats.emitted,
+        elapsed_us: report.stats.elapsed.as_micros() as u64,
+        total: report.bicliques.len() as u64,
+        bicliques: clip(&report.bicliques, q.max_return, cfg.max_return),
+        checkpoint: report.checkpoint.as_ref().map(OctCheckpoint::to_bytes),
+        dist: None,
+    }
+}
+
+/// `QUERY` on a general graph: the same cache → admission → execute →
+/// reply pipeline as [`handle_query`], with the OCT driver as the
+/// engine. Differences, all deliberate:
+///
+/// - cache keys are prefixed `oct;` so a general result can never be
+///   replayed for a bipartite query (or vice versa), even if the two
+///   fingerprint digests ever collided;
+/// - size thresholds and `top_k` are bipartite-engine features — they
+///   answer `WRONG_KIND` instead of being silently ignored;
+/// - the query always runs locally: the OCT driver's per-assignment
+///   checkpoints are not frontier shards, so coordinator mode does not
+///   distribute it (policy, not degradation).
+fn handle_oct_query(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    q: &QueryRequest,
+    fingerprint: u64,
+    graph: Arc<GeneralGraph>,
+) -> Vec<Response> {
+    if q.params.thresholded() || q.params.top_k.is_some() {
+        return vec![Response::Err {
+            code: errcode::WRONG_KIND,
+            message: format!(
+                "'{}' is a general graph; min-left/min-right thresholds and top-k \
+                 apply only to bipartite graphs",
+                q.graph
+            ),
+        }];
+    }
+    let key = format!("oct;{}", q.params.canonical_key());
+    {
+        let mut cache = shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(hit) = cache.lookup(fingerprint, &key) {
+            drop(cache);
+            shared.queries.fetch_add(1, Ordering::Relaxed);
+            return vec![Response::Ok(Reply::Query(reply_from_cached(&hit, q, &shared.cfg)))];
+        }
+    }
+
+    let deadline =
+        q.params.timeout.or(shared.cfg.default_timeout).map(|limit| Instant::now() + limit);
+    let mut control = RunControl::new();
+    if let Some(at) = deadline {
+        control = control.deadline(at);
+    }
+    let id = shared.next_request.fetch_add(1, Ordering::Relaxed);
+    shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).insert(id, control.clone());
+    if shared.shutdown.load(Ordering::SeqCst) {
+        control.cancel();
+    }
+
+    let (tx, rx) = sync_channel::<Result<OctReport, OctError>>(1);
+    let job = {
+        let shared = Arc::clone(shared);
+        let params = q.params.clone();
+        let control = control.clone();
+        let trace_ctx = q.trace;
+        Box::new(move || {
+            let result = execute_oct(&shared, &graph, &params, control, id, trace_ctx);
+            shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+            let _ = tx.send(result);
+        })
+    };
+    if let Err(err) = shared.admission.submit(job) {
+        shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
+        return vec![reject(shared, err)];
+    }
+
+    let Some((result, pipelined)) = wait_for_result(shared, stream, &control, &rx) else {
+        return Vec::new();
+    };
+
+    shared.queries.fetch_add(1, Ordering::Relaxed);
+    let response = match result {
+        Some(Ok(report)) => {
+            if report.stop == StopReason::Completed {
+                let value = CachedResult {
+                    bicliques: if q.params.count_only {
+                        None
+                    } else {
+                        Some(Arc::new(report.bicliques.clone()))
+                    },
+                    emitted: report.stats.emitted,
+                    elapsed: report.stats.elapsed,
+                };
+                shared.cache.lock().unwrap_or_else(PoisonError::into_inner).insert(
+                    fingerprint,
+                    key,
+                    value,
+                );
+            }
+            Response::Ok(Reply::Query(reply_from_oct(&report, q, &shared.cfg)))
+        }
+        Some(Err(e)) => Response::Err { code: errcode::INTERNAL, message: e.to_string() },
+        None => Response::Err {
+            code: errcode::INTERNAL,
+            message: "query worker disappeared without a result".into(),
+        },
+    };
+    let mut out = vec![response];
+    out.extend(pipelined);
+    out
+}
+
+/// Runs one admitted general-graph query on the current (worker) thread
+/// through the OCT driver, with the same task-counter and trace plumbing
+/// as [`execute`]. A `threads: 0` hint ("all cores") is resolved here —
+/// the driver requires an explicit positive count.
+fn execute_oct(
+    shared: &Shared,
+    graph: &GeneralGraph,
+    params: &QueryParams,
+    control: RunControl,
+    id: u64,
+    trace_ctx: Option<TraceContext>,
+) -> Result<OctReport, OctError> {
+    let trace = open_trace(shared, id, trace_ctx);
+    let mut fan = FanoutObserver::new();
+    fan.push(Box::new(&shared.task_counter));
+    if let Some(t) = &trace {
+        fan.push(Box::new(t));
+    }
+    let threads = if params.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        params.threads
+    };
+    let mut run = OctEnumeration::new(graph)
+        .algorithm(params.algorithm)
+        .order(params.order)
+        .threads(threads)
+        .control(control)
+        .observer(&fan);
+    if let Some(n) = params.max_bicliques {
+        run = run.max_bicliques(n);
+    }
+    let result = if params.count_only { run.count() } else { run.collect() };
+    if let Some(t) = &trace {
+        let _ = t.flush();
+    }
+    result
 }
 
 /// The typed response for a refused admission.
@@ -923,6 +1126,15 @@ fn handle_shard_query(
             message: format!("no graph named '{}' (LOAD it first)", s.graph),
         }];
     };
+    // Frontier shards are fragments of the bipartite engine's root set;
+    // general graphs run whole through the OCT driver and are never
+    // sharded, so a shard aimed at one is a kind error, not a bad shard.
+    let Some(graph) = entry.bipartite().map(Arc::clone) else {
+        return vec![Response::Err {
+            code: errcode::WRONG_KIND,
+            message: format!("'{}' is a general graph; shards require a bipartite graph", s.graph),
+        }];
+    };
     let ckpt = match Checkpoint::from_bytes(&s.checkpoint) {
         Ok(c) => c,
         Err(e) => {
@@ -932,7 +1144,7 @@ fn handle_shard_query(
             }]
         }
     };
-    if let Err(e) = ckpt.matches(&entry.graph) {
+    if let Err(e) = ckpt.matches(&graph) {
         return vec![Response::Err {
             code: errcode::BAD_SHARD,
             message: format!("shard does not match graph '{}': {e}", s.graph),
@@ -954,12 +1166,12 @@ fn handle_shard_query(
     let (tx, rx) = sync_channel::<Result<Report, MbeError>>(1);
     let job = {
         let shared = Arc::clone(shared);
-        let entry = Arc::clone(&entry);
+        let graph = Arc::clone(&graph);
         let params = s.params.clone();
         let control = control.clone();
         let trace_ctx = s.trace;
         Box::new(move || {
-            let result = execute_shard(&shared, &entry, &params, ckpt, control, id, trace_ctx);
+            let result = execute_shard(&shared, &graph, &params, ckpt, control, id, trace_ctx);
             shared.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&id);
             let _ = tx.send(result);
         })
@@ -998,7 +1210,7 @@ fn handle_shard_query(
 /// one).
 fn execute(
     shared: &Shared,
-    entry: &GraphEntry,
+    graph: &BipartiteGraph,
     params: &QueryParams,
     control: RunControl,
     id: u64,
@@ -1010,7 +1222,7 @@ fn execute(
     if let Some(t) = &trace {
         fan.push(Box::new(t));
     }
-    let result = run_query(&entry.graph, params, control, Some(&fan));
+    let result = run_query(graph, params, control, Some(&fan));
     drop(fan);
     if let Some(t) = &trace {
         let _ = t.flush();
@@ -1023,7 +1235,7 @@ fn execute(
 /// harness uses to stage deterministic worker crashes.
 fn execute_shard(
     shared: &Shared,
-    entry: &GraphEntry,
+    graph: &BipartiteGraph,
     params: &QueryParams,
     ckpt: Checkpoint,
     control: RunControl,
@@ -1036,7 +1248,7 @@ fn execute_shard(
     if let Some(t) = &trace {
         fan.push(Box::new(t));
     }
-    let run = Enumeration::new(&entry.graph)
+    let run = Enumeration::new(graph)
         .threads(params.threads)
         .control(control)
         .resume(ckpt)

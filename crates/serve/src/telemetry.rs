@@ -41,13 +41,24 @@ pub const OP_SHUTDOWN: usize = 5;
 pub const OP_QUERY_SHARD: usize = 6;
 /// `METRICS` slot.
 pub const OP_METRICS: usize = 7;
+/// `LOAD_GENERAL` slot.
+pub const OP_LOAD_GENERAL: usize = 8;
 /// Number of per-opcode slots.
-pub const OP_COUNT: usize = 8;
+pub const OP_COUNT: usize = 9;
 
 /// Exposition label for each opcode slot, indexed like
 /// [`ServerMetrics::ops`].
-pub const OP_NAMES: [&str; OP_COUNT] =
-    ["load", "list", "query", "cancel", "stats", "shutdown", "query_shard", "metrics"];
+pub const OP_NAMES: [&str; OP_COUNT] = [
+    "load",
+    "list",
+    "query",
+    "cancel",
+    "stats",
+    "shutdown",
+    "query_shard",
+    "metrics",
+    "load_general",
+];
 
 /// One opcode's request counters and latency distribution.
 #[derive(Default)]

@@ -9,8 +9,10 @@
 //!   `xtask-analyze-baseline.json`;
 //! * `trace-check FILE` — validates a `--trace` JSONL run trace
 //!   ([`trace_check`]);
-//! * `bench-snapshot [OUT]` — runs the calibration bench and records a
-//!   committed JSON snapshot ([`snapshot`]);
+//! * `bench-snapshot [OUT] [--preset-filter PREFIX]` — runs the
+//!   calibration bench and records a committed JSON snapshot, optionally
+//!   keeping only presets whose abbreviation starts with `PREFIX`
+//!   ([`snapshot`]);
 //! * `bench-diff OLD NEW` — compares two snapshots: fails on any
 //!   biclique-count difference, reports per-preset speedups
 //!   ([`benchdiff`]).
@@ -156,7 +158,27 @@ fn main() {
             Some(path) => trace_check::run(&path),
             None => usage(Some("trace-check requires a trace file path")),
         },
-        Some("bench-snapshot") => snapshot::run(&workspace_root(), args.next().as_deref()),
+        Some("bench-snapshot") => {
+            let mut out: Option<String> = None;
+            let mut filter: Option<String> = None;
+            let rest: Vec<String> = args.collect();
+            let mut it = rest.into_iter();
+            while let Some(arg) = it.next() {
+                if arg == "--preset-filter" {
+                    match it.next() {
+                        Some(f) => filter = Some(f),
+                        None => usage(Some("--preset-filter requires a prefix argument")),
+                    }
+                } else if arg.starts_with("--") {
+                    usage(Some(&format!("unknown bench-snapshot flag: {arg}")));
+                } else if out.is_none() {
+                    out = Some(arg);
+                } else {
+                    usage(Some(&format!("unexpected bench-snapshot argument: {arg}")));
+                }
+            }
+            snapshot::run(&workspace_root(), out.as_deref(), filter.as_deref())
+        }
         Some("bench-diff") => match (args.next(), args.next()) {
             (Some(old), Some(new)) => benchdiff::run(&workspace_root(), &old, &new),
             _ => usage(Some("bench-diff requires OLD and NEW snapshot paths")),
@@ -171,7 +193,7 @@ fn usage(cmd: Option<&str>) -> ! {
         "usage: cargo run -p xtask -- \
          <check | analyze [--update-baseline] [--json OUT] | \
          trace-check <FILE | --distributed DIR> | \
-         bench-snapshot [OUT] | bench-diff OLD NEW>"
+         bench-snapshot [OUT] [--preset-filter PREFIX] | bench-diff OLD NEW>"
     );
     if let Some(cmd) = cmd {
         eprintln!("unknown or incomplete command: {cmd}");

@@ -1,6 +1,12 @@
-//! `bench-snapshot [OUT]`: runs the calibration bench (`cargo run
-//! --release -p bench --bin calib`) and writes its table as a committed
-//! JSON snapshot (default `BENCH_PR4.json` at the workspace root).
+//! `bench-snapshot [OUT] [--preset-filter PREFIX]`: runs the
+//! calibration bench (`cargo run --release -p bench --bin calib`) and
+//! writes its table as a committed JSON snapshot (default
+//! `BENCH_PR4.json` at the workspace root).
+//!
+//! `--preset-filter` keeps only the rows whose preset abbreviation
+//! starts with the given prefix (`--preset-filter oc` pins just the
+//! OCT sweep), so a PR touching one subsystem can commit a focused
+//! snapshot without re-pinning every unrelated preset.
 //!
 //! The snapshot pins the biclique count per preset — a cheap regression
 //! tripwire across PRs — alongside the wall-clock time observed when it
@@ -10,9 +16,9 @@
 use std::path::Path;
 
 /// Entry point for the `bench-snapshot` subcommand. Exits 0 after
-/// writing the snapshot, 1 when the bench fails or prints nothing
-/// parseable, 2 on I/O errors.
-pub fn run(root: &Path, out: Option<&str>) -> ! {
+/// writing the snapshot, 1 when the bench fails, prints nothing
+/// parseable, or the filter matches no row, 2 on I/O errors.
+pub fn run(root: &Path, out: Option<&str>, filter: Option<&str>) -> ! {
     let out = out.unwrap_or("BENCH_PR4.json");
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     println!("bench-snapshot: running the calib bench (release build, this takes a while)…");
@@ -43,6 +49,21 @@ pub fn run(root: &Path, out: Option<&str>) -> ! {
             std::process::exit(1);
         }
     };
+    let rows = match filter {
+        Some(prefix) => {
+            let total = rows.len();
+            let kept = filter_rows(rows, prefix);
+            if kept.is_empty() {
+                eprintln!(
+                    "bench-snapshot: --preset-filter {prefix:?} matched none of the {total} rows"
+                );
+                std::process::exit(1);
+            }
+            println!("bench-snapshot: --preset-filter {prefix:?} kept {}/{total} rows", kept.len());
+            kept
+        }
+        None => rows,
+    };
     let json = render(&rows);
     let path = root.join(out);
     if let Err(e) = std::fs::write(&path, json) {
@@ -59,6 +80,11 @@ struct Row {
     preset: String,
     bicliques: u64,
     time_us: u64,
+}
+
+/// Keeps the rows whose preset abbreviation starts with `prefix`.
+fn filter_rows(rows: Vec<Row>, prefix: &str) -> Vec<Row> {
+    rows.into_iter().filter(|r| r.preset.starts_with(prefix)).collect()
 }
 
 /// Parses calib's `ABBR  B=COUNT   (TIME)` lines.
@@ -147,6 +173,25 @@ mod tests {
         assert!(parse_calib("BX 5236 (96ms)").is_err(), "missing B= prefix");
         assert!(parse_calib("BX B=x (96ms)").is_err());
         assert!(parse_calib("BX B=1 96ms").is_err(), "missing parens");
+    }
+
+    #[test]
+    fn preset_filter_is_a_prefix_match() {
+        let rows = || {
+            vec![
+                Row { preset: "BX".into(), bicliques: 1, time_us: 1 },
+                Row { preset: "oc2".into(), bicliques: 2, time_us: 2 },
+                Row { preset: "oc8".into(), bicliques: 3, time_us: 3 },
+            ]
+        };
+        let kept = filter_rows(rows(), "oc");
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|r| r.preset.starts_with("oc")));
+        // Exact abbreviation works too; a miss keeps nothing.
+        assert_eq!(filter_rows(rows(), "oc8").len(), 1);
+        assert!(filter_rows(rows(), "zz").is_empty());
+        // The empty prefix keeps everything (matches every abbreviation).
+        assert_eq!(filter_rows(rows(), "").len(), 3);
     }
 
     #[test]
